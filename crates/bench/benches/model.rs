@@ -1,0 +1,74 @@
+//! Model-evaluation benchmarks: cold/warm ζ(n) and full Algorithm 1 runs.
+//!
+//! The tuner must be cheap enough to run online inside a database, so these
+//! track the cost of a cold model build, a warm (cached) evaluation, and a
+//! complete tuning decision at both online and exhaustive granularity.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use seplsm_core::{tune, TunerOptions, WaModel, ZetaConfig, ZetaModel};
+use seplsm_dist::{Empirical, LogNormal};
+
+fn bench_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model");
+    group.sample_size(10);
+
+    group.bench_function("zeta/cold_512", |b| {
+        b.iter(|| {
+            let model =
+                ZetaModel::new(Arc::new(LogNormal::new(4.0, 1.5)), 50.0);
+            black_box(model.zeta(512))
+        })
+    });
+
+    let warm = ZetaModel::new(Arc::new(LogNormal::new(4.0, 1.5)), 50.0);
+    warm.zeta(512);
+    group.bench_function("zeta/warm_512", |b| {
+        b.iter(|| black_box(warm.zeta(512)))
+    });
+
+    group.bench_function("tune/online_512", |b| {
+        b.iter(|| {
+            let model = WaModel::with_zeta_config(
+                Arc::new(LogNormal::new(5.0, 2.0)),
+                50.0,
+                512,
+                ZetaConfig::online(),
+            );
+            black_box(tune(&model, TunerOptions::online(512)).expect("tune"))
+        })
+    });
+
+    group.bench_function("tune/exhaustive_128", |b| {
+        b.iter(|| {
+            let model =
+                WaModel::new(Arc::new(LogNormal::new(5.0, 2.0)), 50.0, 128);
+            black_box(tune(&model, TunerOptions::default()).expect("tune"))
+        })
+    });
+
+    // The analyzer path evaluates the models on an *empirical* distribution.
+    let samples: Vec<f64> = {
+        use rand::SeedableRng;
+        use seplsm_dist::DelayDistribution;
+        let d = LogNormal::new(5.0, 2.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        (0..4096).map(|_| d.sample(&mut rng)).collect()
+    };
+    group.bench_function("tune/online_512_empirical", |b| {
+        b.iter(|| {
+            let model = WaModel::with_zeta_config(
+                Arc::new(Empirical::from_samples(&samples)),
+                50.0,
+                512,
+                ZetaConfig::online(),
+            );
+            black_box(tune(&model, TunerOptions::online(512)).expect("tune"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

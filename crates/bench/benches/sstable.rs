@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the SSTable wire format: encode / decode throughput
+//! for the paper-default 512-point table.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use seplsm_lsm::sstable::format;
+use seplsm_types::DataPoint;
+
+fn table_points(n: usize) -> Vec<DataPoint> {
+    (0..n)
+        .map(|i| {
+            DataPoint::with_delay(
+                i as i64 * 50,
+                (i as i64 * 37) % 991,
+                i as f64 * 0.25,
+            )
+        })
+        .collect()
+}
+
+fn bench_format(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sstable");
+    for n in [512usize, 4096] {
+        let points = table_points(n);
+        let encoded = format::encode(&points).expect("encode");
+        let compressed =
+            format::encode_with(&points, &format::EncodeOptions::compressed())
+                .expect("encode v2");
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("encode_v1/{n}"), |b| {
+            b.iter(|| format::encode(black_box(&points)).expect("encode"))
+        });
+        group.bench_function(format!("decode_v1/{n}"), |b| {
+            b.iter(|| format::decode(black_box(&encoded)).expect("decode"))
+        });
+        group.bench_function(format!("encode_v2/{n}"), |b| {
+            b.iter(|| {
+                format::encode_with(
+                    black_box(&points),
+                    &format::EncodeOptions::compressed(),
+                )
+                .expect("encode v2")
+            })
+        });
+        group.bench_function(format!("decode_v2/{n}"), |b| {
+            b.iter(|| format::decode(black_box(&compressed)).expect("decode v2"))
+        });
+        // Block-granular read of a narrow range out of a v2 table.
+        let range = seplsm_types::TimeRange::new(50 * 64, 50 * 96);
+        group.bench_function(format!("decode_range_v2/{n}"), |b| {
+            b.iter(|| {
+                format::decode_range(black_box(&compressed), range)
+                    .expect("range read")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_format);
+criterion_main!(benches);

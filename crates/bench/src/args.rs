@@ -1,0 +1,34 @@
+//! Minimal `--flag value` argument parsing for the experiment binaries.
+
+/// Returns the value following `--name`, if present.
+pub fn flag(name: &str) -> Option<String> {
+    let key = format!("--{name}");
+    let argv: Vec<String> = std::env::args().collect();
+    argv.iter()
+        .position(|a| *a == key)
+        .and_then(|i| argv.get(i + 1))
+        .cloned()
+}
+
+/// Parses `--name <value>` with a default.
+pub fn flag_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    flag(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// `true` if the bare switch `--name` is present.
+pub fn switch(name: &str) -> bool {
+    let key = format!("--{name}");
+    std::env::args().any(|a| a == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_flags_fall_back_to_defaults() {
+        assert_eq!(flag_or("definitely-not-passed", 42usize), 42);
+        assert!(flag("definitely-not-passed").is_none());
+        assert!(!switch("definitely-not-passed"));
+    }
+}

@@ -1,0 +1,62 @@
+//! **Ablation** — tuner scan granularity vs decision quality and runtime.
+//!
+//! Algorithm 1's literal loop evaluates `r_s` at every `n_seq ∈ [1, n−1]`;
+//! the online variant scans coarsely and refines around the coarse minimum.
+//! This ablation measures how much WA the shortcut gives up.
+//!
+//! ```text
+//! cargo run --release -p seplsm-bench --bin ablation_tuner
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use seplsm_bench::report;
+use seplsm_core::{tune, TunerOptions, WaModel, ZetaConfig};
+use seplsm_dist::LogNormal;
+
+fn main() -> seplsm_types::Result<()> {
+    let n = 512usize;
+    let cases = [
+        ("LogNormal(4,1.5) dt=50", LogNormal::new(4.0, 1.5), 50.0),
+        ("LogNormal(5,2)   dt=50", LogNormal::new(5.0, 2.0), 50.0),
+        ("LogNormal(5,2)   dt=10", LogNormal::new(5.0, 2.0), 10.0),
+    ];
+    report::banner("Ablation: tuner scan step vs decision quality (n=512)");
+    let mut rows = Vec::new();
+    for (label, dist, dt) in cases {
+        // Exhaustive reference (fresh model per run so timings are honest).
+        let reference = {
+            let model = WaModel::new(Arc::new(dist), dt, n);
+            tune(&model, TunerOptions::default())?
+        };
+        for step in [1usize, 4, 16, 64] {
+            let model = WaModel::with_zeta_config(
+                Arc::new(dist),
+                dt,
+                n,
+                ZetaConfig::online(),
+            );
+            let start = Instant::now();
+            let outcome =
+                tune(&model, TunerOptions { step, record_curve: false })?;
+            let elapsed = start.elapsed();
+            rows.push(vec![
+                label.to_string(),
+                step.to_string(),
+                outcome.best_n_seq.to_string(),
+                report::f3(outcome.r_s_star),
+                format!(
+                    "{:+.2}%",
+                    (outcome.r_s_star / reference.r_s_star - 1.0) * 100.0
+                ),
+                format!("{:.1}ms", elapsed.as_secs_f64() * 1e3),
+            ]);
+        }
+    }
+    report::print_table(
+        &["workload", "step", "n_seq*", "r_s*", "vs exhaustive", "time"],
+        &rows,
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! **Ablation** — ζ(n) evaluation parameters: quadrature order, term
+//! truncation and tail saturation vs accuracy and runtime.
+//!
+//! The online tuner needs ζ to be cheap; this ablation shows how far the
+//! evaluation can be coarsened before the estimate (and hence the policy
+//! decision) moves.
+//!
+//! ```text
+//! cargo run --release -p seplsm-bench --bin ablation_zeta
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use seplsm_bench::report;
+use seplsm_core::{GapModel, ZetaConfig, ZetaModel};
+use seplsm_dist::LogNormal;
+
+fn main() -> seplsm_types::Result<()> {
+    let dist = LogNormal::new(5.0, 2.0);
+    let delta_t = 50.0;
+    let n = 512usize;
+
+    // High-precision reference.
+    let reference_cfg = ZetaConfig {
+        quadrature_order: 256,
+        eps_term: 1e-12,
+        saturation_eps: 1e-9,
+        ..ZetaConfig::default()
+    };
+    let reference =
+        ZetaModel::with_config(Arc::new(dist), delta_t, reference_cfg).zeta(n);
+
+    report::banner(&format!(
+        "Ablation: zeta evaluation parameters (reference zeta({n}) = {reference:.3})"
+    ));
+    let mut rows = Vec::new();
+    for order in [8usize, 16, 32, 64, 128] {
+        for (eps_term, saturation) in [(1e-6, 1e-5), (1e-9, 1e-6)] {
+            let cfg = ZetaConfig {
+                quadrature_order: order,
+                eps_term,
+                saturation_eps: saturation,
+                gap: GapModel::MeanGap,
+                ..ZetaConfig::default()
+            };
+            let start = Instant::now();
+            let value =
+                ZetaModel::with_config(Arc::new(dist), delta_t, cfg).zeta(n);
+            let elapsed = start.elapsed();
+            rows.push(vec![
+                order.to_string(),
+                format!("{eps_term:.0e}"),
+                format!("{saturation:.0e}"),
+                report::f3(value),
+                format!("{:+.3}%", (value / reference - 1.0) * 100.0),
+                format!("{:.2}ms", elapsed.as_secs_f64() * 1e3),
+            ]);
+        }
+    }
+    report::print_table(
+        &["order", "eps_term", "sat_eps", "zeta", "rel_err", "cold time"],
+        &rows,
+    );
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Shared harness for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation (see `DESIGN.md` for the experiment index). They share:
+//!
+//! * [`args`] — a tiny `--flag value` CLI parser (no external deps) so every
+//!   experiment can be scaled (`--points`, `--seed`) or exported
+//!   (`--json out.json`);
+//! * [`drive`] — experiment drivers: ingest a dataset under a policy and
+//!   collect WA metrics, run query workloads, measure tiered-engine
+//!   throughput, run the adaptive engine;
+//! * [`report`] — aligned-table printing and JSON export.
+
+pub mod args;
+pub mod drive;
+pub mod report;

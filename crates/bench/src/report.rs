@@ -1,0 +1,102 @@
+//! Output helpers: aligned text tables and JSON export.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Prints `rows` under `headers` with aligned columns.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Prints a figure/table banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Writes `value` as pretty JSON to `path` (if given), creating parents.
+pub fn maybe_write_json(
+    path: Option<String>,
+    value: &serde_json::Value,
+) -> std::io::Result<()> {
+    let Some(path) = path else { return Ok(()) };
+    let path = Path::new(&path);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{}", serde_json::to_string_pretty(value)?)?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Formats a float with 3 decimals for table cells.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 1 decimal for table cells.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_table(
+            &["a", "bbbb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        banner("test");
+    }
+
+    #[test]
+    fn json_writing_round_trips() {
+        let dir = std::env::temp_dir().join(format!(
+            "seplsm-report-{}",
+            std::process::id()
+        ));
+        let path = dir.join("out.json");
+        maybe_write_json(
+            Some(path.to_string_lossy().into_owned()),
+            &serde_json::json!({"x": 1}),
+        )
+        .expect("write");
+        let back: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(&path).expect("read"),
+        )
+        .expect("parse");
+        assert_eq!(back["x"], 1);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(1.26), "1.3");
+    }
+}

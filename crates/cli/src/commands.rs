@@ -1,0 +1,290 @@
+//! The CLI subcommands.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use seplsm_core::{tune, AdaptiveConfig, AdaptiveEngine, TunerOptions, WaModel};
+use seplsm_dist::stats::percentile_sorted;
+use seplsm_dist::{DelayDistribution, Empirical};
+use seplsm_lsm::{EngineConfig, FileStore, LsmEngine, MemStore, TableStore};
+use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange};
+use seplsm_workload::{paper_dataset, S9Workload, VehicleWorkload};
+
+use crate::csvio;
+use crate::opts::Opts;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+seplsm — out-of-order time-series LSM toolkit
+
+USAGE:
+  seplsm generate --dataset <M1..M12|s9|vehicle> [--points N] [--seed S] --out FILE
+  seplsm analyze  --input FILE [--budget N]
+  seplsm ingest   --input FILE [--policy conventional|separation:<n_seq>|adaptive]
+                  [--budget N] [--sstable N] [--dir DIR] [--compressed]
+  seplsm query    --dir DIR --start T --end T [--budget N]
+  seplsm help
+";
+
+fn io_err(e: String) -> Error {
+    Error::InvalidConfig(e)
+}
+
+/// `seplsm generate` — write a dataset as CSV.
+pub fn generate(opts: &Opts) -> Result<()> {
+    let dataset = opts.require("dataset").map_err(io_err)?;
+    let out = PathBuf::from(opts.require("out").map_err(io_err)?);
+    let points: usize = opts.get_or("points", 100_000);
+    let seed: u64 = opts.get_or("seed", 1);
+
+    let data = match dataset.to_ascii_lowercase().as_str() {
+        "s9" | "s-9" => S9Workload::new(points, seed).generate(),
+        "vehicle" | "h" => VehicleWorkload::new(points, seed).generate(),
+        name => paper_dataset(name)
+            .ok_or_else(|| {
+                Error::InvalidConfig(format!(
+                    "unknown dataset `{name}` (expected M1..M12, s9 or vehicle)"
+                ))
+            })?
+            .workload(points, seed)
+            .generate(),
+    };
+    csvio::write_csv(&out, &data)?;
+    println!("wrote {} points to {}", data.len(), out.display());
+    Ok(())
+}
+
+fn load_input(opts: &Opts) -> Result<Vec<DataPoint>> {
+    let input = opts.require("input").map_err(io_err)?;
+    let points = csvio::read_csv(input)?;
+    if points.is_empty() {
+        return Err(Error::InvalidConfig(format!("{input} holds no points")));
+    }
+    Ok(points)
+}
+
+fn estimate_delta_t(points: &[DataPoint]) -> Result<f64> {
+    let mut gen_times: Vec<i64> = points.iter().map(|p| p.gen_time).collect();
+    gen_times.sort_unstable();
+    let mut gaps: Vec<i64> = gen_times
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .filter(|&g| g > 0)
+        .collect();
+    gaps.sort_unstable();
+    gaps.get(gaps.len() / 2)
+        .map(|&g| g as f64)
+        .ok_or_else(|| Error::Model("dataset too small to estimate delta_t".into()))
+}
+
+/// `seplsm analyze` — delay profile + Algorithm 1 recommendation.
+pub fn analyze(opts: &Opts) -> Result<()> {
+    let points = load_input(opts)?;
+    let budget: usize = opts.get_or("budget", 512);
+
+    let mut delays: Vec<f64> = points.iter().map(|p| p.delay() as f64).collect();
+    delays.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let ooo = seplsm_workload::fraction_out_of_order(&points);
+    let delta_t = estimate_delta_t(&points)?;
+
+    println!("points:            {}", points.len());
+    println!("delta_t (median):  {delta_t} ms");
+    println!("out-of-order:      {:.3}%", ooo * 100.0);
+    println!(
+        "delays:            p50 {:.0} ms, p95 {:.0} ms, p99 {:.0} ms, max {:.0} ms",
+        percentile_sorted(&delays, 50.0),
+        percentile_sorted(&delays, 95.0),
+        percentile_sorted(&delays, 99.0),
+        percentile_sorted(&delays, 100.0),
+    );
+
+    let dist = Arc::new(Empirical::from_samples(&delays)) as Arc<dyn DelayDistribution>;
+    let model = WaModel::new(dist, delta_t, budget);
+    let outcome = tune(&model, TunerOptions::online(budget))?;
+    println!("\nAlgorithm 1 (budget n = {budget}):");
+    println!("  r_c        = {:.3}", outcome.r_c);
+    println!(
+        "  min r_s    = {:.3} at n_seq = {}",
+        outcome.r_s_star, outcome.best_n_seq
+    );
+    println!("  decision   = {}", outcome.decision.name());
+    Ok(())
+}
+
+fn parse_policy(spec: &str, budget: usize) -> Result<Option<Policy>> {
+    match spec {
+        "conventional" | "pi_c" => Ok(Some(Policy::conventional(budget))),
+        "adaptive" => Ok(None),
+        other => {
+            if let Some(n_seq) = other.strip_prefix("separation:") {
+                let n_seq: usize = n_seq.parse().map_err(|_| {
+                    Error::InvalidConfig(format!("bad n_seq in `{other}`"))
+                })?;
+                Ok(Some(Policy::separation(budget, n_seq)?))
+            } else if other == "separation" || other == "pi_s" {
+                Ok(Some(Policy::separation_even(budget)?))
+            } else {
+                Err(Error::InvalidConfig(format!(
+                    "unknown policy `{other}` \
+                     (conventional | separation[:n_seq] | adaptive)"
+                )))
+            }
+        }
+    }
+}
+
+fn open_store(opts: &Opts) -> Result<Arc<dyn TableStore>> {
+    let options = if opts.switch("compressed") {
+        seplsm_lsm::EncodeOptions::compressed()
+    } else {
+        seplsm_lsm::EncodeOptions::default()
+    };
+    Ok(match opts.get("dir") {
+        Some(dir) => Arc::new(FileStore::open_with(
+            PathBuf::from(dir).join("tables"),
+            options,
+        )?),
+        None => Arc::new(MemStore::with_options(options)),
+    })
+}
+
+/// `seplsm ingest` — write a CSV through the engine and report WA.
+pub fn ingest(opts: &Opts) -> Result<()> {
+    let points = load_input(opts)?;
+    let budget: usize = opts.get_or("budget", 512);
+    let sstable: usize = opts.get_or("sstable", 512);
+    let policy_spec = opts.get("policy").unwrap_or("conventional");
+    let store = open_store(opts)?;
+
+    match parse_policy(policy_spec, budget)? {
+        Some(policy) => {
+            let mut engine = LsmEngine::new(
+                EngineConfig::new(policy).with_sstable_points(sstable),
+                store,
+            )?;
+            if let Some(dir) = opts.get("dir") {
+                engine = engine
+                    .with_wal(PathBuf::from(dir).join("wal"))?
+                    .with_manifest(PathBuf::from(dir).join("manifest"))?;
+            }
+            for p in &points {
+                engine.append(*p)?;
+            }
+            engine.flush_all()?;
+            let m = engine.metrics();
+            println!("policy:              {}", policy.name());
+            println!("user points:         {}", m.user_points);
+            println!("disk points written: {}", m.disk_points_written);
+            println!("flushes/compactions: {}/{}", m.flushes, m.compactions);
+            println!("write amplification: {:.3}", m.write_amplification());
+        }
+        None => {
+            let mut engine = AdaptiveEngine::new(
+                AdaptiveConfig::new(budget).with_sstable_points(sstable),
+                store,
+            )?;
+            for p in &points {
+                engine.append(*p)?;
+            }
+            engine.engine_mut().flush_all()?;
+            println!("policy:              adaptive ({} tunes)", engine.tunes().len());
+            for t in engine.tunes() {
+                println!(
+                    "  at {:>9}: r_c={:.3} r_s*={:.3} -> {}",
+                    t.at_user_points,
+                    t.r_c,
+                    t.r_s_star,
+                    t.decision.name()
+                );
+            }
+            let m = engine.engine().metrics();
+            println!("write amplification: {:.3}", m.write_amplification());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_policy_accepts_all_forms() {
+        assert_eq!(
+            parse_policy("conventional", 512).expect("ok"),
+            Some(Policy::conventional(512))
+        );
+        assert_eq!(
+            parse_policy("separation:100", 512).expect("ok"),
+            Some(Policy::separation(512, 100).expect("valid"))
+        );
+        assert_eq!(
+            parse_policy("separation", 512).expect("ok"),
+            Some(Policy::separation_even(512).expect("valid"))
+        );
+        assert_eq!(parse_policy("adaptive", 512).expect("ok"), None);
+    }
+
+    #[test]
+    fn parse_policy_rejects_nonsense() {
+        assert!(parse_policy("bogus", 512).is_err());
+        assert!(parse_policy("separation:zzz", 512).is_err());
+        assert!(parse_policy("separation:512", 512).is_err()); // n_seq == n
+    }
+
+    #[test]
+    fn delta_t_estimation_uses_median_gap() {
+        let points: Vec<DataPoint> = [0i64, 50, 100, 150, 5_000]
+            .iter()
+            .map(|&tg| DataPoint::new(tg, tg, 0.0))
+            .collect();
+        // Gaps: 50, 50, 50, 4850 -> median 50.
+        assert_eq!(estimate_delta_t(&points).expect("ok"), 50.0);
+    }
+}
+
+/// `seplsm query` — range query against a persisted store.
+pub fn query(opts: &Opts) -> Result<()> {
+    let dir = PathBuf::from(opts.require("dir").map_err(io_err)?);
+    let start: i64 = opts
+        .require("start")
+        .map_err(io_err)?
+        .parse()
+        .map_err(|_| Error::InvalidConfig("--start must be an integer".into()))?;
+    let end: i64 = opts
+        .require("end")
+        .map_err(io_err)?
+        .parse()
+        .map_err(|_| Error::InvalidConfig("--end must be an integer".into()))?;
+    if start > end {
+        return Err(Error::InvalidConfig("--start must be <= --end".into()));
+    }
+    let budget: usize = opts.get_or("budget", 512);
+
+    let store: Arc<dyn TableStore> = Arc::new(FileStore::open(dir.join("tables"))?);
+    let engine = if dir.join("manifest").exists() {
+        LsmEngine::recover_from_manifest(
+            EngineConfig::conventional(budget),
+            store,
+            dir.join("manifest"),
+            dir.join("wal").exists().then(|| dir.join("wal")),
+        )?
+    } else {
+        LsmEngine::recover(
+            EngineConfig::conventional(budget),
+            store,
+            dir.join("wal").exists().then(|| dir.join("wal")),
+        )?
+    };
+    let (hits, stats) = engine.query(TimeRange::new(start, end))?;
+    for p in &hits {
+        println!("{},{},{}", p.gen_time, p.arrival_time, p.value);
+    }
+    eprintln!(
+        "{} points; {} tables read, {} disk points scanned",
+        hits.len(),
+        stats.tables_read,
+        stats.disk_points_scanned
+    );
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! CSV import/export of data points (`gen_time,arrival_time,value`).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use seplsm_types::{DataPoint, Error, Result};
+
+/// Writes `points` as CSV with a header row.
+pub fn write_csv(path: impl AsRef<Path>, points: &[DataPoint]) -> Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "gen_time,arrival_time,value")?;
+    for p in points {
+        writeln!(w, "{},{},{}", p.gen_time, p.arrival_time, p.value)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a CSV produced by [`write_csv`] (header optional).
+///
+/// # Errors
+/// [`Error::Corrupt`] on malformed rows.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<Vec<DataPoint>> {
+    let reader = BufReader::new(std::fs::File::open(path)?);
+    let mut points = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with("gen_time") {
+            continue;
+        }
+        let mut fields = trimmed.split(',');
+        let parse_err = |what: &str| {
+            Error::Corrupt(format!("csv line {}: bad {what}: {trimmed}", lineno + 1))
+        };
+        let gen_time: i64 = fields
+            .next()
+            .ok_or_else(|| parse_err("gen_time"))?
+            .trim()
+            .parse()
+            .map_err(|_| parse_err("gen_time"))?;
+        let arrival_time: i64 = fields
+            .next()
+            .ok_or_else(|| parse_err("arrival_time"))?
+            .trim()
+            .parse()
+            .map_err(|_| parse_err("arrival_time"))?;
+        let value: f64 = fields
+            .next()
+            .ok_or_else(|| parse_err("value"))?
+            .trim()
+            .parse()
+            .map_err(|_| parse_err("value"))?;
+        points.push(DataPoint::new(gen_time, arrival_time, value));
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "seplsm-csv-{tag}-{}-{:?}.csv",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn round_trips() {
+        let path = temp("roundtrip");
+        let pts = vec![
+            DataPoint::new(0, 5, 1.5),
+            DataPoint::new(50, 51, -2.25),
+            DataPoint::new(100, 220, 0.0),
+        ];
+        write_csv(&path, &pts).expect("write");
+        assert_eq!(read_csv(&path).expect("read"), pts);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let path = temp("bad");
+        std::fs::write(&path, "gen_time,arrival_time,value\n1,2\n").expect("write");
+        let err = read_csv(&path).expect_err("malformed");
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn skips_blank_lines_and_header() {
+        let path = temp("blank");
+        std::fs::write(&path, "\ngen_time,arrival_time,value\n\n7,8,9.0\n")
+            .expect("write");
+        let pts = read_csv(&path).expect("read");
+        assert_eq!(pts, vec![DataPoint::new(7, 8, 9.0)]);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+}

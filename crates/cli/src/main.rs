@@ -1,0 +1,45 @@
+//! `seplsm` — command-line interface to the library.
+//!
+//! ```text
+//! seplsm generate --dataset M6 --points 100000 --out data.csv
+//! seplsm analyze  --input data.csv --budget 512
+//! seplsm ingest   --input data.csv --policy adaptive --budget 512
+//! seplsm ingest   --input data.csv --policy separation:256 --dir ./db
+//! seplsm query    --dir ./db --start 0 --end 100000
+//! ```
+
+mod commands;
+mod csvio;
+mod opts;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::from(2);
+    };
+    let opts = opts::Opts::parse(rest);
+    let result = match command.as_str() {
+        "generate" => commands::generate(&opts),
+        "analyze" => commands::analyze(&opts),
+        "ingest" => commands::ingest(&opts),
+        "query" => commands::query(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{}", commands::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

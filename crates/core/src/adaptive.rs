@@ -1,0 +1,308 @@
+//! `π_adaptive`: the self-tuning engine (paper Figs. 10, 17; §VI).
+//!
+//! [`AdaptiveEngine`] glues the pieces together the way the deployed IoTDB
+//! analyzer module does:
+//!
+//! 1. every written point is fed to the storage engine *and* to the
+//!    [`DelayAnalyzer`];
+//! 2. when the analyzer reports that the delay distribution changed (or that
+//!    enough samples exist for a first decision), the engine fits the
+//!    empirical delay distribution, runs Algorithm 1, and switches the
+//!    engine's buffering policy to the winner.
+//!
+//! Policy switches re-route the buffered points without touching the disk
+//! (see [`LsmEngine::set_policy`]).
+
+use std::sync::Arc;
+
+use seplsm_dist::DelayDistribution;
+use seplsm_lsm::{EngineConfig, LsmEngine, MemStore, TableStore};
+use seplsm_types::{DataPoint, Policy, Result};
+use serde::Serialize;
+
+use crate::analyzer::{AnalyzerConfig, AnalyzerEvent, DelayAnalyzer};
+use crate::tuner::{tune, TunerOptions};
+use crate::wa::WaModel;
+use crate::zeta::ZetaConfig;
+
+/// Configuration of the adaptive controller.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Total memory budget `n` (points) — split is the tuner's business.
+    pub budget: usize,
+    /// SSTable target size (points).
+    pub sstable_points: usize,
+    /// Record a WA snapshot every this many user points (`None` = off).
+    pub wa_snapshot_every: Option<u64>,
+    /// Analyzer (drift-detection) parameters.
+    pub analyzer: AnalyzerConfig,
+    /// Tuning-scan options.
+    pub tuner: TunerOptions,
+    /// ζ evaluation parameters used for online tuning.
+    pub zeta: ZetaConfig,
+    /// Minimum user points between two policy switches (hysteresis).
+    pub min_points_between_tunes: u64,
+}
+
+impl AdaptiveConfig {
+    /// Sensible defaults for budget `n`: online tuner granularity, cheap ζ,
+    /// re-tune at most every `4 × analyzer window` points.
+    pub fn new(budget: usize) -> Self {
+        let analyzer = AnalyzerConfig::default();
+        Self {
+            budget,
+            sstable_points: EngineConfig::DEFAULT_SSTABLE_POINTS,
+            wa_snapshot_every: None,
+            analyzer,
+            tuner: TunerOptions::online(budget),
+            zeta: ZetaConfig::online(),
+            min_points_between_tunes: (analyzer.window as u64) * 4,
+        }
+    }
+
+    /// Overrides the SSTable size.
+    pub fn with_sstable_points(mut self, points: usize) -> Self {
+        self.sstable_points = points;
+        self
+    }
+
+    /// Enables WA snapshots.
+    pub fn with_wa_snapshots(mut self, every: u64) -> Self {
+        self.wa_snapshot_every = Some(every);
+        self
+    }
+
+    /// Overrides the analyzer parameters (also refreshes the hysteresis).
+    pub fn with_analyzer(mut self, analyzer: AnalyzerConfig) -> Self {
+        self.analyzer = analyzer;
+        self.min_points_between_tunes = (analyzer.window as u64) * 4;
+        self
+    }
+}
+
+/// One recorded tuning decision.
+#[derive(Debug, Clone, Serialize)]
+pub struct TuneRecord {
+    /// User points written when the decision was made.
+    pub at_user_points: u64,
+    /// Predicted WA under `π_c`.
+    pub r_c: f64,
+    /// Predicted minimum WA under `π_s`.
+    pub r_s_star: f64,
+    /// The adopted policy.
+    pub decision: Policy,
+    /// Estimated generation interval used for the models.
+    pub delta_t: f64,
+}
+
+/// A storage engine that re-tunes its buffering policy as delays drift.
+pub struct AdaptiveEngine {
+    engine: LsmEngine,
+    analyzer: DelayAnalyzer,
+    config: AdaptiveConfig,
+    tunes: Vec<TuneRecord>,
+    last_tune_at: u64,
+}
+
+impl AdaptiveEngine {
+    /// Creates an adaptive engine starting under `π_c` (the paper
+    /// initialises the system with the conventional policy).
+    ///
+    /// # Errors
+    /// Invalid configuration.
+    pub fn new(config: AdaptiveConfig, store: Arc<dyn TableStore>) -> Result<Self> {
+        let mut engine_config = EngineConfig::conventional(config.budget)
+            .with_sstable_points(config.sstable_points);
+        if let Some(every) = config.wa_snapshot_every {
+            engine_config = engine_config.with_wa_snapshots(every);
+        }
+        Ok(Self {
+            engine: LsmEngine::new(engine_config, store)?,
+            analyzer: DelayAnalyzer::new(config.analyzer),
+            config,
+            tunes: Vec::new(),
+            last_tune_at: 0,
+        })
+    }
+
+    /// In-memory-store convenience constructor.
+    pub fn in_memory(config: AdaptiveConfig) -> Result<Self> {
+        Self::new(config, Arc::new(MemStore::new()))
+    }
+
+    /// The wrapped storage engine.
+    pub fn engine(&self) -> &LsmEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the wrapped engine (queries, flushes).
+    pub fn engine_mut(&mut self) -> &mut LsmEngine {
+        &mut self.engine
+    }
+
+    /// The currently active policy.
+    pub fn policy(&self) -> Policy {
+        self.engine.policy()
+    }
+
+    /// Every tuning decision taken so far.
+    pub fn tunes(&self) -> &[TuneRecord] {
+        &self.tunes
+    }
+
+    /// Writes one point, re-tuning the policy when the analyzer asks for it.
+    ///
+    /// # Errors
+    /// Storage failures; tuner failures are swallowed (the current policy
+    /// simply stays in force) because an analyzer must never take down the
+    /// write path.
+    pub fn append(&mut self, p: DataPoint) -> Result<()> {
+        self.engine.append(p)?;
+        let event = self.analyzer.observe(&p);
+        let due = match event {
+            AnalyzerEvent::None => false,
+            AnalyzerEvent::NeedsInitialTune => true,
+            AnalyzerEvent::DriftDetected => {
+                self.engine.metrics().user_points
+                    >= self.last_tune_at + self.config.min_points_between_tunes
+            }
+        };
+        if due {
+            self.retune()?;
+        }
+        Ok(())
+    }
+
+    /// Runs Algorithm 1 on the analyzer's current window and applies the
+    /// decision. Exposed for callers that schedule tuning themselves.
+    ///
+    /// # Errors
+    /// Storage failures while switching policies.
+    pub fn retune(&mut self) -> Result<()> {
+        let Some(dist) = self.analyzer.build_distribution() else {
+            return Ok(());
+        };
+        let Some(delta_t) = self.analyzer.estimated_delta_t() else {
+            return Ok(());
+        };
+        let model = WaModel::with_zeta_config(
+            Arc::new(dist) as Arc<dyn DelayDistribution>,
+            delta_t,
+            self.config.budget,
+            self.config.zeta,
+        );
+        let outcome = match tune(&model, self.config.tuner) {
+            Ok(o) => o,
+            // A failed model evaluation must not break ingestion.
+            Err(_) => return Ok(()),
+        };
+        self.engine.set_policy(outcome.decision)?;
+        self.analyzer.mark_tuned();
+        self.last_tune_at = self.engine.metrics().user_points;
+        self.tunes.push(TuneRecord {
+            at_user_points: self.last_tune_at,
+            r_c: outcome.r_c,
+            r_s_star: outcome.r_s_star,
+            decision: outcome.decision,
+            delta_t,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use seplsm_dist::{DelayDistribution, LogNormal};
+
+    fn small_config() -> AdaptiveConfig {
+        AdaptiveConfig::new(64)
+            .with_sstable_points(32)
+            .with_analyzer(AnalyzerConfig {
+                window: 512,
+                min_samples: 256,
+                check_every: 128,
+                ks_alpha: 0.01,
+            })
+    }
+
+    fn write_workload(
+        engine: &mut AdaptiveEngine,
+        dist: &dyn DelayDistribution,
+        n: usize,
+        start_tg: i64,
+        dt: i64,
+        seed: u64,
+    ) -> i64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Points generated on a grid, arriving in arrival-time order within
+        // a small reorder buffer (enough realism for the analyzer).
+        let mut pts: Vec<DataPoint> = (0..n)
+            .map(|i| {
+                let tg = start_tg + i as i64 * dt;
+                DataPoint::with_delay(tg, dist.sample(&mut rng) as i64, 0.0)
+            })
+            .collect();
+        pts.sort_by_key(|p| p.arrival_time);
+        for p in &pts {
+            engine.append(*p).expect("append");
+        }
+        start_tg + n as i64 * dt
+    }
+
+    #[test]
+    fn starts_conventional_then_tunes_once_samples_accumulate() {
+        let mut e = AdaptiveEngine::in_memory(small_config()).expect("engine");
+        assert!(!e.policy().is_separation());
+        let dist = LogNormal::new(5.0, 2.0);
+        write_workload(&mut e, &dist, 2000, 0, 50, 1);
+        assert!(!e.tunes().is_empty(), "no tuning decision was taken");
+        // All data still readable.
+        assert_eq!(e.engine().metrics().user_points, 2000);
+        let all = e.engine().scan_all().expect("scan");
+        assert_eq!(all.len(), 2000);
+    }
+
+    #[test]
+    fn drift_triggers_retune() {
+        let mut e = AdaptiveEngine::in_memory(small_config()).expect("engine");
+        let calm = LogNormal::new(2.0, 0.5);
+        let wild = LogNormal::new(6.0, 2.0);
+        let next = write_workload(&mut e, &calm, 3000, 0, 50, 2);
+        let tunes_before = e.tunes().len();
+        assert!(tunes_before >= 1);
+        write_workload(&mut e, &wild, 6000, next, 50, 3);
+        assert!(
+            e.tunes().len() > tunes_before,
+            "drift did not trigger a re-tune: {:?}",
+            e.tunes()
+        );
+    }
+
+    #[test]
+    fn retune_without_samples_is_a_no_op() {
+        let mut e = AdaptiveEngine::in_memory(small_config()).expect("engine");
+        e.retune().expect("retune");
+        assert!(e.tunes().is_empty());
+    }
+
+    #[test]
+    fn data_survives_policy_switches() {
+        let mut cfg = small_config();
+        cfg.min_points_between_tunes = 256; // allow frequent switching
+        let mut e = AdaptiveEngine::in_memory(cfg).expect("engine");
+        let calm = LogNormal::new(2.0, 0.5);
+        let wild = LogNormal::new(6.5, 2.0);
+        let mut next = 0i64;
+        for round in 0..4 {
+            let dist: &dyn DelayDistribution =
+                if round % 2 == 0 { &calm } else { &wild };
+            next = write_workload(&mut e, dist, 1500, next, 50, round as u64);
+        }
+        let all = e.engine().scan_all().expect("scan");
+        assert_eq!(all.len(), 6000);
+        assert!(all.windows(2).all(|w| w[0].gen_time < w[1].gen_time));
+    }
+}

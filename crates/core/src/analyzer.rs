@@ -1,0 +1,272 @@
+//! The online delay analyzer (paper §I-D, §VI).
+//!
+//! The analyzer is the piece deployed inside Apache IoTDB: it watches the
+//! write stream, collects per-point delays, maintains the statistical
+//! profile (empirical PDF/CDF) and the observed generation interval, and
+//! signals when the delay distribution has *drifted* from the profile that
+//! was in force at the last tuning decision — the trigger for re-running
+//! Algorithm 1 in the adaptive experiments (Figs. 10, 17).
+//!
+//! Drift detection uses the two-sample Kolmogorov–Smirnov distance between
+//! the current window and the reference profile, compared against the
+//! asymptotic critical value at the configured significance.
+
+use std::collections::VecDeque;
+
+use seplsm_dist::stats::{ks_critical, ks_two_sample};
+use seplsm_dist::Empirical;
+use seplsm_types::DataPoint;
+
+/// Analyzer parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyzerConfig {
+    /// Number of recent delays kept in the sliding window.
+    pub window: usize,
+    /// Minimum delays collected before the first tune is proposed.
+    pub min_samples: usize,
+    /// Run the drift test every this many observations.
+    pub check_every: usize,
+    /// KS significance level for declaring drift (e.g. 0.01).
+    pub ks_alpha: f64,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        Self { window: 4096, min_samples: 1024, check_every: 1024, ks_alpha: 0.01 }
+    }
+}
+
+/// What [`DelayAnalyzer::observe`] concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalyzerEvent {
+    /// Keep writing; nothing changed.
+    None,
+    /// No profile is in force yet and enough samples have accumulated —
+    /// run the first tune.
+    NeedsInitialTune,
+    /// The delay distribution drifted from the in-force profile — re-tune.
+    DriftDetected,
+}
+
+/// Online collector of delays and generation intervals.
+#[derive(Debug)]
+pub struct DelayAnalyzer {
+    config: AnalyzerConfig,
+    /// Recent delays (ms), sliding window.
+    delays: VecDeque<f64>,
+    /// Recent generation timestamps, for estimating `Δt`.
+    gen_times: VecDeque<i64>,
+    /// Delay snapshot in force since the last tune.
+    profile: Option<Vec<f64>>,
+    observed: u64,
+}
+
+impl DelayAnalyzer {
+    /// Creates an analyzer with the given parameters.
+    pub fn new(config: AnalyzerConfig) -> Self {
+        assert!(config.window >= 2, "window must hold at least two delays");
+        assert!(config.min_samples >= 2);
+        assert!(config.check_every >= 1);
+        Self {
+            config,
+            delays: VecDeque::with_capacity(config.window),
+            gen_times: VecDeque::with_capacity(config.window),
+            profile: None,
+            observed: 0,
+        }
+    }
+
+    /// Total points observed.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Number of delays currently windowed.
+    pub fn window_len(&self) -> usize {
+        self.delays.len()
+    }
+
+    /// Feeds one written point; returns whether a (re-)tune is warranted.
+    pub fn observe(&mut self, p: &DataPoint) -> AnalyzerEvent {
+        self.observed += 1;
+        if self.delays.len() == self.config.window {
+            self.delays.pop_front();
+            self.gen_times.pop_front();
+        }
+        self.delays.push_back(p.delay() as f64);
+        self.gen_times.push_back(p.gen_time);
+
+        if self.delays.len() < self.config.min_samples
+            || self.observed % self.config.check_every as u64 != 0
+        {
+            return AnalyzerEvent::None;
+        }
+        match &self.profile {
+            None => AnalyzerEvent::NeedsInitialTune,
+            Some(profile) => {
+                let current: Vec<f64> = self.delays.iter().copied().collect();
+                let d = ks_two_sample(profile, &current);
+                let crit = ks_critical(
+                    profile.len(),
+                    current.len(),
+                    self.config.ks_alpha,
+                );
+                if d > crit {
+                    AnalyzerEvent::DriftDetected
+                } else {
+                    AnalyzerEvent::None
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the current delay window.
+    pub fn current_delays(&self) -> Vec<f64> {
+        self.delays.iter().copied().collect()
+    }
+
+    /// Builds the empirical delay distribution over the current window.
+    ///
+    /// Returns `None` with fewer than two windowed delays.
+    pub fn build_distribution(&self) -> Option<Empirical> {
+        if self.delays.len() < 2 {
+            return None;
+        }
+        Some(Empirical::from_samples(&self.current_delays()))
+    }
+
+    /// Estimated generation interval `Δt`: the median gap between
+    /// consecutive *sorted* generation timestamps in the window.
+    ///
+    /// Sorting first makes the estimate robust to out-of-order arrival; the
+    /// median makes it robust to gaps from lost points.
+    pub fn estimated_delta_t(&self) -> Option<f64> {
+        if self.gen_times.len() < 2 {
+            return None;
+        }
+        let mut sorted: Vec<i64> = self.gen_times.iter().copied().collect();
+        sorted.sort_unstable();
+        let mut gaps: Vec<i64> = sorted
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .filter(|&g| g > 0)
+            .collect();
+        if gaps.is_empty() {
+            return None;
+        }
+        gaps.sort_unstable();
+        Some(gaps[gaps.len() / 2] as f64)
+    }
+
+    /// Marks the current window as the in-force profile (call after tuning).
+    pub fn mark_tuned(&mut self) {
+        self.profile = Some(self.current_delays());
+    }
+
+    /// `true` once a profile is in force.
+    pub fn has_profile(&self) -> bool {
+        self.profile.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config_small() -> AnalyzerConfig {
+        AnalyzerConfig { window: 256, min_samples: 64, check_every: 64, ks_alpha: 0.01 }
+    }
+
+    fn feed(
+        analyzer: &mut DelayAnalyzer,
+        n: usize,
+        start_tg: i64,
+        dt: i64,
+        delay: impl Fn(usize) -> i64,
+    ) -> (Vec<AnalyzerEvent>, i64) {
+        let mut events = Vec::new();
+        let mut tg = start_tg;
+        for i in 0..n {
+            let e = analyzer.observe(&DataPoint::with_delay(tg, delay(i), 0.0));
+            if e != AnalyzerEvent::None {
+                events.push(e);
+            }
+            tg += dt;
+        }
+        (events, tg)
+    }
+
+    #[test]
+    fn first_tune_is_proposed_after_min_samples() {
+        let mut a = DelayAnalyzer::new(config_small());
+        let (events, _) = feed(&mut a, 64, 0, 50, |i| (i as i64 * 7) % 100);
+        assert_eq!(events, vec![AnalyzerEvent::NeedsInitialTune]);
+    }
+
+    #[test]
+    fn stable_distribution_never_drifts() {
+        let mut a = DelayAnalyzer::new(config_small());
+        let (_, next_tg) = feed(&mut a, 64, 0, 50, |i| (i as i64 * 7) % 100);
+        a.mark_tuned();
+        let (events, _) = feed(&mut a, 1000, next_tg, 50, |i| (i as i64 * 7) % 100);
+        assert!(events.is_empty(), "false drift: {events:?}");
+    }
+
+    #[test]
+    fn distribution_shift_is_detected() {
+        let mut a = DelayAnalyzer::new(config_small());
+        let (_, next_tg) = feed(&mut a, 256, 0, 50, |i| (i as i64 * 7) % 100);
+        a.mark_tuned();
+        // Delays jump by an order of magnitude.
+        let (events, _) =
+            feed(&mut a, 512, next_tg, 50, |i| 2_000 + (i as i64 * 13) % 500);
+        assert!(
+            events.contains(&AnalyzerEvent::DriftDetected),
+            "drift not detected: {events:?}"
+        );
+    }
+
+    #[test]
+    fn delta_t_is_estimated_from_sorted_gen_times() {
+        let mut a = DelayAnalyzer::new(config_small());
+        // Out-of-order arrival of a Δt=50 series.
+        for &tg in &[100i64, 0, 200, 50, 150, 300, 250] {
+            a.observe(&DataPoint::with_delay(tg, 5, 0.0));
+        }
+        assert_eq!(a.estimated_delta_t(), Some(50.0));
+    }
+
+    #[test]
+    fn delta_t_ignores_duplicate_timestamps() {
+        let mut a = DelayAnalyzer::new(config_small());
+        for &tg in &[0i64, 0, 50, 50, 100] {
+            a.observe(&DataPoint::with_delay(tg, 5, 0.0));
+        }
+        assert_eq!(a.estimated_delta_t(), Some(50.0));
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut a = DelayAnalyzer::new(config_small());
+        feed(&mut a, 10_000, 0, 50, |_| 5);
+        assert_eq!(a.window_len(), 256);
+        assert_eq!(a.observed(), 10_000);
+    }
+
+    #[test]
+    fn build_distribution_reflects_window() {
+        let mut a = DelayAnalyzer::new(config_small());
+        feed(&mut a, 256, 0, 50, |_| 42);
+        let d = a.build_distribution().expect("distribution");
+        use seplsm_dist::DelayDistribution;
+        assert_eq!(d.quantile(0.5), 42.0);
+    }
+
+    #[test]
+    fn empty_analyzer_has_no_estimates() {
+        let a = DelayAnalyzer::new(config_small());
+        assert!(a.build_distribution().is_none());
+        assert!(a.estimated_delta_t().is_none());
+        assert!(!a.has_profile());
+    }
+}

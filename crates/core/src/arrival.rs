@@ -1,0 +1,168 @@
+//! The arrival-rate-ratio model `g(·)` (paper Eq. 1).
+//!
+//! Under `π_s`, in-order and out-of-order points accumulate in separate
+//! MemTables, so the WA model needs the *ratio* of the two arrival streams:
+//! for `n_seq` in-order points to arrive, how many out-of-order points
+//! `g(n_seq)` arrive alongside?
+//!
+//! The paper's derivation: among `α` points collected after a flush, the
+//! `i`-th arrival is in order with probability `F(ι_i)` where
+//! `ι_i = t_a − LAST(R).t_g` grows by ≈`Δt` per arrival. The expected
+//! in-order count is `x(α) = Σ_{i=1..α} F(i·Δt)` and the expected
+//! out-of-order count is `g = α − x(α)` (Eq. 1). Solving `x(α) = n_seq`
+//! for `α` (with fractional interpolation on the final step) gives
+//! `g(n_seq) = α − n_seq`.
+
+use std::sync::Arc;
+
+use seplsm_dist::DelayDistribution;
+use seplsm_types::{Error, Result};
+
+/// Evaluator for `g(n_seq)`.
+pub struct ArrivalRatioModel {
+    dist: Arc<dyn DelayDistribution>,
+    delta_t: f64,
+    /// Abort if `α` exceeds this (pathologically heavy tails where almost
+    /// every arrival is out of order).
+    max_alpha: usize,
+}
+
+impl ArrivalRatioModel {
+    /// Default cap on the solved-for `α`.
+    pub const DEFAULT_MAX_ALPHA: usize = 50_000_000;
+
+    /// Creates the model for the given delay law and generation interval.
+    pub fn new(dist: Arc<dyn DelayDistribution>, delta_t: f64) -> Self {
+        assert!(delta_t > 0.0, "delta_t must be positive");
+        Self { dist, delta_t, max_alpha: Self::DEFAULT_MAX_ALPHA }
+    }
+
+    /// Overrides the `α` cap.
+    pub fn with_max_alpha(mut self, max_alpha: usize) -> Self {
+        self.max_alpha = max_alpha;
+        self
+    }
+
+    /// Expected number of out-of-order arrivals accompanying `n_seq`
+    /// in-order arrivals.
+    ///
+    /// Returns 0 when delays never produce out-of-order points (e.g. a
+    /// constant-zero delay law).
+    ///
+    /// # Errors
+    /// [`Error::Model`] if the in-order stream is so thin that `α` exceeds
+    /// the cap before `x(α)` reaches `n_seq`.
+    pub fn g(&self, n_seq: f64) -> Result<f64> {
+        assert!(n_seq > 0.0, "n_seq must be positive");
+        let mut in_order = 0.0; // x(α)
+        let mut alpha = 0usize;
+        loop {
+            alpha += 1;
+            if alpha > self.max_alpha {
+                return Err(Error::Model(format!(
+                    "arrival-ratio model: alpha exceeded {} before reaching \
+                     n_seq={n_seq} (dist {})",
+                    self.max_alpha,
+                    self.dist.label()
+                )));
+            }
+            let p = self.dist.cdf(alpha as f64 * self.delta_t).clamp(0.0, 1.0);
+            if in_order + p >= n_seq {
+                // Interpolate the fractional final arrival.
+                let need = n_seq - in_order;
+                let alpha_frac = if p > 0.0 {
+                    (alpha - 1) as f64 + need / p
+                } else {
+                    alpha as f64
+                };
+                return Ok((alpha_frac - n_seq).max(0.0));
+            }
+            in_order += p;
+        }
+    }
+
+    /// Expected out-of-order count among `alpha` arrivals — the raw Eq. 1
+    /// form `g = α − Σ F(ι_i)`.
+    pub fn expected_out_of_order(&self, alpha: usize) -> f64 {
+        let in_order: f64 = (1..=alpha)
+            .map(|i| self.dist.cdf(i as f64 * self.delta_t).clamp(0.0, 1.0))
+            .sum();
+        (alpha as f64 - in_order).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seplsm_dist::{Constant, LogNormal, Uniform};
+
+    #[test]
+    fn zero_delay_has_no_out_of_order() {
+        let m = ArrivalRatioModel::new(Arc::new(Constant::new(0.0)), 50.0);
+        assert_eq!(m.g(100.0).expect("g"), 0.0);
+        assert_eq!(m.expected_out_of_order(1000), 0.0);
+    }
+
+    #[test]
+    fn uniform_delay_closed_form() {
+        // Uniform[0, 100], Δt = 50: F(50) = 0.5, F(100) = 1, F(150+) = 1.
+        // x(α) = 0.5 + 1 + 1 + … so g stabilises at a small constant.
+        let m = ArrivalRatioModel::new(Arc::new(Uniform::new(0.0, 100.0)), 50.0);
+        // For n_seq = 0.5: α = 1 exactly, g = 0.5.
+        assert!((m.g(0.5).expect("g") - 0.5).abs() < 1e-9);
+        // For large n_seq, only the first arrival is ever out of order in
+        // expectation: g → 0.5.
+        assert!((m.g(100.0).expect("g") - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavier_tail_increases_g() {
+        let light =
+            ArrivalRatioModel::new(Arc::new(LogNormal::new(4.0, 1.5)), 50.0);
+        let heavy =
+            ArrivalRatioModel::new(Arc::new(LogNormal::new(5.0, 2.0)), 50.0);
+        let gl = light.g(256.0).expect("light");
+        let gh = heavy.g(256.0).expect("heavy");
+        assert!(gh > gl, "heavy {gh} <= light {gl}");
+    }
+
+    #[test]
+    fn larger_interval_decreases_g() {
+        let fast = ArrivalRatioModel::new(Arc::new(LogNormal::new(5.0, 2.0)), 10.0);
+        let slow = ArrivalRatioModel::new(Arc::new(LogNormal::new(5.0, 2.0)), 50.0);
+        assert!(fast.g(256.0).expect("fast") > slow.g(256.0).expect("slow"));
+    }
+
+    #[test]
+    fn g_is_monotone_in_n_seq() {
+        let m = ArrivalRatioModel::new(Arc::new(LogNormal::new(5.0, 2.0)), 50.0);
+        let mut prev = 0.0;
+        for n_seq in [1.0, 16.0, 64.0, 256.0, 448.0] {
+            let g = m.g(n_seq).expect("g");
+            assert!(g >= prev - 1e-9, "g({n_seq})={g} < {prev}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn eq1_consistency_between_forms() {
+        // g(x(α)) should recover α − x(α).
+        let m = ArrivalRatioModel::new(Arc::new(LogNormal::new(4.0, 1.75)), 50.0);
+        let alpha = 300usize;
+        let ooo = m.expected_out_of_order(alpha);
+        let in_order = alpha as f64 - ooo;
+        let g = m.g(in_order).expect("g");
+        assert!((g - ooo).abs() < 1e-6, "g={g}, direct={ooo}");
+    }
+
+    #[test]
+    fn pathological_distribution_hits_cap() {
+        // Delays so long that F(i·Δt) ≈ 0 for any reachable i.
+        let m = ArrivalRatioModel::new(
+            Arc::new(Constant::new(1e15)),
+            50.0,
+        )
+        .with_max_alpha(10_000);
+        assert!(m.g(1.0).is_err());
+    }
+}

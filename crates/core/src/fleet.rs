@@ -1,0 +1,216 @@
+//! Per-series adaptive tuning over a multi-series store (§VI at fleet scale).
+//!
+//! The industrial deployment stores thousands of series per IoTDB instance,
+//! and their delay behaviours differ: a vehicle in good coverage produces
+//! clean in-order telemetry while another is stuck behind batched re-sends.
+//! [`FleetAdaptiveEngine`] runs one [`DelayAnalyzer`] per series over a
+//! shared [`MultiSeriesEngine`], so every series converges to its own
+//! policy — `π_c` for the clean ones, a tuned `π_s(n̂*_seq)` for the
+//! disordered ones.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use seplsm_dist::DelayDistribution;
+use seplsm_lsm::{EngineConfig, MemStore, MultiSeriesEngine, SeriesId, TableStore};
+use seplsm_types::{DataPoint, Policy, Result};
+
+use crate::adaptive::AdaptiveConfig;
+use crate::analyzer::{AnalyzerEvent, DelayAnalyzer};
+use crate::tuner::tune;
+use crate::wa::WaModel;
+
+/// Per-series tuning state.
+struct SeriesState {
+    analyzer: DelayAnalyzer,
+    last_tune_at: u64,
+    tunes: u32,
+}
+
+/// A fleet of independently-tuned series.
+pub struct FleetAdaptiveEngine {
+    engine: MultiSeriesEngine,
+    config: AdaptiveConfig,
+    state: HashMap<SeriesId, SeriesState>,
+}
+
+impl FleetAdaptiveEngine {
+    /// Creates a fleet engine; every series starts under `π_c` with the
+    /// configured budget and is tuned independently.
+    pub fn new(config: AdaptiveConfig, store: Arc<dyn TableStore>) -> Self {
+        let template = EngineConfig::conventional(config.budget)
+            .with_sstable_points(config.sstable_points);
+        Self {
+            engine: MultiSeriesEngine::new(template, store),
+            config,
+            state: HashMap::new(),
+        }
+    }
+
+    /// In-memory-store convenience constructor.
+    pub fn in_memory(config: AdaptiveConfig) -> Self {
+        Self::new(config, Arc::new(MemStore::new()))
+    }
+
+    /// The underlying multi-series engine.
+    pub fn engine(&self) -> &MultiSeriesEngine {
+        &self.engine
+    }
+
+    /// Active policy of `series`, if it exists.
+    pub fn policy(&self, series: SeriesId) -> Option<Policy> {
+        self.engine.engine(series).map(|e| e.policy())
+    }
+
+    /// Number of tuning decisions taken for `series`.
+    pub fn tunes(&self, series: SeriesId) -> u32 {
+        self.state.get(&series).map_or(0, |s| s.tunes)
+    }
+
+    /// Writes one point, running the per-series analyzer.
+    ///
+    /// # Errors
+    /// Storage failures; tuning failures leave the current policy in force.
+    pub fn append(&mut self, series: SeriesId, p: DataPoint) -> Result<()> {
+        self.engine.append(series, p)?;
+        let analyzer_config = self.config.analyzer;
+        let state = self.state.entry(series).or_insert_with(|| SeriesState {
+            analyzer: DelayAnalyzer::new(analyzer_config),
+            last_tune_at: 0,
+            tunes: 0,
+        });
+        let event = state.analyzer.observe(&p);
+        let user_points = self
+            .engine
+            .engine(series)
+            .map(|e| e.metrics().user_points)
+            .unwrap_or(0);
+        let due = match event {
+            AnalyzerEvent::None => false,
+            AnalyzerEvent::NeedsInitialTune => true,
+            AnalyzerEvent::DriftDetected => {
+                user_points
+                    >= state.last_tune_at + self.config.min_points_between_tunes
+            }
+        };
+        if !due {
+            return Ok(());
+        }
+        let Some(dist) = state.analyzer.build_distribution() else {
+            return Ok(());
+        };
+        let Some(delta_t) = state.analyzer.estimated_delta_t() else {
+            return Ok(());
+        };
+        let model = WaModel::with_zeta_config(
+            Arc::new(dist) as Arc<dyn DelayDistribution>,
+            delta_t,
+            self.config.budget,
+            self.config.zeta,
+        );
+        let Ok(outcome) = tune(&model, self.config.tuner) else {
+            return Ok(());
+        };
+        self.engine.set_policy(series, outcome.decision)?;
+        state.analyzer.mark_tuned();
+        state.last_tune_at = user_points;
+        state.tunes += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::AnalyzerConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use seplsm_dist::{Constant, LogNormal};
+    use seplsm_types::TimeRange;
+
+    fn config() -> AdaptiveConfig {
+        AdaptiveConfig::new(64)
+            .with_sstable_points(32)
+            .with_analyzer(AnalyzerConfig {
+                window: 512,
+                min_samples: 256,
+                check_every: 128,
+                ks_alpha: 0.01,
+            })
+    }
+
+    #[test]
+    fn series_converge_to_different_policies() {
+        let mut fleet = FleetAdaptiveEngine::in_memory(config());
+        let clean = SeriesId(1);
+        let messy = SeriesId(2);
+        let wild = LogNormal::new(6.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(9);
+
+        // Interleave a clean and a heavily disordered series.
+        let mut messy_points: Vec<DataPoint> = (0..3000)
+            .map(|i| {
+                DataPoint::with_delay(
+                    i as i64 * 50,
+                    wild.sample(&mut rng) as i64,
+                    0.0,
+                )
+            })
+            .collect();
+        messy_points.sort_by_key(|p| p.arrival_time);
+        for (i, mp) in messy_points.iter().enumerate() {
+            fleet
+                .append(clean, DataPoint::new(i as i64 * 50, i as i64 * 50, 1.0))
+                .expect("clean append");
+            fleet.append(messy, *mp).expect("messy append");
+        }
+
+        assert!(fleet.tunes(clean) >= 1);
+        assert!(fleet.tunes(messy) >= 1);
+        let clean_policy = fleet.policy(clean).expect("clean exists");
+        let messy_policy = fleet.policy(messy).expect("messy exists");
+        assert!(!clean_policy.is_separation(), "clean series must stay pi_c");
+        assert!(
+            messy_policy.is_separation(),
+            "disordered series must switch to pi_s, got {}",
+            messy_policy.name()
+        );
+    }
+
+    #[test]
+    fn all_data_remains_queryable_per_series() {
+        let mut fleet = FleetAdaptiveEngine::in_memory(config());
+        for s in 0..5u32 {
+            for i in 0..600i64 {
+                fleet
+                    .append(
+                        SeriesId(s),
+                        DataPoint::new(i * 50, i * 50 + (i % 7) * 10, s as f64),
+                    )
+                    .expect("append");
+            }
+        }
+        for s in 0..5u32 {
+            let (pts, _) = fleet
+                .engine()
+                .query(SeriesId(s), TimeRange::new(0, 600 * 50))
+                .expect("query");
+            assert_eq!(pts.len(), 600, "series {s}");
+            assert!(pts.iter().all(|p| p.value == s as f64));
+        }
+    }
+
+    #[test]
+    fn zero_delay_series_never_switches() {
+        let mut fleet = FleetAdaptiveEngine::in_memory(config());
+        let d = Constant::new(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..2000i64 {
+            let delay = d.sample(&mut rng) as i64;
+            fleet
+                .append(SeriesId(0), DataPoint::with_delay(i * 50, delay, 0.0))
+                .expect("append");
+        }
+        assert!(!fleet.policy(SeriesId(0)).expect("exists").is_separation());
+    }
+}

@@ -1,0 +1,228 @@
+//! A first-order read-cost model (extension).
+//!
+//! The paper *measures* query behaviour (Figs. 12–15, 20) and explains it
+//! qualitatively: recent-window cost is dominated by the newest flushed
+//! file; historical cost by how many (and how wide) files overlap the
+//! queried period, where `π_c` files are widened by the out-of-order points
+//! mixed into each flush. This module turns those explanations into simple
+//! closed-form estimates so the trade-off can be reasoned about *before*
+//! running a workload — an extension beyond the paper's scope, validated
+//! qualitatively against the measured experiments in `tests/`.
+//!
+//! Modelling assumptions (deliberately first-order):
+//! * arrivals come at rate `1/Δt`; a buffer of capacity `c` flushes every
+//!   `c·Δt` ms and produces a file of `c` points;
+//! * a recent window of `w` ms overlaps the newest file with probability
+//!   `min(1, w/(c·Δt))` (the file's right edge trails the write head
+//!   uniformly);
+//! * a `π_c` file's generation-time span is widened beyond `c·Δt` by the
+//!   out-of-order points it contains — approximated by the delay
+//!   distribution's `1 − 1/c` quantile (the expected extreme delay among
+//!   the `c` buffered points); `π_s` in-order files have no widening.
+
+use std::sync::Arc;
+
+use seplsm_dist::DelayDistribution;
+use seplsm_types::Policy;
+
+/// Estimated cost of one recent-window query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecentQueryEstimate {
+    /// Probability the query touches the newest on-disk file at all.
+    pub disk_hit_probability: f64,
+    /// Expected SSTable seeks per query.
+    pub expected_seeks: f64,
+    /// Expected on-disk points scanned per query.
+    pub expected_scanned: f64,
+    /// Expected points returned (`w/Δt`).
+    pub expected_returned: f64,
+    /// Expected read amplification (`scanned/returned`).
+    pub expected_ra: f64,
+}
+
+/// Estimated cost of one historical query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistoricalQueryEstimate {
+    /// Effective generation-time span of one flushed file (ms).
+    pub file_span_ms: f64,
+    /// Expected files overlapping the query window.
+    pub expected_seeks: f64,
+    /// Expected on-disk points scanned per query.
+    pub expected_scanned: f64,
+}
+
+/// Read-cost estimator for one workload.
+pub struct ReadCostModel {
+    dist: Arc<dyn DelayDistribution>,
+    delta_t: f64,
+}
+
+impl ReadCostModel {
+    /// Creates the estimator for the given delay law and interval `Δt`.
+    pub fn new(dist: Arc<dyn DelayDistribution>, delta_t: f64) -> Self {
+        assert!(delta_t > 0.0, "delta_t must be positive");
+        Self { dist, delta_t }
+    }
+
+    /// The flush file size (points) produced by the policy's in-order path:
+    /// `n` under `π_c`, `n_seq` under `π_s`.
+    fn flush_points(policy: Policy) -> f64 {
+        match policy {
+            Policy::Conventional { capacity } => capacity as f64,
+            Policy::Separation { seq_capacity, .. } => seq_capacity as f64,
+        }
+    }
+
+    /// Widening of a flushed file's span by buffered out-of-order points:
+    /// zero for `π_s` in-order files, the `1 − 1/c` delay quantile for `π_c`.
+    fn span_widening_ms(&self, policy: Policy) -> f64 {
+        match policy {
+            Policy::Conventional { capacity } => {
+                let q = 1.0 - 1.0 / (capacity as f64).max(2.0);
+                self.dist.quantile(q).max(0.0)
+            }
+            Policy::Separation { .. } => 0.0,
+        }
+    }
+
+    /// Effective span (ms) of one flushed file under `policy`.
+    pub fn file_span_ms(&self, policy: Policy) -> f64 {
+        Self::flush_points(policy) * self.delta_t + self.span_widening_ms(policy)
+    }
+
+    /// Estimates one recent-window query of `window_ms`.
+    pub fn recent(&self, policy: Policy, window_ms: f64) -> RecentQueryEstimate {
+        assert!(window_ms > 0.0);
+        let file_points = Self::flush_points(policy);
+        let flush_period_ms = file_points * self.delta_t;
+        let p = (window_ms / flush_period_ms).min(1.0);
+        let expected_returned = window_ms / self.delta_t;
+        let expected_scanned = p * file_points;
+        RecentQueryEstimate {
+            disk_hit_probability: p,
+            expected_seeks: p,
+            expected_scanned,
+            expected_returned,
+            expected_ra: expected_scanned / expected_returned,
+        }
+    }
+
+    /// Estimates one historical query of `window_ms` against a backlog of
+    /// `backlog_files` uncompacted level-1 files plus the compacted run.
+    pub fn historical(
+        &self,
+        policy: Policy,
+        window_ms: f64,
+        backlog_files: f64,
+    ) -> HistoricalQueryEstimate {
+        assert!(window_ms > 0.0 && backlog_files >= 0.0);
+        let file_points = Self::flush_points(policy);
+        let span = self.file_span_ms(policy);
+        // Run tables: non-overlapping, so the window touches
+        // 1 + w/(table span) of them; table span has no widening once
+        // compacted.
+        let run_span = policy.total_capacity() as f64 * self.delta_t;
+        let run_seeks = 1.0 + window_ms / run_span;
+        // Backlog files each overlap an interior window with probability
+        // (span + w) / (backlog extent). Approximating the backlog as spread
+        // over `backlog_files` flush periods:
+        let backlog_extent =
+            (backlog_files * file_points * self.delta_t).max(span + window_ms);
+        let backlog_seeks =
+            backlog_files * ((span + window_ms) / backlog_extent).min(1.0);
+        let expected_seeks = run_seeks + backlog_seeks;
+        HistoricalQueryEstimate {
+            file_span_ms: span,
+            expected_seeks,
+            expected_scanned: run_seeks * policy.total_capacity() as f64
+                + backlog_seeks * file_points,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seplsm_dist::{Constant, LogNormal};
+
+    fn model(mu: f64, sigma: f64, dt: f64) -> ReadCostModel {
+        ReadCostModel::new(Arc::new(LogNormal::new(mu, sigma)), dt)
+    }
+
+    #[test]
+    fn recent_ra_is_file_size_over_window_when_hit() {
+        let m = model(4.0, 1.5, 50.0);
+        let est = m.recent(Policy::conventional(512), 5_000.0);
+        // Hit probability 5000/25600; scanned = p*512; returned = 100.
+        assert!((est.disk_hit_probability - 5_000.0 / 25_600.0).abs() < 1e-12);
+        assert!((est.expected_returned - 100.0).abs() < 1e-12);
+        assert!(est.expected_ra > 0.9 && est.expected_ra < 1.1);
+    }
+
+    #[test]
+    fn window_larger_than_flush_period_always_hits() {
+        let m = model(4.0, 1.5, 10.0);
+        let est = m.recent(Policy::conventional(512), 10_000.0);
+        assert_eq!(est.disk_hit_probability, 1.0);
+        assert_eq!(est.expected_seeks, 1.0);
+    }
+
+    #[test]
+    fn separation_reduces_scanned_points_per_hit() {
+        let m = model(5.0, 2.0, 50.0);
+        let conv = m.recent(Policy::conventional(512), 2_000.0);
+        let sep = m.recent(
+            Policy::separation(512, 128).expect("policy"),
+            2_000.0,
+        );
+        // Smaller files: hits are more likely but each is cheaper.
+        assert!(sep.disk_hit_probability > conv.disk_hit_probability);
+        assert!(
+            sep.expected_scanned <= conv.expected_scanned + 1e-9,
+            "sep {} vs conv {}",
+            sep.expected_scanned,
+            conv.expected_scanned
+        );
+    }
+
+    #[test]
+    fn pi_c_files_are_widened_by_disorder() {
+        let heavy = model(5.0, 2.0, 50.0);
+        let none = ReadCostModel::new(Arc::new(Constant::new(0.0)), 50.0);
+        let widened = heavy.file_span_ms(Policy::conventional(512));
+        let tight = none.file_span_ms(Policy::conventional(512));
+        assert!(widened > tight, "widened {widened} <= tight {tight}");
+        // pi_s in-order files never widen.
+        let sep = Policy::separation(512, 256).expect("policy");
+        assert_eq!(heavy.file_span_ms(sep), 256.0 * 50.0);
+    }
+
+    #[test]
+    fn historical_seeks_grow_with_disorder_under_pi_c() {
+        let mild = model(4.0, 1.5, 10.0);
+        let wild = model(5.0, 2.0, 10.0);
+        let backlog = 3.0;
+        let h_mild = mild.historical(Policy::conventional(512), 1_000.0, backlog);
+        let h_wild = wild.historical(Policy::conventional(512), 1_000.0, backlog);
+        assert!(
+            h_wild.expected_seeks > h_mild.expected_seeks,
+            "wild {} <= mild {}",
+            h_wild.expected_seeks,
+            h_mild.expected_seeks
+        );
+        // And pi_s is immune to the widening.
+        let sep = Policy::separation(512, 256).expect("policy");
+        let s_wild = wild.historical(sep, 1_000.0, backlog);
+        assert!(s_wild.expected_seeks < h_wild.expected_seeks);
+    }
+
+    #[test]
+    fn historical_seeks_grow_with_window() {
+        let m = model(4.0, 1.75, 50.0);
+        let pol = Policy::conventional(512);
+        let small = m.historical(pol, 500.0, 2.0);
+        let large = m.historical(pol, 5_000.0, 2.0);
+        assert!(large.expected_seeks > small.expected_seeks);
+        assert!(large.expected_scanned > small.expected_scanned);
+    }
+}

@@ -1,0 +1,220 @@
+//! Algorithm 1: the Separation Policy Tuning Algorithm.
+//!
+//! Given the memory budget `n`, the delay distribution and the generation
+//! interval, the tuner evaluates `r_c` and scans `r_s(n_seq)` over
+//! `n_seq ∈ [1, n−1]`, returning the policy with the lower predicted WA —
+//! `π_c`, or `π_s(n̂*_seq)` with the minimising capacity.
+//!
+//! A coarse-then-refine scan keeps the number of ζ evaluations manageable
+//! for online use (the paper calls the result "(sub)optimal"): a first pass
+//! at `step` granularity, then a unit-step pass around the coarse minimum.
+
+use seplsm_types::{Policy, Result};
+use serde::Serialize;
+
+use crate::wa::WaModel;
+
+/// Scan options for Algorithm 1.
+#[derive(Debug, Clone, Copy)]
+pub struct TunerOptions {
+    /// Coarse scan granularity over `n_seq` (1 = exhaustive, the paper's
+    /// literal loop).
+    pub step: usize,
+    /// Record the whole `(n_seq, r_s)` curve (for plotting Figs. 7/9).
+    pub record_curve: bool,
+}
+
+impl Default for TunerOptions {
+    fn default() -> Self {
+        Self { step: 1, record_curve: false }
+    }
+}
+
+impl TunerOptions {
+    /// Exhaustive unit-step scan recording the full curve.
+    pub fn exhaustive_with_curve() -> Self {
+        Self { step: 1, record_curve: true }
+    }
+
+    /// Coarse scan for online use (≈128 coarse evaluations + refinement).
+    pub fn online(n: usize) -> Self {
+        Self { step: (n / 128).max(1), record_curve: false }
+    }
+}
+
+/// The outcome of one tuning run.
+#[derive(Debug, Clone, Serialize)]
+pub struct TuningOutcome {
+    /// Predicted WA under `π_c`.
+    pub r_c: f64,
+    /// Minimising in-order capacity `n̂*_seq`.
+    pub best_n_seq: usize,
+    /// Predicted minimum WA under `π_s`, `r*_s = r_s(n̂*_seq)`.
+    pub r_s_star: f64,
+    /// The chosen policy (line 10–14 of Algorithm 1).
+    pub decision: Policy,
+    /// The scanned `(n_seq, r_s(n_seq))` curve, if requested.
+    pub curve: Vec<(usize, f64)>,
+}
+
+impl TuningOutcome {
+    /// `true` when the tuner chose the separation policy.
+    pub fn chose_separation(&self) -> bool {
+        self.decision.is_separation()
+    }
+}
+
+/// Runs Algorithm 1 against a [`WaModel`].
+///
+/// # Errors
+/// Propagates model failures (pathological arrival-ratio solves).
+pub fn tune(model: &WaModel, options: TunerOptions) -> Result<TuningOutcome> {
+    let n = model.budget();
+    let r_c = model.wa_conventional();
+
+    let mut curve = Vec::new();
+    let mut best_n_seq = 0usize;
+    let mut r_s_star = f64::INFINITY;
+
+    let evaluate = |n_seq: usize,
+                        curve: &mut Vec<(usize, f64)>,
+                        best_n_seq: &mut usize,
+                        r_s_star: &mut f64|
+     -> Result<()> {
+        let est = model.wa_separation(n_seq)?;
+        if options.record_curve {
+            curve.push((n_seq, est.wa));
+        }
+        if est.wa < *r_s_star {
+            *r_s_star = est.wa;
+            *best_n_seq = n_seq;
+        }
+        Ok(())
+    };
+
+    // Coarse pass (lines 4–9 of Algorithm 1, at `step` granularity).
+    let step = options.step.max(1);
+    let mut n_seq = 1usize;
+    while n_seq < n {
+        evaluate(n_seq, &mut curve, &mut best_n_seq, &mut r_s_star)?;
+        n_seq += step;
+    }
+    // Always include the right edge so the coarse grid cannot miss it.
+    if step > 1 && (n - 1) % step != 1 % step {
+        evaluate(n - 1, &mut curve, &mut best_n_seq, &mut r_s_star)?;
+    }
+    // Refinement around the coarse minimum.
+    if step > 1 {
+        let lo = best_n_seq.saturating_sub(step).max(1);
+        let hi = (best_n_seq + step).min(n - 1);
+        for n_seq in lo..=hi {
+            evaluate(n_seq, &mut curve, &mut best_n_seq, &mut r_s_star)?;
+        }
+    }
+
+    if options.record_curve {
+        curve.sort_by_key(|&(s, _)| s);
+        curve.dedup_by_key(|&mut (s, _)| s);
+    }
+
+    let decision = if r_s_star < r_c {
+        Policy::separation(n, best_n_seq)?
+    } else {
+        Policy::conventional(n)
+    };
+    Ok(TuningOutcome { r_c, best_n_seq, r_s_star, decision, curve })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zeta::ZetaConfig;
+    use seplsm_dist::{Constant, LogNormal, Mixture, Shifted};
+    use std::sync::Arc;
+
+    fn model(mu: f64, sigma: f64, dt: f64, n: usize) -> WaModel {
+        WaModel::new(Arc::new(LogNormal::new(mu, sigma)), dt, n)
+    }
+
+    #[test]
+    fn in_order_workload_chooses_conventional() {
+        let m = WaModel::new(Arc::new(Constant::new(0.0)), 50.0, 64);
+        let out = tune(&m, TunerOptions::default()).expect("tune");
+        // Both predict WA 1; the tie-break (strict <) keeps pi_c.
+        assert!(!out.chose_separation());
+        assert!((out.r_c - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_straggler_workload_chooses_separation() {
+        // Mostly prompt arrivals plus a heavy straggler mode: the S-9-style
+        // scenario where the paper shows pi_s wins (Fig. 11).
+        let dist = Mixture::of_two(
+            0.9,
+            LogNormal::new(2.0, 0.5),
+            0.1,
+            Shifted::new(LogNormal::new(4.0, 1.0), 5_000.0),
+        );
+        let m = WaModel::new(Arc::new(dist), 50.0, 128);
+        let out = tune(&m, TunerOptions::default()).expect("tune");
+        assert!(
+            out.chose_separation(),
+            "r_c={}, r_s*={} at n_seq={}",
+            out.r_c,
+            out.r_s_star,
+            out.best_n_seq
+        );
+        assert!(out.r_s_star < out.r_c);
+    }
+
+    #[test]
+    fn curve_is_recorded_and_covers_the_domain() {
+        let m = model(5.0, 2.0, 50.0, 64);
+        let out = tune(&m, TunerOptions::exhaustive_with_curve()).expect("tune");
+        assert_eq!(out.curve.len(), 63);
+        assert_eq!(out.curve.first().expect("first").0, 1);
+        assert_eq!(out.curve.last().expect("last").0, 63);
+        // The recorded minimum matches the reported one.
+        let (min_seq, min_wa) = out
+            .curve
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty");
+        assert_eq!(min_seq, out.best_n_seq);
+        assert!((min_wa - out.r_s_star).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coarse_scan_approaches_exhaustive_minimum() {
+        let m = model(5.0, 2.0, 20.0, 256);
+        let exact = tune(&m, TunerOptions::default()).expect("exact");
+        let coarse = tune(&m, TunerOptions::online(256)).expect("coarse");
+        assert!(
+            coarse.r_s_star <= exact.r_s_star * 1.02 + 1e-9,
+            "coarse {} vs exact {}",
+            coarse.r_s_star,
+            exact.r_s_star
+        );
+    }
+
+    #[test]
+    fn decision_carries_the_best_split() {
+        let m = WaModel::with_zeta_config(
+            Arc::new(LogNormal::new(5.0, 2.0)),
+            10.0,
+            128,
+            ZetaConfig::default(),
+        );
+        let out = tune(&m, TunerOptions::default()).expect("tune");
+        if let Policy::Separation { seq_capacity, nonseq_capacity } = out.decision
+        {
+            assert_eq!(seq_capacity, out.best_n_seq);
+            assert_eq!(seq_capacity + nonseq_capacity, 128);
+        } else {
+            // Under severe disorder separation should win; if not, r_c must
+            // genuinely be smaller.
+            assert!(out.r_c <= out.r_s_star);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The write-amplification models `r_c` (Eq. 3) and `r_s(n_seq)` (Eq. 5).
+//!
+//! Given the delay distribution, the generation interval `Δt`, and the memory
+//! budget `n`, [`WaModel`] predicts:
+//!
+//! * `r_c = ζ(n)/n + 1` — WA under the conventional policy;
+//! * `r_s(n_seq)` — WA under the separation policy with in-order capacity
+//!   `n_seq`, derived from one *phase* (one fill/merge cycle of `C_nonseq`):
+//!
+//! ```text
+//! N_arrive(n_seq) = n_seq·(n−n_seq)/g(n_seq) + (n−n_seq)          (Eq. 4)
+//! n'_seq          = (1 + n_nonseq/g − ⌈n_nonseq/g⌉)·n_seq
+//! r_s(n_seq)      = ζ(N_arrive)/N_arrive + 1
+//!                   + (n − n_seq + n'_seq)/N_arrive               (Eq. 5)
+//! ```
+//!
+//! `n'_seq` is the expected number of in-order points still buffered in
+//! `C_seq` when the phase ends — they are not yet on disk, so the phase's
+//! merge does not rewrite them.
+
+use std::sync::Arc;
+
+use seplsm_dist::DelayDistribution;
+use seplsm_types::Result;
+
+use crate::arrival::ArrivalRatioModel;
+use crate::zeta::{ZetaConfig, ZetaModel};
+
+/// Combined WA model for one workload (delay law + `Δt`) and budget `n`.
+pub struct WaModel {
+    zeta: ZetaModel,
+    g: ArrivalRatioModel,
+    n: usize,
+}
+
+/// Breakdown of one `r_s(n_seq)` evaluation, for inspection and plotting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeparationEstimate {
+    /// The evaluated in-order capacity.
+    pub n_seq: usize,
+    /// Expected out-of-order arrivals per `C_seq` fill, `g(n_seq)`.
+    pub g: f64,
+    /// Total arrivals per phase, `N_arrive(n_seq)` (Eq. 4).
+    pub n_arrive: f64,
+    /// Expected residual `C_seq` content at phase end, `n'_seq`.
+    pub n_seq_prime: f64,
+    /// Predicted write amplification `r_s(n_seq)` (Eq. 5).
+    pub wa: f64,
+}
+
+impl WaModel {
+    /// Builds the model for delay law `dist`, generation interval `delta_t`
+    /// and memory budget `n` (points).
+    pub fn new(dist: Arc<dyn DelayDistribution>, delta_t: f64, n: usize) -> Self {
+        Self::with_zeta_config(dist, delta_t, n, ZetaConfig::default())
+    }
+
+    /// Same with explicit ζ evaluation parameters.
+    pub fn with_zeta_config(
+        dist: Arc<dyn DelayDistribution>,
+        delta_t: f64,
+        n: usize,
+        config: ZetaConfig,
+    ) -> Self {
+        assert!(n >= 2, "memory budget must allow a separation split (n >= 2)");
+        Self {
+            zeta: ZetaModel::with_config(dist.clone(), delta_t, config),
+            g: ArrivalRatioModel::new(dist, delta_t),
+            n,
+        }
+    }
+
+    /// The memory budget `n`.
+    pub fn budget(&self) -> usize {
+        self.n
+    }
+
+    /// The underlying ζ evaluator.
+    pub fn zeta(&self) -> &ZetaModel {
+        &self.zeta
+    }
+
+    /// The underlying arrival-ratio evaluator.
+    pub fn arrival(&self) -> &ArrivalRatioModel {
+        &self.g
+    }
+
+    /// `r_c`: predicted WA under `π_c` with budget `n` (Eq. 3).
+    pub fn wa_conventional(&self) -> f64 {
+        self.zeta.wa_conventional(self.n)
+    }
+
+    /// `r_s(n_seq)`: predicted WA under `π_s` (Eq. 5), with the full
+    /// breakdown.
+    ///
+    /// # Errors
+    /// [`seplsm_types::Error::Model`] when the arrival-ratio solve exceeds
+    /// its cap (pathological delay laws).
+    pub fn wa_separation(&self, n_seq: usize) -> Result<SeparationEstimate> {
+        assert!(
+            n_seq >= 1 && n_seq < self.n,
+            "n_seq must satisfy 0 < n_seq < n (got {n_seq}, n={})",
+            self.n
+        );
+        let n_nonseq = (self.n - n_seq) as f64;
+        let g = self.g.g(n_seq as f64)?;
+        if g <= f64::EPSILON {
+            // No out-of-order arrivals: phases never end, C_seq handles
+            // everything with plain flushes — WA is exactly 1.
+            return Ok(SeparationEstimate {
+                n_seq,
+                g,
+                n_arrive: f64::INFINITY,
+                n_seq_prime: 0.0,
+                wa: 1.0,
+            });
+        }
+        let fills = n_nonseq / g; // C_seq fill count per phase
+        let n_arrive = n_seq as f64 * fills + n_nonseq; // Eq. 4
+        let n_seq_prime = (1.0 + fills - fills.ceil()) * n_seq as f64;
+        let wa = self.zeta.zeta_real(n_arrive) / n_arrive
+            + 1.0
+            + (n_nonseq + n_seq_prime) / n_arrive; // Eq. 5
+        Ok(SeparationEstimate { n_seq, g, n_arrive, n_seq_prime, wa })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seplsm_dist::{Constant, LogNormal};
+
+    fn model(mu: f64, sigma: f64, dt: f64, n: usize) -> WaModel {
+        WaModel::new(Arc::new(LogNormal::new(mu, sigma)), dt, n)
+    }
+
+    #[test]
+    fn in_order_workload_gives_wa_one_under_both_policies() {
+        let m = WaModel::new(Arc::new(Constant::new(0.0)), 50.0, 512);
+        assert!((m.wa_conventional() - 1.0).abs() < 1e-12);
+        let est = m.wa_separation(256).expect("estimate");
+        assert_eq!(est.wa, 1.0);
+        assert_eq!(est.g, 0.0);
+    }
+
+    #[test]
+    fn estimates_are_at_least_one() {
+        let m = model(5.0, 2.0, 50.0, 512);
+        assert!(m.wa_conventional() >= 1.0);
+        for n_seq in [1usize, 64, 256, 448, 511] {
+            let est = m.wa_separation(n_seq).expect("estimate");
+            assert!(est.wa >= 1.0, "r_s({n_seq}) = {} < 1", est.wa);
+            assert!(est.n_arrive > 0.0);
+        }
+    }
+
+    #[test]
+    fn n_arrive_matches_eq4() {
+        let m = model(5.0, 2.0, 50.0, 512);
+        let est = m.wa_separation(256).expect("estimate");
+        let expected =
+            256.0 * 256.0 / est.g + 256.0;
+        assert!((est.n_arrive - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn n_seq_prime_is_a_fraction_of_n_seq() {
+        let m = model(5.0, 2.0, 50.0, 512);
+        for n_seq in [50usize, 200, 400] {
+            let est = m.wa_separation(n_seq).expect("estimate");
+            assert!(
+                est.n_seq_prime > 0.0 && est.n_seq_prime <= n_seq as f64 + 1e-9,
+                "n'_seq({n_seq}) = {}",
+                est.n_seq_prime
+            );
+        }
+    }
+
+    #[test]
+    fn severe_disorder_produces_u_shaped_rs_curve() {
+        // The paper's Fig. 9 (M12): with severe disorder the r_s(n_seq) curve
+        // is U-shaped — both extremes are worse than the interior.
+        let m = model(5.0, 2.0, 10.0, 512);
+        let edge_lo = m.wa_separation(8).expect("lo").wa;
+        let edge_hi = m.wa_separation(504).expect("hi").wa;
+        let mid = m.wa_separation(256).expect("mid").wa;
+        assert!(mid < edge_hi, "mid {mid} vs high edge {edge_hi}");
+        // The low edge may or may not dominate mid depending on parameters,
+        // but the curve must not be flat.
+        assert!((edge_lo - mid).abs() > 1e-6 || (edge_hi - mid).abs() > 1e-6);
+    }
+
+    #[test]
+    fn mild_disorder_favors_conventional() {
+        // Few, short delays: compactions are rare under pi_c, while pi_s
+        // still pays its per-phase overhead (the Fig. 2 scenario).
+        let m = model(2.0, 0.5, 50.0, 512); // delays ~7ms << Δt
+        let rc = m.wa_conventional();
+        assert!(rc < 1.05, "r_c={rc}");
+        let best_rs = (1..512)
+            .step_by(32)
+            .map(|s| m.wa_separation(s).expect("rs").wa)
+            .fold(f64::INFINITY, f64::min);
+        assert!(rc <= best_rs + 0.05, "rc={rc}, best rs={best_rs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "n_seq must satisfy")]
+    fn rejects_out_of_range_n_seq() {
+        let m = model(4.0, 1.5, 50.0, 64);
+        let _ = m.wa_separation(64);
+    }
+}

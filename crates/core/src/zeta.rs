@@ -1,0 +1,445 @@
+//! The subsequent-data-point model `ζ(n)` (paper Eq. 2).
+//!
+//! `ζ(n)` is the expected number of *subsequent data points* on disk when `n`
+//! points are buffered in memory — the points a compaction must rewrite
+//! (Definition 4). The paper derives
+//!
+//! ```text
+//! ζ(n) = Σ_i { 1 − ∫₀^∞ f(x) · Π_{j=1..n} E[F(t̃_{i+j} + x)] dx }
+//! ```
+//!
+//! where `f`/`F` are the delay PDF/CDF and `t̃_m` is the arrival-time gap
+//! spanning `m` points. Following the paper's tractability assumption, the
+//! gap is approximated by its mean `m·Δt` ([`GapModel::MeanGap`]); a
+//! Monte-Carlo gap mode is provided for validation.
+//!
+//! # Evaluation strategy
+//!
+//! * The delay integral is computed by quantile substitution on a fixed
+//!   Gauss–Legendre rule (see `seplsm_dist::quadrature`), so the same code
+//!   handles lognormal and empirical delay laws.
+//! * For each quadrature node `x`, the inner product over `j` becomes a
+//!   window sum of `ln F(m·Δt + x)` over `m ∈ (i, i+n]`. Per-node prefix sums
+//!   of `ln F` make each window O(1); the arrays grow lazily and *saturate*
+//!   once `ln F` is numerically zero (`F ≥ 1 − τ`), so heavy-tailed laws do
+//!   not force unbounded tables.
+//! * The outer sum over `i` stops when terms drop below `eps_term`
+//!   (`P(B_i)` is non-increasing in `i`).
+//! * Results are memoized per integer `n`; fractional arguments (the
+//!   `N_arrive` of the separation model) interpolate linearly.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seplsm_dist::quadrature::{expectation_nodes, GaussLegendre};
+use seplsm_dist::DelayDistribution;
+
+/// How the arrival-time gap `t̃_m` in Eq. 2 is modelled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GapModel {
+    /// `t̃_m = m·Δt` — the paper's tractable approximation (default).
+    MeanGap,
+    /// `E[F(t̃_m + x)]` estimated over `pairs` sampled delay differences
+    /// (`t̃_m = m·Δt + d' − d''`), for validating the mean-gap shortcut.
+    MonteCarlo {
+        /// Number of sampled `(d', d'')` pairs.
+        pairs: u32,
+        /// RNG seed, for reproducibility.
+        seed: u64,
+    },
+}
+
+/// Tunable evaluation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ZetaConfig {
+    /// Quadrature order for the delay integral.
+    pub quadrature_order: usize,
+    /// Stop the outer sum once a term falls below this.
+    pub eps_term: f64,
+    /// Hard cap on outer-sum terms (safety valve for pathological laws).
+    pub max_terms: usize,
+    /// Treat `ln F(u)` as zero once `1 − F(u) < saturation_eps`.
+    pub saturation_eps: f64,
+    /// Hard cap on per-node prefix-table length (memory valve).
+    pub max_prefix_len: usize,
+    /// Clamp `ζ(n)` arguments to this (ζ saturates for huge buffers; see
+    /// module docs).
+    pub max_n: usize,
+    /// Gap model for `t̃_m`.
+    pub gap: GapModel,
+}
+
+impl Default for ZetaConfig {
+    fn default() -> Self {
+        Self {
+            quadrature_order: 64,
+            eps_term: 1e-9,
+            max_terms: 2_000_000,
+            saturation_eps: 1e-6,
+            max_prefix_len: 150_000,
+            max_n: 1 << 20,
+            gap: GapModel::MeanGap,
+        }
+    }
+}
+
+impl ZetaConfig {
+    /// A cheaper configuration for online use inside the adaptive tuner:
+    /// coarser quadrature and earlier truncation, accurate to the precision
+    /// the policy decision needs.
+    pub fn online() -> Self {
+        Self {
+            quadrature_order: 32,
+            eps_term: 1e-6,
+            max_terms: 200_000,
+            saturation_eps: 1e-5,
+            max_prefix_len: 60_000,
+            max_n: 1 << 16,
+            gap: GapModel::MeanGap,
+        }
+    }
+}
+
+/// Per-quadrature-node state: prefix sums of `ln F(m·Δt + x)`.
+struct NodeState {
+    /// Delay value `x = F⁻¹(q)` at this node.
+    x: f64,
+    /// Quadrature weight (sums to 1 across nodes).
+    w: f64,
+    /// `prefix[m] = Σ_{m'=1..m} ln F(m'·Δt + x)`; `prefix[0] = 0`.
+    prefix: Vec<f64>,
+    /// Once saturated, `prefix[m]` is constant for `m ≥ saturated_at`.
+    saturated_at: Option<usize>,
+}
+
+impl NodeState {
+    /// `S(m)` with saturation: constant beyond the table end.
+    fn s(&self, m: usize) -> f64 {
+        let last = self.prefix.len() - 1;
+        self.prefix[m.min(last)]
+    }
+}
+
+/// Memoizing evaluator for `ζ(n)`.
+pub struct ZetaModel {
+    dist: Arc<dyn DelayDistribution>,
+    delta_t: f64,
+    config: ZetaConfig,
+    nodes: RefCell<Vec<NodeState>>,
+    cache: RefCell<HashMap<usize, f64>>,
+    /// Shared gap perturbations for the Monte-Carlo mode.
+    gap_samples: Vec<f64>,
+}
+
+impl ZetaModel {
+    /// Creates a model for the given delay law and generation interval `Δt`.
+    pub fn new(dist: Arc<dyn DelayDistribution>, delta_t: f64) -> Self {
+        Self::with_config(dist, delta_t, ZetaConfig::default())
+    }
+
+    /// Creates a model with explicit evaluation parameters.
+    pub fn with_config(
+        dist: Arc<dyn DelayDistribution>,
+        delta_t: f64,
+        config: ZetaConfig,
+    ) -> Self {
+        assert!(delta_t > 0.0, "delta_t must be positive");
+        let rule = GaussLegendre::new(config.quadrature_order);
+        let nodes = expectation_nodes(&rule, &dist)
+            .into_iter()
+            .map(|(x, w)| NodeState {
+                x,
+                w,
+                prefix: vec![0.0],
+                saturated_at: None,
+            })
+            .collect();
+        let gap_samples = match config.gap {
+            GapModel::MeanGap => Vec::new(),
+            GapModel::MonteCarlo { pairs, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..pairs)
+                    .map(|_| dist.sample(&mut rng) - dist.sample(&mut rng))
+                    .collect()
+            }
+        };
+        Self {
+            dist,
+            delta_t,
+            config,
+            nodes: RefCell::new(nodes),
+            cache: RefCell::new(HashMap::new()),
+            gap_samples,
+        }
+    }
+
+    /// The generation interval `Δt`.
+    pub fn delta_t(&self) -> f64 {
+        self.delta_t
+    }
+
+    /// The delay distribution the model was built on.
+    pub fn distribution(&self) -> &Arc<dyn DelayDistribution> {
+        &self.dist
+    }
+
+    /// `ln E[F(m·Δt + x)]` for one `(m, x)` pair under the active gap model.
+    fn ln_ef(&self, m: usize, x: f64) -> f64 {
+        let base = m as f64 * self.delta_t + x;
+        match self.config.gap {
+            GapModel::MeanGap => self.dist.ln_cdf(base).max(-745.0),
+            GapModel::MonteCarlo { .. } => {
+                let mean: f64 = self
+                    .gap_samples
+                    .iter()
+                    .map(|g| self.dist.cdf(base + g))
+                    .sum::<f64>()
+                    / self.gap_samples.len() as f64;
+                mean.max(f64::MIN_POSITIVE).ln().max(-745.0)
+            }
+        }
+    }
+
+    /// Extends every node's prefix table to cover `S(upto)` (or saturation).
+    fn ensure_prefix(&self, upto: usize) {
+        let upto = upto.min(self.config.max_prefix_len);
+        let mut nodes = self.nodes.borrow_mut();
+        // Collect per-node extension work first to appease the borrow of
+        // `self` inside `ln_ef`.
+        for idx in 0..nodes.len() {
+            let (x, start, already_saturated) = {
+                let node = &nodes[idx];
+                (node.x, node.prefix.len(), node.saturated_at.is_some())
+            };
+            if already_saturated || start > upto {
+                continue;
+            }
+            let mut acc = *nodes[idx].prefix.last().expect("non-empty");
+            let mut extension = Vec::with_capacity(upto + 1 - start);
+            let mut saturated_at = None;
+            for m in start..=upto {
+                let lf = self.ln_ef(m, x);
+                if -lf < self.config.saturation_eps {
+                    // ln F is numerically zero from here on.
+                    saturated_at = Some(m);
+                    extension.push(acc);
+                    break;
+                }
+                acc += lf;
+                extension.push(acc);
+            }
+            let node = &mut nodes[idx];
+            node.prefix.extend(extension);
+            node.saturated_at = saturated_at;
+        }
+    }
+
+    /// `ζ(n)` for an integer buffer size.
+    pub fn zeta(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let n = n.min(self.config.max_n);
+        if let Some(&v) = self.cache.borrow().get(&n) {
+            return v;
+        }
+        let v = self.compute(n);
+        self.cache.borrow_mut().insert(n, v);
+        v
+    }
+
+    /// `ζ(·)` at a real-valued argument (linear interpolation between the
+    /// neighbouring integers) — used for the separation model's `N_arrive`.
+    pub fn zeta_real(&self, n: f64) -> f64 {
+        if !n.is_finite() || n <= 0.0 {
+            return 0.0;
+        }
+        let lo = n.floor() as usize;
+        let hi = n.ceil() as usize;
+        if lo == hi {
+            return self.zeta(lo);
+        }
+        let frac = n - lo as f64;
+        self.zeta(lo) * (1.0 - frac) + self.zeta(hi) * frac
+    }
+
+    fn compute(&self, n: usize) -> f64 {
+        // Grow prefix tables in chunks as the outer sum advances.
+        let mut covered = n + 1024;
+        self.ensure_prefix(covered);
+        let mut total = 0.0;
+        let mut i = 0usize;
+        loop {
+            if i + n > covered {
+                covered = (i + n) * 2;
+                self.ensure_prefix(covered);
+            }
+            let term = {
+                let nodes = self.nodes.borrow();
+                let mut integral = 0.0;
+                for node in nodes.iter() {
+                    integral += node.w * (node.s(i + n) - node.s(i)).exp();
+                }
+                1.0 - integral
+            };
+            // P(B_i) is non-increasing in i; stop once negligible.
+            if term < self.config.eps_term || i >= self.config.max_terms {
+                break;
+            }
+            total += term;
+            i += 1;
+        }
+        total.max(0.0)
+    }
+
+    /// WA under the conventional policy: `r_c = ζ(n)/n + 1` (Eq. 3).
+    pub fn wa_conventional(&self, n: usize) -> f64 {
+        assert!(n > 0, "buffer capacity must be positive");
+        self.zeta(n) / n as f64 + 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seplsm_dist::{Constant, LogNormal, Uniform};
+
+    fn lognormal_model(mu: f64, sigma: f64, dt: f64) -> ZetaModel {
+        ZetaModel::new(Arc::new(LogNormal::new(mu, sigma)), dt)
+    }
+
+    #[test]
+    fn zeta_of_zero_delay_is_zero() {
+        // Perfectly in-order arrivals: nothing on disk is ever subsequent.
+        let m = ZetaModel::new(Arc::new(Constant::new(0.0)), 50.0);
+        assert_eq!(m.zeta(1), 0.0);
+        assert_eq!(m.zeta(512), 0.0);
+        assert!((m.wa_conventional(512) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeta_is_nonnegative_and_monotone_in_n() {
+        let m = lognormal_model(4.0, 1.5, 50.0);
+        let mut prev = 0.0;
+        for n in [1usize, 8, 32, 128, 512] {
+            let z = m.zeta(n);
+            assert!(z >= prev - 1e-9, "zeta({n})={z} < zeta(prev)={prev}");
+            prev = z;
+        }
+        assert!(prev > 0.0, "lognormal delays must produce subsequent points");
+    }
+
+    #[test]
+    fn heavier_tail_yields_larger_zeta() {
+        let light = lognormal_model(4.0, 1.5, 50.0);
+        let heavy = lognormal_model(4.0, 1.75, 50.0);
+        for n in [32usize, 128, 512] {
+            assert!(
+                heavy.zeta(n) > light.zeta(n),
+                "n={n}: heavy {} vs light {}",
+                heavy.zeta(n),
+                light.zeta(n)
+            );
+        }
+    }
+
+    #[test]
+    fn larger_interval_reduces_disorder() {
+        let fast = lognormal_model(5.0, 2.0, 10.0);
+        let slow = lognormal_model(5.0, 2.0, 50.0);
+        assert!(fast.zeta(128) > slow.zeta(128));
+    }
+
+    #[test]
+    fn zeta_matches_brute_force_for_uniform_delays() {
+        // Uniform delays on [0, 200], Δt = 50: only a short window of points
+        // can be overtaken, so the direct double sum is tractable.
+        let dist = Uniform::new(0.0, 200.0);
+        let m = ZetaModel::new(Arc::new(dist), 50.0);
+        let n = 8;
+        // Brute force Eq. 2 with the same mean-gap assumption, dense grid.
+        let dist = Uniform::new(0.0, 200.0);
+        let grid = 20_000;
+        let mut brute = 0.0;
+        for i in 0..200usize {
+            let mut integral = 0.0;
+            for k in 0..grid {
+                let x = 200.0 * (k as f64 + 0.5) / grid as f64;
+                let mut prod = 1.0;
+                for j in 1..=n {
+                    prod *= dist.cdf(((i + j) as f64) * 50.0 + x);
+                }
+                integral += prod / grid as f64;
+            }
+            brute += 1.0 - integral;
+        }
+        let fast = m.zeta(n);
+        assert!(
+            (fast - brute).abs() < 0.01,
+            "prefix-sum {fast} vs brute force {brute}"
+        );
+    }
+
+    #[test]
+    fn zeta_real_interpolates() {
+        let m = lognormal_model(4.0, 1.5, 50.0);
+        let lo = m.zeta(100);
+        let hi = m.zeta(101);
+        let mid = m.zeta_real(100.5);
+        assert!((mid - (lo + hi) / 2.0).abs() < 1e-9);
+        assert_eq!(m.zeta_real(0.0), 0.0);
+        assert_eq!(m.zeta_real(-3.0), 0.0);
+        assert_eq!(m.zeta_real(f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn cache_returns_identical_values() {
+        let m = lognormal_model(5.0, 2.0, 50.0);
+        let a = m.zeta(256);
+        let b = m.zeta(256);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn monte_carlo_gap_agrees_roughly_with_mean_gap() {
+        let dist = Arc::new(LogNormal::new(4.0, 1.5));
+        let mean = ZetaModel::new(dist.clone(), 50.0);
+        let mc = ZetaModel::with_config(
+            dist,
+            50.0,
+            ZetaConfig {
+                gap: GapModel::MonteCarlo { pairs: 64, seed: 42 },
+                ..ZetaConfig::default()
+            },
+        );
+        let a = mean.zeta(64);
+        let b = mc.zeta(64);
+        assert!(
+            (a - b).abs() / a.max(1.0) < 0.5,
+            "mean-gap {a} vs monte-carlo {b}"
+        );
+    }
+
+    #[test]
+    fn huge_n_is_clamped_not_divergent() {
+        let m = ZetaModel::with_config(
+            Arc::new(LogNormal::new(4.0, 1.5)),
+            50.0,
+            ZetaConfig { max_n: 4096, ..ZetaConfig::default() },
+        );
+        let capped = m.zeta(1 << 30);
+        assert!(capped.is_finite());
+        assert!((capped - m.zeta(4096)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wa_conventional_is_at_least_one() {
+        let m = lognormal_model(5.0, 2.0, 50.0);
+        let wa = m.wa_conventional(512);
+        assert!(wa >= 1.0);
+        assert!(wa < 100.0, "wa={wa} looks runaway");
+    }
+}

@@ -1,0 +1,144 @@
+//! The [`DelayDistribution`] trait: what the WA models need from a delay law.
+
+use rand::RngCore;
+
+/// A univariate distribution of transmission delays (in milliseconds).
+///
+/// The trait is object-safe: the models in `seplsm-core` hold a
+/// `&dyn DelayDistribution` (or `Arc<dyn …>`) so parametric laws and the
+/// analyzer's [`Empirical`](crate::Empirical) fit interchangeably.
+///
+/// Implementors must satisfy, over the support:
+/// * `cdf` is non-decreasing with limits 0 and 1;
+/// * `quantile(cdf(x)) ≈ x` wherever the CDF is strictly increasing;
+/// * `sf(x) = 1 − cdf(x)` (the default does this; override for tail accuracy);
+/// * `sample` draws i.i.d. values distributed per `cdf`.
+pub trait DelayDistribution: Send + Sync {
+    /// Probability density `f(x)`.
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative distribution `F(x) = P(delay ≤ x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Survival function `1 − F(x)`.
+    ///
+    /// Override when a direct tail computation is more accurate than
+    /// `1 − cdf(x)` (the ζ-model needs `ln F` with small absolute error for
+    /// `F` close to 1).
+    fn sf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Quantile function `F⁻¹(q)` for `q ∈ (0, 1)`.
+    fn quantile(&self, q: f64) -> f64;
+
+    /// Draws one delay.
+    fn sample(&self, rng: &mut dyn RngCore) -> f64;
+
+    /// Mean delay, if finite.
+    fn mean(&self) -> Option<f64>;
+
+    /// A short human-readable description (used in experiment output).
+    fn label(&self) -> String;
+
+    /// `ln F(x)`, computed via the survival function when `F` is close to 1
+    /// so that products of thousands of CDF values stay accurate.
+    fn ln_cdf(&self, x: f64) -> f64 {
+        let s = self.sf(x);
+        if s < 0.5 {
+            (-s).ln_1p() // ln(1 − s), accurate for small s
+        } else {
+            self.cdf(x).max(f64::MIN_POSITIVE).ln()
+        }
+    }
+
+    /// A point `u` with `F(u) ≥ 1 − eps`: effectively the upper edge of the
+    /// support for numerical truncation. Defaults to the `1 − eps` quantile.
+    fn upper_tail(&self, eps: f64) -> f64 {
+        self.quantile(1.0 - eps)
+    }
+}
+
+impl<T: DelayDistribution + ?Sized> DelayDistribution for &T {
+    fn pdf(&self, x: f64) -> f64 {
+        (**self).pdf(x)
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        (**self).cdf(x)
+    }
+    fn sf(&self, x: f64) -> f64 {
+        (**self).sf(x)
+    }
+    fn quantile(&self, q: f64) -> f64 {
+        (**self).quantile(q)
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        (**self).sample(rng)
+    }
+    fn mean(&self) -> Option<f64> {
+        (**self).mean()
+    }
+    fn label(&self) -> String {
+        (**self).label()
+    }
+    fn ln_cdf(&self, x: f64) -> f64 {
+        (**self).ln_cdf(x)
+    }
+    fn upper_tail(&self, eps: f64) -> f64 {
+        (**self).upper_tail(eps)
+    }
+}
+
+impl<T: DelayDistribution + ?Sized> DelayDistribution for std::sync::Arc<T> {
+    fn pdf(&self, x: f64) -> f64 {
+        (**self).pdf(x)
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        (**self).cdf(x)
+    }
+    fn sf(&self, x: f64) -> f64 {
+        (**self).sf(x)
+    }
+    fn quantile(&self, q: f64) -> f64 {
+        (**self).quantile(q)
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        (**self).sample(rng)
+    }
+    fn mean(&self) -> Option<f64> {
+        (**self).mean()
+    }
+    fn label(&self) -> String {
+        (**self).label()
+    }
+    fn ln_cdf(&self, x: f64) -> f64 {
+        (**self).ln_cdf(x)
+    }
+    fn upper_tail(&self, eps: f64) -> f64 {
+        (**self).upper_tail(eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parametric::LogNormal;
+
+    #[test]
+    fn ln_cdf_uses_tail_path_near_one() {
+        let d = LogNormal::new(4.0, 1.5);
+        // Deep in the upper tail, F is so close to 1 that 1-F underflows in
+        // naive arithmetic; ln_cdf must stay finite, tiny and negative.
+        let x = d.quantile(1.0 - 1e-12);
+        let lf = d.ln_cdf(x);
+        assert!(lf < 0.0 && lf > -1e-9, "ln_cdf={lf}");
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_usable_via_dyn() {
+        let d = LogNormal::new(4.0, 1.5);
+        let dd: &dyn DelayDistribution = &d;
+        assert!((dd.cdf(dd.quantile(0.5)) - 0.5).abs() < 1e-9);
+        assert!(dd.upper_tail(1e-6) > dd.quantile(0.5));
+    }
+}

@@ -1,0 +1,227 @@
+//! Empirical delay distribution fitted from observed samples.
+//!
+//! The delay analyzer (paper §I-D) does not know the true delay law: it
+//! collects the delays of recently written points and evaluates the WA models
+//! on their *empirical* distribution. [`Empirical`] provides the interpolated
+//! ECDF, its inverse, a histogram-based density, and smoothed-bootstrap
+//! sampling, all behind the common [`DelayDistribution`] trait.
+
+use rand::Rng;
+use rand::RngCore;
+
+use crate::distribution::DelayDistribution;
+use crate::stats::Histogram;
+
+/// A distribution estimated from delay samples.
+///
+/// The CDF is the piecewise-linear interpolation of the empirical CDF using
+/// the plotting positions `p_i = (i + 0.5)/n` at the order statistics, with
+/// `F = 0` below the smallest and `F = 1` above the largest sample. The
+/// quantile function is its exact inverse.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    /// Order statistics (sorted, finite).
+    sorted: Vec<f64>,
+    /// Histogram used only for the density estimate.
+    histogram: Histogram,
+    mean: f64,
+}
+
+impl Empirical {
+    /// Default number of histogram bins for the density estimate.
+    pub const DEFAULT_BINS: usize = 64;
+
+    /// Fits the empirical distribution to `samples`.
+    ///
+    /// Non-finite samples are dropped. Panics if no finite sample remains.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        Self::from_samples_with_bins(samples, Self::DEFAULT_BINS)
+    }
+
+    /// Same as [`Empirical::from_samples`] with an explicit bin count for the
+    /// density estimate.
+    pub fn from_samples_with_bins(samples: &[f64], bins: usize) -> Self {
+        let mut sorted: Vec<f64> =
+            samples.iter().copied().filter(|x| x.is_finite()).collect();
+        assert!(!sorted.is_empty(), "Empirical needs at least one finite sample");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let histogram = Histogram::from_sorted(&sorted, bins);
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Self { sorted, histogram, mean }
+    }
+
+    /// Number of samples backing the estimate.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when backed by zero samples (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Smallest observed delay.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest observed delay.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// The histogram backing the density estimate.
+    pub fn histogram(&self) -> &Histogram {
+        &self.histogram
+    }
+
+    /// Plotting position of order statistic `i`: `(i + 0.5)/n`.
+    fn pos(&self, i: usize) -> f64 {
+        (i as f64 + 0.5) / self.sorted.len() as f64
+    }
+}
+
+impl DelayDistribution for Empirical {
+    fn pdf(&self, x: f64) -> f64 {
+        self.histogram.density(x)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let s = &self.sorted;
+        let n = s.len();
+        if x < s[0] {
+            return 0.0;
+        }
+        if x >= s[n - 1] {
+            return 1.0;
+        }
+        if n == 1 {
+            // Single sample, x >= it was handled above; here x < it.
+            return 0.0;
+        }
+        // First index with s[idx] > x; x lies in [s[idx-1], s[idx]).
+        let idx = s.partition_point(|&v| v <= x);
+        debug_assert!(idx >= 1 && idx < n);
+        let (lo, hi) = (s[idx - 1], s[idx]);
+        let (plo, phi) = (self.pos(idx - 1), self.pos(idx));
+        if hi > lo {
+            plo + (phi - plo) * (x - lo) / (hi - lo)
+        } else {
+            phi
+        }
+    }
+
+    fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile: q={q} outside [0,1]");
+        let s = &self.sorted;
+        let n = s.len();
+        if n == 1 {
+            return s[0];
+        }
+        let q = q.clamp(self.pos(0), self.pos(n - 1));
+        let t = q * n as f64 - 0.5; // inverse of pos()
+        let i = (t.floor() as usize).min(n - 2);
+        let frac = t - i as f64;
+        s[i] + frac * (s[i + 1] - s[i])
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Smoothed bootstrap: inverse-transform on the interpolated ECDF.
+        self.quantile(rng.gen::<f64>())
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.mean)
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "Empirical(n={}, mean={:.1}, max={:.1})",
+            self.sorted.len(),
+            self.mean,
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parametric::LogNormal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_and_quantile_are_inverse() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let e = Empirical::from_samples(&samples);
+        for &q in &[0.05, 0.2, 0.5, 0.8, 0.95] {
+            let x = e.quantile(q);
+            assert!((e.cdf(x) - q).abs() < 1e-9, "q={q}, x={x}, cdf={}", e.cdf(x));
+        }
+    }
+
+    #[test]
+    fn cdf_is_zero_below_and_one_above() {
+        let e = Empirical::from_samples(&[10.0, 20.0, 30.0]);
+        assert_eq!(e.cdf(5.0), 0.0);
+        assert_eq!(e.cdf(30.0), 1.0);
+        assert_eq!(e.cdf(100.0), 1.0);
+    }
+
+    #[test]
+    fn duplicates_do_not_break_interpolation() {
+        let e = Empirical::from_samples(&[5.0, 5.0, 5.0, 10.0]);
+        let c = e.cdf(5.0);
+        assert!(c > 0.0 && c < 1.0);
+        assert!(e.cdf(7.5) > c);
+        assert!((e.quantile(0.99) - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_sample_degenerates_to_point_mass() {
+        let e = Empirical::from_samples(&[42.0]);
+        assert_eq!(e.cdf(41.0), 0.0);
+        assert_eq!(e.cdf(42.0), 1.0);
+        assert_eq!(e.quantile(0.5), 42.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let e = Empirical::from_samples(&[1.0, f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.max(), 2.0);
+    }
+
+    #[test]
+    fn fitted_empirical_tracks_true_lognormal() {
+        let d = LogNormal::new(4.0, 1.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let e = Empirical::from_samples(&samples);
+        for &x in &[10.0, 50.0, 150.0, 500.0, 2000.0] {
+            assert!(
+                (e.cdf(x) - d.cdf(x)).abs() < 0.01,
+                "x={x}: empirical {} vs true {}",
+                e.cdf(x),
+                d.cdf(x)
+            );
+        }
+        assert!((e.mean().unwrap() / d.mean().unwrap() - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn sampling_resamples_the_data_range() {
+        let e = Empirical::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = e.sample(&mut rng);
+            assert!((1.0..=4.0).contains(&x));
+        }
+    }
+}

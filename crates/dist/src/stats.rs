@@ -1,0 +1,362 @@
+//! Descriptive statistics: histograms, Kolmogorov–Smirnov distance,
+//! autocorrelation, and sliding-window smoothing.
+//!
+//! These back three parts of the reproduction:
+//! * the delay analyzer's drift detector ([`ks_two_sample`] against the
+//!   profile in force at the last tuning decision, Fig. 10/17);
+//! * the paper's independence check on dataset `H` ([`autocorrelation`] +
+//!   95 % bounds, Fig. 16(a), where the paper used MATLAB's `autocorr`);
+//! * figure rendering (delay histograms of Figs. 8/19, the sliding-window WA
+//!   smoothing of Fig. 10).
+
+/// A fixed-width histogram over `[min, max]`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `samples` with `bins` equal-width bins spanning
+    /// the sample range. Panics on empty input or `bins == 0`.
+    pub fn from_samples(samples: &[f64], bins: usize) -> Self {
+        let mut sorted: Vec<f64> =
+            samples.iter().copied().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Self::from_sorted(&sorted, bins)
+    }
+
+    /// Builds from already-sorted finite samples.
+    pub fn from_sorted(sorted: &[f64], bins: usize) -> Self {
+        assert!(!sorted.is_empty(), "Histogram needs samples");
+        assert!(bins > 0, "Histogram needs at least one bin");
+        let min = sorted[0];
+        let max = *sorted.last().expect("non-empty");
+        let mut h = Self { min, max, counts: vec![0; bins], total: 0 };
+        for &x in sorted {
+            let idx = h.bin_index(x);
+            h.counts[idx] += 1;
+            h.total += 1;
+        }
+        h
+    }
+
+    /// Index of the bin containing `x` (clamped to the edge bins).
+    pub fn bin_index(&self, x: f64) -> usize {
+        if self.max <= self.min {
+            return 0;
+        }
+        let f = (x - self.min) / (self.max - self.min);
+        ((f * self.counts.len() as f64) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of samples counted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        if self.max > self.min {
+            (self.max - self.min) / self.counts.len() as f64
+        } else {
+            1.0
+        }
+    }
+
+    /// `(lower_edge, count)` per bin — the paper's histogram panels.
+    pub fn bars(&self) -> Vec<(f64, u64)> {
+        let w = self.bin_width();
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.min + i as f64 * w, c))
+            .collect()
+    }
+
+    /// Density estimate at `x` (zero outside the sample range).
+    pub fn density(&self, x: f64) -> f64 {
+        if x < self.min || x > self.max || self.total == 0 {
+            return 0.0;
+        }
+        let idx = self.bin_index(x);
+        self.counts[idx] as f64 / (self.total as f64 * self.bin_width())
+    }
+}
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance; 0 for fewer than two values.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolated percentile (`p ∈ [0, 100]`) of *sorted* input.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 100.0);
+    let t = p / 100.0 * (sorted.len() - 1) as f64;
+    let i = t.floor() as usize;
+    if i + 1 >= sorted.len() {
+        return sorted[sorted.len() - 1];
+    }
+    let frac = t - i as f64;
+    sorted[i] + frac * (sorted[i + 1] - sorted[i])
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic `D = sup |F_a − F_b|`.
+///
+/// Inputs need not be sorted. Used by the analyzer to decide whether the
+/// delay distribution has drifted since the last policy decision.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let xa = sa[i];
+        let xb = sb[j];
+        let x = xa.min(xb);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+/// Critical KS distance at significance `alpha ∈ {0.10, 0.05, 0.01, 0.001}`
+/// for sample sizes `n`, `m` (asymptotic formula `c(α)·√((n+m)/(n·m))`).
+pub fn ks_critical(n: usize, m: usize, alpha: f64) -> f64 {
+    let c = if alpha <= 0.001 {
+        1.949
+    } else if alpha <= 0.01 {
+        1.628
+    } else if alpha <= 0.05 {
+        1.358
+    } else {
+        1.224
+    };
+    c * ((n + m) as f64 / (n as f64 * m as f64)).sqrt()
+}
+
+/// Sample autocorrelation function up to `max_lag` (inclusive).
+///
+/// Returns `acf[0] = 1` and the standard biased estimator
+/// `acf[k] = Σ (x_t−x̄)(x_{t+k}−x̄) / Σ (x_t−x̄)²` — the same definition as
+/// MATLAB's `autocorr` used in the paper's Fig. 16(a).
+pub fn autocorrelation(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = xs.len();
+    assert!(n >= 2, "autocorrelation needs at least two values");
+    let max_lag = max_lag.min(n - 1);
+    let m = mean(xs);
+    let denom: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    let mut acf = Vec::with_capacity(max_lag + 1);
+    for k in 0..=max_lag {
+        if denom == 0.0 {
+            acf.push(if k == 0 { 1.0 } else { 0.0 });
+            continue;
+        }
+        let num: f64 = (0..n - k).map(|t| (xs[t] - m) * (xs[t + k] - m)).sum();
+        acf.push(num / denom);
+    }
+    acf
+}
+
+/// 95 % white-noise confidence bound for the ACF: `±1.96/√n` — the two green
+/// lines of the paper's Fig. 16(a).
+pub fn autocorr_confidence(n: usize) -> f64 {
+    1.96 / (n as f64).sqrt()
+}
+
+/// Centered sliding-window mean with the given window size (window is
+/// truncated at the edges). Used to smooth the WA time series in Fig. 10.
+pub fn sliding_mean(xs: &[f64], window: usize) -> Vec<f64> {
+    assert!(window >= 1, "window must be >= 1");
+    let n = xs.len();
+    let half = window / 2;
+    let mut out = Vec::with_capacity(n);
+    // Prefix sums make each window O(1).
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &x in xs {
+        prefix.push(prefix.last().expect("non-empty") + x);
+    }
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        out.push((prefix[hi] - prefix[lo]) / (hi - lo) as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_everything_once() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::from_samples(&xs, 10);
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.counts().iter().sum::<u64>(), 100);
+        assert_eq!(h.bins(), 10);
+        // Uniform data: every bin gets 10.
+        assert!(h.counts().iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn histogram_density_integrates_to_one() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sqrt()).collect();
+        let h = Histogram::from_samples(&xs, 20);
+        let integral: f64 = h
+            .counts()
+            .iter()
+            .map(|&c| c as f64 / h.total() as f64)
+            .sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+        // density * width sums to 1 as well
+        let d: f64 = h
+            .bars()
+            .iter()
+            .map(|(edge, _)| h.density(edge + h.bin_width() / 2.0) * h.bin_width())
+            .sum();
+        assert!((d - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_handles_identical_samples() {
+        let h = Histogram::from_samples(&[3.0, 3.0, 3.0], 5);
+        assert_eq!(h.total(), 3);
+        assert!(h.density(3.0) > 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile_sorted(&xs, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&xs, 100.0), 5.0);
+        assert_eq!(percentile_sorted(&xs, 50.0), 3.0);
+        assert!((percentile_sorted(&xs, 25.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_identical_samples_is_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_two_sample(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ks_disjoint_samples_is_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        assert!((ks_two_sample(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_detects_location_shift() {
+        let a: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..500).map(|i| i as f64 + 250.0).collect();
+        let d = ks_two_sample(&a, &b);
+        assert!(d > ks_critical(500, 500, 0.01), "d={d}");
+    }
+
+    #[test]
+    fn ks_same_distribution_stays_below_critical() {
+        // Interleaved halves of the same arithmetic sequence.
+        let a: Vec<f64> = (0..500).map(|i| (2 * i) as f64).collect();
+        let b: Vec<f64> = (0..500).map(|i| (2 * i + 1) as f64).collect();
+        let d = ks_two_sample(&a, &b);
+        assert!(d < ks_critical(500, 500, 0.05), "d={d}");
+    }
+
+    #[test]
+    fn ks_critical_decreases_with_sample_size() {
+        assert!(ks_critical(100, 100, 0.05) > ks_critical(10_000, 10_000, 0.05));
+        assert!(ks_critical(100, 100, 0.01) > ks_critical(100, 100, 0.05));
+    }
+
+    #[test]
+    fn acf_of_white_noise_is_small() {
+        // Deterministic pseudo-noise via a simple LCG.
+        let mut state: u64 = 12345;
+        let xs: Vec<f64> = (0..5000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        let acf = autocorrelation(&xs, 10);
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+        let bound = autocorr_confidence(xs.len());
+        for (k, &a) in acf.iter().enumerate().skip(1) {
+            assert!(a.abs() < 3.0 * bound, "lag {k}: {a}");
+        }
+    }
+
+    #[test]
+    fn acf_of_trend_is_large_at_lag_one() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let acf = autocorrelation(&xs, 1);
+        assert!(acf[1] > 0.99, "lag-1 ACF of a trend: {}", acf[1]);
+    }
+
+    #[test]
+    fn acf_constant_series_degenerates_gracefully() {
+        let xs = vec![5.0; 100];
+        let acf = autocorrelation(&xs, 3);
+        assert_eq!(acf, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sliding_mean_smooths_and_preserves_length() {
+        let xs: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 0.0 } else { 10.0 }).collect();
+        let sm = sliding_mean(&xs, 4);
+        assert_eq!(sm.len(), xs.len());
+        // Interior values hover near the global mean of 5.
+        for &v in &sm[2..8] {
+            assert!((v - 5.0).abs() <= 2.5, "v={v}");
+        }
+    }
+
+    #[test]
+    fn sliding_mean_window_one_is_identity() {
+        let xs = [1.0, 4.0, 9.0];
+        assert_eq!(sliding_mean(&xs, 1), xs.to_vec());
+    }
+}

@@ -1,0 +1,606 @@
+//! The two-level engine with background compaction — the production write
+//! path of Apache IoTDB described in §V-C, used by the throughput experiment
+//! (Table III) and by the query experiments (Figs. 12–14, 20).
+//!
+//! §V-C: when a MemTable is full it is flushed to a level-1 file; level-1
+//! files *may overlap* each other; a background thread consumes them and
+//! produces the non-overlapping level-2 run. Ingestion therefore never waits
+//! for compaction — and queries must read every overlapping level-1 file,
+//! which is precisely what makes the policies differ on the read path: under
+//! `π_c` a single straggler gives its whole flushed file a huge key range
+//! that every recent-window query then has to scan (the paper's Fig. 15),
+//! while `π_s` keeps in-order flushes narrow.
+//!
+//! [`TieredEngine`] reproduces that: the writer thread only buffers points
+//! and hands full MemTables to a compaction worker over a bounded channel;
+//! the worker encodes and stores them as L0 tables and periodically merges
+//! L0 into the run. The bounded channel back-pressures the writer if the
+//! worker cannot keep up (realistic write-stall behaviour).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange, Timestamp};
+
+use crate::engine::EngineConfig;
+use crate::iterator::merge_sorted;
+use crate::level::Run;
+use crate::memtable::MemTable;
+use crate::query::QueryStats;
+use crate::sstable::SsTableMeta;
+use crate::store::TableStore;
+
+/// How many L0 tables accumulate before the worker merges them into the run.
+const L0_COMPACT_THRESHOLD: usize = 4;
+/// Flush-queue depth before ingestion back-pressures.
+const CHANNEL_DEPTH: usize = 8;
+
+/// Counters reported when the engine is finished.
+#[derive(Debug, Clone, Default)]
+pub struct TieredReport {
+    /// Points the user wrote.
+    pub user_points: u64,
+    /// Points physically written (L0 flushes + run rewrites).
+    pub disk_points_written: u64,
+    /// L0→run merge operations performed.
+    pub compactions: u64,
+    /// Tables remaining in the run at shutdown.
+    pub run_tables: usize,
+    /// All stored points, sorted by generation time (for verification).
+    pub points: Vec<DataPoint>,
+}
+
+impl TieredReport {
+    /// Overall write amplification.
+    pub fn write_amplification(&self) -> f64 {
+        if self.user_points == 0 {
+            return 0.0;
+        }
+        self.disk_points_written as f64 / self.user_points as f64
+    }
+}
+
+/// On-disk state shared between the writer, the worker, and queries.
+struct TierState {
+    /// Immutable MemTables handed to the worker but not yet stored as L0
+    /// tables — still queryable, exactly like IoTDB's flushing MemTables.
+    flushing: Vec<Arc<Vec<DataPoint>>>,
+    /// L0 tables in flush order (later = newer; newer wins duplicates).
+    l0: Vec<SsTableMeta>,
+    /// The non-overlapping level-2 run.
+    run: Run,
+    disk_points_written: u64,
+    compactions: u64,
+}
+
+impl TierState {
+    /// Merges every L0 table plus the overlapping part of the run.
+    /// Called with the state lock held; table reads/writes go to `store`.
+    fn compact_l0(
+        &mut self,
+        store: &Arc<dyn TableStore>,
+        sstable_points: usize,
+    ) -> Result<()> {
+        if self.l0.is_empty() {
+            return Ok(());
+        }
+        let l0 = std::mem::take(&mut self.l0);
+        let range = l0
+            .iter()
+            .map(|m| m.range)
+            .reduce(|a, b| a.union(&b))
+            .expect("non-empty");
+        let overlapping = self.run.overlapping(range);
+
+        // Priority: newest L0 table first, then older L0, then the run.
+        let mut sources = Vec::with_capacity(l0.len() + overlapping.len());
+        for meta in l0.iter().rev() {
+            sources.push(store.get(meta.id)?);
+        }
+        for meta in &overlapping {
+            sources.push(store.get(meta.id)?);
+        }
+        let merged = merge_sorted(sources);
+        self.disk_points_written += merged.len() as u64;
+
+        let mut new_metas = Vec::new();
+        for chunk in merged.chunks(sstable_points) {
+            let (meta, _) = store.put(chunk)?;
+            new_metas.push(meta);
+        }
+        let removed: Vec<_> = overlapping.iter().map(|m| m.id).collect();
+        self.run.replace(&removed, new_metas)?;
+        for meta in l0.iter().chain(overlapping.iter()) {
+            store.delete(meta.id)?;
+        }
+        self.compactions += 1;
+        Ok(())
+    }
+}
+
+/// The MemTable set of the writer side.
+enum WriterBuffers {
+    Conventional(MemTable),
+    Separation { seq: MemTable, nonseq: MemTable },
+}
+
+/// A leveled engine whose flush and compaction run on a background thread.
+pub struct TieredEngine {
+    buffers: WriterBuffers,
+    tx: Option<Sender<Arc<Vec<DataPoint>>>>,
+    handle: Option<JoinHandle<Result<()>>>,
+    store: Arc<dyn TableStore>,
+    state: Arc<Mutex<TierState>>,
+    sstable_points: usize,
+    /// Largest generation time handed to the flush pipeline — the in-order
+    /// classification pivot (it is "on disk" from the writer's perspective).
+    flushed_max: Option<Timestamp>,
+    /// Largest generation time appended at all.
+    max_gen_seen: Option<Timestamp>,
+    user_points: u64,
+    /// When set, `append` waits for each flush to reach L0 before returning
+    /// (deterministic on-disk state for query experiments).
+    sync_flush: bool,
+}
+
+impl TieredEngine {
+    /// Starts the engine and its compaction worker.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] on degenerate configurations.
+    pub fn new(config: EngineConfig, store: Arc<dyn TableStore>) -> Result<Self> {
+        if config.sstable_points == 0 || config.policy.total_capacity() == 0 {
+            return Err(Error::InvalidConfig(
+                "sstable_points and memory budget must be >= 1".into(),
+            ));
+        }
+        let buffers = match config.policy {
+            Policy::Conventional { capacity } => {
+                WriterBuffers::Conventional(MemTable::new(capacity))
+            }
+            Policy::Separation { seq_capacity, nonseq_capacity } => {
+                WriterBuffers::Separation {
+                    seq: MemTable::new(seq_capacity),
+                    nonseq: MemTable::new(nonseq_capacity),
+                }
+            }
+        };
+        let state = Arc::new(Mutex::new(TierState {
+            flushing: Vec::new(),
+            l0: Vec::new(),
+            run: Run::new(),
+            disk_points_written: 0,
+            compactions: 0,
+        }));
+        let (tx, rx) = bounded::<Arc<Vec<DataPoint>>>(CHANNEL_DEPTH);
+        let worker_store = Arc::clone(&store);
+        let worker_state = Arc::clone(&state);
+        let sstable_points = config.sstable_points;
+        let handle = std::thread::Builder::new()
+            .name("seplsm-compaction".into())
+            .spawn(move || -> Result<()> {
+                for batch in rx {
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    // Encode and store outside the lock; only the meta push
+                    // and the (infrequent) compaction hold it.
+                    let mut metas = Vec::new();
+                    let mut written = 0u64;
+                    for chunk in batch.chunks(sstable_points) {
+                        let (meta, _) = worker_store.put(chunk)?;
+                        written += chunk.len() as u64;
+                        metas.push(meta);
+                    }
+                    let mut state = worker_state.lock();
+                    state.disk_points_written += written;
+                    state.l0.extend(metas);
+                    // The batch is on disk: it stops being a flushing
+                    // MemTable in the same critical section, so queries see
+                    // it in exactly one place.
+                    state.flushing.retain(|b| !Arc::ptr_eq(b, &batch));
+                    if state.l0.len() >= L0_COMPACT_THRESHOLD {
+                        state.compact_l0(&worker_store, sstable_points)?;
+                    }
+                }
+                worker_state
+                    .lock()
+                    .compact_l0(&worker_store, sstable_points)
+            })
+            .map_err(|e| Error::Io(std::io::Error::other(e)))?;
+        Ok(Self {
+            buffers,
+            tx: Some(tx),
+            handle: Some(handle),
+            store,
+            state,
+            sstable_points,
+            flushed_max: None,
+            max_gen_seen: None,
+            user_points: 0,
+            sync_flush: false,
+        })
+    }
+
+    /// Makes every flush synchronous: `append` returns only after the
+    /// flushed MemTable is stored as an L0 table. Queries then observe a
+    /// deterministic on-disk state (used by the query experiments); the
+    /// throughput experiment keeps the default asynchronous pipeline.
+    pub fn with_sync_flush(mut self) -> Self {
+        self.sync_flush = true;
+        self
+    }
+
+    fn send(&mut self, points: Vec<DataPoint>) -> Result<()> {
+        if points.is_empty() {
+            return Ok(());
+        }
+        self.flushed_max = Some(
+            self.flushed_max
+                .map_or(points[points.len() - 1].gen_time, |m| {
+                    m.max(points[points.len() - 1].gen_time)
+                }),
+        );
+        let batch = Arc::new(points);
+        // Register as a flushing MemTable *before* handing it to the worker
+        // so it never becomes invisible to queries.
+        self.state.lock().flushing.push(Arc::clone(&batch));
+        self.tx
+            .as_ref()
+            .expect("engine not finished")
+            .send(batch)
+            .map_err(|_| {
+                Error::Io(std::io::Error::other("compaction worker terminated"))
+            })
+    }
+
+    /// Writes one point; only blocks if the flush queue is full.
+    ///
+    /// # Errors
+    /// Worker-side failures surface here once the queue is gone.
+    pub fn append(&mut self, p: DataPoint) -> Result<()> {
+        self.user_points += 1;
+        self.max_gen_seen =
+            Some(self.max_gen_seen.map_or(p.gen_time, |m| m.max(p.gen_time)));
+        let flushed_max = self.flushed_max;
+        let batch = match &mut self.buffers {
+            WriterBuffers::Conventional(c0) => {
+                c0.insert(p);
+                c0.is_full().then(|| c0.drain_sorted())
+            }
+            WriterBuffers::Separation { seq, nonseq } => {
+                let in_order = flushed_max.is_none_or(|m| p.gen_time > m);
+                if in_order {
+                    seq.insert(p);
+                    seq.is_full().then(|| seq.drain_sorted())
+                } else {
+                    nonseq.insert(p);
+                    nonseq.is_full().then(|| nonseq.drain_sorted())
+                }
+            }
+        };
+        if let Some(points) = batch {
+            self.send(points)?;
+            if self.sync_flush {
+                self.drain();
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of points the user has written.
+    pub fn user_points(&self) -> u64 {
+        self.user_points
+    }
+
+    /// Largest generation time appended so far.
+    pub fn max_gen_time(&self) -> Option<Timestamp> {
+        self.max_gen_seen
+    }
+
+    /// Range query over generation time, merging MemTables, every
+    /// overlapping L0 file and the run.
+    ///
+    /// Like IoTDB's chunk-granularity reads, overlapping files are read in
+    /// full; `QueryStats` counts the cost. Results reflect whatever the
+    /// background worker has flushed/compacted at call time.
+    ///
+    /// # Errors
+    /// Storage failures.
+    pub fn query(&self, range: TimeRange) -> Result<(Vec<DataPoint>, QueryStats)> {
+        let mut stats = QueryStats::default();
+        let mut sources: Vec<Vec<DataPoint>> = Vec::new();
+        match &self.buffers {
+            WriterBuffers::Conventional(c0) => {
+                let hits = c0.scan(range);
+                stats.mem_points_scanned += hits.len() as u64;
+                sources.push(hits);
+            }
+            WriterBuffers::Separation { seq, nonseq } => {
+                let seq_hits = seq.scan(range);
+                let nonseq_hits = nonseq.scan(range);
+                stats.mem_points_scanned +=
+                    (seq_hits.len() + nonseq_hits.len()) as u64;
+                sources.push(seq_hits);
+                sources.push(nonseq_hits);
+            }
+        }
+        // Hold the lock across the reads so compaction cannot delete tables
+        // under us; experiment-scale tables make this cheap.
+        let state = self.state.lock();
+        for batch in state.flushing.iter().rev() {
+            let hits: Vec<DataPoint> = batch
+                .iter()
+                .copied()
+                .filter(|p| range.contains(p.gen_time))
+                .collect();
+            stats.mem_points_scanned += hits.len() as u64;
+            sources.push(hits);
+        }
+        for meta in state.l0.iter().rev() {
+            if !meta.range.overlaps(&range) {
+                continue;
+            }
+            let table_points = self.store.get(meta.id)?;
+            stats.tables_read += 1;
+            stats.disk_points_scanned += table_points.len() as u64;
+            sources.push(
+                table_points
+                    .into_iter()
+                    .filter(|p| range.contains(p.gen_time))
+                    .collect(),
+            );
+        }
+        for meta in state.run.overlapping(range) {
+            let table_points = self.store.get(meta.id)?;
+            stats.tables_read += 1;
+            stats.disk_points_scanned += table_points.len() as u64;
+            sources.push(
+                table_points
+                    .into_iter()
+                    .filter(|p| range.contains(p.gen_time))
+                    .collect(),
+            );
+        }
+        drop(state);
+        let merged = merge_sorted(sources);
+        stats.points_returned = merged.len() as u64;
+        Ok((merged, stats))
+    }
+
+    /// Snapshot of the on-disk table layout: `(level, range, points)` per
+    /// table, L0 first (flush order), then the run. Used by the Fig. 15
+    /// visualisation of SSTable spans.
+    pub fn table_layout(&self) -> Vec<(&'static str, TimeRange, u32)> {
+        let state = self.state.lock();
+        let mut out = Vec::with_capacity(state.l0.len() + state.run.len());
+        for meta in &state.l0 {
+            out.push(("L0", meta.range, meta.count));
+        }
+        for meta in state.run.tables() {
+            out.push(("run", meta.range, meta.count));
+        }
+        out
+    }
+
+    /// Waits (best effort) for the background worker to drain the flush
+    /// queue, leaving whatever L0 backlog naturally remains — the state the
+    /// paper's historical-query experiment measures.
+    pub fn drain(&mut self) {
+        loop {
+            if self.state.lock().flushing.is_empty() {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Blocks until the flush queue is drained *and* L0 is merged into the
+    /// run (for deterministic post-ingest queries).
+    ///
+    /// # Errors
+    /// Storage failures from the forced compaction.
+    pub fn quiesce(&mut self) -> Result<()> {
+        self.drain();
+        let mut state = self.state.lock();
+        state.compact_l0(&self.store, self.sstable_points)
+    }
+
+    /// Flushes buffers, stops the worker, and returns the final report.
+    ///
+    /// # Errors
+    /// Worker-side storage failures.
+    pub fn finish(mut self) -> Result<TieredReport> {
+        let remaining: Vec<Vec<DataPoint>> = match &mut self.buffers {
+            WriterBuffers::Conventional(c0) => vec![c0.drain_sorted()],
+            WriterBuffers::Separation { seq, nonseq } => {
+                vec![seq.drain_sorted(), nonseq.drain_sorted()]
+            }
+        };
+        for batch in remaining {
+            self.send(batch)?;
+        }
+        drop(self.tx.take());
+        let handle = self.handle.take().expect("worker running");
+        handle
+            .join()
+            .map_err(|_| Error::Io(std::io::Error::other("worker panicked")))??;
+
+        let state = self.state.lock();
+        let mut sources = Vec::with_capacity(state.run.len());
+        for meta in state.run.tables() {
+            sources.push(self.store.get(meta.id)?);
+        }
+        let points = merge_sorted(sources);
+        Ok(TieredReport {
+            user_points: self.user_points,
+            disk_points_written: state.disk_points_written,
+            compactions: state.compactions,
+            run_tables: state.run.len(),
+            points,
+        })
+    }
+}
+
+impl Drop for TieredEngine {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn engine(config: EngineConfig) -> TieredEngine {
+        TieredEngine::new(config, Arc::new(MemStore::new())).expect("engine")
+    }
+
+    #[test]
+    fn preserves_all_points_conventional() {
+        let mut e =
+            engine(EngineConfig::conventional(16).with_sstable_points(8));
+        let mut tgs: Vec<i64> = (0..500).map(|i| (i * 37) % 500).collect();
+        tgs.sort_unstable();
+        tgs.dedup();
+        let n = tgs.len();
+        for &tg in &tgs {
+            e.append(DataPoint::new(tg, tg + 3, tg as f64)).expect("append");
+        }
+        let report = e.finish().expect("finish");
+        assert_eq!(report.points.len(), n);
+        assert!(report
+            .points
+            .windows(2)
+            .all(|w| w[0].gen_time < w[1].gen_time));
+        assert_eq!(report.user_points, n as u64);
+        assert!(report.write_amplification() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn preserves_all_points_separation_with_stragglers() {
+        let mut e = engine(
+            EngineConfig::separation(16, 8)
+                .expect("policy")
+                .with_sstable_points(8),
+        );
+        let mut expected = 0usize;
+        for i in 0..400i64 {
+            e.append(DataPoint::new(i * 10, i * 10, 0.0)).expect("append");
+            expected += 1;
+            if i % 5 == 4 {
+                e.append(DataPoint::new(i * 10 - 35, i * 10, 1.0))
+                    .expect("append straggler");
+                expected += 1;
+            }
+        }
+        let report = e.finish().expect("finish");
+        assert_eq!(report.points.len(), expected);
+        assert!(report
+            .points
+            .windows(2)
+            .all(|w| w[0].gen_time < w[1].gen_time));
+        assert!(report.compactions > 0);
+    }
+
+    #[test]
+    fn duplicate_timestamps_keep_latest_write() {
+        let mut e = engine(EngineConfig::conventional(4).with_sstable_points(4));
+        for i in 0..8i64 {
+            e.append(DataPoint::new(i, i, 0.0)).expect("append");
+        }
+        e.append(DataPoint::new(3, 100, 42.0)).expect("overwrite");
+        for i in 8..11i64 {
+            e.append(DataPoint::new(i, i, 0.0)).expect("append");
+        }
+        let report = e.finish().expect("finish");
+        let p3 = report
+            .points
+            .iter()
+            .find(|p| p.gen_time == 3)
+            .expect("present");
+        assert_eq!(p3.value, 42.0);
+        assert_eq!(report.points.len(), 11);
+    }
+
+    #[test]
+    fn queries_see_buffered_flushed_and_compacted_data() {
+        let mut e = engine(EngineConfig::conventional(8).with_sstable_points(8));
+        for i in 0..100i64 {
+            e.append(DataPoint::new(i * 10, i * 10, i as f64)).expect("append");
+        }
+        e.quiesce().expect("quiesce");
+        // 96 points flushed (12 tables → compacted), 4 still in memory.
+        let (pts, stats) = e.query(TimeRange::new(0, 2_000)).expect("query");
+        assert_eq!(pts.len(), 100); // gen times 0..990: all 100
+        assert!(stats.tables_read > 0);
+        let (tail, _) = e.query(TimeRange::new(950, 990)).expect("tail query");
+        assert_eq!(tail.len(), 5);
+    }
+
+    #[test]
+    fn straggler_widens_pi_c_files_but_not_pi_s() {
+        // The Fig. 15 mechanism: one straggler inside a pi_c flush gives the
+        // whole file a huge range, so recent-window queries must read it.
+        let run = |policy: Policy| -> (usize, u64) {
+            let mut e = engine(EngineConfig::new(policy).with_sstable_points(64));
+            // 64 in-order points, then a straggler, then more in-order.
+            for i in 1..=640i64 {
+                e.append(DataPoint::new(i * 10, i * 10, 0.0)).expect("append");
+                if i == 320 {
+                    e.append(DataPoint::new(5, i * 10, -1.0)).expect("straggler");
+                }
+            }
+            // Query a recent window before any compaction touches it.
+            let (_, stats) =
+                e.query(TimeRange::new(6_000, 6_400)).expect("query");
+            (stats.tables_read as usize, stats.disk_points_scanned)
+        };
+        let (_, scanned_c) = run(Policy::conventional(64));
+        let (_, scanned_s) = run(Policy::separation(64, 32).expect("policy"));
+        assert!(
+            scanned_c >= scanned_s,
+            "pi_c should scan at least as much: c={scanned_c}, s={scanned_s}"
+        );
+    }
+
+    #[test]
+    fn in_flight_flushes_stay_queryable() {
+        // A batch sitting in the flush queue must still be visible: the
+        // writer registers it as a flushing MemTable before sending.
+        let mut e = engine(EngineConfig::conventional(8).with_sstable_points(8));
+        for i in 0..64i64 {
+            e.append(DataPoint::new(i * 10, i * 10, i as f64)).expect("append");
+        }
+        // Query immediately, racing the worker: every point must be found.
+        let (pts, _) = e.query(TimeRange::new(0, 630)).expect("query");
+        assert_eq!(pts.len(), 64, "points lost while flushing");
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(p.value, i as f64);
+        }
+    }
+
+    #[test]
+    fn empty_engine_finishes_cleanly() {
+        let e = engine(EngineConfig::conventional(8));
+        let report = e.finish().expect("finish");
+        assert_eq!(report.user_points, 0);
+        assert!(report.points.is_empty());
+        assert_eq!(report.write_amplification(), 0.0);
+    }
+
+    #[test]
+    fn drop_without_finish_does_not_hang() {
+        let mut e = engine(EngineConfig::conventional(4).with_sstable_points(4));
+        for i in 0..100i64 {
+            e.append(DataPoint::new(i, i, 0.0)).expect("append");
+        }
+        drop(e);
+    }
+}

@@ -1,0 +1,133 @@
+//! K-way merge over sorted point sources, with duplicate resolution.
+//!
+//! Compactions merge a MemTable with several SSTables; full scans merge the
+//! run with both MemTables. Sources are given in *priority order* (freshest
+//! first): when several sources carry the same generation timestamp, the
+//! highest-priority occurrence wins and the rest are discarded, matching
+//! upsert semantics.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use seplsm_types::DataPoint;
+
+/// Merges sorted point sequences into one sorted, duplicate-free sequence.
+pub struct MergeIter {
+    /// Heap of (gen_time, source_index) → next element index per source.
+    heap: BinaryHeap<Reverse<(i64, usize)>>,
+    sources: Vec<std::vec::IntoIter<DataPoint>>,
+    peeked: Vec<Option<DataPoint>>,
+}
+
+impl MergeIter {
+    /// Creates a merge over `sources`; each must be sorted by strictly
+    /// increasing generation time. Earlier sources win ties.
+    pub fn new(sources: Vec<Vec<DataPoint>>) -> Self {
+        debug_assert!(sources.iter().all(|s| {
+            s.windows(2).all(|w| w[0].gen_time < w[1].gen_time)
+        }));
+        let mut iters: Vec<std::vec::IntoIter<DataPoint>> =
+            sources.into_iter().map(Vec::into_iter).collect();
+        let mut heap = BinaryHeap::new();
+        let mut peeked = Vec::with_capacity(iters.len());
+        for (idx, it) in iters.iter_mut().enumerate() {
+            let head = it.next();
+            if let Some(p) = head {
+                heap.push(Reverse((p.gen_time, idx)));
+            }
+            peeked.push(head);
+        }
+        Self { heap, sources: iters, peeked }
+    }
+
+    fn advance(&mut self, idx: usize) -> Option<DataPoint> {
+        let out = self.peeked[idx].take();
+        let next = self.sources[idx].next();
+        if let Some(p) = next {
+            self.heap.push(Reverse((p.gen_time, idx)));
+        }
+        self.peeked[idx] = next;
+        out
+    }
+}
+
+impl Iterator for MergeIter {
+    type Item = DataPoint;
+
+    fn next(&mut self) -> Option<DataPoint> {
+        let Reverse((tg, idx)) = self.heap.pop()?;
+        let winner = self.advance(idx).expect("peeked element present");
+        debug_assert_eq!(winner.gen_time, tg);
+        // Discard lower-priority duplicates of the same timestamp. The heap
+        // orders ties by source index, so the winner above (smallest index)
+        // was the highest-priority occurrence.
+        while let Some(&Reverse((next_tg, next_idx))) = self.heap.peek() {
+            if next_tg != tg {
+                break;
+            }
+            self.heap.pop();
+            let _ = self.advance(next_idx);
+        }
+        Some(winner)
+    }
+}
+
+/// Convenience: merge and collect.
+pub fn merge_sorted(sources: Vec<Vec<DataPoint>>) -> Vec<DataPoint> {
+    MergeIter::new(sources).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(tgs: &[i64]) -> Vec<DataPoint> {
+        tgs.iter().map(|&t| DataPoint::new(t, t, t as f64)).collect()
+    }
+
+    #[test]
+    fn merges_disjoint_sources() {
+        let out = merge_sorted(vec![pts(&[1, 4, 7]), pts(&[2, 5]), pts(&[3, 6])]);
+        let tgs: Vec<i64> = out.iter().map(|p| p.gen_time).collect();
+        assert_eq!(tgs, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn earlier_source_wins_ties() {
+        let fresh = vec![DataPoint::new(10, 99, 111.0)];
+        let stale = vec![DataPoint::new(10, 10, 0.0), DataPoint::new(20, 20, 0.0)];
+        let out = merge_sorted(vec![fresh, stale]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].value, 111.0, "fresh source must win the tie");
+        assert_eq!(out[1].gen_time, 20);
+    }
+
+    #[test]
+    fn three_way_tie_keeps_one() {
+        let out = merge_sorted(vec![
+            vec![DataPoint::new(5, 1, 1.0)],
+            vec![DataPoint::new(5, 2, 2.0)],
+            vec![DataPoint::new(5, 3, 3.0)],
+        ]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, 1.0);
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        assert!(merge_sorted(vec![]).is_empty());
+        assert!(merge_sorted(vec![vec![], vec![]]).is_empty());
+        let out = merge_sorted(vec![vec![], pts(&[1]), vec![]]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn large_merge_stays_sorted_and_unique() {
+        let a: Vec<i64> = (0..1000).map(|i| i * 3).collect();
+        let b: Vec<i64> = (0..1000).map(|i| i * 3 + 1).collect();
+        let c: Vec<i64> = (0..500).map(|i| i * 6).collect(); // duplicates of a
+        let out = merge_sorted(vec![pts(&a), pts(&b), pts(&c)]);
+        assert_eq!(out.len(), 2000);
+        assert!(out.windows(2).all(|w| w[0].gen_time < w[1].gen_time));
+    }
+}

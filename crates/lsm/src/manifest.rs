@@ -1,0 +1,266 @@
+//! The manifest: a durable log of run membership.
+//!
+//! Plain recovery ([`LsmEngine::recover`](crate::LsmEngine::recover)) rebuilds
+//! the level-1 run by reading and describing every stored table — O(data).
+//! The manifest makes recovery O(metadata): every table added to or removed
+//! from the run is logged as a fixed-size checksummed record, and the log is
+//! rewritten (compacted) after each merge so it stays proportional to the
+//! live table count.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use seplsm_types::{Error, Result, TimeRange};
+
+use crate::sstable::crc32::crc32;
+use crate::sstable::{SsTableId, SsTableMeta};
+
+const TAG_ADD: u8 = 1;
+const TAG_REMOVE: u8 = 2;
+/// Record payload: tag(1) + id(8) + start(8) + end(8) + count(4).
+const PAYLOAD: usize = 29;
+/// Record: payload + crc32.
+const RECORD: usize = PAYLOAD + 4;
+
+fn encode_record(tag: u8, id: SsTableId, range: TimeRange, count: u32) -> [u8; RECORD] {
+    let mut rec = [0u8; RECORD];
+    rec[0] = tag;
+    rec[1..9].copy_from_slice(&id.0.to_le_bytes());
+    rec[9..17].copy_from_slice(&range.start.to_le_bytes());
+    rec[17..25].copy_from_slice(&range.end.to_le_bytes());
+    rec[25..29].copy_from_slice(&count.to_le_bytes());
+    let crc = crc32(&rec[..PAYLOAD]);
+    rec[PAYLOAD..].copy_from_slice(&crc.to_le_bytes());
+    rec
+}
+
+/// An append-only, checksummed log of run-membership changes.
+pub struct Manifest {
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl std::fmt::Debug for Manifest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Manifest").field("path", &self.path).finish()
+    }
+}
+
+impl Manifest {
+    /// Opens (creating if needed) the manifest at `path` for appending.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Self { writer: BufWriter::new(file), path })
+    }
+
+    /// Path of the manifest file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Logs a table joining the run.
+    pub fn log_add(&mut self, meta: &SsTableMeta) -> Result<()> {
+        self.writer
+            .write_all(&encode_record(TAG_ADD, meta.id, meta.range, meta.count))?;
+        Ok(())
+    }
+
+    /// Logs a table leaving the run.
+    pub fn log_remove(&mut self, id: SsTableId) -> Result<()> {
+        self.writer.write_all(&encode_record(
+            TAG_REMOVE,
+            id,
+            TimeRange::new(0, 0),
+            0,
+        ))?;
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the log.
+    pub fn sync(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()?;
+        Ok(())
+    }
+
+    /// Atomically rewrites the log as a flat list of the live tables.
+    pub fn rewrite(&mut self, live: &[SsTableMeta]) -> Result<()> {
+        let tmp = self.path.with_extension("manifest.tmp");
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            for meta in live {
+                w.write_all(&encode_record(
+                    TAG_ADD,
+                    meta.id,
+                    meta.range,
+                    meta.count,
+                ))?;
+            }
+            w.flush()?;
+            w.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let file = OpenOptions::new().append(true).open(&self.path)?;
+        self.writer = BufWriter::new(file);
+        Ok(())
+    }
+
+    /// Replays the manifest at `path`, returning the live table metadata in
+    /// log order.
+    ///
+    /// A torn final record is dropped; mid-log corruption is reported.
+    /// A missing file yields an empty set.
+    pub fn replay(path: impl AsRef<Path>) -> Result<Vec<SsTableMeta>> {
+        let path = path.as_ref();
+        let mut data = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut data)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Vec::new())
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let mut live: Vec<SsTableMeta> = Vec::new();
+        let mut offset = 0;
+        while offset + RECORD <= data.len() {
+            let rec = &data[offset..offset + RECORD];
+            let stored = u32::from_le_bytes(
+                rec[PAYLOAD..].try_into().expect("4 bytes"),
+            );
+            if stored != crc32(&rec[..PAYLOAD]) {
+                return Err(Error::Corrupt(format!(
+                    "manifest record at offset {offset} fails CRC"
+                )));
+            }
+            let id = SsTableId(u64::from_le_bytes(
+                rec[1..9].try_into().expect("8 bytes"),
+            ));
+            match rec[0] {
+                TAG_ADD => {
+                    let start =
+                        i64::from_le_bytes(rec[9..17].try_into().expect("8 bytes"));
+                    let end =
+                        i64::from_le_bytes(rec[17..25].try_into().expect("8 bytes"));
+                    let count = u32::from_le_bytes(
+                        rec[25..29].try_into().expect("4 bytes"),
+                    );
+                    if start > end {
+                        return Err(Error::Corrupt(format!(
+                            "manifest add for {id} has inverted range"
+                        )));
+                    }
+                    live.push(SsTableMeta {
+                        id,
+                        range: TimeRange::new(start, end),
+                        count,
+                    });
+                }
+                TAG_REMOVE => {
+                    live.retain(|m| m.id != id);
+                }
+                tag => {
+                    return Err(Error::Corrupt(format!(
+                        "manifest record at offset {offset} has unknown tag {tag}"
+                    )))
+                }
+            }
+            offset += RECORD;
+        }
+        Ok(live)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "seplsm-manifest-{tag}-{}-{:?}.manifest",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn meta(id: u64, start: i64, end: i64, count: u32) -> SsTableMeta {
+        SsTableMeta { id: SsTableId(id), range: TimeRange::new(start, end), count }
+    }
+
+    #[test]
+    fn add_remove_replay() {
+        let path = temp_path("basic");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut m = Manifest::open(&path).expect("open");
+            m.log_add(&meta(1, 0, 99, 10)).expect("add");
+            m.log_add(&meta(2, 100, 199, 10)).expect("add");
+            m.log_remove(SsTableId(1)).expect("remove");
+            m.log_add(&meta(3, 0, 99, 12)).expect("add");
+            m.sync().expect("sync");
+        }
+        let live = Manifest::replay(&path).expect("replay");
+        let ids: Vec<u64> = live.iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, vec![2, 3]);
+        assert_eq!(live[1].count, 12);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn rewrite_compacts_history() {
+        let path = temp_path("rewrite");
+        let _ = std::fs::remove_file(&path);
+        let mut m = Manifest::open(&path).expect("open");
+        for i in 0..100 {
+            m.log_add(&meta(i, i as i64 * 10, i as i64 * 10 + 9, 1)).expect("add");
+            if i > 0 {
+                m.log_remove(SsTableId(i - 1)).expect("remove");
+            }
+        }
+        m.sync().expect("sync");
+        let size_before = std::fs::metadata(&path).expect("stat").len();
+        m.rewrite(&[meta(99, 990, 999, 1)]).expect("rewrite");
+        let size_after = std::fs::metadata(&path).expect("stat").len();
+        assert!(size_after < size_before / 10);
+        let live = Manifest::replay(&path).expect("replay");
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].id.0, 99);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn missing_manifest_is_empty() {
+        let path = temp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        assert!(Manifest::replay(&path).expect("replay").is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_corruption_is_detected() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut m = Manifest::open(&path).expect("open");
+            m.log_add(&meta(1, 0, 9, 1)).expect("add");
+            m.log_add(&meta(2, 10, 19, 1)).expect("add");
+            m.sync().expect("sync");
+        }
+        let data = std::fs::read(&path).expect("read");
+        // Torn tail: drop 5 bytes.
+        std::fs::write(&path, &data[..data.len() - 5]).expect("truncate");
+        let live = Manifest::replay(&path).expect("tolerates torn tail");
+        assert_eq!(live.len(), 1);
+        // Mid-log corruption: flip a byte in record 0.
+        let mut bad = data.clone();
+        bad[3] ^= 0xff;
+        std::fs::write(&path, &bad).expect("corrupt");
+        assert!(Manifest::replay(&path).is_err());
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+}

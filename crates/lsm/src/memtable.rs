@@ -1,0 +1,168 @@
+//! MemTables: bounded in-memory buffers sorted by generation time.
+//!
+//! Under `π_c` the engine holds one MemTable (`C0`); under `π_s` it holds two
+//! (`C_seq` for in-order points, `C_nonseq` for out-of-order points). Capacity
+//! is expressed in *points*, matching the paper's "number of tuples that can
+//! be buffered in memory is a constant".
+
+use std::collections::BTreeMap;
+
+use seplsm_types::{DataPoint, TimeRange, Timestamp};
+
+/// A capacity-bounded buffer of points, ordered by generation time.
+///
+/// Generation timestamps identify points, so inserting a duplicate timestamp
+/// *upserts* (last write wins) without consuming extra capacity.
+#[derive(Debug, Clone)]
+pub struct MemTable {
+    /// gen_time → (arrival_time, value).
+    entries: BTreeMap<Timestamp, (Timestamp, f64)>,
+    capacity: usize,
+}
+
+impl MemTable {
+    /// Creates an empty MemTable holding at most `capacity` points
+    /// (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "MemTable capacity must be >= 1");
+        Self { entries: BTreeMap::new(), capacity }
+    }
+
+    /// Maximum number of points this table holds before it must be flushed.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of buffered points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no points are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when the table has reached capacity and must be flushed.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Buffers a point. Returns `true` if a point with the same generation
+    /// time was overwritten.
+    pub fn insert(&mut self, p: DataPoint) -> bool {
+        self.entries
+            .insert(p.gen_time, (p.arrival_time, p.value))
+            .is_some()
+    }
+
+    /// Earliest buffered generation time.
+    pub fn min_gen_time(&self) -> Option<Timestamp> {
+        self.entries.keys().next().copied()
+    }
+
+    /// Latest buffered generation time.
+    pub fn max_gen_time(&self) -> Option<Timestamp> {
+        self.entries.keys().next_back().copied()
+    }
+
+    /// Generation-time range covered by the buffer, if non-empty.
+    pub fn range(&self) -> Option<TimeRange> {
+        Some(TimeRange::new(self.min_gen_time()?, self.max_gen_time()?))
+    }
+
+    /// Points whose generation time falls in `range`, in sorted order.
+    pub fn scan(&self, range: TimeRange) -> Vec<DataPoint> {
+        self.entries
+            .range(range.start..=range.end)
+            .map(|(&tg, &(ta, v))| DataPoint::new(tg, ta, v))
+            .collect()
+    }
+
+    /// All buffered points in generation-time order, leaving the table empty.
+    pub fn drain_sorted(&mut self) -> Vec<DataPoint> {
+        let entries = std::mem::take(&mut self.entries);
+        entries
+            .into_iter()
+            .map(|(tg, (ta, v))| DataPoint::new(tg, ta, v))
+            .collect()
+    }
+
+    /// All buffered points in generation-time order, without draining.
+    pub fn snapshot_sorted(&self) -> Vec<DataPoint> {
+        self.entries
+            .iter()
+            .map(|(&tg, &(ta, v))| DataPoint::new(tg, ta, v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_up_and_reports_full() {
+        let mut m = MemTable::new(3);
+        assert!(!m.is_full());
+        for i in 0..3 {
+            m.insert(DataPoint::new(i, i, 0.0));
+        }
+        assert!(m.is_full());
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn drain_returns_points_sorted_by_gen_time() {
+        let mut m = MemTable::new(10);
+        for &tg in &[50i64, 10, 30, 20, 40] {
+            m.insert(DataPoint::new(tg, tg + 5, tg as f64));
+        }
+        let drained = m.drain_sorted();
+        assert!(m.is_empty());
+        let tgs: Vec<i64> = drained.iter().map(|p| p.gen_time).collect();
+        assert_eq!(tgs, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn duplicate_gen_time_upserts() {
+        let mut m = MemTable::new(2);
+        assert!(!m.insert(DataPoint::new(10, 11, 1.0)));
+        assert!(m.insert(DataPoint::new(10, 15, 2.0)));
+        assert_eq!(m.len(), 1);
+        let p = m.snapshot_sorted()[0];
+        assert_eq!((p.arrival_time, p.value), (15, 2.0));
+    }
+
+    #[test]
+    fn min_max_and_range_track_contents() {
+        let mut m = MemTable::new(10);
+        assert_eq!(m.range(), None);
+        m.insert(DataPoint::new(30, 31, 0.0));
+        m.insert(DataPoint::new(10, 12, 0.0));
+        assert_eq!(m.min_gen_time(), Some(10));
+        assert_eq!(m.max_gen_time(), Some(30));
+        assert_eq!(m.range(), Some(TimeRange::new(10, 30)));
+    }
+
+    #[test]
+    fn scan_respects_closed_range() {
+        let mut m = MemTable::new(10);
+        for tg in [10i64, 20, 30, 40] {
+            m.insert(DataPoint::new(tg, tg, 0.0));
+        }
+        let hits = m.scan(TimeRange::new(20, 30));
+        assert_eq!(
+            hits.iter().map(|p| p.gen_time).collect::<Vec<_>>(),
+            vec![20, 30]
+        );
+    }
+
+    #[test]
+    fn snapshot_does_not_drain() {
+        let mut m = MemTable::new(10);
+        m.insert(DataPoint::new(1, 1, 0.0));
+        assert_eq!(m.snapshot_sorted().len(), 1);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,238 @@
+//! Multi-series management: one logical store, many independent series.
+//!
+//! The paper's industrial setting (§VI) records *thousands* of time series
+//! per vehicle, each with its own delay behaviour — IoTDB buffers and tunes
+//! them independently. [`MultiSeriesEngine`] provides that shape: each
+//! [`SeriesId`] gets its own MemTables, level-1 run and metrics (so policies
+//! can differ per series), while all series share one [`TableStore`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange};
+
+use crate::engine::{EngineConfig, LsmEngine};
+use crate::query::QueryStats;
+use crate::store::{MemStore, TableStore};
+
+/// Identifier of one time series (e.g. one sensor channel of one vehicle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeriesId(pub u32);
+
+impl std::fmt::Display for SeriesId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "series-{}", self.0)
+    }
+}
+
+/// Aggregate write counters across all series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MultiMetrics {
+    /// Series hosted.
+    pub series: usize,
+    /// Total user points across series.
+    pub user_points: u64,
+    /// Total points physically written.
+    pub disk_points_written: u64,
+    /// Total flushes.
+    pub flushes: u64,
+    /// Total merge compactions.
+    pub compactions: u64,
+}
+
+impl MultiMetrics {
+    /// Fleet-wide write amplification.
+    pub fn write_amplification(&self) -> f64 {
+        if self.user_points == 0 {
+            return 0.0;
+        }
+        self.disk_points_written as f64 / self.user_points as f64
+    }
+}
+
+/// A collection of independently-buffered series over one shared store.
+pub struct MultiSeriesEngine {
+    store: Arc<dyn TableStore>,
+    template: EngineConfig,
+    series: HashMap<SeriesId, LsmEngine>,
+}
+
+impl MultiSeriesEngine {
+    /// Creates a multi-series engine; new series start from `template`.
+    pub fn new(template: EngineConfig, store: Arc<dyn TableStore>) -> Self {
+        Self { store, template, series: HashMap::new() }
+    }
+
+    /// In-memory-store convenience constructor.
+    pub fn in_memory(template: EngineConfig) -> Self {
+        Self::new(template, Arc::new(MemStore::new()))
+    }
+
+    /// Number of series hosted so far.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// `true` before the first append.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// The hosted series ids, in ascending order.
+    pub fn series_ids(&self) -> Vec<SeriesId> {
+        let mut ids: Vec<SeriesId> = self.series.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// The engine behind `series`, if it exists.
+    pub fn engine(&self, series: SeriesId) -> Option<&LsmEngine> {
+        self.series.get(&series)
+    }
+
+    fn engine_entry(&mut self, series: SeriesId) -> Result<&mut LsmEngine> {
+        if !self.series.contains_key(&series) {
+            let engine =
+                LsmEngine::new(self.template.clone(), Arc::clone(&self.store))?;
+            self.series.insert(series, engine);
+        }
+        Ok(self.series.get_mut(&series).expect("inserted above"))
+    }
+
+    /// Writes one point into `series` (creating the series on first write).
+    ///
+    /// # Errors
+    /// Storage failures.
+    pub fn append(&mut self, series: SeriesId, p: DataPoint) -> Result<()> {
+        self.engine_entry(series)?.append(p)
+    }
+
+    /// Range query against one series.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] for an unknown series; storage failures.
+    pub fn query(
+        &self,
+        series: SeriesId,
+        range: TimeRange,
+    ) -> Result<(Vec<DataPoint>, QueryStats)> {
+        self.series
+            .get(&series)
+            .ok_or_else(|| Error::InvalidConfig(format!("unknown {series}")))?
+            .query(range)
+    }
+
+    /// Switches the buffering policy of one series (e.g. after a per-series
+    /// tuning decision).
+    ///
+    /// # Errors
+    /// Unknown series, degenerate policies, or storage failures.
+    pub fn set_policy(&mut self, series: SeriesId, policy: Policy) -> Result<()> {
+        self.series
+            .get_mut(&series)
+            .ok_or_else(|| Error::InvalidConfig(format!("unknown {series}")))?
+            .set_policy(policy)
+    }
+
+    /// Flushes every series.
+    ///
+    /// # Errors
+    /// Storage failures.
+    pub fn flush_all(&mut self) -> Result<()> {
+        for engine in self.series.values_mut() {
+            engine.flush_all()?;
+        }
+        Ok(())
+    }
+
+    /// Aggregated counters across all series.
+    pub fn metrics(&self) -> MultiMetrics {
+        let mut m = MultiMetrics { series: self.series.len(), ..Default::default() };
+        for engine in self.series.values() {
+            let em = engine.metrics();
+            m.user_points += em.user_points;
+            m.disk_points_written += em.disk_points_written;
+            m.flushes += em.flushes;
+            m.compactions += em.compactions;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> EngineConfig {
+        EngineConfig::conventional(8).with_sstable_points(8)
+    }
+
+    #[test]
+    fn series_are_created_lazily_and_isolated() {
+        let mut m = MultiSeriesEngine::in_memory(config());
+        assert!(m.is_empty());
+        for i in 0..20i64 {
+            m.append(SeriesId(1), DataPoint::new(i * 10, i * 10, 1.0))
+                .expect("append");
+            m.append(SeriesId(2), DataPoint::new(i * 10, i * 10, 2.0))
+                .expect("append");
+        }
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.series_ids(), vec![SeriesId(1), SeriesId(2)]);
+        let (a, _) = m.query(SeriesId(1), TimeRange::new(0, 200)).expect("query");
+        assert_eq!(a.len(), 20);
+        assert!(a.iter().all(|p| p.value == 1.0), "series 1 must not see series 2");
+    }
+
+    #[test]
+    fn unknown_series_is_an_error() {
+        let m = MultiSeriesEngine::in_memory(config());
+        assert!(m.query(SeriesId(9), TimeRange::new(0, 10)).is_err());
+    }
+
+    #[test]
+    fn per_series_policies_can_differ() {
+        let mut m = MultiSeriesEngine::in_memory(config());
+        m.append(SeriesId(1), DataPoint::new(0, 0, 0.0)).expect("append");
+        m.append(SeriesId(2), DataPoint::new(0, 0, 0.0)).expect("append");
+        m.set_policy(SeriesId(2), Policy::separation(8, 4).expect("policy"))
+            .expect("switch");
+        assert!(!m.engine(SeriesId(1)).expect("s1").policy().is_separation());
+        assert!(m.engine(SeriesId(2)).expect("s2").policy().is_separation());
+        assert!(m.set_policy(SeriesId(3), Policy::conventional(8)).is_err());
+    }
+
+    #[test]
+    fn aggregate_metrics_sum_across_series() {
+        let mut m = MultiSeriesEngine::in_memory(config());
+        for s in 0..4u32 {
+            for i in 0..50i64 {
+                m.append(SeriesId(s), DataPoint::new(i * 10, i * 10, 0.0))
+                    .expect("append");
+            }
+        }
+        let agg = m.metrics();
+        assert_eq!(agg.series, 4);
+        assert_eq!(agg.user_points, 200);
+        assert!(agg.disk_points_written >= 4 * 48);
+        assert!((agg.write_amplification() - 1.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn flush_all_drains_every_series() {
+        let mut m = MultiSeriesEngine::in_memory(config());
+        for s in 0..3u32 {
+            m.append(SeriesId(s), DataPoint::new(5, 5, 0.0)).expect("append");
+        }
+        m.flush_all().expect("flush");
+        for s in 0..3u32 {
+            assert_eq!(
+                m.engine(SeriesId(s)).expect("series").buffered_points(),
+                0
+            );
+            let (pts, _) =
+                m.query(SeriesId(s), TimeRange::new(0, 10)).expect("query");
+            assert_eq!(pts.len(), 1);
+        }
+    }
+}

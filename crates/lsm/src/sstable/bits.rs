@@ -1,0 +1,155 @@
+//! Bit-level I/O for the compressed block format.
+//!
+//! [`BitWriter`] packs bits MSB-first into a byte vector; [`BitReader`]
+//! replays them. Both are deliberately simple — the compressed-block
+//! encoder is the only client and always knows how many symbols to read.
+
+use seplsm_types::{Error, Result};
+
+/// Append-only MSB-first bit buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the final byte (0 ⇒ byte boundary).
+    used: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a single bit.
+    pub fn put_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.bytes.push(0);
+            self.used = 8;
+        }
+        self.used -= 1;
+        if bit {
+            *self.bytes.last_mut().expect("pushed above") |= 1 << self.used;
+        }
+    }
+
+    /// Appends the low `width` bits of `value`, MSB first (`width ≤ 64`).
+    pub fn put_bits(&mut self, value: u64, width: u8) {
+        debug_assert!(width <= 64);
+        for i in (0..width).rev() {
+            self.put_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn len_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.used as usize
+    }
+
+    /// Finishes the stream (zero-padding the final byte) and returns the
+    /// packed bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// MSB-first bit cursor over a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader at bit 0 of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] past the end of the buffer.
+    pub fn bit(&mut self) -> Result<bool> {
+        let byte = self.pos / 8;
+        if byte >= self.bytes.len() {
+            return Err(Error::Corrupt("bit stream exhausted".into()));
+        }
+        let bit = (self.bytes[byte] >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `width` bits as the low bits of a `u64`, MSB first.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] past the end of the buffer.
+    pub fn bits(&mut self, width: u8) -> Result<u64> {
+        debug_assert!(width <= 64);
+        let mut v = 0u64;
+        for _ in 0..width {
+            v = (v << 1) | u64::from(self.bit()?);
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip() {
+        let mut w = BitWriter::new();
+        w.put_bit(true);
+        w.put_bits(0b1011, 4);
+        w.put_bits(u64::MAX, 64);
+        w.put_bits(0, 7);
+        w.put_bit(false);
+        let total = w.len_bits();
+        assert_eq!(total, 1 + 4 + 64 + 7 + 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert!(r.bit().expect("bit"));
+        assert_eq!(r.bits(4).expect("bits"), 0b1011);
+        assert_eq!(r.bits(64).expect("bits"), u64::MAX);
+        assert_eq!(r.bits(7).expect("bits"), 0);
+        assert!(!r.bit().expect("bit"));
+    }
+
+    #[test]
+    fn zero_width_reads_nothing() {
+        let mut w = BitWriter::new();
+        w.put_bits(0xFF, 8);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits(0).expect("bits"), 0);
+        assert_eq!(r.bits(8).expect("bits"), 0xFF);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b101, 3);
+        let bytes = w.finish(); // one padded byte
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits(8).expect("padded byte"), 0b1010_0000);
+        assert!(r.bit().is_err());
+    }
+
+    #[test]
+    fn many_values_round_trip() {
+        let mask = |width: u8| u64::MAX >> (64 - u32::from(width));
+        let mut w = BitWriter::new();
+        for i in 0..1000u64 {
+            let width = (i % 64 + 1) as u8;
+            w.put_bits(i.wrapping_mul(0x9E3779B97F4A7C15) & mask(width), width);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for i in 0..1000u64 {
+            let width = (i % 64 + 1) as u8;
+            let expect = i.wrapping_mul(0x9E3779B97F4A7C15) & mask(width);
+            assert_eq!(r.bits(width).expect("bits"), expect, "at {i}");
+        }
+    }
+}

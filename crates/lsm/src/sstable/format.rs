@@ -1,0 +1,742 @@
+//! The SSTable binary formats.
+//!
+//! **Version 1** — flat varint records:
+//!
+//! ```text
+//! +--------+---------+-------+-------+--------+--------+-----------+-------+
+//! | magic  | version | flags | count | min_tg | max_tg | records…  | crc32 |
+//! | 4B     | u16 LE  | u16   | u32   | i64 LE | i64 LE |           | u32   |
+//! +--------+---------+-------+-------+--------+--------+-----------+-------+
+//! ```
+//!
+//! Records are sorted by generation time. The first record stores its
+//! generation time as an absolute zigzag varint; subsequent records store the
+//! (strictly positive) delta to the previous generation time as a plain
+//! varint. Every record stores its *delay* (`t_a − t_g`) as a zigzag varint —
+//! delays are small, arrival timestamps are not — followed by the `f64` value
+//! bits. The trailing CRC-32 covers all preceding bytes.
+//!
+//! **Version 2** — compressed blocks with an index (pick via
+//! [`EncodeOptions`]):
+//!
+//! ```text
+//! +-----------------+------------+---------------------+----------+
+//! | header + index  | header_crc | blocks…             | file_crc |
+//! +-----------------+------------+---------------------+----------+
+//! block  = delta-of-delta timestamps ++ delta-of-delta delays
+//!          ++ Gorilla XOR values ++ block_crc
+//! index  = per block: first_tg, last_tg, count, offset, len
+//! ```
+//!
+//! The per-block index and CRCs make *block-granular* reads possible
+//! ([`decode_range`]): a range query only decodes (and accounts for) the
+//! blocks its range overlaps — IoTDB's chunk-read behaviour at a finer
+//! granularity (see the `ablation_block_reads` bench).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use seplsm_types::{DataPoint, Error, Result, TimeRange};
+
+use super::bits::{BitReader, BitWriter};
+use super::compress::{decode_f64s, decode_i64s, encode_f64s, encode_i64s};
+use super::crc32::crc32;
+use super::varint::{get_ivarint, get_uvarint, put_ivarint, put_uvarint};
+
+const MAGIC: &[u8; 4] = b"SLSM";
+const VERSION: u16 = 1;
+const VERSION_BLOCKS: u16 = 2;
+
+/// Record encoding used when building an SSTable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compression {
+    /// Version-1 flat varint records.
+    #[default]
+    None,
+    /// Version-2 compressed blocks (delta-of-delta + Gorilla XOR).
+    TimeSeries,
+}
+
+/// SSTable build options.
+#[derive(Debug, Clone, Copy)]
+pub struct EncodeOptions {
+    /// Record encoding.
+    pub compression: Compression,
+    /// Points per block in the v2 format (ignored for v1).
+    pub block_points: usize,
+}
+
+impl Default for EncodeOptions {
+    fn default() -> Self {
+        Self { compression: Compression::None, block_points: 128 }
+    }
+}
+
+impl EncodeOptions {
+    /// The v2 compressed-block format with the default 128-point blocks.
+    pub fn compressed() -> Self {
+        Self { compression: Compression::TimeSeries, block_points: 128 }
+    }
+}
+
+/// Result of a block-granular range read.
+#[derive(Debug, Clone)]
+pub struct RangeRead {
+    /// Points whose generation time falls inside the requested range.
+    pub points: Vec<DataPoint>,
+    /// Points decoded to serve the read (whole overlapping blocks).
+    pub points_scanned: u64,
+    /// Blocks decoded.
+    pub blocks_read: u64,
+}
+
+fn validate_input(points: &[DataPoint]) -> Result<()> {
+    if points.is_empty() {
+        return Err(Error::InvalidConfig("cannot encode an empty SSTable".into()));
+    }
+    for w in points.windows(2) {
+        if w[1].gen_time <= w[0].gen_time {
+            return Err(Error::InvalidConfig(format!(
+                "SSTable points must have strictly increasing gen_time \
+                 (prev={}, next={})",
+                w[0].gen_time, w[1].gen_time
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Encodes `points` with the given options (v1 flat records or v2
+/// compressed blocks).
+///
+/// # Errors
+/// [`Error::InvalidConfig`] if the input is empty or not strictly sorted.
+pub fn encode_with(points: &[DataPoint], options: &EncodeOptions) -> Result<Bytes> {
+    match options.compression {
+        Compression::None => encode(points),
+        Compression::TimeSeries => encode_v2(points, options.block_points.max(1)),
+    }
+}
+
+/// Encodes `points` (non-empty, sorted by strictly increasing generation
+/// time) into the version-1 SSTable wire format.
+///
+/// # Errors
+/// [`Error::InvalidConfig`] if the input is empty or not strictly sorted.
+pub fn encode(points: &[DataPoint]) -> Result<Bytes> {
+    if points.is_empty() {
+        return Err(Error::InvalidConfig("cannot encode an empty SSTable".into()));
+    }
+    // Rough capacity guess: ~14 bytes per point after delta compression.
+    let mut buf = BytesMut::with_capacity(32 + points.len() * 14);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(0); // flags, reserved
+    buf.put_u32_le(points.len() as u32);
+    buf.put_i64_le(points[0].gen_time);
+    buf.put_i64_le(points[points.len() - 1].gen_time);
+
+    let mut prev_tg = None::<i64>;
+    for p in points {
+        match prev_tg {
+            None => put_ivarint(&mut buf, p.gen_time),
+            Some(prev) => {
+                let delta = p.gen_time - prev;
+                if delta <= 0 {
+                    return Err(Error::InvalidConfig(format!(
+                        "SSTable points must have strictly increasing gen_time \
+                         (prev={prev}, next={})",
+                        p.gen_time
+                    )));
+                }
+                put_uvarint(&mut buf, delta as u64);
+            }
+        }
+        prev_tg = Some(p.gen_time);
+        put_ivarint(&mut buf, p.delay());
+        buf.put_u64_le(p.value.to_bits());
+    }
+
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    Ok(buf.freeze())
+}
+
+/// Decodes and validates an SSTable, returning its points.
+///
+/// # Errors
+/// [`Error::Corrupt`] on bad magic, unsupported version, CRC mismatch,
+/// truncation, or header/record inconsistencies.
+pub fn decode(data: &[u8]) -> Result<Vec<DataPoint>> {
+    const HEADER: usize = 4 + 2 + 2 + 4 + 8 + 8;
+    const FOOTER: usize = 4;
+    if data.len() < HEADER + FOOTER {
+        return Err(Error::Corrupt(format!(
+            "SSTable too short: {} bytes",
+            data.len()
+        )));
+    }
+    let (body, footer) = data.split_at(data.len() - FOOTER);
+    let stored_crc = u32::from_le_bytes(footer.try_into().expect("4 bytes"));
+    let actual_crc = crc32(body);
+    if stored_crc != actual_crc {
+        return Err(Error::Corrupt(format!(
+            "SSTable CRC mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+        )));
+    }
+
+    let mut buf = body;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(Error::Corrupt(format!("bad SSTable magic {magic:02x?}")));
+    }
+    let version = buf.get_u16_le();
+    if version == VERSION_BLOCKS {
+        return decode_v2_full(data);
+    }
+    if version != VERSION {
+        return Err(Error::Corrupt(format!("unsupported SSTable version {version}")));
+    }
+    let _flags = buf.get_u16_le();
+    let count = buf.get_u32_le() as usize;
+    let min_tg = buf.get_i64_le();
+    let max_tg = buf.get_i64_le();
+
+    let mut points = Vec::with_capacity(count);
+    let mut prev_tg = None::<i64>;
+    for _ in 0..count {
+        let gen_time = match prev_tg {
+            None => get_ivarint(&mut buf)?,
+            Some(prev) => {
+                let delta = get_uvarint(&mut buf)?;
+                prev.checked_add(delta as i64).ok_or_else(|| {
+                    Error::Corrupt("gen_time delta overflow".into())
+                })?
+            }
+        };
+        prev_tg = Some(gen_time);
+        let delay = get_ivarint(&mut buf)?;
+        if buf.remaining() < 8 {
+            return Err(Error::Corrupt("truncated record value".into()));
+        }
+        let value = f64::from_bits(buf.get_u64_le());
+        points.push(DataPoint::with_delay(gen_time, delay, value));
+    }
+    if buf.has_remaining() {
+        return Err(Error::Corrupt(format!(
+            "{} trailing bytes after {count} records",
+            buf.remaining()
+        )));
+    }
+    match (points.first(), points.last()) {
+        (Some(first), Some(last))
+            if first.gen_time == min_tg && last.gen_time == max_tg => {}
+        _ => {
+            return Err(Error::Corrupt(
+                "header min/max do not match records".into(),
+            ))
+        }
+    }
+    Ok(points)
+}
+
+/// v2 fixed header size: magic(4) + version(2) + flags(2) + count(4) +
+/// min(8) + max(8) + block_points(4) + block_count(4).
+const V2_FIXED: usize = 36;
+/// v2 index entry: first(8) + last(8) + count(4) + offset(4) + len(4).
+const V2_INDEX_ENTRY: usize = 28;
+
+fn encode_v2(points: &[DataPoint], block_points: usize) -> Result<Bytes> {
+    validate_input(points)?;
+
+    struct BlockBuild {
+        first: i64,
+        last: i64,
+        count: u32,
+        payload: Vec<u8>,
+    }
+    let mut blocks = Vec::new();
+    for chunk in points.chunks(block_points) {
+        let tgs: Vec<i64> = chunk.iter().map(|p| p.gen_time).collect();
+        let delays: Vec<i64> = chunk.iter().map(DataPoint::delay).collect();
+        let values: Vec<f64> = chunk.iter().map(|p| p.value).collect();
+        let mut w = BitWriter::new();
+        encode_i64s(&mut w, &tgs);
+        encode_i64s(&mut w, &delays);
+        encode_f64s(&mut w, &values);
+        let mut payload = w.finish();
+        let block_crc = crc32(&payload);
+        payload.extend_from_slice(&block_crc.to_le_bytes());
+        blocks.push(BlockBuild {
+            first: tgs[0],
+            last: *tgs.last().expect("non-empty chunk"),
+            count: chunk.len() as u32,
+            payload,
+        });
+    }
+
+    let index_len = blocks.len() * V2_INDEX_ENTRY;
+    let data_len: usize = blocks.iter().map(|b| b.payload.len()).sum();
+    let mut buf =
+        BytesMut::with_capacity(V2_FIXED + index_len + 4 + data_len + 4);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION_BLOCKS);
+    buf.put_u16_le(1); // flags: compressed
+    buf.put_u32_le(points.len() as u32);
+    buf.put_i64_le(points[0].gen_time);
+    buf.put_i64_le(points[points.len() - 1].gen_time);
+    buf.put_u32_le(block_points as u32);
+    buf.put_u32_le(blocks.len() as u32);
+    let mut offset = 0u32;
+    for b in &blocks {
+        buf.put_i64_le(b.first);
+        buf.put_i64_le(b.last);
+        buf.put_u32_le(b.count);
+        buf.put_u32_le(offset);
+        buf.put_u32_le(b.payload.len() as u32);
+        offset += b.payload.len() as u32;
+    }
+    let header_crc = crc32(&buf);
+    buf.put_u32_le(header_crc);
+    for b in &blocks {
+        buf.put_slice(&b.payload);
+    }
+    let file_crc = crc32(&buf);
+    buf.put_u32_le(file_crc);
+    Ok(buf.freeze())
+}
+
+/// Parsed v2 header + index.
+struct V2Header {
+    count: usize,
+    min_tg: i64,
+    max_tg: i64,
+    index: Vec<V2Entry>,
+    /// Byte offset where block data starts.
+    data_start: usize,
+}
+
+#[derive(Clone, Copy)]
+struct V2Entry {
+    first: i64,
+    last: i64,
+    count: u32,
+    offset: u32,
+    len: u32,
+}
+
+/// Parses and CRC-validates the v2 header + index region.
+fn parse_v2_header(data: &[u8]) -> Result<V2Header> {
+    if data.len() < V2_FIXED + 4 {
+        return Err(Error::Corrupt("v2 SSTable too short for header".into()));
+    }
+    let mut buf = data;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(Error::Corrupt(format!("bad SSTable magic {magic:02x?}")));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION_BLOCKS {
+        return Err(Error::Corrupt(format!(
+            "expected v2 SSTable, found version {version}"
+        )));
+    }
+    let _flags = buf.get_u16_le();
+    let count = buf.get_u32_le() as usize;
+    let min_tg = buf.get_i64_le();
+    let max_tg = buf.get_i64_le();
+    let _block_points = buf.get_u32_le();
+    let block_count = buf.get_u32_le() as usize;
+    let header_len = V2_FIXED + block_count * V2_INDEX_ENTRY;
+    if data.len() < header_len + 4 {
+        return Err(Error::Corrupt("v2 SSTable truncated in index".into()));
+    }
+    let stored = u32::from_le_bytes(
+        data[header_len..header_len + 4].try_into().expect("4 bytes"),
+    );
+    let actual = crc32(&data[..header_len]);
+    if stored != actual {
+        return Err(Error::Corrupt(format!(
+            "v2 header CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    let mut index = Vec::with_capacity(block_count);
+    let mut total: u64 = 0;
+    for _ in 0..block_count {
+        let entry = V2Entry {
+            first: buf.get_i64_le(),
+            last: buf.get_i64_le(),
+            count: buf.get_u32_le(),
+            offset: buf.get_u32_le(),
+            len: buf.get_u32_le(),
+        };
+        total += u64::from(entry.count);
+        index.push(entry);
+    }
+    if total != count as u64 {
+        return Err(Error::Corrupt(format!(
+            "v2 block counts sum to {total}, header says {count}"
+        )));
+    }
+    Ok(V2Header { count, min_tg, max_tg, index, data_start: header_len + 4 })
+}
+
+/// Decodes one v2 block (verifying its CRC).
+fn decode_v2_block(data: &[u8], header: &V2Header, entry: &V2Entry) -> Result<Vec<DataPoint>> {
+    let start = header.data_start + entry.offset as usize;
+    let end = start + entry.len as usize;
+    // Block data must not run into the trailing 4-byte file CRC.
+    if end > data.len().saturating_sub(4) {
+        return Err(Error::Corrupt("v2 block extends past file".into()));
+    }
+    let block = &data[start..end];
+    if block.len() < 4 {
+        return Err(Error::Corrupt("v2 block too short".into()));
+    }
+    let (payload, crc_bytes) = block.split_at(block.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let actual = crc32(payload);
+    if stored != actual {
+        return Err(Error::Corrupt(format!(
+            "v2 block CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    let count = entry.count as usize;
+    let mut reader = BitReader::new(payload);
+    let tgs = decode_i64s(&mut reader, count)?;
+    let delays = decode_i64s(&mut reader, count)?;
+    let values = decode_f64s(&mut reader, count)?;
+    let mut points = Vec::with_capacity(count);
+    for i in 0..count {
+        points.push(DataPoint::with_delay(tgs[i], delays[i], values[i]));
+    }
+    if points.first().map(|p| p.gen_time) != Some(entry.first)
+        || points.last().map(|p| p.gen_time) != Some(entry.last)
+    {
+        return Err(Error::Corrupt(
+            "v2 block contents disagree with index entry".into(),
+        ));
+    }
+    Ok(points)
+}
+
+/// Full decode of a v2 SSTable (called from [`decode`] after the file CRC
+/// has been verified).
+fn decode_v2_full(data: &[u8]) -> Result<Vec<DataPoint>> {
+    let header = parse_v2_header(data)?;
+    let mut points = Vec::with_capacity(header.count);
+    for entry in &header.index {
+        points.extend(decode_v2_block(data, &header, entry)?);
+    }
+    if points.len() != header.count {
+        return Err(Error::Corrupt("v2 point count mismatch".into()));
+    }
+    for w in points.windows(2) {
+        if w[1].gen_time <= w[0].gen_time {
+            return Err(Error::Corrupt(
+                "v2 blocks are not sorted across boundaries".into(),
+            ));
+        }
+    }
+    match (points.first(), points.last()) {
+        (Some(first), Some(last))
+            if first.gen_time == header.min_tg && last.gen_time == header.max_tg => {}
+        _ => {
+            return Err(Error::Corrupt(
+                "v2 header min/max do not match records".into(),
+            ))
+        }
+    }
+    Ok(points)
+}
+
+/// Block-granular range read: decodes only the blocks whose generation-time
+/// range overlaps `range` and reports exactly how much was scanned.
+///
+/// For v1 tables the whole table is one block (full decode); v2 tables use
+/// the block index. Either way the returned points are filtered to `range`.
+///
+/// # Errors
+/// [`Error::Corrupt`] on any validation failure in the touched region.
+pub fn decode_range(data: &[u8], range: TimeRange) -> Result<RangeRead> {
+    if data.len() >= 6 && &data[..4] == MAGIC {
+        let version = u16::from_le_bytes(data[4..6].try_into().expect("2 bytes"));
+        if version == VERSION_BLOCKS {
+            let header = parse_v2_header(data)?;
+            let mut read = RangeRead {
+                points: Vec::new(),
+                points_scanned: 0,
+                blocks_read: 0,
+            };
+            if header.max_tg < range.start || header.min_tg > range.end {
+                return Ok(read);
+            }
+            for entry in &header.index {
+                if entry.last < range.start || entry.first > range.end {
+                    continue;
+                }
+                let block = decode_v2_block(data, &header, entry)?;
+                read.blocks_read += 1;
+                read.points_scanned += block.len() as u64;
+                read.points.extend(
+                    block.into_iter().filter(|p| range.contains(p.gen_time)),
+                );
+            }
+            return Ok(read);
+        }
+    }
+    // v1 (or anything else): full validated decode counts as one block.
+    let points = decode(data)?;
+    let points_scanned = points.len() as u64;
+    Ok(RangeRead {
+        points: points
+            .into_iter()
+            .filter(|p| range.contains(p.gen_time))
+            .collect(),
+        points_scanned,
+        blocks_read: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_points(n: usize) -> Vec<DataPoint> {
+        (0..n)
+            .map(|i| {
+                DataPoint::with_delay(
+                    (i as i64) * 50 + 1_000_000,
+                    (i as i64 * 37) % 991,
+                    i as f64 * 0.5,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_typical_table() {
+        let pts = sample_points(512);
+        let bytes = encode(&pts).expect("encode");
+        let back = decode(&bytes).expect("decode");
+        assert_eq!(back, pts);
+    }
+
+    #[test]
+    fn round_trips_single_point_and_negative_delay() {
+        let pts = vec![DataPoint::new(-5, -10, f64::MIN)];
+        let back = decode(&encode(&pts).expect("encode")).expect("decode");
+        assert_eq!(back, pts);
+        assert_eq!(back[0].delay(), -5);
+    }
+
+    #[test]
+    fn preserves_value_bit_patterns() {
+        let pts = vec![
+            DataPoint::new(1, 1, f64::NAN),
+            DataPoint::new(2, 2, f64::INFINITY),
+            DataPoint::new(3, 3, -0.0),
+        ];
+        let back = decode(&encode(&pts).expect("encode")).expect("decode");
+        assert!(back[0].value.is_nan());
+        assert_eq!(back[1].value, f64::INFINITY);
+        assert_eq!(back[2].value.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn delta_compression_beats_fixed_width() {
+        let pts = sample_points(1000);
+        let bytes = encode(&pts).expect("encode");
+        // Fixed-width would be 24 bytes per point; deltas should roughly halve it.
+        assert!(
+            bytes.len() < 1000 * 24 / 2 + 64,
+            "encoded size {} too large",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(encode(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_unsorted_input() {
+        let pts = vec![DataPoint::new(10, 10, 0.0), DataPoint::new(5, 5, 0.0)];
+        assert!(encode(&pts).is_err());
+        let dup = vec![DataPoint::new(10, 10, 0.0), DataPoint::new(10, 11, 0.0)];
+        assert!(encode(&dup).is_err());
+    }
+
+    #[test]
+    fn detects_corruption_anywhere() {
+        let bytes = encode(&sample_points(64)).expect("encode");
+        for i in (0..bytes.len()).step_by(7) {
+            let mut bad = bytes.to_vec();
+            bad[i] ^= 0x40;
+            assert!(decode(&bad).is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let bytes = encode(&sample_points(64)).expect("encode");
+        for cut in [0, 1, 10, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "truncation to {cut} bytes");
+        }
+    }
+
+    #[test]
+    fn v2_round_trips_typical_table() {
+        let pts = sample_points(512);
+        let bytes = encode_with(&pts, &EncodeOptions::compressed()).expect("encode");
+        let back = decode(&bytes).expect("decode");
+        assert_eq!(back, pts);
+    }
+
+    #[test]
+    fn v2_round_trips_odd_sizes_and_single_point() {
+        for n in [1usize, 2, 127, 128, 129, 300] {
+            let pts = sample_points(n);
+            let bytes =
+                encode_with(&pts, &EncodeOptions::compressed()).expect("encode");
+            assert_eq!(decode(&bytes).expect("decode"), pts, "n={n}");
+        }
+    }
+
+    #[test]
+    fn v2_compresses_grid_data_substantially() {
+        // Regular grid + small delays + smooth values: the v2 format should
+        // be several times smaller than v1.
+        let pts: Vec<DataPoint> = (0..4096)
+            .map(|i| {
+                DataPoint::with_delay(i as i64 * 50, 20 + (i as i64 % 3), 25.0)
+            })
+            .collect();
+        let v1 = encode(&pts).expect("v1");
+        let v2 = encode_with(&pts, &EncodeOptions::compressed()).expect("v2");
+        assert!(
+            v2.len() * 3 < v1.len(),
+            "v2 {} bytes vs v1 {} bytes",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn v2_preserves_special_values_and_negative_delays() {
+        let pts = vec![
+            DataPoint::new(-100, -150, f64::NAN),
+            DataPoint::new(0, 0, f64::INFINITY),
+            DataPoint::new(7, 1_000_000, -0.0),
+        ];
+        let bytes = encode_with(&pts, &EncodeOptions::compressed()).expect("encode");
+        let back = decode(&bytes).expect("decode");
+        assert!(back[0].value.is_nan());
+        assert_eq!(back[0].delay(), -50);
+        assert_eq!(back[1].value, f64::INFINITY);
+        assert_eq!(back[2].value.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn v2_detects_corruption_anywhere() {
+        let pts = sample_points(300);
+        let bytes = encode_with(&pts, &EncodeOptions::compressed()).expect("encode");
+        for i in (0..bytes.len()).step_by(11) {
+            let mut bad = bytes.to_vec();
+            bad[i] ^= 0x10;
+            assert!(decode(&bad).is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn decode_range_reads_only_overlapping_blocks() {
+        let pts = sample_points(512); // gen times 1_000_000 + i*50, 4 blocks of 128
+        let bytes = encode_with(&pts, &EncodeOptions::compressed()).expect("encode");
+        // Range covering points 130..=140 (inside block 1).
+        let range = seplsm_types::TimeRange::new(
+            1_000_000 + 130 * 50,
+            1_000_000 + 140 * 50,
+        );
+        let read = decode_range(&bytes, range).expect("range read");
+        assert_eq!(read.blocks_read, 1);
+        assert_eq!(read.points_scanned, 128);
+        assert_eq!(read.points.len(), 11);
+        assert!(read.points.iter().all(|p| range.contains(p.gen_time)));
+        // Disjoint range: nothing decoded.
+        let miss = decode_range(
+            &bytes,
+            seplsm_types::TimeRange::new(0, 999_999),
+        )
+        .expect("miss");
+        assert_eq!(miss.blocks_read, 0);
+        assert_eq!(miss.points_scanned, 0);
+        assert!(miss.points.is_empty());
+    }
+
+    #[test]
+    fn decode_range_spanning_blocks() {
+        let pts = sample_points(512);
+        let bytes = encode_with(&pts, &EncodeOptions::compressed()).expect("encode");
+        let range = seplsm_types::TimeRange::new(
+            1_000_000 + 120 * 50,
+            1_000_000 + 260 * 50,
+        );
+        let read = decode_range(&bytes, range).expect("range read");
+        assert_eq!(read.blocks_read, 3); // blocks 0,1,2
+        assert_eq!(read.points_scanned, 384);
+        assert_eq!(read.points.len(), 141);
+    }
+
+    #[test]
+    fn decode_range_on_v1_scans_whole_table() {
+        let pts = sample_points(64);
+        let bytes = encode(&pts).expect("encode v1");
+        let range = seplsm_types::TimeRange::new(1_000_000, 1_000_000 + 5 * 50);
+        let read = decode_range(&bytes, range).expect("range read");
+        assert_eq!(read.blocks_read, 1);
+        assert_eq!(read.points_scanned, 64);
+        assert_eq!(read.points.len(), 6);
+    }
+
+    #[test]
+    fn v2_block_granular_read_survives_corruption_elsewhere() {
+        // Corrupting block 3 must not break a read confined to block 0.
+        let pts = sample_points(512);
+        let bytes =
+            encode_with(&pts, &EncodeOptions::compressed()).expect("encode").to_vec();
+        let mut bad = bytes.clone();
+        let n = bad.len();
+        bad[n - 10] ^= 0xff; // inside the last block
+        let range = seplsm_types::TimeRange::new(1_000_000, 1_000_000 + 10 * 50);
+        let ok = decode_range(&bad, range).expect("block 0 still readable");
+        assert_eq!(ok.points.len(), 11);
+        // But reading the damaged block fails loudly.
+        let tail_range = seplsm_types::TimeRange::new(
+            1_000_000 + 500 * 50,
+            1_000_000 + 511 * 50,
+        );
+        assert!(decode_range(&bad, tail_range).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_version() {
+        let bytes = encode(&sample_points(4)).expect("encode").to_vec();
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        // Fix up CRC so the magic check itself is exercised.
+        let crc = crc32(&bad_magic[..bad_magic.len() - 4]);
+        let n = bad_magic.len();
+        bad_magic[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        let err = decode(&bad_magic).expect_err("bad magic");
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        let mut bad_ver = bytes;
+        bad_ver[4] = 99;
+        let crc = crc32(&bad_ver[..bad_ver.len() - 4]);
+        let n = bad_ver.len();
+        bad_ver[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        let err = decode(&bad_ver).expect_err("bad version");
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+}

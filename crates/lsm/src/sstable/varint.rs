@@ -1,0 +1,147 @@
+//! LEB128 varint and zigzag encoding for the SSTable format.
+//!
+//! Generation timestamps inside an SSTable are sorted, so they are stored as
+//! deltas; deltas and delays are small in practice, making varints a large
+//! space win over fixed 8-byte fields.
+
+use bytes::{Buf, BufMut};
+use seplsm_types::{Error, Result};
+
+/// Appends `v` as an LEB128 varint (1–10 bytes).
+pub fn put_uvarint(buf: &mut impl BufMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint.
+///
+/// # Errors
+/// [`Error::Corrupt`] on truncation or a varint longer than 10 bytes.
+pub fn get_uvarint(buf: &mut impl Buf) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(Error::Corrupt("truncated varint".into()));
+        }
+        let byte = buf.get_u8();
+        if shift == 63 && byte > 1 {
+            return Err(Error::Corrupt("varint overflows u64".into()));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(Error::Corrupt("varint too long".into()));
+        }
+    }
+}
+
+/// Zigzag-maps a signed value so small magnitudes stay small.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a zigzag varint.
+pub fn put_ivarint(buf: &mut impl BufMut, v: i64) {
+    put_uvarint(buf, zigzag(v));
+}
+
+/// Reads a zigzag varint.
+pub fn get_ivarint(buf: &mut impl Buf) -> Result<i64> {
+    Ok(unzigzag(get_uvarint(buf)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn round_trip_u(v: u64) -> u64 {
+        let mut b = BytesMut::new();
+        put_uvarint(&mut b, v);
+        let mut frozen = b.freeze();
+        get_uvarint(&mut frozen).expect("round trip")
+    }
+
+    #[test]
+    fn uvarint_round_trips_boundaries() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            assert_eq!(round_trip_u(v), v);
+        }
+    }
+
+    #[test]
+    fn uvarint_is_compact_for_small_values() {
+        let mut b = BytesMut::new();
+        put_uvarint(&mut b, 100);
+        assert_eq!(b.len(), 1);
+        let mut b = BytesMut::new();
+        put_uvarint(&mut b, 50_000);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn truncated_uvarint_errors() {
+        let mut b = BytesMut::new();
+        put_uvarint(&mut b, u64::MAX);
+        let mut short = b.freeze().slice(0..5);
+        assert!(get_uvarint(&mut short).is_err());
+    }
+
+    #[test]
+    fn overlong_uvarint_errors() {
+        let bytes = [0x80u8; 11];
+        let mut buf = &bytes[..];
+        assert!(get_uvarint(&mut buf).is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 123_456, -987_654] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_keeps_small_magnitudes_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn ivarint_round_trips() {
+        for v in [0i64, -5, 5, i64::MIN, i64::MAX, -1_000_000_007] {
+            let mut b = BytesMut::new();
+            put_ivarint(&mut b, v);
+            let mut frozen = b.freeze();
+            assert_eq!(get_ivarint(&mut frozen).expect("round trip"), v);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Write-ahead log: makes buffered MemTable contents durable.
+//!
+//! Each appended point becomes one fixed-size record protected by a CRC-32.
+//! After a flush empties a MemTable the engine rewrites the log with the
+//! surviving buffered points, keeping the log proportional to memory state.
+//! Replay tolerates a truncated tail record (torn write at crash) but
+//! reports mid-log corruption.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use seplsm_types::{DataPoint, Error, Result};
+
+use crate::sstable::crc32::crc32;
+
+/// Payload layout: gen_time i64 LE + arrival_time i64 LE + value bits u64 LE.
+const PAYLOAD: usize = 24;
+/// Record layout: crc u32 LE + payload.
+const RECORD: usize = 4 + PAYLOAD;
+
+/// An append-only, checksummed log of data points.
+pub struct Wal {
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal").field("path", &self.path).finish()
+    }
+}
+
+fn encode_record(p: &DataPoint) -> [u8; RECORD] {
+    let mut rec = [0u8; RECORD];
+    rec[4..12].copy_from_slice(&p.gen_time.to_le_bytes());
+    rec[12..20].copy_from_slice(&p.arrival_time.to_le_bytes());
+    rec[20..28].copy_from_slice(&p.value.to_bits().to_le_bytes());
+    let crc = crc32(&rec[4..]);
+    rec[..4].copy_from_slice(&crc.to_le_bytes());
+    rec
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log at `path` for appending.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Self { writer: BufWriter::new(file), path })
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one point (buffered; call [`Wal::sync`] for durability).
+    pub fn append(&mut self, p: &DataPoint) -> Result<()> {
+        self.writer.write_all(&encode_record(p))?;
+        Ok(())
+    }
+
+    /// Flushes buffered records and fsyncs the file.
+    pub fn sync(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()?;
+        Ok(())
+    }
+
+    /// Atomically replaces the log contents with `survivors` (the points
+    /// still buffered in memory after a flush).
+    pub fn rewrite(&mut self, survivors: &[DataPoint]) -> Result<()> {
+        let tmp = self.path.with_extension("wal.tmp");
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            for p in survivors {
+                w.write_all(&encode_record(p))?;
+            }
+            w.flush()?;
+            w.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let file = OpenOptions::new().append(true).open(&self.path)?;
+        self.writer = BufWriter::new(file);
+        Ok(())
+    }
+
+    /// Replays the log at `path`, returning the points in append order.
+    ///
+    /// A truncated final record (torn write) is dropped silently; a CRC
+    /// mismatch anywhere is reported as [`Error::Corrupt`].
+    pub fn replay(path: impl AsRef<Path>) -> Result<Vec<DataPoint>> {
+        let path = path.as_ref();
+        let mut data = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut data)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Vec::new())
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let mut points = Vec::with_capacity(data.len() / RECORD);
+        let mut offset = 0;
+        while offset + RECORD <= data.len() {
+            let rec = &data[offset..offset + RECORD];
+            let stored = u32::from_le_bytes(rec[..4].try_into().expect("4 bytes"));
+            if stored != crc32(&rec[4..]) {
+                return Err(Error::Corrupt(format!(
+                    "WAL record at offset {offset} fails CRC"
+                )));
+            }
+            let gen_time =
+                i64::from_le_bytes(rec[4..12].try_into().expect("8 bytes"));
+            let arrival_time =
+                i64::from_le_bytes(rec[12..20].try_into().expect("8 bytes"));
+            let value = f64::from_bits(u64::from_le_bytes(
+                rec[20..28].try_into().expect("8 bytes"),
+            ));
+            points.push(DataPoint::new(gen_time, arrival_time, value));
+            offset += RECORD;
+        }
+        // Anything shorter than a record at the tail is a torn write.
+        Ok(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "seplsm-wal-{tag}-{}-{:?}.wal",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn append_sync_replay_round_trips() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let pts: Vec<DataPoint> =
+            (0..100).map(|i| DataPoint::new(i, i + 7, i as f64 * 0.5)).collect();
+        {
+            let mut wal = Wal::open(&path).expect("open");
+            for p in &pts {
+                wal.append(p).expect("append");
+            }
+            wal.sync().expect("sync");
+        }
+        assert_eq!(Wal::replay(&path).expect("replay"), pts);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn replay_of_missing_file_is_empty() {
+        let path = temp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        assert!(Wal::replay(&path).expect("replay").is_empty());
+    }
+
+    #[test]
+    fn torn_tail_record_is_dropped() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).expect("open");
+            wal.append(&DataPoint::new(1, 1, 1.0)).expect("append");
+            wal.append(&DataPoint::new(2, 2, 2.0)).expect("append");
+            wal.sync().expect("sync");
+        }
+        // Chop half of the last record off.
+        let data = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &data[..data.len() - 10]).expect("truncate");
+        let points = Wal::replay(&path).expect("replay tolerates torn tail");
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].gen_time, 1);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn mid_log_corruption_is_detected() {
+        let path = temp_path("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).expect("open");
+            for i in 0..5 {
+                wal.append(&DataPoint::new(i, i, 0.0)).expect("append");
+            }
+            wal.sync().expect("sync");
+        }
+        let mut data = std::fs::read(&path).expect("read");
+        data[RECORD + 8] ^= 0xff; // inside the second record's payload
+        std::fs::write(&path, &data).expect("rewrite");
+        assert!(Wal::replay(&path).is_err());
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn rewrite_replaces_contents() {
+        let path = temp_path("rewrite");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path).expect("open");
+        for i in 0..10 {
+            wal.append(&DataPoint::new(i, i, 0.0)).expect("append");
+        }
+        wal.sync().expect("sync");
+        let survivors = vec![DataPoint::new(100, 101, 9.0)];
+        wal.rewrite(&survivors).expect("rewrite");
+        // New appends continue after the rewritten contents.
+        wal.append(&DataPoint::new(200, 202, 1.0)).expect("append");
+        wal.sync().expect("sync");
+        let points = Wal::replay(&path).expect("replay");
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].gen_time, 100);
+        assert_eq!(points[1].gen_time, 200);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+}

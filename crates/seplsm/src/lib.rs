@@ -1,0 +1,47 @@
+//! `seplsm` — a Rust reproduction of *"Separation or Not: On Handling
+//! Out-of-Order Time-Series Data in Leveled LSM-Tree"* (ICDE 2022).
+//!
+//! This facade re-exports the whole public API:
+//!
+//! * [`types`] — data points, time ranges, policies, errors.
+//! * [`dist`] — delay distributions, special functions, quadrature, stats.
+//! * [`lsm`] — the leveled LSM storage engine (`π_c` / `π_s` write paths,
+//!   SSTables, WAL, background compaction, instrumentation).
+//! * [`model`] — the paper's contribution: `ζ(n)`, `g(·)`, `r_c`,
+//!   `r_s(n_seq)`, Algorithm 1, the delay analyzer and `π_adaptive`.
+//! * [`workload`] — the paper's datasets (M1–M12, S-9, H) and query loads.
+//!
+//! The most common items are additionally re-exported at the crate root.
+//!
+//! ```
+//! use seplsm::{DataPoint, EngineConfig, LsmEngine};
+//!
+//! let mut engine = LsmEngine::in_memory(EngineConfig::conventional(512))?;
+//! engine.append(DataPoint::new(0, 3, 21.5))?;
+//! assert_eq!(engine.scan_all()?.len(), 1);
+//! # Ok::<(), seplsm::Error>(())
+//! ```
+
+pub use seplsm_core as model;
+pub use seplsm_dist as dist;
+pub use seplsm_lsm as lsm;
+pub use seplsm_types as types;
+pub use seplsm_workload as workload;
+
+pub use seplsm_core::{
+    tune, AdaptiveConfig, AdaptiveEngine, AnalyzerConfig, DelayAnalyzer,
+    FleetAdaptiveEngine, ReadCostModel, TunerOptions, TuningOutcome, WaModel,
+    ZetaConfig, ZetaModel,
+};
+pub use seplsm_dist::{DelayDistribution, Empirical, LogNormal};
+pub use seplsm_lsm::{
+    Compression, DiskModel, EncodeOptions, EngineConfig, FileStore, LsmEngine,
+    Manifest, MemStore, MultiSeriesEngine, QueryStats, SeriesId, TableStore,
+    TieredEngine,
+};
+pub use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange, Timestamp};
+pub use seplsm_workload::{
+    paper_dataset, DynamicWorkload, HistoricalQueries, PaperDataset,
+    RecentQueries, S9Workload, SyntheticWorkload, VehicleWorkload,
+    PAPER_DATASETS,
+};

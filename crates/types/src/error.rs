@@ -1,0 +1,66 @@
+//! The shared error type of the workspace.
+
+use std::fmt;
+
+/// Errors produced by the seplsm crates.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O failure (on-disk table store, WAL).
+    Io(std::io::Error),
+    /// On-disk data failed validation (bad magic, checksum mismatch,
+    /// truncated file, or out-of-order records inside an SSTable).
+    Corrupt(String),
+    /// A configuration value is out of its legal domain.
+    InvalidConfig(String),
+    /// A model evaluation could not be completed (e.g. a distribution too
+    /// heavy-tailed for the arrival-ratio model's cap).
+    Model(String),
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Model(msg) => write!(f, "model error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_detail() {
+        let e = Error::Corrupt("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_expose_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,112 @@
+//! Time-series data points (paper §II, Definition 1–2).
+
+use serde::{Deserialize, Serialize};
+
+/// A timestamp in milliseconds.
+///
+/// Both generation time and arrival time use this unit. The paper works with
+/// abstract time units; all of its parameter settings (Δt = 50, delays drawn
+/// from lognormal distributions, the 5×10⁴ ms re-send period of dataset `H`)
+/// are expressed in milliseconds here.
+pub type Timestamp = i64;
+
+/// A time-series data point: the triple `p = ⟨t_g, t_a, v⟩` of Definition 1.
+///
+/// * `gen_time` (`t_g`) — when the point was generated at the device. Unique
+///   within a series; identifies the point.
+/// * `arrival_time` (`t_a`) — when the point arrived at the database.
+/// * `value` (`v`) — the measurement payload.
+///
+/// The *delay* of a point (Definition 2) is `t_a − t_g`; see
+/// [`DataPoint::delay`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// Generation timestamp `t_g` (ms). Unique per series.
+    pub gen_time: Timestamp,
+    /// Arrival timestamp `t_a` (ms).
+    pub arrival_time: Timestamp,
+    /// Carried value `v`.
+    pub value: f64,
+}
+
+impl DataPoint {
+    /// Creates a data point from its generation time, arrival time and value.
+    pub fn new(gen_time: Timestamp, arrival_time: Timestamp, value: f64) -> Self {
+        Self { gen_time, arrival_time, value }
+    }
+
+    /// Creates a point from its generation time and *delay* (`t_a = t_g + d`).
+    pub fn with_delay(gen_time: Timestamp, delay: Timestamp, value: f64) -> Self {
+        Self { gen_time, arrival_time: gen_time + delay, value }
+    }
+
+    /// The transmission delay `t_d = t_a − t_g` of Definition 2.
+    ///
+    /// Non-negative for physically plausible workloads, but the type does not
+    /// enforce it: clock skew can produce negative delays and the models must
+    /// tolerate them.
+    pub fn delay(&self) -> Timestamp {
+        self.arrival_time - self.gen_time
+    }
+}
+
+/// Ordering by generation time, which is the sort key on disk.
+///
+/// `Eq`/`Ord` are implemented manually because `value: f64` is not `Eq`;
+/// points compare by `(gen_time, arrival_time)` and ignore the value, which is
+/// safe because generation timestamps are unique within a series.
+impl Eq for DataPoint {}
+
+impl PartialOrd for DataPoint {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DataPoint {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.gen_time, self.arrival_time).cmp(&(other.gen_time, other.arrival_time))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_is_arrival_minus_generation() {
+        let p = DataPoint::new(100, 175, 1.0);
+        assert_eq!(p.delay(), 75);
+    }
+
+    #[test]
+    fn with_delay_round_trips() {
+        let p = DataPoint::with_delay(1_000, 250, 3.5);
+        assert_eq!(p.arrival_time, 1_250);
+        assert_eq!(p.delay(), 250);
+    }
+
+    #[test]
+    fn negative_delay_is_representable() {
+        // Clock skew can make a point "arrive" before it was generated.
+        let p = DataPoint::new(100, 80, 0.0);
+        assert_eq!(p.delay(), -20);
+    }
+
+    #[test]
+    fn ordering_is_by_generation_time() {
+        let early = DataPoint::new(10, 500, 0.0);
+        let late = DataPoint::new(20, 30, 0.0);
+        assert!(early < late);
+        let mut v = [late, early];
+        v.sort();
+        assert_eq!(v[0].gen_time, 10);
+    }
+
+    #[test]
+    fn ordering_ties_break_on_arrival_time() {
+        let a = DataPoint::new(10, 11, 1.0);
+        let b = DataPoint::new(10, 12, 2.0);
+        assert!(a < b);
+    }
+}

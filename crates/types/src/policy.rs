@@ -1,0 +1,183 @@
+//! Buffering policies (`π_c`, `π_s`) and generation-time ranges.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Result, Timestamp};
+
+/// A buffering policy for the leveled LSM engine.
+///
+/// The paper compares two policies for a fixed memory budget of `n` points:
+///
+/// * [`Policy::Conventional`] (`π_c`): one MemTable `C0` of capacity `n`;
+///   filling it triggers a merge-compaction with all overlapping SSTables.
+/// * [`Policy::Separation`] (`π_s(n_seq)`): an in-order MemTable `C_seq` of
+///   capacity `n_seq` that flushes without rewriting on-disk data, and an
+///   out-of-order MemTable `C_nonseq` of capacity `n_nonseq = n − n_seq`
+///   whose filling triggers the merge-compaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// `π_c`: a single MemTable of the given capacity (in points).
+    Conventional {
+        /// Capacity `n` of `C0`, in points.
+        capacity: usize,
+    },
+    /// `π_s(n_seq)`: separate in-order / out-of-order MemTables.
+    Separation {
+        /// Capacity `n_seq` of the in-order MemTable `C_seq`, in points.
+        seq_capacity: usize,
+        /// Capacity `n_nonseq` of the out-of-order MemTable `C_nonseq`.
+        nonseq_capacity: usize,
+    },
+}
+
+impl Policy {
+    /// `π_c` with memory budget `n`.
+    pub fn conventional(n: usize) -> Self {
+        Policy::Conventional { capacity: n }
+    }
+
+    /// `π_s(n_seq)` under total budget `n`: `C_seq` holds `n_seq` points and
+    /// `C_nonseq` the remaining `n − n_seq`.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] unless `0 < n_seq < n`.
+    pub fn separation(n: usize, n_seq: usize) -> Result<Self> {
+        if n_seq == 0 || n_seq >= n {
+            return Err(Error::InvalidConfig(format!(
+                "separation policy requires 0 < n_seq < n, got n_seq={n_seq}, n={n}"
+            )));
+        }
+        Ok(Policy::Separation { seq_capacity: n_seq, nonseq_capacity: n - n_seq })
+    }
+
+    /// The even split `π_s(n/2)` used as the untuned default in Apache IoTDB
+    /// (the `π_s(½n)` baseline of the paper's Fig. 10).
+    pub fn separation_even(n: usize) -> Result<Self> {
+        Self::separation(n, n / 2)
+    }
+
+    /// Total memory budget in points (`n`).
+    pub fn total_capacity(&self) -> usize {
+        match *self {
+            Policy::Conventional { capacity } => capacity,
+            Policy::Separation { seq_capacity, nonseq_capacity } => {
+                seq_capacity + nonseq_capacity
+            }
+        }
+    }
+
+    /// `true` for `π_s`.
+    pub fn is_separation(&self) -> bool {
+        matches!(self, Policy::Separation { .. })
+    }
+
+    /// Human-readable name matching the paper's notation.
+    pub fn name(&self) -> String {
+        match *self {
+            Policy::Conventional { capacity } => format!("pi_c(n={capacity})"),
+            Policy::Separation { seq_capacity, nonseq_capacity } => {
+                format!("pi_s(n_seq={seq_capacity}, n_nonseq={nonseq_capacity})")
+            }
+        }
+    }
+}
+
+/// A closed interval `[start, end]` of generation timestamps.
+///
+/// Used for SSTable key ranges (each SSTable covers the generation-time range
+/// of the points it stores) and for range-query predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeRange {
+    /// Earliest generation time in the range (inclusive).
+    pub start: Timestamp,
+    /// Latest generation time in the range (inclusive).
+    pub end: Timestamp,
+}
+
+impl TimeRange {
+    /// Creates `[start, end]`; `start` must not exceed `end`.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        debug_assert!(start <= end, "TimeRange start {start} > end {end}");
+        Self { start, end }
+    }
+
+    /// `true` if `t ∈ [start, end]`.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// `true` if the two closed intervals intersect.
+    pub fn overlaps(&self, other: &TimeRange) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Length of the interval in milliseconds (`end − start`).
+    pub fn span(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// Smallest range covering both intervals.
+    pub fn union(&self, other: &TimeRange) -> TimeRange {
+        TimeRange::new(self.start.min(other.start), self.end.max(other.end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separation_rejects_degenerate_splits() {
+        assert!(Policy::separation(512, 0).is_err());
+        assert!(Policy::separation(512, 512).is_err());
+        assert!(Policy::separation(512, 600).is_err());
+        assert!(Policy::separation(512, 256).is_ok());
+    }
+
+    #[test]
+    fn separation_even_splits_budget() {
+        let p = Policy::separation_even(512).unwrap();
+        assert_eq!(
+            p,
+            Policy::Separation { seq_capacity: 256, nonseq_capacity: 256 }
+        );
+        assert_eq!(p.total_capacity(), 512);
+    }
+
+    #[test]
+    fn total_capacity_is_budget_n() {
+        assert_eq!(Policy::conventional(512).total_capacity(), 512);
+        assert_eq!(Policy::separation(512, 100).unwrap().total_capacity(), 512);
+    }
+
+    #[test]
+    fn policy_names_follow_paper_notation() {
+        assert_eq!(Policy::conventional(8).name(), "pi_c(n=8)");
+        assert_eq!(
+            Policy::separation(8, 3).unwrap().name(),
+            "pi_s(n_seq=3, n_nonseq=5)"
+        );
+    }
+
+    #[test]
+    fn range_overlap_is_symmetric_and_closed() {
+        let a = TimeRange::new(0, 10);
+        let b = TimeRange::new(10, 20);
+        let c = TimeRange::new(11, 20);
+        assert!(a.overlaps(&b) && b.overlaps(&a)); // closed: touching counts
+        assert!(!a.overlaps(&c) && !c.overlaps(&a));
+    }
+
+    #[test]
+    fn range_contains_endpoints() {
+        let r = TimeRange::new(5, 7);
+        assert!(r.contains(5) && r.contains(7) && !r.contains(8) && !r.contains(4));
+    }
+
+    #[test]
+    fn range_union_covers_both() {
+        let r = TimeRange::new(0, 4).union(&TimeRange::new(10, 12));
+        assert_eq!(r, TimeRange::new(0, 12));
+        assert_eq!(r.span(), 12);
+    }
+}

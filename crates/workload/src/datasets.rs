@@ -1,0 +1,106 @@
+//! The twelve synthetic datasets **M1–M12** of the paper's Table II.
+//!
+//! Each dataset pairs a generation interval `Δt ∈ {50, 10}` with a lognormal
+//! delay law (`μ ∈ {4, 5}`, `σ ∈ {1.5, 1.75, 2}`), reconstructed from the
+//! paper's own comparisons: M1→M3 increase `σ` at `μ = 4`, M4→M6 the same at
+//! `μ = 5` (all with `Δt = 50`); M7–M12 repeat the grid at `Δt = 10`.
+//! The paper writes 10 million tuples per dataset; the generators accept any
+//! point count so experiments can be scaled to laptop budgets.
+
+use seplsm_dist::LogNormal;
+use seplsm_types::Timestamp;
+
+use crate::synthetic::SyntheticWorkload;
+
+/// Parameters of one Table II dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperDataset {
+    /// Dataset name (`"M1"`…`"M12"`).
+    pub name: &'static str,
+    /// Generation interval `Δt` (ms).
+    pub delta_t: Timestamp,
+    /// Lognormal `μ`.
+    pub mu: f64,
+    /// Lognormal `σ`.
+    pub sigma: f64,
+}
+
+impl PaperDataset {
+    /// Builds the delay distribution of this dataset.
+    pub fn distribution(&self) -> LogNormal {
+        LogNormal::new(self.mu, self.sigma)
+    }
+
+    /// Builds a generator for `points` points with the given seed.
+    pub fn workload(&self, points: usize, seed: u64) -> SyntheticWorkload<LogNormal> {
+        SyntheticWorkload::new(self.delta_t, self.distribution(), points, seed)
+    }
+}
+
+/// Table II, reconstructed.
+pub const PAPER_DATASETS: [PaperDataset; 12] = [
+    PaperDataset { name: "M1", delta_t: 50, mu: 4.0, sigma: 1.5 },
+    PaperDataset { name: "M2", delta_t: 50, mu: 4.0, sigma: 1.75 },
+    PaperDataset { name: "M3", delta_t: 50, mu: 4.0, sigma: 2.0 },
+    PaperDataset { name: "M4", delta_t: 50, mu: 5.0, sigma: 1.5 },
+    PaperDataset { name: "M5", delta_t: 50, mu: 5.0, sigma: 1.75 },
+    PaperDataset { name: "M6", delta_t: 50, mu: 5.0, sigma: 2.0 },
+    PaperDataset { name: "M7", delta_t: 10, mu: 4.0, sigma: 1.5 },
+    PaperDataset { name: "M8", delta_t: 10, mu: 4.0, sigma: 1.75 },
+    PaperDataset { name: "M9", delta_t: 10, mu: 4.0, sigma: 2.0 },
+    PaperDataset { name: "M10", delta_t: 10, mu: 5.0, sigma: 1.5 },
+    PaperDataset { name: "M11", delta_t: 10, mu: 5.0, sigma: 1.75 },
+    PaperDataset { name: "M12", delta_t: 10, mu: 5.0, sigma: 2.0 },
+];
+
+/// Looks up a dataset by name (`"M1"`…`"M12"`, case-insensitive).
+pub fn paper_dataset(name: &str) -> Option<PaperDataset> {
+    PAPER_DATASETS
+        .iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::fraction_out_of_order;
+
+    #[test]
+    fn all_twelve_exist_with_unique_parameters() {
+        assert_eq!(PAPER_DATASETS.len(), 12);
+        for (i, a) in PAPER_DATASETS.iter().enumerate() {
+            for b in &PAPER_DATASETS[i + 1..] {
+                assert!(
+                    (a.delta_t, a.mu, a.sigma) != (b.delta_t, b.mu, b.sigma),
+                    "{} and {} share parameters",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let m12 = paper_dataset("m12").expect("exists");
+        assert_eq!(m12.delta_t, 10);
+        assert_eq!(m12.mu, 5.0);
+        assert_eq!(m12.sigma, 2.0);
+        assert!(paper_dataset("M13").is_none());
+    }
+
+    #[test]
+    fn paper_ordering_of_disorder_holds() {
+        // §V-B: larger Δt ⇒ less disorder; larger μ or σ ⇒ more disorder.
+        let frac = |name: &str| {
+            let d = paper_dataset(name).expect("exists");
+            let pts = d.workload(20_000, 11).generate();
+            fraction_out_of_order(&pts)
+        };
+        let (m1, m3, m4, m7) = (frac("M1"), frac("M3"), frac("M4"), frac("M7"));
+        assert!(m3 > m1, "sigma: M3 {m3} <= M1 {m1}");
+        assert!(m4 > m1, "mu: M4 {m4} <= M1 {m1}");
+        assert!(m7 > m1, "delta_t: M7 {m7} <= M1 {m1}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Dynamic workloads: the delay distribution changes over time.
+//!
+//! Used by the adaptive experiments — Fig. 10 (lognormal `σ` stepping
+//! 2 → 1.75 → 1.5 → 1.25 → 1 at fixed `μ = 5`, `Δt = 50`) and Fig. 17 (five
+//! entirely different delay laws in sequence, so the stream follows *no*
+//! single distribution).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seplsm_dist::{
+    DelayDistribution, Exponential, LogNormal, Mixture, Shifted, Uniform,
+};
+use seplsm_types::{DataPoint, Timestamp};
+
+/// A stream whose delay law switches between consecutive segments.
+pub struct DynamicWorkload {
+    /// Generation interval `Δt` (ms).
+    pub delta_t: Timestamp,
+    /// `(points, delay law)` per segment, in order.
+    pub segments: Vec<(usize, Box<dyn DelayDistribution>)>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DynamicWorkload {
+    /// Creates a dynamic workload from explicit segments.
+    pub fn new(
+        delta_t: Timestamp,
+        segments: Vec<(usize, Box<dyn DelayDistribution>)>,
+        seed: u64,
+    ) -> Self {
+        assert!(delta_t > 0 && !segments.is_empty());
+        Self { delta_t, segments, seed }
+    }
+
+    /// Fig. 10's workload: lognormal `μ = 5`, `σ` stepping
+    /// 2 → 1.75 → 1.5 → 1.25 → 1, `Δt = 50`, `points_per_segment` each
+    /// (5 million in the paper; scale to taste).
+    pub fn paper_fig10(points_per_segment: usize, seed: u64) -> Self {
+        let segments = [2.0, 1.75, 1.5, 1.25, 1.0]
+            .into_iter()
+            .map(|sigma| {
+                (
+                    points_per_segment,
+                    Box::new(LogNormal::new(5.0, sigma))
+                        as Box<dyn DelayDistribution>,
+                )
+            })
+            .collect();
+        Self::new(50, segments, seed)
+    }
+
+    /// Fig. 17's workload: five structurally different delay laws in
+    /// sequence, so no single parametric family fits the stream.
+    pub fn paper_fig17(points_per_segment: usize, seed: u64) -> Self {
+        let segments: Vec<(usize, Box<dyn DelayDistribution>)> = vec![
+            (points_per_segment, Box::new(LogNormal::new(5.0, 2.0))),
+            (points_per_segment, Box::new(Exponential::with_mean(800.0))),
+            (points_per_segment, Box::new(Uniform::new(0.0, 3_000.0))),
+            (
+                points_per_segment,
+                Box::new(Mixture::of_two(
+                    0.9,
+                    LogNormal::new(3.0, 0.5),
+                    0.1,
+                    Shifted::new(Exponential::with_mean(5_000.0), 10_000.0),
+                )),
+            ),
+            (points_per_segment, Box::new(LogNormal::new(3.0, 1.0))),
+        ];
+        Self::new(50, segments, seed)
+    }
+
+    /// Total points across all segments.
+    pub fn total_points(&self) -> usize {
+        self.segments.iter().map(|(n, _)| n).sum()
+    }
+
+    /// Indices (in user-point counts) where segments switch.
+    pub fn boundaries(&self) -> Vec<usize> {
+        let mut acc = 0;
+        self.segments
+            .iter()
+            .map(|(n, _)| {
+                acc += n;
+                acc
+            })
+            .collect()
+    }
+
+    /// The stream in arrival order.
+    ///
+    /// Points are sorted by arrival time globally, so a long-delayed point
+    /// from one segment can arrive during the next — exactly the mixing an
+    /// online analyzer has to cope with.
+    pub fn generate(&self) -> Vec<DataPoint> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut points = Vec::with_capacity(self.total_points());
+        let mut index: i64 = 0;
+        for (count, dist) in &self.segments {
+            for _ in 0..*count {
+                index += 1;
+                let tg = index * self.delta_t;
+                let delay = dist.sample(&mut rng).max(0.0).round() as i64;
+                points.push(DataPoint::with_delay(tg, delay, 0.0));
+            }
+        }
+        points.sort_by_key(|p| (p.arrival_time, p.gen_time));
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::fraction_out_of_order;
+
+    #[test]
+    fn fig10_has_five_segments_with_decreasing_disorder() {
+        let w = DynamicWorkload::paper_fig10(10_000, 1);
+        assert_eq!(w.segments.len(), 5);
+        assert_eq!(w.total_points(), 50_000);
+        assert_eq!(w.boundaries(), vec![10_000, 20_000, 30_000, 40_000, 50_000]);
+        let pts = w.generate();
+        assert_eq!(pts.len(), 50_000);
+        // Split the arrival stream at gen-time segment boundaries and check
+        // the first segment is more disordered than the last.
+        let seg_max = 10_000i64 * 50;
+        let first: Vec<_> =
+            pts.iter().copied().filter(|p| p.gen_time <= seg_max).collect();
+        let last: Vec<_> = pts
+            .iter()
+            .copied()
+            .filter(|p| p.gen_time > 40_000 * 50)
+            .collect();
+        let f_first = fraction_out_of_order(&first);
+        let f_last = fraction_out_of_order(&last);
+        assert!(
+            f_first > f_last,
+            "sigma=2 segment ({f_first}) should be more disordered than sigma=1 ({f_last})"
+        );
+    }
+
+    #[test]
+    fn fig17_mixes_distribution_families() {
+        let w = DynamicWorkload::paper_fig17(2_000, 2);
+        let pts = w.generate();
+        assert_eq!(pts.len(), 10_000);
+        // Unique generation times across segment boundaries.
+        let mut tgs: Vec<i64> = pts.iter().map(|p| p.gen_time).collect();
+        tgs.sort_unstable();
+        tgs.dedup();
+        assert_eq!(tgs.len(), 10_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = DynamicWorkload::paper_fig10(1_000, 3).generate();
+        let b = DynamicWorkload::paper_fig10(1_000, 3).generate();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,139 @@
+//! Query workloads (paper §V-D).
+//!
+//! * [`RecentQueries`] — the real-time-monitoring pattern: while data is
+//!   being written, periodically query the latest `window` of generation
+//!   time (`SELECT * FROM TS WHERE time > max_time − window`).
+//! * [`HistoricalQueries`] — random historical windows
+//!   (`WHERE time > rand AND time < rand + window`), guaranteed not to
+//!   exceed the maximum generation time in the database.
+//!
+//! The generators produce [`TimeRange`] predicates; the bench harness drives
+//! them against an engine and aggregates the query statistics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seplsm_types::{TimeRange, Timestamp};
+
+/// The paper's three query-window lengths, in milliseconds.
+pub const PAPER_WINDOWS_MS: [i64; 3] = [500, 1_000, 5_000];
+
+/// Recent-data query generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RecentQueries {
+    /// Window length (ms of generation time).
+    pub window: i64,
+    /// Issue one query every this many written points (the paper queries on
+    /// a 100 ms wall-clock timer; per-point cadence is its deterministic
+    /// equivalent).
+    pub every_points: u64,
+}
+
+impl RecentQueries {
+    /// Creates a recent-data workload.
+    pub fn new(window: i64, every_points: u64) -> Self {
+        assert!(window > 0 && every_points > 0);
+        Self { window, every_points }
+    }
+
+    /// `true` if a query should fire after the `written`-th point.
+    pub fn due(&self, written: u64) -> bool {
+        written % self.every_points == 0
+    }
+
+    /// The predicate for the current maximum generation time:
+    /// `time ∈ (max_time − window, max_time]`.
+    pub fn range(&self, max_gen_time: Timestamp) -> TimeRange {
+        TimeRange::new(max_gen_time - self.window + 1, max_gen_time)
+    }
+}
+
+/// Historical query generator.
+#[derive(Debug, Clone, Copy)]
+pub struct HistoricalQueries {
+    /// Window length (ms of generation time).
+    pub window: i64,
+    /// Number of queries to generate.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HistoricalQueries {
+    /// Creates a historical workload.
+    pub fn new(window: i64, count: usize, seed: u64) -> Self {
+        assert!(window > 0 && count > 0);
+        Self { window, count, seed }
+    }
+
+    /// Random windows within `[min_gen_time, max_gen_time]`; the upper bound
+    /// of each query never exceeds `max_gen_time` (paper §V-D2).
+    pub fn ranges(
+        &self,
+        min_gen_time: Timestamp,
+        max_gen_time: Timestamp,
+    ) -> Vec<TimeRange> {
+        assert!(min_gen_time <= max_gen_time);
+        let hi = (max_gen_time - self.window).max(min_gen_time);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.count)
+            .map(|_| {
+                let lo = if hi > min_gen_time {
+                    rng.gen_range(min_gen_time..hi)
+                } else {
+                    min_gen_time
+                };
+                TimeRange::new(lo, (lo + self.window).min(max_gen_time))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recent_range_covers_exactly_the_window() {
+        let q = RecentQueries::new(500, 100);
+        let r = q.range(10_000);
+        assert_eq!(r.end, 10_000);
+        assert_eq!(r.span(), 499);
+        assert!(r.contains(9_501) && !r.contains(9_500));
+    }
+
+    #[test]
+    fn recent_cadence_fires_on_multiples() {
+        let q = RecentQueries::new(500, 100);
+        assert!(q.due(100) && q.due(200));
+        assert!(!q.due(150));
+    }
+
+    #[test]
+    fn historical_ranges_stay_in_bounds() {
+        let q = HistoricalQueries::new(5_000, 200, 7);
+        for r in q.ranges(0, 100_000) {
+            assert!(r.start >= 0);
+            assert!(r.end <= 100_000);
+            assert!(r.span() <= 5_000);
+        }
+    }
+
+    #[test]
+    fn historical_is_deterministic_per_seed() {
+        let a = HistoricalQueries::new(1_000, 50, 3).ranges(0, 1_000_000);
+        let b = HistoricalQueries::new(1_000, 50, 3).ranges(0, 1_000_000);
+        assert_eq!(a, b);
+        let c = HistoricalQueries::new(1_000, 50, 4).ranges(0, 1_000_000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degenerate_domain_is_handled() {
+        let q = HistoricalQueries::new(5_000, 10, 1);
+        // Domain narrower than the window.
+        for r in q.ranges(100, 2_000) {
+            assert_eq!(r.start, 100);
+            assert_eq!(r.end, 2_000);
+        }
+    }
+}

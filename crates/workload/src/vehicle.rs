@@ -1,0 +1,186 @@
+//! A simulator of the industrial-partner dataset **H** (paper §VI).
+//!
+//! The paper describes the mechanism behind H's delays precisely: vehicle
+//! devices normally transmit each point immediately; when the network is
+//! unstable the device buffers points locally and a re-send cycle transmits
+//! the whole buffer in a batch roughly every 5×10⁴ ms. Consequences the
+//! simulator reproduces:
+//!
+//! * most delays are short; a systematic cluster sits near the re-send
+//!   period (Fig. 19b);
+//! * consecutive delays are strongly autocorrelated (points buffered in the
+//!   same outage share a decreasing delay ramp — Fig. 16a);
+//! * despite the long batch delays, almost nothing is *out of order*
+//!   (≈0.04 %): a batch arrives in generation order and everything in it is
+//!   still newer than what reached the disk before the outage. Only jitter
+//!   between consecutive online transmissions reorders points, so the mean
+//!   delay of out-of-order points is small (≈2.5 s).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seplsm_dist::{DelayDistribution, LogNormal};
+use seplsm_types::{DataPoint, Timestamp};
+
+/// Generator for the simulated vehicle-fleet dataset H.
+pub struct VehicleWorkload {
+    /// Number of points (the original has 1 million).
+    pub points: usize,
+    /// Generation interval (the original records once per second).
+    pub delta_t: Timestamp,
+    /// The batch re-send period (≈5×10⁴ ms in the original).
+    pub resend_period: Timestamp,
+    /// Probability, per point, of a network outage starting.
+    pub outage_start_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VehicleWorkload {
+    fn default() -> Self {
+        Self {
+            points: 1_000_000,
+            delta_t: 1_000,
+            resend_period: 50_000,
+            outage_start_prob: 0.002,
+            seed: 6,
+        }
+    }
+}
+
+impl VehicleWorkload {
+    /// Generator with the paper's parameters but `points` points.
+    pub fn new(points: usize, seed: u64) -> Self {
+        Self { points, seed, ..Self::default() }
+    }
+
+    /// Online-transmission jitter: lognormal, median ≈200 ms, rare
+    /// multi-second excursions (the source of the few out-of-order points).
+    fn jitter(&self) -> LogNormal {
+        LogNormal::new(200.0f64.ln(), 0.6)
+    }
+
+    /// The dataset in arrival order.
+    pub fn generate(&self) -> Vec<DataPoint> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let jitter = self.jitter();
+        let mut points = Vec::with_capacity(self.points);
+        let mut offline_until: Option<Timestamp> = None;
+        for i in 0..self.points {
+            let tg = (i as Timestamp + 1) * self.delta_t;
+            // Resolve network state.
+            if let Some(until) = offline_until {
+                if tg >= until {
+                    offline_until = None;
+                }
+            }
+            if offline_until.is_none() && rng.gen::<f64>() < self.outage_start_prob
+            {
+                // Outage ends at the next re-send tick strictly after now.
+                let next_tick =
+                    (tg / self.resend_period + 1) * self.resend_period;
+                offline_until = Some(next_tick);
+            }
+            let arrival = match offline_until {
+                // Buffered: transmitted at the re-send tick, tiny serialisation
+                // jitter keeps batch arrivals distinct but ordered.
+                Some(until) => until + (i % 50) as Timestamp,
+                None => tg + jitter.sample(&mut rng).max(1.0).round() as Timestamp,
+            };
+            points.push(DataPoint::new(tg, arrival, (i % 360) as f64));
+        }
+        points.sort_by_key(|p| (p.arrival_time, p.gen_time));
+        points
+    }
+
+    /// Delay sequence in arrival order (the series behind Figs. 16a/19).
+    pub fn delays(&self) -> Vec<f64> {
+        self.generate().iter().map(|p| p.delay() as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::fraction_out_of_order;
+    use seplsm_dist::stats::{autocorr_confidence, autocorrelation};
+
+    fn small() -> VehicleWorkload {
+        VehicleWorkload::new(60_000, 6)
+    }
+
+    #[test]
+    fn disorder_is_tiny_despite_long_delays() {
+        let pts = small().generate();
+        let frac = fraction_out_of_order(&pts);
+        assert!(
+            frac < 0.01,
+            "H-like workloads are nearly in order, got {frac}"
+        );
+        let max_delay = pts.iter().map(DataPoint::delay).max().expect("points");
+        assert!(
+            max_delay > 10_000,
+            "batch re-sends should produce multi-second delays, max {max_delay}"
+        );
+    }
+
+    #[test]
+    fn out_of_order_points_have_short_delays() {
+        // The paper: avg delay of out-of-order points ≈ 2.49 s even though
+        // batch delays reach ~50 s.
+        let pts = small().generate();
+        let mut max_tg = i64::MIN;
+        let mut ooo_delays = Vec::new();
+        for p in &pts {
+            if p.gen_time < max_tg {
+                ooo_delays.push(p.delay() as f64);
+            } else {
+                max_tg = p.gen_time;
+            }
+        }
+        assert!(!ooo_delays.is_empty(), "expected some out-of-order points");
+        let avg = ooo_delays.iter().sum::<f64>() / ooo_delays.len() as f64;
+        assert!(
+            avg < 20_000.0,
+            "out-of-order delays should be jitter-scale, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn delays_are_strongly_autocorrelated() {
+        // Fig. 16a: dataset H violates the independence assumption.
+        let delays = small().delays();
+        let acf = autocorrelation(&delays, 10);
+        let bound = autocorr_confidence(delays.len());
+        assert!(
+            acf[1] > 10.0 * bound,
+            "lag-1 autocorrelation {} not significant (bound {bound})",
+            acf[1]
+        );
+    }
+
+    #[test]
+    fn systematic_delay_cluster_near_resend_period() {
+        let w = small();
+        let delays = w.delays();
+        let near_period = delays
+            .iter()
+            .filter(|&&d| d > 10_000.0 && d <= w.resend_period as f64 + 5_000.0)
+            .count();
+        assert!(
+            near_period > 100,
+            "expected a visible batch-delay cluster, got {near_period}"
+        );
+        // But the majority of points are prompt.
+        let prompt = delays.iter().filter(|&&d| d < 5_000.0).count();
+        assert!(prompt as f64 / delays.len() as f64 > 0.8);
+    }
+
+    #[test]
+    fn generation_grid_is_exact() {
+        let mut pts = VehicleWorkload::new(1_000, 1).generate();
+        pts.sort_by_key(|p| p.gen_time);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(p.gen_time, (i as i64 + 1) * 1_000);
+        }
+    }
+}

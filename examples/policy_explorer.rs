@@ -1,0 +1,55 @@
+//! Explore how the `r_s(n_seq)` curve — and the separation-vs-conventional
+//! decision — move with workload disorder.
+//!
+//! Prints an ASCII rendition of the paper's Fig. 7 U-curve for three
+//! disorder levels and shows where Algorithm 1 places the knob.
+//!
+//! ```text
+//! cargo run --release -p seplsm --example policy_explorer
+//! ```
+
+use std::sync::Arc;
+
+use seplsm::{tune, LogNormal, Result, TunerOptions, WaModel};
+
+fn render_curve(model: &WaModel, n: usize) -> Result<()> {
+    let outcome = tune(model, TunerOptions::exhaustive_with_curve())?;
+    let max_wa = outcome
+        .curve
+        .iter()
+        .map(|&(_, wa)| wa)
+        .fold(outcome.r_c, f64::max);
+    println!(
+        "  r_c = {:.3}   min r_s = {:.3} at n_seq = {}   decision: {}",
+        outcome.r_c,
+        outcome.r_s_star,
+        outcome.best_n_seq,
+        outcome.decision.name()
+    );
+    for (n_seq, wa) in outcome.curve.iter().step_by((n / 16).max(1)) {
+        let width = ((wa / max_wa) * 48.0).round() as usize;
+        let marker = if *n_seq == outcome.best_n_seq { '*' } else { ' ' };
+        println!("  n_seq {n_seq:>4} | {}{marker} {wa:.3}", "#".repeat(width));
+    }
+    Ok(())
+}
+
+fn main() -> Result<()> {
+    let n = 512;
+    for (label, mu, sigma, dt) in [
+        ("mild disorder: LogNormal(2, 0.5), dt=50", 2.0, 0.5, 50.0),
+        ("moderate disorder: LogNormal(5, 2), dt=50", 5.0, 2.0, 50.0),
+        ("severe disorder: LogNormal(5, 2), dt=10", 5.0, 2.0, 10.0),
+    ] {
+        println!("\n{label}");
+        let model = WaModel::new(Arc::new(LogNormal::new(mu, sigma)), dt, n);
+        render_curve(&model, n)?;
+    }
+    println!(
+        "\nReading the curves: with mild disorder pi_c is already near WA=1 \
+         and separation only adds overhead; as disorder grows the U-curve \
+         drops below r_c and the tuner switches to pi_s with the minimising \
+         n_seq."
+    );
+    Ok(())
+}

@@ -1,0 +1,27 @@
+#!/bin/bash
+# Regenerates every table/figure; outputs under results/.
+set -x
+cd /root/repo
+R=results
+run() { name=$1; shift; ./target/release/$name "$@" --json $R/$name.json > $R/$name.txt 2>&1; }
+run fig05 --points 200000
+run fig08 --points 30000
+run fig07 --points 300000
+run fig09 --points 150000
+run fig10 --segment 100000
+run fig11 --points 30000
+run fig12 --points 60000
+run fig13 --points 60000
+run fig14 --points 60000
+./target/release/fig15 --points 40000 > $R/fig15.txt 2>&1
+run fig16 --points 200000
+run fig17 --segment 60000
+run fig18 --points 30000
+run fig19 --points 200000
+run fig20 --points 120000
+run table03 --points 200000
+./target/release/ablation_sstable_size --points 120000 > $R/ablation_sstable_size.txt 2>&1
+./target/release/ablation_zeta > $R/ablation_zeta.txt 2>&1
+./target/release/ablation_block_reads --points 60000 > $R/ablation_block_reads.txt 2>&1
+./target/release/ablation_tuner > $R/ablation_tuner.txt 2>&1
+echo ALL-EXPERIMENTS-DONE

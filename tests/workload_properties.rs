@@ -1,0 +1,124 @@
+//! Property-based tests on the distribution library and the workload
+//! generators: CDF/quantile coherence for arbitrary parameters, and
+//! structural invariants of every generated dataset.
+
+use proptest::prelude::*;
+use seplsm::DelayDistribution;
+use seplsm_dist::{Exponential, LogNormal, Pareto, Uniform};
+use seplsm_workload::{
+    fraction_out_of_order, DynamicWorkload, S9Workload, SyntheticWorkload,
+    VehicleWorkload, PAPER_DATASETS,
+};
+
+fn check_distribution(d: &dyn DelayDistribution) {
+    // CDF is monotone over the quantile range and inverts the quantile.
+    let mut prev = -f64::INFINITY;
+    for i in 1..40 {
+        let q = i as f64 / 40.0;
+        let x = d.quantile(q);
+        assert!(x >= prev, "{}: quantile not monotone at q={q}", d.label());
+        prev = x;
+        let back = d.cdf(x);
+        assert!(
+            (back - q).abs() < 1e-6,
+            "{}: cdf(quantile({q})) = {back}",
+            d.label()
+        );
+        // sf complements cdf.
+        assert!((d.cdf(x) + d.sf(x) - 1.0).abs() < 1e-9);
+        // ln_cdf agrees with ln(cdf).
+        if d.cdf(x) > 1e-300 {
+            assert!((d.ln_cdf(x) - d.cdf(x).ln()).abs() < 1e-7);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lognormal_is_coherent(mu in -2.0..8.0f64, sigma in 0.1..3.0f64) {
+        check_distribution(&LogNormal::new(mu, sigma));
+    }
+
+    #[test]
+    fn exponential_is_coherent(mean in 0.1..1e6f64) {
+        check_distribution(&Exponential::with_mean(mean));
+    }
+
+    #[test]
+    fn uniform_is_coherent(low in -1e3..1e3f64, width in 0.1..1e4f64) {
+        check_distribution(&Uniform::new(low, low + width));
+    }
+
+    #[test]
+    fn pareto_is_coherent(scale in 0.1..1e3f64, shape in 0.2..6.0f64) {
+        check_distribution(&Pareto::new(scale, shape));
+    }
+
+    #[test]
+    fn synthetic_datasets_are_well_formed(
+        dt in 1i64..200,
+        mu in 1.0..6.0f64,
+        sigma in 0.2..2.5f64,
+        count in 10usize..2000,
+        seed in 0u64..1000,
+    ) {
+        let w = SyntheticWorkload::new(dt, LogNormal::new(mu, sigma), count, seed);
+        let pts = w.generate();
+        prop_assert_eq!(pts.len(), count);
+        // Arrival-sorted, unique gen times forming the dt-grid.
+        prop_assert!(pts.windows(2).all(|w| w[0].arrival_time <= w[1].arrival_time));
+        let mut tgs: Vec<i64> = pts.iter().map(|p| p.gen_time).collect();
+        tgs.sort_unstable();
+        for (i, tg) in tgs.iter().enumerate() {
+            prop_assert_eq!(*tg, i as i64 * dt);
+        }
+        // Delays are the arrival/generation difference and non-negative.
+        prop_assert!(pts.iter().all(|p| p.delay() >= 0));
+    }
+
+    #[test]
+    fn disorder_fraction_is_a_fraction(
+        count in 1usize..3000,
+        seed in 0u64..100,
+    ) {
+        let w = SyntheticWorkload::new(50, LogNormal::new(5.0, 2.0), count, seed);
+        let f = fraction_out_of_order(&w.generate());
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+}
+
+#[test]
+fn every_paper_dataset_generates() {
+    for ds in PAPER_DATASETS {
+        let pts = ds.workload(2_000, 1).generate();
+        assert_eq!(pts.len(), 2_000, "{}", ds.name);
+        assert!(
+            pts.windows(2).all(|w| w[0].arrival_time <= w[1].arrival_time),
+            "{} not arrival-sorted",
+            ds.name
+        );
+    }
+}
+
+#[test]
+fn real_world_simulators_have_their_signatures() {
+    // S-9: skewed delays, noticeable disorder, irregular intervals.
+    let s9 = S9Workload::new(20_000, 4).generate();
+    let f_s9 = fraction_out_of_order(&s9);
+    assert!(f_s9 > 0.01, "S-9 disorder {f_s9}");
+
+    // H: long systematic delays, near-zero disorder.
+    let h = VehicleWorkload::new(40_000, 4).generate();
+    let f_h = fraction_out_of_order(&h);
+    assert!(f_h < 0.01, "H disorder {f_h}");
+    assert!(f_s9 > f_h * 5.0, "S-9 must be far more disordered than H");
+
+    // Dynamic: monotone gen grid across segment boundaries.
+    let dyn_pts = DynamicWorkload::paper_fig10(2_000, 4).generate();
+    let mut tgs: Vec<i64> = dyn_pts.iter().map(|p| p.gen_time).collect();
+    tgs.sort_unstable();
+    tgs.dedup();
+    assert_eq!(tgs.len(), dyn_pts.len());
+}
