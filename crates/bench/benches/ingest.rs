@@ -1,7 +1,9 @@
 //! Ingest-path benchmarks: points/s through the synchronous engine under
 //! both policies, and through the background-compaction engine.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use criterion::{
+    criterion_group, criterion_main, BatchSize, Criterion, Throughput,
+};
 use seplsm_dist::LogNormal;
 use seplsm_lsm::{EngineConfig, LsmEngine, MemStore, TieredEngine};
 use seplsm_types::{DataPoint, Policy};

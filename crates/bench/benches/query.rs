@@ -11,7 +11,8 @@ fn populated(policy: Policy) -> LsmEngine {
     let mut engine =
         LsmEngine::in_memory(EngineConfig::new(policy)).expect("engine");
     let points =
-        SyntheticWorkload::new(50, LogNormal::new(5.0, 2.0), 50_000, 2).generate();
+        SyntheticWorkload::new(50, LogNormal::new(5.0, 2.0), 50_000, 2)
+            .generate();
     for p in &points {
         engine.append(*p).expect("append");
     }

@@ -1,7 +1,9 @@
 //! Micro-benchmarks of the SSTable wire format: encode / decode throughput
 //! for the paper-default 512-point table.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{
+    black_box, criterion_group, criterion_main, Criterion, Throughput,
+};
 use seplsm_lsm::sstable::format;
 use seplsm_types::DataPoint;
 
@@ -42,7 +44,9 @@ fn bench_format(c: &mut Criterion) {
             })
         });
         group.bench_function(format!("decode_v2/{n}"), |b| {
-            b.iter(|| format::decode(black_box(&compressed)).expect("decode v2"))
+            b.iter(|| {
+                format::decode(black_box(&compressed)).expect("decode v2")
+            })
         });
         // Block-granular read of a narrow range out of a v2 table.
         let range = seplsm_types::TimeRange::new(50 * 64, 50 * 96);

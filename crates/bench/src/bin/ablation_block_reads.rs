@@ -27,7 +27,10 @@ fn main() -> seplsm_types::Result<()> {
     for (name, dataset) in [
         (
             "M6 (lognormal)",
-            paper_dataset("M6").expect("exists").workload(points, seed).generate(),
+            paper_dataset("M6")
+                .expect("exists")
+                .workload(points, seed)
+                .generate(),
         ),
         ("H (vehicle)", VehicleWorkload::new(points, seed).generate()),
     ] {
@@ -39,7 +42,11 @@ fn main() -> seplsm_types::Result<()> {
             .sum();
         let v2: usize = sorted
             .chunks(512)
-            .map(|c| encode_with(c, &EncodeOptions::compressed()).expect("v2").len())
+            .map(|c| {
+                encode_with(c, &EncodeOptions::compressed())
+                    .expect("v2")
+                    .len()
+            })
             .sum();
         rows.push(vec![
             name.to_string(),
@@ -51,15 +58,20 @@ fn main() -> seplsm_types::Result<()> {
     report::print_table(&["dataset", "v1 B/pt", "v2 B/pt", "ratio"], &rows);
 
     report::banner("Ablation (b): read granularity vs read amplification");
-    let dataset =
-        paper_dataset("M6").expect("exists").workload(points, seed).generate();
+    let dataset = paper_dataset("M6")
+        .expect("exists")
+        .workload(points, seed)
+        .generate();
     let mut rows = Vec::new();
-    for (label, block_reads) in [("whole-table", false), ("block (128 pts)", true)] {
+    for (label, block_reads) in
+        [("whole-table", false), ("block (128 pts)", true)]
+    {
         let mut config = EngineConfig::new(Policy::conventional(512));
         if block_reads {
             config = config.with_block_reads();
         }
-        let store = Arc::new(MemStore::with_options(EncodeOptions::compressed()));
+        let store =
+            Arc::new(MemStore::with_options(EncodeOptions::compressed()));
         let mut engine = LsmEngine::new(config, store)?;
         for p in &dataset {
             engine.append(*p)?;

@@ -31,14 +31,12 @@ fn main() -> seplsm_types::Result<()> {
     println!("model predictions (size-independent): r_c={rc_model:.3}, r_s(256)={rs_model:.3}");
     let mut rows = Vec::new();
     for sstable in [64usize, 128, 256, 512, 1024, 2048] {
-        let wa_c = drive::measure_wa(&dataset, Policy::conventional(n), sstable)?
-            .write_amplification();
-        let wa_s = drive::measure_wa(
-            &dataset,
-            Policy::separation(n, 256)?,
-            sstable,
-        )?
-        .write_amplification();
+        let wa_c =
+            drive::measure_wa(&dataset, Policy::conventional(n), sstable)?
+                .write_amplification();
+        let wa_s =
+            drive::measure_wa(&dataset, Policy::separation(n, 256)?, sstable)?
+                .write_amplification();
         rows.push(vec![
             sstable.to_string(),
             report::f3(wa_c),

@@ -38,8 +38,13 @@ fn main() -> seplsm_types::Result<()> {
                 ZetaConfig::online(),
             );
             let start = Instant::now();
-            let outcome =
-                tune(&model, TunerOptions { step, record_curve: false })?;
+            let outcome = tune(
+                &model,
+                TunerOptions {
+                    step,
+                    record_curve: false,
+                },
+            )?;
             let elapsed = start.elapsed();
             rows.push(vec![
                 label.to_string(),
@@ -55,7 +60,14 @@ fn main() -> seplsm_types::Result<()> {
         }
     }
     report::print_table(
-        &["workload", "step", "n_seq*", "r_s*", "vs exhaustive", "time"],
+        &[
+            "workload",
+            "step",
+            "n_seq*",
+            "r_s*",
+            "vs exhaustive",
+            "time",
+        ],
         &rows,
     );
     Ok(())

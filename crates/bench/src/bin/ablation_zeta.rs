@@ -59,7 +59,14 @@ fn main() -> seplsm_types::Result<()> {
         }
     }
     report::print_table(
-        &["order", "eps_term", "sat_eps", "zeta", "rel_err", "cold time"],
+        &[
+            "order",
+            "eps_term",
+            "sat_eps",
+            "zeta",
+            "rel_err",
+            "cold time",
+        ],
         &rows,
     );
     Ok(())

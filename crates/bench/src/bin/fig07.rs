@@ -25,10 +25,13 @@ fn main() -> seplsm_types::Result<()> {
 
     report::banner("Fig. 7: WA vs n_seq, LogNormal(5,2), dt=50, n=512");
 
-    let rc_measured = drive::measure_wa(&dataset, Policy::conventional(n), sstable)?
-        .write_amplification();
+    let rc_measured =
+        drive::measure_wa(&dataset, Policy::conventional(n), sstable)?
+            .write_amplification();
     let rc_model = model.wa_conventional();
-    println!("pi_c : measured WA = {rc_measured:.3}, model r_c = {rc_model:.3}");
+    println!(
+        "pi_c : measured WA = {rc_measured:.3}, model r_c = {rc_model:.3}"
+    );
 
     let mut rows = Vec::new();
     let mut json = Vec::new();

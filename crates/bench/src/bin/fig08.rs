@@ -26,7 +26,10 @@ fn main() -> seplsm_types::Result<()> {
         &["statistic", "value"],
         &[
             vec!["points".into(), dataset.len().to_string()],
-            vec!["median".into(), report::f1(percentile_sorted(&delays, 50.0))],
+            vec![
+                "median".into(),
+                report::f1(percentile_sorted(&delays, 50.0)),
+            ],
             vec!["p90".into(), report::f1(percentile_sorted(&delays, 90.0))],
             vec!["p99".into(), report::f1(percentile_sorted(&delays, 99.0))],
             vec!["max".into(), report::f1(*delays.last().expect("points"))],

@@ -35,7 +35,8 @@ fn main() -> seplsm_types::Result<()> {
     let mut json = Vec::new();
     for ds in selected {
         let dataset = ds.workload(points, seed).generate();
-        let model = WaModel::new(Arc::new(ds.distribution()), ds.delta_t as f64, n);
+        let model =
+            WaModel::new(Arc::new(ds.distribution()), ds.delta_t as f64, n);
 
         let rc_measured =
             drive::measure_wa(&dataset, Policy::conventional(n), sstable)?

@@ -106,7 +106,7 @@ fn main() -> seplsm_types::Result<()> {
             "pi_c": {"per_segment": seg_c, "overall": conventional.write_amplification()},
             "pi_s_half": {"per_segment": seg_h, "overall": half.write_amplification()},
             "pi_adaptive": {"per_segment": seg_a, "overall": adaptive.write_amplification()},
-            "tunes": tunes,
+            "tunes": report::tunes_json(&tunes),
         }),
     )
     .map_err(seplsm_types::Error::Io)?;

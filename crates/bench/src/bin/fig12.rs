@@ -40,7 +40,8 @@ fn main() -> seplsm_types::Result<()> {
                 q,
                 &disk,
             )?;
-            let sep = drive::run_recent_queries(&dataset, rec, sstable, q, &disk)?;
+            let sep =
+                drive::run_recent_queries(&dataset, rec, sstable, q, &disk)?;
             rows.push(vec![
                 ds.name.to_string(),
                 format!("{window}ms"),

@@ -24,7 +24,9 @@ fn main() -> seplsm_types::Result<()> {
     let every = 500u64;
     let disk = DiskModel::hdd();
 
-    report::banner("Fig. 13: recent-data query latency (ns, simulated HDD), M1-M12");
+    report::banner(
+        "Fig. 13: recent-data query latency (ns, simulated HDD), M1-M12",
+    );
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for ds in PAPER_DATASETS {
@@ -43,7 +45,8 @@ fn main() -> seplsm_types::Result<()> {
                 q,
                 &disk,
             )?;
-            let sep = drive::run_recent_queries(&dataset, rec, sstable, q, &disk)?;
+            let sep =
+                drive::run_recent_queries(&dataset, rec, sstable, q, &disk)?;
             rows.push(vec![
                 ds.name.to_string(),
                 format!("{window}ms"),

@@ -25,7 +25,9 @@ fn main() -> seplsm_types::Result<()> {
     let queries = 200usize;
     let disk = DiskModel::hdd();
 
-    report::banner("Fig. 14: historical query latency (ns, simulated HDD), M1-M12");
+    report::banner(
+        "Fig. 14: historical query latency (ns, simulated HDD), M1-M12",
+    );
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for ds in PAPER_DATASETS {
@@ -36,7 +38,8 @@ fn main() -> seplsm_types::Result<()> {
             n,
         )?;
         for window in PAPER_WINDOWS_MS {
-            let q = HistoricalQueries::new(window, queries, seed ^ window as u64);
+            let q =
+                HistoricalQueries::new(window, queries, seed ^ window as u64);
             let conv = drive::run_historical_queries(
                 &dataset,
                 Policy::conventional(n),
@@ -44,8 +47,9 @@ fn main() -> seplsm_types::Result<()> {
                 q,
                 &disk,
             )?;
-            let sep =
-                drive::run_historical_queries(&dataset, rec, sstable, q, &disk)?;
+            let sep = drive::run_historical_queries(
+                &dataset, rec, sstable, q, &disk,
+            )?;
             rows.push(vec![
                 ds.name.to_string(),
                 format!("{window}ms"),

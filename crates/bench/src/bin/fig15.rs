@@ -33,7 +33,10 @@ fn render(
             .clamp(0.0, WIDTH as f64) as usize
     };
     println!("\n{label}: tables intersecting the view (query marked with |):");
-    let (q0, q1) = (scale(query.start), scale(query.end).max(scale(query.start) + 1));
+    let (q0, q1) = (
+        scale(query.start),
+        scale(query.end).max(scale(query.start) + 1),
+    );
     let mut overlaps = 0usize;
     for (level, range, count) in engine.table_layout() {
         if range.end < lo || range.start > hi {

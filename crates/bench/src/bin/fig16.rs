@@ -31,7 +31,11 @@ fn main() -> seplsm_types::Result<()> {
         rows.push(vec![
             lag.to_string(),
             report::f3(value),
-            if lag > 0 && value.abs() > bound { "yes".into() } else { "no".into() },
+            if lag > 0 && value.abs() > bound {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     report::print_table(&["lag", "acf", "significant"], &rows);

@@ -46,12 +46,16 @@ fn main() -> seplsm_types::Result<()> {
             report::f1(sd),
         ]);
     }
-    report::print_table(&["segment", "delay law", "mean(ms)", "std(ms)"], &rows);
+    report::print_table(
+        &["segment", "delay law", "mean(ms)", "std(ms)"],
+        &rows,
+    );
 
     report::banner("Fig. 17(b): WA while ingesting the mixed stream");
     let conventional =
         drive::measure_wa(&dataset, Policy::conventional(n), sstable)?;
-    let half = drive::measure_wa(&dataset, Policy::separation_even(n)?, sstable)?;
+    let half =
+        drive::measure_wa(&dataset, Policy::separation_even(n)?, sstable)?;
     let (adaptive, tunes) = drive::measure_adaptive(
         &dataset,
         AdaptiveConfig::new(n).with_sstable_points(sstable),
@@ -59,7 +63,10 @@ fn main() -> seplsm_types::Result<()> {
     report::print_table(
         &["strategy", "WA"],
         &[
-            vec!["pi_c".into(), report::f3(conventional.write_amplification())],
+            vec![
+                "pi_c".into(),
+                report::f3(conventional.write_amplification()),
+            ],
             vec!["pi_s(n/2)".into(), report::f3(half.write_amplification())],
             vec![
                 "pi_adaptive".into(),
@@ -85,7 +92,7 @@ fn main() -> seplsm_types::Result<()> {
             "pi_c": conventional.write_amplification(),
             "pi_s_half": half.write_amplification(),
             "pi_adaptive": adaptive.write_amplification(),
-            "tunes": tunes,
+            "tunes": report::tunes_json(&tunes),
         }),
     )
     .map_err(seplsm_types::Error::Io)?;

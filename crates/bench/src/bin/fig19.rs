@@ -16,7 +16,8 @@ fn main() -> seplsm_types::Result<()> {
 
     let workload = VehicleWorkload::new(points, seed);
     let dataset = workload.generate();
-    let mut delays: Vec<f64> = dataset.iter().map(|p| p.delay() as f64).collect();
+    let mut delays: Vec<f64> =
+        dataset.iter().map(|p| p.delay() as f64).collect();
     delays.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
 
     // Out-of-order statistics per Definition 3 (running max of arrivals).
@@ -37,9 +38,18 @@ fn main() -> seplsm_types::Result<()> {
         &["statistic", "value"],
         &[
             vec!["points".into(), dataset.len().to_string()],
-            vec!["median delay".into(), report::f1(percentile_sorted(&delays, 50.0))],
-            vec!["p99 delay".into(), report::f1(percentile_sorted(&delays, 99.0))],
-            vec!["max delay".into(), report::f1(*delays.last().expect("points"))],
+            vec![
+                "median delay".into(),
+                report::f1(percentile_sorted(&delays, 50.0)),
+            ],
+            vec![
+                "p99 delay".into(),
+                report::f1(percentile_sorted(&delays, 99.0)),
+            ],
+            vec![
+                "max delay".into(),
+                report::f1(*delays.last().expect("points")),
+            ],
             vec![
                 "out-of-order %".into(),
                 format!("{:.4}%", ooo_fraction * 100.0),
@@ -57,11 +67,7 @@ fn main() -> seplsm_types::Result<()> {
         let lo = 10f64.powf(edge) - 1.0;
         let hi = 10f64.powf(edge + hist.bin_width()) - 1.0;
         let bar = "#".repeat(((count as f64).ln_1p() * 4.0) as usize);
-        rows.push(vec![
-            format!("{lo:.0}..{hi:.0}"),
-            count.to_string(),
-            bar,
-        ]);
+        rows.push(vec![format!("{lo:.0}..{hi:.0}"), count.to_string(), bar]);
     }
     report::print_table(&["delay range (ms)", "count", ""], &rows);
 

@@ -51,7 +51,8 @@ fn main() -> seplsm_types::Result<()> {
             q,
             &disk,
         )?;
-        let sep = drive::run_recent_queries(&dataset, sep_policy, sstable, q, &disk)?;
+        let sep =
+            drive::run_recent_queries(&dataset, sep_policy, sstable, q, &disk)?;
         rows.push(vec![
             format!("{}s", window / 1000),
             format!("{:.3e}", conv.mean_latency_ns),
@@ -77,8 +78,9 @@ fn main() -> seplsm_types::Result<()> {
             q,
             &disk,
         )?;
-        let sep =
-            drive::run_historical_queries(&dataset, sep_policy, sstable, q, &disk)?;
+        let sep = drive::run_historical_queries(
+            &dataset, sep_policy, sstable, q, &disk,
+        )?;
         rows.push(vec![
             format!("{}s", window / 1000),
             format!("{:.3e}", conv.mean_latency_ns),

@@ -19,13 +19,18 @@ fn main() -> seplsm_types::Result<()> {
     let n = 512usize;
     let sstable = 512usize;
 
-    report::banner("Table III: writing throughput (points/ms), background compaction");
+    report::banner(
+        "Table III: writing throughput (points/ms), background compaction",
+    );
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for ds in PAPER_DATASETS {
         let dataset = ds.workload(points, seed).generate();
-        let (tp_c, wa_c) =
-            drive::measure_throughput(&dataset, Policy::conventional(n), sstable)?;
+        let (tp_c, wa_c) = drive::measure_throughput(
+            &dataset,
+            Policy::conventional(n),
+            sstable,
+        )?;
         let (tp_s, wa_s) = drive::measure_throughput(
             &dataset,
             Policy::separation_even(n)?,

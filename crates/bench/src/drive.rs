@@ -73,10 +73,7 @@ pub fn measure_adaptive(
     for p in points {
         engine.append(*p)?;
     }
-    Ok((
-        engine.engine().metrics().clone(),
-        engine.tunes().to_vec(),
-    ))
+    Ok((engine.engine().metrics().clone(), engine.tunes().to_vec()))
 }
 
 /// Aggregated result of a query workload run.
@@ -111,9 +108,15 @@ fn summarize(per_query: &[QueryStats], disk: &DiskModel) -> QueryReport {
     QueryReport {
         queries: per_query.len() as u64,
         mean_read_amplification: mean_ra,
-        mean_latency_ns: per_query.iter().map(|s| disk.latency_ns(s)).sum::<f64>()
+        mean_latency_ns: per_query
+            .iter()
+            .map(|s| disk.latency_ns(s))
+            .sum::<f64>()
             / n,
-        mean_tables_read: per_query.iter().map(|s| s.tables_read as f64).sum::<f64>()
+        mean_tables_read: per_query
+            .iter()
+            .map(|s| s.tables_read as f64)
+            .sum::<f64>()
             / n,
         mean_points_returned: per_query
             .iter()
@@ -244,12 +247,9 @@ pub fn estimate_and_measure(
         .filter(|&g| g > 0)
         .collect();
     gaps.sort_unstable();
-    let delta_t = gaps
-        .get(gaps.len() / 2)
-        .copied()
-        .ok_or_else(|| {
-            seplsm_types::Error::Model("dataset too small for a delta_t".into())
-        })? as f64;
+    let delta_t = gaps.get(gaps.len() / 2).copied().ok_or_else(|| {
+        seplsm_types::Error::Model("dataset too small for a delta_t".into())
+    })? as f64;
 
     let dist = std::sync::Arc::new(Empirical::from_samples(&delays));
     let model = WaModel::new(dist, delta_t, budget);
@@ -361,7 +361,8 @@ mod tests {
     fn throughput_is_positive() {
         let pts = dataset();
         let (per_ms, wa) =
-            measure_throughput(&pts, Policy::conventional(512), 512).expect("run");
+            measure_throughput(&pts, Policy::conventional(512), 512)
+                .expect("run");
         assert!(per_ms > 0.0);
         assert!(wa >= 1.0 - 1e-9);
     }

@@ -48,6 +48,22 @@ pub fn maybe_write_json(
     Ok(())
 }
 
+/// Converts adaptive tuning decisions into JSON rows for report export.
+pub fn tunes_json(tunes: &[seplsm_core::TuneRecord]) -> Vec<serde_json::Value> {
+    tunes
+        .iter()
+        .map(|t| {
+            serde_json::json!({
+                "at_user_points": t.at_user_points,
+                "r_c": t.r_c,
+                "r_s_star": t.r_s_star,
+                "decision": t.decision.name(),
+                "delta_t": t.delta_t,
+            })
+        })
+        .collect()
+}
+
 /// Formats a float with 3 decimals for table cells.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
@@ -66,20 +82,15 @@ mod tests {
     fn table_printing_does_not_panic() {
         print_table(
             &["a", "bbbb"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         banner("test");
     }
 
     #[test]
     fn json_writing_round_trips() {
-        let dir = std::env::temp_dir().join(format!(
-            "seplsm-report-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir()
+            .join(format!("seplsm-report-{}", std::process::id()));
         let path = dir.join("out.json");
         maybe_write_json(
             Some(path.to_string_lossy().into_owned()),

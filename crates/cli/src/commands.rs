@@ -3,7 +3,9 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use seplsm_core::{tune, AdaptiveConfig, AdaptiveEngine, TunerOptions, WaModel};
+use seplsm_core::{
+    tune, AdaptiveConfig, AdaptiveEngine, TunerOptions, WaModel,
+};
 use seplsm_dist::stats::percentile_sorted;
 use seplsm_dist::{DelayDistribution, Empirical};
 use seplsm_lsm::{EngineConfig, FileStore, LsmEngine, MemStore, TableStore};
@@ -72,9 +74,9 @@ fn estimate_delta_t(points: &[DataPoint]) -> Result<f64> {
         .filter(|&g| g > 0)
         .collect();
     gaps.sort_unstable();
-    gaps.get(gaps.len() / 2)
-        .map(|&g| g as f64)
-        .ok_or_else(|| Error::Model("dataset too small to estimate delta_t".into()))
+    gaps.get(gaps.len() / 2).map(|&g| g as f64).ok_or_else(|| {
+        Error::Model("dataset too small to estimate delta_t".into())
+    })
 }
 
 /// `seplsm analyze` — delay profile + Algorithm 1 recommendation.
@@ -82,7 +84,8 @@ pub fn analyze(opts: &Opts) -> Result<()> {
     let points = load_input(opts)?;
     let budget: usize = opts.get_or("budget", 512);
 
-    let mut delays: Vec<f64> = points.iter().map(|p| p.delay() as f64).collect();
+    let mut delays: Vec<f64> =
+        points.iter().map(|p| p.delay() as f64).collect();
     delays.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let ooo = seplsm_workload::fraction_out_of_order(&points);
     let delta_t = estimate_delta_t(&points)?;
@@ -98,7 +101,8 @@ pub fn analyze(opts: &Opts) -> Result<()> {
         percentile_sorted(&delays, 100.0),
     );
 
-    let dist = Arc::new(Empirical::from_samples(&delays)) as Arc<dyn DelayDistribution>;
+    let dist = Arc::new(Empirical::from_samples(&delays))
+        as Arc<dyn DelayDistribution>;
     let model = WaModel::new(dist, delta_t, budget);
     let outcome = tune(&model, TunerOptions::online(budget))?;
     println!("\nAlgorithm 1 (budget n = {budget}):");
@@ -187,7 +191,10 @@ pub fn ingest(opts: &Opts) -> Result<()> {
                 engine.append(*p)?;
             }
             engine.engine_mut().flush_all()?;
-            println!("policy:              adaptive ({} tunes)", engine.tunes().len());
+            println!(
+                "policy:              adaptive ({} tunes)",
+                engine.tunes().len()
+            );
             for t in engine.tunes() {
                 println!(
                     "  at {:>9}: r_c={:.3} r_s*={:.3} -> {}",
@@ -201,6 +208,54 @@ pub fn ingest(opts: &Opts) -> Result<()> {
             println!("write amplification: {:.3}", m.write_amplification());
         }
     }
+    Ok(())
+}
+
+/// `seplsm query` — range query against a persisted store.
+pub fn query(opts: &Opts) -> Result<()> {
+    let dir = PathBuf::from(opts.require("dir").map_err(io_err)?);
+    let start: i64 =
+        opts.require("start")
+            .map_err(io_err)?
+            .parse()
+            .map_err(|_| {
+                Error::InvalidConfig("--start must be an integer".into())
+            })?;
+    let end: i64 =
+        opts.require("end").map_err(io_err)?.parse().map_err(|_| {
+            Error::InvalidConfig("--end must be an integer".into())
+        })?;
+    if start > end {
+        return Err(Error::InvalidConfig("--start must be <= --end".into()));
+    }
+    let budget: usize = opts.get_or("budget", 512);
+
+    let store: Arc<dyn TableStore> =
+        Arc::new(FileStore::open(dir.join("tables"))?);
+    let engine = if dir.join("manifest").exists() {
+        LsmEngine::recover_from_manifest(
+            EngineConfig::conventional(budget),
+            store,
+            dir.join("manifest"),
+            dir.join("wal").exists().then(|| dir.join("wal")),
+        )?
+    } else {
+        LsmEngine::recover(
+            EngineConfig::conventional(budget),
+            store,
+            dir.join("wal").exists().then(|| dir.join("wal")),
+        )?
+    };
+    let (hits, stats) = engine.query(TimeRange::new(start, end))?;
+    for p in &hits {
+        println!("{},{},{}", p.gen_time, p.arrival_time, p.value);
+    }
+    eprintln!(
+        "{} points; {} tables read, {} disk points scanned",
+        hits.len(),
+        stats.tables_read,
+        stats.disk_points_scanned
+    );
     Ok(())
 }
 
@@ -241,50 +296,4 @@ mod tests {
         // Gaps: 50, 50, 50, 4850 -> median 50.
         assert_eq!(estimate_delta_t(&points).expect("ok"), 50.0);
     }
-}
-
-/// `seplsm query` — range query against a persisted store.
-pub fn query(opts: &Opts) -> Result<()> {
-    let dir = PathBuf::from(opts.require("dir").map_err(io_err)?);
-    let start: i64 = opts
-        .require("start")
-        .map_err(io_err)?
-        .parse()
-        .map_err(|_| Error::InvalidConfig("--start must be an integer".into()))?;
-    let end: i64 = opts
-        .require("end")
-        .map_err(io_err)?
-        .parse()
-        .map_err(|_| Error::InvalidConfig("--end must be an integer".into()))?;
-    if start > end {
-        return Err(Error::InvalidConfig("--start must be <= --end".into()));
-    }
-    let budget: usize = opts.get_or("budget", 512);
-
-    let store: Arc<dyn TableStore> = Arc::new(FileStore::open(dir.join("tables"))?);
-    let engine = if dir.join("manifest").exists() {
-        LsmEngine::recover_from_manifest(
-            EngineConfig::conventional(budget),
-            store,
-            dir.join("manifest"),
-            dir.join("wal").exists().then(|| dir.join("wal")),
-        )?
-    } else {
-        LsmEngine::recover(
-            EngineConfig::conventional(budget),
-            store,
-            dir.join("wal").exists().then(|| dir.join("wal")),
-        )?
-    };
-    let (hits, stats) = engine.query(TimeRange::new(start, end))?;
-    for p in &hits {
-        println!("{},{},{}", p.gen_time, p.arrival_time, p.value);
-    }
-    eprintln!(
-        "{} points; {} tables read, {} disk points scanned",
-        hits.len(),
-        stats.tables_read,
-        stats.disk_points_scanned
-    );
-    Ok(())
 }

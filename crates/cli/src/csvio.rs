@@ -31,7 +31,10 @@ pub fn read_csv(path: impl AsRef<Path>) -> Result<Vec<DataPoint>> {
         }
         let mut fields = trimmed.split(',');
         let parse_err = |what: &str| {
-            Error::Corrupt(format!("csv line {}: bad {what}: {trimmed}", lineno + 1))
+            Error::Corrupt(format!(
+                "csv line {}: bad {what}: {trimmed}",
+                lineno + 1
+            ))
         };
         let gen_time: i64 = fields
             .next()
@@ -84,7 +87,8 @@ mod tests {
     #[test]
     fn rejects_malformed_rows() {
         let path = temp("bad");
-        std::fs::write(&path, "gen_time,arrival_time,value\n1,2\n").expect("write");
+        std::fs::write(&path, "gen_time,arrival_time,value\n1,2\n")
+            .expect("write");
         let err = read_csv(&path).expect_err("malformed");
         assert!(err.to_string().contains("line 2"), "{err}");
         std::fs::remove_file(&path).expect("cleanup");

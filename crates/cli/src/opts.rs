@@ -38,12 +38,15 @@ impl Opts {
 
     /// The value of `--name` parsed as `T`, or `default`.
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
-        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// The value of `--name`, or an error mentioning the flag.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
     }
 
     /// `true` if the bare switch `--name` was passed.

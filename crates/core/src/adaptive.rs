@@ -18,7 +18,6 @@ use std::sync::Arc;
 use seplsm_dist::DelayDistribution;
 use seplsm_lsm::{EngineConfig, LsmEngine, MemStore, TableStore};
 use seplsm_types::{DataPoint, Policy, Result};
-use serde::Serialize;
 
 use crate::analyzer::{AnalyzerConfig, AnalyzerEvent, DelayAnalyzer};
 use crate::tuner::{tune, TunerOptions};
@@ -81,7 +80,7 @@ impl AdaptiveConfig {
 }
 
 /// One recorded tuning decision.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TuneRecord {
     /// User points written when the decision was made.
     pub at_user_points: u64,
@@ -110,7 +109,10 @@ impl AdaptiveEngine {
     ///
     /// # Errors
     /// Invalid configuration.
-    pub fn new(config: AdaptiveConfig, store: Arc<dyn TableStore>) -> Result<Self> {
+    pub fn new(
+        config: AdaptiveConfig,
+        store: Arc<dyn TableStore>,
+    ) -> Result<Self> {
         let mut engine_config = EngineConfig::conventional(config.budget)
             .with_sstable_points(config.sstable_points);
         if let Some(every) = config.wa_snapshot_every {

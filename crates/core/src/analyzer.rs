@@ -32,7 +32,12 @@ pub struct AnalyzerConfig {
 
 impl Default for AnalyzerConfig {
     fn default() -> Self {
-        Self { window: 4096, min_samples: 1024, check_every: 1024, ks_alpha: 0.01 }
+        Self {
+            window: 4096,
+            min_samples: 1024,
+            check_every: 1024,
+            ks_alpha: 0.01,
+        }
     }
 }
 
@@ -174,7 +179,12 @@ mod tests {
     use super::*;
 
     fn config_small() -> AnalyzerConfig {
-        AnalyzerConfig { window: 256, min_samples: 64, check_every: 64, ks_alpha: 0.01 }
+        AnalyzerConfig {
+            window: 256,
+            min_samples: 64,
+            check_every: 64,
+            ks_alpha: 0.01,
+        }
     }
 
     fn feed(
@@ -208,7 +218,8 @@ mod tests {
         let mut a = DelayAnalyzer::new(config_small());
         let (_, next_tg) = feed(&mut a, 64, 0, 50, |i| (i as i64 * 7) % 100);
         a.mark_tuned();
-        let (events, _) = feed(&mut a, 1000, next_tg, 50, |i| (i as i64 * 7) % 100);
+        let (events, _) =
+            feed(&mut a, 1000, next_tg, 50, |i| (i as i64 * 7) % 100);
         assert!(events.is_empty(), "false drift: {events:?}");
     }
 

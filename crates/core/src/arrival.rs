@@ -34,7 +34,11 @@ impl ArrivalRatioModel {
     /// Creates the model for the given delay law and generation interval.
     pub fn new(dist: Arc<dyn DelayDistribution>, delta_t: f64) -> Self {
         assert!(delta_t > 0.0, "delta_t must be positive");
-        Self { dist, delta_t, max_alpha: Self::DEFAULT_MAX_ALPHA }
+        Self {
+            dist,
+            delta_t,
+            max_alpha: Self::DEFAULT_MAX_ALPHA,
+        }
     }
 
     /// Overrides the `α` cap.
@@ -107,7 +111,8 @@ mod tests {
     fn uniform_delay_closed_form() {
         // Uniform[0, 100], Δt = 50: F(50) = 0.5, F(100) = 1, F(150+) = 1.
         // x(α) = 0.5 + 1 + 1 + … so g stabilises at a small constant.
-        let m = ArrivalRatioModel::new(Arc::new(Uniform::new(0.0, 100.0)), 50.0);
+        let m =
+            ArrivalRatioModel::new(Arc::new(Uniform::new(0.0, 100.0)), 50.0);
         // For n_seq = 0.5: α = 1 exactly, g = 0.5.
         assert!((m.g(0.5).expect("g") - 0.5).abs() < 1e-9);
         // For large n_seq, only the first arrival is ever out of order in
@@ -128,14 +133,17 @@ mod tests {
 
     #[test]
     fn larger_interval_decreases_g() {
-        let fast = ArrivalRatioModel::new(Arc::new(LogNormal::new(5.0, 2.0)), 10.0);
-        let slow = ArrivalRatioModel::new(Arc::new(LogNormal::new(5.0, 2.0)), 50.0);
+        let fast =
+            ArrivalRatioModel::new(Arc::new(LogNormal::new(5.0, 2.0)), 10.0);
+        let slow =
+            ArrivalRatioModel::new(Arc::new(LogNormal::new(5.0, 2.0)), 50.0);
         assert!(fast.g(256.0).expect("fast") > slow.g(256.0).expect("slow"));
     }
 
     #[test]
     fn g_is_monotone_in_n_seq() {
-        let m = ArrivalRatioModel::new(Arc::new(LogNormal::new(5.0, 2.0)), 50.0);
+        let m =
+            ArrivalRatioModel::new(Arc::new(LogNormal::new(5.0, 2.0)), 50.0);
         let mut prev = 0.0;
         for n_seq in [1.0, 16.0, 64.0, 256.0, 448.0] {
             let g = m.g(n_seq).expect("g");
@@ -147,7 +155,8 @@ mod tests {
     #[test]
     fn eq1_consistency_between_forms() {
         // g(x(α)) should recover α − x(α).
-        let m = ArrivalRatioModel::new(Arc::new(LogNormal::new(4.0, 1.75)), 50.0);
+        let m =
+            ArrivalRatioModel::new(Arc::new(LogNormal::new(4.0, 1.75)), 50.0);
         let alpha = 300usize;
         let ooo = m.expected_out_of_order(alpha);
         let in_order = alpha as f64 - ooo;
@@ -158,11 +167,8 @@ mod tests {
     #[test]
     fn pathological_distribution_hits_cap() {
         // Delays so long that F(i·Δt) ≈ 0 for any reachable i.
-        let m = ArrivalRatioModel::new(
-            Arc::new(Constant::new(1e15)),
-            50.0,
-        )
-        .with_max_alpha(10_000);
+        let m = ArrivalRatioModel::new(Arc::new(Constant::new(1e15)), 50.0)
+            .with_max_alpha(10_000);
         assert!(m.g(1.0).is_err());
     }
 }

@@ -12,7 +12,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use seplsm_dist::DelayDistribution;
-use seplsm_lsm::{EngineConfig, MemStore, MultiSeriesEngine, SeriesId, TableStore};
+use seplsm_lsm::{
+    EngineConfig, MemStore, MultiSeriesEngine, SeriesId, TableStore,
+};
 use seplsm_types::{DataPoint, Policy, Result};
 
 use crate::adaptive::AdaptiveConfig;
@@ -160,7 +162,10 @@ mod tests {
         messy_points.sort_by_key(|p| p.arrival_time);
         for (i, mp) in messy_points.iter().enumerate() {
             fleet
-                .append(clean, DataPoint::new(i as i64 * 50, i as i64 * 50, 1.0))
+                .append(
+                    clean,
+                    DataPoint::new(i as i64 * 50, i as i64 * 50, 1.0),
+                )
                 .expect("clean append");
             fleet.append(messy, *mp).expect("messy append");
         }

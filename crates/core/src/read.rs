@@ -87,11 +87,16 @@ impl ReadCostModel {
 
     /// Effective span (ms) of one flushed file under `policy`.
     pub fn file_span_ms(&self, policy: Policy) -> f64 {
-        Self::flush_points(policy) * self.delta_t + self.span_widening_ms(policy)
+        Self::flush_points(policy) * self.delta_t
+            + self.span_widening_ms(policy)
     }
 
     /// Estimates one recent-window query of `window_ms`.
-    pub fn recent(&self, policy: Policy, window_ms: f64) -> RecentQueryEstimate {
+    pub fn recent(
+        &self,
+        policy: Policy,
+        window_ms: f64,
+    ) -> RecentQueryEstimate {
         assert!(window_ms > 0.0);
         let file_points = Self::flush_points(policy);
         let flush_period_ms = file_points * self.delta_t;
@@ -171,10 +176,8 @@ mod tests {
     fn separation_reduces_scanned_points_per_hit() {
         let m = model(5.0, 2.0, 50.0);
         let conv = m.recent(Policy::conventional(512), 2_000.0);
-        let sep = m.recent(
-            Policy::separation(512, 128).expect("policy"),
-            2_000.0,
-        );
+        let sep =
+            m.recent(Policy::separation(512, 128).expect("policy"), 2_000.0);
         // Smaller files: hits are more likely but each is cheaper.
         assert!(sep.disk_hit_probability > conv.disk_hit_probability);
         assert!(
@@ -202,8 +205,10 @@ mod tests {
         let mild = model(4.0, 1.5, 10.0);
         let wild = model(5.0, 2.0, 10.0);
         let backlog = 3.0;
-        let h_mild = mild.historical(Policy::conventional(512), 1_000.0, backlog);
-        let h_wild = wild.historical(Policy::conventional(512), 1_000.0, backlog);
+        let h_mild =
+            mild.historical(Policy::conventional(512), 1_000.0, backlog);
+        let h_wild =
+            wild.historical(Policy::conventional(512), 1_000.0, backlog);
         assert!(
             h_wild.expected_seeks > h_mild.expected_seeks,
             "wild {} <= mild {}",

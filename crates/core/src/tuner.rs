@@ -10,7 +10,6 @@
 //! at `step` granularity, then a unit-step pass around the coarse minimum.
 
 use seplsm_types::{Policy, Result};
-use serde::Serialize;
 
 use crate::wa::WaModel;
 
@@ -26,24 +25,33 @@ pub struct TunerOptions {
 
 impl Default for TunerOptions {
     fn default() -> Self {
-        Self { step: 1, record_curve: false }
+        Self {
+            step: 1,
+            record_curve: false,
+        }
     }
 }
 
 impl TunerOptions {
     /// Exhaustive unit-step scan recording the full curve.
     pub fn exhaustive_with_curve() -> Self {
-        Self { step: 1, record_curve: true }
+        Self {
+            step: 1,
+            record_curve: true,
+        }
     }
 
     /// Coarse scan for online use (≈128 coarse evaluations + refinement).
     pub fn online(n: usize) -> Self {
-        Self { step: (n / 128).max(1), record_curve: false }
+        Self {
+            step: (n / 128).max(1),
+            record_curve: false,
+        }
     }
 }
 
 /// The outcome of one tuning run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TuningOutcome {
     /// Predicted WA under `π_c`.
     pub r_c: f64,
@@ -77,9 +85,9 @@ pub fn tune(model: &WaModel, options: TunerOptions) -> Result<TuningOutcome> {
     let mut r_s_star = f64::INFINITY;
 
     let evaluate = |n_seq: usize,
-                        curve: &mut Vec<(usize, f64)>,
-                        best_n_seq: &mut usize,
-                        r_s_star: &mut f64|
+                    curve: &mut Vec<(usize, f64)>,
+                    best_n_seq: &mut usize,
+                    r_s_star: &mut f64|
      -> Result<()> {
         let est = model.wa_separation(n_seq)?;
         if options.record_curve {
@@ -122,7 +130,13 @@ pub fn tune(model: &WaModel, options: TunerOptions) -> Result<TuningOutcome> {
     } else {
         Policy::conventional(n)
     };
-    Ok(TuningOutcome { r_c, best_n_seq, r_s_star, decision, curve })
+    Ok(TuningOutcome {
+        r_c,
+        best_n_seq,
+        r_s_star,
+        decision,
+        curve,
+    })
 }
 
 #[cfg(test)]
@@ -170,7 +184,8 @@ mod tests {
     #[test]
     fn curve_is_recorded_and_covers_the_domain() {
         let m = model(5.0, 2.0, 50.0, 64);
-        let out = tune(&m, TunerOptions::exhaustive_with_curve()).expect("tune");
+        let out =
+            tune(&m, TunerOptions::exhaustive_with_curve()).expect("tune");
         assert_eq!(out.curve.len(), 63);
         assert_eq!(out.curve.first().expect("first").0, 1);
         assert_eq!(out.curve.last().expect("last").0, 63);
@@ -207,7 +222,10 @@ mod tests {
             ZetaConfig::default(),
         );
         let out = tune(&m, TunerOptions::default()).expect("tune");
-        if let Policy::Separation { seq_capacity, nonseq_capacity } = out.decision
+        if let Policy::Separation {
+            seq_capacity,
+            nonseq_capacity,
+        } = out.decision
         {
             assert_eq!(seq_capacity, out.best_n_seq);
             assert_eq!(seq_capacity + nonseq_capacity, 128);

@@ -51,7 +51,11 @@ pub struct SeparationEstimate {
 impl WaModel {
     /// Builds the model for delay law `dist`, generation interval `delta_t`
     /// and memory budget `n` (points).
-    pub fn new(dist: Arc<dyn DelayDistribution>, delta_t: f64, n: usize) -> Self {
+    pub fn new(
+        dist: Arc<dyn DelayDistribution>,
+        delta_t: f64,
+        n: usize,
+    ) -> Self {
         Self::with_zeta_config(dist, delta_t, n, ZetaConfig::default())
     }
 
@@ -62,7 +66,10 @@ impl WaModel {
         n: usize,
         config: ZetaConfig,
     ) -> Self {
-        assert!(n >= 2, "memory budget must allow a separation split (n >= 2)");
+        assert!(
+            n >= 2,
+            "memory budget must allow a separation split (n >= 2)"
+        );
         Self {
             zeta: ZetaModel::with_config(dist.clone(), delta_t, config),
             g: ArrivalRatioModel::new(dist, delta_t),
@@ -121,7 +128,13 @@ impl WaModel {
         let wa = self.zeta.zeta_real(n_arrive) / n_arrive
             + 1.0
             + (n_nonseq + n_seq_prime) / n_arrive; // Eq. 5
-        Ok(SeparationEstimate { n_seq, g, n_arrive, n_seq_prime, wa })
+        Ok(SeparationEstimate {
+            n_seq,
+            g,
+            n_arrive,
+            n_seq_prime,
+            wa,
+        })
     }
 }
 
@@ -158,8 +171,7 @@ mod tests {
     fn n_arrive_matches_eq4() {
         let m = model(5.0, 2.0, 50.0, 512);
         let est = m.wa_separation(256).expect("estimate");
-        let expected =
-            256.0 * 256.0 / est.g + 256.0;
+        let expected = 256.0 * 256.0 / est.g + 256.0;
         assert!((est.n_arrive - expected).abs() < 1e-9);
     }
 

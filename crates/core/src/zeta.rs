@@ -329,7 +329,10 @@ mod tests {
             assert!(z >= prev - 1e-9, "zeta({n})={z} < zeta(prev)={prev}");
             prev = z;
         }
-        assert!(prev > 0.0, "lognormal delays must produce subsequent points");
+        assert!(
+            prev > 0.0,
+            "lognormal delays must produce subsequent points"
+        );
     }
 
     #[test]
@@ -411,7 +414,10 @@ mod tests {
             dist,
             50.0,
             ZetaConfig {
-                gap: GapModel::MonteCarlo { pairs: 64, seed: 42 },
+                gap: GapModel::MonteCarlo {
+                    pairs: 64,
+                    seed: 42,
+                },
                 ..ZetaConfig::default()
             },
         );
@@ -428,7 +434,10 @@ mod tests {
         let m = ZetaModel::with_config(
             Arc::new(LogNormal::new(4.0, 1.5)),
             50.0,
-            ZetaConfig { max_n: 4096, ..ZetaConfig::default() },
+            ZetaConfig {
+                max_n: 4096,
+                ..ZetaConfig::default()
+            },
         );
         let capped = m.zeta(1 << 30);
         assert!(capped.is_finite());

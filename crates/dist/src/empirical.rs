@@ -43,11 +43,18 @@ impl Empirical {
     pub fn from_samples_with_bins(samples: &[f64], bins: usize) -> Self {
         let mut sorted: Vec<f64> =
             samples.iter().copied().filter(|x| x.is_finite()).collect();
-        assert!(!sorted.is_empty(), "Empirical needs at least one finite sample");
+        assert!(
+            !sorted.is_empty(),
+            "Empirical needs at least one finite sample"
+        );
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let histogram = Histogram::from_sorted(&sorted, bins);
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
-        Self { sorted, histogram, mean }
+        Self {
+            sorted,
+            histogram,
+            mean,
+        }
     }
 
     /// Number of samples backing the estimate.
@@ -162,7 +169,11 @@ mod tests {
         let e = Empirical::from_samples(&samples);
         for &q in &[0.05, 0.2, 0.5, 0.8, 0.95] {
             let x = e.quantile(q);
-            assert!((e.cdf(x) - q).abs() < 1e-9, "q={q}, x={x}, cdf={}", e.cdf(x));
+            assert!(
+                (e.cdf(x) - q).abs() < 1e-9,
+                "q={q}, x={x}, cdf={}",
+                e.cdf(x)
+            );
         }
     }
 
@@ -202,7 +213,8 @@ mod tests {
     fn fitted_empirical_tracks_true_lognormal() {
         let d = LogNormal::new(4.0, 1.5);
         let mut rng = StdRng::seed_from_u64(5);
-        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let samples: Vec<f64> =
+            (0..50_000).map(|_| d.sample(&mut rng)).collect();
         let e = Empirical::from_samples(&samples);
         for &x in &[10.0, 50.0, 150.0, 500.0, 2000.0] {
             assert!(

@@ -32,6 +32,6 @@ pub mod stats;
 pub use distribution::DelayDistribution;
 pub use empirical::Empirical;
 pub use parametric::{
-    Constant, Exponential, LogNormal, Mixture, Normal, Pareto, Shifted, Uniform,
-    Weibull,
+    Constant, Exponential, LogNormal, Mixture, Normal, Pareto, Shifted,
+    Uniform, Weibull,
 };

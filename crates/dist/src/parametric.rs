@@ -33,7 +33,10 @@ pub struct LogNormal {
 impl LogNormal {
     /// Creates `LogNormal(mu, sigma)`; `sigma` must be positive and finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(sigma > 0.0 && sigma.is_finite(), "LogNormal sigma must be > 0");
+        assert!(
+            sigma > 0.0 && sigma.is_finite(),
+            "LogNormal sigma must be > 0"
+        );
         Self { mu, sigma }
     }
 
@@ -144,7 +147,10 @@ pub struct Exponential {
 impl Exponential {
     /// Creates an exponential law with rate `λ > 0`.
     pub fn new(rate: f64) -> Self {
-        assert!(rate > 0.0 && rate.is_finite(), "Exponential rate must be > 0");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "Exponential rate must be > 0"
+        );
         Self { rate }
     }
 
@@ -254,7 +260,10 @@ pub struct Pareto {
 impl Pareto {
     /// Creates a Pareto law with scale `x_m > 0` and shape `α > 0`.
     pub fn new(scale: f64, shape: f64) -> Self {
-        assert!(scale > 0.0 && shape > 0.0, "Pareto scale and shape must be > 0");
+        assert!(
+            scale > 0.0 && shape > 0.0,
+            "Pareto scale and shape must be > 0"
+        );
         Self { scale, shape }
     }
 }
@@ -362,8 +371,7 @@ impl DelayDistribution for Weibull {
 
     fn mean(&self) -> Option<f64> {
         Some(
-            self.scale
-                * crate::special::ln_gamma(1.0 + 1.0 / self.shape).exp(),
+            self.scale * crate::special::ln_gamma(1.0 + 1.0 / self.shape).exp(),
         )
     }
 
@@ -484,14 +492,19 @@ pub struct Mixture {
 impl Mixture {
     /// Creates a mixture; weights must be positive and are normalised to 1.
     pub fn new(components: Vec<(f64, Box<dyn DelayDistribution>)>) -> Self {
-        assert!(!components.is_empty(), "Mixture needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "Mixture needs at least one component"
+        );
         let total: f64 = components.iter().map(|(w, _)| *w).sum();
         assert!(
             total > 0.0 && components.iter().all(|(w, _)| *w > 0.0),
             "Mixture weights must be positive"
         );
-        let components =
-            components.into_iter().map(|(w, d)| (w / total, d)).collect();
+        let components = components
+            .into_iter()
+            .map(|(w, d)| (w / total, d))
+            .collect();
         Self { components }
     }
 
@@ -714,7 +727,9 @@ mod tests {
         assert!((d.cdf(10.0) - 0.75).abs() < 1e-12);
         assert!((d.cdf(999.0) - 0.75).abs() < 1e-12);
         assert!((d.cdf(1000.0) - 1.0).abs() < 1e-12);
-        assert!((d.mean().unwrap() - (0.75 * 10.0 + 0.25 * 1000.0)).abs() < 1e-9);
+        assert!(
+            (d.mean().unwrap() - (0.75 * 10.0 + 0.25 * 1000.0)).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -728,9 +743,8 @@ mod tests {
         check_quantile_inverts(&d, 1e-6);
         let mut rng = StdRng::seed_from_u64(3);
         let n = 100_000;
-        let frac_late = (0..n)
-            .filter(|_| d.sample(&mut rng) > 25_000.0)
-            .count() as f64
+        let frac_late = (0..n).filter(|_| d.sample(&mut rng) > 25_000.0).count()
+            as f64
             / n as f64;
         assert!((frac_late - 0.1).abs() < 0.01, "late fraction {frac_late}");
     }

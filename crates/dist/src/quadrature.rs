@@ -79,7 +79,12 @@ impl GaussLegendre {
     }
 
     /// `∫_a^b f(x) dx`.
-    pub fn integrate(&self, a: f64, b: f64, mut f: impl FnMut(f64) -> f64) -> f64 {
+    pub fn integrate(
+        &self,
+        a: f64,
+        b: f64,
+        mut f: impl FnMut(f64) -> f64,
+    ) -> f64 {
         let half = 0.5 * (b - a);
         let mid = 0.5 * (a + b);
         let mut acc = 0.0;
@@ -191,7 +196,8 @@ mod tests {
     fn gauss_legendre_is_exact_for_polynomials() {
         // An n-point rule integrates degree 2n−1 exactly.
         let gl = GaussLegendre::new(5);
-        let got = gl.integrate(-1.0, 1.0, |x| x.powi(9) + 3.0 * x.powi(4) + 1.0);
+        let got =
+            gl.integrate(-1.0, 1.0, |x| x.powi(9) + 3.0 * x.powi(4) + 1.0);
         let want = 0.0 + 3.0 * 2.0 / 5.0 + 2.0;
         assert!((got - want).abs() < 1e-13);
     }
@@ -230,9 +236,8 @@ mod tests {
         // E[F(X)] = 1/2 for any continuous law — a sharp self-test.
         let gl = GaussLegendre::new(64);
         let d = LogNormal::new(5.0, 2.0);
-        let got = expectation(&gl, &d, |x| {
-            crate::DelayDistribution::cdf(&d, x)
-        });
+        let got =
+            expectation(&gl, &d, |x| crate::DelayDistribution::cdf(&d, x));
         assert!((got - 0.5).abs() < 1e-6, "E[F(X)]={got}");
     }
 
@@ -250,7 +255,13 @@ mod tests {
 
     #[test]
     fn adaptive_simpson_matches_closed_form() {
-        let got = adaptive_simpson(&|x: f64| x.sin(), 0.0, std::f64::consts::PI, 1e-10, 30);
+        let got = adaptive_simpson(
+            &|x: f64| x.sin(),
+            0.0,
+            std::f64::consts::PI,
+            1e-10,
+            30,
+        );
         assert!((got - 2.0).abs() < 1e-9);
     }
 

@@ -31,7 +31,8 @@ pub fn norm_cdf(x: f64) -> f64 {
         let e = (-z * z / 2.0).exp();
         if z < 7.071_067_811_865_475 {
             // |x| < 10/sqrt(2): Hart's rational approximation.
-            let build = (((((3.52624965998911e-2 * z + 0.700383064443688) * z
+            let build = (((((3.52624965998911e-2 * z + 0.700383064443688)
+                * z
                 + 6.37396220353165)
                 * z
                 + 33.912866078383)
@@ -41,7 +42,8 @@ pub fn norm_cdf(x: f64) -> f64 {
                 + 221.213596169931)
                 * z
                 + 220.206867912376;
-            let build2 = ((((((8.83883476483184e-2 * z + 1.75566716318264) * z
+            let build2 = ((((((8.83883476483184e-2 * z + 1.75566716318264)
+                * z
                 + 16.064177579207)
                 * z
                 + 86.7807322029461)
@@ -97,7 +99,10 @@ pub fn erfc(x: f64) -> f64 {
 ///
 /// Returns `-∞` for `p = 0` and `+∞` for `p = 1`; panics on `p ∉ [0, 1]`.
 pub fn norm_quantile(p: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&p), "norm_quantile: p={p} outside [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "norm_quantile: p={p} outside [0,1]"
+    );
     if p == 0.0 {
         return f64::NEG_INFINITY;
     }
@@ -152,8 +157,10 @@ fn acklam_inverse(p: f64) -> f64 {
     } else if p <= 1.0 - P_LOW {
         let q = p - 0.5;
         let r = q * q;
-        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
-            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5])
+            * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r
+                + 1.0)
     } else {
         let q = (-2.0 * (1.0 - p).ln()).sqrt();
         -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
@@ -166,6 +173,8 @@ fn acklam_inverse(p: f64) -> f64 {
 pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
     const G: f64 = 7.0;
+    // Canonical g=7, n=9 Lanczos coefficients, quoted in full.
+    #[allow(clippy::excessive_precision)]
     const COEF: [f64; 9] = [
         0.999_999_999_999_809_93,
         676.520_368_121_885_1,

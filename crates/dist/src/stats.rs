@@ -34,7 +34,12 @@ impl Histogram {
         assert!(bins > 0, "Histogram needs at least one bin");
         let min = sorted[0];
         let max = *sorted.last().expect("non-empty");
-        let mut h = Self { min, max, counts: vec![0; bins], total: 0 };
+        let mut h = Self {
+            min,
+            max,
+            counts: vec![0; bins],
+            total: 0,
+        };
         for &x in sorted {
             let idx = h.bin_index(x);
             h.counts[idx] += 1;
@@ -254,7 +259,9 @@ mod tests {
         let d: f64 = h
             .bars()
             .iter()
-            .map(|(edge, _)| h.density(edge + h.bin_width() / 2.0) * h.bin_width())
+            .map(|(edge, _)| {
+                h.density(edge + h.bin_width() / 2.0) * h.bin_width()
+            })
             .sum();
         assert!((d - 1.0).abs() < 1e-9);
     }
@@ -307,7 +314,9 @@ mod tests {
 
     #[test]
     fn ks_critical_decreases_with_sample_size() {
-        assert!(ks_critical(100, 100, 0.05) > ks_critical(10_000, 10_000, 0.05));
+        assert!(
+            ks_critical(100, 100, 0.05) > ks_critical(10_000, 10_000, 0.05)
+        );
         assert!(ks_critical(100, 100, 0.01) > ks_critical(100, 100, 0.05));
     }
 
@@ -345,7 +354,9 @@ mod tests {
 
     #[test]
     fn sliding_mean_smooths_and_preserves_length() {
-        let xs: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 0.0 } else { 10.0 }).collect();
+        let xs: Vec<f64> = (0..10)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 10.0 })
+            .collect();
         let sm = sliding_mean(&xs, 4);
         assert_eq!(sm.len(), xs.len());
         // Interior values hover near the global mean of 5.

@@ -11,12 +11,32 @@
 //! that every recent-window query then has to scan (the paper's Fig. 15),
 //! while `π_s` keeps in-order flushes narrow.
 //!
-//! [`TieredEngine`] reproduces that: the writer thread only buffers points
-//! and hands full MemTables to a compaction worker over a bounded channel;
-//! the worker encodes and stores them as L0 tables and periodically merges
-//! L0 into the run. The bounded channel back-pressures the writer if the
-//! worker cannot keep up (realistic write-stall behaviour).
+//! [`TieredEngine`] reproduces that on the shared storage kernel: the writer
+//! thread classifies and buffers points in a
+//! [`PolicyBuffers`](crate::buffer::PolicyBuffers) and hands full MemTables
+//! to a compaction worker over a bounded channel; the worker stores them as
+//! L0 tables (committed as [`VersionEdit::FlushToL0`]) and periodically
+//! merges L0 into the run through the same
+//! [`plan_merge`](crate::compaction::plan_merge) /
+//! [`execute`](crate::compaction::execute) pipeline as the foreground
+//! engine. The bounded channel back-pressures the writer if the worker
+//! cannot keep up (realistic write-stall behaviour).
+//!
+//! # Durability
+//!
+//! With [`TieredEngine::with_wal`] every appended point is logged before it
+//! is buffered, and the log is compacted to the still-volatile suffix on
+//! every flush hand-off; with [`TieredEngine::with_manifest`] the worker
+//! records every L0 addition and run replacement. A crashed engine (dropped
+//! without [`TieredEngine::finish`]) is rebuilt by
+//! [`TieredEngine::recover`]: the manifest restores the run and L0, the WAL
+//! replays the buffered tail. The WAL is deliberately conservative — a batch
+//! leaves it only after the *next* hand-off, so recovery may re-buffer
+//! points that already reached L0; the merge pipeline deduplicates them by
+//! generation time (freshest wins), so no point is lost or double-counted in
+//! query results.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -24,27 +44,33 @@ use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange, Timestamp};
 
+use crate::buffer::{FlushTrigger, PolicyBuffers};
+use crate::compaction::{self, plan_merge, RunInput};
 use crate::engine::EngineConfig;
 use crate::iterator::merge_sorted;
 use crate::level::Run;
-use crate::memtable::MemTable;
+use crate::manifest::Manifest;
+use crate::metrics::Metrics;
 use crate::query::QueryStats;
 use crate::sstable::SsTableMeta;
 use crate::store::TableStore;
+use crate::version::{Version, VersionEdit};
+use crate::wal::Wal;
 
 /// How many L0 tables accumulate before the worker merges them into the run.
 const L0_COMPACT_THRESHOLD: usize = 4;
 /// Flush-queue depth before ingestion back-pressures.
 const CHANNEL_DEPTH: usize = 8;
 
-/// Counters reported when the engine is finished.
+/// Counters reported when the engine is finished — a view over the kernel's
+/// [`Metrics`] plus the final table contents.
 #[derive(Debug, Clone, Default)]
 pub struct TieredReport {
     /// Points the user wrote.
     pub user_points: u64,
     /// Points physically written (L0 flushes + run rewrites).
     pub disk_points_written: u64,
-    /// L0→run merge operations performed.
+    /// L0→run merges that rewrote part of the run.
     pub compactions: u64,
     /// Tables remaining in the run at shutdown.
     pub run_tables: usize,
@@ -53,87 +79,95 @@ pub struct TieredReport {
 }
 
 impl TieredReport {
-    /// Overall write amplification.
-    pub fn write_amplification(&self) -> f64 {
-        if self.user_points == 0 {
-            return 0.0;
+    fn from_metrics(
+        metrics: &Metrics,
+        run_tables: usize,
+        points: Vec<DataPoint>,
+    ) -> Self {
+        Self {
+            user_points: metrics.user_points,
+            disk_points_written: metrics.disk_points_written,
+            compactions: metrics.compactions,
+            run_tables,
+            points,
         }
-        self.disk_points_written as f64 / self.user_points as f64
+    }
+
+    /// Overall write amplification (the shared §I-B definition).
+    pub fn write_amplification(&self) -> f64 {
+        crate::metrics::write_amplification(
+            self.disk_points_written,
+            self.user_points,
+        )
     }
 }
 
-/// On-disk state shared between the writer, the worker, and queries.
+/// State shared between the writer, the worker, and queries: the versioned
+/// table levels, the unified metrics, and the (optional) manifest that
+/// mirrors them.
 struct TierState {
-    /// Immutable MemTables handed to the worker but not yet stored as L0
-    /// tables — still queryable, exactly like IoTDB's flushing MemTables.
-    flushing: Vec<Arc<Vec<DataPoint>>>,
-    /// L0 tables in flush order (later = newer; newer wins duplicates).
-    l0: Vec<SsTableMeta>,
-    /// The non-overlapping level-2 run.
-    run: Run,
-    disk_points_written: u64,
-    compactions: u64,
+    version: Version,
+    metrics: Metrics,
+    manifest: Option<Manifest>,
 }
 
 impl TierState {
-    /// Merges every L0 table plus the overlapping part of the run.
-    /// Called with the state lock held; table reads/writes go to `store`.
+    /// Merges every L0 table plus the overlapping part of the run through
+    /// the shared compaction pipeline. Called with the state lock held;
+    /// table reads/writes go to `store`.
     fn compact_l0(
         &mut self,
         store: &Arc<dyn TableStore>,
         sstable_points: usize,
     ) -> Result<()> {
-        if self.l0.is_empty() {
+        if self.version.l0().is_empty() {
             return Ok(());
         }
-        let l0 = std::mem::take(&mut self.l0);
+        let l0: Vec<SsTableMeta> = self.version.l0().to_vec();
         let range = l0
             .iter()
             .map(|m| m.range)
             .reduce(|a, b| a.union(&b))
             .expect("non-empty");
-        let overlapping = self.run.overlapping(range);
 
         // Priority: newest L0 table first, then older L0, then the run.
-        let mut sources = Vec::with_capacity(l0.len() + overlapping.len());
+        let mut fresh = Vec::with_capacity(l0.len());
         for meta in l0.iter().rev() {
-            sources.push(store.get(meta.id)?);
+            fresh.push(store.get(meta.id)?);
         }
-        for meta in &overlapping {
-            sources.push(store.get(meta.id)?);
+        let overlapping = self.version.run().overlapping(range);
+        let mut inputs = Vec::with_capacity(overlapping.len());
+        for meta in overlapping {
+            inputs.push(RunInput {
+                meta,
+                points: store.get(meta.id)?,
+            });
         }
-        let merged = merge_sorted(sources);
-        self.disk_points_written += merged.len() as u64;
-
-        let mut new_metas = Vec::new();
-        for chunk in merged.chunks(sstable_points) {
-            let (meta, _) = store.put(chunk)?;
-            new_metas.push(meta);
-        }
-        let removed: Vec<_> = overlapping.iter().map(|m| m.id).collect();
-        self.run.replace(&removed, new_metas)?;
-        for meta in l0.iter().chain(overlapping.iter()) {
+        let plan = plan_merge(fresh, inputs, sstable_points, None);
+        compaction::execute(
+            plan,
+            store.as_ref(),
+            &mut self.version,
+            self.manifest.as_mut(),
+            &mut self.metrics,
+            true,
+        )?;
+        for meta in &l0 {
             store.delete(meta.id)?;
         }
-        self.compactions += 1;
         Ok(())
     }
 }
 
-/// The MemTable set of the writer side.
-enum WriterBuffers {
-    Conventional(MemTable),
-    Separation { seq: MemTable, nonseq: MemTable },
-}
-
 /// A leveled engine whose flush and compaction run on a background thread.
 pub struct TieredEngine {
-    buffers: WriterBuffers,
+    config: EngineConfig,
+    buffers: PolicyBuffers,
     tx: Option<Sender<Arc<Vec<DataPoint>>>>,
     handle: Option<JoinHandle<Result<()>>>,
     store: Arc<dyn TableStore>,
     state: Arc<Mutex<TierState>>,
-    sstable_points: usize,
+    wal: Option<Wal>,
     /// Largest generation time handed to the flush pipeline — the in-order
     /// classification pivot (it is "on disk" from the writer's perspective).
     flushed_max: Option<Timestamp>,
@@ -150,29 +184,25 @@ impl TieredEngine {
     ///
     /// # Errors
     /// [`Error::InvalidConfig`] on degenerate configurations.
-    pub fn new(config: EngineConfig, store: Arc<dyn TableStore>) -> Result<Self> {
-        if config.sstable_points == 0 || config.policy.total_capacity() == 0 {
-            return Err(Error::InvalidConfig(
-                "sstable_points and memory budget must be >= 1".into(),
-            ));
-        }
-        let buffers = match config.policy {
-            Policy::Conventional { capacity } => {
-                WriterBuffers::Conventional(MemTable::new(capacity))
-            }
-            Policy::Separation { seq_capacity, nonseq_capacity } => {
-                WriterBuffers::Separation {
-                    seq: MemTable::new(seq_capacity),
-                    nonseq: MemTable::new(nonseq_capacity),
-                }
-            }
-        };
+    pub fn new(
+        config: EngineConfig,
+        store: Arc<dyn TableStore>,
+    ) -> Result<Self> {
+        config.validate()?;
+        Self::build(config, store, Version::new(), None)
+    }
+
+    fn build(
+        config: EngineConfig,
+        store: Arc<dyn TableStore>,
+        version: Version,
+        manifest: Option<Manifest>,
+    ) -> Result<Self> {
+        let pivot = version.last_stored_gen_time();
         let state = Arc::new(Mutex::new(TierState {
-            flushing: Vec::new(),
-            l0: Vec::new(),
-            run: Run::new(),
-            disk_points_written: 0,
-            compactions: 0,
+            version,
+            metrics: Metrics::default(),
+            manifest,
         }));
         let (tx, rx) = bounded::<Arc<Vec<DataPoint>>>(CHANNEL_DEPTH);
         let worker_store = Arc::clone(&store);
@@ -182,26 +212,40 @@ impl TieredEngine {
             .name("seplsm-compaction".into())
             .spawn(move || -> Result<()> {
                 for batch in rx {
-                    if batch.is_empty() {
-                        continue;
-                    }
-                    // Encode and store outside the lock; only the meta push
-                    // and the (infrequent) compaction hold it.
-                    let mut metas = Vec::new();
+                    // Encode and store outside the lock; only the version
+                    // edit and the (infrequent) compaction hold it.
+                    let mut tables = Vec::new();
                     let mut written = 0u64;
+                    let mut bytes = 0u64;
                     for chunk in batch.chunks(sstable_points) {
-                        let (meta, _) = worker_store.put(chunk)?;
+                        let (meta, size) = worker_store.put(chunk)?;
                         written += chunk.len() as u64;
-                        metas.push(meta);
+                        bytes += size as u64;
+                        tables.push(meta);
                     }
+                    let tables_created = tables.len() as u64;
                     let mut state = worker_state.lock();
-                    state.disk_points_written += written;
-                    state.l0.extend(metas);
-                    // The batch is on disk: it stops being a flushing
-                    // MemTable in the same critical section, so queries see
-                    // it in exactly one place.
-                    state.flushing.retain(|b| !Arc::ptr_eq(b, &batch));
-                    if state.l0.len() >= L0_COMPACT_THRESHOLD {
+                    // The batch lands in L0 and stops being a flushing
+                    // MemTable in one atomic edit, so queries see the data
+                    // in exactly one place.
+                    let edits = [VersionEdit::FlushToL0 {
+                        batch: Arc::clone(&batch),
+                        tables,
+                    }];
+                    state.version.apply(&edits)?;
+                    let TierState {
+                        version,
+                        metrics,
+                        manifest,
+                    } = &mut *state;
+                    if let Some(manifest) = manifest.as_mut() {
+                        version.record(manifest, &edits)?;
+                    }
+                    metrics.disk_points_written += written;
+                    metrics.disk_bytes_written += bytes;
+                    metrics.tables_created += tables_created;
+                    metrics.flushes += 1;
+                    if state.version.l0().len() >= L0_COMPACT_THRESHOLD {
                         state.compact_l0(&worker_store, sstable_points)?;
                     }
                 }
@@ -211,14 +255,15 @@ impl TieredEngine {
             })
             .map_err(|e| Error::Io(std::io::Error::other(e)))?;
         Ok(Self {
-            buffers,
+            buffers: PolicyBuffers::for_policy(config.policy),
+            config,
             tx: Some(tx),
             handle: Some(handle),
             store,
             state,
-            sstable_points,
-            flushed_max: None,
-            max_gen_seen: None,
+            wal: None,
+            flushed_max: pivot,
+            max_gen_seen: pivot,
             user_points: 0,
             sync_flush: false,
         })
@@ -233,6 +278,80 @@ impl TieredEngine {
         self
     }
 
+    /// Attaches a write-ahead log at `path`: points are logged before they
+    /// are buffered, and the log is compacted to the not-yet-durable suffix
+    /// on every flush hand-off.
+    ///
+    /// # Errors
+    /// I/O errors opening the log.
+    pub fn with_wal(mut self, path: impl AsRef<Path>) -> Result<Self> {
+        let mut wal = Wal::open(path)?;
+        wal.rewrite(&self.buffers.snapshot_sorted())?;
+        self.wal = Some(wal);
+        Ok(self)
+    }
+
+    /// Attaches a manifest at `path`: the worker records every L0 addition
+    /// and run replacement, enabling O(metadata) crash recovery through
+    /// [`TieredEngine::recover`].
+    ///
+    /// # Errors
+    /// I/O errors opening or seeding the manifest.
+    pub fn with_manifest(self, path: impl AsRef<Path>) -> Result<Self> {
+        let mut manifest = Manifest::open(path)?;
+        {
+            let mut state = self.state.lock();
+            manifest.rewrite_levels(
+                state.version.run().tables(),
+                state.version.l0(),
+            )?;
+            state.manifest = Some(manifest);
+        }
+        Ok(self)
+    }
+
+    /// Rebuilds an engine after a crash: the manifest restores the run and
+    /// L0 tables, the WAL (if any) replays the buffered tail through the
+    /// normal append path. Replayed points re-enter the user-point counters,
+    /// mirroring [`LsmEngine::recover`](crate::LsmEngine::recover). Points
+    /// that were already flushed but still in the conservative WAL are
+    /// deduplicated by the merge pipeline.
+    ///
+    /// # Errors
+    /// Manifest/WAL corruption or an invalid recovered table set.
+    pub fn recover(
+        config: EngineConfig,
+        store: Arc<dyn TableStore>,
+        manifest_path: PathBuf,
+        wal_path: Option<PathBuf>,
+    ) -> Result<Self> {
+        config.validate()?;
+        let (run_metas, l0_metas) = Manifest::replay_levels(&manifest_path)?;
+        let run = Run::from_tables(run_metas)?;
+        let version = Version::from_levels(run, l0_metas);
+        let mut engine = Self::build(config, store, version, None)?;
+        // Re-attach the manifest first so replay-triggered flushes are
+        // recorded; re-seeding makes it authoritative for the rebuilt state.
+        let mut manifest = Manifest::open(&manifest_path)?;
+        {
+            let mut state = engine.state.lock();
+            manifest.rewrite_levels(
+                state.version.run().tables(),
+                state.version.l0(),
+            )?;
+            state.manifest = Some(manifest);
+        }
+        if let Some(path) = wal_path {
+            let replayed = Wal::replay(&path)?;
+            for p in &replayed {
+                engine.append_internal(*p, false)?;
+            }
+            engine.wal = Some(Wal::open(&path)?);
+            engine.compact_wal()?;
+        }
+        Ok(engine)
+    }
+
     fn send(&mut self, points: Vec<DataPoint>) -> Result<()> {
         if points.is_empty() {
             return Ok(());
@@ -245,8 +364,13 @@ impl TieredEngine {
         );
         let batch = Arc::new(points);
         // Register as a flushing MemTable *before* handing it to the worker
-        // so it never becomes invisible to queries.
-        self.state.lock().flushing.push(Arc::clone(&batch));
+        // so it never becomes invisible to queries; the WAL keeps covering it
+        // until a later hand-off finds it durably retired.
+        self.state
+            .lock()
+            .version
+            .apply(&[VersionEdit::RegisterFlushing(Arc::clone(&batch))])?;
+        self.compact_wal()?;
         self.tx
             .as_ref()
             .expect("engine not finished")
@@ -256,38 +380,97 @@ impl TieredEngine {
             })
     }
 
+    /// Rewrites the WAL to the points that may not be durable yet: every
+    /// batch still in the flush pipeline plus the buffered points.
+    fn compact_wal(&mut self) -> Result<()> {
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        let mut survivors: Vec<DataPoint> = Vec::new();
+        {
+            let state = self.state.lock();
+            for batch in state.version.flushing() {
+                survivors.extend(batch.iter().copied());
+            }
+        }
+        survivors.extend(self.buffers.snapshot_sorted());
+        self.wal
+            .as_mut()
+            .expect("checked above")
+            .rewrite(&survivors)
+    }
+
+    /// Flushes and fsyncs the write-ahead log (no-op without a WAL).
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn sync_wal(&mut self) -> Result<()> {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.sync()?;
+        }
+        Ok(())
+    }
+
     /// Writes one point; only blocks if the flush queue is full.
     ///
     /// # Errors
     /// Worker-side failures surface here once the queue is gone.
     pub fn append(&mut self, p: DataPoint) -> Result<()> {
+        self.append_internal(p, true)
+    }
+
+    fn append_internal(&mut self, p: DataPoint, log_wal: bool) -> Result<()> {
+        if log_wal {
+            if let Some(wal) = self.wal.as_mut() {
+                wal.append(&p)?;
+            }
+        }
         self.user_points += 1;
         self.max_gen_seen =
             Some(self.max_gen_seen.map_or(p.gen_time, |m| m.max(p.gen_time)));
-        let flushed_max = self.flushed_max;
-        let batch = match &mut self.buffers {
-            WriterBuffers::Conventional(c0) => {
-                c0.insert(p);
-                c0.is_full().then(|| c0.drain_sorted())
-            }
-            WriterBuffers::Separation { seq, nonseq } => {
-                let in_order = flushed_max.is_none_or(|m| p.gen_time > m);
-                if in_order {
-                    seq.insert(p);
-                    seq.is_full().then(|| seq.drain_sorted())
-                } else {
-                    nonseq.insert(p);
-                    nonseq.is_full().then(|| nonseq.drain_sorted())
-                }
-            }
-        };
-        if let Some(points) = batch {
+        let trigger = self.buffers.insert(p, self.flushed_max);
+        if trigger != FlushTrigger::None {
+            let points = self.buffers.take(trigger);
             self.send(points)?;
             if self.sync_flush {
                 self.drain();
             }
         }
         Ok(())
+    }
+
+    /// Switches the buffering policy mid-stream through the shared
+    /// [`PolicyBuffers::migrate`] path: buffered points are re-classified
+    /// against the current pivot and re-buffered, flushing any set that
+    /// fills. Does not count as new user traffic.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] for degenerate policies; flush hand-off
+    /// failures.
+    pub fn set_policy(&mut self, policy: Policy) -> Result<()> {
+        if policy.total_capacity() == 0 {
+            return Err(Error::InvalidConfig(
+                "memory budget must be >= 1 point".into(),
+            ));
+        }
+        if policy == self.config.policy {
+            return Ok(());
+        }
+        let buffered = self.buffers.migrate(policy);
+        self.config.policy = policy;
+        for p in buffered {
+            let trigger = self.buffers.insert(p, self.flushed_max);
+            if trigger != FlushTrigger::None {
+                let points = self.buffers.take(trigger);
+                self.send(points)?;
+            }
+        }
+        self.compact_wal()
+    }
+
+    /// The active buffering policy.
+    pub fn policy(&self) -> Policy {
+        self.config.policy
     }
 
     /// Number of points the user has written.
@@ -300,6 +483,14 @@ impl TieredEngine {
         self.max_gen_seen
     }
 
+    /// Snapshot of the unified kernel metrics (worker-side counters; the
+    /// writer's `user_points` is folded in).
+    pub fn metrics(&self) -> Metrics {
+        let mut metrics = self.state.lock().metrics.clone();
+        metrics.user_points = self.user_points;
+        metrics
+    }
+
     /// Range query over generation time, merging MemTables, every
     /// overlapping L0 file and the run.
     ///
@@ -309,28 +500,18 @@ impl TieredEngine {
     ///
     /// # Errors
     /// Storage failures.
-    pub fn query(&self, range: TimeRange) -> Result<(Vec<DataPoint>, QueryStats)> {
+    pub fn query(
+        &self,
+        range: TimeRange,
+    ) -> Result<(Vec<DataPoint>, QueryStats)> {
         let mut stats = QueryStats::default();
-        let mut sources: Vec<Vec<DataPoint>> = Vec::new();
-        match &self.buffers {
-            WriterBuffers::Conventional(c0) => {
-                let hits = c0.scan(range);
-                stats.mem_points_scanned += hits.len() as u64;
-                sources.push(hits);
-            }
-            WriterBuffers::Separation { seq, nonseq } => {
-                let seq_hits = seq.scan(range);
-                let nonseq_hits = nonseq.scan(range);
-                stats.mem_points_scanned +=
-                    (seq_hits.len() + nonseq_hits.len()) as u64;
-                sources.push(seq_hits);
-                sources.push(nonseq_hits);
-            }
-        }
+        let mut sources = self.buffers.scan_sources(range);
+        stats.mem_points_scanned +=
+            sources.iter().map(|s| s.len() as u64).sum::<u64>();
         // Hold the lock across the reads so compaction cannot delete tables
         // under us; experiment-scale tables make this cheap.
         let state = self.state.lock();
-        for batch in state.flushing.iter().rev() {
+        for batch in state.version.flushing().iter().rev() {
             let hits: Vec<DataPoint> = batch
                 .iter()
                 .copied()
@@ -339,7 +520,7 @@ impl TieredEngine {
             stats.mem_points_scanned += hits.len() as u64;
             sources.push(hits);
         }
-        for meta in state.l0.iter().rev() {
+        for meta in state.version.l0().iter().rev() {
             if !meta.range.overlaps(&range) {
                 continue;
             }
@@ -353,7 +534,7 @@ impl TieredEngine {
                     .collect(),
             );
         }
-        for meta in state.run.overlapping(range) {
+        for meta in state.version.run().overlapping(range) {
             let table_points = self.store.get(meta.id)?;
             stats.tables_read += 1;
             stats.disk_points_scanned += table_points.len() as u64;
@@ -375,11 +556,13 @@ impl TieredEngine {
     /// visualisation of SSTable spans.
     pub fn table_layout(&self) -> Vec<(&'static str, TimeRange, u32)> {
         let state = self.state.lock();
-        let mut out = Vec::with_capacity(state.l0.len() + state.run.len());
-        for meta in &state.l0 {
+        let mut out = Vec::with_capacity(
+            state.version.l0().len() + state.version.run().len(),
+        );
+        for meta in state.version.l0() {
             out.push(("L0", meta.range, meta.count));
         }
-        for meta in state.run.tables() {
+        for meta in state.version.run().tables() {
             out.push(("run", meta.range, meta.count));
         }
         out
@@ -390,7 +573,7 @@ impl TieredEngine {
     /// paper's historical-query experiment measures.
     pub fn drain(&mut self) {
         loop {
-            if self.state.lock().flushing.is_empty() {
+            if self.state.lock().version.flushing().is_empty() {
                 return;
             }
             std::thread::yield_now();
@@ -405,7 +588,7 @@ impl TieredEngine {
     pub fn quiesce(&mut self) -> Result<()> {
         self.drain();
         let mut state = self.state.lock();
-        state.compact_l0(&self.store, self.sstable_points)
+        state.compact_l0(&self.store, self.config.sstable_points)
     }
 
     /// Flushes buffers, stops the worker, and returns the final report.
@@ -413,34 +596,32 @@ impl TieredEngine {
     /// # Errors
     /// Worker-side storage failures.
     pub fn finish(mut self) -> Result<TieredReport> {
-        let remaining: Vec<Vec<DataPoint>> = match &mut self.buffers {
-            WriterBuffers::Conventional(c0) => vec![c0.drain_sorted()],
-            WriterBuffers::Separation { seq, nonseq } => {
-                vec![seq.drain_sorted(), nonseq.drain_sorted()]
-            }
-        };
-        for batch in remaining {
-            self.send(batch)?;
-        }
+        let drained = self.buffers.drain_all();
+        self.send(drained.in_order)?;
+        self.send(drained.merging)?;
         drop(self.tx.take());
         let handle = self.handle.take().expect("worker running");
-        handle
-            .join()
-            .map_err(|_| Error::Io(std::io::Error::other("worker panicked")))??;
+        handle.join().map_err(|_| {
+            Error::Io(std::io::Error::other("worker panicked"))
+        })??;
 
-        let state = self.state.lock();
-        let mut sources = Vec::with_capacity(state.run.len());
-        for meta in state.run.tables() {
+        // Everything is durably in the run now; the WAL has nothing to cover.
+        if let Some(wal) = self.wal.as_mut() {
+            wal.rewrite(&[])?;
+        }
+
+        let mut state = self.state.lock();
+        state.metrics.user_points = self.user_points;
+        let mut sources = Vec::with_capacity(state.version.run().len());
+        for meta in state.version.run().tables() {
             sources.push(self.store.get(meta.id)?);
         }
         let points = merge_sorted(sources);
-        Ok(TieredReport {
-            user_points: self.user_points,
-            disk_points_written: state.disk_points_written,
-            compactions: state.compactions,
-            run_tables: state.run.len(),
+        Ok(TieredReport::from_metrics(
+            &state.metrics,
+            state.version.run().len(),
             points,
-        })
+        ))
     }
 }
 
@@ -471,7 +652,8 @@ mod tests {
         tgs.dedup();
         let n = tgs.len();
         for &tg in &tgs {
-            e.append(DataPoint::new(tg, tg + 3, tg as f64)).expect("append");
+            e.append(DataPoint::new(tg, tg + 3, tg as f64))
+                .expect("append");
         }
         let report = e.finish().expect("finish");
         assert_eq!(report.points.len(), n);
@@ -492,7 +674,8 @@ mod tests {
         );
         let mut expected = 0usize;
         for i in 0..400i64 {
-            e.append(DataPoint::new(i * 10, i * 10, 0.0)).expect("append");
+            e.append(DataPoint::new(i * 10, i * 10, 0.0))
+                .expect("append");
             expected += 1;
             if i % 5 == 4 {
                 e.append(DataPoint::new(i * 10 - 35, i * 10, 1.0))
@@ -511,7 +694,8 @@ mod tests {
 
     #[test]
     fn duplicate_timestamps_keep_latest_write() {
-        let mut e = engine(EngineConfig::conventional(4).with_sstable_points(4));
+        let mut e =
+            engine(EngineConfig::conventional(4).with_sstable_points(4));
         for i in 0..8i64 {
             e.append(DataPoint::new(i, i, 0.0)).expect("append");
         }
@@ -531,9 +715,11 @@ mod tests {
 
     #[test]
     fn queries_see_buffered_flushed_and_compacted_data() {
-        let mut e = engine(EngineConfig::conventional(8).with_sstable_points(8));
+        let mut e =
+            engine(EngineConfig::conventional(8).with_sstable_points(8));
         for i in 0..100i64 {
-            e.append(DataPoint::new(i * 10, i * 10, i as f64)).expect("append");
+            e.append(DataPoint::new(i * 10, i * 10, i as f64))
+                .expect("append");
         }
         e.quiesce().expect("quiesce");
         // 96 points flushed (12 tables → compacted), 4 still in memory.
@@ -549,12 +735,15 @@ mod tests {
         // The Fig. 15 mechanism: one straggler inside a pi_c flush gives the
         // whole file a huge range, so recent-window queries must read it.
         let run = |policy: Policy| -> (usize, u64) {
-            let mut e = engine(EngineConfig::new(policy).with_sstable_points(64));
+            let mut e =
+                engine(EngineConfig::new(policy).with_sstable_points(64));
             // 64 in-order points, then a straggler, then more in-order.
             for i in 1..=640i64 {
-                e.append(DataPoint::new(i * 10, i * 10, 0.0)).expect("append");
+                e.append(DataPoint::new(i * 10, i * 10, 0.0))
+                    .expect("append");
                 if i == 320 {
-                    e.append(DataPoint::new(5, i * 10, -1.0)).expect("straggler");
+                    e.append(DataPoint::new(5, i * 10, -1.0))
+                        .expect("straggler");
                 }
             }
             // Query a recent window before any compaction touches it.
@@ -574,9 +763,11 @@ mod tests {
     fn in_flight_flushes_stay_queryable() {
         // A batch sitting in the flush queue must still be visible: the
         // writer registers it as a flushing MemTable before sending.
-        let mut e = engine(EngineConfig::conventional(8).with_sstable_points(8));
+        let mut e =
+            engine(EngineConfig::conventional(8).with_sstable_points(8));
         for i in 0..64i64 {
-            e.append(DataPoint::new(i * 10, i * 10, i as f64)).expect("append");
+            e.append(DataPoint::new(i * 10, i * 10, i as f64))
+                .expect("append");
         }
         // Query immediately, racing the worker: every point must be found.
         let (pts, _) = e.query(TimeRange::new(0, 630)).expect("query");
@@ -597,10 +788,34 @@ mod tests {
 
     #[test]
     fn drop_without_finish_does_not_hang() {
-        let mut e = engine(EngineConfig::conventional(4).with_sstable_points(4));
+        let mut e =
+            engine(EngineConfig::conventional(4).with_sstable_points(4));
         for i in 0..100i64 {
             e.append(DataPoint::new(i, i, 0.0)).expect("append");
         }
         drop(e);
+    }
+
+    #[test]
+    fn set_policy_reroutes_buffered_points() {
+        let mut e =
+            engine(EngineConfig::conventional(64).with_sstable_points(8));
+        for i in 0..10i64 {
+            e.append(DataPoint::new(i * 10, i * 10, 0.0))
+                .expect("append");
+        }
+        e.set_policy(Policy::separation(64, 32).expect("policy"))
+            .expect("switch");
+        assert_eq!(e.user_points(), 10, "migration is not user traffic");
+        for i in 10..20i64 {
+            e.append(DataPoint::new(i * 10, i * 10, 0.0))
+                .expect("append");
+        }
+        let report = e.finish().expect("finish");
+        assert_eq!(report.points.len(), 20);
+        assert!(report
+            .points
+            .windows(2)
+            .all(|w| w[0].gen_time < w[1].gen_time));
     }
 }

@@ -1,0 +1,296 @@
+//! The policy-aware MemTable set: π_c / π_s classification in one place.
+//!
+//! Every engine in this crate buffers incoming points in MemTables shaped by
+//! the active [`Policy`]: one `C0` under `π_c`, or a `C_seq`/`C_nonseq` pair
+//! under `π_s`. [`PolicyBuffers`] owns that set and the classification rule
+//! (Definition 3): a point is *in order* iff its generation time lies after
+//! the classification pivot — `LAST(R).t_g` for the foreground engine, the
+//! largest flushed generation time for the tiered engine. The engines only
+//! decide what a full buffer means (merge, append-flush, or hand-off to a
+//! background worker); the routing itself lives here, so `π_c`/`π_s`
+//! semantics cannot drift between engines.
+
+use seplsm_types::{DataPoint, Policy, TimeRange, Timestamp};
+
+use crate::iterator::merge_sorted;
+use crate::memtable::MemTable;
+
+/// What the buffer layer decided must happen after accepting a point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushTrigger {
+    /// Keep buffering.
+    None,
+    /// `π_c`: `C0` reached capacity — merge it into the run.
+    MergeC0,
+    /// `π_s`: `C_seq` reached capacity — append-flush it after the run tail.
+    AppendSeq,
+    /// `π_s`: `C_nonseq` reached capacity — merge it into the run
+    /// (ends the current phase, §IV).
+    MergeNonseq,
+}
+
+impl FlushTrigger {
+    /// `true` when the triggered flush goes through merge-compaction rather
+    /// than the in-order append path.
+    pub fn is_merge(self) -> bool {
+        matches!(self, FlushTrigger::MergeC0 | FlushTrigger::MergeNonseq)
+    }
+}
+
+/// Buffered points drained for a full flush, split by write path.
+#[derive(Debug, Default)]
+pub struct DrainedBuffers {
+    /// `C_seq` contents: strictly in order, eligible for append-flushing.
+    pub in_order: Vec<DataPoint>,
+    /// `C0` / `C_nonseq` contents: must go through merge-compaction.
+    pub merging: Vec<DataPoint>,
+}
+
+/// The MemTable set, shaped by the active policy.
+#[derive(Debug)]
+enum Tables {
+    Conventional(MemTable),
+    Separation { seq: MemTable, nonseq: MemTable },
+}
+
+/// A policy-shaped set of MemTables with built-in in-order classification.
+#[derive(Debug)]
+pub struct PolicyBuffers {
+    tables: Tables,
+}
+
+impl PolicyBuffers {
+    /// Creates the MemTable set demanded by `policy`.
+    pub fn for_policy(policy: Policy) -> Self {
+        let tables = match policy {
+            Policy::Conventional { capacity } => {
+                Tables::Conventional(MemTable::new(capacity))
+            }
+            Policy::Separation {
+                seq_capacity,
+                nonseq_capacity,
+            } => Tables::Separation {
+                seq: MemTable::new(seq_capacity),
+                nonseq: MemTable::new(nonseq_capacity),
+            },
+        };
+        Self { tables }
+    }
+
+    /// Number of points currently buffered.
+    pub fn buffered_points(&self) -> usize {
+        match &self.tables {
+            Tables::Conventional(c0) => c0.len(),
+            Tables::Separation { seq, nonseq } => seq.len() + nonseq.len(),
+        }
+    }
+
+    /// Buffers one point, classifying it against `pivot` (Definition 3: in
+    /// order iff generated after everything on disk; an empty disk makes
+    /// every point in order). Returns what the engine must flush, if
+    /// anything.
+    pub fn insert(
+        &mut self,
+        p: DataPoint,
+        pivot: Option<Timestamp>,
+    ) -> FlushTrigger {
+        match &mut self.tables {
+            Tables::Conventional(c0) => {
+                c0.insert(p);
+                if c0.is_full() {
+                    FlushTrigger::MergeC0
+                } else {
+                    FlushTrigger::None
+                }
+            }
+            Tables::Separation { seq, nonseq } => {
+                let in_order = pivot.is_none_or(|l| p.gen_time > l);
+                if in_order {
+                    seq.insert(p);
+                    if seq.is_full() {
+                        FlushTrigger::AppendSeq
+                    } else {
+                        FlushTrigger::None
+                    }
+                } else {
+                    nonseq.insert(p);
+                    if nonseq.is_full() {
+                        FlushTrigger::MergeNonseq
+                    } else {
+                        FlushTrigger::None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains the MemTable named by `trigger`, sorted by generation time.
+    /// [`FlushTrigger::None`] drains nothing.
+    pub fn take(&mut self, trigger: FlushTrigger) -> Vec<DataPoint> {
+        match (trigger, &mut self.tables) {
+            (FlushTrigger::None, _) => Vec::new(),
+            (FlushTrigger::MergeC0, Tables::Conventional(c0)) => {
+                c0.drain_sorted()
+            }
+            (FlushTrigger::AppendSeq, Tables::Separation { seq, .. }) => {
+                seq.drain_sorted()
+            }
+            (FlushTrigger::MergeNonseq, Tables::Separation { nonseq, .. }) => {
+                nonseq.drain_sorted()
+            }
+            (trigger, _) => {
+                unreachable!("{trigger:?} does not match the active policy")
+            }
+        }
+    }
+
+    /// Drains every buffer for a full flush, keeping the in-order points
+    /// (`C_seq`) apart so they can still take the append path.
+    pub fn drain_all(&mut self) -> DrainedBuffers {
+        match &mut self.tables {
+            Tables::Conventional(c0) => DrainedBuffers {
+                in_order: Vec::new(),
+                merging: c0.drain_sorted(),
+            },
+            Tables::Separation { seq, nonseq } => DrainedBuffers {
+                in_order: seq.drain_sorted(),
+                merging: nonseq.drain_sorted(),
+            },
+        }
+    }
+
+    /// Switches the MemTable set to `policy`, returning the previously
+    /// buffered points (sorted) for the engine to re-route. This is the one
+    /// mid-stream migration path shared by every `set_policy`
+    /// implementation.
+    pub fn migrate(&mut self, policy: Policy) -> Vec<DataPoint> {
+        let buffered = self.drain_merged();
+        *self = Self::for_policy(policy);
+        buffered
+    }
+
+    /// All buffered points, sorted, leaving the buffers empty.
+    fn drain_merged(&mut self) -> Vec<DataPoint> {
+        match &mut self.tables {
+            Tables::Conventional(c0) => c0.drain_sorted(),
+            Tables::Separation { seq, nonseq } => {
+                merge_sorted(vec![seq.drain_sorted(), nonseq.drain_sorted()])
+            }
+        }
+    }
+
+    /// All buffered points, sorted, without draining.
+    pub fn snapshot_sorted(&self) -> Vec<DataPoint> {
+        match &self.tables {
+            Tables::Conventional(c0) => c0.snapshot_sorted(),
+            Tables::Separation { seq, nonseq } => merge_sorted(vec![
+                seq.snapshot_sorted(),
+                nonseq.snapshot_sorted(),
+            ]),
+        }
+    }
+
+    /// Per-MemTable hits for `range`, freshest-priority order (`C_seq`
+    /// before `C_nonseq`), for the engines' k-way query merges.
+    pub fn scan_sources(&self, range: TimeRange) -> Vec<Vec<DataPoint>> {
+        match &self.tables {
+            Tables::Conventional(c0) => vec![c0.scan(range)],
+            Tables::Separation { seq, nonseq } => {
+                vec![seq.scan(range), nonseq.scan(range)]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(tg: i64) -> DataPoint {
+        DataPoint::new(tg, tg, tg as f64)
+    }
+
+    #[test]
+    fn conventional_triggers_merge_at_capacity() {
+        let mut b = PolicyBuffers::for_policy(Policy::conventional(3));
+        assert_eq!(b.insert(p(10), None), FlushTrigger::None);
+        assert_eq!(b.insert(p(20), Some(5)), FlushTrigger::None);
+        let trigger = b.insert(p(5), Some(5));
+        assert_eq!(trigger, FlushTrigger::MergeC0);
+        assert!(trigger.is_merge());
+        let drained = b.take(trigger);
+        assert_eq!(
+            drained.iter().map(|q| q.gen_time).collect::<Vec<_>>(),
+            vec![5, 10, 20]
+        );
+        assert_eq!(b.buffered_points(), 0);
+    }
+
+    #[test]
+    fn separation_classifies_against_pivot() {
+        let policy = Policy::separation(4, 2).expect("policy");
+        let mut b = PolicyBuffers::for_policy(policy);
+        // Empty disk: everything is in order.
+        assert_eq!(b.insert(p(10), None), FlushTrigger::None);
+        // At or below the pivot: out of order (strict comparison).
+        assert_eq!(b.insert(p(30), Some(30)), FlushTrigger::None);
+        assert_eq!(b.insert(p(15), Some(30)), FlushTrigger::MergeNonseq);
+        let nonseq = b.take(FlushTrigger::MergeNonseq);
+        assert_eq!(
+            nonseq.iter().map(|q| q.gen_time).collect::<Vec<_>>(),
+            vec![15, 30]
+        );
+        // Above the pivot: in order; C_seq (capacity 2) fills next.
+        assert_eq!(b.insert(p(40), Some(30)), FlushTrigger::AppendSeq);
+        assert!(!FlushTrigger::AppendSeq.is_merge());
+        assert_eq!(b.take(FlushTrigger::AppendSeq).len(), 2);
+    }
+
+    #[test]
+    fn drain_all_splits_by_write_path() {
+        let policy = Policy::separation(8, 4).expect("policy");
+        let mut b = PolicyBuffers::for_policy(policy);
+        b.insert(p(100), Some(50));
+        b.insert(p(20), Some(50));
+        b.insert(p(10), Some(50));
+        let drained = b.drain_all();
+        assert_eq!(drained.in_order.len(), 1);
+        assert_eq!(drained.merging.len(), 2);
+        assert_eq!(b.buffered_points(), 0);
+
+        let mut c = PolicyBuffers::for_policy(Policy::conventional(8));
+        c.insert(p(1), None);
+        let drained = c.drain_all();
+        assert!(drained.in_order.is_empty());
+        assert_eq!(drained.merging.len(), 1);
+    }
+
+    #[test]
+    fn migrate_returns_sorted_contents_and_swaps_shape() {
+        let mut b = PolicyBuffers::for_policy(Policy::conventional(10));
+        for tg in [30i64, 10, 20] {
+            b.insert(p(tg), None);
+        }
+        let moved = b.migrate(Policy::separation(10, 5).expect("policy"));
+        assert_eq!(
+            moved.iter().map(|q| q.gen_time).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+        assert_eq!(b.buffered_points(), 0);
+        assert_eq!(b.scan_sources(TimeRange::new(0, 100)).len(), 2);
+    }
+
+    #[test]
+    fn scan_sources_orders_seq_before_nonseq() {
+        let policy = Policy::separation(8, 4).expect("policy");
+        let mut b = PolicyBuffers::for_policy(policy);
+        b.insert(p(60), Some(50)); // in order -> C_seq
+        b.insert(p(40), Some(50)); // out of order -> C_nonseq
+        let sources = b.scan_sources(TimeRange::new(0, 100));
+        assert_eq!(sources.len(), 2);
+        assert_eq!(sources[0][0].gen_time, 60);
+        assert_eq!(sources[1][0].gen_time, 40);
+        assert_eq!(b.snapshot_sorted().len(), 2);
+        assert_eq!(b.buffered_points(), 2);
+    }
+}

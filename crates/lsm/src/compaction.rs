@@ -1,0 +1,345 @@
+//! Merge planning and execution — the one compaction pipeline.
+//!
+//! Following the policy/mechanism split argued by the compaction-design
+//! surveys, *what to merge* is decided by [`plan_merge`], a pure function
+//! over an in-memory snapshot (no I/O, no engine state), and *how to apply
+//! it* by [`execute`], which writes the planned tables, commits the
+//! [`VersionEdit`], records the manifest, and does all metric accounting.
+//! Both the foreground engine (`C0`/`C_nonseq` merges) and the tiered
+//! engine's background L0→run compaction go through this module, so the
+//! write-amplification arithmetic the paper measures exists exactly once.
+
+use seplsm_types::{DataPoint, Result};
+
+use crate::iterator::merge_sorted;
+use crate::manifest::Manifest;
+use crate::metrics::Metrics;
+use crate::sstable::{SsTableId, SsTableMeta};
+use crate::store::TableStore;
+use crate::version::{Version, VersionEdit};
+
+/// One run table feeding a merge: its metadata plus decoded contents.
+#[derive(Debug, Clone)]
+pub struct RunInput {
+    /// The table's metadata (consumed by the plan).
+    pub meta: SsTableMeta,
+    /// Its decoded points.
+    pub points: Vec<DataPoint>,
+}
+
+/// The planner's decision: which run tables are consumed and what replaces
+/// them.
+#[derive(Debug, Clone)]
+pub struct CompactionPlan {
+    /// Run tables consumed by the merge (removed from the version and
+    /// deleted from the store by [`execute`]).
+    pub inputs: Vec<SsTableId>,
+    /// The merged output, split into tables of at most `sstable_points`.
+    pub outputs: Vec<Vec<DataPoint>>,
+    /// Total points the plan writes (`Σ outputs`), the WA numerator share.
+    pub merged_points: u64,
+    /// Points re-read out of existing run tables — the rewrite component of
+    /// write amplification.
+    pub rewritten_points: u64,
+    /// Subsequent data points on disk at plan time (Definition 4), when the
+    /// Fig. 5 probe was requested.
+    pub subsequent: Option<u64>,
+    /// `true` when no run table was consumed: the merge degenerates to a
+    /// flush (counted as such by [`execute`]).
+    pub is_flush: bool,
+}
+
+/// Plans a merge-compaction: `fresh` sources (priority-ordered, freshest
+/// first — the full buffer, or L0 contents newest-first) are merged with the
+/// `overlapping` run tables and re-split into tables of `sstable_points`.
+///
+/// Pure: operates only on the given snapshot. When `subsequent_base` is set
+/// (the run's point count in tables strictly above the fresh minimum), the
+/// plan also finishes the Definition 4 probe by counting the subsequent
+/// points inside straddling tables.
+pub fn plan_merge(
+    fresh: Vec<Vec<DataPoint>>,
+    overlapping: Vec<RunInput>,
+    sstable_points: usize,
+    subsequent_base: Option<u64>,
+) -> CompactionPlan {
+    assert!(sstable_points >= 1, "sstable_points must be >= 1");
+    let fresh_min = fresh
+        .iter()
+        .filter_map(|src| src.first())
+        .map(|p| p.gen_time)
+        .min();
+
+    let mut subsequent = subsequent_base;
+    let mut inputs = Vec::with_capacity(overlapping.len());
+    let mut rewritten: u64 = 0;
+    let mut sources = fresh;
+    sources.reserve(overlapping.len());
+    for input in overlapping {
+        rewritten += input.points.len() as u64;
+        if let (Some(subseq), Some(min)) = (subsequent.as_mut(), fresh_min) {
+            // Tables starting after the fresh minimum were already fully
+            // counted by the caller's `points_in_tables_above` probe; only
+            // straddlers need their contents inspected.
+            if input.meta.range.start <= min {
+                *subseq +=
+                    input.points.iter().filter(|p| p.gen_time > min).count()
+                        as u64;
+            }
+        }
+        inputs.push(input.meta.id);
+        sources.push(input.points);
+    }
+    let is_flush = inputs.is_empty();
+
+    let merged = merge_sorted(sources);
+    let merged_points = merged.len() as u64;
+    let outputs: Vec<Vec<DataPoint>> = merged
+        .chunks(sstable_points)
+        .map(<[DataPoint]>::to_vec)
+        .collect();
+
+    CompactionPlan {
+        inputs,
+        outputs,
+        merged_points,
+        rewritten_points: rewritten,
+        subsequent,
+        is_flush,
+    }
+}
+
+/// Executes a merge plan: writes the output tables, atomically commits the
+/// [`VersionEdit::Replace`] (draining L0 when `drain_l0` is set), records
+/// the manifest, deletes the consumed run tables, and updates `metrics`.
+///
+/// # Errors
+/// Storage or manifest failures; the version is only mutated if the edit
+/// batch applies cleanly.
+pub fn execute(
+    plan: CompactionPlan,
+    store: &dyn TableStore,
+    version: &mut Version,
+    manifest: Option<&mut Manifest>,
+    metrics: &mut Metrics,
+    drain_l0: bool,
+) -> Result<()> {
+    let mut added = Vec::with_capacity(plan.outputs.len());
+    for chunk in &plan.outputs {
+        let (meta, size) = store.put(chunk)?;
+        metrics.disk_bytes_written += size as u64;
+        metrics.tables_created += 1;
+        added.push(meta);
+    }
+    let edits = [VersionEdit::Replace {
+        removed: plan.inputs.clone(),
+        added,
+        drain_l0,
+    }];
+    version.apply(&edits)?;
+    if let Some(manifest) = manifest {
+        version.record(manifest, &edits)?;
+    }
+    for id in &plan.inputs {
+        store.delete(*id)?;
+    }
+
+    metrics.disk_points_written += plan.merged_points;
+    metrics.rewritten_points += plan.rewritten_points;
+    metrics.tables_deleted += plan.inputs.len() as u64;
+    if plan.is_flush {
+        metrics.flushes += 1;
+    } else {
+        metrics.compactions += 1;
+    }
+    if let Some(subseq) = plan.subsequent {
+        metrics.subsequent_counts.push(subseq);
+    }
+    Ok(())
+}
+
+/// Executes an in-order append flush (`C_seq`): stores `points` as fresh
+/// tables strictly after the run tail, commits the [`VersionEdit`]s, logs
+/// the manifest, and updates `metrics`. Empty input is a no-op.
+///
+/// # Errors
+/// Storage/manifest failures, or a table overlapping the run tail (the
+/// caller guarantees the points are in order).
+pub fn execute_append(
+    points: Vec<DataPoint>,
+    sstable_points: usize,
+    store: &dyn TableStore,
+    version: &mut Version,
+    manifest: Option<&mut Manifest>,
+    metrics: &mut Metrics,
+) -> Result<()> {
+    if points.is_empty() {
+        return Ok(());
+    }
+    let written = points.len() as u64;
+    let mut edits = Vec::new();
+    for chunk in points.chunks(sstable_points) {
+        let (meta, size) = store.put(chunk)?;
+        metrics.disk_bytes_written += size as u64;
+        metrics.tables_created += 1;
+        edits.push(VersionEdit::AppendRun(meta));
+    }
+    version.apply(&edits)?;
+    if let Some(manifest) = manifest {
+        version.record(manifest, &edits)?;
+    }
+    metrics.disk_points_written += written;
+    metrics.flushes += 1;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(tgs: &[i64]) -> Vec<DataPoint> {
+        tgs.iter()
+            .map(|&t| DataPoint::new(t, t, t as f64))
+            .collect()
+    }
+
+    fn input(id: u64, tgs: &[i64]) -> RunInput {
+        let points = pts(tgs);
+        RunInput {
+            meta: SsTableMeta::describe(SsTableId(id), &points),
+            points,
+        }
+    }
+
+    #[test]
+    fn plan_splits_output_at_sstable_points() {
+        let plan = plan_merge(vec![pts(&[1, 2, 3, 4, 5])], Vec::new(), 2, None);
+        assert!(plan.is_flush);
+        assert!(plan.inputs.is_empty());
+        assert_eq!(plan.merged_points, 5);
+        assert_eq!(plan.rewritten_points, 0);
+        let sizes: Vec<usize> = plan.outputs.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn plan_counts_rewrites_and_consumes_overlapping_tables() {
+        let plan = plan_merge(
+            vec![pts(&[15, 25])],
+            vec![input(1, &[10, 20]), input(2, &[30, 40])],
+            512,
+            None,
+        );
+        assert!(!plan.is_flush);
+        assert_eq!(plan.inputs, vec![SsTableId(1), SsTableId(2)]);
+        assert_eq!(plan.rewritten_points, 4);
+        assert_eq!(plan.merged_points, 6);
+        let tgs: Vec<i64> =
+            plan.outputs[0].iter().map(|p| p.gen_time).collect();
+        assert_eq!(tgs, vec![10, 15, 20, 25, 30, 40]);
+    }
+
+    #[test]
+    fn plan_keeps_freshest_duplicate() {
+        // Priority order: buffer first, then older tables — buffer wins.
+        let fresh = vec![vec![DataPoint::new(10, 99, 42.0)]];
+        let plan = plan_merge(fresh, vec![input(1, &[10, 20])], 512, None);
+        assert_eq!(plan.merged_points, 2);
+        assert_eq!(plan.outputs[0][0].value, 42.0);
+        // Same rule between two fresh sources (L0 newest-first).
+        let plan = plan_merge(
+            vec![
+                vec![DataPoint::new(5, 1, 1.0)],
+                vec![DataPoint::new(5, 2, 2.0)],
+            ],
+            Vec::new(),
+            512,
+            None,
+        );
+        assert_eq!(plan.merged_points, 1);
+        assert_eq!(plan.outputs[0][0].value, 1.0);
+    }
+
+    #[test]
+    fn plan_finishes_the_subsequent_probe_on_straddlers() {
+        // Buffer minimum 15; straddler [10..20] contributes its point at 20,
+        // the base (tables entirely above 15) was counted by the caller.
+        let plan = plan_merge(
+            vec![pts(&[15])],
+            vec![input(1, &[10, 20])],
+            512,
+            Some(7),
+        );
+        assert_eq!(plan.subsequent, Some(8));
+        // Non-straddling input (starts after the minimum): base untouched.
+        let plan = plan_merge(
+            vec![pts(&[15])],
+            vec![input(2, &[16, 20])],
+            512,
+            Some(7),
+        );
+        assert_eq!(plan.subsequent, Some(7));
+        // No probe requested: nothing recorded.
+        assert_eq!(
+            plan_merge(vec![pts(&[15])], Vec::new(), 512, None).subsequent,
+            None
+        );
+    }
+
+    #[test]
+    fn execute_applies_plan_to_version_store_and_metrics() {
+        use crate::store::MemStore;
+
+        let store = MemStore::new();
+        let mut version = Version::new();
+        let mut metrics = Metrics::default();
+
+        // Seed the run with one table, then merge a buffer into it.
+        execute_append(
+            pts(&[10, 20]),
+            2,
+            &store,
+            &mut version,
+            None,
+            &mut metrics,
+        )
+        .expect("append");
+        assert_eq!(metrics.flushes, 1);
+        assert_eq!(metrics.disk_points_written, 2);
+        assert_eq!(version.run().len(), 1);
+
+        let meta = version.run().tables()[0];
+        let plan = plan_merge(
+            vec![pts(&[15])],
+            vec![RunInput {
+                meta,
+                points: store.get(meta.id).expect("get"),
+            }],
+            2,
+            None,
+        );
+        execute(plan, &store, &mut version, None, &mut metrics, false)
+            .expect("execute");
+        assert_eq!(metrics.compactions, 1);
+        assert_eq!(metrics.rewritten_points, 2);
+        assert_eq!(metrics.disk_points_written, 5);
+        assert_eq!(metrics.tables_deleted, 1);
+        version.run().check_invariants().expect("invariant");
+        assert_eq!(version.run().total_points(), 3);
+        // The consumed table is gone from the store.
+        assert!(store.get(meta.id).is_err());
+    }
+
+    #[test]
+    fn plan_is_pure_over_its_snapshot() {
+        let fresh = vec![pts(&[1, 2])];
+        let tables = vec![input(9, &[2, 3])];
+        let a = plan_merge(fresh.clone(), tables.clone(), 2, Some(0));
+        let b = plan_merge(fresh, tables, 2, Some(0));
+        assert_eq!(a.inputs, b.inputs);
+        assert_eq!(a.merged_points, b.merged_points);
+        assert_eq!(a.rewritten_points, b.rewritten_points);
+        assert_eq!(a.subsequent, b.subsequent);
+        assert_eq!(a.outputs.len(), b.outputs.len());
+    }
+}

@@ -1,4 +1,4 @@
-//! The leveled LSM engine with both buffering policies.
+//! The foreground leveled LSM engine — a thin composition of the kernel.
 //!
 //! This is the storage substrate the paper's experiments run on: a
 //! single-series leveled LSM-tree whose level-1 run holds non-overlapping
@@ -15,22 +15,30 @@
 //!   filling triggers the same merge-compaction as `π_c` (one per *phase*,
 //!   §IV).
 //!
-//! The engine is instrumented for every quantity the paper measures: write
-//! amplification, per-compaction subsequent-point counts (Fig. 5), windowed
-//! WA snapshots (Fig. 10), and per-query read statistics (Figs. 12–14).
+//! All of that behaviour now lives in the storage kernel and this engine
+//! only composes it: classification and buffering in
+//! [`PolicyBuffers`](crate::buffer::PolicyBuffers), merge planning in
+//! [`compaction::plan_merge`], plan execution and metric accounting in
+//! [`compaction::execute`], and table-level state in
+//! [`Version`](crate::version::Version). The engine is instrumented for
+//! every quantity the paper measures: write amplification, per-compaction
+//! subsequent-point counts (Fig. 5), windowed WA snapshots (Fig. 10), and
+//! per-query read statistics (Figs. 12–14).
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange, Timestamp};
 
+use crate::buffer::{FlushTrigger, PolicyBuffers};
+use crate::compaction::{self, RunInput};
 use crate::iterator::merge_sorted;
 use crate::level::Run;
-use crate::memtable::MemTable;
+use crate::manifest::Manifest;
 use crate::metrics::{Metrics, WaSnapshot};
 use crate::query::QueryStats;
-use crate::manifest::Manifest;
 use crate::store::{MemStore, TableStore};
+use crate::version::Version;
 use crate::wal::Wal;
 
 /// Engine configuration.
@@ -104,7 +112,7 @@ impl EngineConfig {
         self
     }
 
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         if self.sstable_points == 0 {
             return Err(Error::InvalidConfig(
                 "sstable_points must be >= 1".into(),
@@ -119,55 +127,12 @@ impl EngineConfig {
     }
 }
 
-/// The MemTable set, shaped by the active policy.
-#[derive(Debug)]
-enum Buffers {
-    Conventional(MemTable),
-    Separation { seq: MemTable, nonseq: MemTable },
-}
-
-impl Buffers {
-    fn for_policy(policy: Policy) -> Self {
-        match policy {
-            Policy::Conventional { capacity } => {
-                Buffers::Conventional(MemTable::new(capacity))
-            }
-            Policy::Separation { seq_capacity, nonseq_capacity } => {
-                Buffers::Separation {
-                    seq: MemTable::new(seq_capacity),
-                    nonseq: MemTable::new(nonseq_capacity),
-                }
-            }
-        }
-    }
-
-    fn buffered_points(&self) -> usize {
-        match self {
-            Buffers::Conventional(c0) => c0.len(),
-            Buffers::Separation { seq, nonseq } => seq.len() + nonseq.len(),
-        }
-    }
-}
-
-/// What `append` decided must happen after buffering a point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FlushAction {
-    None,
-    /// `π_c`: `C0` reached capacity — merge it into the run.
-    CompactC0,
-    /// `π_s`: `C_seq` reached capacity — append-flush it.
-    FlushSeq,
-    /// `π_s`: `C_nonseq` reached capacity — merge it into the run
-    /// (ends the current phase).
-    CompactNonseq,
-}
-
 /// A single-series leveled LSM engine.
 pub struct LsmEngine {
     config: EngineConfig,
     store: Arc<dyn TableStore>,
-    run: Run,
-    buffers: Buffers,
+    version: Version,
+    buffers: PolicyBuffers,
     metrics: Metrics,
     wal: Option<Wal>,
     manifest: Option<Manifest>,
@@ -180,7 +145,7 @@ impl std::fmt::Debug for LsmEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LsmEngine")
             .field("policy", &self.config.policy)
-            .field("run_tables", &self.run.len())
+            .field("run_tables", &self.version.run().len())
             .field("buffered", &self.buffers.buffered_points())
             .finish()
     }
@@ -191,13 +156,16 @@ impl LsmEngine {
     ///
     /// # Errors
     /// [`Error::InvalidConfig`] for degenerate configurations.
-    pub fn new(config: EngineConfig, store: Arc<dyn TableStore>) -> Result<Self> {
+    pub fn new(
+        config: EngineConfig,
+        store: Arc<dyn TableStore>,
+    ) -> Result<Self> {
         config.validate()?;
         Ok(Self {
-            buffers: Buffers::for_policy(config.policy),
+            buffers: PolicyBuffers::for_policy(config.policy),
             config,
             store,
-            run: Run::new(),
+            version: Version::new(),
             metrics: Metrics::default(),
             wal: None,
             manifest: None,
@@ -231,7 +199,7 @@ impl LsmEngine {
         let mut manifest = Manifest::open(path)?;
         // Snapshot current membership so a manifest attached mid-life is
         // immediately authoritative.
-        manifest.rewrite(self.run.tables())?;
+        manifest.rewrite(self.version.run().tables())?;
         self.manifest = Some(manifest);
         Ok(self)
     }
@@ -261,12 +229,13 @@ impl LsmEngine {
             metas.push(crate::sstable::SsTableMeta::describe(id, &points));
         }
         let run = Run::from_tables(metas)?;
-        let max_gen_seen = run.last_gen_time();
+        let version = Version::from_levels(run, Vec::new());
+        let max_gen_seen = version.run().last_gen_time();
         let mut engine = Self {
-            buffers: Buffers::for_policy(config.policy),
+            buffers: PolicyBuffers::for_policy(config.policy),
             config,
             store,
-            run,
+            version,
             metrics: Metrics::default(),
             wal: None,
             manifest: None,
@@ -299,12 +268,13 @@ impl LsmEngine {
         config.validate()?;
         let metas = Manifest::replay(&manifest_path)?;
         let run = Run::from_tables(metas)?;
-        let max_gen_seen = run.last_gen_time();
+        let version = Version::from_levels(run, Vec::new());
+        let max_gen_seen = version.run().last_gen_time();
         let mut engine = Self {
-            buffers: Buffers::for_policy(config.policy),
+            buffers: PolicyBuffers::for_policy(config.policy),
             config,
             store,
-            run,
+            version,
             metrics: Metrics::default(),
             wal: None,
             manifest: None,
@@ -320,7 +290,7 @@ impl LsmEngine {
             engine.wal = Some(wal);
         }
         let mut manifest = Manifest::open(&manifest_path)?;
-        manifest.rewrite(engine.run.tables())?;
+        manifest.rewrite(engine.version.run().tables())?;
         engine.manifest = Some(manifest);
         Ok(engine)
     }
@@ -342,12 +312,17 @@ impl LsmEngine {
 
     /// The level-1 run.
     pub fn run(&self) -> &Run {
-        &self.run
+        self.version.run()
+    }
+
+    /// The table-level state (run + edit history head).
+    pub fn version(&self) -> &Version {
+        &self.version
     }
 
     /// `LAST(R).t_g`: the latest generation time on disk.
     pub fn last_disk_gen_time(&self) -> Option<Timestamp> {
-        self.run.last_gen_time()
+        self.version.run().last_gen_time()
     }
 
     /// Largest generation time ever appended (buffered or on disk).
@@ -362,13 +337,7 @@ impl LsmEngine {
 
     /// All currently buffered points, sorted by generation time.
     pub fn buffered_snapshot(&self) -> Vec<DataPoint> {
-        match &self.buffers {
-            Buffers::Conventional(c0) => c0.snapshot_sorted(),
-            Buffers::Separation { seq, nonseq } => merge_sorted(vec![
-                seq.snapshot_sorted(),
-                nonseq.snapshot_sorted(),
-            ]),
-        }
+        self.buffers.snapshot_sorted()
     }
 
     /// Writes one point.
@@ -390,38 +359,10 @@ impl LsmEngine {
         self.max_gen_seen =
             Some(self.max_gen_seen.map_or(p.gen_time, |m| m.max(p.gen_time)));
 
-        let last_disk = self.run.last_gen_time();
-        let action = match &mut self.buffers {
-            Buffers::Conventional(c0) => {
-                c0.insert(p);
-                if c0.is_full() {
-                    FlushAction::CompactC0
-                } else {
-                    FlushAction::None
-                }
-            }
-            Buffers::Separation { seq, nonseq } => {
-                // Definition 3: in-order iff generated after everything on
-                // disk. An empty disk makes every point in-order.
-                let in_order = last_disk.is_none_or(|l| p.gen_time > l);
-                if in_order {
-                    seq.insert(p);
-                    if seq.is_full() {
-                        FlushAction::FlushSeq
-                    } else {
-                        FlushAction::None
-                    }
-                } else {
-                    nonseq.insert(p);
-                    if nonseq.is_full() {
-                        FlushAction::CompactNonseq
-                    } else {
-                        FlushAction::None
-                    }
-                }
-            }
-        };
-        self.perform(action)?;
+        // Definition 3 pivot: `LAST(R).t_g`.
+        let pivot = self.version.run().last_gen_time();
+        let trigger = self.buffers.insert(p, pivot);
+        self.flush(trigger)?;
 
         if let Some(every) = self.config.wa_snapshot_every {
             if self.metrics.user_points % every == 0 {
@@ -434,34 +375,17 @@ impl LsmEngine {
         Ok(())
     }
 
-    fn perform(&mut self, action: FlushAction) -> Result<()> {
-        match action {
-            FlushAction::None => Ok(()),
-            FlushAction::CompactC0 => {
-                let points = match &mut self.buffers {
-                    Buffers::Conventional(c0) => c0.drain_sorted(),
-                    _ => unreachable!("CompactC0 only under pi_c"),
-                };
-                self.merge_into_run(points)?;
-                self.compact_wal()
-            }
-            FlushAction::FlushSeq => {
-                let points = match &mut self.buffers {
-                    Buffers::Separation { seq, .. } => seq.drain_sorted(),
-                    _ => unreachable!("FlushSeq only under pi_s"),
-                };
-                self.flush_in_order(points)?;
-                self.compact_wal()
-            }
-            FlushAction::CompactNonseq => {
-                let points = match &mut self.buffers {
-                    Buffers::Separation { nonseq, .. } => nonseq.drain_sorted(),
-                    _ => unreachable!("CompactNonseq only under pi_s"),
-                };
-                self.merge_into_run(points)?;
-                self.compact_wal()
-            }
+    fn flush(&mut self, trigger: FlushTrigger) -> Result<()> {
+        if trigger == FlushTrigger::None {
+            return Ok(());
         }
+        let points = self.buffers.take(trigger);
+        if trigger.is_merge() {
+            self.merge_into_run(points)?;
+        } else {
+            self.flush_in_order(points)?;
+        }
+        self.compact_wal()
     }
 
     /// `C_seq` flush path: the points are strictly in order w.r.t. the run
@@ -470,98 +394,61 @@ impl LsmEngine {
         if points.is_empty() {
             return Ok(());
         }
-        if let Some(tail) = self.run.last_gen_time() {
+        if let Some(tail) = self.version.run().last_gen_time() {
             if points[0].gen_time <= tail {
                 // Should be unreachable given the routing invariant; fall
                 // back to a merge to preserve correctness over speed.
                 return self.merge_into_run(points);
             }
         }
-        let written = points.len() as u64;
-        for chunk in points.chunks(self.config.sstable_points) {
-            let (meta, size) = self.store.put(chunk)?;
-            self.metrics.disk_bytes_written += size as u64;
-            self.metrics.tables_created += 1;
-            self.run.append(meta)?;
-            if let Some(manifest) = self.manifest.as_mut() {
-                manifest.log_add(&meta)?;
-            }
-        }
-        if let Some(manifest) = self.manifest.as_mut() {
-            manifest.sync()?;
-        }
-        self.metrics.disk_points_written += written;
-        self.metrics.flushes += 1;
-        Ok(())
+        compaction::execute_append(
+            points,
+            self.config.sstable_points,
+            self.store.as_ref(),
+            &mut self.version,
+            self.manifest.as_mut(),
+            &mut self.metrics,
+        )
     }
 
-    /// Merge-compaction: combine `points` with every overlapping SSTable and
-    /// re-split the result. This is the write path that produces rewrites.
+    /// Merge-compaction: plan the merge of `points` with every overlapping
+    /// SSTable (pure), then execute the plan against store/version/metrics.
     fn merge_into_run(&mut self, points: Vec<DataPoint>) -> Result<()> {
         if points.is_empty() {
             return Ok(());
         }
         let buf_min = points[0].gen_time;
         let buf_max = points[points.len() - 1].gen_time;
-        let overlapping =
-            self.run.overlapping(TimeRange::new(buf_min, buf_max));
-
-        let mut subsequent = if self.config.record_subsequent {
-            Some(self.run.points_in_tables_above(buf_min))
+        let overlapping = self
+            .version
+            .run()
+            .overlapping(TimeRange::new(buf_min, buf_max));
+        let subsequent_base = if self.config.record_subsequent {
+            Some(self.version.run().points_in_tables_above(buf_min))
         } else {
             None
         };
-
-        let mut sources = Vec::with_capacity(overlapping.len() + 1);
-        sources.push(points);
-        let mut rewritten: u64 = 0;
-        for meta in &overlapping {
-            let table_points = self.store.get(meta.id)?;
-            rewritten += table_points.len() as u64;
-            if let Some(subseq) = subsequent.as_mut() {
-                // Tables starting after buf_min were already fully counted
-                // by points_in_tables_above; only straddlers need inspection.
-                if meta.range.start <= buf_min {
-                    *subseq += table_points
-                        .iter()
-                        .filter(|p| p.gen_time > buf_min)
-                        .count() as u64;
-                }
-            }
-            sources.push(table_points);
+        let mut inputs = Vec::with_capacity(overlapping.len());
+        for meta in overlapping {
+            inputs.push(RunInput {
+                meta,
+                points: self.store.get(meta.id)?,
+            });
         }
-
-        let merged = merge_sorted(sources);
-        let mut new_metas = Vec::new();
-        for chunk in merged.chunks(self.config.sstable_points) {
-            let (meta, size) = self.store.put(chunk)?;
-            self.metrics.disk_bytes_written += size as u64;
-            self.metrics.tables_created += 1;
-            new_metas.push(meta);
-        }
-        let removed: Vec<_> = overlapping.iter().map(|m| m.id).collect();
-        self.run.replace(&removed, new_metas)?;
-        if let Some(manifest) = self.manifest.as_mut() {
-            // A merge replaces a window of the run; rewriting the (small)
-            // manifest is simpler and keeps it compact.
-            manifest.rewrite(self.run.tables())?;
-        }
-        for id in &removed {
-            self.store.delete(*id)?;
-        }
-
-        self.metrics.disk_points_written += merged.len() as u64;
-        self.metrics.rewritten_points += rewritten;
-        self.metrics.tables_deleted += removed.len() as u64;
-        if overlapping.is_empty() {
-            self.metrics.flushes += 1;
-        } else {
-            self.metrics.compactions += 1;
-        }
-        if let Some(subseq) = subsequent {
-            self.metrics.subsequent_counts.push(subseq);
-        }
-        Ok(())
+        let plan = compaction::plan_merge(
+            vec![points],
+            inputs,
+            self.config.sstable_points,
+            subsequent_base,
+        );
+        compaction::execute(
+            plan,
+            self.store.as_ref(),
+            &mut self.version,
+            self.manifest.as_mut(),
+            &mut self.metrics,
+            false,
+        )
     }
 
     /// Rewrites the WAL to contain only the still-buffered points.
@@ -595,18 +482,9 @@ impl LsmEngine {
     /// # Errors
     /// Storage failures.
     pub fn flush_all(&mut self) -> Result<()> {
-        match &mut self.buffers {
-            Buffers::Conventional(c0) => {
-                let points = c0.drain_sorted();
-                self.merge_into_run(points)?;
-            }
-            Buffers::Separation { seq, nonseq } => {
-                let seq_points = seq.drain_sorted();
-                let nonseq_points = nonseq.drain_sorted();
-                self.flush_in_order(seq_points)?;
-                self.merge_into_run(nonseq_points)?;
-            }
-        }
+        let drained = self.buffers.drain_all();
+        self.flush_in_order(drained.in_order)?;
+        self.merge_into_run(drained.merging)?;
         self.compact_wal()?;
         if let Some(wal) = self.wal.as_mut() {
             wal.sync()?;
@@ -615,8 +493,10 @@ impl LsmEngine {
     }
 
     /// Switches the buffering policy without touching the disk: buffered
-    /// points are re-routed into the new MemTable set (which may trigger
-    /// flushes if the new buffers are smaller). Used by the adaptive tuner.
+    /// points are re-routed through [`PolicyBuffers::migrate`] into the new
+    /// MemTable set (which may trigger flushes if the new buffers are
+    /// smaller). Used by the adaptive tuner; `MultiSeriesEngine` and
+    /// `TieredEngine` go through the same migration path.
     ///
     /// # Errors
     /// [`Error::InvalidConfig`] for degenerate policies; storage failures
@@ -631,14 +511,8 @@ impl LsmEngine {
             return Ok(());
         }
         let old_user_points = self.metrics.user_points;
-        let buffered: Vec<DataPoint> = match &mut self.buffers {
-            Buffers::Conventional(c0) => c0.drain_sorted(),
-            Buffers::Separation { seq, nonseq } => {
-                merge_sorted(vec![seq.drain_sorted(), nonseq.drain_sorted()])
-            }
-        };
+        let buffered = self.buffers.migrate(policy);
         self.config.policy = policy;
-        self.buffers = Buffers::for_policy(policy);
         for p in buffered {
             self.append_internal(p, false)?;
         }
@@ -654,25 +528,15 @@ impl LsmEngine {
     ///
     /// # Errors
     /// Storage failures.
-    pub fn query(&self, range: TimeRange) -> Result<(Vec<DataPoint>, QueryStats)> {
+    pub fn query(
+        &self,
+        range: TimeRange,
+    ) -> Result<(Vec<DataPoint>, QueryStats)> {
         let mut stats = QueryStats::default();
-        let mut sources: Vec<Vec<DataPoint>> = Vec::new();
-        match &self.buffers {
-            Buffers::Conventional(c0) => {
-                let hits = c0.scan(range);
-                stats.mem_points_scanned += hits.len() as u64;
-                sources.push(hits);
-            }
-            Buffers::Separation { seq, nonseq } => {
-                let seq_hits = seq.scan(range);
-                let nonseq_hits = nonseq.scan(range);
-                stats.mem_points_scanned +=
-                    (seq_hits.len() + nonseq_hits.len()) as u64;
-                sources.push(seq_hits);
-                sources.push(nonseq_hits);
-            }
-        }
-        for meta in self.run.overlapping(range) {
+        let mut sources = self.buffers.scan_sources(range);
+        stats.mem_points_scanned +=
+            sources.iter().map(|s| s.len() as u64).sum::<u64>();
+        for meta in self.version.run().overlapping(range) {
             stats.tables_read += 1;
             if self.config.block_reads {
                 let read = self.store.get_range(meta.id, range)?;
@@ -702,18 +566,16 @@ impl LsmEngine {
     /// Storage failures.
     pub fn get(&self, gen_time: Timestamp) -> Result<Option<DataPoint>> {
         let point_range = TimeRange::new(gen_time, gen_time);
-        let mem_hit = match &self.buffers {
-            Buffers::Conventional(c0) => c0.scan(point_range).into_iter().next(),
-            Buffers::Separation { seq, nonseq } => seq
-                .scan(point_range)
-                .into_iter()
-                .next()
-                .or_else(|| nonseq.scan(point_range).into_iter().next()),
-        };
+        let mem_hit = self
+            .buffers
+            .scan_sources(point_range)
+            .into_iter()
+            .flatten()
+            .next();
         if mem_hit.is_some() {
             return Ok(mem_hit);
         }
-        let Some(meta) = self.run.table_containing(gen_time) else {
+        let Some(meta) = self.version.run().table_containing(gen_time) else {
             return Ok(None);
         };
         let read = self.store.get_range(meta.id, point_range)?;
@@ -735,7 +597,9 @@ mod tests {
     use super::*;
 
     fn in_order_points(n: i64) -> Vec<DataPoint> {
-        (0..n).map(|i| DataPoint::new(i * 10, i * 10, i as f64)).collect()
+        (0..n)
+            .map(|i| DataPoint::new(i * 10, i * 10, i as f64))
+            .collect()
     }
 
     #[test]
@@ -766,9 +630,13 @@ mod tests {
         }
         let before = e.metrics().disk_points_written;
         for tg in [5i64, 15, 25, 35] {
-            e.append(DataPoint::new(tg, 1000 + tg, 0.0)).expect("append");
+            e.append(DataPoint::new(tg, 1000 + tg, 0.0))
+                .expect("append");
         }
-        assert!(e.metrics().rewritten_points > 0, "straggler merge must rewrite");
+        assert!(
+            e.metrics().rewritten_points > 0,
+            "straggler merge must rewrite"
+        );
         assert!(e.metrics().disk_points_written > before + 4);
         assert_eq!(e.metrics().compactions, 1);
         e.run().check_invariants().expect("run invariant");
@@ -784,7 +652,8 @@ mod tests {
         let mut tgs: Vec<i64> = (0..200).map(|i| (i * 73) % 200).collect();
         tgs.dedup();
         for &tg in &tgs {
-            e.append(DataPoint::new(tg, 10_000 + tg, tg as f64)).expect("append");
+            e.append(DataPoint::new(tg, 10_000 + tg, tg as f64))
+                .expect("append");
         }
         let all = e.scan_all().expect("scan");
         assert_eq!(all.len(), 200);
@@ -797,7 +666,9 @@ mod tests {
     #[test]
     fn separation_routes_by_last_disk_gen_time() {
         let mut e = LsmEngine::in_memory(
-            EngineConfig::separation(8, 4).expect("policy").with_sstable_points(4),
+            EngineConfig::separation(8, 4)
+                .expect("policy")
+                .with_sstable_points(4),
         )
         .expect("engine");
         // First 4 in-order points fill C_seq and flush: disk max = 30.
@@ -927,7 +798,8 @@ mod tests {
         assert_eq!(e.buffered_points(), 10);
         assert_eq!(e.scan_all().expect("scan").len(), 10);
         // Switch back while data is buffered.
-        e.set_policy(Policy::conventional(100)).expect("switch back");
+        e.set_policy(Policy::conventional(100))
+            .expect("switch back");
         assert_eq!(e.scan_all().expect("scan").len(), 10);
     }
 
@@ -971,7 +843,9 @@ mod tests {
     #[test]
     fn point_get_finds_buffered_and_flushed_points() {
         let mut e = LsmEngine::in_memory(
-            EngineConfig::separation(8, 4).expect("policy").with_sstable_points(4),
+            EngineConfig::separation(8, 4)
+                .expect("policy")
+                .with_sstable_points(4),
         )
         .expect("engine");
         for p in in_order_points(10) {
@@ -993,7 +867,8 @@ mod tests {
         use std::sync::Arc;
 
         let run = |block_reads: bool| {
-            let mut config = EngineConfig::conventional(128).with_sstable_points(128);
+            let mut config =
+                EngineConfig::conventional(128).with_sstable_points(128);
             if block_reads {
                 config = config.with_block_reads();
             }
@@ -1006,7 +881,8 @@ mod tests {
                 e.append(p).expect("append");
             }
             // Query 8 points out of one 128-point table.
-            let (hits, stats) = e.query(TimeRange::new(100, 170)).expect("query");
+            let (hits, stats) =
+                e.query(TimeRange::new(100, 170)).expect("query");
             assert_eq!(hits.len(), 8);
             stats
         };
@@ -1029,7 +905,8 @@ mod tests {
         use crate::store::MemStore;
         use std::sync::Arc;
 
-        let store = Arc::new(MemStore::with_options(EncodeOptions::compressed()));
+        let store =
+            Arc::new(MemStore::with_options(EncodeOptions::compressed()));
         let mut e = LsmEngine::new(
             EngineConfig::conventional(16).with_sstable_points(8),
             store,
@@ -1038,7 +915,8 @@ mod tests {
         let mut tgs: Vec<i64> = (0..300).map(|i| (i * 91) % 300).collect();
         tgs.dedup();
         for &tg in &tgs {
-            e.append(DataPoint::new(tg, tg + 5, tg as f64)).expect("append");
+            e.append(DataPoint::new(tg, tg + 5, tg as f64))
+                .expect("append");
         }
         let all = e.scan_all().expect("scan");
         assert_eq!(all.len(), 300);

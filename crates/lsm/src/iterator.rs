@@ -23,9 +23,9 @@ impl MergeIter {
     /// Creates a merge over `sources`; each must be sorted by strictly
     /// increasing generation time. Earlier sources win ties.
     pub fn new(sources: Vec<Vec<DataPoint>>) -> Self {
-        debug_assert!(sources.iter().all(|s| {
-            s.windows(2).all(|w| w[0].gen_time < w[1].gen_time)
-        }));
+        debug_assert!(sources
+            .iter()
+            .all(|s| { s.windows(2).all(|w| w[0].gen_time < w[1].gen_time) }));
         let mut iters: Vec<std::vec::IntoIter<DataPoint>> =
             sources.into_iter().map(Vec::into_iter).collect();
         let mut heap = BinaryHeap::new();
@@ -37,7 +37,11 @@ impl MergeIter {
             }
             peeked.push(head);
         }
-        Self { heap, sources: iters, peeked }
+        Self {
+            heap,
+            sources: iters,
+            peeked,
+        }
     }
 
     fn advance(&mut self, idx: usize) -> Option<DataPoint> {
@@ -82,12 +86,15 @@ mod tests {
     use super::*;
 
     fn pts(tgs: &[i64]) -> Vec<DataPoint> {
-        tgs.iter().map(|&t| DataPoint::new(t, t, t as f64)).collect()
+        tgs.iter()
+            .map(|&t| DataPoint::new(t, t, t as f64))
+            .collect()
     }
 
     #[test]
     fn merges_disjoint_sources() {
-        let out = merge_sorted(vec![pts(&[1, 4, 7]), pts(&[2, 5]), pts(&[3, 6])]);
+        let out =
+            merge_sorted(vec![pts(&[1, 4, 7]), pts(&[2, 5]), pts(&[3, 6])]);
         let tgs: Vec<i64> = out.iter().map(|p| p.gen_time).collect();
         assert_eq!(tgs, vec![1, 2, 3, 4, 5, 6, 7]);
     }
@@ -95,7 +102,8 @@ mod tests {
     #[test]
     fn earlier_source_wins_ties() {
         let fresh = vec![DataPoint::new(10, 99, 111.0)];
-        let stale = vec![DataPoint::new(10, 10, 0.0), DataPoint::new(20, 20, 0.0)];
+        let stale =
+            vec![DataPoint::new(10, 10, 0.0), DataPoint::new(20, 20, 0.0)];
         let out = merge_sorted(vec![fresh, stale]);
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].value, 111.0, "fresh source must win the tie");

@@ -80,7 +80,10 @@ impl Run {
     /// callers must inspect their contents.
     pub fn points_in_tables_above(&self, tg: Timestamp) -> u64 {
         let start = self.tables.partition_point(|m| m.range.start <= tg);
-        self.tables[start..].iter().map(|m| u64::from(m.count)).sum()
+        self.tables[start..]
+            .iter()
+            .map(|m| u64::from(m.count))
+            .sum()
     }
 
     /// The table whose range contains `tg`, if any (binary search).
@@ -151,17 +154,24 @@ impl Run {
 mod tests {
     use super::*;
 
-    fn meta(id: u64, start: Timestamp, end: Timestamp, count: u32) -> SsTableMeta {
-        SsTableMeta { id: SsTableId(id), range: TimeRange::new(start, end), count }
+    fn meta(
+        id: u64,
+        start: Timestamp,
+        end: Timestamp,
+        count: u32,
+    ) -> SsTableMeta {
+        SsTableMeta {
+            id: SsTableId(id),
+            range: TimeRange::new(start, end),
+            count,
+        }
     }
 
     #[test]
     fn from_tables_sorts_and_validates() {
-        let run = Run::from_tables(vec![
-            meta(2, 100, 199, 10),
-            meta(1, 0, 99, 10),
-        ])
-        .expect("valid run");
+        let run =
+            Run::from_tables(vec![meta(2, 100, 199, 10), meta(1, 0, 99, 10)])
+                .expect("valid run");
         assert_eq!(run.first_gen_time(), Some(0));
         assert_eq!(run.last_gen_time(), Some(199));
         assert_eq!(run.total_points(), 20);
@@ -169,8 +179,11 @@ mod tests {
 
     #[test]
     fn from_tables_rejects_overlap() {
-        assert!(Run::from_tables(vec![meta(1, 0, 100, 5), meta(2, 100, 200, 5)])
-            .is_err());
+        assert!(Run::from_tables(vec![
+            meta(1, 0, 100, 5),
+            meta(2, 100, 200, 5)
+        ])
+        .is_err());
     }
 
     #[test]
@@ -207,11 +220,9 @@ mod tests {
 
     #[test]
     fn table_containing_finds_the_right_table() {
-        let run = Run::from_tables(vec![
-            meta(1, 0, 99, 10),
-            meta(2, 200, 299, 10),
-        ])
-        .expect("valid");
+        let run =
+            Run::from_tables(vec![meta(1, 0, 99, 10), meta(2, 200, 299, 10)])
+                .expect("valid");
         assert_eq!(run.table_containing(50).expect("hit").id.0, 1);
         assert_eq!(run.table_containing(200).expect("hit").id.0, 2);
         assert_eq!(run.table_containing(299).expect("hit").id.0, 2);
@@ -251,9 +262,7 @@ mod tests {
     fn replace_rejects_invalid_results() {
         let mut run =
             Run::from_tables(vec![meta(1, 0, 99, 10)]).expect("valid");
-        assert!(run
-            .replace(&[], vec![meta(2, 50, 150, 10)])
-            .is_err());
+        assert!(run.replace(&[], vec![meta(2, 50, 150, 10)]).is_err());
     }
 
     #[test]

@@ -5,13 +5,36 @@
 //!
 //! # Architecture
 //!
+//! The crate is layered as a *storage kernel* plus thin engines composed
+//! on top of it:
+//!
 //! ```text
 //!            append(p)                      π_c: C0 ──(full)──▶ merge-compact
-//!   user ───────────────▶ MemTable(s)       π_s: C_seq ─(full)─▶ append-flush
+//!   user ───────────────▶ PolicyBuffers     π_s: C_seq ─(full)─▶ append-flush
 //!                              │                 C_nonseq (full)▶ merge-compact
 //!                              ▼
-//!                 L1 run: [SST][SST][SST]…   ← non-overlapping, 512 pts each
+//!     plan_merge ─▶ CompactionPlan ─▶ execute ─▶ VersionEdit ─▶ Version
+//!                              │                                   │
+//!                              ▼                                   ▼
+//!                 L1 run: [SST][SST][SST]…                     Manifest
+//!                 (non-overlapping, 512 pts each)
 //! ```
+//!
+//! **Kernel layers** (shared by all three engines):
+//!
+//! * [`buffer`] — [`PolicyBuffers`](buffer::PolicyBuffers), the policy-aware
+//!   MemTable set: Definition 3 classification against the pivot, flush
+//!   triggering, and mid-stream policy migration.
+//! * [`compaction`] — [`plan_merge`](compaction::plan_merge), the *pure*
+//!   merge planner, and [`execute`](compaction::execute) /
+//!   [`execute_append`](compaction::execute_append), which apply plans to
+//!   store + version + metrics. The WA arithmetic exists exactly once, here.
+//! * [`version`] — [`Version`](version::Version), the table-level state
+//!   (run, L0, flushing batches), mutated only through atomic
+//!   [`VersionEdit`](version::VersionEdit) batches that also drive manifest
+//!   recording.
+//!
+//! **Substrate:**
 //!
 //! * [`MemTable`] — bounded in-memory buffer sorted by generation time.
 //! * [`sstable`] — the immutable table format (delta-varint, CRC-32).
@@ -19,12 +42,21 @@
 //!   experiment-scale) or [`FileStore`] (durable, one file per table).
 //! * [`Run`] — the non-overlapping level-1 run; `LAST(R)` classifies points
 //!   as in-order / out-of-order (paper Definition 3).
+//! * [`Wal`] — checksummed write-ahead log with crash recovery.
+//! * [`Manifest`] — checksummed run/L0 membership log for O(metadata)
+//!   recovery.
+//!
+//! **Engines** (compositions of the kernel, all durable):
+//!
 //! * [`LsmEngine`] — the synchronous engine used by every WA experiment;
 //!   instrumented for write amplification, subsequent-point counts, and
-//!   query statistics.
+//!   query statistics. Optional WAL + manifest.
 //! * [`TieredEngine`] — the background-compaction variant matching the
-//!   production write path of §V-C (Table III throughput).
-//! * [`Wal`] — checksummed write-ahead log with crash recovery.
+//!   production write path of §V-C (Table III throughput), with the same
+//!   WAL + manifest durability and crash recovery.
+//! * [`MultiSeriesEngine`](multi::MultiSeriesEngine) — one engine per
+//!   series under a shared memory budget, durable via namespaced per-series
+//!   WALs and manifests.
 //!
 //! # Quick start
 //!
@@ -43,6 +75,8 @@
 //! ```
 
 pub mod background;
+pub mod buffer;
+pub mod compaction;
 pub mod engine;
 pub mod iterator;
 pub mod level;
@@ -53,9 +87,12 @@ pub mod multi;
 pub mod query;
 pub mod sstable;
 pub mod store;
+pub mod version;
 pub mod wal;
 
 pub use background::{TieredEngine, TieredReport};
+pub use buffer::{FlushTrigger, PolicyBuffers};
+pub use compaction::{plan_merge, CompactionPlan, RunInput};
 pub use engine::{EngineConfig, LsmEngine};
 pub use iterator::{merge_sorted, MergeIter};
 pub use level::Run;
@@ -66,4 +103,5 @@ pub use multi::{MultiSeriesEngine, SeriesId};
 pub use query::{DiskModel, QueryStats};
 pub use sstable::{Compression, EncodeOptions, SsTableId, SsTableMeta};
 pub use store::{FileStore, MemStore, TableStore};
+pub use version::{Version, VersionEdit};
 pub use wal::Wal;

@@ -18,12 +18,20 @@ use crate::sstable::{SsTableId, SsTableMeta};
 
 const TAG_ADD: u8 = 1;
 const TAG_REMOVE: u8 = 2;
+/// A table joining L0 (tiered engines); run-level recovery must use
+/// [`Manifest::replay_levels`] to see these.
+const TAG_ADD_L0: u8 = 3;
 /// Record payload: tag(1) + id(8) + start(8) + end(8) + count(4).
 const PAYLOAD: usize = 29;
 /// Record: payload + crc32.
 const RECORD: usize = PAYLOAD + 4;
 
-fn encode_record(tag: u8, id: SsTableId, range: TimeRange, count: u32) -> [u8; RECORD] {
+fn encode_record(
+    tag: u8,
+    id: SsTableId,
+    range: TimeRange,
+    count: u32,
+) -> [u8; RECORD] {
     let mut rec = [0u8; RECORD];
     rec[0] = tag;
     rec[1..9].copy_from_slice(&id.0.to_le_bytes());
@@ -43,7 +51,9 @@ pub struct Manifest {
 
 impl std::fmt::Debug for Manifest {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Manifest").field("path", &self.path).finish()
+        f.debug_struct("Manifest")
+            .field("path", &self.path)
+            .finish()
     }
 }
 
@@ -55,7 +65,10 @@ impl Manifest {
             std::fs::create_dir_all(parent)?;
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Self { writer: BufWriter::new(file), path })
+        Ok(Self {
+            writer: BufWriter::new(file),
+            path,
+        })
     }
 
     /// Path of the manifest file.
@@ -65,8 +78,17 @@ impl Manifest {
 
     /// Logs a table joining the run.
     pub fn log_add(&mut self, meta: &SsTableMeta) -> Result<()> {
-        self.writer
-            .write_all(&encode_record(TAG_ADD, meta.id, meta.range, meta.count))?;
+        self.writer.write_all(&encode_record(
+            TAG_ADD, meta.id, meta.range, meta.count,
+        ))?;
+        Ok(())
+    }
+
+    /// Logs a table joining L0 (the tiered engine's overlapping level).
+    pub fn log_add_l0(&mut self, meta: &SsTableMeta) -> Result<()> {
+        self.writer.write_all(&encode_record(
+            TAG_ADD_L0, meta.id, meta.range, meta.count,
+        ))?;
         Ok(())
     }
 
@@ -88,17 +110,29 @@ impl Manifest {
         Ok(())
     }
 
-    /// Atomically rewrites the log as a flat list of the live tables.
+    /// Atomically rewrites the log as a flat list of the live run tables.
     pub fn rewrite(&mut self, live: &[SsTableMeta]) -> Result<()> {
+        self.rewrite_levels(live, &[])
+    }
+
+    /// Atomically rewrites the log from both levels: the live run tables
+    /// followed by the live L0 tables.
+    pub fn rewrite_levels(
+        &mut self,
+        run: &[SsTableMeta],
+        l0: &[SsTableMeta],
+    ) -> Result<()> {
         let tmp = self.path.with_extension("manifest.tmp");
         {
             let mut w = BufWriter::new(File::create(&tmp)?);
-            for meta in live {
+            for meta in run {
                 w.write_all(&encode_record(
-                    TAG_ADD,
-                    meta.id,
-                    meta.range,
-                    meta.count,
+                    TAG_ADD, meta.id, meta.range, meta.count,
+                ))?;
+            }
+            for meta in l0 {
+                w.write_all(&encode_record(
+                    TAG_ADD_L0, meta.id, meta.range, meta.count,
                 ))?;
             }
             w.flush()?;
@@ -110,12 +144,31 @@ impl Manifest {
         Ok(())
     }
 
-    /// Replays the manifest at `path`, returning the live table metadata in
-    /// log order.
+    /// Replays a run-only manifest at `path`, returning the live table
+    /// metadata in log order.
     ///
     /// A torn final record is dropped; mid-log corruption is reported.
-    /// A missing file yields an empty set.
+    /// A missing file yields an empty set. A manifest containing L0 records
+    /// (a tiered engine's) is rejected — use [`Manifest::replay_levels`].
     pub fn replay(path: impl AsRef<Path>) -> Result<Vec<SsTableMeta>> {
+        let (run, l0) = Self::replay_levels(path)?;
+        if !l0.is_empty() {
+            return Err(Error::Corrupt(
+                "manifest contains L0 records; replay with replay_levels"
+                    .into(),
+            ));
+        }
+        Ok(run)
+    }
+
+    /// Replays the manifest at `path`, returning the live `(run, l0)` table
+    /// metadata, each in log order.
+    ///
+    /// A torn final record is dropped; mid-log corruption is reported.
+    /// A missing file yields empty sets.
+    pub fn replay_levels(
+        path: impl AsRef<Path>,
+    ) -> Result<(Vec<SsTableMeta>, Vec<SsTableMeta>)> {
         let path = path.as_ref();
         let mut data = Vec::new();
         match File::open(path) {
@@ -123,17 +176,17 @@ impl Manifest {
                 f.read_to_end(&mut data)?;
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Ok(Vec::new())
+                return Ok((Vec::new(), Vec::new()))
             }
             Err(e) => return Err(e.into()),
         }
-        let mut live: Vec<SsTableMeta> = Vec::new();
+        let mut run: Vec<SsTableMeta> = Vec::new();
+        let mut l0: Vec<SsTableMeta> = Vec::new();
         let mut offset = 0;
         while offset + RECORD <= data.len() {
             let rec = &data[offset..offset + RECORD];
-            let stored = u32::from_le_bytes(
-                rec[PAYLOAD..].try_into().expect("4 bytes"),
-            );
+            let stored =
+                u32::from_le_bytes(rec[PAYLOAD..].try_into().expect("4 bytes"));
             if stored != crc32(&rec[..PAYLOAD]) {
                 return Err(Error::Corrupt(format!(
                     "manifest record at offset {offset} fails CRC"
@@ -143,11 +196,13 @@ impl Manifest {
                 rec[1..9].try_into().expect("8 bytes"),
             ));
             match rec[0] {
-                TAG_ADD => {
-                    let start =
-                        i64::from_le_bytes(rec[9..17].try_into().expect("8 bytes"));
-                    let end =
-                        i64::from_le_bytes(rec[17..25].try_into().expect("8 bytes"));
+                tag @ (TAG_ADD | TAG_ADD_L0) => {
+                    let start = i64::from_le_bytes(
+                        rec[9..17].try_into().expect("8 bytes"),
+                    );
+                    let end = i64::from_le_bytes(
+                        rec[17..25].try_into().expect("8 bytes"),
+                    );
                     let count = u32::from_le_bytes(
                         rec[25..29].try_into().expect("4 bytes"),
                     );
@@ -156,24 +211,31 @@ impl Manifest {
                             "manifest add for {id} has inverted range"
                         )));
                     }
-                    live.push(SsTableMeta {
+                    let meta = SsTableMeta {
                         id,
                         range: TimeRange::new(start, end),
                         count,
-                    });
+                    };
+                    if tag == TAG_ADD {
+                        run.push(meta);
+                    } else {
+                        l0.push(meta);
+                    }
                 }
                 TAG_REMOVE => {
-                    live.retain(|m| m.id != id);
+                    run.retain(|m| m.id != id);
+                    l0.retain(|m| m.id != id);
                 }
                 tag => {
                     return Err(Error::Corrupt(format!(
-                        "manifest record at offset {offset} has unknown tag {tag}"
+                        "manifest record at offset {offset} \
+                         has unknown tag {tag}"
                     )))
                 }
             }
             offset += RECORD;
         }
-        Ok(live)
+        Ok((run, l0))
     }
 }
 
@@ -190,7 +252,11 @@ mod tests {
     }
 
     fn meta(id: u64, start: i64, end: i64, count: u32) -> SsTableMeta {
-        SsTableMeta { id: SsTableId(id), range: TimeRange::new(start, end), count }
+        SsTableMeta {
+            id: SsTableId(id),
+            range: TimeRange::new(start, end),
+            count,
+        }
     }
 
     #[test]
@@ -218,7 +284,8 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let mut m = Manifest::open(&path).expect("open");
         for i in 0..100 {
-            m.log_add(&meta(i, i as i64 * 10, i as i64 * 10 + 9, 1)).expect("add");
+            m.log_add(&meta(i, i as i64 * 10, i as i64 * 10 + 9, 1))
+                .expect("add");
             if i > 0 {
                 m.log_remove(SsTableId(i - 1)).expect("remove");
             }
@@ -231,6 +298,32 @@ mod tests {
         let live = Manifest::replay(&path).expect("replay");
         assert_eq!(live.len(), 1);
         assert_eq!(live[0].id.0, 99);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn l0_records_replay_into_their_own_level() {
+        let path = temp_path("levels");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut m = Manifest::open(&path).expect("open");
+            m.log_add(&meta(1, 0, 99, 10)).expect("add run");
+            m.log_add_l0(&meta(2, 50, 150, 8)).expect("add l0");
+            m.log_add_l0(&meta(3, 60, 160, 8)).expect("add l0");
+            m.log_remove(SsTableId(2)).expect("remove spans levels");
+            m.sync().expect("sync");
+        }
+        let (run, l0) = Manifest::replay_levels(&path).expect("replay");
+        assert_eq!(run.iter().map(|m| m.id.0).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(l0.iter().map(|m| m.id.0).collect::<Vec<_>>(), vec![3]);
+        // Run-only replay refuses a tiered manifest instead of losing L0.
+        assert!(Manifest::replay(&path).is_err());
+        // rewrite_levels compacts both levels in place.
+        let mut m = Manifest::open(&path).expect("reopen");
+        m.rewrite_levels(&run, &l0).expect("rewrite");
+        let (run2, l02) = Manifest::replay_levels(&path).expect("replay");
+        assert_eq!(run2, run);
+        assert_eq!(l02, l0);
         std::fs::remove_file(&path).expect("cleanup");
     }
 

@@ -25,7 +25,10 @@ impl MemTable {
     /// (`capacity ≥ 1`).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "MemTable capacity must be >= 1");
-        Self { entries: BTreeMap::new(), capacity }
+        Self {
+            entries: BTreeMap::new(),
+            capacity,
+        }
     }
 
     /// Maximum number of points this table holds before it must be flushed.

@@ -6,10 +6,18 @@
 //! engine counts both sides in points; [`Metrics::write_amplification`]
 //! is their ratio.
 
-use serde::Serialize;
+/// Write amplification as defined in §I-B: points physically written per
+/// user point, `0.0` before the first append. The one shared definition
+/// behind [`Metrics`], `TieredReport` and `MultiMetrics`.
+pub fn write_amplification(disk_points_written: u64, user_points: u64) -> f64 {
+    if user_points == 0 {
+        return 0.0;
+    }
+    disk_points_written as f64 / user_points as f64
+}
 
 /// Cumulative counters maintained by the engine.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Metrics {
     /// Points the user asked to write (`append` calls).
     pub user_points: u64,
@@ -39,7 +47,7 @@ pub struct Metrics {
 }
 
 /// One point of the windowed-WA time series.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WaSnapshot {
     /// Cumulative user points at snapshot time.
     pub user_points: u64,
@@ -54,10 +62,7 @@ impl Metrics {
     /// writes, exactly as in the paper's measurement (each point's write
     /// counter starts at zero and increments per physical write).
     pub fn write_amplification(&self) -> f64 {
-        if self.user_points == 0 {
-            return 0.0;
-        }
-        self.disk_points_written as f64 / self.user_points as f64
+        write_amplification(self.disk_points_written, self.user_points)
     }
 
     /// Mean number of subsequent points per compaction (Fig. 5's y-axis).
@@ -110,6 +115,15 @@ mod tests {
     }
 
     #[test]
+    fn shared_helper_handles_zero_user_points() {
+        // The `user_points == 0` edge must not divide by zero, even with
+        // disk writes on the books (e.g. recovery replays).
+        assert_eq!(write_amplification(0, 0), 0.0);
+        assert_eq!(write_amplification(1024, 0), 0.0);
+        assert!((write_amplification(2500, 1000) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
     fn mean_subsequent_averages_probes() {
         let mut m = Metrics::default();
         assert_eq!(m.mean_subsequent(), None);
@@ -121,9 +135,18 @@ mod tests {
     fn windowed_wa_differences_snapshots() {
         let m = Metrics {
             wa_snapshots: vec![
-                WaSnapshot { user_points: 0, disk_points_written: 0 },
-                WaSnapshot { user_points: 512, disk_points_written: 512 },
-                WaSnapshot { user_points: 1024, disk_points_written: 2048 },
+                WaSnapshot {
+                    user_points: 0,
+                    disk_points_written: 0,
+                },
+                WaSnapshot {
+                    user_points: 512,
+                    disk_points_written: 512,
+                },
+                WaSnapshot {
+                    user_points: 1024,
+                    disk_points_written: 2048,
+                },
             ],
             ..Default::default()
         };

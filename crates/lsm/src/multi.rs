@@ -5,13 +5,21 @@
 //! them independently. [`MultiSeriesEngine`] provides that shape: each
 //! [`SeriesId`] gets its own MemTables, level-1 run and metrics (so policies
 //! can differ per series), while all series share one [`TableStore`].
+//!
+//! With [`MultiSeriesEngine::durable`] every series additionally gets a WAL
+//! and a manifest namespaced by its id (`series-<n>.wal` /
+//! `series-<n>.manifest`) inside one metadata directory;
+//! [`MultiSeriesEngine::recover`] scans that directory and rebuilds every
+//! series through the single-series recovery path.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange};
 
 use crate::engine::{EngineConfig, LsmEngine};
+use crate::metrics::Metrics;
 use crate::query::QueryStats;
 use crate::store::{MemStore, TableStore};
 
@@ -41,12 +49,23 @@ pub struct MultiMetrics {
 }
 
 impl MultiMetrics {
-    /// Fleet-wide write amplification.
-    pub fn write_amplification(&self) -> f64 {
-        if self.user_points == 0 {
-            return 0.0;
+    /// Builds the aggregate view from a summed kernel [`Metrics`].
+    pub fn from_metrics(series: usize, metrics: &Metrics) -> Self {
+        Self {
+            series,
+            user_points: metrics.user_points,
+            disk_points_written: metrics.disk_points_written,
+            flushes: metrics.flushes,
+            compactions: metrics.compactions,
         }
-        self.disk_points_written as f64 / self.user_points as f64
+    }
+
+    /// Fleet-wide write amplification (the shared §I-B definition).
+    pub fn write_amplification(&self) -> f64 {
+        crate::metrics::write_amplification(
+            self.disk_points_written,
+            self.user_points,
+        )
     }
 }
 
@@ -55,17 +74,84 @@ pub struct MultiSeriesEngine {
     store: Arc<dyn TableStore>,
     template: EngineConfig,
     series: HashMap<SeriesId, LsmEngine>,
+    /// When set, every series gets a WAL and manifest under this directory,
+    /// namespaced by its id.
+    durable_dir: Option<PathBuf>,
 }
 
 impl MultiSeriesEngine {
     /// Creates a multi-series engine; new series start from `template`.
     pub fn new(template: EngineConfig, store: Arc<dyn TableStore>) -> Self {
-        Self { store, template, series: HashMap::new() }
+        Self {
+            store,
+            template,
+            series: HashMap::new(),
+            durable_dir: None,
+        }
     }
 
     /// In-memory-store convenience constructor.
     pub fn in_memory(template: EngineConfig) -> Self {
         Self::new(template, Arc::new(MemStore::new()))
+    }
+
+    /// Creates a durable multi-series engine: each series logs to
+    /// `dir/series-<n>.wal` and records run membership in
+    /// `dir/series-<n>.manifest`, so the whole collection survives a crash
+    /// (see [`MultiSeriesEngine::recover`]).
+    ///
+    /// # Errors
+    /// I/O errors creating `dir`.
+    pub fn durable(
+        template: EngineConfig,
+        store: Arc<dyn TableStore>,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut engine = Self::new(template, store);
+        engine.durable_dir = Some(dir);
+        Ok(engine)
+    }
+
+    /// Rebuilds a durable multi-series engine after a crash: scans `dir` for
+    /// `series-<n>.manifest` files and recovers each series through
+    /// [`LsmEngine::recover_from_manifest`] (manifest → run, WAL → buffers).
+    ///
+    /// # Errors
+    /// I/O errors scanning `dir`; manifest/WAL corruption in any series.
+    pub fn recover(
+        template: EngineConfig,
+        store: Arc<dyn TableStore>,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut series = HashMap::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(id) = name
+                .strip_prefix("series-")
+                .and_then(|rest| rest.strip_suffix(".manifest"))
+                .and_then(|n| n.parse::<u32>().ok())
+            else {
+                continue;
+            };
+            let engine = LsmEngine::recover_from_manifest(
+                template.clone(),
+                Arc::clone(&store),
+                dir.join(format!("series-{id}.manifest")),
+                Some(dir.join(format!("series-{id}.wal"))),
+            )?;
+            series.insert(SeriesId(id), engine);
+        }
+        Ok(Self {
+            store,
+            template,
+            series,
+            durable_dir: Some(dir),
+        })
     }
 
     /// Number of series hosted so far.
@@ -92,8 +178,15 @@ impl MultiSeriesEngine {
 
     fn engine_entry(&mut self, series: SeriesId) -> Result<&mut LsmEngine> {
         if !self.series.contains_key(&series) {
-            let engine =
+            let mut engine =
                 LsmEngine::new(self.template.clone(), Arc::clone(&self.store))?;
+            if let Some(dir) = &self.durable_dir {
+                engine = engine
+                    .with_wal(dir.join(format!("series-{}.wal", series.0)))?
+                    .with_manifest(
+                        dir.join(format!("series-{}.manifest", series.0)),
+                    )?;
+            }
             self.series.insert(series, engine);
         }
         Ok(self.series.get_mut(&series).expect("inserted above"))
@@ -123,11 +216,18 @@ impl MultiSeriesEngine {
     }
 
     /// Switches the buffering policy of one series (e.g. after a per-series
-    /// tuning decision).
+    /// tuning decision). Delegates to [`LsmEngine::set_policy`], so the
+    /// buffered points migrate through the same
+    /// [`PolicyBuffers::migrate`](crate::buffer::PolicyBuffers::migrate)
+    /// path as every other engine.
     ///
     /// # Errors
     /// Unknown series, degenerate policies, or storage failures.
-    pub fn set_policy(&mut self, series: SeriesId, policy: Policy) -> Result<()> {
+    pub fn set_policy(
+        &mut self,
+        series: SeriesId,
+        policy: Policy,
+    ) -> Result<()> {
         self.series
             .get_mut(&series)
             .ok_or_else(|| Error::InvalidConfig(format!("unknown {series}")))?
@@ -145,17 +245,39 @@ impl MultiSeriesEngine {
         Ok(())
     }
 
-    /// Aggregated counters across all series.
+    /// Fsyncs every series' WAL (no-op for non-durable engines): after this,
+    /// every acknowledged point survives a crash.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn sync_wal_all(&mut self) -> Result<()> {
+        for engine in self.series.values_mut() {
+            engine.sync_wal()?;
+        }
+        Ok(())
+    }
+
+    /// Aggregated counters across all series — a [`MultiMetrics`] view over
+    /// the summed kernel metrics.
     pub fn metrics(&self) -> MultiMetrics {
-        let mut m = MultiMetrics { series: self.series.len(), ..Default::default() };
+        MultiMetrics::from_metrics(self.series.len(), &self.combined_metrics())
+    }
+
+    /// The full kernel [`Metrics`] summed across every series.
+    pub fn combined_metrics(&self) -> Metrics {
+        let mut sum = Metrics::default();
         for engine in self.series.values() {
             let em = engine.metrics();
-            m.user_points += em.user_points;
-            m.disk_points_written += em.disk_points_written;
-            m.flushes += em.flushes;
-            m.compactions += em.compactions;
+            sum.user_points += em.user_points;
+            sum.disk_points_written += em.disk_points_written;
+            sum.disk_bytes_written += em.disk_bytes_written;
+            sum.flushes += em.flushes;
+            sum.compactions += em.compactions;
+            sum.rewritten_points += em.rewritten_points;
+            sum.tables_created += em.tables_created;
+            sum.tables_deleted += em.tables_deleted;
         }
-        m
+        sum
     }
 }
 
@@ -179,9 +301,13 @@ mod tests {
         }
         assert_eq!(m.len(), 2);
         assert_eq!(m.series_ids(), vec![SeriesId(1), SeriesId(2)]);
-        let (a, _) = m.query(SeriesId(1), TimeRange::new(0, 200)).expect("query");
+        let (a, _) =
+            m.query(SeriesId(1), TimeRange::new(0, 200)).expect("query");
         assert_eq!(a.len(), 20);
-        assert!(a.iter().all(|p| p.value == 1.0), "series 1 must not see series 2");
+        assert!(
+            a.iter().all(|p| p.value == 1.0),
+            "series 1 must not see series 2"
+        );
     }
 
     #[test]
@@ -193,8 +319,10 @@ mod tests {
     #[test]
     fn per_series_policies_can_differ() {
         let mut m = MultiSeriesEngine::in_memory(config());
-        m.append(SeriesId(1), DataPoint::new(0, 0, 0.0)).expect("append");
-        m.append(SeriesId(2), DataPoint::new(0, 0, 0.0)).expect("append");
+        m.append(SeriesId(1), DataPoint::new(0, 0, 0.0))
+            .expect("append");
+        m.append(SeriesId(2), DataPoint::new(0, 0, 0.0))
+            .expect("append");
         m.set_policy(SeriesId(2), Policy::separation(8, 4).expect("policy"))
             .expect("switch");
         assert!(!m.engine(SeriesId(1)).expect("s1").policy().is_separation());
@@ -219,10 +347,55 @@ mod tests {
     }
 
     #[test]
+    fn durable_series_survive_crash_and_recover() {
+        use crate::store::FileStore;
+
+        let dir = std::env::temp_dir().join(format!(
+            "seplsm-multi-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store: Arc<dyn TableStore> =
+                Arc::new(FileStore::open(dir.join("tables")).expect("store"));
+            let mut m =
+                MultiSeriesEngine::durable(config(), store, dir.join("meta"))
+                    .expect("durable");
+            for s in 0..3u32 {
+                // 20 points per series: some flushed, the tail buffered.
+                for i in 0..20i64 {
+                    m.append(
+                        SeriesId(s),
+                        DataPoint::new(i * 10, i * 10, s as f64),
+                    )
+                    .expect("append");
+                }
+            }
+            m.sync_wal_all().expect("sync");
+            // Crash: dropped without flushing the buffers.
+        }
+        let store: Arc<dyn TableStore> =
+            Arc::new(FileStore::open(dir.join("tables")).expect("store"));
+        let m = MultiSeriesEngine::recover(config(), store, dir.join("meta"))
+            .expect("recover");
+        assert_eq!(m.len(), 3);
+        for s in 0..3u32 {
+            let (pts, _) = m
+                .query(SeriesId(s), TimeRange::new(0, 1_000))
+                .expect("query");
+            assert_eq!(pts.len(), 20, "series {s} lost points");
+            assert!(pts.iter().all(|p| p.value == s as f64));
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
     fn flush_all_drains_every_series() {
         let mut m = MultiSeriesEngine::in_memory(config());
         for s in 0..3u32 {
-            m.append(SeriesId(s), DataPoint::new(5, 5, 0.0)).expect("append");
+            m.append(SeriesId(s), DataPoint::new(5, 5, 0.0))
+                .expect("append");
         }
         m.flush_all().expect("flush");
         for s in 0..3u32 {

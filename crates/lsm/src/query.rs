@@ -6,10 +6,8 @@
 //! and query latency on an HDD, which is dominated by one seek per SSTable
 //! touched. [`QueryStats`] records exactly the counts both need.
 
-use serde::Serialize;
-
 /// Per-query counters filled in by [`LsmEngine::query`](crate::LsmEngine::query).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// SSTables whose range intersected the query (each costs one seek).
     pub tables_read: u64,
@@ -54,7 +52,7 @@ impl QueryStats {
 /// point counts exactly and apply fixed costs, preserving the paper's
 /// trade-off: `π_s` touches more, smaller SSTables (more seeks), `π_c`
 /// scans more useless points per table.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiskModel {
     /// Cost of locating + opening one SSTable (ns). HDD seek ≈ 8 ms.
     pub seek_ns: f64,
@@ -74,12 +72,20 @@ impl DiskModel {
     /// A 7200-rpm HDD: ~8 ms average seek, ~150 MB/s sequential transfer
     /// (≈ 100 ns per ~16-byte encoded point).
     pub fn hdd() -> Self {
-        Self { seek_ns: 8_000_000.0, point_ns: 100.0, mem_point_ns: 20.0 }
+        Self {
+            seek_ns: 8_000_000.0,
+            point_ns: 100.0,
+            mem_point_ns: 20.0,
+        }
     }
 
     /// A SATA SSD: ~60 µs access, same per-point decode cost.
     pub fn ssd() -> Self {
-        Self { seek_ns: 60_000.0, point_ns: 100.0, mem_point_ns: 20.0 }
+        Self {
+            seek_ns: 60_000.0,
+            point_ns: 100.0,
+            mem_point_ns: 20.0,
+        }
     }
 
     /// Simulated latency of a query with the given stats, in nanoseconds.

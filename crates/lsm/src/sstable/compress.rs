@@ -213,7 +213,10 @@ mod tests {
         round_trip_i64(&[0]);
         round_trip_i64(&[i64::MAX, i64::MIN, 0, -1, 1]);
         round_trip_i64(&[5; 100]);
-        round_trip_i64(&[-1_000_000, 1_000_000, -1, 64, -63, 65, -64, 256, -255, 257, 2048, -2047, 2049]);
+        round_trip_i64(&[
+            -1_000_000, 1_000_000, -1, 64, -63, 65, -64, 256, -255, 257, 2048,
+            -2047, 2049,
+        ]);
     }
 
     #[test]
@@ -221,7 +224,8 @@ mod tests {
         // Values engineered to hit every dod bucket exactly.
         let mut values = vec![0i64];
         let mut delta = 0i64;
-        for dod in [0i64, 64, -63, 256, -255, 2048, -2047, 1 << 40, -(1 << 40)] {
+        for dod in [0i64, 64, -63, 256, -255, 2048, -2047, 1 << 40, -(1 << 40)]
+        {
             delta += dod;
             values.push(values.last().expect("non-empty") + delta);
         }
@@ -237,7 +241,8 @@ mod tests {
 
     #[test]
     fn slowly_varying_values_compress_well() {
-        let ramp: Vec<f64> = (0..1000).map(|i| 20.0 + (i as f64) * 0.01).collect();
+        let ramp: Vec<f64> =
+            (0..1000).map(|i| 20.0 + (i as f64) * 0.01).collect();
         let bits = round_trip_f64(&ramp);
         // A decimal ramp churns most mantissa bits; Gorilla still beats the
         // raw 64 bits/pt by reusing the leading-zero window.
@@ -250,7 +255,13 @@ mod tests {
 
     #[test]
     fn special_floats_round_trip() {
-        round_trip_f64(&[f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, 0.0]);
+        round_trip_f64(&[
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            0.0,
+        ]);
         round_trip_f64(&[f64::MIN_POSITIVE, f64::MAX, f64::MIN]);
     }
 

@@ -66,14 +66,20 @@ pub struct EncodeOptions {
 
 impl Default for EncodeOptions {
     fn default() -> Self {
-        Self { compression: Compression::None, block_points: 128 }
+        Self {
+            compression: Compression::None,
+            block_points: 128,
+        }
     }
 }
 
 impl EncodeOptions {
     /// The v2 compressed-block format with the default 128-point blocks.
     pub fn compressed() -> Self {
-        Self { compression: Compression::TimeSeries, block_points: 128 }
+        Self {
+            compression: Compression::TimeSeries,
+            block_points: 128,
+        }
     }
 }
 
@@ -90,7 +96,9 @@ pub struct RangeRead {
 
 fn validate_input(points: &[DataPoint]) -> Result<()> {
     if points.is_empty() {
-        return Err(Error::InvalidConfig("cannot encode an empty SSTable".into()));
+        return Err(Error::InvalidConfig(
+            "cannot encode an empty SSTable".into(),
+        ));
     }
     for w in points.windows(2) {
         if w[1].gen_time <= w[0].gen_time {
@@ -109,10 +117,15 @@ fn validate_input(points: &[DataPoint]) -> Result<()> {
 ///
 /// # Errors
 /// [`Error::InvalidConfig`] if the input is empty or not strictly sorted.
-pub fn encode_with(points: &[DataPoint], options: &EncodeOptions) -> Result<Bytes> {
+pub fn encode_with(
+    points: &[DataPoint],
+    options: &EncodeOptions,
+) -> Result<Bytes> {
     match options.compression {
         Compression::None => encode(points),
-        Compression::TimeSeries => encode_v2(points, options.block_points.max(1)),
+        Compression::TimeSeries => {
+            encode_v2(points, options.block_points.max(1))
+        }
     }
 }
 
@@ -123,7 +136,9 @@ pub fn encode_with(points: &[DataPoint], options: &EncodeOptions) -> Result<Byte
 /// [`Error::InvalidConfig`] if the input is empty or not strictly sorted.
 pub fn encode(points: &[DataPoint]) -> Result<Bytes> {
     if points.is_empty() {
-        return Err(Error::InvalidConfig("cannot encode an empty SSTable".into()));
+        return Err(Error::InvalidConfig(
+            "cannot encode an empty SSTable".into(),
+        ));
     }
     // Rough capacity guess: ~14 bytes per point after delta compression.
     let mut buf = BytesMut::with_capacity(32 + points.len() * 14);
@@ -194,7 +209,9 @@ pub fn decode(data: &[u8]) -> Result<Vec<DataPoint>> {
         return decode_v2_full(data);
     }
     if version != VERSION {
-        return Err(Error::Corrupt(format!("unsupported SSTable version {version}")));
+        return Err(Error::Corrupt(format!(
+            "unsupported SSTable version {version}"
+        )));
     }
     let _flags = buf.get_u16_le();
     let count = buf.get_u32_le() as usize;
@@ -352,7 +369,9 @@ fn parse_v2_header(data: &[u8]) -> Result<V2Header> {
         return Err(Error::Corrupt("v2 SSTable truncated in index".into()));
     }
     let stored = u32::from_le_bytes(
-        data[header_len..header_len + 4].try_into().expect("4 bytes"),
+        data[header_len..header_len + 4]
+            .try_into()
+            .expect("4 bytes"),
     );
     let actual = crc32(&data[..header_len]);
     if stored != actual {
@@ -378,11 +397,21 @@ fn parse_v2_header(data: &[u8]) -> Result<V2Header> {
             "v2 block counts sum to {total}, header says {count}"
         )));
     }
-    Ok(V2Header { count, min_tg, max_tg, index, data_start: header_len + 4 })
+    Ok(V2Header {
+        count,
+        min_tg,
+        max_tg,
+        index,
+        data_start: header_len + 4,
+    })
 }
 
 /// Decodes one v2 block (verifying its CRC).
-fn decode_v2_block(data: &[u8], header: &V2Header, entry: &V2Entry) -> Result<Vec<DataPoint>> {
+fn decode_v2_block(
+    data: &[u8],
+    header: &V2Header,
+    entry: &V2Entry,
+) -> Result<Vec<DataPoint>> {
     let start = header.data_start + entry.offset as usize;
     let end = start + entry.len as usize;
     // Block data must not run into the trailing 4-byte file CRC.
@@ -440,7 +469,8 @@ fn decode_v2_full(data: &[u8]) -> Result<Vec<DataPoint>> {
     }
     match (points.first(), points.last()) {
         (Some(first), Some(last))
-            if first.gen_time == header.min_tg && last.gen_time == header.max_tg => {}
+            if first.gen_time == header.min_tg
+                && last.gen_time == header.max_tg => {}
         _ => {
             return Err(Error::Corrupt(
                 "v2 header min/max do not match records".into(),
@@ -460,7 +490,8 @@ fn decode_v2_full(data: &[u8]) -> Result<Vec<DataPoint>> {
 /// [`Error::Corrupt`] on any validation failure in the touched region.
 pub fn decode_range(data: &[u8], range: TimeRange) -> Result<RangeRead> {
     if data.len() >= 6 && &data[..4] == MAGIC {
-        let version = u16::from_le_bytes(data[4..6].try_into().expect("2 bytes"));
+        let version =
+            u16::from_le_bytes(data[4..6].try_into().expect("2 bytes"));
         if version == VERSION_BLOCKS {
             let header = parse_v2_header(data)?;
             let mut read = RangeRead {
@@ -564,7 +595,8 @@ mod tests {
     fn rejects_unsorted_input() {
         let pts = vec![DataPoint::new(10, 10, 0.0), DataPoint::new(5, 5, 0.0)];
         assert!(encode(&pts).is_err());
-        let dup = vec![DataPoint::new(10, 10, 0.0), DataPoint::new(10, 11, 0.0)];
+        let dup =
+            vec![DataPoint::new(10, 10, 0.0), DataPoint::new(10, 11, 0.0)];
         assert!(encode(&dup).is_err());
     }
 
@@ -582,14 +614,18 @@ mod tests {
     fn detects_truncation() {
         let bytes = encode(&sample_points(64)).expect("encode");
         for cut in [0, 1, 10, bytes.len() - 1] {
-            assert!(decode(&bytes[..cut]).is_err(), "truncation to {cut} bytes");
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes"
+            );
         }
     }
 
     #[test]
     fn v2_round_trips_typical_table() {
         let pts = sample_points(512);
-        let bytes = encode_with(&pts, &EncodeOptions::compressed()).expect("encode");
+        let bytes =
+            encode_with(&pts, &EncodeOptions::compressed()).expect("encode");
         let back = decode(&bytes).expect("decode");
         assert_eq!(back, pts);
     }
@@ -598,8 +634,8 @@ mod tests {
     fn v2_round_trips_odd_sizes_and_single_point() {
         for n in [1usize, 2, 127, 128, 129, 300] {
             let pts = sample_points(n);
-            let bytes =
-                encode_with(&pts, &EncodeOptions::compressed()).expect("encode");
+            let bytes = encode_with(&pts, &EncodeOptions::compressed())
+                .expect("encode");
             assert_eq!(decode(&bytes).expect("decode"), pts, "n={n}");
         }
     }
@@ -630,7 +666,8 @@ mod tests {
             DataPoint::new(0, 0, f64::INFINITY),
             DataPoint::new(7, 1_000_000, -0.0),
         ];
-        let bytes = encode_with(&pts, &EncodeOptions::compressed()).expect("encode");
+        let bytes =
+            encode_with(&pts, &EncodeOptions::compressed()).expect("encode");
         let back = decode(&bytes).expect("decode");
         assert!(back[0].value.is_nan());
         assert_eq!(back[0].delay(), -50);
@@ -641,7 +678,8 @@ mod tests {
     #[test]
     fn v2_detects_corruption_anywhere() {
         let pts = sample_points(300);
-        let bytes = encode_with(&pts, &EncodeOptions::compressed()).expect("encode");
+        let bytes =
+            encode_with(&pts, &EncodeOptions::compressed()).expect("encode");
         for i in (0..bytes.len()).step_by(11) {
             let mut bad = bytes.to_vec();
             bad[i] ^= 0x10;
@@ -652,7 +690,8 @@ mod tests {
     #[test]
     fn decode_range_reads_only_overlapping_blocks() {
         let pts = sample_points(512); // gen times 1_000_000 + i*50, 4 blocks of 128
-        let bytes = encode_with(&pts, &EncodeOptions::compressed()).expect("encode");
+        let bytes =
+            encode_with(&pts, &EncodeOptions::compressed()).expect("encode");
         // Range covering points 130..=140 (inside block 1).
         let range = seplsm_types::TimeRange::new(
             1_000_000 + 130 * 50,
@@ -664,11 +703,9 @@ mod tests {
         assert_eq!(read.points.len(), 11);
         assert!(read.points.iter().all(|p| range.contains(p.gen_time)));
         // Disjoint range: nothing decoded.
-        let miss = decode_range(
-            &bytes,
-            seplsm_types::TimeRange::new(0, 999_999),
-        )
-        .expect("miss");
+        let miss =
+            decode_range(&bytes, seplsm_types::TimeRange::new(0, 999_999))
+                .expect("miss");
         assert_eq!(miss.blocks_read, 0);
         assert_eq!(miss.points_scanned, 0);
         assert!(miss.points.is_empty());
@@ -677,7 +714,8 @@ mod tests {
     #[test]
     fn decode_range_spanning_blocks() {
         let pts = sample_points(512);
-        let bytes = encode_with(&pts, &EncodeOptions::compressed()).expect("encode");
+        let bytes =
+            encode_with(&pts, &EncodeOptions::compressed()).expect("encode");
         let range = seplsm_types::TimeRange::new(
             1_000_000 + 120 * 50,
             1_000_000 + 260 * 50,
@@ -703,12 +741,14 @@ mod tests {
     fn v2_block_granular_read_survives_corruption_elsewhere() {
         // Corrupting block 3 must not break a read confined to block 0.
         let pts = sample_points(512);
-        let bytes =
-            encode_with(&pts, &EncodeOptions::compressed()).expect("encode").to_vec();
+        let bytes = encode_with(&pts, &EncodeOptions::compressed())
+            .expect("encode")
+            .to_vec();
         let mut bad = bytes.clone();
         let n = bad.len();
         bad[n - 10] ^= 0xff; // inside the last block
-        let range = seplsm_types::TimeRange::new(1_000_000, 1_000_000 + 10 * 50);
+        let range =
+            seplsm_types::TimeRange::new(1_000_000, 1_000_000 + 10 * 50);
         let ok = decode_range(&bad, range).expect("block 0 still readable");
         assert_eq!(ok.points.len(), 11);
         // But reading the damaged block fails loudly.

@@ -74,7 +74,10 @@ impl MemStore {
     /// Creates an empty store encoding tables with `options` (e.g. the v2
     /// compressed-block format).
     pub fn with_options(options: EncodeOptions) -> Self {
-        Self { inner: Mutex::default(), options }
+        Self {
+            inner: Mutex::default(),
+            options,
+        }
     }
 
     /// Total encoded bytes currently held.
@@ -161,7 +164,10 @@ impl FileStore {
 
     /// Opens a store that encodes new tables with `options`; existing
     /// tables of either version remain readable.
-    pub fn open_with(dir: impl AsRef<Path>, options: EncodeOptions) -> Result<Self> {
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        options: EncodeOptions,
+    ) -> Result<Self> {
         let mut store = Self::open(dir)?;
         store.options = options;
         Ok(store)
@@ -241,7 +247,9 @@ mod tests {
     use super::*;
 
     fn pts(range: std::ops::Range<i64>) -> Vec<DataPoint> {
-        range.map(|i| DataPoint::new(i * 10, i * 10 + 3, i as f64)).collect()
+        range
+            .map(|i| DataPoint::new(i * 10, i * 10 + 3, i as f64))
+            .collect()
     }
 
     fn exercise_store(store: &dyn TableStore) {

@@ -49,7 +49,10 @@ impl Wal {
             std::fs::create_dir_all(parent)?;
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Self { writer: BufWriter::new(file), path })
+        Ok(Self {
+            writer: BufWriter::new(file),
+            path,
+        })
     }
 
     /// Path of the log file.
@@ -108,7 +111,8 @@ impl Wal {
         let mut offset = 0;
         while offset + RECORD <= data.len() {
             let rec = &data[offset..offset + RECORD];
-            let stored = u32::from_le_bytes(rec[..4].try_into().expect("4 bytes"));
+            let stored =
+                u32::from_le_bytes(rec[..4].try_into().expect("4 bytes"));
             if stored != crc32(&rec[4..]) {
                 return Err(Error::Corrupt(format!(
                     "WAL record at offset {offset} fails CRC"
@@ -145,8 +149,9 @@ mod tests {
     fn append_sync_replay_round_trips() {
         let path = temp_path("roundtrip");
         let _ = std::fs::remove_file(&path);
-        let pts: Vec<DataPoint> =
-            (0..100).map(|i| DataPoint::new(i, i + 7, i as f64 * 0.5)).collect();
+        let pts: Vec<DataPoint> = (0..100)
+            .map(|i| DataPoint::new(i, i + 7, i as f64 * 0.5))
+            .collect();
         {
             let mut wal = Wal::open(&path).expect("open");
             for p in &pts {

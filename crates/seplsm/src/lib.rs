@@ -37,9 +37,11 @@ pub use seplsm_dist::{DelayDistribution, Empirical, LogNormal};
 pub use seplsm_lsm::{
     Compression, DiskModel, EncodeOptions, EngineConfig, FileStore, LsmEngine,
     Manifest, MemStore, MultiSeriesEngine, QueryStats, SeriesId, TableStore,
-    TieredEngine,
+    TieredEngine, TieredReport,
 };
-pub use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange, Timestamp};
+pub use seplsm_types::{
+    DataPoint, Error, Policy, Result, TimeRange, Timestamp,
+};
 pub use seplsm_workload::{
     paper_dataset, DynamicWorkload, HistoricalQueries, PaperDataset,
     RecentQueries, S9Workload, SyntheticWorkload, VehicleWorkload,

@@ -25,7 +25,9 @@ impl fmt::Display for Error {
         match self {
             Error::Io(e) => write!(f, "i/o error: {e}"),
             Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
-            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::InvalidConfig(msg) => {
+                write!(f, "invalid configuration: {msg}")
+            }
             Error::Model(msg) => write!(f, "model error: {msg}"),
         }
     }

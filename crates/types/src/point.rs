@@ -1,7 +1,5 @@
 //! Time-series data points (paper §II, Definition 1–2).
 
-use serde::{Deserialize, Serialize};
-
 /// A timestamp in milliseconds.
 ///
 /// Both generation time and arrival time use this unit. The paper works with
@@ -19,7 +17,7 @@ pub type Timestamp = i64;
 ///
 /// The *delay* of a point (Definition 2) is `t_a − t_g`; see
 /// [`DataPoint::delay`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DataPoint {
     /// Generation timestamp `t_g` (ms). Unique per series.
     pub gen_time: Timestamp,
@@ -31,13 +29,29 @@ pub struct DataPoint {
 
 impl DataPoint {
     /// Creates a data point from its generation time, arrival time and value.
-    pub fn new(gen_time: Timestamp, arrival_time: Timestamp, value: f64) -> Self {
-        Self { gen_time, arrival_time, value }
+    pub fn new(
+        gen_time: Timestamp,
+        arrival_time: Timestamp,
+        value: f64,
+    ) -> Self {
+        Self {
+            gen_time,
+            arrival_time,
+            value,
+        }
     }
 
     /// Creates a point from its generation time and *delay* (`t_a = t_g + d`).
-    pub fn with_delay(gen_time: Timestamp, delay: Timestamp, value: f64) -> Self {
-        Self { gen_time, arrival_time: gen_time + delay, value }
+    pub fn with_delay(
+        gen_time: Timestamp,
+        delay: Timestamp,
+        value: f64,
+    ) -> Self {
+        Self {
+            gen_time,
+            arrival_time: gen_time + delay,
+            value,
+        }
     }
 
     /// The transmission delay `t_d = t_a − t_g` of Definition 2.
@@ -65,7 +79,8 @@ impl PartialOrd for DataPoint {
 
 impl Ord for DataPoint {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.gen_time, self.arrival_time).cmp(&(other.gen_time, other.arrival_time))
+        (self.gen_time, self.arrival_time)
+            .cmp(&(other.gen_time, other.arrival_time))
     }
 }
 

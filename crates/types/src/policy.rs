@@ -1,7 +1,5 @@
 //! Buffering policies (`π_c`, `π_s`) and generation-time ranges.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Error, Result, Timestamp};
 
 /// A buffering policy for the leveled LSM engine.
@@ -14,7 +12,7 @@ use crate::{Error, Result, Timestamp};
 ///   capacity `n_seq` that flushes without rewriting on-disk data, and an
 ///   out-of-order MemTable `C_nonseq` of capacity `n_nonseq = n − n_seq`
 ///   whose filling triggers the merge-compaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Policy {
     /// `π_c`: a single MemTable of the given capacity (in points).
     Conventional {
@@ -47,7 +45,10 @@ impl Policy {
                 "separation policy requires 0 < n_seq < n, got n_seq={n_seq}, n={n}"
             )));
         }
-        Ok(Policy::Separation { seq_capacity: n_seq, nonseq_capacity: n - n_seq })
+        Ok(Policy::Separation {
+            seq_capacity: n_seq,
+            nonseq_capacity: n - n_seq,
+        })
     }
 
     /// The even split `π_s(n/2)` used as the untuned default in Apache IoTDB
@@ -60,9 +61,10 @@ impl Policy {
     pub fn total_capacity(&self) -> usize {
         match *self {
             Policy::Conventional { capacity } => capacity,
-            Policy::Separation { seq_capacity, nonseq_capacity } => {
-                seq_capacity + nonseq_capacity
-            }
+            Policy::Separation {
+                seq_capacity,
+                nonseq_capacity,
+            } => seq_capacity + nonseq_capacity,
         }
     }
 
@@ -75,8 +77,13 @@ impl Policy {
     pub fn name(&self) -> String {
         match *self {
             Policy::Conventional { capacity } => format!("pi_c(n={capacity})"),
-            Policy::Separation { seq_capacity, nonseq_capacity } => {
-                format!("pi_s(n_seq={seq_capacity}, n_nonseq={nonseq_capacity})")
+            Policy::Separation {
+                seq_capacity,
+                nonseq_capacity,
+            } => {
+                format!(
+                    "pi_s(n_seq={seq_capacity}, n_nonseq={nonseq_capacity})"
+                )
             }
         }
     }
@@ -86,7 +93,7 @@ impl Policy {
 ///
 /// Used for SSTable key ranges (each SSTable covers the generation-time range
 /// of the points it stores) and for range-query predicates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimeRange {
     /// Earliest generation time in the range (inclusive).
     pub start: Timestamp,
@@ -139,7 +146,10 @@ mod tests {
         let p = Policy::separation_even(512).unwrap();
         assert_eq!(
             p,
-            Policy::Separation { seq_capacity: 256, nonseq_capacity: 256 }
+            Policy::Separation {
+                seq_capacity: 256,
+                nonseq_capacity: 256
+            }
         );
         assert_eq!(p.total_capacity(), 512);
     }
@@ -171,7 +181,9 @@ mod tests {
     #[test]
     fn range_contains_endpoints() {
         let r = TimeRange::new(5, 7);
-        assert!(r.contains(5) && r.contains(7) && !r.contains(8) && !r.contains(4));
+        assert!(
+            r.contains(5) && r.contains(7) && !r.contains(8) && !r.contains(4)
+        );
     }
 
     #[test]

@@ -32,25 +32,89 @@ impl PaperDataset {
     }
 
     /// Builds a generator for `points` points with the given seed.
-    pub fn workload(&self, points: usize, seed: u64) -> SyntheticWorkload<LogNormal> {
+    pub fn workload(
+        &self,
+        points: usize,
+        seed: u64,
+    ) -> SyntheticWorkload<LogNormal> {
         SyntheticWorkload::new(self.delta_t, self.distribution(), points, seed)
     }
 }
 
 /// Table II, reconstructed.
 pub const PAPER_DATASETS: [PaperDataset; 12] = [
-    PaperDataset { name: "M1", delta_t: 50, mu: 4.0, sigma: 1.5 },
-    PaperDataset { name: "M2", delta_t: 50, mu: 4.0, sigma: 1.75 },
-    PaperDataset { name: "M3", delta_t: 50, mu: 4.0, sigma: 2.0 },
-    PaperDataset { name: "M4", delta_t: 50, mu: 5.0, sigma: 1.5 },
-    PaperDataset { name: "M5", delta_t: 50, mu: 5.0, sigma: 1.75 },
-    PaperDataset { name: "M6", delta_t: 50, mu: 5.0, sigma: 2.0 },
-    PaperDataset { name: "M7", delta_t: 10, mu: 4.0, sigma: 1.5 },
-    PaperDataset { name: "M8", delta_t: 10, mu: 4.0, sigma: 1.75 },
-    PaperDataset { name: "M9", delta_t: 10, mu: 4.0, sigma: 2.0 },
-    PaperDataset { name: "M10", delta_t: 10, mu: 5.0, sigma: 1.5 },
-    PaperDataset { name: "M11", delta_t: 10, mu: 5.0, sigma: 1.75 },
-    PaperDataset { name: "M12", delta_t: 10, mu: 5.0, sigma: 2.0 },
+    PaperDataset {
+        name: "M1",
+        delta_t: 50,
+        mu: 4.0,
+        sigma: 1.5,
+    },
+    PaperDataset {
+        name: "M2",
+        delta_t: 50,
+        mu: 4.0,
+        sigma: 1.75,
+    },
+    PaperDataset {
+        name: "M3",
+        delta_t: 50,
+        mu: 4.0,
+        sigma: 2.0,
+    },
+    PaperDataset {
+        name: "M4",
+        delta_t: 50,
+        mu: 5.0,
+        sigma: 1.5,
+    },
+    PaperDataset {
+        name: "M5",
+        delta_t: 50,
+        mu: 5.0,
+        sigma: 1.75,
+    },
+    PaperDataset {
+        name: "M6",
+        delta_t: 50,
+        mu: 5.0,
+        sigma: 2.0,
+    },
+    PaperDataset {
+        name: "M7",
+        delta_t: 10,
+        mu: 4.0,
+        sigma: 1.5,
+    },
+    PaperDataset {
+        name: "M8",
+        delta_t: 10,
+        mu: 4.0,
+        sigma: 1.75,
+    },
+    PaperDataset {
+        name: "M9",
+        delta_t: 10,
+        mu: 4.0,
+        sigma: 2.0,
+    },
+    PaperDataset {
+        name: "M10",
+        delta_t: 10,
+        mu: 5.0,
+        sigma: 1.5,
+    },
+    PaperDataset {
+        name: "M11",
+        delta_t: 10,
+        mu: 5.0,
+        sigma: 1.75,
+    },
+    PaperDataset {
+        name: "M12",
+        delta_t: 10,
+        mu: 5.0,
+        sigma: 2.0,
+    },
 ];
 
 /// Looks up a dataset by name (`"M1"`…`"M12"`, case-insensitive).

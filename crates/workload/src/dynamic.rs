@@ -30,7 +30,11 @@ impl DynamicWorkload {
         seed: u64,
     ) -> Self {
         assert!(delta_t > 0 && !segments.is_empty());
-        Self { delta_t, segments, seed }
+        Self {
+            delta_t,
+            segments,
+            seed,
+        }
     }
 
     /// Fig. 10's workload: lognormal `μ = 5`, `σ` stepping
@@ -120,14 +124,20 @@ mod tests {
         let w = DynamicWorkload::paper_fig10(10_000, 1);
         assert_eq!(w.segments.len(), 5);
         assert_eq!(w.total_points(), 50_000);
-        assert_eq!(w.boundaries(), vec![10_000, 20_000, 30_000, 40_000, 50_000]);
+        assert_eq!(
+            w.boundaries(),
+            vec![10_000, 20_000, 30_000, 40_000, 50_000]
+        );
         let pts = w.generate();
         assert_eq!(pts.len(), 50_000);
         // Split the arrival stream at gen-time segment boundaries and check
         // the first segment is more disordered than the last.
         let seg_max = 10_000i64 * 50;
-        let first: Vec<_> =
-            pts.iter().copied().filter(|p| p.gen_time <= seg_max).collect();
+        let first: Vec<_> = pts
+            .iter()
+            .copied()
+            .filter(|p| p.gen_time <= seg_max)
+            .collect();
         let last: Vec<_> = pts
             .iter()
             .copied()

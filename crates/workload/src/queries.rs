@@ -32,7 +32,10 @@ impl RecentQueries {
     /// Creates a recent-data workload.
     pub fn new(window: i64, every_points: u64) -> Self {
         assert!(window > 0 && every_points > 0);
-        Self { window, every_points }
+        Self {
+            window,
+            every_points,
+        }
     }
 
     /// `true` if a query should fire after the `written`-th point.
@@ -62,7 +65,11 @@ impl HistoricalQueries {
     /// Creates a historical workload.
     pub fn new(window: i64, count: usize, seed: u64) -> Self {
         assert!(window > 0 && count > 0);
-        Self { window, count, seed }
+        Self {
+            window,
+            count,
+            seed,
+        }
     }
 
     /// Random windows within `[min_gen_time, max_gen_time]`; the upper bound

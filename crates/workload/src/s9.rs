@@ -15,7 +15,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use seplsm_dist::{DelayDistribution, Exponential, LogNormal, Mixture, Shifted};
+use seplsm_dist::{
+    DelayDistribution, Exponential, LogNormal, Mixture, Shifted,
+};
 use seplsm_types::DataPoint;
 
 /// Generator for the simulated S-9 dataset.
@@ -32,14 +34,22 @@ impl Default for S9Workload {
     fn default() -> Self {
         // straggler_fraction = 0.05 calibrates the Definition-3 out-of-order
         // share to ≈7 %, matching the paper's 7.05 % for the original S-9.
-        Self { points: 30_000, seed: 9, straggler_fraction: 0.05 }
+        Self {
+            points: 30_000,
+            seed: 9,
+            straggler_fraction: 0.05,
+        }
     }
 }
 
 impl S9Workload {
     /// Generator with the paper's size and disorder level.
     pub fn new(points: usize, seed: u64) -> Self {
-        Self { points, seed, ..Self::default() }
+        Self {
+            points,
+            seed,
+            ..Self::default()
+        }
     }
 
     /// The delay distribution: prompt lognormal transmissions plus a
@@ -83,8 +93,10 @@ impl S9Workload {
     pub fn sorted_intervals(&self) -> Vec<i64> {
         let mut pts = self.generate();
         pts.sort_by_key(|p| p.gen_time);
-        let mut intervals: Vec<i64> =
-            pts.windows(2).map(|w| w[1].gen_time - w[0].gen_time).collect();
+        let mut intervals: Vec<i64> = pts
+            .windows(2)
+            .map(|w| w[1].gen_time - w[0].gen_time)
+            .collect();
         intervals.sort_unstable();
         intervals
     }
@@ -144,6 +156,9 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(S9Workload::new(1000, 5).generate(), S9Workload::new(1000, 5).generate());
+        assert_eq!(
+            S9Workload::new(1000, 5).generate(),
+            S9Workload::new(1000, 5).generate()
+        );
     }
 }

@@ -26,9 +26,20 @@ pub struct SyntheticWorkload<D> {
 
 impl<D: DelayDistribution> SyntheticWorkload<D> {
     /// Creates a generator with `start = 0`.
-    pub fn new(delta_t: Timestamp, delays: D, points: usize, seed: u64) -> Self {
+    pub fn new(
+        delta_t: Timestamp,
+        delays: D,
+        points: usize,
+        seed: u64,
+    ) -> Self {
         assert!(delta_t > 0, "delta_t must be positive");
-        Self { delta_t, delays, points, seed, start: 0 }
+        Self {
+            delta_t,
+            delays,
+            points,
+            seed,
+            start: 0,
+        }
     }
 
     /// The points in *generation* order (before arrival reordering).
@@ -37,7 +48,8 @@ impl<D: DelayDistribution> SyntheticWorkload<D> {
         (0..self.points)
             .map(|i| {
                 let tg = self.start + i as Timestamp * self.delta_t;
-                let delay = self.delays.sample(&mut rng).max(0.0).round() as i64;
+                let delay =
+                    self.delays.sample(&mut rng).max(0.0).round() as i64;
                 DataPoint::with_delay(tg, delay, (i % 1000) as f64 / 10.0)
             })
             .collect()
@@ -97,7 +109,9 @@ mod tests {
     fn generate_sorts_by_arrival() {
         let w = SyntheticWorkload::new(50, LogNormal::new(5.0, 2.0), 5_000, 7);
         let pts = w.generate();
-        assert!(pts.windows(2).all(|w| w[0].arrival_time <= w[1].arrival_time));
+        assert!(pts
+            .windows(2)
+            .all(|w| w[0].arrival_time <= w[1].arrival_time));
         assert_eq!(pts.len(), 5_000);
     }
 
@@ -121,20 +135,24 @@ mod tests {
 
     #[test]
     fn heavy_tails_increase_disorder() {
-        let calm = SyntheticWorkload::new(50, LogNormal::new(4.0, 1.5), 20_000, 5)
-            .out_of_order_fraction();
-        let wild = SyntheticWorkload::new(50, LogNormal::new(5.0, 2.0), 20_000, 5)
-            .out_of_order_fraction();
+        let calm =
+            SyntheticWorkload::new(50, LogNormal::new(4.0, 1.5), 20_000, 5)
+                .out_of_order_fraction();
+        let wild =
+            SyntheticWorkload::new(50, LogNormal::new(5.0, 2.0), 20_000, 5)
+                .out_of_order_fraction();
         assert!(wild > calm, "wild {wild} <= calm {calm}");
         assert!(calm > 0.0);
     }
 
     #[test]
     fn shorter_interval_increases_disorder() {
-        let slow = SyntheticWorkload::new(50, LogNormal::new(4.0, 1.75), 20_000, 5)
-            .out_of_order_fraction();
-        let fast = SyntheticWorkload::new(10, LogNormal::new(4.0, 1.75), 20_000, 5)
-            .out_of_order_fraction();
+        let slow =
+            SyntheticWorkload::new(50, LogNormal::new(4.0, 1.75), 20_000, 5)
+                .out_of_order_fraction();
+        let fast =
+            SyntheticWorkload::new(10, LogNormal::new(4.0, 1.75), 20_000, 5)
+                .out_of_order_fraction();
         assert!(fast > slow, "fast {fast} <= slow {slow}");
     }
 }

@@ -50,7 +50,11 @@ impl Default for VehicleWorkload {
 impl VehicleWorkload {
     /// Generator with the paper's parameters but `points` points.
     pub fn new(points: usize, seed: u64) -> Self {
-        Self { points, seed, ..Self::default() }
+        Self {
+            points,
+            seed,
+            ..Self::default()
+        }
     }
 
     /// Online-transmission jitter: lognormal, median ≈200 ms, rare
@@ -73,7 +77,8 @@ impl VehicleWorkload {
                     offline_until = None;
                 }
             }
-            if offline_until.is_none() && rng.gen::<f64>() < self.outage_start_prob
+            if offline_until.is_none()
+                && rng.gen::<f64>() < self.outage_start_prob
             {
                 // Outage ends at the next re-send tick strictly after now.
                 let next_tick =
@@ -84,7 +89,9 @@ impl VehicleWorkload {
                 // Buffered: transmitted at the re-send tick, tiny serialisation
                 // jitter keeps batch arrivals distinct but ordered.
                 Some(until) => until + (i % 50) as Timestamp,
-                None => tg + jitter.sample(&mut rng).max(1.0).round() as Timestamp,
+                None => {
+                    tg + jitter.sample(&mut rng).max(1.0).round() as Timestamp
+                }
             };
             points.push(DataPoint::new(tg, arrival, (i % 360) as f64));
         }

@@ -12,8 +12,8 @@
 use std::sync::Arc;
 
 use seplsm::{
-    tune, DelayDistribution, Empirical, EngineConfig, LsmEngine, Policy, Result,
-    SyntheticWorkload, TunerOptions, WaModel,
+    tune, DelayDistribution, Empirical, EngineConfig, LsmEngine, Policy,
+    Result, SyntheticWorkload, TunerOptions, WaModel,
 };
 use seplsm_dist::{LogNormal, Mixture, Shifted};
 
@@ -60,8 +60,7 @@ fn main() -> Result<()> {
     let wa_c = measure(&dataset, Policy::conventional(512))?;
     let wa_s = measure(&dataset, Policy::separation(512, outcome.best_n_seq)?)?;
     println!("measured: pi_c WA = {wa_c:.3}, pi_s(n̂*) WA = {wa_s:.3}");
-    let model_right =
-        (outcome.r_s_star < outcome.r_c) == (wa_s < wa_c);
+    let model_right = (outcome.r_s_star < outcome.r_c) == (wa_s < wa_c);
     println!("the model picked the lower-WA policy: {model_right}");
     Ok(())
 }

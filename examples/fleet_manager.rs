@@ -27,8 +27,16 @@ fn main() -> seplsm::Result<()> {
     // Three channels with very different delay behaviour.
     let channels: [(&str, SeriesId, LogNormal); 3] = [
         ("gps (clean)", SeriesId(1), LogNormal::new(1.5, 0.4)), // ~4 ms
-        ("engine temp (jittery)", SeriesId(2), LogNormal::new(4.5, 1.2)),
-        ("can gateway (chaotic)", SeriesId(3), LogNormal::new(6.5, 1.8)),
+        (
+            "engine temp (jittery)",
+            SeriesId(2),
+            LogNormal::new(4.5, 1.2),
+        ),
+        (
+            "can gateway (chaotic)",
+            SeriesId(3),
+            LogNormal::new(6.5, 1.8),
+        ),
     ];
     let mut rng = {
         use rand::SeedableRng;

@@ -28,7 +28,11 @@ fn render_curve(model: &WaModel, n: usize) -> Result<()> {
     );
     for (n_seq, wa) in outcome.curve.iter().step_by((n / 16).max(1)) {
         let width = ((wa / max_wa) * 48.0).round() as usize;
-        let marker = if *n_seq == outcome.best_n_seq { '*' } else { ' ' };
+        let marker = if *n_seq == outcome.best_n_seq {
+            '*'
+        } else {
+            ' '
+        };
         println!("  n_seq {n_seq:>4} | {}{marker} {wa:.3}", "#".repeat(width));
     }
     Ok(())

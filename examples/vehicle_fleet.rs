@@ -54,7 +54,10 @@ fn main() -> Result<()> {
         offset += (segment.points as i64 + 1) * segment.delta_t;
         stream.extend(pts);
     }
-    println!("fleet stream: {} points over 3 coverage regimes", stream.len());
+    println!(
+        "fleet stream: {} points over 3 coverage regimes",
+        stream.len()
+    );
 
     let mut engine = AdaptiveEngine::in_memory(AdaptiveConfig::new(512))?;
     for p in &stream {

@@ -1,0 +1,29 @@
+#!/bin/bash
+# CI gate: format, lint, build, test. Offline-friendly (uses vendored deps;
+# never touches the network) and tolerant of missing optional tools.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+if cargo fmt --version >/dev/null 2>&1; then
+  echo "== cargo fmt --check =="
+  cargo fmt --all --check
+else
+  echo "== cargo fmt not installed; skipping format check =="
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+  echo "== cargo clippy =="
+  cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+  echo "== cargo clippy not installed; skipping lint =="
+fi
+
+echo "== cargo build --release =="
+cargo build --release --workspace --offline
+
+echo "== cargo test =="
+cargo test -q --workspace --offline
+
+echo CI-OK

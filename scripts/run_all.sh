@@ -2,6 +2,7 @@
 # Regenerates every table/figure; outputs under results/.
 set -x
 cd /root/repo
+bash scripts/ci.sh || exit 1
 R=results
 run() { name=$1; shift; ./target/release/$name "$@" --json $R/$name.json > $R/$name.txt 2>&1; }
 run fig05 --points 200000

@@ -59,7 +59,11 @@ fn adaptive_tracks_dynamic_sigma_stream() {
     // And it should not lose badly to either static baseline.
     let adaptive_wa = engine.engine().metrics().write_amplification();
     let wa_c = static_wa(&dataset, Policy::conventional(n), sstable);
-    let wa_s = static_wa(&dataset, Policy::separation_even(n).expect("policy"), sstable);
+    let wa_s = static_wa(
+        &dataset,
+        Policy::separation_even(n).expect("policy"),
+        sstable,
+    );
     let best_static = wa_c.min(wa_s);
     assert!(
         adaptive_wa <= best_static * 1.25 + 0.2,

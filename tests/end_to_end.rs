@@ -5,8 +5,8 @@
 use std::sync::Arc;
 
 use seplsm::{
-    tune, DataPoint, EngineConfig, LsmEngine, Policy, S9Workload,
-    TunerOptions, VehicleWorkload, WaModel,
+    tune, DataPoint, EngineConfig, LsmEngine, Policy, S9Workload, TunerOptions,
+    VehicleWorkload, WaModel,
 };
 use seplsm_dist::Empirical;
 use seplsm_lsm::{DiskModel, MemStore, TieredEngine};
@@ -28,7 +28,8 @@ fn fig9_pipeline_severe_dataset_prefers_separation() {
     // M12 is the paper's most disordered dataset; separation wins there.
     let ds = paper_dataset("M12").expect("exists");
     let dataset = ds.workload(60_000, 31).generate();
-    let model = WaModel::new(Arc::new(ds.distribution()), ds.delta_t as f64, 512);
+    let model =
+        WaModel::new(Arc::new(ds.distribution()), ds.delta_t as f64, 512);
     let outcome = tune(&model, TunerOptions::online(512)).expect("tune");
     assert!(outcome.chose_separation(), "M12 must prefer pi_s");
 
@@ -61,9 +62,13 @@ fn fig11_pipeline_s9_separation_wins_and_model_agrees() {
         .metrics()
         .write_amplification();
     let best_seq = outcome.best_n_seq.clamp(1, 7);
-    let wa_s = ingest(&dataset, Policy::separation(8, best_seq).expect("policy"), 8)
-        .metrics()
-        .write_amplification();
+    let wa_s = ingest(
+        &dataset,
+        Policy::separation(8, best_seq).expect("policy"),
+        8,
+    )
+    .metrics()
+    .write_amplification();
     assert!(
         wa_s < wa_c,
         "paper's S-9 finding (pi_s wins) not reproduced: c {wa_c:.3}, s {wa_s:.3}"
@@ -105,7 +110,11 @@ fn recent_stats_tiered(
             n += 1;
         }
     }
-    (ra / ra_n.max(1) as f64, lat / n.max(1) as f64, tbl / n.max(1) as f64)
+    (
+        ra / ra_n.max(1) as f64,
+        lat / n.max(1) as f64,
+        tbl / n.max(1) as f64,
+    )
 }
 
 #[test]
@@ -121,7 +130,8 @@ fn fig14_pipeline_separation_wins_historical_queries_under_disorder() {
     let queries = HistoricalQueries::new(1_000, 200, 33);
 
     // As in §V-D, pi_s runs with the system-recommended capacities.
-    let model = WaModel::new(Arc::new(ds.distribution()), ds.delta_t as f64, 512);
+    let model =
+        WaModel::new(Arc::new(ds.distribution()), ds.delta_t as f64, 512);
     let recommended = tune(&model, TunerOptions::online(512))
         .expect("tune")
         .decision;
@@ -220,11 +230,8 @@ fn fig13_pipeline_latency_follows_seek_counts() {
 fn fig16_pipeline_h_dataset_model_ranks_policies_correctly() {
     let dataset = VehicleWorkload::new(60_000, 35).generate();
     let delays: Vec<f64> = dataset.iter().map(|p| p.delay() as f64).collect();
-    let model = WaModel::new(
-        Arc::new(Empirical::from_samples(&delays)),
-        1_000.0,
-        512,
-    );
+    let model =
+        WaModel::new(Arc::new(Empirical::from_samples(&delays)), 1_000.0, 512);
     let outcome = tune(&model, TunerOptions::online(512)).expect("tune");
 
     let wa_c = ingest(&dataset, Policy::conventional(512), 512)
@@ -282,11 +289,8 @@ fn historical_queries_return_identical_results_under_both_policies() {
     let ds = paper_dataset("M3").expect("exists");
     let dataset = ds.workload(30_000, 37).generate();
     let engine_c = ingest(&dataset, Policy::conventional(512), 512);
-    let engine_s = ingest(
-        &dataset,
-        Policy::separation(512, 128).expect("policy"),
-        512,
-    );
+    let engine_s =
+        ingest(&dataset, Policy::separation(512, 128).expect("policy"), 512);
     let max = engine_c.max_gen_time().expect("points");
     for range in HistoricalQueries::new(5_000, 50, 38).ranges(0, max) {
         let (a, _) = engine_c.query(range).expect("query c");

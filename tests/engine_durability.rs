@@ -43,10 +43,7 @@ fn write_points(engine: &mut LsmEngine, count: usize) {
     }
 }
 
-fn recover(
-    dir: &TempDir,
-    config: EngineConfig,
-) -> seplsm::Result<LsmEngine> {
+fn recover(dir: &TempDir, config: EngineConfig) -> seplsm::Result<LsmEngine> {
     let store = Arc::new(FileStore::open(dir.path("tables"))?);
     LsmEngine::recover(config, store, Some(dir.path("wal")))
 }
@@ -56,7 +53,8 @@ fn crash_recovery_restores_every_point() {
     let dir = TempDir::new("basic");
     let config = EngineConfig::conventional(32).with_sstable_points(16);
     {
-        let store = Arc::new(FileStore::open(dir.path("tables")).expect("store"));
+        let store =
+            Arc::new(FileStore::open(dir.path("tables")).expect("store"));
         let mut engine = LsmEngine::new(config.clone(), store)
             .expect("engine")
             .with_wal(dir.path("wal"))
@@ -84,7 +82,8 @@ fn recovery_under_separation_policy_reroutes_buffers() {
         .expect("policy")
         .with_sstable_points(16);
     {
-        let store = Arc::new(FileStore::open(dir.path("tables")).expect("store"));
+        let store =
+            Arc::new(FileStore::open(dir.path("tables")).expect("store"));
         let mut engine = LsmEngine::new(config.clone(), store)
             .expect("engine")
             .with_wal(dir.path("wal"))
@@ -101,7 +100,8 @@ fn recovery_is_idempotent() {
     let dir = TempDir::new("idempotent");
     let config = EngineConfig::conventional(16).with_sstable_points(8);
     {
-        let store = Arc::new(FileStore::open(dir.path("tables")).expect("store"));
+        let store =
+            Arc::new(FileStore::open(dir.path("tables")).expect("store"));
         let mut engine = LsmEngine::new(config.clone(), store)
             .expect("engine")
             .with_wal(dir.path("wal"))
@@ -121,7 +121,8 @@ fn recovered_engine_accepts_new_writes() {
     let dir = TempDir::new("continue");
     let config = EngineConfig::conventional(16).with_sstable_points(8);
     {
-        let store = Arc::new(FileStore::open(dir.path("tables")).expect("store"));
+        let store =
+            Arc::new(FileStore::open(dir.path("tables")).expect("store"));
         let mut engine = LsmEngine::new(config.clone(), store)
             .expect("engine")
             .with_wal(dir.path("wal"))
@@ -148,7 +149,8 @@ fn corrupted_table_is_reported_not_returned() {
     let dir = TempDir::new("corrupt");
     let config = EngineConfig::conventional(16).with_sstable_points(8);
     {
-        let store = Arc::new(FileStore::open(dir.path("tables")).expect("store"));
+        let store =
+            Arc::new(FileStore::open(dir.path("tables")).expect("store"));
         let mut engine = LsmEngine::new(config.clone(), store).expect("engine");
         write_points(&mut engine, 64);
         engine.flush_all().expect("flush");
@@ -167,7 +169,10 @@ fn corrupted_table_is_reported_not_returned() {
     std::fs::write(&victim, &bytes).expect("corrupt table");
 
     let result = recover(&dir, config);
-    assert!(result.is_err(), "corruption must fail recovery, not pass silently");
+    assert!(
+        result.is_err(),
+        "corruption must fail recovery, not pass silently"
+    );
 }
 
 #[test]
@@ -175,7 +180,8 @@ fn manifest_recovery_matches_full_recovery() {
     let dir = TempDir::new("manifest");
     let config = EngineConfig::conventional(32).with_sstable_points(16);
     {
-        let store = Arc::new(FileStore::open(dir.path("tables")).expect("store"));
+        let store =
+            Arc::new(FileStore::open(dir.path("tables")).expect("store"));
         let mut engine = LsmEngine::new(config.clone(), store)
             .expect("engine")
             .with_wal(dir.path("wal"))
@@ -211,7 +217,8 @@ fn manifest_recovery_survives_repeated_restarts_with_writes() {
         .with_sstable_points(16);
     let mut total = 0usize;
     for round in 0..4 {
-        let store = Arc::new(FileStore::open(dir.path("tables")).expect("store"));
+        let store =
+            Arc::new(FileStore::open(dir.path("tables")).expect("store"));
         let mut engine = if round == 0 {
             LsmEngine::new(config.clone(), store)
                 .expect("engine")
@@ -246,7 +253,8 @@ fn store_without_wal_recovers_flushed_state() {
     let dir = TempDir::new("no-wal");
     let config = EngineConfig::conventional(16).with_sstable_points(8);
     {
-        let store = Arc::new(FileStore::open(dir.path("tables")).expect("store"));
+        let store =
+            Arc::new(FileStore::open(dir.path("tables")).expect("store"));
         let mut engine = LsmEngine::new(config.clone(), store).expect("engine");
         write_points(&mut engine, 160);
         engine.flush_all().expect("flush");

@@ -58,8 +58,9 @@ fn r_c_model_brackets_measured_wa() {
     let dist = LogNormal::new(5.0, 2.0);
     let dataset = SyntheticWorkload::new(50, dist, 150_000, 56).generate();
     let model = WaModel::new(Arc::new(dist), 50.0, 512);
-    let measured = measure_metrics(&dataset, Policy::conventional(512), 512, false)
-        .write_amplification();
+    let measured =
+        measure_metrics(&dataset, Policy::conventional(512), 512, false)
+            .write_amplification();
     let predicted = model.wa_conventional();
     // The model never overestimates by much, and the SSTable-granularity gap
     // is bounded (paper: < 1 per merge in the idealised analysis; we allow
@@ -135,8 +136,9 @@ fn tuner_decision_matches_ground_truth_on_contrasting_workloads() {
             outcome.r_s_star
         );
         // Verify the decision against measured WA.
-        let wa_c = measure_metrics(&dataset, Policy::conventional(512), 512, false)
-            .write_amplification();
+        let wa_c =
+            measure_metrics(&dataset, Policy::conventional(512), 512, false)
+                .write_amplification();
         let wa_s = measure_metrics(
             &dataset,
             Policy::separation(512, outcome.best_n_seq).expect("policy"),
@@ -162,10 +164,12 @@ fn higher_disorder_raises_both_models_and_measurements() {
     let model_mild = WaModel::new(Arc::new(mild), 50.0, 256);
     let model_wild = WaModel::new(Arc::new(wild), 50.0, 256);
     assert!(model_wild.wa_conventional() > model_mild.wa_conventional());
-    let wa_mild = measure_metrics(&data_mild, Policy::conventional(256), 256, false)
-        .write_amplification();
-    let wa_wild = measure_metrics(&data_wild, Policy::conventional(256), 256, false)
-        .write_amplification();
+    let wa_mild =
+        measure_metrics(&data_mild, Policy::conventional(256), 256, false)
+            .write_amplification();
+    let wa_wild =
+        measure_metrics(&data_wild, Policy::conventional(256), 256, false)
+            .write_amplification();
     assert!(
         wa_wild > wa_mild,
         "measured: wild {wa_wild:.3} <= mild {wa_mild:.3}"

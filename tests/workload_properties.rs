@@ -95,7 +95,8 @@ fn every_paper_dataset_generates() {
         let pts = ds.workload(2_000, 1).generate();
         assert_eq!(pts.len(), 2_000, "{}", ds.name);
         assert!(
-            pts.windows(2).all(|w| w[0].arrival_time <= w[1].arrival_time),
+            pts.windows(2)
+                .all(|w| w[0].arrival_time <= w[1].arrival_time),
             "{} not arrival-sorted",
             ds.name
         );

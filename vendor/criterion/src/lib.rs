@@ -1,0 +1,204 @@
+//! Vendored stand-in for `criterion`.
+//!
+//! Provides the macro/builder API the workspace's benches use, backed by a
+//! deliberately small timing loop: a short warm-up, then `sample_size`
+//! timed samples whose median is reported. No statistics, plots or saved
+//! baselines — just enough to run `cargo bench` offline and eyeball
+//! regressions.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Throughput annotation; printed alongside the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for `iter_batched`; ignored by this harness.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Prints the final summary (a no-op here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f` and prints the median sample.
+    pub fn bench_function<F>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One warm-up pass, then timed samples.
+        for i in 0..=self.sample_size {
+            let mut b = Bencher { elapsed_ns: 0.0 };
+            f(&mut b);
+            if i > 0 {
+                samples.push(b.elapsed_ns);
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!("  ({:.2} Melem/s)", n as f64 / median * 1e3)
+            }
+            Throughput::Bytes(n) => {
+                format!(
+                    "  ({:.2} MiB/s)",
+                    n as f64 / median * 1e9 / (1 << 20) as f64
+                )
+            }
+        });
+        println!(
+            "{}/{:<32} {:>12.1} ns/iter{}",
+            self.name,
+            id,
+            median,
+            rate.unwrap_or_default()
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs the measured routine.
+pub struct Bencher {
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, amortised over enough iterations to be measurable.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate an iteration count aiming at ~1 ms per sample.
+        let start = Instant::now();
+        black_box(f());
+        let one = start.elapsed().as_nanos().max(1);
+        let iters = (1_000_000 / one).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine` on inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total_ns = 0u128;
+        let iters = 3u32;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_ns += start.elapsed().as_nanos();
+        }
+        self.elapsed_ns = total_ns as f64 / f64::from(iters);
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("iter", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

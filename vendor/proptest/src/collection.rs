@@ -1,0 +1,123 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+
+use rand::{Rng, RngCore};
+
+use crate::Strategy;
+
+/// A half-open size range for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        Self {
+            lo: *r.start(),
+            hi: r.end() + 1,
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut dyn RngCore) -> usize {
+        if self.lo + 1 >= self.hi {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..self.hi)
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>`; see [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates vectors whose length lies in `size`.
+pub fn vec<S: Strategy>(
+    element: S,
+    size: impl Into<SizeRange>,
+) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut dyn RngCore) -> Self::Value {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>`; see [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates sets whose cardinality lies in `size`; the element strategy
+/// must be able to produce enough distinct values.
+pub fn btree_set<S>(
+    element: S,
+    size: impl Into<SizeRange>,
+) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut dyn RngCore) -> Self::Value {
+        let target = self.size.sample(rng);
+        let mut out = BTreeSet::new();
+        // Duplicates shrink the set, so over-draw before giving up.
+        for _ in 0..target.saturating_mul(20).max(32) {
+            if out.len() >= target {
+                break;
+            }
+            out.insert(self.element.generate(rng));
+        }
+        assert!(
+            out.len() >= self.size.lo,
+            "btree_set strategy could not reach the minimum size {} (got {})",
+            self.size.lo,
+            out.len()
+        );
+        out
+    }
+}

@@ -1,0 +1,727 @@
+//! Vendored stand-in for `serde_json`.
+//!
+//! Implements the subset the workspace uses: a [`Value`] tree built with the
+//! [`json!`] macro, [`to_string_pretty`] for report export, and [`from_str`]
+//! for reading reports back. Object key order is preserved (insertion
+//! order), which keeps exported reports stable across runs.
+
+use std::fmt;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: integers and floats are kept distinct so integers
+/// round-trip exactly.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A float.
+    Float(f64),
+}
+
+impl Number {
+    fn as_f64(self) -> f64 {
+        match self {
+            Number::Int(v) => v as f64,
+            Number::UInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a == b,
+            (Number::UInt(a), Number::UInt(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Member access; returns `Null` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => {
+                map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` when it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` when it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::Int(v)) => Some(*v),
+            Value::Number(Number::UInt(v)) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice when it is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(v) => v.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number::Int(v as i64))
+            }
+        }
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                matches!(self, Value::Number(n) if *n == Number::Int(*other as i64))
+            }
+        }
+    )*};
+}
+
+impl_from_int!(i8, i16, i32, i64, u8, u16, u32, usize, isize);
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        match i64::try_from(v) {
+            Ok(i) => Value::Number(Number::Int(i)),
+            Err(_) => Value::Number(Number::UInt(v)),
+        }
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        matches!(self, Value::Number(n) if n.as_f64() == *other as f64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Value::Number(n) if n.as_f64() == *other)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+impl From<&Value> for Value {
+    fn from(v: &Value) -> Self {
+        v.clone()
+    }
+}
+
+/// Serialization / parse error.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::Int(v) => out.push_str(&v.to_string()),
+        Number::UInt(v) => out.push_str(&v.to_string()),
+        Number::Float(v) if v.is_finite() => {
+            // `{:?}` keeps a trailing `.0` on whole floats, so floats stay
+            // floats across a round trip.
+            out.push_str(&format!("{v:?}"));
+        }
+        // JSON has no NaN/Infinity; match serde_json's `null` behavior.
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_pretty(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, item)) in map.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, item, indent + 1);
+                if i + 1 < map.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Renders `value` as human-readable JSON with two-space indentation.
+///
+/// # Errors
+/// Never fails; the `Result` mirrors the real API so `?` call sites compile.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, value, 0);
+    Ok(out)
+}
+
+/// Renders `value` compactly.
+///
+/// # Errors
+/// Never fails; the `Result` mirrors the real API.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    fn compact(out: &mut String, v: &Value) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => write_number(out, *n),
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    compact(out, item);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, item)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    compact(out, item);
+                }
+                out.push('}');
+            }
+        }
+    }
+    let mut out = String::new();
+    compact(&mut out, value);
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid keyword"))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc =
+                        self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .unwrap_or(char::REPLACEMENT_CHARACTER),
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::Int(v)));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::UInt(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::Float(v)))
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+/// Malformed input.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+/// Builds a [`Value`] from JSON-ish syntax. Object keys must be string
+/// literals; values may be nested `{...}` / `[...]` literals or any
+/// expression convertible into a `Value`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        // The muncher pushes element-by-element; `vec![]` can't express it.
+        #[allow(clippy::vec_init_then_push)]
+        {
+            let mut items: Vec<$crate::Value> = Vec::new();
+            $crate::json_array_inner!(items; $($tt)*);
+            $crate::Value::Array(items)
+        }
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(clippy::vec_init_then_push)]
+        {
+            let mut map: Vec<(String, $crate::Value)> = Vec::new();
+            $crate::json_object_inner!(map; $($tt)*);
+            $crate::Value::Object(map)
+        }
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Internal muncher for [`json!`] object bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_inner {
+    ($map:ident;) => {};
+    ($map:ident; $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $map.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $crate::json_object_inner!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : { $($inner:tt)* }) => {
+        $map.push(($key.to_string(), $crate::json!({ $($inner)* })));
+    };
+    ($map:ident; $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $map.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $crate::json_object_inner!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : [ $($inner:tt)* ]) => {
+        $map.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+    };
+    ($map:ident; $key:literal : null , $($rest:tt)*) => {
+        $map.push(($key.to_string(), $crate::Value::Null));
+        $crate::json_object_inner!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : null) => {
+        $map.push(($key.to_string(), $crate::Value::Null));
+    };
+    ($map:ident; $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.push(($key.to_string(), $crate::Value::from($value)));
+        $crate::json_object_inner!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : $value:expr) => {
+        $map.push(($key.to_string(), $crate::Value::from($value)));
+    };
+}
+
+/// Internal muncher for [`json!`] array bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_inner {
+    ($items:ident;) => {};
+    ($items:ident; { $($inner:tt)* } , $($rest:tt)*) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::json_array_inner!($items; $($rest)*);
+    };
+    ($items:ident; { $($inner:tt)* }) => {
+        $items.push($crate::json!({ $($inner)* }));
+    };
+    ($items:ident; [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::json_array_inner!($items; $($rest)*);
+    };
+    ($items:ident; [ $($inner:tt)* ]) => {
+        $items.push($crate::json!([ $($inner)* ]));
+    };
+    ($items:ident; $value:expr , $($rest:tt)*) => {
+        $items.push($crate::Value::from($value));
+        $crate::json_array_inner!($items; $($rest)*);
+    };
+    ($items:ident; $value:expr) => {
+        $items.push($crate::Value::from($value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_nested_structures() {
+        let inner = vec![Value::from(1), Value::from(2)];
+        let v = json!({
+            "a": 1,
+            "b": {"x": 1.5, "y": "s"},
+            "c": inner,
+            "d": [1, 2.5, "three"],
+            "e": null,
+        });
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["b"]["x"], 1.5);
+        assert_eq!(v["b"]["y"], "s");
+        assert_eq!(v["c"][1], 2);
+        assert_eq!(v["d"][2], "three");
+        assert_eq!(v["e"], Value::Null);
+    }
+
+    #[test]
+    fn pretty_round_trips() {
+        let v = json!({
+            "int": 7,
+            "float": 2.0,
+            "neg": -1.25,
+            "s": "he\"llo\n",
+            "arr": [1, 2, 3],
+            "obj": {"k": true},
+        });
+        let text = to_string_pretty(&v).expect("pretty");
+        let back = from_str(&text).expect("parse");
+        assert_eq!(back, v);
+        // Whole floats keep their float-ness across the round trip.
+        assert!(matches!(back["float"], Value::Number(Number::Float(_))));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("nul").is_err());
+        assert!(from_str("1 2").is_err());
+    }
+
+    #[test]
+    fn integer_comparison_works() {
+        let v = from_str("{\"x\": 1}").expect("parse");
+        assert_eq!(v["x"], 1);
+    }
+}
