@@ -37,6 +37,9 @@
 //! # Ok::<(), seplsm_types::Error>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod adaptive;
 pub mod analyzer;
 pub mod arrival;

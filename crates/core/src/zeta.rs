@@ -217,7 +217,7 @@ impl ZetaModel {
             if already_saturated || start > upto {
                 continue;
             }
-            let mut acc = *nodes[idx].prefix.last().expect("non-empty");
+            let mut acc = nodes[idx].prefix.last().copied().unwrap_or(0.0);
             let mut extension = Vec::with_capacity(upto + 1 - start);
             let mut saturated_at = None;
             for m in start..=upto {

@@ -47,7 +47,7 @@ impl Empirical {
             !sorted.is_empty(),
             "Empirical needs at least one finite sample"
         );
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let histogram = Histogram::from_sorted(&sorted, bins);
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
         Self {
@@ -79,7 +79,7 @@ impl Empirical {
 
     /// Largest observed delay.
     pub fn max(&self) -> f64 {
-        *self.sorted.last().expect("non-empty")
+        self.sorted[self.sorted.len() - 1]
     }
 
     /// The histogram backing the density estimate.

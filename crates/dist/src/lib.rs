@@ -22,6 +22,9 @@
 //!   detection in the analyzer), the autocorrelation function used by the
 //!   paper's Fig. 16(a), and misc descriptive statistics.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod distribution;
 pub mod empirical;
 pub mod parametric;

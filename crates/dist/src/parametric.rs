@@ -571,7 +571,7 @@ impl DelayDistribution for Mixture {
             u -= w;
         }
         // Floating-point slack: fall back to the last component.
-        self.components.last().expect("non-empty").1.sample(rng)
+        self.components.last().map_or(0.0, |(_, d)| d.sample(rng))
     }
 
     fn mean(&self) -> Option<f64> {

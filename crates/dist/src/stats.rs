@@ -24,7 +24,7 @@ impl Histogram {
     pub fn from_samples(samples: &[f64], bins: usize) -> Self {
         let mut sorted: Vec<f64> =
             samples.iter().copied().filter(|x| x.is_finite()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Self::from_sorted(&sorted, bins)
     }
 
@@ -33,7 +33,7 @@ impl Histogram {
         assert!(!sorted.is_empty(), "Histogram needs samples");
         assert!(bins > 0, "Histogram needs at least one bin");
         let min = sorted[0];
-        let max = *sorted.last().expect("non-empty");
+        let max = sorted[sorted.len() - 1];
         let mut h = Self {
             min,
             max,
@@ -145,8 +145,8 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> f64 {
     assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
     let mut sa = a.to_vec();
     let mut sb = b.to_vec();
-    sa.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
-    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    sa.sort_by(|x, y| x.total_cmp(y));
+    sb.sort_by(|x, y| x.total_cmp(y));
     let (na, nb) = (sa.len() as f64, sb.len() as f64);
     let (mut i, mut j) = (0usize, 0usize);
     let mut d: f64 = 0.0;
@@ -219,8 +219,10 @@ pub fn sliding_mean(xs: &[f64], window: usize) -> Vec<f64> {
     // Prefix sums make each window O(1).
     let mut prefix = Vec::with_capacity(n + 1);
     prefix.push(0.0);
+    let mut running = 0.0;
     for &x in xs {
-        prefix.push(prefix.last().expect("non-empty") + x);
+        running += x;
+        prefix.push(running);
     }
     for i in 0..n {
         let lo = i.saturating_sub(half);

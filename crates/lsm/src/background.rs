@@ -39,14 +39,16 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crossbeam::channel::{bounded, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange, Timestamp};
 
 use crate::buffer::{FlushTrigger, PolicyBuffers};
 use crate::compaction::{self, plan_merge, RunInput};
 use crate::engine::EngineConfig;
+use crate::invariants::InvariantChecker;
 use crate::iterator::merge_sorted;
 use crate::level::Run;
 use crate::manifest::Manifest;
@@ -109,6 +111,18 @@ struct TierState {
     version: Version,
     metrics: Metrics,
     manifest: Option<Manifest>,
+    /// Debug-build temporal invariants, observed by the worker after every
+    /// flush/compaction while the state lock is held.
+    invariants: InvariantChecker,
+}
+
+impl TierState {
+    /// Runs the temporal invariant checks against the current state
+    /// (no-op in release builds).
+    fn check_invariants(&mut self) -> Result<()> {
+        self.invariants
+            .observe_metrics(&self.version, &self.metrics)
+    }
 }
 
 impl TierState {
@@ -120,15 +134,11 @@ impl TierState {
         store: &Arc<dyn TableStore>,
         sstable_points: usize,
     ) -> Result<()> {
-        if self.version.l0().is_empty() {
-            return Ok(());
-        }
         let l0: Vec<SsTableMeta> = self.version.l0().to_vec();
-        let range = l0
-            .iter()
-            .map(|m| m.range)
-            .reduce(|a, b| a.union(&b))
-            .expect("non-empty");
+        let Some(range) = l0.iter().map(|m| m.range).reduce(|a, b| a.union(&b))
+        else {
+            return Ok(()); // L0 empty: nothing to merge.
+        };
 
         // Priority: newest L0 table first, then older L0, then the run.
         let mut fresh = Vec::with_capacity(l0.len());
@@ -167,6 +177,9 @@ pub struct TieredEngine {
     handle: Option<JoinHandle<Result<()>>>,
     store: Arc<dyn TableStore>,
     state: Arc<Mutex<TierState>>,
+    /// Signalled by the worker after each flush batch lands in L0 (and on
+    /// worker exit); [`TieredEngine::drain`] waits on it.
+    flush_done: Arc<Condvar>,
     wal: Option<Wal>,
     /// Largest generation time handed to the flush pipeline — the in-order
     /// classification pivot (it is "on disk" from the writer's perspective).
@@ -199,18 +212,31 @@ impl TieredEngine {
         manifest: Option<Manifest>,
     ) -> Result<Self> {
         let pivot = version.last_stored_gen_time();
+        let invariants = InvariantChecker::seeded(&version);
         let state = Arc::new(Mutex::new(TierState {
             version,
             metrics: Metrics::default(),
             manifest,
+            invariants,
         }));
         let (tx, rx) = bounded::<Arc<Vec<DataPoint>>>(CHANNEL_DEPTH);
+        let flush_done = Arc::new(Condvar::new());
         let worker_store = Arc::clone(&store);
         let worker_state = Arc::clone(&state);
+        let worker_flush_done = Arc::clone(&flush_done);
         let sstable_points = config.sstable_points;
         let handle = std::thread::Builder::new()
             .name("seplsm-compaction".into())
             .spawn(move || -> Result<()> {
+                // Wake any drain() waiter when this thread exits, even on
+                // an error path, so waiters fall back to the liveness check.
+                struct NotifyOnExit(Arc<Condvar>);
+                impl Drop for NotifyOnExit {
+                    fn drop(&mut self) {
+                        self.0.notify_all();
+                    }
+                }
+                let _exit_guard = NotifyOnExit(Arc::clone(&worker_flush_done));
                 for batch in rx {
                     // Encode and store outside the lock; only the version
                     // edit and the (infrequent) compaction hold it.
@@ -237,6 +263,7 @@ impl TieredEngine {
                         version,
                         metrics,
                         manifest,
+                        ..
                     } = &mut *state;
                     if let Some(manifest) = manifest.as_mut() {
                         version.record(manifest, &edits)?;
@@ -248,10 +275,13 @@ impl TieredEngine {
                     if state.version.l0().len() >= L0_COMPACT_THRESHOLD {
                         state.compact_l0(&worker_store, sstable_points)?;
                     }
+                    state.check_invariants()?;
+                    drop(state);
+                    worker_flush_done.notify_all();
                 }
-                worker_state
-                    .lock()
-                    .compact_l0(&worker_store, sstable_points)
+                let mut state = worker_state.lock();
+                state.compact_l0(&worker_store, sstable_points)?;
+                state.check_invariants()
             })
             .map_err(|e| Error::Io(std::io::Error::other(e)))?;
         Ok(Self {
@@ -261,6 +291,7 @@ impl TieredEngine {
             handle: Some(handle),
             store,
             state,
+            flush_done,
             wal: None,
             flushed_max: pivot,
             max_gen_seen: pivot,
@@ -286,6 +317,7 @@ impl TieredEngine {
     /// I/O errors opening the log.
     pub fn with_wal(mut self, path: impl AsRef<Path>) -> Result<Self> {
         let mut wal = Wal::open(path)?;
+        // seplint: allow(R5): survivor set is the FULL volatile snapshot
         wal.rewrite(&self.buffers.snapshot_sorted())?;
         self.wal = Some(wal);
         Ok(self)
@@ -371,21 +403,22 @@ impl TieredEngine {
             .version
             .apply(&[VersionEdit::RegisterFlushing(Arc::clone(&batch))])?;
         self.compact_wal()?;
-        self.tx
-            .as_ref()
-            .expect("engine not finished")
-            .send(batch)
-            .map_err(|_| {
-                Error::Io(std::io::Error::other("compaction worker terminated"))
-            })
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(Error::Io(std::io::Error::other(
+                "flush after engine finished",
+            )));
+        };
+        tx.send(batch).map_err(|_| {
+            Error::Io(std::io::Error::other("compaction worker terminated"))
+        })
     }
 
     /// Rewrites the WAL to the points that may not be durable yet: every
     /// batch still in the flush pipeline plus the buffered points.
     fn compact_wal(&mut self) -> Result<()> {
-        if self.wal.is_none() {
+        let Some(wal) = self.wal.as_mut() else {
             return Ok(());
-        }
+        };
         let mut survivors: Vec<DataPoint> = Vec::new();
         {
             let state = self.state.lock();
@@ -394,10 +427,7 @@ impl TieredEngine {
             }
         }
         survivors.extend(self.buffers.snapshot_sorted());
-        self.wal
-            .as_mut()
-            .expect("checked above")
-            .rewrite(&survivors)
+        wal.rewrite(&survivors)
     }
 
     /// Flushes and fsyncs the write-ahead log (no-op without a WAL).
@@ -572,11 +602,20 @@ impl TieredEngine {
     /// queue, leaving whatever L0 backlog naturally remains — the state the
     /// paper's historical-query experiment measures.
     pub fn drain(&mut self) {
-        loop {
-            if self.state.lock().version.flushing().is_empty() {
+        let mut state = self.state.lock();
+        while !state.version.flushing().is_empty() {
+            if self.handle.as_ref().is_none_or(JoinHandle::is_finished) {
+                // Worker gone (finished or crashed): nothing will ever
+                // retire the remaining batches, so don't wait for them.
                 return;
             }
-            std::thread::yield_now();
+            // The timeout only covers the unlucky interleaving where the
+            // worker exits between the liveness check and the wait; the
+            // worker signals after every batch and on exit.
+            let (guard, _timed_out) = self
+                .flush_done
+                .wait_timeout(state, Duration::from_millis(100));
+            state = guard;
         }
     }
 
@@ -588,7 +627,8 @@ impl TieredEngine {
     pub fn quiesce(&mut self) -> Result<()> {
         self.drain();
         let mut state = self.state.lock();
-        state.compact_l0(&self.store, self.config.sstable_points)
+        state.compact_l0(&self.store, self.config.sstable_points)?;
+        state.check_invariants()
     }
 
     /// Flushes buffers, stops the worker, and returns the final report.
@@ -600,7 +640,11 @@ impl TieredEngine {
         self.send(drained.in_order)?;
         self.send(drained.merging)?;
         drop(self.tx.take());
-        let handle = self.handle.take().expect("worker running");
+        let Some(handle) = self.handle.take() else {
+            return Err(Error::Io(std::io::Error::other(
+                "engine already finished",
+            )));
+        };
         handle.join().map_err(|_| {
             Error::Io(std::io::Error::other("worker panicked"))
         })??;

@@ -63,7 +63,10 @@ pub fn plan_merge(
     sstable_points: usize,
     subsequent_base: Option<u64>,
 ) -> CompactionPlan {
-    assert!(sstable_points >= 1, "sstable_points must be >= 1");
+    debug_assert!(sstable_points >= 1, "sstable_points must be >= 1");
+    // Engine configs are validated upstream; clamp rather than panic so a
+    // degenerate release-mode caller still gets well-formed tables.
+    let sstable_points = sstable_points.max(1);
     let fresh_min = fresh
         .iter()
         .filter_map(|src| src.first())
@@ -155,6 +158,9 @@ pub fn execute(
     if let Some(subseq) = plan.subsequent {
         metrics.subsequent_counts.push(subseq);
     }
+    // Debug builds cross-check the committed version against what the
+    // store actually holds after every executed plan.
+    crate::invariants::check_version_against_store(version, store)?;
     Ok(())
 }
 
@@ -190,6 +196,7 @@ pub fn execute_append(
     }
     metrics.disk_points_written += written;
     metrics.flushes += 1;
+    crate::invariants::check_version_against_store(version, store)?;
     Ok(())
 }
 

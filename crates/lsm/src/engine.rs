@@ -32,6 +32,7 @@ use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange, Timestamp};
 
 use crate::buffer::{FlushTrigger, PolicyBuffers};
 use crate::compaction::{self, RunInput};
+use crate::invariants::InvariantChecker;
 use crate::iterator::merge_sorted;
 use crate::level::Run;
 use crate::manifest::Manifest;
@@ -139,6 +140,9 @@ pub struct LsmEngine {
     /// Largest generation time ever appended (memory or disk), used by
     /// recent-data query workloads.
     max_gen_seen: Option<Timestamp>,
+    /// Debug-build temporal invariants (counter monotonicity, pivot
+    /// no-regression); no-op in release builds.
+    invariants: InvariantChecker,
 }
 
 impl std::fmt::Debug for LsmEngine {
@@ -170,6 +174,7 @@ impl LsmEngine {
             wal: None,
             manifest: None,
             max_gen_seen: None,
+            invariants: InvariantChecker::new(),
         })
     }
 
@@ -231,6 +236,7 @@ impl LsmEngine {
         let run = Run::from_tables(metas)?;
         let version = Version::from_levels(run, Vec::new());
         let max_gen_seen = version.run().last_gen_time();
+        let invariants = InvariantChecker::seeded(&version);
         let mut engine = Self {
             buffers: PolicyBuffers::for_policy(config.policy),
             config,
@@ -240,6 +246,7 @@ impl LsmEngine {
             wal: None,
             manifest: None,
             max_gen_seen,
+            invariants,
         };
         if let Some(path) = wal_path {
             let replayed = Wal::replay(&path)?;
@@ -270,6 +277,7 @@ impl LsmEngine {
         let run = Run::from_tables(metas)?;
         let version = Version::from_levels(run, Vec::new());
         let max_gen_seen = version.run().last_gen_time();
+        let invariants = InvariantChecker::seeded(&version);
         let mut engine = Self {
             buffers: PolicyBuffers::for_policy(config.policy),
             config,
@@ -279,6 +287,7 @@ impl LsmEngine {
             wal: None,
             manifest: None,
             max_gen_seen,
+            invariants,
         };
         if let Some(path) = wal_path {
             let replayed = Wal::replay(&path)?;
@@ -385,7 +394,11 @@ impl LsmEngine {
         } else {
             self.flush_in_order(points)?;
         }
-        self.compact_wal()
+        self.compact_wal()?;
+        // Temporal invariants after every flush/compaction; the store
+        // cross-check already ran inside the plan executor.
+        self.invariants
+            .observe_metrics(&self.version, &self.metrics)
     }
 
     /// `C_seq` flush path: the points are strictly in order w.r.t. the run
@@ -457,10 +470,10 @@ impl LsmEngine {
             return Ok(());
         }
         let survivors = self.buffered_snapshot();
-        self.wal
-            .as_mut()
-            .expect("checked above")
-            .rewrite(&survivors)
+        match self.wal.as_mut() {
+            Some(wal) => wal.rewrite(&survivors),
+            None => Ok(()),
+        }
     }
 
     /// Flushes and fsyncs the write-ahead log (no-op without a WAL). Call
@@ -489,7 +502,8 @@ impl LsmEngine {
         if let Some(wal) = self.wal.as_mut() {
             wal.sync()?;
         }
-        Ok(())
+        self.invariants
+            .observe_metrics(&self.version, &self.metrics)
     }
 
     /// Switches the buffering policy without touching the disk: buffered
@@ -518,6 +532,8 @@ impl LsmEngine {
         }
         // Re-routing is not new user traffic.
         self.metrics.user_points = old_user_points;
+        // The roll-back above would read as a counter regression.
+        self.invariants.rebaseline(&self.metrics);
         Ok(())
     }
 

@@ -60,7 +60,7 @@ impl Iterator for MergeIter {
 
     fn next(&mut self) -> Option<DataPoint> {
         let Reverse((tg, idx)) = self.heap.pop()?;
-        let winner = self.advance(idx).expect("peeked element present");
+        let winner = self.advance(idx)?;
         debug_assert_eq!(winner.gen_time, tg);
         // Discard lower-priority duplicates of the same timestamp. The heap
         // orders ties by source index, so the winner above (smallest index)

@@ -34,6 +34,14 @@ impl Run {
         Ok(run)
     }
 
+    /// Rebuilds a run from pre-sorted tables *without* validating the
+    /// non-overlap invariant — corrupted-state construction for the
+    /// invariant-checker tests only.
+    #[cfg(test)]
+    pub(crate) fn from_tables_unchecked(tables: Vec<SsTableMeta>) -> Self {
+        Self { tables }
+    }
+
     /// Number of tables in the run.
     pub fn len(&self) -> usize {
         self.tables.len()

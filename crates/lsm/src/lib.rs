@@ -74,10 +74,15 @@
 //! # Ok::<(), seplsm_types::Error>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod background;
 pub mod buffer;
+pub(crate) mod codec;
 pub mod compaction;
 pub mod engine;
+pub mod invariants;
 pub mod iterator;
 pub mod level;
 pub mod manifest;
@@ -94,6 +99,7 @@ pub use background::{TieredEngine, TieredReport};
 pub use buffer::{FlushTrigger, PolicyBuffers};
 pub use compaction::{plan_merge, CompactionPlan, RunInput};
 pub use engine::{EngineConfig, LsmEngine};
+pub use invariants::InvariantChecker;
 pub use iterator::{merge_sorted, MergeIter};
 pub use level::Run;
 pub use manifest::Manifest;

@@ -13,6 +13,7 @@ use std::path::{Path, PathBuf};
 
 use seplsm_types::{Error, Result, TimeRange};
 
+use crate::codec;
 use crate::sstable::crc32::crc32;
 use crate::sstable::{SsTableId, SsTableMeta};
 
@@ -185,27 +186,18 @@ impl Manifest {
         let mut offset = 0;
         while offset + RECORD <= data.len() {
             let rec = &data[offset..offset + RECORD];
-            let stored =
-                u32::from_le_bytes(rec[PAYLOAD..].try_into().expect("4 bytes"));
+            let stored = codec::read_u32_le(rec, PAYLOAD)?;
             if stored != crc32(&rec[..PAYLOAD]) {
                 return Err(Error::Corrupt(format!(
                     "manifest record at offset {offset} fails CRC"
                 )));
             }
-            let id = SsTableId(u64::from_le_bytes(
-                rec[1..9].try_into().expect("8 bytes"),
-            ));
+            let id = SsTableId(codec::read_u64_le(rec, 1)?);
             match rec[0] {
                 tag @ (TAG_ADD | TAG_ADD_L0) => {
-                    let start = i64::from_le_bytes(
-                        rec[9..17].try_into().expect("8 bytes"),
-                    );
-                    let end = i64::from_le_bytes(
-                        rec[17..25].try_into().expect("8 bytes"),
-                    );
-                    let count = u32::from_le_bytes(
-                        rec[25..29].try_into().expect("4 bytes"),
-                    );
+                    let start = codec::read_i64_le(rec, 9)?;
+                    let end = codec::read_i64_le(rec, 17)?;
+                    let count = codec::read_u32_le(rec, 25)?;
                     if start > end {
                         return Err(Error::Corrupt(format!(
                             "manifest add for {id} has inverted range"

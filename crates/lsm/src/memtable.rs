@@ -24,10 +24,12 @@ impl MemTable {
     /// Creates an empty MemTable holding at most `capacity` points
     /// (`capacity ≥ 1`).
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity >= 1, "MemTable capacity must be >= 1");
+        debug_assert!(capacity >= 1, "MemTable capacity must be >= 1");
+        // Policy validation rejects zero capacities upstream; clamp rather
+        // than panic for release-mode callers that bypass it.
         Self {
             entries: BTreeMap::new(),
-            capacity,
+            capacity: capacity.max(1),
         }
     }
 

@@ -12,6 +12,7 @@
 //! [`MultiSeriesEngine::recover`] scans that directory and rebuilds every
 //! series through the single-series recovery path.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -177,19 +178,23 @@ impl MultiSeriesEngine {
     }
 
     fn engine_entry(&mut self, series: SeriesId) -> Result<&mut LsmEngine> {
-        if !self.series.contains_key(&series) {
-            let mut engine =
-                LsmEngine::new(self.template.clone(), Arc::clone(&self.store))?;
-            if let Some(dir) = &self.durable_dir {
-                engine = engine
-                    .with_wal(dir.join(format!("series-{}.wal", series.0)))?
-                    .with_manifest(
-                        dir.join(format!("series-{}.manifest", series.0)),
-                    )?;
+        match self.series.entry(series) {
+            Entry::Occupied(slot) => Ok(slot.into_mut()),
+            Entry::Vacant(slot) => {
+                let mut engine = LsmEngine::new(
+                    self.template.clone(),
+                    Arc::clone(&self.store),
+                )?;
+                if let Some(dir) = &self.durable_dir {
+                    engine = engine
+                        .with_wal(dir.join(format!("series-{}.wal", series.0)))?
+                        .with_manifest(
+                            dir.join(format!("series-{}.manifest", series.0)),
+                        )?;
+                }
+                Ok(slot.insert(engine))
             }
-            self.series.insert(series, engine);
         }
-        Ok(self.series.get_mut(&series).expect("inserted above"))
     }
 
     /// Writes one point into `series` (creating the series on first write).

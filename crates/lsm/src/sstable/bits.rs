@@ -28,7 +28,9 @@ impl BitWriter {
         }
         self.used -= 1;
         if bit {
-            *self.bytes.last_mut().expect("pushed above") |= 1 << self.used;
+            if let Some(last) = self.bytes.last_mut() {
+                *last |= 1 << self.used;
+            }
         }
     }
 

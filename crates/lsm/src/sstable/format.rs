@@ -36,6 +36,8 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use seplsm_types::{DataPoint, Error, Result, TimeRange};
 
+use crate::codec;
+
 use super::bits::{BitReader, BitWriter};
 use super::compress::{decode_f64s, decode_i64s, encode_f64s, encode_i64s};
 use super::crc32::crc32;
@@ -190,7 +192,7 @@ pub fn decode(data: &[u8]) -> Result<Vec<DataPoint>> {
         )));
     }
     let (body, footer) = data.split_at(data.len() - FOOTER);
-    let stored_crc = u32::from_le_bytes(footer.try_into().expect("4 bytes"));
+    let stored_crc = codec::read_u32_le(footer, 0)?;
     let actual_crc = crc32(body);
     if stored_crc != actual_crc {
         return Err(Error::Corrupt(format!(
@@ -285,7 +287,7 @@ fn encode_v2(points: &[DataPoint], block_points: usize) -> Result<Bytes> {
         payload.extend_from_slice(&block_crc.to_le_bytes());
         blocks.push(BlockBuild {
             first: tgs[0],
-            last: *tgs.last().expect("non-empty chunk"),
+            last: tgs[tgs.len() - 1],
             count: chunk.len() as u32,
             payload,
         });
@@ -368,11 +370,7 @@ fn parse_v2_header(data: &[u8]) -> Result<V2Header> {
     if data.len() < header_len + 4 {
         return Err(Error::Corrupt("v2 SSTable truncated in index".into()));
     }
-    let stored = u32::from_le_bytes(
-        data[header_len..header_len + 4]
-            .try_into()
-            .expect("4 bytes"),
-    );
+    let stored = codec::read_u32_le(data, header_len)?;
     let actual = crc32(&data[..header_len]);
     if stored != actual {
         return Err(Error::Corrupt(format!(
@@ -423,7 +421,7 @@ fn decode_v2_block(
         return Err(Error::Corrupt("v2 block too short".into()));
     }
     let (payload, crc_bytes) = block.split_at(block.len() - 4);
-    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let stored = codec::read_u32_le(crc_bytes, 0)?;
     let actual = crc32(payload);
     if stored != actual {
         return Err(Error::Corrupt(format!(
@@ -490,8 +488,7 @@ fn decode_v2_full(data: &[u8]) -> Result<Vec<DataPoint>> {
 /// [`Error::Corrupt`] on any validation failure in the touched region.
 pub fn decode_range(data: &[u8], range: TimeRange) -> Result<RangeRead> {
     if data.len() >= 6 && &data[..4] == MAGIC {
-        let version =
-            u16::from_le_bytes(data[4..6].try_into().expect("2 bytes"));
+        let version = codec::read_u16_le(data, 4)?;
         if version == VERSION_BLOCKS {
             let header = parse_v2_header(data)?;
             let mut read = RangeRead {

@@ -111,6 +111,9 @@ impl Version {
         for edit in edits {
             staged.apply_one(edit)?;
         }
+        // Debug builds re-check the full structural invariant before the
+        // staged state becomes visible; release builds skip this (no-op).
+        crate::invariants::check_version(&staged)?;
         *self = staged;
         Ok(())
     }

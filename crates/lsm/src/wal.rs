@@ -12,6 +12,7 @@ use std::path::{Path, PathBuf};
 
 use seplsm_types::{DataPoint, Error, Result};
 
+use crate::codec;
 use crate::sstable::crc32::crc32;
 
 /// Payload layout: gen_time i64 LE + arrival_time i64 LE + value bits u64 LE.
@@ -111,20 +112,15 @@ impl Wal {
         let mut offset = 0;
         while offset + RECORD <= data.len() {
             let rec = &data[offset..offset + RECORD];
-            let stored =
-                u32::from_le_bytes(rec[..4].try_into().expect("4 bytes"));
+            let stored = codec::read_u32_le(rec, 0)?;
             if stored != crc32(&rec[4..]) {
                 return Err(Error::Corrupt(format!(
                     "WAL record at offset {offset} fails CRC"
                 )));
             }
-            let gen_time =
-                i64::from_le_bytes(rec[4..12].try_into().expect("8 bytes"));
-            let arrival_time =
-                i64::from_le_bytes(rec[12..20].try_into().expect("8 bytes"));
-            let value = f64::from_bits(u64::from_le_bytes(
-                rec[20..28].try_into().expect("8 bytes"),
-            ));
+            let gen_time = codec::read_i64_le(rec, 4)?;
+            let arrival_time = codec::read_i64_le(rec, 12)?;
+            let value = f64::from_bits(codec::read_u64_le(rec, 20)?);
             points.push(DataPoint::new(gen_time, arrival_time, value));
             offset += RECORD;
         }

@@ -1,0 +1,129 @@
+//! `seplint` — the workspace's own static-analysis pass.
+//!
+//! An offline, dependency-free lint binary that mechanically enforces the
+//! storage-kernel contracts the test suite can only probabilistically
+//! witness:
+//!
+//! * **R1** — library crates never `unwrap`/`expect`/`panic!` outside tests.
+//! * **R2** — every library crate root carries `#![forbid(unsafe_code)]`.
+//! * **R3** — deterministic kernel modules never read wall clocks or touch
+//!   threads.
+//! * **R4** — public kernel functions that can panic must return `Result`.
+//! * **R5** — engine modules keep the durability order: WAL append before
+//!   buffer insert, manifest/flushing cover before WAL truncation.
+//!
+//! Run it as `cargo run -p seplint -- <workspace-root>`; CI runs it before
+//! the build. Suppress a finding with
+//! `// seplint: allow(Rn): reason` on the offending line or the line above.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Library crates subject to R1 (no panics) and R2 (forbid unsafe).
+pub const LIB_CRATES: &[&str] = &["types", "dist", "core", "lsm", "workload"];
+
+/// Deterministic kernel modules subject to R3 and R4 — the pure state
+/// machines that replay and proptest shrinking rely on.
+pub const KERNEL_MODULES: &[&str] =
+    &["buffer.rs", "compaction.rs", "version.rs", "memtable.rs"];
+
+/// Engine modules subject to the R5 durability-ordering lint.
+pub const ORDERING_MODULES: &[&str] =
+    &["engine.rs", "background.rs", "multi.rs"];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule id (`"R1"` .. `"R5"`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Lints every library crate under `root/crates`, returning all findings
+/// sorted by file then line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for name in LIB_CRATES {
+        let src_dir = root.join("crates").join(name).join("src");
+        if !src_dir.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "library crate `{name}` not found at {}",
+                    src_dir.display()
+                ),
+            ));
+        }
+        for file in rust_files(&src_dir)? {
+            let src = fs::read_to_string(&file)?;
+            out.extend(lint_file(&file, &src, name));
+        }
+    }
+    out.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(out)
+}
+
+/// Applies every rule whose scope matches `file` (which lives in library
+/// crate `crate_name`).
+pub fn lint_file(file: &Path, src: &str, crate_name: &str) -> Vec<Violation> {
+    let mut out = rules::no_panics(file, src);
+    let base = file
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or_default();
+    if base == "lib.rs" {
+        out.extend(rules::forbids_unsafe(file, src));
+    }
+    if crate_name == "lsm" && KERNEL_MODULES.contains(&base) {
+        out.extend(rules::deterministic_kernel(file, src));
+        out.extend(rules::kernel_returns_results(file, src));
+    }
+    if crate_name == "lsm" && ORDERING_MODULES.contains(&base) {
+        out.extend(rules::durability_order(file, src));
+    }
+    out
+}
+
+/// Recursively collects every `.rs` file under `dir`, sorted for
+/// deterministic output.
+fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}

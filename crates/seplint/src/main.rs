@@ -1,0 +1,31 @@
+//! CLI entry point: `seplint [workspace-root]` (defaults to `.`).
+//! Prints every violation and exits non-zero if any were found.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args_os()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    match seplint::lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("seplint: ok (R1-R5 clean)");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("seplint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("seplint: error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

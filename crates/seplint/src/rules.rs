@@ -1,0 +1,490 @@
+//! The five storage-kernel rules, R1–R5, over lexed token streams.
+//!
+//! | rule | scope | contract |
+//! |------|-------|----------|
+//! | R1 | library crates | no `unwrap` / `expect` / `panic!` outside tests |
+//! | R2 | library crate roots | `#![forbid(unsafe_code)]` present |
+//! | R3 | kernel modules | no wall-clock or thread calls (determinism) |
+//! | R4 | kernel modules | panicking `pub fn`s must return `Result` |
+//! | R5 | engine modules | WAL-before-buffer, cover-before-truncate |
+//!
+//! Every rule honours `// seplint: allow(Rn): reason` on the offending
+//! line or the line above, and none of them look inside `#[cfg(test)]`
+//! items or `#[test]` functions.
+
+use std::path::Path;
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::Violation;
+
+/// Wall-clock and thread identifiers banned from deterministic kernel
+/// modules by R3.
+const NONDETERMINISTIC: &[&str] = &[
+    "SystemTime",
+    "Instant",
+    "spawn",
+    "yield_now",
+    "sleep",
+    "park",
+];
+
+/// Panicking macros whose *debug-only* or *statically-proven* variants are
+/// exempt from R4 by design: `debug_assert!` family disappears in release
+/// builds, and `unreachable!` marks arms the type system cannot remove.
+/// (These are distinct identifiers, so they never collide with the banned
+/// `assert`/`panic` tokens.)
+const R4_BANNED_MACROS: &[&str] =
+    &["panic", "assert", "assert_eq", "assert_ne"];
+
+fn violation(
+    path: &Path,
+    line: usize,
+    rule: &'static str,
+    message: impl Into<String>,
+) -> Violation {
+    Violation {
+        file: path.to_path_buf(),
+        line,
+        rule,
+        message: message.into(),
+    }
+}
+
+/// Removes every test-only item: any item annotated with an outer attribute
+/// containing the identifier `test` (so `#[test]`, `#[cfg(test)]`,
+/// `#[cfg(all(test, ...))]`) is dropped together with its body. Attributes
+/// containing `not` (e.g. `#[cfg(not(test))]`) are kept.
+fn strip_test_items(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+        {
+            // Collect the attribute to its matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1;
+            let mut has_test = false;
+            let mut has_not = false;
+            while j < tokens.len() && depth > 0 {
+                match &tokens[j].kind {
+                    TokenKind::Punct('[') => depth += 1,
+                    TokenKind::Punct(']') => depth -= 1,
+                    TokenKind::Ident(id) if id == "test" => has_test = true,
+                    TokenKind::Ident(id) if id == "not" => has_not = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if has_test && !has_not {
+                // Skip the annotated item: through the next `;` at brace
+                // depth zero, or through the matching `}` of its body.
+                let mut brace_depth = 0usize;
+                while j < tokens.len() {
+                    match &tokens[j].kind {
+                        TokenKind::Punct('{') => brace_depth += 1,
+                        TokenKind::Punct('}') => {
+                            brace_depth -= 1;
+                            if brace_depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        TokenKind::Punct(';') if brace_depth == 0 => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// R1: no `.unwrap()`, `.expect(...)` or `panic!` in library code.
+/// (`unwrap_or`, `unwrap_or_default`, `debug_assert!` etc. are distinct
+/// identifiers and naturally unaffected.)
+pub fn no_panics(path: &Path, src: &str) -> Vec<Violation> {
+    let lexed = lex(src);
+    let tokens = strip_test_items(&lexed.tokens);
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(id) = t.ident() else { continue };
+        let offense = match id {
+            "unwrap" | "expect" if i > 0 && tokens[i - 1].is_punct('.') => {
+                format!("`.{id}()` in library code; return the error instead")
+            }
+            "panic" if tokens.get(i + 1).is_some_and(|n| n.is_punct('!')) => {
+                "`panic!` in library code; return `Error` instead".into()
+            }
+            _ => continue,
+        };
+        if !lexed.is_allowed(t.line, "R1") {
+            out.push(violation(path, t.line, "R1", offense));
+        }
+    }
+    out
+}
+
+/// R2: the crate root must carry `#![forbid(unsafe_code)]`.
+pub fn forbids_unsafe(path: &Path, src: &str) -> Vec<Violation> {
+    let lexed = lex(src);
+    let found = lexed.tokens.windows(3).any(|w| {
+        w[0].is_ident("forbid")
+            && w[1].is_punct('(')
+            && w[2].is_ident("unsafe_code")
+    });
+    if found || lexed.is_allowed(1, "R2") {
+        Vec::new()
+    } else {
+        vec![violation(
+            path,
+            1,
+            "R2",
+            "library crate root is missing `#![forbid(unsafe_code)]`",
+        )]
+    }
+}
+
+/// R3: deterministic kernel modules must not read wall clocks or touch
+/// threads — replays and proptest shrinking depend on pure state machines.
+pub fn deterministic_kernel(path: &Path, src: &str) -> Vec<Violation> {
+    let lexed = lex(src);
+    let tokens = strip_test_items(&lexed.tokens);
+    let mut out = Vec::new();
+    for t in &tokens {
+        let Some(id) = t.ident() else { continue };
+        if NONDETERMINISTIC.contains(&id) && !lexed.is_allowed(t.line, "R3") {
+            out.push(violation(
+                path,
+                t.line,
+                "R3",
+                format!("`{id}` makes a deterministic kernel module nondeterministic"),
+            ));
+        }
+    }
+    out
+}
+
+/// R4: a public kernel function whose body can panic (`panic!`,
+/// `.unwrap(`, `.expect(`, `assert!`-family) must return `Result` so the
+/// failure reaches the caller as the shared error type. `debug_assert!`
+/// and `unreachable!` are exempt by design (see [`R4_BANNED_MACROS`]).
+pub fn kernel_returns_results(path: &Path, src: &str) -> Vec<Violation> {
+    let lexed = lex(src);
+    let tokens = strip_test_items(&lexed.tokens);
+    let mut out = Vec::new();
+    for func in parse_functions(&tokens) {
+        if !func.is_pub || func.returns_result {
+            continue;
+        }
+        let body = &tokens[func.body.clone()];
+        for (i, t) in body.iter().enumerate() {
+            let Some(id) = t.ident() else { continue };
+            let panics = match id {
+                "unwrap" | "expect" => {
+                    i > 0
+                        && body[i - 1].is_punct('.')
+                        && body.get(i + 1).is_some_and(|n| n.is_punct('('))
+                }
+                m if R4_BANNED_MACROS.contains(&m) => {
+                    body.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                }
+                _ => false,
+            };
+            if panics && !lexed.is_allowed(t.line, "R4") {
+                out.push(violation(
+                    path,
+                    t.line,
+                    "R4",
+                    format!(
+                        "pub fn `{}` can panic (`{id}`) but does not return `Result`",
+                        func.name
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// A function parsed out of the token stream: name, visibility, whether the
+/// signature mentions `Result`, and the token range of the body
+/// (*excluding* the outer braces).
+struct FnItem {
+    name: String,
+    is_pub: bool,
+    returns_result: bool,
+    body: std::ops::Range<usize>,
+}
+
+/// Finds every `fn` item and its balanced-brace body in `tokens`.
+fn parse_functions(tokens: &[Token]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).and_then(Token::ident) else {
+            i += 1;
+            continue;
+        };
+        // `pub` (possibly `pub(crate)` / `pub(super)`) and fn qualifiers
+        // appear a few tokens back.
+        let mut is_pub = false;
+        for back in tokens[i.saturating_sub(6)..i].iter() {
+            if back.is_ident("pub") {
+                is_pub = true;
+            }
+            // A `}`, `;` or `{` between `pub` and `fn` means the `pub`
+            // belonged to a previous item.
+            if back.is_punct('}') || back.is_punct(';') || back.is_punct('{') {
+                is_pub = false;
+            }
+        }
+        // Scan the signature to the body `{` (or `;` for trait decls).
+        let mut j = i + 2;
+        let mut returns_result = false;
+        let mut body = None;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                TokenKind::Ident(id) if id == "Result" => {
+                    returns_result = true;
+                    j += 1;
+                }
+                TokenKind::Punct('{') => {
+                    body = Some(j);
+                    break;
+                }
+                TokenKind::Punct(';') => break,
+                _ => j += 1,
+            }
+        }
+        let Some(open) = body else {
+            i = j + 1;
+            continue;
+        };
+        // Balanced-brace scan for the body end.
+        let mut depth = 0usize;
+        let mut k = open;
+        while k < tokens.len() {
+            match &tokens[k].kind {
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push(FnItem {
+            name: name.to_string(),
+            is_pub,
+            returns_result,
+            body: open + 1..k,
+        });
+        // Recurse into the body too (nested fns are rare but cheap to
+        // support): continue scanning right after the signature.
+        i = open + 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// R5: durability-ordering lint.
+// ---------------------------------------------------------------------------
+
+/// One durability-relevant event in a function body, in token order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Event {
+    /// `wal.append(...)` — the point became durable before buffering.
+    WalAppend,
+    /// `buffers.insert(...)` — a point entered a MemTable.
+    BufferInsert(usize),
+    /// `wal.rewrite(...)` — the WAL was truncated to a survivor set.
+    WalTruncate(usize),
+    /// Evidence the truncated data is covered elsewhere: a manifest record
+    /// (`manifest`, `record`, `rewrite_levels`, `log_add*`) or a
+    /// still-queryable flushing registration (`RegisterFlushing`).
+    Cover,
+    /// A recovery / migration source (`replay`, `migrate`): points flowing
+    /// from here were already durable, so they need no fresh WAL append,
+    /// and rewriting the WAL around them is the *point* of the path.
+    Source,
+    /// Call to another function defined in the same file.
+    Call(String),
+}
+
+/// Identifiers that count as [`Event::Cover`].
+const COVER_IDENTS: &[&str] = &[
+    "manifest",
+    "record",
+    "rewrite_levels",
+    "log_add",
+    "log_add_l0",
+    "RegisterFlushing",
+];
+
+/// Identifiers that count as [`Event::Source`].
+const SOURCE_IDENTS: &[&str] = &["replay", "migrate"];
+
+/// Extracts the event sequence of one function body.
+fn extract_events(body: &[Token], fn_names: &[String]) -> Vec<Event> {
+    let mut events = Vec::new();
+    for (i, t) in body.iter().enumerate() {
+        let Some(id) = t.ident() else { continue };
+        let next_dot_method = |method: &str| {
+            body.get(i + 1).is_some_and(|n| n.is_punct('.'))
+                && body.get(i + 2).is_some_and(|n| n.is_ident(method))
+        };
+        if id == "wal" && next_dot_method("append") {
+            events.push(Event::WalAppend);
+        } else if id == "wal" && next_dot_method("rewrite") {
+            events.push(Event::WalTruncate(t.line));
+        } else if id == "buffers"
+            && body.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && body.get(i + 2).is_some_and(|n| n.is_ident("insert"))
+        {
+            events.push(Event::BufferInsert(t.line));
+        } else if COVER_IDENTS.contains(&id) {
+            events.push(Event::Cover);
+        } else if SOURCE_IDENTS.contains(&id) {
+            events.push(Event::Source);
+        } else if fn_names.iter().any(|n| n == id)
+            && body.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            events.push(Event::Call(id.to_string()));
+        }
+    }
+    events
+}
+
+/// Expands same-file calls (up to `depth` levels) into the caller's event
+/// sequence, so ordering is judged across helper boundaries.
+fn expand(
+    events: &[Event],
+    by_name: &std::collections::HashMap<String, Vec<Event>>,
+    depth: usize,
+) -> Vec<Event> {
+    let mut out = Vec::new();
+    for e in events {
+        match e {
+            Event::Call(name) if depth > 0 => {
+                if let Some(callee) = by_name.get(name) {
+                    out.extend(expand(callee, by_name, depth - 1));
+                }
+            }
+            Event::Call(_) => {}
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// R5: in the engine modules, every `buffers.insert` must be dominated by a
+/// `wal.append` (or a replay/migrate source), and every `wal.rewrite`
+/// (truncate) must be dominated by a manifest record / flushing
+/// registration (or a source). Helpers whose only events are truncates are
+/// judged at their call sites instead (`compact_wal` is deliberately a
+/// leaf).
+pub fn durability_order(path: &Path, src: &str) -> Vec<Violation> {
+    let lexed = lex(src);
+    let tokens = strip_test_items(&lexed.tokens);
+    let functions = parse_functions(&tokens);
+    let fn_names: Vec<String> =
+        functions.iter().map(|f| f.name.clone()).collect();
+
+    let mut by_name: std::collections::HashMap<String, Vec<Event>> =
+        std::collections::HashMap::new();
+    let mut direct: Vec<(String, Vec<Event>)> = Vec::new();
+    for f in &functions {
+        let events = extract_events(&tokens[f.body.clone()], &fn_names);
+        // Same-named functions across impl blocks merge conservatively.
+        by_name
+            .entry(f.name.clone())
+            .or_default()
+            .extend(events.clone());
+        direct.push((f.name.clone(), events));
+    }
+
+    // Names invoked from some other function in this file: truncate-only
+    // helpers among them are judged at their call sites, not here.
+    let called: std::collections::HashSet<&str> = direct
+        .iter()
+        .flat_map(|(_, events)| events.iter())
+        .filter_map(|e| match e {
+            Event::Call(n) => Some(n.as_str()),
+            _ => None,
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for (name, events) in &direct {
+        let non_call: Vec<&Event> = events
+            .iter()
+            .filter(|e| !matches!(e, Event::Call(_)))
+            .collect();
+        let truncate_only = called.contains(name.as_str())
+            && !non_call.is_empty()
+            && non_call.iter().all(|e| matches!(e, Event::WalTruncate(_)));
+        let expanded = expand(events, &by_name, 3);
+        let mut covered_append = false;
+        let mut covered_truncate = false;
+        for e in &expanded {
+            match e {
+                Event::WalAppend => covered_append = true,
+                Event::Cover => covered_truncate = true,
+                Event::Source => {
+                    covered_append = true;
+                    covered_truncate = true;
+                }
+                Event::BufferInsert(line) => {
+                    if !covered_append && !lexed.is_allowed(*line, "R5") {
+                        out.push(violation(
+                            path,
+                            *line,
+                            "R5",
+                            format!(
+                                "`{name}` buffers a point before any WAL \
+                                 append (WAL-before-buffer violated)"
+                            ),
+                        ));
+                    }
+                }
+                Event::WalTruncate(line) => {
+                    if truncate_only {
+                        continue; // leaf helper; judged at call sites
+                    }
+                    if !covered_truncate && !lexed.is_allowed(*line, "R5") {
+                        out.push(violation(
+                            path,
+                            *line,
+                            "R5",
+                            format!(
+                                "`{name}` truncates the WAL before the \
+                                 dropped data is covered by a manifest \
+                                 record or flushing registration"
+                            ),
+                        ));
+                    }
+                }
+                Event::Call(_) => {}
+            }
+        }
+    }
+    out.sort_by_key(|v| v.line);
+    out.dedup_by(|a, b| a.line == b.line && a.message == b.message);
+    out
+}

@@ -1,0 +1,26 @@
+//! R1 fixture: library code that unwraps and panics. Not compiled by
+//! cargo (lives under tests/fixtures); read as text by the selftest.
+
+pub fn lookup(map: &std::collections::HashMap<u32, u32>, k: u32) -> u32 {
+    *map.get(&k).unwrap()
+}
+
+pub fn must_be_even(x: u32) -> u32 {
+    if x % 2 != 0 {
+        panic!("odd input");
+    }
+    x
+}
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().expect("not a number")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

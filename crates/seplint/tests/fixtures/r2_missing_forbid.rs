@@ -1,0 +1,8 @@
+//! R2 fixture: a library crate root without `#![forbid(unsafe_code)]`.
+
+pub mod buffer;
+pub mod wal;
+
+pub fn version() -> &'static str {
+    "0.1.0"
+}

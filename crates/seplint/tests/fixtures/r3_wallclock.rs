@@ -1,0 +1,16 @@
+//! R3 fixture: a "deterministic" kernel module that reads the wall clock
+//! and spawns a thread.
+
+use std::time::Instant;
+
+pub fn compact_with_timing(points: &mut Vec<u64>) -> std::time::Duration {
+    let start = Instant::now();
+    points.sort_unstable();
+    start.elapsed()
+}
+
+pub fn background_sort(mut points: Vec<u64>) {
+    std::thread::spawn(move || {
+        points.sort_unstable();
+    });
+}

@@ -1,0 +1,35 @@
+//! R4 fixture: public kernel functions that can panic without returning
+//! `Result`, next to compliant shapes that must NOT fire.
+
+pub struct Buffer {
+    points: Vec<u64>,
+}
+
+impl Buffer {
+    // VIOLATION: pub fn, panics, returns a plain value.
+    pub fn pop(&mut self) -> u64 {
+        self.points.pop().unwrap()
+    }
+
+    // VIOLATION: assert! in a pub fn without Result.
+    pub fn insert(&mut self, p: u64) {
+        assert!(p > 0, "zero timestamp");
+        self.points.push(p);
+    }
+
+    // OK: returns Result, so the unwrap-shaped failure is reachable as Err.
+    pub fn checked_pop(&mut self) -> Result<u64, String> {
+        self.points.pop().ok_or_else(|| "empty".to_string())
+    }
+
+    // OK: debug_assert! is exempt by design.
+    pub fn len(&self) -> usize {
+        debug_assert!(self.points.len() < usize::MAX);
+        self.points.len()
+    }
+
+    // OK: private functions are out of R4's scope.
+    fn internal_pop(&mut self) -> u64 {
+        self.points.pop().unwrap()
+    }
+}

@@ -1,0 +1,25 @@
+//! R5 fixture: an engine that buffers before logging and truncates the WAL
+//! without covering the dropped data.
+
+pub struct Engine {
+    wal: Wal,
+    buffers: Buffers,
+}
+
+impl Engine {
+    // VIOLATION: the point is buffered before it hits the WAL; a crash
+    // between the two lines loses it.
+    pub fn put(&mut self, p: Point) -> Result<(), Error> {
+        self.buffers.insert(p);
+        self.wal.append(&p)?;
+        Ok(())
+    }
+
+    // VIOLATION: the WAL is truncated with no manifest record or flushing
+    // registration covering the dropped tail.
+    pub fn flush(&mut self) -> Result<(), Error> {
+        let survivors = self.buffers.drain();
+        self.wal.rewrite(&survivors)?;
+        Ok(())
+    }
+}

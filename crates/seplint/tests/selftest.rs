@@ -1,0 +1,156 @@
+//! seplint self-test: every fixture fires exactly its rule, suppressions
+//! work, and — most importantly — the real workspace is clean.
+
+use std::path::Path;
+
+use seplint::{lint_workspace, rules};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn r1_fires_on_unwrap_expect_and_panic_outside_tests() {
+    let src = fixture("r1_unwrap.rs");
+    let v = rules::no_panics(Path::new("r1_unwrap.rs"), &src);
+    let rules_hit: Vec<&str> = v.iter().map(|x| x.rule).collect();
+    assert_eq!(
+        rules_hit,
+        ["R1", "R1", "R1"],
+        "unwrap + panic! + expect: {v:?}"
+    );
+    assert!(v[0].message.contains("unwrap"));
+    assert!(v[1].message.contains("panic"));
+    assert!(v[2].message.contains("expect"));
+}
+
+#[test]
+fn r1_ignores_test_modules() {
+    let src = "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); }\n}\n";
+    assert!(rules::no_panics(Path::new("t.rs"), src).is_empty());
+}
+
+#[test]
+fn r1_honours_allow_directive() {
+    let src = "fn f() {\n // seplint: allow(R1): fixture\n x.unwrap();\n}\n";
+    assert!(rules::no_panics(Path::new("t.rs"), src).is_empty());
+    let src2 = "fn f() {\n x.unwrap(); // seplint: allow(R1): fixture\n}\n";
+    assert!(rules::no_panics(Path::new("t.rs"), src2).is_empty());
+}
+
+#[test]
+fn r2_fires_on_missing_forbid() {
+    let src = fixture("r2_missing_forbid.rs");
+    let v = rules::forbids_unsafe(Path::new("lib.rs"), &src);
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].rule, "R2");
+}
+
+#[test]
+fn r2_passes_when_forbid_is_present() {
+    let src = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+    assert!(rules::forbids_unsafe(Path::new("lib.rs"), src).is_empty());
+}
+
+#[test]
+fn r3_fires_on_wallclock_and_thread_use() {
+    let src = fixture("r3_wallclock.rs");
+    let v = rules::deterministic_kernel(Path::new("r3_wallclock.rs"), &src);
+    // `Instant` appears twice (use + call), `spawn` once.
+    assert!(v.len() >= 3, "{v:?}");
+    assert!(v.iter().all(|x| x.rule == "R3"));
+    assert!(v.iter().any(|x| x.message.contains("Instant")));
+    assert!(v.iter().any(|x| x.message.contains("spawn")));
+}
+
+#[test]
+fn r4_fires_only_on_pub_non_result_panicking_fns() {
+    let src = fixture("r4_pub_panic.rs");
+    let v = rules::kernel_returns_results(Path::new("r4_pub_panic.rs"), &src);
+    let names: Vec<&str> = v
+        .iter()
+        .map(|x| {
+            x.message
+                .split('`')
+                .nth(1)
+                .expect("message names the function")
+        })
+        .collect();
+    assert_eq!(names, ["pop", "insert"], "{v:?}");
+    assert!(v.iter().all(|x| x.rule == "R4"));
+}
+
+#[test]
+fn r5_fires_on_buffer_before_append_and_uncovered_truncate() {
+    let src = fixture("r5_insert_before_append.rs");
+    let v = rules::durability_order(Path::new("r5.rs"), &src);
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(v[0].message.contains("WAL-before-buffer"), "{v:?}");
+    assert!(v[1].message.contains("truncates the WAL"), "{v:?}");
+}
+
+#[test]
+fn r5_passes_the_compliant_orderings() {
+    // Append-then-insert is the durable order.
+    let ok_put = "
+        impl Engine {
+            pub fn put(&mut self, p: Point) -> Result<()> {
+                self.wal.append(&p)?;
+                self.buffers.insert(p);
+                Ok(())
+            }
+        }";
+    assert!(rules::durability_order(Path::new("ok.rs"), ok_put).is_empty());
+
+    // A manifest record covers the truncation, even through a same-file
+    // helper call.
+    let ok_flush = "
+        impl Engine {
+            pub fn flush(&mut self) -> Result<()> {
+                self.manifest.record(&edit)?;
+                self.compact_wal()?;
+                Ok(())
+            }
+            fn compact_wal(&mut self) -> Result<()> {
+                self.wal.rewrite(&self.survivors())
+            }
+        }";
+    assert!(
+        rules::durability_order(Path::new("ok.rs"), ok_flush).is_empty(),
+        "truncate-only helper must be judged at its call site"
+    );
+
+    // Replay (recovery) legitimately buffers without a fresh append.
+    let ok_recover = "
+        impl Engine {
+            pub fn recover(&mut self) -> Result<()> {
+                for p in self.wal.replay()? {
+                    self.buffers.insert(p);
+                }
+                Ok(())
+            }
+        }";
+    assert!(rules::durability_order(Path::new("ok.rs"), ok_recover).is_empty());
+}
+
+/// The core guarantee: the real workspace is lint-clean. Any regression in
+/// the kernel contracts turns this test (and CI's dedicated seplint step)
+/// red.
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let violations = lint_workspace(&root).expect("workspace lint runs");
+    assert!(
+        violations.is_empty(),
+        "workspace has seplint violations:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

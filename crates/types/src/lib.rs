@@ -16,6 +16,9 @@
 //! Timestamps are `i64` milliseconds ([`Timestamp`]); generation timestamps
 //! are unique within a series and identify a point (paper §II).
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod error;
 pub mod point;
 pub mod policy;

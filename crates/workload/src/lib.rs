@@ -18,6 +18,9 @@
 //! All generators are seeded and deterministic: the same configuration
 //! always produces the same dataset.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod datasets;
 pub mod dynamic;
 pub mod queries;

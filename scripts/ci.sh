@@ -20,10 +20,26 @@ else
   echo "== cargo clippy not installed; skipping lint =="
 fi
 
+echo "== seplint (R1-R5 storage-kernel contracts) =="
+cargo run -q -p seplint --offline -- .
+
 echo "== cargo build --release =="
 cargo build --release --workspace --offline
 
 echo "== cargo test =="
 cargo test -q --workspace --offline
+
+# Opt-in undefined-behaviour lane: MIRI=1 scripts/ci.sh runs the kernel's
+# memtable/buffer unit tests under miri when the component is installed.
+# The workspace forbids unsafe code (seplint R2), so this mainly guards the
+# vendored shims.
+if [[ "${MIRI:-0}" == "1" ]]; then
+  if cargo miri --version >/dev/null 2>&1; then
+    echo "== cargo miri test (opt-in) =="
+    cargo miri test -q -p seplsm-lsm --lib --offline -- memtable buffer
+  else
+    echo "== MIRI=1 requested but cargo-miri is not installed; skipping =="
+  fi
+fi
 
 echo CI-OK

@@ -2,10 +2,15 @@
 //!
 //! The build environment has no network access, so the workspace vendors the
 //! exact API surface it uses: a `Mutex` whose `lock()` returns a guard
-//! directly (no `Result`). Poisoning is transparently ignored, matching
-//! parking_lot semantics where a panicking holder does not poison the lock.
+//! directly (no `Result`), plus a `Condvar`. Poisoning is transparently
+//! ignored, matching parking_lot semantics where a panicking holder does not
+//! poison the lock. One deviation from the real crate: `Condvar::wait*`
+//! consume and return the guard (std style) because the vendored guard is a
+//! plain `std::sync::MutexGuard`, which cannot be re-acquired through an
+//! `&mut` borrow without unsafe code.
 
 use std::fmt;
+use std::time::Duration;
 
 /// A mutual-exclusion primitive with the `parking_lot` locking API.
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
@@ -72,6 +77,59 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+/// A condition variable with the `std::sync` wait API (see module docs),
+/// minus poison handling.
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Atomically releases `guard` and blocks until notified, then
+    /// re-acquires the lock and returns the guard.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        match self.0.wait(guard) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Like [`Condvar::wait`] but gives up after `timeout`. The boolean is
+    /// `true` when the wait timed out rather than being notified.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        match self.0.wait_timeout(guard, timeout) {
+            Ok((g, res)) => (g, res.timed_out()),
+            Err(poisoned) => {
+                let (g, res) = poisoned.into_inner();
+                (g, res.timed_out())
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +151,36 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 0);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use std::sync::Arc;
+
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            let mut done = lock.lock();
+            while !*done {
+                done = cvar.wait(done);
+            }
+        });
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_all();
+        }
+        waiter.join().expect("waiter");
+    }
+
+    #[test]
+    fn condvar_wait_timeout_expires() {
+        let lock = Mutex::new(());
+        let cvar = Condvar::new();
+        let guard = lock.lock();
+        let (_guard, timed_out) =
+            cvar.wait_timeout(guard, Duration::from_millis(5));
+        assert!(timed_out);
     }
 }
