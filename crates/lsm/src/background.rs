@@ -36,7 +36,9 @@
 //! generation time (freshest wins), so no point is lost or double-counted in
 //! query results.
 
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -48,13 +50,15 @@ use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange, Timestamp};
 use crate::buffer::{FlushTrigger, PolicyBuffers};
 use crate::compaction::{self, plan_merge, RunInput};
 use crate::engine::EngineConfig;
-use crate::invariants::InvariantChecker;
+use crate::fault::FaultPlan;
+use crate::invariants::{self, InvariantChecker};
 use crate::iterator::merge_sorted;
 use crate::level::Run;
 use crate::manifest::Manifest;
 use crate::metrics::Metrics;
 use crate::query::QueryStats;
-use crate::sstable::SsTableMeta;
+use crate::recovery::{self, RecoveryMode, RecoveryOptions, RecoveryReport};
+use crate::sstable::{SsTableId, SsTableMeta};
 use crate::store::TableStore;
 use crate::version::{Version, VersionEdit};
 use crate::wal::Wal;
@@ -63,6 +67,25 @@ use crate::wal::Wal;
 const L0_COMPACT_THRESHOLD: usize = 4;
 /// Flush-queue depth before ingestion back-pressures.
 const CHANNEL_DEPTH: usize = 8;
+/// Upper bound on attempts at a transiently failing store operation in the
+/// background worker. Attempt-counted, not clock-based: there is no backoff
+/// sleep, so retries stay deterministic under fault injection.
+const STORE_RETRY_ATTEMPTS: usize = 3;
+
+/// Retries `op` up to [`STORE_RETRY_ATTEMPTS`] times on [`Error::Io`] (the
+/// transient class — a torn network store, an injected fault); any other
+/// error class aborts immediately.
+fn retry_store<T>(mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(Error::Io(_)) if attempt < STORE_RETRY_ATTEMPTS => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
 
 /// Counters reported when the engine is finished — a view over the kernel's
 /// [`Metrics`] plus the final table contents.
@@ -114,6 +137,9 @@ struct TierState {
     /// Debug-build temporal invariants, observed by the worker after every
     /// flush/compaction while the state lock is held.
     invariants: InvariantChecker,
+    /// Why the engine is degraded (read-only), once the worker has exhausted
+    /// its retries on a store failure. `None` while healthy.
+    degraded: Option<String>,
 }
 
 impl TierState {
@@ -190,6 +216,10 @@ pub struct TieredEngine {
     /// When set, `append` waits for each flush to reach L0 before returning
     /// (deterministic on-disk state for query experiments).
     sync_flush: bool,
+    /// Raised by the worker when it enters the degraded read-only state; the
+    /// reason lives in [`TierState::degraded`]. Checked lock-free on the
+    /// append fast path.
+    degraded: Arc<AtomicBool>,
 }
 
 impl TieredEngine {
@@ -218,12 +248,15 @@ impl TieredEngine {
             metrics: Metrics::default(),
             manifest,
             invariants,
+            degraded: None,
         }));
+        let degraded = Arc::new(AtomicBool::new(false));
         let (tx, rx) = bounded::<Arc<Vec<DataPoint>>>(CHANNEL_DEPTH);
         let flush_done = Arc::new(Condvar::new());
         let worker_store = Arc::clone(&store);
         let worker_state = Arc::clone(&state);
         let worker_flush_done = Arc::clone(&flush_done);
+        let worker_degraded = Arc::clone(&degraded);
         let sstable_points = config.sstable_points;
         let handle = std::thread::Builder::new()
             .name("seplsm-compaction".into())
@@ -243,11 +276,29 @@ impl TieredEngine {
                     let mut tables = Vec::new();
                     let mut written = 0u64;
                     let mut bytes = 0u64;
+                    let mut flush_failure = None;
                     for chunk in batch.chunks(sstable_points) {
-                        let (meta, size) = worker_store.put(chunk)?;
-                        written += chunk.len() as u64;
-                        bytes += size as u64;
-                        tables.push(meta);
+                        match retry_store(|| worker_store.put(chunk)) {
+                            Ok((meta, size)) => {
+                                written += chunk.len() as u64;
+                                bytes += size as u64;
+                                tables.push(meta);
+                            }
+                            Err(e) => {
+                                flush_failure = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    if let Some(e) = flush_failure {
+                        // Retries exhausted: enter the degraded read-only
+                        // state instead of panicking. The partially stored
+                        // batch stays a registered flushing MemTable (still
+                        // queryable, still WAL-covered); any chunks that did
+                        // land are orphans for recovery-time GC.
+                        worker_state.lock().degraded = Some(e.to_string());
+                        worker_degraded.store(true, Ordering::Release);
+                        return Ok(());
                     }
                     let tables_created = tables.len() as u64;
                     let mut state = worker_state.lock();
@@ -273,14 +324,30 @@ impl TieredEngine {
                     metrics.tables_created += tables_created;
                     metrics.flushes += 1;
                     if state.version.l0().len() >= L0_COMPACT_THRESHOLD {
-                        state.compact_l0(&worker_store, sstable_points)?;
+                        if let Err(e) = retry_store(|| {
+                            state.compact_l0(&worker_store, sstable_points)
+                        }) {
+                            // compact_l0 only commits its version edit after
+                            // every output table is stored, so a failed
+                            // attempt leaves state consistent (plus orphan
+                            // tables) and a retry restarts from scratch.
+                            state.degraded = Some(e.to_string());
+                            worker_degraded.store(true, Ordering::Release);
+                            return Ok(());
+                        }
                     }
                     state.check_invariants()?;
                     drop(state);
                     worker_flush_done.notify_all();
                 }
                 let mut state = worker_state.lock();
-                state.compact_l0(&worker_store, sstable_points)?;
+                if let Err(e) = retry_store(|| {
+                    state.compact_l0(&worker_store, sstable_points)
+                }) {
+                    state.degraded = Some(e.to_string());
+                    worker_degraded.store(true, Ordering::Release);
+                    return Ok(());
+                }
                 state.check_invariants()
             })
             .map_err(|e| Error::Io(std::io::Error::other(e)))?;
@@ -297,6 +364,7 @@ impl TieredEngine {
             max_gen_seen: pivot,
             user_points: 0,
             sync_flush: false,
+            degraded,
         })
     }
 
@@ -357,8 +425,54 @@ impl TieredEngine {
         manifest_path: PathBuf,
         wal_path: Option<PathBuf>,
     ) -> Result<Self> {
+        Self::recover_with(
+            config,
+            store,
+            manifest_path,
+            wal_path,
+            RecoveryOptions::strict(),
+        )
+        .map(|(engine, _)| engine)
+    }
+
+    /// [`TieredEngine::recover`] with explicit [`RecoveryOptions`]. Under
+    /// [`RecoveryMode::Salvage`] the longest valid prefix of a damaged
+    /// manifest or WAL is used, unreadable tables are quarantined (run
+    /// tables additionally lose overlap clashes to their newer rewrites;
+    /// L0 tables may overlap by design and are only probed), and the
+    /// returned [`RecoveryReport`] names every loss.
+    ///
+    /// # Errors
+    /// Strict mode: any corruption. Salvage mode: only unrecoverable
+    /// store/log failures.
+    pub fn recover_with(
+        config: EngineConfig,
+        store: Arc<dyn TableStore>,
+        manifest_path: PathBuf,
+        wal_path: Option<PathBuf>,
+        options: RecoveryOptions,
+    ) -> Result<(Self, RecoveryReport)> {
         config.validate()?;
-        let (run_metas, l0_metas) = Manifest::replay_levels(&manifest_path)?;
+        let mut report = RecoveryReport::default();
+        let (run_metas, l0_metas) = match options.mode {
+            RecoveryMode::Strict => Manifest::replay_levels(&manifest_path)?,
+            RecoveryMode::Salvage => {
+                let (run_metas, l0_metas, dropped) =
+                    Manifest::replay_levels_salvage(&manifest_path)?;
+                report.manifest_records_dropped = dropped;
+                let run_metas = recovery::salvage_tables(
+                    store.as_ref(),
+                    run_metas,
+                    &mut report,
+                )?;
+                let l0_metas = recovery::probe_tables(
+                    store.as_ref(),
+                    l0_metas,
+                    &mut report,
+                )?;
+                (run_metas, l0_metas)
+            }
+        };
         let run = Run::from_tables(run_metas)?;
         let version = Version::from_levels(run, l0_metas);
         let mut engine = Self::build(config, store, version, None)?;
@@ -374,19 +488,99 @@ impl TieredEngine {
             state.manifest = Some(manifest);
         }
         if let Some(path) = wal_path {
-            let replayed = Wal::replay(&path)?;
+            let replayed = match options.mode {
+                RecoveryMode::Strict => Wal::replay(&path)?,
+                RecoveryMode::Salvage => {
+                    let (points, dropped) = Wal::replay_salvage(&path)?;
+                    report.wal_records_dropped += dropped;
+                    points
+                }
+            };
             for p in &replayed {
                 engine.append_internal(*p, false)?;
             }
             engine.wal = Some(Wal::open(&path)?);
             engine.compact_wal()?;
         }
-        Ok(engine)
+        if options.gc_orphans {
+            // Let replay-triggered flushes land first so the live set is
+            // complete; the worker is then idle, so the sweep cannot race a
+            // concurrent compaction.
+            engine.drain();
+            let live = engine.live_table_ids();
+            recovery::gc_orphans(engine.store.as_ref(), &live, &mut report)?;
+        }
+        Ok((engine, report))
+    }
+
+    /// Ids of every table the current version references (run + L0).
+    fn live_table_ids(&self) -> HashSet<SsTableId> {
+        let state = self.state.lock();
+        state
+            .version
+            .run()
+            .tables()
+            .iter()
+            .map(|m| m.id)
+            .chain(state.version.l0().iter().map(|m| m.id))
+            .collect()
+    }
+
+    /// Routes every subsequent WAL and manifest write through `plan`'s
+    /// fault schedule. The table store is wrapped separately (see
+    /// [`FaultStore`](crate::fault::FaultStore)) — share one plan across
+    /// both so crash schedules get a single global op numbering.
+    pub fn attach_faults(&mut self, plan: &Arc<FaultPlan>) {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.attach_faults(Arc::clone(plan));
+        }
+        if let Some(manifest) = self.state.lock().manifest.as_mut() {
+            manifest.attach_faults(Arc::clone(plan));
+        }
+    }
+
+    /// Audits the full version (structural invariants plus a decode probe of
+    /// every referenced table) against the store. Runs in release builds;
+    /// used as the post-recovery acceptance check.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] describing the first violation.
+    pub fn check_integrity(&self) -> Result<()> {
+        let state = self.state.lock();
+        invariants::audit_version_against_store(
+            &state.version,
+            self.store.as_ref(),
+        )
+    }
+
+    /// Why the engine is degraded (read-only), if it is. Set by the
+    /// background worker after [`STORE_RETRY_ATTEMPTS`] consecutive failures
+    /// of a store operation; once set, writes fail with
+    /// [`Error::Degraded`] while queries keep serving the surviving state.
+    pub fn degraded_reason(&self) -> Option<String> {
+        if !self.degraded.load(Ordering::Acquire) {
+            return None;
+        }
+        self.state.lock().degraded.clone()
+    }
+
+    fn degraded_error(&self) -> Option<Error> {
+        if !self.degraded.load(Ordering::Acquire) {
+            return None;
+        }
+        let reason = match self.state.lock().degraded.clone() {
+            Some(reason) => reason,
+            None => "background storage failure".to_string(),
+        };
+        Some(Error::Degraded(reason))
     }
 
     fn send(&mut self, points: Vec<DataPoint>) -> Result<()> {
         if points.is_empty() {
             return Ok(());
+        }
+        if let Some(e) = self.degraded_error() {
+            return Err(e);
         }
         self.flushed_max = Some(
             self.flushed_max
@@ -409,7 +603,14 @@ impl TieredEngine {
             )));
         };
         tx.send(batch).map_err(|_| {
-            Error::Io(std::io::Error::other("compaction worker terminated"))
+            // A dead worker almost always died into the degraded state;
+            // surface that reason rather than a generic channel error.
+            match self.degraded_error() {
+                Some(e) => e,
+                None => Error::Io(std::io::Error::other(
+                    "compaction worker terminated",
+                )),
+            }
         })
     }
 
@@ -450,6 +651,9 @@ impl TieredEngine {
     }
 
     fn append_internal(&mut self, p: DataPoint, log_wal: bool) -> Result<()> {
+        if let Some(e) = self.degraded_error() {
+            return Err(e);
+        }
         if log_wal {
             if let Some(wal) = self.wal.as_mut() {
                 wal.append(&p)?;
@@ -648,6 +852,11 @@ impl TieredEngine {
         handle.join().map_err(|_| {
             Error::Io(std::io::Error::other("worker panicked"))
         })??;
+        // The worker reports retry exhaustion through the degraded state
+        // rather than its join result: surface it as the typed error.
+        if let Some(e) = self.degraded_error() {
+            return Err(e);
+        }
 
         // Everything is durably in the run now; the WAL has nothing to cover.
         if let Some(wal) = self.wal.as_mut() {
@@ -838,6 +1047,62 @@ mod tests {
             e.append(DataPoint::new(i, i, 0.0)).expect("append");
         }
         drop(e);
+    }
+
+    #[test]
+    fn transient_store_failure_is_absorbed_by_retry() {
+        use crate::fault::{Fault, FaultStore};
+        // Op 2 is a flush-path store write; FailOnce injects a single
+        // failure there and the worker's bounded retry must absorb it.
+        let plan = FaultPlan::new(7, Fault::FailOnce { at: 2 });
+        let store =
+            Arc::new(FaultStore::new(MemStore::new(), Arc::clone(&plan)));
+        let mut e = TieredEngine::new(
+            EngineConfig::conventional(4).with_sstable_points(4),
+            store,
+        )
+        .expect("engine")
+        .with_sync_flush();
+        for i in 0..32i64 {
+            e.append(DataPoint::new(i, i, i as f64)).expect("append");
+        }
+        assert!(e.degraded_reason().is_none());
+        let report = e.finish().expect("one transient failure is retried");
+        assert_eq!(report.points.len(), 32);
+        assert!(plan.injected_failures() >= 1, "fault must have fired");
+    }
+
+    #[test]
+    fn persistent_store_failure_degrades_to_read_only() {
+        use crate::fault::{Fault, FaultStore};
+        let plan = FaultPlan::new(7, Fault::FailPersistent { from: 0 });
+        let store = Arc::new(FaultStore::new(MemStore::new(), plan));
+        let mut e = TieredEngine::new(
+            EngineConfig::conventional(4).with_sstable_points(4),
+            store,
+        )
+        .expect("engine");
+        let mut appended = 0i64;
+        let degraded = loop {
+            if appended >= 10_000 {
+                break false;
+            }
+            match e.append(DataPoint::new(appended, appended, 0.0)) {
+                Ok(()) => appended += 1,
+                Err(Error::Degraded(reason)) => {
+                    assert!(!reason.is_empty());
+                    break true;
+                }
+                Err(other) => panic!("expected Degraded, got {other}"),
+            }
+        };
+        assert!(degraded, "persistent faults must degrade the engine");
+        assert!(e.degraded_reason().is_some());
+        // Reads still serve the surviving (buffered + flushing) data.
+        let (pts, _) =
+            e.query(TimeRange::new(0, 20_000)).expect("degraded query");
+        assert_eq!(pts.len(), appended as usize, "no accepted point lost");
+        assert!(matches!(e.finish(), Err(Error::Degraded(_))));
     }
 
     #[test]

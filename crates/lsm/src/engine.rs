@@ -32,12 +32,16 @@ use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange, Timestamp};
 
 use crate::buffer::{FlushTrigger, PolicyBuffers};
 use crate::compaction::{self, RunInput};
-use crate::invariants::InvariantChecker;
+use crate::fault::FaultPlan;
+use crate::invariants::{self, InvariantChecker};
 use crate::iterator::merge_sorted;
 use crate::level::Run;
 use crate::manifest::Manifest;
 use crate::metrics::{Metrics, WaSnapshot};
 use crate::query::QueryStats;
+use crate::recovery::{
+    self, QuarantinedTable, RecoveryMode, RecoveryOptions, RecoveryReport,
+};
 use crate::store::{MemStore, TableStore};
 use crate::version::Version;
 use crate::wal::Wal;
@@ -224,14 +228,61 @@ impl LsmEngine {
         store: Arc<dyn TableStore>,
         wal_path: Option<PathBuf>,
     ) -> Result<Self> {
+        Self::recover_with(config, store, wal_path, RecoveryOptions::strict())
+            .map(|(engine, _)| engine)
+    }
+
+    /// [`LsmEngine::recover`] with explicit [`RecoveryOptions`]: salvage
+    /// mode quarantines unreadable tables and reports the losses instead of
+    /// aborting, and `gc_orphans` sweeps stored tables the recovered run
+    /// does not reference.
+    ///
+    /// # Errors
+    /// In strict mode, any damage; in salvage mode only unrecoverable
+    /// failures (the store itself erroring on list/quarantine/delete).
+    pub fn recover_with(
+        config: EngineConfig,
+        store: Arc<dyn TableStore>,
+        wal_path: Option<PathBuf>,
+        options: RecoveryOptions,
+    ) -> Result<(Self, RecoveryReport)> {
         config.validate()?;
+        let mut report = RecoveryReport::default();
         let mut metas = Vec::new();
         for id in store.list()? {
-            let points = store.get(id)?;
-            if points.is_empty() {
-                return Err(Error::Corrupt(format!("table {id} is empty")));
+            match store.get(id) {
+                Ok(points) if !points.is_empty() => metas
+                    .push(crate::sstable::SsTableMeta::describe(id, &points)),
+                Ok(_) => {
+                    let err = Error::Corrupt(format!("table {id} is empty"));
+                    if options.mode == RecoveryMode::Strict {
+                        return Err(err);
+                    }
+                    store.quarantine(id)?;
+                    report.quarantined.push(QuarantinedTable {
+                        id,
+                        range: None,
+                        reason: err.to_string(),
+                    });
+                }
+                Err(err) => {
+                    if options.mode == RecoveryMode::Strict {
+                        return Err(err);
+                    }
+                    store.quarantine(id)?;
+                    report.quarantined.push(QuarantinedTable {
+                        id,
+                        range: None,
+                        reason: err.to_string(),
+                    });
+                }
             }
-            metas.push(crate::sstable::SsTableMeta::describe(id, &points));
+        }
+        if options.mode == RecoveryMode::Salvage {
+            // A crashed merge can leave both an old table and the newer
+            // table that re-wrote it; keep the newer superset.
+            metas =
+                recovery::salvage_tables(store.as_ref(), metas, &mut report)?;
         }
         let run = Run::from_tables(metas)?;
         let version = Version::from_levels(run, Vec::new());
@@ -249,15 +300,50 @@ impl LsmEngine {
             invariants,
         };
         if let Some(path) = wal_path {
-            let replayed = Wal::replay(&path)?;
-            for p in &replayed {
-                engine.append_internal(*p, false)?;
-            }
-            let mut wal = Wal::open(&path)?;
-            wal.rewrite(&engine.buffered_snapshot())?;
-            engine.wal = Some(wal);
+            engine.replay_wal(path, options.mode, &mut report)?;
         }
-        Ok(engine)
+        if options.gc_orphans {
+            let live = engine.live_table_ids();
+            recovery::gc_orphans(engine.store.as_ref(), &live, &mut report)?;
+        }
+        Ok((engine, report))
+    }
+
+    /// Replays (strict or salvage) the WAL at `path` into the buffers, then
+    /// attaches a compacted log containing only the surviving points.
+    fn replay_wal(
+        &mut self,
+        path: PathBuf,
+        mode: RecoveryMode,
+        report: &mut RecoveryReport,
+    ) -> Result<()> {
+        let replayed = match mode {
+            RecoveryMode::Strict => Wal::replay(&path)?,
+            RecoveryMode::Salvage => {
+                let (points, dropped) = Wal::replay_salvage(&path)?;
+                report.wal_records_dropped += dropped;
+                points
+            }
+        };
+        for p in &replayed {
+            self.append_internal(*p, false)?;
+        }
+        let mut wal = Wal::open(&path)?;
+        wal.rewrite(&self.buffered_snapshot())?;
+        self.wal = Some(wal);
+        Ok(())
+    }
+
+    pub(crate) fn live_table_ids(
+        &self,
+    ) -> std::collections::HashSet<crate::sstable::SsTableId> {
+        self.version
+            .run()
+            .tables()
+            .iter()
+            .chain(self.version.l0())
+            .map(|m| m.id)
+            .collect()
     }
 
     /// Rebuilds an engine from the manifest instead of reading every table:
@@ -272,8 +358,53 @@ impl LsmEngine {
         manifest_path: PathBuf,
         wal_path: Option<PathBuf>,
     ) -> Result<Self> {
+        Self::recover_from_manifest_with(
+            config,
+            store,
+            manifest_path,
+            wal_path,
+            RecoveryOptions::strict(),
+        )
+        .map(|(engine, _)| engine)
+    }
+
+    /// [`LsmEngine::recover_from_manifest`] with explicit
+    /// [`RecoveryOptions`]: salvage mode uses the longest valid manifest
+    /// prefix, quarantines tables that are unreadable or disagree with
+    /// their metadata, and reports every loss; `gc_orphans` sweeps stored
+    /// tables the recovered run does not reference (debris from a crash
+    /// between a compaction's output writes and its manifest record).
+    ///
+    /// # Errors
+    /// In strict mode, any damage; in salvage mode only unrecoverable
+    /// failures.
+    pub fn recover_from_manifest_with(
+        config: EngineConfig,
+        store: Arc<dyn TableStore>,
+        manifest_path: PathBuf,
+        wal_path: Option<PathBuf>,
+        options: RecoveryOptions,
+    ) -> Result<(Self, RecoveryReport)> {
         config.validate()?;
-        let metas = Manifest::replay(&manifest_path)?;
+        let mut report = RecoveryReport::default();
+        let metas = match options.mode {
+            RecoveryMode::Strict => Manifest::replay(&manifest_path)?,
+            RecoveryMode::Salvage => {
+                let (run, l0, dropped) =
+                    Manifest::replay_levels_salvage(&manifest_path)?;
+                if !l0.is_empty() {
+                    // A tiered engine's manifest — wrong engine, not
+                    // damage; salvage must not silently drop a level.
+                    return Err(Error::Corrupt(
+                        "manifest contains L0 records; recover with \
+                         TieredEngine"
+                            .into(),
+                    ));
+                }
+                report.manifest_records_dropped += dropped;
+                recovery::salvage_tables(store.as_ref(), run, &mut report)?
+            }
+        };
         let run = Run::from_tables(metas)?;
         let version = Version::from_levels(run, Vec::new());
         let max_gen_seen = version.run().last_gen_time();
@@ -290,18 +421,45 @@ impl LsmEngine {
             invariants,
         };
         if let Some(path) = wal_path {
-            let replayed = Wal::replay(&path)?;
-            for p in &replayed {
-                engine.append_internal(*p, false)?;
-            }
-            let mut wal = Wal::open(&path)?;
-            wal.rewrite(&engine.buffered_snapshot())?;
-            engine.wal = Some(wal);
+            engine.replay_wal(path, options.mode, &mut report)?;
         }
         let mut manifest = Manifest::open(&manifest_path)?;
         manifest.rewrite(engine.version.run().tables())?;
         engine.manifest = Some(manifest);
-        Ok(engine)
+        if options.gc_orphans {
+            let live = engine.live_table_ids();
+            recovery::gc_orphans(engine.store.as_ref(), &live, &mut report)?;
+        }
+        Ok((engine, report))
+    }
+
+    /// Attaches a fault plan to the engine's WAL and manifest (if present)
+    /// so their disk touches join the plan's op schedule. The table store
+    /// is attached separately at construction
+    /// ([`FileStore::with_faults`](crate::FileStore::with_faults) or a
+    /// [`FaultStore`](crate::fault::FaultStore) wrapper) — share one plan
+    /// across all three for a single global op numbering.
+    pub fn attach_faults(&mut self, plan: &Arc<FaultPlan>) {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.attach_faults(Arc::clone(plan));
+        }
+        if let Some(manifest) = self.manifest.as_mut() {
+            manifest.attach_faults(Arc::clone(plan));
+        }
+    }
+
+    /// Full integrity audit: structural version invariants plus a complete
+    /// decode of every referenced table against its metadata. Runs in
+    /// release builds too (unlike the per-edit debug checks) — this is the
+    /// post-recovery acceptance test of the crash-schedule harness.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] (or a store read error) on the first violation.
+    pub fn check_integrity(&self) -> Result<()> {
+        invariants::audit_version_against_store(
+            &self.version,
+            self.store.as_ref(),
+        )
     }
 
     /// The active configuration.

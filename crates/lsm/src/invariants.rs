@@ -44,6 +44,13 @@ pub fn check_version(version: &Version) -> Result<()> {
     if !cfg!(debug_assertions) {
         return Ok(());
     }
+    check_version_always(version)
+}
+
+/// The ungated body of [`check_version`], shared with the recovery-time
+/// audit ([`audit_version_against_store`]), which must run in release
+/// builds too.
+pub(crate) fn check_version_always(version: &Version) -> Result<()> {
     version.run().check_invariants()?;
     for meta in version.run().tables().iter().chain(version.l0()) {
         if meta.count == 0 {
@@ -92,29 +99,61 @@ pub fn check_version_against_store(
     let run = version.run().tables();
     let decode_from = run.len().saturating_sub(DECODED_TAIL_TABLES);
     for meta in run[decode_from..].iter().chain(version.l0()) {
-        let points = store.get(meta.id)?;
-        if points.len() as u64 != u64::from(meta.count) {
-            return Err(corrupt(format!(
-                "table {} stores {} points but metadata says {}",
-                meta.id,
-                points.len(),
-                meta.count
-            )));
-        }
-        let (Some(first), Some(last)) = (points.first(), points.last()) else {
-            return Err(corrupt(format!("table {} decoded empty", meta.id)));
-        };
-        if first.gen_time != meta.range.start || last.gen_time != meta.range.end
-        {
-            return Err(corrupt(format!(
-                "table {} spans [{} .. {}] but metadata says [{} .. {}]",
-                meta.id,
-                first.gen_time,
-                last.gen_time,
-                meta.range.start,
-                meta.range.end
-            )));
-        }
+        probe_table(store, meta)?;
+    }
+    Ok(())
+}
+
+/// Decodes one table and checks it agrees with its metadata (point count
+/// and range endpoints). Always on: this is the readability probe salvage
+/// recovery uses to decide whether a table must be quarantined.
+///
+/// # Errors
+/// [`Error::Corrupt`] (or the store's read error) on any disagreement.
+pub fn probe_table(
+    store: &dyn TableStore,
+    meta: &crate::sstable::SsTableMeta,
+) -> Result<()> {
+    let points = store.get(meta.id)?;
+    if points.len() as u64 != u64::from(meta.count) {
+        return Err(corrupt(format!(
+            "table {} stores {} points but metadata says {}",
+            meta.id,
+            points.len(),
+            meta.count
+        )));
+    }
+    let (Some(first), Some(last)) = (points.first(), points.last()) else {
+        return Err(corrupt(format!("table {} decoded empty", meta.id)));
+    };
+    if first.gen_time != meta.range.start || last.gen_time != meta.range.end {
+        return Err(corrupt(format!(
+            "table {} spans [{} .. {}] but metadata says [{} .. {}]",
+            meta.id,
+            first.gen_time,
+            last.gen_time,
+            meta.range.start,
+            meta.range.end
+        )));
+    }
+    Ok(())
+}
+
+/// Recovery-time audit: the structural checks plus a complete decode of
+/// *every* table (run and L0) against its metadata. Unlike the per-edit
+/// checks this also runs in release builds — recovery is rare, so the
+/// O(data) cost buys certainty that a recovered version serves only
+/// readable, consistent tables.
+///
+/// # Errors
+/// [`Error::Corrupt`] (or a store read error) on the first violation.
+pub fn audit_version_against_store(
+    version: &Version,
+    store: &dyn TableStore,
+) -> Result<()> {
+    check_version_always(version)?;
+    for meta in version.run().tables().iter().chain(version.l0()) {
+        probe_table(store, meta)?;
     }
     Ok(())
 }

@@ -82,6 +82,7 @@ pub mod buffer;
 pub(crate) mod codec;
 pub mod compaction;
 pub mod engine;
+pub mod fault;
 pub mod invariants;
 pub mod iterator;
 pub mod level;
@@ -90,6 +91,7 @@ pub mod memtable;
 pub mod metrics;
 pub mod multi;
 pub mod query;
+pub mod recovery;
 pub mod sstable;
 pub mod store;
 pub mod version;
@@ -99,6 +101,7 @@ pub use background::{TieredEngine, TieredReport};
 pub use buffer::{FlushTrigger, PolicyBuffers};
 pub use compaction::{plan_merge, CompactionPlan, RunInput};
 pub use engine::{EngineConfig, LsmEngine};
+pub use fault::{Fault, FaultPlan, FaultStore, IoOp};
 pub use invariants::InvariantChecker;
 pub use iterator::{merge_sorted, MergeIter};
 pub use level::Run;
@@ -107,7 +110,10 @@ pub use memtable::MemTable;
 pub use metrics::{Metrics, WaSnapshot};
 pub use multi::{MultiSeriesEngine, SeriesId};
 pub use query::{DiskModel, QueryStats};
+pub use recovery::{
+    QuarantinedTable, RecoveryMode, RecoveryOptions, RecoveryReport,
+};
 pub use sstable::{Compression, EncodeOptions, SsTableId, SsTableMeta};
-pub use store::{FileStore, MemStore, TableStore};
+pub use store::{sync_dir, FileStore, MemStore, TableStore};
 pub use version::{Version, VersionEdit};
 pub use wal::Wal;

@@ -13,15 +13,18 @@
 //! series through the single-series recovery path.
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange};
 
 use crate::engine::{EngineConfig, LsmEngine};
+use crate::fault::FaultPlan;
 use crate::metrics::Metrics;
 use crate::query::QueryStats;
+use crate::recovery::{self, RecoveryOptions, RecoveryReport};
+use crate::sstable::SsTableId;
 use crate::store::{MemStore, TableStore};
 
 /// Identifier of one time series (e.g. one sensor channel of one vehicle).
@@ -78,6 +81,9 @@ pub struct MultiSeriesEngine {
     /// When set, every series gets a WAL and manifest under this directory,
     /// namespaced by its id.
     durable_dir: Option<PathBuf>,
+    /// When set, every series' WAL and manifest writes route through this
+    /// fault schedule (the shared store is wrapped separately).
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl MultiSeriesEngine {
@@ -88,6 +94,7 @@ impl MultiSeriesEngine {
             template,
             series: HashMap::new(),
             durable_dir: None,
+            faults: None,
         }
     }
 
@@ -126,8 +133,36 @@ impl MultiSeriesEngine {
         store: Arc<dyn TableStore>,
         dir: impl AsRef<Path>,
     ) -> Result<Self> {
+        Self::recover_with(template, store, dir, RecoveryOptions::strict())
+            .map(|(engine, _)| engine)
+    }
+
+    /// [`MultiSeriesEngine::recover`] with explicit [`RecoveryOptions`]:
+    /// each series recovers through
+    /// [`LsmEngine::recover_from_manifest_with`] and their
+    /// [`RecoveryReport`]s are folded into one fleet-wide report. Orphan GC
+    /// (when requested) runs once, *after* every series has recovered,
+    /// against the union of all series' live tables — the shared store makes
+    /// any per-series sweep unsound.
+    ///
+    /// # Errors
+    /// Strict mode: any corruption in any series. Salvage mode: only
+    /// unrecoverable store/log failures.
+    pub fn recover_with(
+        template: EngineConfig,
+        store: Arc<dyn TableStore>,
+        dir: impl AsRef<Path>,
+        options: RecoveryOptions,
+    ) -> Result<(Self, RecoveryReport)> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        // GC is deferred to the fleet-wide sweep below; a per-series sweep
+        // would delete the other series' tables.
+        let per_series = RecoveryOptions {
+            gc_orphans: false,
+            ..options
+        };
+        let mut report = RecoveryReport::default();
         let mut series = HashMap::new();
         for entry in std::fs::read_dir(&dir)? {
             let name = entry?.file_name();
@@ -139,20 +174,55 @@ impl MultiSeriesEngine {
             else {
                 continue;
             };
-            let engine = LsmEngine::recover_from_manifest(
-                template.clone(),
-                Arc::clone(&store),
-                dir.join(format!("series-{id}.manifest")),
-                Some(dir.join(format!("series-{id}.wal"))),
-            )?;
+            let (engine, series_report) =
+                LsmEngine::recover_from_manifest_with(
+                    template.clone(),
+                    Arc::clone(&store),
+                    dir.join(format!("series-{id}.manifest")),
+                    Some(dir.join(format!("series-{id}.wal"))),
+                    per_series,
+                )?;
+            report.merge(series_report);
             series.insert(SeriesId(id), engine);
         }
-        Ok(Self {
+        let engine = Self {
             store,
             template,
             series,
             durable_dir: Some(dir),
-        })
+            faults: None,
+        };
+        if options.gc_orphans {
+            let mut live: HashSet<SsTableId> = HashSet::new();
+            for e in engine.series.values() {
+                live.extend(e.live_table_ids());
+            }
+            recovery::gc_orphans(engine.store.as_ref(), &live, &mut report)?;
+        }
+        Ok((engine, report))
+    }
+
+    /// Routes every series' WAL and manifest writes (current series and any
+    /// created later) through `plan`'s fault schedule. Wrap the shared
+    /// table store separately with the *same* plan for a single global op
+    /// numbering.
+    pub fn attach_faults(&mut self, plan: &Arc<FaultPlan>) {
+        for engine in self.series.values_mut() {
+            engine.attach_faults(plan);
+        }
+        self.faults = Some(Arc::clone(plan));
+    }
+
+    /// Audits every series' version and tables against the shared store.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] (or a store read error) on the first violation in
+    /// any series.
+    pub fn check_integrity(&self) -> Result<()> {
+        for engine in self.series.values() {
+            engine.check_integrity()?;
+        }
+        Ok(())
     }
 
     /// Number of series hosted so far.
@@ -191,6 +261,9 @@ impl MultiSeriesEngine {
                         .with_manifest(
                             dir.join(format!("series-{}.manifest", series.0)),
                         )?;
+                }
+                if let Some(plan) = &self.faults {
+                    engine.attach_faults(plan);
                 }
                 Ok(slot.insert(engine))
             }

@@ -1,0 +1,279 @@
+//! Recovery modes and the salvage report.
+//!
+//! Strict recovery (the default, and the only behaviour before this module
+//! existed) aborts on the first unreadable table, torn log, or metadata
+//! disagreement. Salvage recovery instead *degrades*: unreadable tables are
+//! moved into the store's quarantine area
+//! ([`TableStore::quarantine`](crate::store::TableStore::quarantine)), the
+//! longest valid prefix of a damaged WAL or manifest is used, and the
+//! returned [`RecoveryReport`] names every lost time range so operators know
+//! exactly what the surviving data set is missing. Either mode can also
+//! garbage-collect orphan `.sst` files leaked by a crash mid-compaction
+//! (opt-in: see [`RecoveryOptions::gc_orphans`]).
+
+use seplsm_types::{Result, TimeRange};
+
+use crate::invariants::probe_table;
+use crate::sstable::{SsTableId, SsTableMeta};
+use crate::store::TableStore;
+
+/// How recovery reacts to damage it finds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryMode {
+    /// Abort with an error on the first unreadable table or corrupt log
+    /// record (beyond the always-tolerated torn tail).
+    #[default]
+    Strict,
+    /// Quarantine unreadable tables, use the longest valid prefix of
+    /// damaged logs, and report the losses instead of aborting.
+    Salvage,
+}
+
+/// Options for the `recover_with` constructors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryOptions {
+    /// Strict or salvage handling of damage.
+    pub mode: RecoveryMode,
+    /// Delete stored tables that the recovered version does not reference
+    /// (debris leaked by a crash between writing a compaction's outputs and
+    /// logging the result). Opt-in because it is only safe when the
+    /// recovered version(s) cover *everything* live in the store — a
+    /// multi-series engine must union all series before sweeping, and a
+    /// store shared beyond that must never be swept.
+    pub gc_orphans: bool,
+}
+
+impl RecoveryOptions {
+    /// Strict recovery, no GC — the pre-existing behaviour.
+    pub fn strict() -> Self {
+        Self::default()
+    }
+
+    /// Salvage-mode recovery, no GC.
+    pub fn salvage() -> Self {
+        Self {
+            mode: RecoveryMode::Salvage,
+            ..Self::default()
+        }
+    }
+
+    /// Enables orphan-table garbage collection.
+    pub fn with_gc_orphans(mut self) -> Self {
+        self.gc_orphans = true;
+        self
+    }
+}
+
+/// One table salvage removed from the live set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedTable {
+    /// The table's id (its bytes now live under `quarantine/`).
+    pub id: SsTableId,
+    /// The time range the metadata claimed, when any metadata existed.
+    pub range: Option<TimeRange>,
+    /// Why the table was unusable.
+    pub reason: String,
+}
+
+/// What recovery found and did. Strict recovery returns a clean report or
+/// no engine at all; salvage recovery returns the damage inventory.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Tables moved out of the live set, in quarantine order.
+    pub quarantined: Vec<QuarantinedTable>,
+    /// Time ranges the surviving data set no longer covers (one per
+    /// quarantined table with known metadata; overlapping entries are not
+    /// merged).
+    pub lost_ranges: Vec<TimeRange>,
+    /// Whole WAL records dropped past the last valid prefix (salvage only).
+    pub wal_records_dropped: u64,
+    /// Whole manifest records dropped past the last valid prefix.
+    pub manifest_records_dropped: u64,
+    /// Orphan tables deleted by [`RecoveryOptions::gc_orphans`].
+    pub orphans_removed: Vec<SsTableId>,
+}
+
+impl RecoveryReport {
+    /// True when recovery found no damage at all (orphan GC alone still
+    /// counts as clean — orphans are invisible to readers).
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+            && self.lost_ranges.is_empty()
+            && self.wal_records_dropped == 0
+            && self.manifest_records_dropped == 0
+    }
+
+    /// Folds another report (e.g. one series of a multi-series recovery)
+    /// into this one.
+    pub fn merge(&mut self, other: RecoveryReport) {
+        self.quarantined.extend(other.quarantined);
+        self.lost_ranges.extend(other.lost_ranges);
+        self.wal_records_dropped += other.wal_records_dropped;
+        self.manifest_records_dropped += other.manifest_records_dropped;
+        self.orphans_removed.extend(other.orphans_removed);
+    }
+
+    fn note_quarantine(
+        &mut self,
+        meta: &SsTableMeta,
+        reason: impl Into<String>,
+    ) {
+        self.quarantined.push(QuarantinedTable {
+            id: meta.id,
+            range: Some(meta.range),
+            reason: reason.into(),
+        });
+        self.lost_ranges.push(meta.range);
+    }
+}
+
+/// Probes every candidate table against the store and quarantines the ones
+/// that are unreadable or disagree with their metadata, then resolves any
+/// range overlaps among the survivors (a salvaged metadata set can pair an
+/// old table with the newer table that re-wrote it — the newer one, a
+/// superset, wins). Returns the surviving metadata; `report` accumulates
+/// the losses.
+///
+/// # Errors
+/// Only store-level failures while *quarantining* propagate; unreadable
+/// tables themselves are handled, not raised.
+pub(crate) fn salvage_tables(
+    store: &dyn TableStore,
+    candidates: Vec<SsTableMeta>,
+    report: &mut RecoveryReport,
+) -> Result<Vec<SsTableMeta>> {
+    let survivors = probe_tables(store, candidates, report)?;
+    resolve_overlaps(store, survivors, report)
+}
+
+/// Probe-only variant of [`salvage_tables`] for levels whose tables may
+/// legitimately overlap (L0): unreadable tables are quarantined, but no
+/// overlap resolution is applied.
+///
+/// # Errors
+/// Store-level failures while quarantining.
+pub(crate) fn probe_tables(
+    store: &dyn TableStore,
+    candidates: Vec<SsTableMeta>,
+    report: &mut RecoveryReport,
+) -> Result<Vec<SsTableMeta>> {
+    let mut survivors = Vec::with_capacity(candidates.len());
+    for meta in candidates {
+        match probe_table(store, &meta) {
+            Ok(()) => survivors.push(meta),
+            Err(e) => {
+                store.quarantine(meta.id)?;
+                report.note_quarantine(&meta, e.to_string());
+            }
+        }
+    }
+    Ok(survivors)
+}
+
+/// Drops the older table of every overlapping pair until the set is
+/// non-overlapping (the newer table of a pair produced by a crashed merge
+/// contains the older one's points).
+fn resolve_overlaps(
+    store: &dyn TableStore,
+    mut tables: Vec<SsTableMeta>,
+    report: &mut RecoveryReport,
+) -> Result<Vec<SsTableMeta>> {
+    tables.sort_by_key(|m| (m.range.start, m.range.end, m.id));
+    loop {
+        let mut clash = None;
+        for i in 1..tables.len() {
+            if tables[i].range.start <= tables[i - 1].range.end {
+                // Quarantine the older (lower-id) table of the pair.
+                clash = Some(if tables[i].id < tables[i - 1].id {
+                    i
+                } else {
+                    i - 1
+                });
+                break;
+            }
+        }
+        let Some(idx) = clash else {
+            return Ok(tables);
+        };
+        let meta = tables.remove(idx);
+        store.quarantine(meta.id)?;
+        report.note_quarantine(&meta, "overlaps a newer recovered table");
+    }
+}
+
+/// Deletes every stored table not in `live`, recording the removals.
+///
+/// # Errors
+/// Store list/delete failures propagate.
+pub(crate) fn gc_orphans(
+    store: &dyn TableStore,
+    live: &std::collections::HashSet<SsTableId>,
+    report: &mut RecoveryReport,
+) -> Result<()> {
+    for id in store.list()? {
+        if !live.contains(&id) {
+            store.delete(id)?;
+            report.orphans_removed.push(id);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use seplsm_types::DataPoint;
+
+    use super::*;
+    use crate::store::MemStore;
+
+    fn stored(store: &MemStore, range: std::ops::Range<i64>) -> SsTableMeta {
+        let points: Vec<DataPoint> =
+            range.map(|i| DataPoint::new(i, i, i as f64)).collect();
+        store.put(&points).expect("put").0
+    }
+
+    #[test]
+    fn salvage_keeps_readable_tables_and_reports_the_rest() {
+        let store = MemStore::new();
+        let ok = stored(&store, 0..10);
+        let mut missing = stored(&store, 20..30);
+        store.delete(missing.id).expect("delete"); // unreadable now
+        missing.count = 10;
+        let mut report = RecoveryReport::default();
+        let survivors = salvage_tables(&store, vec![ok, missing], &mut report)
+            .expect("salvage");
+        assert_eq!(survivors, vec![ok]);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].id, missing.id);
+        assert_eq!(report.lost_ranges, vec![missing.range]);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn overlap_resolution_prefers_the_newer_table() {
+        let store = MemStore::new();
+        // A crashed merge: the old table and the wider table that re-wrote
+        // it both survive on disk.
+        let old = stored(&store, 5..10);
+        let merged = stored(&store, 0..15);
+        let mut report = RecoveryReport::default();
+        let survivors = salvage_tables(&store, vec![old, merged], &mut report)
+            .expect("salvage");
+        assert_eq!(survivors, vec![merged], "newer superset table wins");
+        assert_eq!(report.quarantined[0].id, old.id);
+    }
+
+    #[test]
+    fn gc_removes_only_unreferenced_tables() {
+        let store = MemStore::new();
+        let live_meta = stored(&store, 0..5);
+        let orphan = stored(&store, 100..105);
+        let mut report = RecoveryReport::default();
+        let live = std::collections::HashSet::from([live_meta.id]);
+        gc_orphans(&store, &live, &mut report).expect("gc");
+        assert_eq!(report.orphans_removed, vec![orphan.id]);
+        assert!(store.get(live_meta.id).is_ok());
+        assert!(store.get(orphan.id).is_err());
+        assert!(report.is_clean(), "orphan GC alone is still clean");
+    }
+}

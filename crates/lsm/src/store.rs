@@ -9,13 +9,52 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 use seplsm_types::{DataPoint, Error, Result, TimeRange};
 
+use crate::fault::{self, FaultPlan, IoOp, WriteCheck};
 use crate::sstable::format::{self, EncodeOptions, RangeRead};
 use crate::sstable::{SsTableId, SsTableMeta};
+
+/// Fsyncs a directory so a preceding `rename` inside it survives a power
+/// cut. `rename` makes a tmp-file promotion atomic, but the *directory
+/// entry* update lives in the directory inode — until that is flushed the
+/// rename itself can be lost. Call this after every tmp-write + rename
+/// (seplint rule R6 enforces it in the durability modules).
+pub fn sync_dir(dir: &Path) -> Result<()> {
+    std::fs::File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// Removes every `*.tmp` file directly under `dir` — debris from writes
+/// crashed between tmp creation and the promoting rename. Missing dirs are
+/// fine (nothing to sweep); used by [`FileStore::open`], `Wal::open` and
+/// `Manifest::open`.
+pub(crate) fn sweep_tmp_files(dir: &Path) -> Result<()> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        let is_tmp = path
+            .extension()
+            .and_then(|e| e.to_str())
+            .is_some_and(|e| e == "tmp");
+        if is_tmp && path.is_file() {
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+    Ok(())
+}
 
 /// Backing storage for encoded SSTables.
 ///
@@ -49,6 +88,15 @@ pub trait TableStore: Send + Sync {
             points_scanned,
             blocks_read: 1,
         })
+    }
+
+    /// Moves an unreadable table out of the live set (salvage-mode
+    /// recovery). The default simply removes it; stores with durable
+    /// backing should instead park the bytes somewhere recoverable (the
+    /// [`FileStore`] moves them into a `quarantine/` subdirectory) so the
+    /// damaged table stays available for forensics.
+    fn quarantine(&self, id: SsTableId) -> Result<()> {
+        self.delete(id)
     }
 }
 
@@ -140,14 +188,17 @@ pub struct FileStore {
     dir: PathBuf,
     next_id: Mutex<u64>,
     options: EncodeOptions,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl FileStore {
     /// Opens (creating if needed) a store in `dir`. Existing `.sst` files are
-    /// adopted and id assignment continues after the largest one found.
+    /// adopted and id assignment continues after the largest one found;
+    /// stale `*.tmp` debris from crashed writes is swept first.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        sweep_tmp_files(&dir)?;
         let mut max_id = None::<u64>;
         for entry in std::fs::read_dir(&dir)? {
             let entry = entry?;
@@ -159,6 +210,7 @@ impl FileStore {
             dir,
             next_id: Mutex::new(max_id.map_or(0, |m| m + 1)),
             options: EncodeOptions::default(),
+            faults: None,
         })
     }
 
@@ -173,9 +225,22 @@ impl FileStore {
         Ok(store)
     }
 
+    /// Attaches a fault plan: every subsequent physical operation (tmp
+    /// write, fsync, rename, read, delete, list, directory sync) consults
+    /// the plan first. Used by the crash-schedule harness.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Directory backing this store.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Directory that quarantined (salvage-mode) tables are moved into.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
     }
 
     fn path_for(&self, id: SsTableId) -> PathBuf {
@@ -204,19 +269,42 @@ impl TableStore for FileStore {
         let tmp_path = final_path.with_extension("sst.tmp");
         {
             let mut f = std::fs::File::create(&tmp_path)?;
-            f.write_all(&encoded)?;
+            match fault::hook_write(
+                self.faults.as_ref(),
+                IoOp::StoreWrite,
+                encoded.len(),
+            )? {
+                WriteCheck::Proceed => f.write_all(&encoded)?,
+                WriteCheck::Torn { keep } => {
+                    // A torn table write: persist only the prefix, leave
+                    // the tmp file behind (swept on the next open).
+                    f.write_all(&encoded[..keep.min(encoded.len())])?;
+                    f.sync_all()?;
+                    let index = self
+                        .faults
+                        .as_ref()
+                        .map_or(0, |p| p.ops().saturating_sub(1));
+                    return Err(fault::injected_crash(IoOp::StoreWrite, index));
+                }
+            }
+            fault::hook(self.faults.as_ref(), IoOp::StoreSync)?;
             f.sync_all()?;
         }
+        fault::hook(self.faults.as_ref(), IoOp::StoreRename)?;
         std::fs::rename(&tmp_path, &final_path)?;
+        fault::hook(self.faults.as_ref(), IoOp::DirSync)?;
+        sync_dir(&self.dir)?;
         Ok((SsTableMeta::describe(id, points), size))
     }
 
     fn get(&self, id: SsTableId) -> Result<Vec<DataPoint>> {
+        fault::hook(self.faults.as_ref(), IoOp::StoreRead)?;
         let bytes = std::fs::read(self.path_for(id))?;
         format::decode(&bytes)
     }
 
     fn delete(&self, id: SsTableId) -> Result<()> {
+        fault::hook(self.faults.as_ref(), IoOp::StoreDelete)?;
         match std::fs::remove_file(self.path_for(id)) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
@@ -225,6 +313,7 @@ impl TableStore for FileStore {
     }
 
     fn list(&self) -> Result<Vec<SsTableId>> {
+        fault::hook(self.faults.as_ref(), IoOp::StoreList)?;
         let mut ids = Vec::new();
         for entry in std::fs::read_dir(&self.dir)? {
             let entry = entry?;
@@ -237,8 +326,24 @@ impl TableStore for FileStore {
     }
 
     fn get_range(&self, id: SsTableId, range: TimeRange) -> Result<RangeRead> {
+        fault::hook(self.faults.as_ref(), IoOp::StoreRead)?;
         let bytes = std::fs::read(self.path_for(id))?;
         format::decode_range(&bytes, range)
+    }
+
+    fn quarantine(&self, id: SsTableId) -> Result<()> {
+        fault::hook(self.faults.as_ref(), IoOp::StoreDelete)?;
+        let src = self.path_for(id);
+        if !src.exists() {
+            return Ok(()); // idempotent, like delete
+        }
+        let qdir = self.quarantine_dir();
+        std::fs::create_dir_all(&qdir)?;
+        let dst = qdir.join(format!("{:08}.sst", id.0));
+        std::fs::rename(&src, &dst)?;
+        sync_dir(&qdir)?;
+        sync_dir(&self.dir)?;
+        Ok(())
     }
 }
 
@@ -310,6 +415,78 @@ mod tests {
             assert_eq!(store.get(id_first).expect("old table"), pts(0..10));
             assert_eq!(store.list().expect("list").len(), 2);
         }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn file_store_sweeps_stale_tmp_on_open() {
+        let dir = std::env::temp_dir().join(format!(
+            "seplsm-store-sweep-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        // Debris from a crash between tmp write and rename.
+        let stale = dir.join("00000003.sst.tmp");
+        std::fs::write(&stale, b"half a table").expect("write stale tmp");
+        let store = FileStore::open(&dir).expect("open");
+        assert!(!stale.exists(), "open must sweep stale tmp files");
+        // The sweep never touches live tables.
+        let (meta, _) = store.put(&pts(0..5)).expect("put");
+        drop(store);
+        let store = FileStore::open(&dir).expect("re-open");
+        assert_eq!(store.get(meta.id).expect("survives reopen"), pts(0..5));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn file_store_put_syncs_directory_after_rename() {
+        let dir = std::env::temp_dir().join(format!(
+            "seplsm-store-dirsync-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = crate::fault::FaultPlan::trace_only(0);
+        let store = FileStore::open(&dir)
+            .expect("open")
+            .with_faults(Arc::clone(&plan));
+        store.put(&pts(0..10)).expect("put");
+        // The durable put protocol: tmp write, tmp fsync, rename, then the
+        // parent-directory fsync that makes the rename itself durable.
+        assert_eq!(
+            plan.trace(),
+            vec![
+                IoOp::StoreWrite,
+                IoOp::StoreSync,
+                IoOp::StoreRename,
+                IoOp::DirSync
+            ]
+        );
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn file_store_quarantines_into_subdirectory() {
+        let dir = std::env::temp_dir().join(format!(
+            "seplsm-store-quarantine-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileStore::open(&dir).expect("open");
+        let (meta, _) = store.put(&pts(0..20)).expect("put");
+        store.quarantine(meta.id).expect("quarantine");
+        store.quarantine(meta.id).expect("idempotent");
+        assert!(store.get(meta.id).is_err(), "table left the live set");
+        assert!(store.list().expect("list").is_empty());
+        let parked =
+            store.quarantine_dir().join(format!("{:08}.sst", meta.id.0));
+        assert!(parked.exists(), "bytes parked for forensics");
+        // The quarantine directory itself is not mistaken for a table.
+        let reopened = FileStore::open(&dir).expect("re-open");
+        assert!(reopened.list().expect("list").is_empty());
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 

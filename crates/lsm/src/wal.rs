@@ -9,11 +9,14 @@
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use seplsm_types::{DataPoint, Error, Result};
 
 use crate::codec;
+use crate::fault::{self, FaultPlan, IoOp, WriteCheck};
 use crate::sstable::crc32::crc32;
+use crate::store::sync_dir;
 
 /// Payload layout: gen_time i64 LE + arrival_time i64 LE + value bits u64 LE.
 const PAYLOAD: usize = 24;
@@ -24,6 +27,7 @@ const RECORD: usize = 4 + PAYLOAD;
 pub struct Wal {
     writer: BufWriter<File>,
     path: PathBuf,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl std::fmt::Debug for Wal {
@@ -42,18 +46,86 @@ fn encode_record(p: &DataPoint) -> [u8; RECORD] {
     rec
 }
 
+/// Walks `data` as a sequence of fixed-size records. Returns
+/// `(good_len, tail_is_garbage)`: `good_len` is the byte length of the
+/// contiguous CRC-valid prefix, and `tail_is_garbage` is true when no
+/// CRC-valid record exists at any record-aligned offset past `good_len` —
+/// i.e. the damage is a torn tail, not mid-log corruption in front of
+/// still-valid records.
+fn scan(data: &[u8]) -> (usize, bool) {
+    let mut good_len = 0;
+    while good_len + RECORD <= data.len() {
+        let rec = &data[good_len..good_len + RECORD];
+        let stored = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
+        if stored != crc32(&rec[4..]) {
+            break;
+        }
+        good_len += RECORD;
+    }
+    let mut offset = good_len + RECORD;
+    while offset + RECORD <= data.len() {
+        let rec = &data[offset..offset + RECORD];
+        let stored = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
+        if stored == crc32(&rec[4..]) {
+            return (good_len, false);
+        }
+        offset += RECORD;
+    }
+    (good_len, true)
+}
+
 impl Wal {
     /// Opens (creating if needed) the log at `path` for appending.
+    ///
+    /// Stale `wal.tmp` debris from a crashed [`Wal::rewrite`] is swept, and
+    /// a torn tail (a truncated or garbage final record with nothing valid
+    /// after it) is truncated back to the last good record boundary —
+    /// appending after a garbage tail would corrupt the next record's
+    /// framing. Mid-log corruption is left in place for replay to report.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
+        let tmp = path.with_extension("wal.tmp");
+        match std::fs::remove_file(&tmp) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        Self::repair_tail(&path)?;
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(Self {
             writer: BufWriter::new(file),
             path,
+            faults: None,
         })
+    }
+
+    /// Truncates `path` to its last good record boundary when the tail is
+    /// garbage-only; no-op for a missing, clean, or mid-log-corrupt file.
+    fn repair_tail(path: &Path) -> Result<()> {
+        let mut data = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut data)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e.into()),
+        }
+        let (good_len, tail_is_garbage) = scan(&data);
+        if tail_is_garbage && good_len < data.len() {
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(good_len as u64)?;
+            f.sync_all()?;
+        }
+        Ok(())
+    }
+
+    /// Attaches a fault plan: every subsequent append/sync/rewrite consults
+    /// the plan first. Used by the crash-schedule harness.
+    pub fn attach_faults(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
     }
 
     /// Path of the log file.
@@ -63,12 +135,35 @@ impl Wal {
 
     /// Appends one point (buffered; call [`Wal::sync`] for durability).
     pub fn append(&mut self, p: &DataPoint) -> Result<()> {
-        self.writer.write_all(&encode_record(p))?;
-        Ok(())
+        let rec = encode_record(p);
+        match fault::hook_write(
+            self.faults.as_ref(),
+            IoOp::WalAppend,
+            rec.len(),
+        )? {
+            WriteCheck::Proceed => {
+                self.writer.write_all(&rec)?;
+                Ok(())
+            }
+            WriteCheck::Torn { keep } => {
+                // A torn append: the record's prefix reaches the file (the
+                // modelled power cut happened mid-write), then the op fails.
+                self.writer.write_all(&rec[..keep.min(rec.len())])?;
+                self.writer.flush()?;
+                Err(fault::injected_crash(IoOp::WalAppend, self.op_index()))
+            }
+        }
+    }
+
+    fn op_index(&self) -> u64 {
+        self.faults
+            .as_ref()
+            .map_or(0, |p| p.ops().saturating_sub(1))
     }
 
     /// Flushes buffered records and fsyncs the file.
     pub fn sync(&mut self) -> Result<()> {
+        fault::hook(self.faults.as_ref(), IoOp::WalSync)?;
         self.writer.flush()?;
         self.writer.get_ref().sync_all()?;
         Ok(())
@@ -78,15 +173,38 @@ impl Wal {
     /// still buffered in memory after a flush).
     pub fn rewrite(&mut self, survivors: &[DataPoint]) -> Result<()> {
         let tmp = self.path.with_extension("wal.tmp");
-        {
-            let mut w = BufWriter::new(File::create(&tmp)?);
-            for p in survivors {
-                w.write_all(&encode_record(p))?;
-            }
-            w.flush()?;
-            w.get_ref().sync_all()?;
+        let mut buf = Vec::with_capacity(survivors.len() * RECORD);
+        for p in survivors {
+            buf.extend_from_slice(&encode_record(p));
         }
+        {
+            let mut f = File::create(&tmp)?;
+            match fault::hook_write(
+                self.faults.as_ref(),
+                IoOp::WalRewrite,
+                buf.len(),
+            )? {
+                WriteCheck::Proceed => f.write_all(&buf)?,
+                WriteCheck::Torn { keep } => {
+                    f.write_all(&buf[..keep.min(buf.len())])?;
+                    f.sync_all()?;
+                    // Tmp debris stays behind; swept on the next open.
+                    return Err(fault::injected_crash(
+                        IoOp::WalRewrite,
+                        self.op_index(),
+                    ));
+                }
+            }
+            f.sync_all()?;
+        }
+        fault::hook(self.faults.as_ref(), IoOp::WalRename)?;
         std::fs::rename(&tmp, &self.path)?;
+        if let Some(parent) =
+            self.path.parent().filter(|p| !p.as_os_str().is_empty())
+        {
+            fault::hook(self.faults.as_ref(), IoOp::DirSync)?;
+            sync_dir(parent)?;
+        }
         let file = OpenOptions::new().append(true).open(&self.path)?;
         self.writer = BufWriter::new(file);
         Ok(())
@@ -94,37 +212,65 @@ impl Wal {
 
     /// Replays the log at `path`, returning the points in append order.
     ///
-    /// A truncated final record (torn write) is dropped silently; a CRC
-    /// mismatch anywhere is reported as [`Error::Corrupt`].
+    /// A torn tail — a truncated or garbage final stretch with no valid
+    /// record after it — is dropped silently (indistinguishable from a
+    /// power cut mid-append); corruption sitting in front of still-valid
+    /// records is reported as [`Error::Corrupt`].
     pub fn replay(path: impl AsRef<Path>) -> Result<Vec<DataPoint>> {
         let path = path.as_ref();
+        let data = match Self::read_log(path)? {
+            Some(data) => data,
+            None => return Ok(Vec::new()),
+        };
+        let (good_len, tail_is_garbage) = scan(&data);
+        if !tail_is_garbage {
+            return Err(Error::Corrupt(format!(
+                "WAL record at offset {good_len} fails CRC \
+                 with valid records after it"
+            )));
+        }
+        Self::decode_prefix(&data, good_len)
+    }
+
+    /// Salvage replay: returns the longest decodable prefix plus the number
+    /// of whole records dropped after it, never failing on corruption. Used
+    /// by salvage-mode recovery, which reports (rather than hides) the loss.
+    pub fn replay_salvage(
+        path: impl AsRef<Path>,
+    ) -> Result<(Vec<DataPoint>, u64)> {
+        let path = path.as_ref();
+        let data = match Self::read_log(path)? {
+            Some(data) => data,
+            None => return Ok((Vec::new(), 0)),
+        };
+        let (good_len, _) = scan(&data);
+        let dropped = ((data.len() - good_len) / RECORD) as u64;
+        Ok((Self::decode_prefix(&data, good_len)?, dropped))
+    }
+
+    fn read_log(path: &Path) -> Result<Option<Vec<u8>>> {
         let mut data = Vec::new();
         match File::open(path) {
             Ok(mut f) => {
                 f.read_to_end(&mut data)?;
+                Ok(Some(data))
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Ok(Vec::new())
-            }
-            Err(e) => return Err(e.into()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
         }
-        let mut points = Vec::with_capacity(data.len() / RECORD);
+    }
+
+    fn decode_prefix(data: &[u8], good_len: usize) -> Result<Vec<DataPoint>> {
+        let mut points = Vec::with_capacity(good_len / RECORD);
         let mut offset = 0;
-        while offset + RECORD <= data.len() {
+        while offset + RECORD <= good_len {
             let rec = &data[offset..offset + RECORD];
-            let stored = codec::read_u32_le(rec, 0)?;
-            if stored != crc32(&rec[4..]) {
-                return Err(Error::Corrupt(format!(
-                    "WAL record at offset {offset} fails CRC"
-                )));
-            }
             let gen_time = codec::read_i64_le(rec, 4)?;
             let arrival_time = codec::read_i64_le(rec, 12)?;
             let value = f64::from_bits(codec::read_u64_le(rec, 20)?);
             points.push(DataPoint::new(gen_time, arrival_time, value));
             offset += RECORD;
         }
-        // Anything shorter than a record at the tail is a torn write.
         Ok(points)
     }
 }
@@ -182,6 +328,66 @@ mod tests {
         let points = Wal::replay(&path).expect("replay tolerates torn tail");
         assert_eq!(points.len(), 1);
         assert_eq!(points[0].gen_time, 1);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn append_after_torn_tail_truncates_then_stays_readable() {
+        let path = temp_path("torn-append");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).expect("open");
+            wal.append(&DataPoint::new(1, 1, 1.0)).expect("append");
+            wal.append(&DataPoint::new(2, 2, 2.0)).expect("append");
+            wal.sync().expect("sync");
+        }
+        // Tear the last record mid-write.
+        let data = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &data[..data.len() - 10]).expect("truncate");
+        // Re-open for appending (the crash-recovery path) and keep writing.
+        // Before the torn-tail fix the new record landed after the garbage
+        // tail, shifting the record framing and corrupting the whole log.
+        {
+            let mut wal = Wal::open(&path).expect("re-open repairs tail");
+            wal.append(&DataPoint::new(3, 3, 3.0)).expect("append");
+            wal.sync().expect("sync");
+        }
+        let points = Wal::replay(&path).expect("log must stay readable");
+        let gens: Vec<i64> = points.iter().map(|p| p.gen_time).collect();
+        assert_eq!(gens, vec![1, 3], "torn record dropped, new one kept");
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn open_sweeps_stale_rewrite_tmp() {
+        let path = temp_path("tmp-sweep");
+        let _ = std::fs::remove_file(&path);
+        let tmp = path.with_extension("wal.tmp");
+        std::fs::write(&tmp, b"half a rewrite").expect("stale tmp");
+        let _wal = Wal::open(&path).expect("open");
+        assert!(!tmp.exists(), "open must sweep rewrite debris");
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn salvage_replay_recovers_prefix_past_mid_log_corruption() {
+        let path = temp_path("salvage");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).expect("open");
+            for i in 0..5 {
+                wal.append(&DataPoint::new(i, i, 0.0)).expect("append");
+            }
+            wal.sync().expect("sync");
+        }
+        let mut data = std::fs::read(&path).expect("read");
+        data[2 * RECORD + 8] ^= 0xff; // corrupt the third record
+        std::fs::write(&path, &data).expect("rewrite");
+        assert!(Wal::replay(&path).is_err(), "strict replay refuses");
+        let (points, dropped) =
+            Wal::replay_salvage(&path).expect("salvage replay");
+        assert_eq!(points.len(), 2, "valid prefix recovered");
+        assert_eq!(dropped, 3, "loss is reported, not hidden");
         std::fs::remove_file(&path).expect("cleanup");
     }
 

@@ -11,6 +11,8 @@
 //! * **R4** — public kernel functions that can panic must return `Result`.
 //! * **R5** — engine modules keep the durability order: WAL append before
 //!   buffer insert, manifest/flushing cover before WAL truncation.
+//! * **R6** — durability modules fsync the parent directory (`sync_dir`)
+//!   after every `rename`, or the new name itself can vanish in a crash.
 //!
 //! Run it as `cargo run -p seplint -- <workspace-root>`; CI runs it before
 //! the build. Suppress a finding with
@@ -30,13 +32,23 @@ use std::path::{Path, PathBuf};
 pub const LIB_CRATES: &[&str] = &["types", "dist", "core", "lsm", "workload"];
 
 /// Deterministic kernel modules subject to R3 and R4 — the pure state
-/// machines that replay and proptest shrinking rely on.
-pub const KERNEL_MODULES: &[&str] =
-    &["buffer.rs", "compaction.rs", "version.rs", "memtable.rs"];
+/// machines that replay, crash-schedule exploration and proptest shrinking
+/// rely on.
+pub const KERNEL_MODULES: &[&str] = &[
+    "buffer.rs",
+    "compaction.rs",
+    "version.rs",
+    "memtable.rs",
+    "fault.rs",
+    "recovery.rs",
+];
 
 /// Engine modules subject to the R5 durability-ordering lint.
 pub const ORDERING_MODULES: &[&str] =
     &["engine.rs", "background.rs", "multi.rs"];
+
+/// Physical-durability modules subject to the R6 rename-then-sync-dir lint.
+pub const DURABILITY_MODULES: &[&str] = &["store.rs", "wal.rs", "manifest.rs"];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,7 +57,7 @@ pub struct Violation {
     pub file: PathBuf,
     /// 1-based line.
     pub line: usize,
-    /// Rule id (`"R1"` .. `"R5"`).
+    /// Rule id (`"R1"` .. `"R6"`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -105,6 +117,9 @@ pub fn lint_file(file: &Path, src: &str, crate_name: &str) -> Vec<Violation> {
     }
     if crate_name == "lsm" && ORDERING_MODULES.contains(&base) {
         out.extend(rules::durability_order(file, src));
+    }
+    if crate_name == "lsm" && DURABILITY_MODULES.contains(&base) {
+        out.extend(rules::rename_syncs_dir(file, src));
     }
     out
 }

@@ -13,7 +13,7 @@ fn main() -> ExitCode {
         .unwrap_or_else(|| PathBuf::from("."));
     match seplint::lint_workspace(&root) {
         Ok(violations) if violations.is_empty() => {
-            println!("seplint: ok (R1-R5 clean)");
+            println!("seplint: ok (R1-R6 clean)");
             ExitCode::SUCCESS
         }
         Ok(violations) => {

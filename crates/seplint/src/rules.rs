@@ -1,4 +1,4 @@
-//! The five storage-kernel rules, R1–R5, over lexed token streams.
+//! The six storage-kernel rules, R1–R6, over lexed token streams.
 //!
 //! | rule | scope | contract |
 //! |------|-------|----------|
@@ -7,6 +7,7 @@
 //! | R3 | kernel modules | no wall-clock or thread calls (determinism) |
 //! | R4 | kernel modules | panicking `pub fn`s must return `Result` |
 //! | R5 | engine modules | WAL-before-buffer, cover-before-truncate |
+//! | R6 | durability modules | every `rename` followed by a `sync_dir` |
 //!
 //! Every rule honours `// seplint: allow(Rn): reason` on the offending
 //! line or the line above, and none of them look inside `#[cfg(test)]`
@@ -486,5 +487,48 @@ pub fn durability_order(path: &Path, src: &str) -> Vec<Violation> {
     }
     out.sort_by_key(|v| v.line);
     out.dedup_by(|a, b| a.line == b.line && a.message == b.message);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// R6: rename-then-sync-dir lint.
+// ---------------------------------------------------------------------------
+
+/// R6: a tmp-write + fsync + `rename` makes the *file contents* durable,
+/// but the new directory entry itself only survives a crash once the parent
+/// directory is fsynced. In the durability modules every function that
+/// calls `rename(...)` must therefore call `sync_dir` later in the same
+/// body. The `sync_dir` helper itself is the primitive and is exempt.
+pub fn rename_syncs_dir(path: &Path, src: &str) -> Vec<Violation> {
+    let lexed = lex(src);
+    let tokens = strip_test_items(&lexed.tokens);
+    let mut out = Vec::new();
+    for func in parse_functions(&tokens) {
+        if func.name == "sync_dir" {
+            continue;
+        }
+        let body = &tokens[func.body.clone()];
+        for (i, t) in body.iter().enumerate() {
+            let is_rename = t.is_ident("rename")
+                && body.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if !is_rename {
+                continue;
+            }
+            let synced_later =
+                body[i + 1..].iter().any(|n| n.is_ident("sync_dir"));
+            if !synced_later && !lexed.is_allowed(t.line, "R6") {
+                out.push(violation(
+                    path,
+                    t.line,
+                    "R6",
+                    format!(
+                        "`{}` renames without a later `sync_dir` — the new \
+                         directory entry may not survive a crash",
+                        func.name
+                    ),
+                ));
+            }
+        }
+    }
     out
 }

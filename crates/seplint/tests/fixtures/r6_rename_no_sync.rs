@@ -1,0 +1,41 @@
+//! R6 fixture: tmp-write-then-rename publication patterns, with and without
+//! the parent-directory fsync that makes the new name itself durable.
+
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    // VIOLATION: the file contents are fsynced, but the directory entry
+    // created by the rename is not — a crash can make the table vanish.
+    pub fn put_unsynced(&self, id: u64, bytes: &[u8]) -> Result<(), Error> {
+        let tmp = self.dir.join(format!("{id}.tmp"));
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, self.dir.join(format!("{id}.sst")))?;
+        Ok(())
+    }
+
+    // Compliant: rename is followed by a parent-directory sync.
+    pub fn put_synced(&self, id: u64, bytes: &[u8]) -> Result<(), Error> {
+        let tmp = self.dir.join(format!("{id}.tmp"));
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, self.dir.join(format!("{id}.sst")))?;
+        sync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    // Suppressed: the directive acknowledges the missing sync.
+    pub fn put_suppressed(&self, id: u64, bytes: &[u8]) -> Result<(), Error> {
+        let tmp = self.dir.join(format!("{id}.tmp"));
+        std::fs::write(&tmp, bytes)?;
+        // seplint: allow(R6): fixture exercising the suppression path
+        std::fs::rename(&tmp, self.dir.join(format!("{id}.sst")))?;
+        Ok(())
+    }
+}
+
+// Exempt by name: this *is* the durability primitive R6 asks for.
+pub fn sync_dir(dir: &Path) -> Result<(), Error> {
+    std::fs::File::open(dir)?.sync_all()?;
+    Ok(())
+}

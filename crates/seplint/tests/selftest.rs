@@ -137,6 +137,15 @@ fn r5_passes_the_compliant_orderings() {
     assert!(rules::durability_order(Path::new("ok.rs"), ok_recover).is_empty());
 }
 
+#[test]
+fn r6_fires_on_rename_without_dir_sync() {
+    let src = fixture("r6_rename_no_sync.rs");
+    let v = rules::rename_syncs_dir(Path::new("store.rs"), &src);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "R6");
+    assert!(v[0].message.contains("put_unsynced"), "{v:?}");
+}
+
 /// The core guarantee: the real workspace is lint-clean. Any regression in
 /// the kernel contracts turns this test (and CI's dedicated seplint step)
 /// red.

@@ -35,9 +35,11 @@ pub use seplsm_core::{
 };
 pub use seplsm_dist::{DelayDistribution, Empirical, LogNormal};
 pub use seplsm_lsm::{
-    Compression, DiskModel, EncodeOptions, EngineConfig, FileStore, LsmEngine,
-    Manifest, MemStore, MultiSeriesEngine, QueryStats, SeriesId, TableStore,
-    TieredEngine, TieredReport,
+    sync_dir, Compression, DiskModel, EncodeOptions, EngineConfig, Fault,
+    FaultPlan, FaultStore, FileStore, IoOp, LsmEngine, Manifest, MemStore,
+    MultiSeriesEngine, QuarantinedTable, QueryStats, RecoveryMode,
+    RecoveryOptions, RecoveryReport, SeriesId, TableStore, TieredEngine,
+    TieredReport, Wal,
 };
 pub use seplsm_types::{
     DataPoint, Error, Policy, Result, TimeRange, Timestamp,

@@ -15,6 +15,10 @@ pub enum Error {
     /// A model evaluation could not be completed (e.g. a distribution too
     /// heavy-tailed for the arrival-ratio model's cap).
     Model(String),
+    /// The engine has entered a degraded read-only state (e.g. a background
+    /// worker exhausted its write retries); reads still work, writes are
+    /// rejected with this error instead of panicking or blocking.
+    Degraded(String),
 }
 
 /// Convenience alias used across the workspace.
@@ -29,6 +33,9 @@ impl fmt::Display for Error {
                 write!(f, "invalid configuration: {msg}")
             }
             Error::Model(msg) => write!(f, "model error: {msg}"),
+            Error::Degraded(msg) => {
+                write!(f, "engine degraded (read-only): {msg}")
+            }
         }
     }
 }
@@ -56,6 +63,14 @@ mod tests {
     fn display_includes_detail() {
         let e = Error::Corrupt("bad magic".into());
         assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn degraded_is_typed_and_displayable() {
+        let e = Error::Degraded("flush retries exhausted".into());
+        assert!(e.to_string().contains("read-only"));
+        assert!(e.to_string().contains("flush retries exhausted"));
+        assert!(matches!(e, Error::Degraded(_)));
     }
 
     #[test]

@@ -20,7 +20,7 @@ else
   echo "== cargo clippy not installed; skipping lint =="
 fi
 
-echo "== seplint (R1-R5 storage-kernel contracts) =="
+echo "== seplint (R1-R6 storage-kernel contracts) =="
 cargo run -q -p seplint --offline -- .
 
 echo "== cargo build --release =="
@@ -28,6 +28,12 @@ cargo build --release --workspace --offline
 
 echo "== cargo test =="
 cargo test -q --workspace --offline
+
+# Fault-injection lane: replays every engine workload with a simulated crash
+# at every I/O operation (seeded FaultPlan — fully deterministic, no clock,
+# no RNG at runtime) and checks the durability contract after each recovery.
+echo "== fault injection (crash schedules) =="
+cargo test -q -p seplsm --test crash_schedules --offline
 
 # Opt-in undefined-behaviour lane: MIRI=1 scripts/ci.sh runs the kernel's
 # memtable/buffer unit tests under miri when the component is installed.

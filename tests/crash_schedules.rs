@@ -1,0 +1,546 @@
+//! Crash-schedule exploration: record the full I/O-op trace of a mixed
+//! in-order/out-of-order workload, then replay the same workload with a
+//! hard crash injected at *every* op prefix and assert the recovery
+//! contract after each one:
+//!
+//! * every point acknowledged by a successful `sync` survives recovery;
+//! * recovery never invents points (recovered ⊆ attempted) and never
+//!   duplicates a generation time (the documented WAL window is deduplicated
+//!   by the merge pipeline);
+//! * the recovered engine passes the full integrity audit
+//!   (`check_integrity`), and nothing panics anywhere on the way.
+//!
+//! A torn-write sweep repeats the schedule with the crashing op's payload
+//! truncated, a proptest drives `MultiSeriesEngine` through random
+//! workload/crash combinations, and a salvage test corrupts a stored table
+//! on purpose to check the degraded recovery path end to end.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use seplsm::{
+    DataPoint, EngineConfig, Fault, FaultPlan, FileStore, LsmEngine,
+    MultiSeriesEngine, RecoveryOptions, SeriesId, TableStore, TieredEngine,
+    TimeRange,
+};
+
+/// Seed carried by every plan; derives nothing at runtime (determinism),
+/// but names the schedule in failure messages.
+const SEED: u64 = 0xB10C_5EED;
+/// Points per engine workload. Sized so each engine sees well over a
+/// hundred I/O ops (crash points) without making the quadratic sweep slow.
+const WORKLOAD_POINTS: usize = 48;
+/// `sync` every this many appends (odd on purpose, to land syncs in
+/// different phases of the flush cycle).
+const SYNC_EVERY: usize = 7;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "seplsm-crashsched-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        Self(path)
+    }
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn config() -> EngineConfig {
+    EngineConfig::conventional(8).with_sstable_points(8)
+}
+
+/// Mixed workload with unique generation times: mostly in-order, every
+/// fifth point an out-of-order straggler (gen time ends in 3, so it can
+/// never collide with the in-order multiples of ten).
+fn workload(n: usize) -> Vec<DataPoint> {
+    (0..n as i64)
+        .map(|i| {
+            let tg = if i % 5 == 4 { i * 10 - 27 } else { i * 10 };
+            DataPoint::new(tg, i * 10 + 3, i as f64)
+        })
+        .collect()
+}
+
+/// What the workload managed before the injected failure (if any).
+struct Outcome {
+    /// Points whose append was *called* (the last one may have failed after
+    /// partially logging — recovery may legally resurrect it).
+    attempted: usize,
+    /// Points whose append returned `Ok`.
+    appended: usize,
+    /// `appended` as of the last successful `sync` — the durability
+    /// contract covers exactly this prefix.
+    synced: usize,
+}
+
+fn drive<E>(
+    engine: &mut E,
+    pts: &[DataPoint],
+    mut append: impl FnMut(&mut E, DataPoint) -> seplsm::Result<()>,
+    mut sync: impl FnMut(&mut E) -> seplsm::Result<()>,
+) -> Outcome {
+    let mut out = Outcome {
+        attempted: 0,
+        appended: 0,
+        synced: 0,
+    };
+    for (i, p) in pts.iter().enumerate() {
+        out.attempted += 1;
+        if append(engine, *p).is_err() {
+            return out;
+        }
+        out.appended += 1;
+        if (i + 1) % SYNC_EVERY == 0 {
+            if sync(engine).is_err() {
+                return out;
+            }
+            out.synced = out.appended;
+        }
+    }
+    if sync(engine).is_ok() {
+        out.synced = out.appended;
+    }
+    out
+}
+
+/// The recovery contract, checked against what one pass achieved.
+fn check_contract(
+    recovered: &[DataPoint],
+    pts: &[DataPoint],
+    out: &Outcome,
+    ctx: &str,
+) {
+    let mut seen = HashSet::new();
+    for p in recovered {
+        assert!(
+            seen.insert(p.gen_time),
+            "{ctx}: duplicate gen_time {} in recovered data",
+            p.gen_time
+        );
+    }
+    let attempted: HashSet<i64> =
+        pts[..out.attempted].iter().map(|p| p.gen_time).collect();
+    for p in recovered {
+        assert!(
+            attempted.contains(&p.gen_time),
+            "{ctx}: recovery invented point {}",
+            p.gen_time
+        );
+    }
+    for p in &pts[..out.synced] {
+        assert!(
+            seen.contains(&p.gen_time),
+            "{ctx}: synced point {} lost (synced={}, appended={})",
+            p.gen_time,
+            out.synced,
+            out.appended
+        );
+    }
+}
+
+// ---------------------------------------------------------------- LsmEngine
+
+fn lsm_pass(
+    tag: &str,
+    plan: &Arc<FaultPlan>,
+    pts: &[DataPoint],
+) -> (TempDir, Outcome) {
+    let dir = TempDir::new(tag);
+    let store = FileStore::open(dir.path("tables"))
+        .expect("store")
+        .with_faults(Arc::clone(plan));
+    let mut engine = LsmEngine::new(config(), Arc::new(store))
+        .expect("engine")
+        .with_wal(dir.path("wal"))
+        .expect("wal")
+        .with_manifest(dir.path("manifest"))
+        .expect("manifest");
+    // Faults attach after construction, so op numbering starts at the
+    // first workload-driven disk touch in every pass.
+    engine.attach_faults(plan);
+    let out = drive(&mut engine, pts, LsmEngine::append, |e| e.sync_wal());
+    (dir, out)
+}
+
+fn lsm_recover_check(
+    dir: &TempDir,
+    pts: &[DataPoint],
+    out: &Outcome,
+    ctx: &str,
+) {
+    let store: Arc<dyn TableStore> =
+        Arc::new(FileStore::open(dir.path("tables")).expect("reopen store"));
+    let (engine, report) = LsmEngine::recover_from_manifest_with(
+        config(),
+        store,
+        dir.path("manifest"),
+        Some(dir.path("wal")),
+        RecoveryOptions::strict().with_gc_orphans(),
+    )
+    .unwrap_or_else(|e| panic!("{ctx}: strict recovery failed: {e}"));
+    assert!(
+        report.quarantined.is_empty(),
+        "{ctx}: strict recovery must not quarantine (a crash only truncates)"
+    );
+    let recovered = engine.scan_all().expect("scan recovered engine");
+    check_contract(&recovered, pts, out, ctx);
+    engine
+        .check_integrity()
+        .unwrap_or_else(|e| panic!("{ctx}: integrity audit failed: {e}"));
+}
+
+#[test]
+fn lsm_engine_survives_a_crash_at_every_io_op() {
+    let pts = workload(WORKLOAD_POINTS);
+    let plan = FaultPlan::trace_only(SEED);
+    let (dir, out) = lsm_pass("lsm-trace", &plan, &pts);
+    assert_eq!(out.appended, pts.len(), "trace pass must complete");
+    assert_eq!(out.synced, pts.len());
+    lsm_recover_check(&dir, &pts, &out, "trace pass");
+    drop(dir);
+    let total = plan.ops();
+    assert!(
+        total >= 100,
+        "workload too small to be interesting: {total}"
+    );
+    for k in 0..total {
+        let plan = FaultPlan::crash_at(SEED, k);
+        let (dir, out) = lsm_pass("lsm-crash", &plan, &pts);
+        assert!(plan.is_crashed(), "crash at op {k}/{total} never fired");
+        assert!(out.appended < pts.len() || out.synced < pts.len());
+        lsm_recover_check(&dir, &pts, &out, &format!("crash at op {k}"));
+    }
+}
+
+#[test]
+fn lsm_engine_survives_torn_writes() {
+    let pts = workload(WORKLOAD_POINTS);
+    let plan = FaultPlan::trace_only(SEED);
+    let (dir, _) = lsm_pass("lsm-torn-trace", &plan, &pts);
+    drop(dir);
+    let total = plan.ops();
+    for k in (0..total).step_by(5) {
+        // Tear a little and a lot: 3 bytes clips a record mid-CRC, 64 can
+        // wipe whole records (and more than some payloads' length).
+        for truncate in [3usize, 64] {
+            let plan =
+                FaultPlan::new(SEED, Fault::TornWrite { at: k, truncate });
+            let (dir, out) = lsm_pass("lsm-torn", &plan, &pts);
+            assert!(plan.is_crashed(), "tear at op {k} never fired");
+            lsm_recover_check(
+                &dir,
+                &pts,
+                &out,
+                &format!("torn write at op {k} (-{truncate} bytes)"),
+            );
+        }
+    }
+}
+
+// -------------------------------------------------------------- TieredEngine
+
+fn tiered_pass(
+    tag: &str,
+    plan: &Arc<FaultPlan>,
+    pts: &[DataPoint],
+) -> (TempDir, Outcome) {
+    let dir = TempDir::new(tag);
+    let store = FileStore::open(dir.path("tables"))
+        .expect("store")
+        .with_faults(Arc::clone(plan));
+    let mut engine = TieredEngine::new(config(), Arc::new(store))
+        .expect("engine")
+        // Synchronous flushes give every pass the same deterministic op
+        // order (append blocks until the worker retires the hand-off).
+        .with_sync_flush()
+        .with_wal(dir.path("wal"))
+        .expect("wal")
+        .with_manifest(dir.path("manifest"))
+        .expect("manifest");
+    engine.attach_faults(plan);
+    let out = drive(&mut engine, pts, TieredEngine::append, |e| e.sync_wal());
+    (dir, out)
+}
+
+fn tiered_recover_check(
+    dir: &TempDir,
+    pts: &[DataPoint],
+    out: &Outcome,
+    ctx: &str,
+) {
+    let store: Arc<dyn TableStore> =
+        Arc::new(FileStore::open(dir.path("tables")).expect("reopen store"));
+    let (engine, report) = TieredEngine::recover_with(
+        config(),
+        store,
+        dir.path("manifest"),
+        Some(dir.path("wal")),
+        RecoveryOptions::strict().with_gc_orphans(),
+    )
+    .unwrap_or_else(|e| panic!("{ctx}: strict recovery failed: {e}"));
+    assert!(
+        report.quarantined.is_empty(),
+        "{ctx}: strict recovery must not quarantine"
+    );
+    let (recovered, _) = engine
+        .query(TimeRange::new(-1_000, 1_000_000))
+        .expect("query recovered engine");
+    check_contract(&recovered, pts, out, ctx);
+    engine
+        .check_integrity()
+        .unwrap_or_else(|e| panic!("{ctx}: integrity audit failed: {e}"));
+}
+
+#[test]
+fn tiered_engine_survives_a_crash_at_every_io_op() {
+    let pts = workload(WORKLOAD_POINTS);
+    let plan = FaultPlan::trace_only(SEED);
+    let (dir, out) = tiered_pass("tiered-trace", &plan, &pts);
+    assert_eq!(out.appended, pts.len(), "trace pass must complete");
+    tiered_recover_check(&dir, &pts, &out, "trace pass");
+    drop(dir);
+    let total = plan.ops();
+    assert!(
+        total >= 100,
+        "workload too small to be interesting: {total}"
+    );
+    for k in 0..total {
+        let plan = FaultPlan::crash_at(SEED, k);
+        let (dir, out) = tiered_pass("tiered-crash", &plan, &pts);
+        assert!(plan.is_crashed(), "crash at op {k}/{total} never fired");
+        tiered_recover_check(&dir, &pts, &out, &format!("crash at op {k}"));
+    }
+}
+
+#[test]
+fn tiered_engine_absorbs_one_transient_fault_per_op() {
+    // FailOnce is not a crash: the worker's bounded retry must absorb it
+    // wherever it lands on the flush path, and the workload completes.
+    let pts = workload(WORKLOAD_POINTS);
+    let plan = FaultPlan::trace_only(SEED);
+    let (dir, _) = tiered_pass("tiered-once-trace", &plan, &pts);
+    drop(dir);
+    let total = plan.ops();
+    let mut absorbed = 0u64;
+    for k in (0..total).step_by(11) {
+        let plan = FaultPlan::new(SEED, Fault::FailOnce { at: k });
+        let (dir, out) = tiered_pass("tiered-once", &plan, &pts);
+        // The workload either completes (fault absorbed by a retry) or
+        // fails cleanly on an unretried path (WAL/manifest appends are
+        // writer-side and not retried) — never panics, and recovery holds
+        // either way.
+        if out.appended == pts.len() && plan.injected_failures() > 0 {
+            absorbed += 1;
+        }
+        tiered_recover_check(
+            &dir,
+            &pts,
+            &out,
+            &format!("transient fault at op {k}"),
+        );
+    }
+    assert!(
+        absorbed > 0,
+        "at least some store-path transients must be absorbed by retry"
+    );
+}
+
+// -------------------------------------------------------- MultiSeriesEngine
+
+static MULTI_CASE: AtomicUsize = AtomicUsize::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn multi_series_engine_recovers_from_any_crash(
+        raw in proptest::collection::vec((0u32..3u32, 0i64..1_000i64), 8..48),
+        crash_at in 0u64..300u64,
+    ) {
+        // Unique (series, gen_time) pairs keep the contract set-based.
+        let mut seen = HashSet::new();
+        let pts: Vec<(u32, DataPoint)> = raw
+            .into_iter()
+            .filter(|(s, tg)| seen.insert((*s, *tg)))
+            .map(|(s, tg)| (s, DataPoint::new(tg, tg + 5, f64::from(s))))
+            .collect();
+        let case = MULTI_CASE.fetch_add(1, Ordering::Relaxed);
+        let dir = TempDir::new(&format!("multi-{case}"));
+        let plan = FaultPlan::crash_at(SEED, crash_at);
+        let mut per_series: std::collections::HashMap<u32, Vec<i64>> =
+            std::collections::HashMap::new();
+        let mut synced: std::collections::HashMap<u32, usize> =
+            std::collections::HashMap::new();
+        {
+            let store = FileStore::open(dir.path("tables"))
+                .expect("store")
+                .with_faults(Arc::clone(&plan));
+            let mut engine = MultiSeriesEngine::durable(
+                config(),
+                Arc::new(store),
+                dir.path("meta"),
+            )
+            .expect("durable engine");
+            engine.attach_faults(&plan);
+            let mut since_sync = 0usize;
+            for (s, p) in &pts {
+                if engine.append(SeriesId(*s), *p).is_err() {
+                    break;
+                }
+                per_series.entry(*s).or_default().push(p.gen_time);
+                since_sync += 1;
+                if since_sync >= 9 {
+                    since_sync = 0;
+                    if engine.sync_wal_all().is_err() {
+                        break;
+                    }
+                    for (s, appended) in &per_series {
+                        synced.insert(*s, appended.len());
+                    }
+                }
+            }
+            if engine.sync_wal_all().is_ok() {
+                for (s, appended) in &per_series {
+                    synced.insert(*s, appended.len());
+                }
+            }
+        }
+        let store: Arc<dyn TableStore> = Arc::new(
+            FileStore::open(dir.path("tables")).expect("reopen store"),
+        );
+        let (engine, _report) = MultiSeriesEngine::recover_with(
+            config(),
+            store,
+            dir.path("meta"),
+            RecoveryOptions::strict().with_gc_orphans(),
+        )
+        .expect("strict recovery after crash");
+        engine.check_integrity().expect("integrity audit");
+        for (s, appended) in &per_series {
+            let Ok((recovered, _)) =
+                engine.query(SeriesId(*s), TimeRange::new(-10, 2_000))
+            else {
+                // The series may not have reached its first durable write.
+                prop_assert_eq!(synced.get(s).copied().unwrap_or(0), 0);
+                continue;
+            };
+            let got: HashSet<i64> =
+                recovered.iter().map(|p| p.gen_time).collect();
+            prop_assert_eq!(got.len(), recovered.len(), "duplicates");
+            // Synced prefix survives; nothing beyond the appends appears.
+            let synced_len = synced.get(s).copied().unwrap_or(0);
+            for tg in &appended[..synced_len] {
+                prop_assert!(got.contains(tg), "synced point {} lost", tg);
+            }
+            // `attempted` includes at most one point past `appended`
+            // (the one whose append failed mid-flight); anything recovered
+            // must come from this series' appends.
+            let attempted: HashSet<i64> = pts
+                .iter()
+                .filter(|(series, _)| series == s)
+                .map(|(_, p)| p.gen_time)
+                .collect();
+            for tg in &got {
+                prop_assert!(
+                    attempted.contains(tg),
+                    "recovery invented point {}",
+                    tg
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ Salvage
+
+#[test]
+fn salvage_recovery_quarantines_corruption_and_serves_survivors() {
+    let dir = TempDir::new("salvage");
+    let pts = workload(64);
+    {
+        let store =
+            Arc::new(FileStore::open(dir.path("tables")).expect("store"));
+        let mut engine = LsmEngine::new(config(), store)
+            .expect("engine")
+            .with_wal(dir.path("wal"))
+            .expect("wal")
+            .with_manifest(dir.path("manifest"))
+            .expect("manifest");
+        for p in &pts {
+            engine.append(*p).expect("append");
+        }
+        engine.flush_all().expect("flush");
+        engine.sync_wal().expect("sync");
+    }
+    // Deliberately corrupt one stored table.
+    let victim = std::fs::read_dir(dir.path("tables"))
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "sst"))
+        .expect("at least one table");
+    let mut bytes = std::fs::read(&victim).expect("read table");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&victim, &bytes).expect("corrupt table");
+
+    // Strict recovery refuses the damaged store.
+    let store: Arc<dyn TableStore> =
+        Arc::new(FileStore::open(dir.path("tables")).expect("store"));
+    assert!(
+        LsmEngine::recover(config(), Arc::clone(&store), None).is_err(),
+        "strict recovery must refuse a corrupt table"
+    );
+
+    // Salvage recovery quarantines it and serves everything else.
+    let (engine, report) = LsmEngine::recover_from_manifest_with(
+        config(),
+        store,
+        dir.path("manifest"),
+        Some(dir.path("wal")),
+        RecoveryOptions::salvage().with_gc_orphans(),
+    )
+    .expect("salvage recovery");
+    assert_eq!(report.quarantined.len(), 1, "exactly one table was damaged");
+    assert_eq!(report.lost_ranges.len(), 1);
+    assert!(!report.is_clean());
+    assert!(!report.quarantined[0].reason.is_empty());
+    let lost = report.lost_ranges[0];
+    let recovered = engine.scan_all().expect("scan survivors");
+    assert!(!recovered.is_empty(), "survivors must still be served");
+    // Accounting: every point is either served or inside a reported loss.
+    for p in &pts {
+        let served = recovered.iter().any(|q| q.gen_time == p.gen_time);
+        assert!(
+            served || lost.contains(p.gen_time),
+            "point {} neither recovered nor reported lost",
+            p.gen_time
+        );
+    }
+    engine.check_integrity().expect("integrity after salvage");
+    // The damaged bytes moved aside for forensics, not deleted.
+    let quarantine = dir.path("tables").join("quarantine");
+    assert_eq!(
+        std::fs::read_dir(&quarantine)
+            .expect("quarantine dir")
+            .count(),
+        1,
+        "quarantine directory must hold the damaged table"
+    );
+}
