@@ -1,11 +1,13 @@
 //! Experiment drivers: feed datasets through engines and collect the
 //! quantities the paper reports.
 
+use std::path::Path;
 use std::time::Instant;
 
 use seplsm_core::{AdaptiveConfig, AdaptiveEngine, TuneRecord};
 use seplsm_lsm::{
-    DiskModel, EngineConfig, LsmEngine, MemStore, Metrics, QueryStats,
+    AggregateReport, AggregateSink, DiskModel, EngineConfig, FanoutSink,
+    JsonlSink, LsmEngine, MemStore, Metrics, Observer, OpenOptions, QueryStats,
     TieredEngine,
 };
 use seplsm_types::{DataPoint, Policy, Result};
@@ -25,6 +27,43 @@ pub fn measure_wa(
         engine.append(*p)?;
     }
     Ok(engine.metrics().clone())
+}
+
+/// Like [`measure_wa`] with the observability layer attached: aggregates
+/// every storage-kernel event (returned as an [`AggregateReport`]) and, if
+/// `trace` is given, writes the full typed event stream to it as JSONL.
+/// Both run on the deterministic logical clock, so two runs of the same
+/// seeded workload produce byte-identical traces.
+pub fn measure_wa_traced(
+    points: &[DataPoint],
+    policy: Policy,
+    sstable_points: usize,
+    trace: Option<&Path>,
+) -> Result<(Metrics, AggregateReport)> {
+    let aggregate = AggregateSink::with_logical_clock();
+    let mut sinks: Vec<std::sync::Arc<dyn Observer>> = vec![aggregate.clone()];
+    let jsonl = match trace {
+        Some(path) => {
+            let file = std::fs::File::create(path)?;
+            let sink = JsonlSink::with_logical_clock(Box::new(file));
+            sinks.push(sink.clone());
+            Some(sink)
+        }
+        None => None,
+    };
+    let mut engine = OpenOptions::new(
+        EngineConfig::new(policy).with_sstable_points(sstable_points),
+    )
+    .observer(FanoutSink::new(sinks))
+    .open()?;
+    for p in points {
+        engine.append(*p)?;
+    }
+    engine.flush_all()?;
+    if let Some(sink) = jsonl {
+        sink.flush()?;
+    }
+    Ok((engine.metrics().clone(), aggregate.report()))
 }
 
 /// Like [`measure_wa`] with the per-compaction subsequent-point probe on.

@@ -8,7 +8,10 @@ use seplsm_core::{
 };
 use seplsm_dist::stats::percentile_sorted;
 use seplsm_dist::{DelayDistribution, Empirical};
-use seplsm_lsm::{EngineConfig, FileStore, LsmEngine, MemStore, TableStore};
+use seplsm_lsm::{
+    AggregateSink, EngineConfig, FanoutSink, FileStore, JsonlSink, MemStore,
+    Observer, OpenOptions, TableStore,
+};
 use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange};
 use seplsm_workload::{paper_dataset, S9Workload, VehicleWorkload};
 
@@ -25,6 +28,8 @@ USAGE:
   seplsm ingest   --input FILE [--policy conventional|separation:<n_seq>|adaptive]
                   [--budget N] [--sstable N] [--dir DIR] [--compressed]
   seplsm query    --dir DIR --start T --end T [--budget N]
+  seplsm stats    --input FILE [--policy conventional|separation:<n_seq>]
+                  [--budget N] [--sstable N] [--trace FILE.jsonl]
   seplsm help
 ";
 
@@ -162,15 +167,16 @@ pub fn ingest(opts: &Opts) -> Result<()> {
 
     match parse_policy(policy_spec, budget)? {
         Some(policy) => {
-            let mut engine = LsmEngine::new(
+            let mut options = OpenOptions::new(
                 EngineConfig::new(policy).with_sstable_points(sstable),
-                store,
-            )?;
+            )
+            .store(store);
             if let Some(dir) = opts.get("dir") {
-                engine = engine
-                    .with_wal(PathBuf::from(dir).join("wal"))?
-                    .with_manifest(PathBuf::from(dir).join("manifest"))?;
+                options = options
+                    .wal(PathBuf::from(dir).join("wal"))
+                    .manifest(PathBuf::from(dir).join("manifest"));
             }
+            let mut engine = options.open()?;
             for p in &points {
                 engine.append(*p)?;
             }
@@ -232,20 +238,15 @@ pub fn query(opts: &Opts) -> Result<()> {
 
     let store: Arc<dyn TableStore> =
         Arc::new(FileStore::open(dir.join("tables"))?);
-    let engine = if dir.join("manifest").exists() {
-        LsmEngine::recover_from_manifest(
-            EngineConfig::conventional(budget),
-            store,
-            dir.join("manifest"),
-            dir.join("wal").exists().then(|| dir.join("wal")),
-        )?
-    } else {
-        LsmEngine::recover(
-            EngineConfig::conventional(budget),
-            store,
-            dir.join("wal").exists().then(|| dir.join("wal")),
-        )?
-    };
+    let mut options =
+        OpenOptions::new(EngineConfig::conventional(budget)).store(store);
+    if dir.join("wal").exists() {
+        options = options.wal(dir.join("wal"));
+    }
+    if dir.join("manifest").exists() {
+        options = options.manifest(dir.join("manifest"));
+    }
+    let (engine, _report) = options.open_or_recover()?;
     let (hits, stats) = engine.query(TimeRange::new(start, end))?;
     for p in &hits {
         println!("{},{},{}", p.gen_time, p.arrival_time, p.value);
@@ -256,6 +257,57 @@ pub fn query(opts: &Opts) -> Result<()> {
         stats.tables_read,
         stats.disk_points_scanned
     );
+    Ok(())
+}
+
+/// `seplsm stats` — replay a workload through an instrumented engine and
+/// print the storage kernel's aggregate event view; `--trace` additionally
+/// writes the full typed event stream as JSONL.
+pub fn stats(opts: &Opts) -> Result<()> {
+    let points = load_input(opts)?;
+    let budget: usize = opts.get_or("budget", 512);
+    let sstable: usize = opts.get_or("sstable", 512);
+    let policy_spec = opts.get("policy").unwrap_or("conventional");
+    let Some(policy) = parse_policy(policy_spec, budget)? else {
+        return Err(Error::InvalidConfig(
+            "stats needs a fixed policy \
+             (conventional | separation[:n_seq])"
+                .into(),
+        ));
+    };
+
+    let aggregate = AggregateSink::with_logical_clock();
+    let mut sinks: Vec<Arc<dyn Observer>> = vec![aggregate.clone()];
+    let jsonl = match opts.get("trace") {
+        Some(path) => {
+            let file = std::fs::File::create(path)?;
+            let sink = JsonlSink::with_logical_clock(Box::new(file));
+            sinks.push(sink.clone());
+            Some((sink, path.to_string()))
+        }
+        None => None,
+    };
+
+    let mut engine = OpenOptions::new(
+        EngineConfig::new(policy).with_sstable_points(sstable),
+    )
+    .observer(FanoutSink::new(sinks))
+    .open()?;
+    for p in &points {
+        engine.append(*p)?;
+    }
+    engine.flush_all()?;
+
+    let m = engine.metrics();
+    println!("policy:              {}", policy.name());
+    println!("user points:         {}", m.user_points);
+    println!("write amplification: {:.3}", m.write_amplification());
+    println!();
+    print!("{}", aggregate.report().render_table());
+    if let Some((sink, path)) = jsonl {
+        sink.flush()?;
+        eprintln!("trace written to {path}");
+    }
     Ok(())
 }
 

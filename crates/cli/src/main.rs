@@ -6,6 +6,7 @@
 //! seplsm ingest   --input data.csv --policy adaptive --budget 512
 //! seplsm ingest   --input data.csv --policy separation:256 --dir ./db
 //! seplsm query    --dir ./db --start 0 --end 100000
+//! seplsm stats    --input data.csv --trace trace.jsonl
 //! ```
 
 mod commands;
@@ -26,6 +27,7 @@ fn main() -> ExitCode {
         "analyze" => commands::analyze(&opts),
         "ingest" => commands::ingest(&opts),
         "query" => commands::query(&opts),
+        "stats" => commands::stats(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

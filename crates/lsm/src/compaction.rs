@@ -14,6 +14,7 @@ use seplsm_types::{DataPoint, Result};
 use crate::iterator::merge_sorted;
 use crate::manifest::Manifest;
 use crate::metrics::Metrics;
+use crate::obs::{Event, ObserverHandle};
 use crate::sstable::{SsTableId, SsTableMeta};
 use crate::store::TableStore;
 use crate::version::{Version, VersionEdit};
@@ -126,7 +127,19 @@ pub fn execute(
     manifest: Option<&mut Manifest>,
     metrics: &mut Metrics,
     drain_l0: bool,
+    obs: &ObserverHandle,
 ) -> Result<()> {
+    if plan.is_flush {
+        obs.emit(|| Event::FlushStarted {
+            points: plan.merged_points,
+        });
+    } else {
+        obs.emit(|| Event::CompactionPlanned {
+            inputs: plan.inputs.len() as u64,
+            outputs: plan.outputs.len() as u64,
+            rewritten: plan.rewritten_points,
+        });
+    }
     let mut added = Vec::with_capacity(plan.outputs.len());
     for chunk in &plan.outputs {
         let (meta, size) = store.put(chunk)?;
@@ -152,8 +165,18 @@ pub fn execute(
     metrics.tables_deleted += plan.inputs.len() as u64;
     if plan.is_flush {
         metrics.flushes += 1;
+        obs.emit(|| Event::FlushFinished {
+            tables: plan.outputs.len() as u64,
+            points: plan.merged_points,
+        });
     } else {
         metrics.compactions += 1;
+        obs.emit(|| Event::CompactionExecuted {
+            inputs: plan.inputs.len() as u64,
+            outputs: plan.outputs.len() as u64,
+            rewritten: plan.rewritten_points,
+            subsequent: plan.subsequent,
+        });
     }
     if let Some(subseq) = plan.subsequent {
         metrics.subsequent_counts.push(subseq);
@@ -178,11 +201,13 @@ pub fn execute_append(
     version: &mut Version,
     manifest: Option<&mut Manifest>,
     metrics: &mut Metrics,
+    obs: &ObserverHandle,
 ) -> Result<()> {
     if points.is_empty() {
         return Ok(());
     }
     let written = points.len() as u64;
+    obs.emit(|| Event::FlushStarted { points: written });
     let mut edits = Vec::new();
     for chunk in points.chunks(sstable_points) {
         let (meta, size) = store.put(chunk)?;
@@ -196,6 +221,10 @@ pub fn execute_append(
     }
     metrics.disk_points_written += written;
     metrics.flushes += 1;
+    obs.emit(|| Event::FlushFinished {
+        tables: edits.len() as u64,
+        points: written,
+    });
     crate::invariants::check_version_against_store(version, store)?;
     Ok(())
 }
@@ -309,6 +338,7 @@ mod tests {
             &mut version,
             None,
             &mut metrics,
+            &ObserverHandle::detached(),
         )
         .expect("append");
         assert_eq!(metrics.flushes, 1);
@@ -325,8 +355,16 @@ mod tests {
             2,
             None,
         );
-        execute(plan, &store, &mut version, None, &mut metrics, false)
-            .expect("execute");
+        execute(
+            plan,
+            &store,
+            &mut version,
+            None,
+            &mut metrics,
+            false,
+            &ObserverHandle::detached(),
+        )
+        .expect("execute");
         assert_eq!(metrics.compactions, 1);
         assert_eq!(metrics.rewritten_points, 2);
         assert_eq!(metrics.disk_points_written, 5);

@@ -38,6 +38,7 @@ use crate::iterator::merge_sorted;
 use crate::level::Run;
 use crate::manifest::Manifest;
 use crate::metrics::{Metrics, WaSnapshot};
+use crate::obs::{Event, Observer, ObserverHandle, RecoveryStepKind};
 use crate::query::QueryStats;
 use crate::recovery::{
     self, QuarantinedTable, RecoveryMode, RecoveryOptions, RecoveryReport,
@@ -132,6 +133,170 @@ impl EngineConfig {
     }
 }
 
+/// The one way to open an [`LsmEngine`]: a builder covering every
+/// combination the old constructor family
+/// (`new`/`in_memory`/`with_wal`/`with_manifest`/`recover*`/
+/// `attach_faults`) used to spell out.
+///
+/// ```
+/// use seplsm_lsm::{EngineConfig, OpenOptions};
+/// # fn main() -> seplsm_types::Result<()> {
+/// let engine = OpenOptions::new(EngineConfig::conventional(512)).open()?;
+/// # drop(engine); Ok(())
+/// # }
+/// ```
+///
+/// * [`OpenOptions::open`] starts a fresh engine (an omitted
+///   [`OpenOptions::store`] defaults to an in-memory store);
+/// * [`OpenOptions::open_or_recover`] rebuilds from existing state — from
+///   the manifest when one is configured, otherwise by scanning the store —
+///   and returns the [`RecoveryReport`] alongside the engine.
+///
+/// A configured [`OpenOptions::faults`] plan is attached to the WAL and
+/// manifest only after open/recovery completes, so a crash schedule's op
+/// numbering starts at the first workload-driven disk touch (matching the
+/// old `attach_faults`-after-construction idiom). The
+/// [`OpenOptions::observer`] sink is threaded through the engine, WAL,
+/// manifest, and fault plan, so one sink sees the whole storage kernel.
+#[must_use = "OpenOptions does nothing until .open()/.open_or_recover()"]
+pub struct OpenOptions {
+    config: EngineConfig,
+    store: Option<Arc<dyn TableStore>>,
+    wal: Option<PathBuf>,
+    manifest: Option<PathBuf>,
+    recovery: RecoveryOptions,
+    faults: Option<Arc<FaultPlan>>,
+    observer: ObserverHandle,
+}
+
+impl std::fmt::Debug for OpenOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpenOptions")
+            .field("policy", &self.config.policy)
+            .field("wal", &self.wal)
+            .field("manifest", &self.manifest)
+            .field("recovery", &self.recovery)
+            .field("faults", &self.faults.is_some())
+            .field("observer", &self.observer.is_attached())
+            .finish()
+    }
+}
+
+impl OpenOptions {
+    /// Starts a builder for the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Self {
+            config,
+            store: None,
+            wal: None,
+            manifest: None,
+            recovery: RecoveryOptions::strict(),
+            faults: None,
+            observer: ObserverHandle::detached(),
+        }
+    }
+
+    /// Backs the engine with `store`. Defaults to a fresh in-memory store.
+    pub fn store(mut self, store: Arc<dyn TableStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attaches a write-ahead log at `path`: appended points are logged
+    /// before being buffered, and [`OpenOptions::open_or_recover`] replays
+    /// the log into the buffers.
+    pub fn wal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.wal = Some(path.into());
+        self
+    }
+
+    /// Attaches a manifest at `path`: run-membership changes are logged,
+    /// and [`OpenOptions::open_or_recover`] rebuilds from the manifest in
+    /// O(metadata) instead of reading every table.
+    pub fn manifest(mut self, path: impl Into<PathBuf>) -> Self {
+        self.manifest = Some(path.into());
+        self
+    }
+
+    /// Sets the [`RecoveryOptions`] used by
+    /// [`OpenOptions::open_or_recover`] (default: strict).
+    pub fn recovery(mut self, options: RecoveryOptions) -> Self {
+        self.recovery = options;
+        self
+    }
+
+    /// Attaches a fault plan to the engine's WAL and manifest once opening
+    /// completes. The table store is attached separately at construction
+    /// ([`FileStore::with_faults`](crate::FileStore::with_faults) or a
+    /// [`FaultStore`](crate::fault::FaultStore) wrapper) — share one plan
+    /// across all three for a single global op numbering.
+    pub fn faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Delivers every storage-kernel [`Event`] to `sink`.
+    pub fn observer(mut self, sink: Arc<dyn Observer>) -> Self {
+        self.observer = ObserverHandle::attached(sink);
+        self
+    }
+
+    fn store_or_default(
+        store: Option<Arc<dyn TableStore>>,
+    ) -> Arc<dyn TableStore> {
+        store.unwrap_or_else(|| Arc::new(MemStore::new()))
+    }
+
+    /// Opens a fresh engine (ignoring any recoverable state on disk).
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] for degenerate configurations; I/O errors
+    /// opening the WAL or manifest.
+    pub fn open(self) -> Result<LsmEngine> {
+        let store = Self::store_or_default(self.store);
+        let mut engine = LsmEngine::new(self.config, store)?;
+        engine.obs = self.observer;
+        if let Some(path) = self.wal {
+            engine = engine.with_wal(path)?;
+        }
+        if let Some(path) = self.manifest {
+            engine = engine.with_manifest(path)?;
+        }
+        engine.finish_open(self.faults);
+        Ok(engine)
+    }
+
+    /// Rebuilds an engine from existing state: from the manifest when one
+    /// is configured (O(metadata)), otherwise by scanning the store; a
+    /// configured WAL is replayed into the buffers either way.
+    ///
+    /// # Errors
+    /// In strict mode, any damage; in salvage mode only unrecoverable
+    /// failures (see [`RecoveryOptions`]).
+    pub fn open_or_recover(self) -> Result<(LsmEngine, RecoveryReport)> {
+        let store = Self::store_or_default(self.store);
+        let (mut engine, report) = match self.manifest {
+            Some(manifest_path) => LsmEngine::recover_from_manifest_with(
+                self.config,
+                store,
+                manifest_path,
+                self.wal,
+                self.recovery,
+                self.observer,
+            )?,
+            None => LsmEngine::recover_with(
+                self.config,
+                store,
+                self.wal,
+                self.recovery,
+                self.observer,
+            )?,
+        };
+        engine.finish_open(self.faults);
+        Ok((engine, report))
+    }
+}
+
 /// A single-series leveled LSM engine.
 pub struct LsmEngine {
     config: EngineConfig,
@@ -147,6 +312,9 @@ pub struct LsmEngine {
     /// Debug-build temporal invariants (counter monotonicity, pivot
     /// no-regression); no-op in release builds.
     invariants: InvariantChecker,
+    /// Typed event sink; detached unless set through
+    /// [`OpenOptions::observer`].
+    obs: ObserverHandle,
 }
 
 impl std::fmt::Debug for LsmEngine {
@@ -160,7 +328,9 @@ impl std::fmt::Debug for LsmEngine {
 }
 
 impl LsmEngine {
-    /// Creates an engine over the given table store.
+    /// Creates an engine over the given table store. Shorthand for
+    /// [`OpenOptions::new`]`(config).store(store).open()` — use the builder
+    /// for anything beyond a bare engine.
     ///
     /// # Errors
     /// [`Error::InvalidConfig`] for degenerate configurations.
@@ -179,33 +349,34 @@ impl LsmEngine {
             manifest: None,
             max_gen_seen: None,
             invariants: InvariantChecker::new(),
+            obs: ObserverHandle::detached(),
         })
     }
 
     /// Creates an engine backed by an in-memory store — the configuration
-    /// used by the model-validation experiments.
+    /// used by the model-validation experiments. Shorthand for
+    /// [`OpenOptions::new`]`(config).open()`.
     pub fn in_memory(config: EngineConfig) -> Result<Self> {
         Self::new(config, Arc::new(MemStore::new()))
     }
 
     /// Attaches a write-ahead log at `path`; appended points are logged
     /// before being buffered.
-    ///
-    /// # Errors
-    /// I/O errors opening the log.
-    pub fn with_wal(mut self, path: impl AsRef<Path>) -> Result<Self> {
-        self.wal = Some(Wal::open(path)?);
+    pub(crate) fn with_wal(mut self, path: impl AsRef<Path>) -> Result<Self> {
+        let mut wal = Wal::open(path)?;
+        wal.attach_observer(self.obs.clone());
+        self.wal = Some(wal);
         Ok(self)
     }
 
     /// Attaches a manifest at `path`: run-membership changes are logged so
-    /// recovery no longer needs to read every table
-    /// (see [`LsmEngine::recover_from_manifest`]).
-    ///
-    /// # Errors
-    /// I/O errors opening the manifest.
-    pub fn with_manifest(mut self, path: impl AsRef<Path>) -> Result<Self> {
+    /// recovery no longer needs to read every table.
+    pub(crate) fn with_manifest(
+        mut self,
+        path: impl AsRef<Path>,
+    ) -> Result<Self> {
         let mut manifest = Manifest::open(path)?;
+        manifest.attach_observer(self.obs.clone());
         // Snapshot current membership so a manifest attached mid-life is
         // immediately authoritative.
         manifest.rewrite(self.version.run().tables())?;
@@ -213,43 +384,45 @@ impl LsmEngine {
         Ok(self)
     }
 
-    /// Rebuilds an engine from a table store and (optionally) a WAL:
-    /// the run is reconstructed from the stored tables and buffered points
-    /// are replayed from the log.
+    /// Replaces the engine's event sink; used by the multi-series engine
+    /// when lazily creating per-series engines. Must run before a WAL or
+    /// manifest attaches (they clone the handle).
+    pub(crate) fn set_observer(&mut self, obs: ObserverHandle) {
+        self.obs = obs;
+    }
+
+    /// Post-open fixup shared by [`OpenOptions::open`] and
+    /// [`OpenOptions::open_or_recover`]: faults attach only after opening
+    /// completes so the op schedule starts at the first workload-driven
+    /// disk touch, and the plan reports injections to the same sink.
+    fn finish_open(&mut self, faults: Option<Arc<FaultPlan>>) {
+        if let Some(plan) = faults {
+            plan.set_observer(self.obs.clone());
+            self.attach_faults(&plan);
+        }
+    }
+
+    /// Scan-the-store recovery: the run is reconstructed from the stored
+    /// tables and buffered points are replayed from the log. Salvage mode
+    /// quarantines unreadable tables and reports the losses instead of
+    /// aborting; `gc_orphans` sweeps stored tables the recovered run does
+    /// not reference.
     ///
     /// Replayed points re-enter the user-point counters, so metrics restart
     /// from the recovered memory state rather than the historical total.
-    ///
-    /// # Errors
-    /// Corruption in stored tables, an invalid (overlapping) table set, or
-    /// WAL corruption.
-    pub fn recover(
-        config: EngineConfig,
-        store: Arc<dyn TableStore>,
-        wal_path: Option<PathBuf>,
-    ) -> Result<Self> {
-        Self::recover_with(config, store, wal_path, RecoveryOptions::strict())
-            .map(|(engine, _)| engine)
-    }
-
-    /// [`LsmEngine::recover`] with explicit [`RecoveryOptions`]: salvage
-    /// mode quarantines unreadable tables and reports the losses instead of
-    /// aborting, and `gc_orphans` sweeps stored tables the recovered run
-    /// does not reference.
-    ///
-    /// # Errors
-    /// In strict mode, any damage; in salvage mode only unrecoverable
-    /// failures (the store itself erroring on list/quarantine/delete).
-    pub fn recover_with(
+    pub(crate) fn recover_with(
         config: EngineConfig,
         store: Arc<dyn TableStore>,
         wal_path: Option<PathBuf>,
         options: RecoveryOptions,
+        obs: ObserverHandle,
     ) -> Result<(Self, RecoveryReport)> {
         config.validate()?;
         let mut report = RecoveryReport::default();
         let mut metas = Vec::new();
+        let mut scanned = 0u64;
         for id in store.list()? {
+            scanned += 1;
             match store.get(id) {
                 Ok(points) if !points.is_empty() => metas
                     .push(crate::sstable::SsTableMeta::describe(id, &points)),
@@ -259,6 +432,7 @@ impl LsmEngine {
                         return Err(err);
                     }
                     store.quarantine(id)?;
+                    obs.emit(|| Event::Quarantine { table: id.0 });
                     report.quarantined.push(QuarantinedTable {
                         id,
                         range: None,
@@ -270,6 +444,7 @@ impl LsmEngine {
                         return Err(err);
                     }
                     store.quarantine(id)?;
+                    obs.emit(|| Event::Quarantine { table: id.0 });
                     report.quarantined.push(QuarantinedTable {
                         id,
                         range: None,
@@ -278,11 +453,19 @@ impl LsmEngine {
                 }
             }
         }
+        obs.emit(|| Event::RecoveryStep {
+            step: RecoveryStepKind::StoreScanned,
+            items: scanned,
+        });
         if options.mode == RecoveryMode::Salvage {
             // A crashed merge can leave both an old table and the newer
             // table that re-wrote it; keep the newer superset.
-            metas =
-                recovery::salvage_tables(store.as_ref(), metas, &mut report)?;
+            metas = recovery::salvage_tables(
+                store.as_ref(),
+                metas,
+                &mut report,
+                &obs,
+            )?;
         }
         let run = Run::from_tables(metas)?;
         let version = Version::from_levels(run, Vec::new());
@@ -298,13 +481,19 @@ impl LsmEngine {
             manifest: None,
             max_gen_seen,
             invariants,
+            obs,
         };
         if let Some(path) = wal_path {
             engine.replay_wal(path, options.mode, &mut report)?;
         }
         if options.gc_orphans {
             let live = engine.live_table_ids();
-            recovery::gc_orphans(engine.store.as_ref(), &live, &mut report)?;
+            recovery::gc_orphans(
+                engine.store.as_ref(),
+                &live,
+                &mut report,
+                &engine.obs,
+            )?;
         }
         Ok((engine, report))
     }
@@ -325,10 +514,15 @@ impl LsmEngine {
                 points
             }
         };
+        self.obs.emit(|| Event::RecoveryStep {
+            step: RecoveryStepKind::WalReplayed,
+            items: replayed.len() as u64,
+        });
         for p in &replayed {
             self.append_internal(*p, false)?;
         }
         let mut wal = Wal::open(&path)?;
+        wal.attach_observer(self.obs.clone());
         wal.rewrite(&self.buffered_snapshot())?;
         self.wal = Some(wal);
         Ok(())
@@ -348,42 +542,19 @@ impl LsmEngine {
 
     /// Rebuilds an engine from the manifest instead of reading every table:
     /// O(metadata) recovery. The WAL (if any) is replayed into the buffers
-    /// as in [`LsmEngine::recover`].
-    ///
-    /// # Errors
-    /// Manifest/WAL corruption or an invalid recovered table set.
-    pub fn recover_from_manifest(
-        config: EngineConfig,
-        store: Arc<dyn TableStore>,
-        manifest_path: PathBuf,
-        wal_path: Option<PathBuf>,
-    ) -> Result<Self> {
-        Self::recover_from_manifest_with(
-            config,
-            store,
-            manifest_path,
-            wal_path,
-            RecoveryOptions::strict(),
-        )
-        .map(|(engine, _)| engine)
-    }
-
-    /// [`LsmEngine::recover_from_manifest`] with explicit
-    /// [`RecoveryOptions`]: salvage mode uses the longest valid manifest
-    /// prefix, quarantines tables that are unreadable or disagree with
-    /// their metadata, and reports every loss; `gc_orphans` sweeps stored
-    /// tables the recovered run does not reference (debris from a crash
-    /// between a compaction's output writes and its manifest record).
-    ///
-    /// # Errors
-    /// In strict mode, any damage; in salvage mode only unrecoverable
-    /// failures.
-    pub fn recover_from_manifest_with(
+    /// as in [`LsmEngine::recover_with`]. Salvage mode uses the longest
+    /// valid manifest prefix, quarantines tables that are unreadable or
+    /// disagree with their metadata, and reports every loss; `gc_orphans`
+    /// sweeps stored tables the recovered run does not reference (debris
+    /// from a crash between a compaction's output writes and its manifest
+    /// record).
+    pub(crate) fn recover_from_manifest_with(
         config: EngineConfig,
         store: Arc<dyn TableStore>,
         manifest_path: PathBuf,
         wal_path: Option<PathBuf>,
         options: RecoveryOptions,
+        obs: ObserverHandle,
     ) -> Result<(Self, RecoveryReport)> {
         config.validate()?;
         let mut report = RecoveryReport::default();
@@ -402,9 +573,18 @@ impl LsmEngine {
                     ));
                 }
                 report.manifest_records_dropped += dropped;
-                recovery::salvage_tables(store.as_ref(), run, &mut report)?
+                recovery::salvage_tables(
+                    store.as_ref(),
+                    run,
+                    &mut report,
+                    &obs,
+                )?
             }
         };
+        obs.emit(|| Event::RecoveryStep {
+            step: RecoveryStepKind::ManifestReplayed,
+            items: metas.len() as u64,
+        });
         let run = Run::from_tables(metas)?;
         let version = Version::from_levels(run, Vec::new());
         let max_gen_seen = version.run().last_gen_time();
@@ -419,27 +599,30 @@ impl LsmEngine {
             manifest: None,
             max_gen_seen,
             invariants,
+            obs,
         };
         if let Some(path) = wal_path {
             engine.replay_wal(path, options.mode, &mut report)?;
         }
         let mut manifest = Manifest::open(&manifest_path)?;
+        manifest.attach_observer(engine.obs.clone());
         manifest.rewrite(engine.version.run().tables())?;
         engine.manifest = Some(manifest);
         if options.gc_orphans {
             let live = engine.live_table_ids();
-            recovery::gc_orphans(engine.store.as_ref(), &live, &mut report)?;
+            recovery::gc_orphans(
+                engine.store.as_ref(),
+                &live,
+                &mut report,
+                &engine.obs,
+            )?;
         }
         Ok((engine, report))
     }
 
     /// Attaches a fault plan to the engine's WAL and manifest (if present)
-    /// so their disk touches join the plan's op schedule. The table store
-    /// is attached separately at construction
-    /// ([`FileStore::with_faults`](crate::FileStore::with_faults) or a
-    /// [`FaultStore`](crate::fault::FaultStore) wrapper) — share one plan
-    /// across all three for a single global op numbering.
-    pub fn attach_faults(&mut self, plan: &Arc<FaultPlan>) {
+    /// so their disk touches join the plan's op schedule.
+    pub(crate) fn attach_faults(&mut self, plan: &Arc<FaultPlan>) {
         if let Some(wal) = self.wal.as_mut() {
             wal.attach_faults(Arc::clone(plan));
         }
@@ -528,6 +711,9 @@ impl LsmEngine {
 
         // Definition 3 pivot: `LAST(R).t_g`.
         let pivot = self.version.run().last_gen_time();
+        self.obs.emit(|| Event::PointClassified {
+            in_order: pivot.is_none_or(|pv| p.gen_time > pv),
+        });
         let trigger = self.buffers.insert(p, pivot);
         self.flush(trigger)?;
 
@@ -547,6 +733,9 @@ impl LsmEngine {
             return Ok(());
         }
         let points = self.buffers.take(trigger);
+        self.obs.emit(|| Event::MemtableSealed {
+            points: points.len() as u64,
+        });
         if trigger.is_merge() {
             self.merge_into_run(points)?;
         } else {
@@ -579,6 +768,7 @@ impl LsmEngine {
             &mut self.version,
             self.manifest.as_mut(),
             &mut self.metrics,
+            &self.obs,
         )
     }
 
@@ -619,6 +809,7 @@ impl LsmEngine {
             self.manifest.as_mut(),
             &mut self.metrics,
             false,
+            &self.obs,
         )
     }
 

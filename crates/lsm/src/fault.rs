@@ -23,6 +23,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use seplsm_types::{DataPoint, Error, Result, TimeRange};
 
+use crate::obs::{Event, ObserverHandle};
 use crate::sstable::format::RangeRead;
 use crate::sstable::{SsTableId, SsTableMeta};
 use crate::store::TableStore;
@@ -147,6 +148,7 @@ pub struct FaultPlan {
     crashed: AtomicBool,
     injected: AtomicU64,
     trace: Mutex<Vec<IoOp>>,
+    observer: Mutex<ObserverHandle>,
 }
 
 impl FaultPlan {
@@ -160,6 +162,7 @@ impl FaultPlan {
             crashed: AtomicBool::new(false),
             injected: AtomicU64::new(0),
             trace: Mutex::new(Vec::new()),
+            observer: Mutex::new(ObserverHandle::detached()),
         })
     }
 
@@ -199,6 +202,21 @@ impl FaultPlan {
         self.trace.lock().clone()
     }
 
+    /// Attaches an observer: every injected failure emits an
+    /// [`Event::FaultInjected`]. Emission happens outside op numbering, so
+    /// observing a plan never shifts its schedule.
+    pub fn set_observer(&self, obs: ObserverHandle) {
+        *self.observer.lock() = obs;
+    }
+
+    /// Counts one injection and reports it to the attached observer.
+    fn note_injected(&self, op: IoOp, index: u64) {
+        self.injected.fetch_add(1, Ordering::SeqCst);
+        self.observer
+            .lock()
+            .emit(|| Event::FaultInjected { op, at: index });
+    }
+
     /// Counts one non-write op: returns `Ok` if it may proceed, or the
     /// injected error it must surface.
     pub fn begin(&self, op: IoOp) -> Result<()> {
@@ -212,24 +230,24 @@ impl FaultPlan {
         let index = self.ops.fetch_add(1, Ordering::SeqCst);
         self.trace.lock().push(op);
         if self.crashed.load(Ordering::SeqCst) {
-            self.injected.fetch_add(1, Ordering::SeqCst);
+            self.note_injected(op, index);
             return Err(injected_crash(op, index));
         }
         match self.fault {
             Fault::None => Ok(WriteCheck::Proceed),
             Fault::FailOnce { at } if index == at => {
-                self.injected.fetch_add(1, Ordering::SeqCst);
+                self.note_injected(op, index);
                 Err(injected_transient(op, index))
             }
             Fault::FailOnce { .. } => Ok(WriteCheck::Proceed),
             Fault::FailPersistent { from } if index >= from => {
-                self.injected.fetch_add(1, Ordering::SeqCst);
+                self.note_injected(op, index);
                 Err(injected_transient(op, index))
             }
             Fault::FailPersistent { .. } => Ok(WriteCheck::Proceed),
             Fault::TornWrite { at, truncate } if index == at => {
                 self.crashed.store(true, Ordering::SeqCst);
-                self.injected.fetch_add(1, Ordering::SeqCst);
+                self.note_injected(op, index);
                 if len == 0 {
                     // Not a write op: degenerate to a plain crash.
                     Err(injected_crash(op, index))
@@ -242,7 +260,7 @@ impl FaultPlan {
             Fault::TornWrite { .. } => Ok(WriteCheck::Proceed),
             Fault::CrashAt { at } if index >= at => {
                 self.crashed.store(true, Ordering::SeqCst);
-                self.injected.fetch_add(1, Ordering::SeqCst);
+                self.note_injected(op, index);
                 Err(injected_crash(op, index))
             }
             Fault::CrashAt { .. } => Ok(WriteCheck::Proceed),

@@ -90,6 +90,7 @@ pub mod manifest;
 pub mod memtable;
 pub mod metrics;
 pub mod multi;
+pub mod obs;
 pub mod query;
 pub mod recovery;
 pub mod sstable;
@@ -97,10 +98,12 @@ pub mod store;
 pub mod version;
 pub mod wal;
 
-pub use background::{TieredEngine, TieredReport};
+pub use background::{
+    OpenOptions as TieredOpenOptions, TieredEngine, TieredReport,
+};
 pub use buffer::{FlushTrigger, PolicyBuffers};
 pub use compaction::{plan_merge, CompactionPlan, RunInput};
-pub use engine::{EngineConfig, LsmEngine};
+pub use engine::{EngineConfig, LsmEngine, OpenOptions};
 pub use fault::{Fault, FaultPlan, FaultStore, IoOp};
 pub use invariants::InvariantChecker;
 pub use iterator::{merge_sorted, MergeIter};
@@ -108,7 +111,13 @@ pub use level::Run;
 pub use manifest::Manifest;
 pub use memtable::MemTable;
 pub use metrics::{Metrics, WaSnapshot};
-pub use multi::{MultiSeriesEngine, SeriesId};
+pub use multi::{MultiSeriesEngine, OpenOptions as MultiOpenOptions, SeriesId};
+pub use obs::{
+    AggregateReport, AggregateSink, Clock, DegradedOp, DegradedReason,
+    DegradedState, Event, FanoutSink, Histogram, JsonlSink, LogicalClock,
+    ManifestRecordKind, NullSink, Observer, ObserverHandle, RecoveryStepKind,
+    RingBufferSink,
+};
 pub use query::{DiskModel, QueryStats};
 pub use recovery::{
     QuarantinedTable, RecoveryMode, RecoveryOptions, RecoveryReport,

@@ -16,6 +16,7 @@ use seplsm_types::{Error, Result, TimeRange};
 
 use crate::codec;
 use crate::fault::{self, FaultPlan, IoOp, WriteCheck};
+use crate::obs::{Event, ManifestRecordKind, ObserverHandle};
 use crate::sstable::crc32::crc32;
 use crate::sstable::{SsTableId, SsTableMeta};
 use crate::store::sync_dir;
@@ -83,6 +84,7 @@ pub struct Manifest {
     writer: BufWriter<File>,
     path: PathBuf,
     faults: Option<Arc<FaultPlan>>,
+    obs: ObserverHandle,
 }
 
 impl std::fmt::Debug for Manifest {
@@ -117,6 +119,7 @@ impl Manifest {
             writer: BufWriter::new(file),
             path,
             faults: None,
+            obs: ObserverHandle::detached(),
         })
     }
 
@@ -144,6 +147,12 @@ impl Manifest {
     /// the plan first. Used by the crash-schedule harness.
     pub fn attach_faults(&mut self, plan: Arc<FaultPlan>) {
         self.faults = Some(plan);
+    }
+
+    /// Attaches an observer: every logged record and rewrite emits an
+    /// [`Event::ManifestRecord`].
+    pub fn attach_observer(&mut self, obs: ObserverHandle) {
+        self.obs = obs;
     }
 
     /// Path of the manifest file.
@@ -177,14 +186,22 @@ impl Manifest {
     pub fn log_add(&mut self, meta: &SsTableMeta) -> Result<()> {
         self.append_record(&encode_record(
             TAG_ADD, meta.id, meta.range, meta.count,
-        ))
+        ))?;
+        self.obs.emit(|| Event::ManifestRecord {
+            kind: ManifestRecordKind::Add,
+        });
+        Ok(())
     }
 
     /// Logs a table joining L0 (the tiered engine's overlapping level).
     pub fn log_add_l0(&mut self, meta: &SsTableMeta) -> Result<()> {
         self.append_record(&encode_record(
             TAG_ADD_L0, meta.id, meta.range, meta.count,
-        ))
+        ))?;
+        self.obs.emit(|| Event::ManifestRecord {
+            kind: ManifestRecordKind::AddL0,
+        });
+        Ok(())
     }
 
     /// Logs a table leaving the run.
@@ -194,7 +211,11 @@ impl Manifest {
             id,
             TimeRange::new(0, 0),
             0,
-        ))
+        ))?;
+        self.obs.emit(|| Event::ManifestRecord {
+            kind: ManifestRecordKind::Remove,
+        });
+        Ok(())
     }
 
     /// Flushes and fsyncs the log.
@@ -263,6 +284,9 @@ impl Manifest {
         }
         let file = OpenOptions::new().append(true).open(&self.path)?;
         self.writer = BufWriter::new(file);
+        self.obs.emit(|| Event::ManifestRecord {
+            kind: ManifestRecordKind::Rewrite,
+        });
         Ok(())
     }
 

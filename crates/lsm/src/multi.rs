@@ -6,10 +6,10 @@
 //! [`SeriesId`] gets its own MemTables, level-1 run and metrics (so policies
 //! can differ per series), while all series share one [`TableStore`].
 //!
-//! With [`MultiSeriesEngine::durable`] every series additionally gets a WAL
+//! With [`OpenOptions::durable_dir`] every series additionally gets a WAL
 //! and a manifest namespaced by its id (`series-<n>.wal` /
 //! `series-<n>.manifest`) inside one metadata directory;
-//! [`MultiSeriesEngine::recover`] scans that directory and rebuilds every
+//! [`OpenOptions::open_or_recover`] scans that directory and rebuilds every
 //! series through the single-series recovery path.
 
 use std::collections::hash_map::Entry;
@@ -22,6 +22,7 @@ use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange};
 use crate::engine::{EngineConfig, LsmEngine};
 use crate::fault::FaultPlan;
 use crate::metrics::Metrics;
+use crate::obs::{Observer, ObserverHandle};
 use crate::query::QueryStats;
 use crate::recovery::{self, RecoveryOptions, RecoveryReport};
 use crate::sstable::SsTableId;
@@ -73,6 +74,145 @@ impl MultiMetrics {
     }
 }
 
+/// The one way to open a [`MultiSeriesEngine`]: the fleet twin of
+/// [`crate::engine::OpenOptions`], replacing the old
+/// `new`/`in_memory`/`durable`/`recover*`/`attach_faults` constructor
+/// family.
+///
+/// [`OpenOptions::open`] starts a fresh collection;
+/// [`OpenOptions::open_or_recover`] scans the
+/// [`OpenOptions::durable_dir`] for `series-<n>.manifest` files and
+/// rebuilds every series through the single-series recovery path, folding
+/// the per-series [`RecoveryReport`]s into one fleet-wide report.
+#[must_use = "OpenOptions does nothing until .open()/.open_or_recover()"]
+pub struct OpenOptions {
+    template: EngineConfig,
+    store: Option<Arc<dyn TableStore>>,
+    durable_dir: Option<PathBuf>,
+    recovery: RecoveryOptions,
+    faults: Option<Arc<FaultPlan>>,
+    observer: ObserverHandle,
+}
+
+impl std::fmt::Debug for OpenOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpenOptions")
+            .field("policy", &self.template.policy)
+            .field("durable_dir", &self.durable_dir)
+            .field("recovery", &self.recovery)
+            .field("faults", &self.faults.is_some())
+            .field("observer", &self.observer.is_attached())
+            .finish()
+    }
+}
+
+impl OpenOptions {
+    /// Starts a builder; new series start from `template`.
+    pub fn new(template: EngineConfig) -> Self {
+        Self {
+            template,
+            store: None,
+            durable_dir: None,
+            recovery: RecoveryOptions::strict(),
+            faults: None,
+            observer: ObserverHandle::detached(),
+        }
+    }
+
+    /// Backs every series with `store`. Defaults to a fresh in-memory
+    /// store.
+    pub fn store(mut self, store: Arc<dyn TableStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Makes the collection durable: each series logs to
+    /// `dir/series-<n>.wal` and records run membership in
+    /// `dir/series-<n>.manifest`, so the whole collection survives a crash.
+    pub fn durable_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the [`RecoveryOptions`] used by
+    /// [`OpenOptions::open_or_recover`] (default: strict).
+    pub fn recovery(mut self, options: RecoveryOptions) -> Self {
+        self.recovery = options;
+        self
+    }
+
+    /// Routes every series' WAL and manifest writes (current series and
+    /// any created later) through `plan`'s fault schedule; wrap the shared
+    /// table store separately with the *same* plan.
+    pub fn faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Delivers every series' storage-kernel [`Event`](crate::obs::Event)s
+    /// to `sink`.
+    pub fn observer(mut self, sink: Arc<dyn Observer>) -> Self {
+        self.observer = ObserverHandle::attached(sink);
+        self
+    }
+
+    fn store_or_default(
+        store: Option<Arc<dyn TableStore>>,
+    ) -> Arc<dyn TableStore> {
+        store.unwrap_or_else(|| Arc::new(MemStore::new()))
+    }
+
+    /// Opens a fresh collection (creating the durable directory if one is
+    /// configured).
+    ///
+    /// # Errors
+    /// I/O errors creating the durable directory.
+    pub fn open(self) -> Result<MultiSeriesEngine> {
+        let store = Self::store_or_default(self.store);
+        let mut engine = MultiSeriesEngine::new(self.template, store);
+        if let Some(dir) = self.durable_dir {
+            std::fs::create_dir_all(&dir)?;
+            engine.durable_dir = Some(dir);
+        }
+        engine.obs = self.observer;
+        engine.install_faults(self.faults);
+        Ok(engine)
+    }
+
+    /// Rebuilds a durable collection after a crash: every
+    /// `series-<n>.manifest` under the [`OpenOptions::durable_dir`] is
+    /// recovered through the single-series path (manifest → run, WAL →
+    /// buffers). Orphan GC (when requested) runs once, *after* every series
+    /// has recovered, against the union of all series' live tables — the
+    /// shared store makes any per-series sweep unsound.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] when no durable directory is configured;
+    /// strict mode: any corruption in any series; salvage mode: only
+    /// unrecoverable store/log failures.
+    pub fn open_or_recover(
+        self,
+    ) -> Result<(MultiSeriesEngine, RecoveryReport)> {
+        let Some(dir) = self.durable_dir else {
+            return Err(Error::InvalidConfig(
+                "multi-series recovery scans the durable directory: \
+                 configure OpenOptions::durable_dir"
+                    .into(),
+            ));
+        };
+        let store = Self::store_or_default(self.store);
+        let (mut engine, report) = MultiSeriesEngine::recover_with(
+            self.template,
+            store,
+            dir,
+            self.recovery,
+            self.observer,
+        )?;
+        engine.install_faults(self.faults);
+        Ok((engine, report))
+    }
+}
+
 /// A collection of independently-buffered series over one shared store.
 pub struct MultiSeriesEngine {
     store: Arc<dyn TableStore>,
@@ -84,10 +224,13 @@ pub struct MultiSeriesEngine {
     /// When set, every series' WAL and manifest writes route through this
     /// fault schedule (the shared store is wrapped separately).
     faults: Option<Arc<FaultPlan>>,
+    /// Event sink cloned into every series engine (current and future).
+    obs: ObserverHandle,
 }
 
 impl MultiSeriesEngine {
     /// Creates a multi-series engine; new series start from `template`.
+    /// Shorthand for [`OpenOptions::new`]`(template).store(store).open()`.
     pub fn new(template: EngineConfig, store: Arc<dyn TableStore>) -> Self {
         Self {
             store,
@@ -95,6 +238,7 @@ impl MultiSeriesEngine {
             series: HashMap::new(),
             durable_dir: None,
             faults: None,
+            obs: ObserverHandle::detached(),
         }
     }
 
@@ -103,56 +247,15 @@ impl MultiSeriesEngine {
         Self::new(template, Arc::new(MemStore::new()))
     }
 
-    /// Creates a durable multi-series engine: each series logs to
-    /// `dir/series-<n>.wal` and records run membership in
-    /// `dir/series-<n>.manifest`, so the whole collection survives a crash
-    /// (see [`MultiSeriesEngine::recover`]).
-    ///
-    /// # Errors
-    /// I/O errors creating `dir`.
-    pub fn durable(
-        template: EngineConfig,
-        store: Arc<dyn TableStore>,
-        dir: impl AsRef<Path>,
-    ) -> Result<Self> {
-        let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
-        let mut engine = Self::new(template, store);
-        engine.durable_dir = Some(dir);
-        Ok(engine)
-    }
-
-    /// Rebuilds a durable multi-series engine after a crash: scans `dir` for
-    /// `series-<n>.manifest` files and recovers each series through
-    /// [`LsmEngine::recover_from_manifest`] (manifest → run, WAL → buffers).
-    ///
-    /// # Errors
-    /// I/O errors scanning `dir`; manifest/WAL corruption in any series.
-    pub fn recover(
-        template: EngineConfig,
-        store: Arc<dyn TableStore>,
-        dir: impl AsRef<Path>,
-    ) -> Result<Self> {
-        Self::recover_with(template, store, dir, RecoveryOptions::strict())
-            .map(|(engine, _)| engine)
-    }
-
-    /// [`MultiSeriesEngine::recover`] with explicit [`RecoveryOptions`]:
-    /// each series recovers through
-    /// [`LsmEngine::recover_from_manifest_with`] and their
-    /// [`RecoveryReport`]s are folded into one fleet-wide report. Orphan GC
-    /// (when requested) runs once, *after* every series has recovered,
-    /// against the union of all series' live tables — the shared store makes
-    /// any per-series sweep unsound.
-    ///
-    /// # Errors
-    /// Strict mode: any corruption in any series. Salvage mode: only
-    /// unrecoverable store/log failures.
-    pub fn recover_with(
+    /// [`MultiSeriesEngine::recover_with`]: each series recovers through
+    /// the single-series manifest path and their [`RecoveryReport`]s are
+    /// folded into one fleet-wide report.
+    pub(crate) fn recover_with(
         template: EngineConfig,
         store: Arc<dyn TableStore>,
         dir: impl AsRef<Path>,
         options: RecoveryOptions,
+        obs: ObserverHandle,
     ) -> Result<(Self, RecoveryReport)> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
@@ -181,6 +284,7 @@ impl MultiSeriesEngine {
                     dir.join(format!("series-{id}.manifest")),
                     Some(dir.join(format!("series-{id}.wal"))),
                     per_series,
+                    obs.clone(),
                 )?;
             report.merge(series_report);
             series.insert(SeriesId(id), engine);
@@ -191,26 +295,33 @@ impl MultiSeriesEngine {
             series,
             durable_dir: Some(dir),
             faults: None,
+            obs,
         };
         if options.gc_orphans {
             let mut live: HashSet<SsTableId> = HashSet::new();
             for e in engine.series.values() {
                 live.extend(e.live_table_ids());
             }
-            recovery::gc_orphans(engine.store.as_ref(), &live, &mut report)?;
+            recovery::gc_orphans(
+                engine.store.as_ref(),
+                &live,
+                &mut report,
+                &engine.obs,
+            )?;
         }
         Ok((engine, report))
     }
 
     /// Routes every series' WAL and manifest writes (current series and any
-    /// created later) through `plan`'s fault schedule. Wrap the shared
-    /// table store separately with the *same* plan for a single global op
-    /// numbering.
-    pub fn attach_faults(&mut self, plan: &Arc<FaultPlan>) {
+    /// created later) through `plan`'s fault schedule, reporting injections
+    /// to the collection's observer.
+    fn install_faults(&mut self, plan: Option<Arc<FaultPlan>>) {
+        let Some(plan) = plan else { return };
+        plan.set_observer(self.obs.clone());
         for engine in self.series.values_mut() {
-            engine.attach_faults(plan);
+            engine.attach_faults(&plan);
         }
-        self.faults = Some(Arc::clone(plan));
+        self.faults = Some(plan);
     }
 
     /// Audits every series' version and tables against the shared store.
@@ -255,6 +366,7 @@ impl MultiSeriesEngine {
                     self.template.clone(),
                     Arc::clone(&self.store),
                 )?;
+                engine.set_observer(self.obs.clone());
                 if let Some(dir) = &self.durable_dir {
                     engine = engine
                         .with_wal(dir.join(format!("series-{}.wal", series.0)))?
@@ -437,9 +549,11 @@ mod tests {
         {
             let store: Arc<dyn TableStore> =
                 Arc::new(FileStore::open(dir.join("tables")).expect("store"));
-            let mut m =
-                MultiSeriesEngine::durable(config(), store, dir.join("meta"))
-                    .expect("durable");
+            let mut m = OpenOptions::new(config())
+                .store(store)
+                .durable_dir(dir.join("meta"))
+                .open()
+                .expect("durable");
             for s in 0..3u32 {
                 // 20 points per series: some flushed, the tail buffered.
                 for i in 0..20i64 {
@@ -455,7 +569,10 @@ mod tests {
         }
         let store: Arc<dyn TableStore> =
             Arc::new(FileStore::open(dir.join("tables")).expect("store"));
-        let m = MultiSeriesEngine::recover(config(), store, dir.join("meta"))
+        let (m, _report) = OpenOptions::new(config())
+            .store(store)
+            .durable_dir(dir.join("meta"))
+            .open_or_recover()
             .expect("recover");
         assert_eq!(m.len(), 3);
         for s in 0..3u32 {

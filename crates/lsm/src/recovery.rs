@@ -14,6 +14,7 @@
 use seplsm_types::{Result, TimeRange};
 
 use crate::invariants::probe_table;
+use crate::obs::{Event, ObserverHandle, RecoveryStepKind};
 use crate::sstable::{SsTableId, SsTableMeta};
 use crate::store::TableStore;
 
@@ -141,9 +142,10 @@ pub(crate) fn salvage_tables(
     store: &dyn TableStore,
     candidates: Vec<SsTableMeta>,
     report: &mut RecoveryReport,
+    obs: &ObserverHandle,
 ) -> Result<Vec<SsTableMeta>> {
-    let survivors = probe_tables(store, candidates, report)?;
-    resolve_overlaps(store, survivors, report)
+    let survivors = probe_tables(store, candidates, report, obs)?;
+    resolve_overlaps(store, survivors, report, obs)
 }
 
 /// Probe-only variant of [`salvage_tables`] for levels whose tables may
@@ -156,17 +158,24 @@ pub(crate) fn probe_tables(
     store: &dyn TableStore,
     candidates: Vec<SsTableMeta>,
     report: &mut RecoveryReport,
+    obs: &ObserverHandle,
 ) -> Result<Vec<SsTableMeta>> {
+    let probed = candidates.len() as u64;
     let mut survivors = Vec::with_capacity(candidates.len());
     for meta in candidates {
         match probe_table(store, &meta) {
             Ok(()) => survivors.push(meta),
             Err(e) => {
                 store.quarantine(meta.id)?;
+                obs.emit(|| Event::Quarantine { table: meta.id.0 });
                 report.note_quarantine(&meta, e.to_string());
             }
         }
     }
+    obs.emit(|| Event::RecoveryStep {
+        step: RecoveryStepKind::TablesProbed,
+        items: probed,
+    });
     Ok(survivors)
 }
 
@@ -177,6 +186,7 @@ fn resolve_overlaps(
     store: &dyn TableStore,
     mut tables: Vec<SsTableMeta>,
     report: &mut RecoveryReport,
+    obs: &ObserverHandle,
 ) -> Result<Vec<SsTableMeta>> {
     tables.sort_by_key(|m| (m.range.start, m.range.end, m.id));
     loop {
@@ -197,6 +207,7 @@ fn resolve_overlaps(
         };
         let meta = tables.remove(idx);
         store.quarantine(meta.id)?;
+        obs.emit(|| Event::Quarantine { table: meta.id.0 });
         report.note_quarantine(&meta, "overlaps a newer recovered table");
     }
 }
@@ -209,13 +220,20 @@ pub(crate) fn gc_orphans(
     store: &dyn TableStore,
     live: &std::collections::HashSet<SsTableId>,
     report: &mut RecoveryReport,
+    obs: &ObserverHandle,
 ) -> Result<()> {
+    let mut swept = 0u64;
     for id in store.list()? {
         if !live.contains(&id) {
             store.delete(id)?;
             report.orphans_removed.push(id);
+            swept += 1;
         }
     }
+    obs.emit(|| Event::RecoveryStep {
+        step: RecoveryStepKind::OrphansSwept,
+        items: swept,
+    });
     Ok(())
 }
 
@@ -240,8 +258,13 @@ mod tests {
         store.delete(missing.id).expect("delete"); // unreadable now
         missing.count = 10;
         let mut report = RecoveryReport::default();
-        let survivors = salvage_tables(&store, vec![ok, missing], &mut report)
-            .expect("salvage");
+        let survivors = salvage_tables(
+            &store,
+            vec![ok, missing],
+            &mut report,
+            &ObserverHandle::detached(),
+        )
+        .expect("salvage");
         assert_eq!(survivors, vec![ok]);
         assert_eq!(report.quarantined.len(), 1);
         assert_eq!(report.quarantined[0].id, missing.id);
@@ -257,8 +280,13 @@ mod tests {
         let old = stored(&store, 5..10);
         let merged = stored(&store, 0..15);
         let mut report = RecoveryReport::default();
-        let survivors = salvage_tables(&store, vec![old, merged], &mut report)
-            .expect("salvage");
+        let survivors = salvage_tables(
+            &store,
+            vec![old, merged],
+            &mut report,
+            &ObserverHandle::detached(),
+        )
+        .expect("salvage");
         assert_eq!(survivors, vec![merged], "newer superset table wins");
         assert_eq!(report.quarantined[0].id, old.id);
     }
@@ -270,7 +298,8 @@ mod tests {
         let orphan = stored(&store, 100..105);
         let mut report = RecoveryReport::default();
         let live = std::collections::HashSet::from([live_meta.id]);
-        gc_orphans(&store, &live, &mut report).expect("gc");
+        gc_orphans(&store, &live, &mut report, &ObserverHandle::detached())
+            .expect("gc");
         assert_eq!(report.orphans_removed, vec![orphan.id]);
         assert!(store.get(live_meta.id).is_ok());
         assert!(store.get(orphan.id).is_err());

@@ -15,6 +15,7 @@ use seplsm_types::{DataPoint, Error, Result};
 
 use crate::codec;
 use crate::fault::{self, FaultPlan, IoOp, WriteCheck};
+use crate::obs::{Event, ObserverHandle};
 use crate::sstable::crc32::crc32;
 use crate::store::sync_dir;
 
@@ -28,6 +29,7 @@ pub struct Wal {
     writer: BufWriter<File>,
     path: PathBuf,
     faults: Option<Arc<FaultPlan>>,
+    obs: ObserverHandle,
 }
 
 impl std::fmt::Debug for Wal {
@@ -99,6 +101,7 @@ impl Wal {
             writer: BufWriter::new(file),
             path,
             faults: None,
+            obs: ObserverHandle::detached(),
         })
     }
 
@@ -128,6 +131,12 @@ impl Wal {
         self.faults = Some(plan);
     }
 
+    /// Attaches an observer: appends, syncs and rewrites emit
+    /// [`Event::WalAppend`] / [`Event::WalSync`] / [`Event::WalTruncate`].
+    pub fn attach_observer(&mut self, obs: ObserverHandle) {
+        self.obs = obs;
+    }
+
     /// Path of the log file.
     pub fn path(&self) -> &Path {
         &self.path
@@ -143,6 +152,9 @@ impl Wal {
         )? {
             WriteCheck::Proceed => {
                 self.writer.write_all(&rec)?;
+                self.obs.emit(|| Event::WalAppend {
+                    bytes: rec.len() as u64,
+                });
                 Ok(())
             }
             WriteCheck::Torn { keep } => {
@@ -166,6 +178,7 @@ impl Wal {
         fault::hook(self.faults.as_ref(), IoOp::WalSync)?;
         self.writer.flush()?;
         self.writer.get_ref().sync_all()?;
+        self.obs.emit(|| Event::WalSync);
         Ok(())
     }
 
@@ -207,6 +220,9 @@ impl Wal {
         }
         let file = OpenOptions::new().append(true).open(&self.path)?;
         self.writer = BufWriter::new(file);
+        self.obs.emit(|| Event::WalTruncate {
+            survivors: survivors.len() as u64,
+        });
         Ok(())
     }
 

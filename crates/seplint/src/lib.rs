@@ -41,6 +41,7 @@ pub const KERNEL_MODULES: &[&str] = &[
     "memtable.rs",
     "fault.rs",
     "recovery.rs",
+    "obs.rs",
 ];
 
 /// Engine modules subject to the R5 durability-ordering lint.

@@ -68,6 +68,18 @@ fn r3_fires_on_wallclock_and_thread_use() {
 }
 
 #[test]
+fn r3_fires_on_wallclock_in_an_observer_sink() {
+    // `obs.rs` is a kernel module: a sink stamping events with
+    // `SystemTime` instead of an injected `Clock` must be caught.
+    let src = fixture("r3_obs_wallclock.rs");
+    let v = rules::deterministic_kernel(Path::new("obs.rs"), &src);
+    // `SystemTime` appears three times (use + now() + UNIX_EPOCH).
+    assert!(v.len() >= 3, "{v:?}");
+    assert!(v.iter().all(|x| x.rule == "R3"));
+    assert!(v.iter().any(|x| x.message.contains("SystemTime")));
+}
+
+#[test]
 fn r4_fires_only_on_pub_non_result_panicking_fns() {
     let src = fixture("r4_pub_panic.rs");
     let v = rules::kernel_returns_results(Path::new("r4_pub_panic.rs"), &src);

@@ -45,9 +45,11 @@ fn main() -> Result<(), Error> {
 
     match phase.as_str() {
         "ingest" => {
-            let mut engine = seplsm::TieredEngine::new(config, store)?
-                .with_wal(dir.join("wal"))?
-                .with_manifest(dir.join("manifest"))?;
+            let mut engine = seplsm::TieredOpenOptions::new(config)
+                .store(store)
+                .wal(dir.join("wal"))
+                .manifest(dir.join("manifest"))
+                .open()?;
             for i in 0..POINTS {
                 engine.append(point(i))?;
             }
@@ -57,12 +59,11 @@ fn main() -> Result<(), Error> {
             std::process::exit(0);
         }
         "recover" => {
-            let engine = seplsm::TieredEngine::recover(
-                config,
-                store,
-                dir.join("manifest"),
-                Some(dir.join("wal")),
-            )?;
+            let (engine, _report) = seplsm::TieredOpenOptions::new(config)
+                .store(store)
+                .wal(dir.join("wal"))
+                .manifest(dir.join("manifest"))
+                .open_or_recover()?;
             let (hits, _) = engine.query(TimeRange::new(i64::MIN, i64::MAX))?;
             println!("recovered {} points", hits.len());
             for i in 0..POINTS {

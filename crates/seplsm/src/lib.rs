@@ -35,11 +35,14 @@ pub use seplsm_core::{
 };
 pub use seplsm_dist::{DelayDistribution, Empirical, LogNormal};
 pub use seplsm_lsm::{
-    sync_dir, Compression, DiskModel, EncodeOptions, EngineConfig, Fault,
-    FaultPlan, FaultStore, FileStore, IoOp, LsmEngine, Manifest, MemStore,
-    MultiSeriesEngine, QuarantinedTable, QueryStats, RecoveryMode,
-    RecoveryOptions, RecoveryReport, SeriesId, TableStore, TieredEngine,
-    TieredReport, Wal,
+    sync_dir, AggregateReport, AggregateSink, Clock, Compression, DegradedOp,
+    DegradedReason, DegradedState, DiskModel, EncodeOptions, EngineConfig,
+    Event, FanoutSink, Fault, FaultPlan, FaultStore, FileStore, Histogram,
+    IoOp, JsonlSink, LogicalClock, LsmEngine, Manifest, ManifestRecordKind,
+    MemStore, MultiOpenOptions, MultiSeriesEngine, NullSink, Observer,
+    ObserverHandle, OpenOptions, QuarantinedTable, QueryStats, RecoveryMode,
+    RecoveryOptions, RecoveryReport, RecoveryStepKind, RingBufferSink,
+    SeriesId, TableStore, TieredEngine, TieredOpenOptions, TieredReport, Wal,
 };
 pub use seplsm_types::{
     DataPoint, Error, Policy, Result, TimeRange, Timestamp,
@@ -49,3 +52,33 @@ pub use seplsm_workload::{
     RecentQueries, S9Workload, SyntheticWorkload, VehicleWorkload,
     PAPER_DATASETS,
 };
+
+/// The working set for typical programs: engine configuration, the three
+/// `OpenOptions` builders, observability sinks, and the core value types.
+///
+/// ```
+/// use seplsm::prelude::*;
+///
+/// let sink = RingBufferSink::new(1024);
+/// let mut engine = OpenOptions::new(EngineConfig::conventional(512))
+///     .observer(sink.clone())
+///     .open()?;
+/// engine.append(DataPoint::new(0, 3, 21.5))?;
+/// engine.flush_all()?;
+/// assert!(sink.events().iter().any(|e| matches!(
+///     e,
+///     Event::PointClassified { in_order: true }
+/// )));
+/// # Ok::<(), seplsm::Error>(())
+/// ```
+pub mod prelude {
+    pub use seplsm_lsm::{
+        AggregateSink, EngineConfig, Event, FileStore, JsonlSink, LsmEngine,
+        MemStore, MultiOpenOptions, MultiSeriesEngine, Observer, OpenOptions,
+        RecoveryOptions, RingBufferSink, SeriesId, TableStore, TieredEngine,
+        TieredOpenOptions,
+    };
+    pub use seplsm_types::{
+        DataPoint, Error, Policy, Result, TimeRange, Timestamp,
+    };
+}

@@ -35,6 +35,33 @@ cargo test -q --workspace --offline
 echo "== fault injection (crash schedules) =="
 cargo test -q -p seplsm --test crash_schedules --offline
 
+# Observability lane: a short instrumented bench run must emit a JSONL
+# event trace that parses line-by-line, and — because sinks run on the
+# deterministic logical clock — two runs of the same seeded workload must
+# produce byte-identical traces.
+echo "== observability (JSONL trace determinism) =="
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+cargo run -q --release -p seplsm-bench --bin trace_run --offline -- \
+  --points 5000 --seed 42 --trace "$TRACE_DIR/a.jsonl" >/dev/null
+cargo run -q --release -p seplsm-bench --bin trace_run --offline -- \
+  --points 5000 --seed 42 --trace "$TRACE_DIR/b.jsonl" >/dev/null
+cmp "$TRACE_DIR/a.jsonl" "$TRACE_DIR/b.jsonl" \
+  || { echo "trace not deterministic"; exit 1; }
+python3 - "$TRACE_DIR/a.jsonl" <<'PYEOF'
+import json, sys
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "empty trace"
+kinds = set()
+for i, line in enumerate(lines):
+    obj = json.loads(line)
+    assert obj["seq"] == i, f"seq gap at line {i}"
+    kinds.add(obj["event"])
+assert "flush_finished" in kinds, kinds
+assert "point_classified" in kinds, kinds
+print(f"trace OK: {len(lines)} events, {len(kinds)} kinds")
+PYEOF
+
 # Opt-in undefined-behaviour lane: MIRI=1 scripts/ci.sh runs the kernel's
 # memtable/buffer unit tests under miri when the component is installed.
 # The workspace forbids unsafe code (seplint R2), so this mainly guards the

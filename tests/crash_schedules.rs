@@ -23,8 +23,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use seplsm::{
     DataPoint, EngineConfig, Fault, FaultPlan, FileStore, LsmEngine,
-    MultiSeriesEngine, RecoveryOptions, SeriesId, TableStore, TieredEngine,
-    TimeRange,
+    MultiOpenOptions, OpenOptions, RecoveryOptions, SeriesId, TableStore,
+    TieredEngine, TieredOpenOptions, TimeRange,
 };
 
 /// Seed carried by every plan; derives nothing at runtime (determinism),
@@ -165,15 +165,15 @@ fn lsm_pass(
     let store = FileStore::open(dir.path("tables"))
         .expect("store")
         .with_faults(Arc::clone(plan));
-    let mut engine = LsmEngine::new(config(), Arc::new(store))
-        .expect("engine")
-        .with_wal(dir.path("wal"))
-        .expect("wal")
-        .with_manifest(dir.path("manifest"))
-        .expect("manifest");
-    // Faults attach after construction, so op numbering starts at the
-    // first workload-driven disk touch in every pass.
-    engine.attach_faults(plan);
+    // Faults attach only after `open` completes, so op numbering starts
+    // at the first workload-driven disk touch in every pass.
+    let mut engine = OpenOptions::new(config())
+        .store(Arc::new(store))
+        .wal(dir.path("wal"))
+        .manifest(dir.path("manifest"))
+        .faults(Arc::clone(plan))
+        .open()
+        .expect("open");
     let out = drive(&mut engine, pts, LsmEngine::append, |e| e.sync_wal());
     (dir, out)
 }
@@ -186,14 +186,13 @@ fn lsm_recover_check(
 ) {
     let store: Arc<dyn TableStore> =
         Arc::new(FileStore::open(dir.path("tables")).expect("reopen store"));
-    let (engine, report) = LsmEngine::recover_from_manifest_with(
-        config(),
-        store,
-        dir.path("manifest"),
-        Some(dir.path("wal")),
-        RecoveryOptions::strict().with_gc_orphans(),
-    )
-    .unwrap_or_else(|e| panic!("{ctx}: strict recovery failed: {e}"));
+    let (engine, report) = OpenOptions::new(config())
+        .store(store)
+        .wal(dir.path("wal"))
+        .manifest(dir.path("manifest"))
+        .recovery(RecoveryOptions::strict().with_gc_orphans())
+        .open_or_recover()
+        .unwrap_or_else(|e| panic!("{ctx}: strict recovery failed: {e}"));
     assert!(
         report.quarantined.is_empty(),
         "{ctx}: strict recovery must not quarantine (a crash only truncates)"
@@ -264,16 +263,16 @@ fn tiered_pass(
     let store = FileStore::open(dir.path("tables"))
         .expect("store")
         .with_faults(Arc::clone(plan));
-    let mut engine = TieredEngine::new(config(), Arc::new(store))
-        .expect("engine")
+    let mut engine = TieredOpenOptions::new(config())
+        .store(Arc::new(store))
         // Synchronous flushes give every pass the same deterministic op
         // order (append blocks until the worker retires the hand-off).
-        .with_sync_flush()
-        .with_wal(dir.path("wal"))
-        .expect("wal")
-        .with_manifest(dir.path("manifest"))
-        .expect("manifest");
-    engine.attach_faults(plan);
+        .sync_flush()
+        .wal(dir.path("wal"))
+        .manifest(dir.path("manifest"))
+        .faults(Arc::clone(plan))
+        .open()
+        .expect("open");
     let out = drive(&mut engine, pts, TieredEngine::append, |e| e.sync_wal());
     (dir, out)
 }
@@ -286,14 +285,13 @@ fn tiered_recover_check(
 ) {
     let store: Arc<dyn TableStore> =
         Arc::new(FileStore::open(dir.path("tables")).expect("reopen store"));
-    let (engine, report) = TieredEngine::recover_with(
-        config(),
-        store,
-        dir.path("manifest"),
-        Some(dir.path("wal")),
-        RecoveryOptions::strict().with_gc_orphans(),
-    )
-    .unwrap_or_else(|e| panic!("{ctx}: strict recovery failed: {e}"));
+    let (engine, report) = TieredOpenOptions::new(config())
+        .store(store)
+        .wal(dir.path("wal"))
+        .manifest(dir.path("manifest"))
+        .recovery(RecoveryOptions::strict().with_gc_orphans())
+        .open_or_recover()
+        .unwrap_or_else(|e| panic!("{ctx}: strict recovery failed: {e}"));
     assert!(
         report.quarantined.is_empty(),
         "{ctx}: strict recovery must not quarantine"
@@ -391,13 +389,12 @@ proptest! {
             let store = FileStore::open(dir.path("tables"))
                 .expect("store")
                 .with_faults(Arc::clone(&plan));
-            let mut engine = MultiSeriesEngine::durable(
-                config(),
-                Arc::new(store),
-                dir.path("meta"),
-            )
-            .expect("durable engine");
-            engine.attach_faults(&plan);
+            let mut engine = MultiOpenOptions::new(config())
+                .store(Arc::new(store))
+                .durable_dir(dir.path("meta"))
+                .faults(Arc::clone(&plan))
+                .open()
+                .expect("durable engine");
             let mut since_sync = 0usize;
             for (s, p) in &pts {
                 if engine.append(SeriesId(*s), *p).is_err() {
@@ -424,13 +421,12 @@ proptest! {
         let store: Arc<dyn TableStore> = Arc::new(
             FileStore::open(dir.path("tables")).expect("reopen store"),
         );
-        let (engine, _report) = MultiSeriesEngine::recover_with(
-            config(),
-            store,
-            dir.path("meta"),
-            RecoveryOptions::strict().with_gc_orphans(),
-        )
-        .expect("strict recovery after crash");
+        let (engine, _report) = MultiOpenOptions::new(config())
+            .store(store)
+            .durable_dir(dir.path("meta"))
+            .recovery(RecoveryOptions::strict().with_gc_orphans())
+            .open_or_recover()
+            .expect("strict recovery after crash");
         engine.check_integrity().expect("integrity audit");
         for (s, appended) in &per_series {
             let Ok((recovered, _)) =
@@ -476,12 +472,12 @@ fn salvage_recovery_quarantines_corruption_and_serves_survivors() {
     {
         let store =
             Arc::new(FileStore::open(dir.path("tables")).expect("store"));
-        let mut engine = LsmEngine::new(config(), store)
-            .expect("engine")
-            .with_wal(dir.path("wal"))
-            .expect("wal")
-            .with_manifest(dir.path("manifest"))
-            .expect("manifest");
+        let mut engine = OpenOptions::new(config())
+            .store(store)
+            .wal(dir.path("wal"))
+            .manifest(dir.path("manifest"))
+            .open()
+            .expect("open");
         for p in &pts {
             engine.append(*p).expect("append");
         }
@@ -504,19 +500,21 @@ fn salvage_recovery_quarantines_corruption_and_serves_survivors() {
     let store: Arc<dyn TableStore> =
         Arc::new(FileStore::open(dir.path("tables")).expect("store"));
     assert!(
-        LsmEngine::recover(config(), Arc::clone(&store), None).is_err(),
+        OpenOptions::new(config())
+            .store(Arc::clone(&store))
+            .open_or_recover()
+            .is_err(),
         "strict recovery must refuse a corrupt table"
     );
 
     // Salvage recovery quarantines it and serves everything else.
-    let (engine, report) = LsmEngine::recover_from_manifest_with(
-        config(),
-        store,
-        dir.path("manifest"),
-        Some(dir.path("wal")),
-        RecoveryOptions::salvage().with_gc_orphans(),
-    )
-    .expect("salvage recovery");
+    let (engine, report) = OpenOptions::new(config())
+        .store(store)
+        .wal(dir.path("wal"))
+        .manifest(dir.path("manifest"))
+        .recovery(RecoveryOptions::salvage().with_gc_orphans())
+        .open_or_recover()
+        .expect("salvage recovery");
     assert_eq!(report.quarantined.len(), 1, "exactly one table was damaged");
     assert_eq!(report.lost_ranges.len(), 1);
     assert!(!report.is_clean());

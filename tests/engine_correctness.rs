@@ -4,7 +4,10 @@
 //! range queries exactly.
 
 use proptest::prelude::*;
-use seplsm::{DataPoint, EngineConfig, LsmEngine, Policy, TimeRange};
+use seplsm::{
+    DataPoint, EngineConfig, Event, LsmEngine, OpenOptions, Policy,
+    RingBufferSink, TimeRange,
+};
 
 /// A deterministic scramble of `0..n` (affine permutation).
 fn scramble(n: usize, a: usize) -> Vec<usize> {
@@ -184,4 +187,75 @@ fn write_amplification_is_at_least_one_after_flush() {
     }
     engine.flush_all().expect("flush");
     assert!(engine.metrics().write_amplification() >= 1.0);
+}
+
+/// Observability: on the synchronous engine, every counted compaction
+/// surfaces as exactly one `CompactionExecuted` event and the events'
+/// rewrite totals reproduce the metric exactly.
+#[test]
+fn observer_compaction_events_match_metrics() {
+    let sink = RingBufferSink::new(8192);
+    let mut engine =
+        OpenOptions::new(EngineConfig::conventional(16).with_sstable_points(8))
+            .observer(sink.clone())
+            .open()
+            .expect("open");
+    for &i in &scramble(400, 3) {
+        let tg = i as i64 * 10;
+        engine
+            .append(DataPoint::new(tg, tg + (i as i64 * 131) % 900, i as f64))
+            .expect("append");
+    }
+    engine.flush_all().expect("flush");
+    let metrics = engine.metrics().clone();
+    let events = sink.events();
+    let executed = events
+        .iter()
+        .filter(|e| matches!(e, Event::CompactionExecuted { .. }))
+        .count() as u64;
+    assert_eq!(executed, metrics.compactions);
+    let rewritten: u64 = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::CompactionExecuted { rewritten, .. } => Some(*rewritten),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(rewritten, metrics.rewritten_points);
+    let classified = events
+        .iter()
+        .filter(|e| matches!(e, Event::PointClassified { .. }))
+        .count() as u64;
+    assert_eq!(classified, metrics.user_points);
+}
+
+/// Determinism: two runs of the same seeded workload against identically
+/// configured engines must produce identical event traces.
+#[test]
+fn identical_workloads_produce_identical_event_traces() {
+    let trace = |seed: usize| {
+        let sink = RingBufferSink::new(16384);
+        let mut engine = OpenOptions::new(
+            EngineConfig::separation(16, 8)
+                .expect("policy")
+                .with_sstable_points(8),
+        )
+        .observer(sink.clone())
+        .open()
+        .expect("open");
+        for &i in &scramble(300, seed) {
+            let tg = i as i64 * 10;
+            engine
+                .append(DataPoint::new(tg, tg + (i as i64 % 700), i as f64))
+                .expect("append");
+        }
+        engine.flush_all().expect("flush");
+        sink.events()
+    };
+    let a = trace(17);
+    let b = trace(17);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed must replay the same event trace");
+    let c = trace(18);
+    assert_ne!(a, c, "different seeds must actually change the trace");
 }

@@ -6,7 +6,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use seplsm::{
-    DataPoint, EngineConfig, FileStore, LsmEngine, Policy, TableStore,
+    DataPoint, EngineConfig, FileStore, LsmEngine, OpenOptions, Policy,
 };
 
 struct TempDir(PathBuf);
@@ -45,7 +45,11 @@ fn write_points(engine: &mut LsmEngine, count: usize) {
 
 fn recover(dir: &TempDir, config: EngineConfig) -> seplsm::Result<LsmEngine> {
     let store = Arc::new(FileStore::open(dir.path("tables"))?);
-    LsmEngine::recover(config, store, Some(dir.path("wal")))
+    let (engine, _report) = OpenOptions::new(config)
+        .store(store)
+        .wal(dir.path("wal"))
+        .open_or_recover()?;
+    Ok(engine)
 }
 
 #[test]
@@ -55,10 +59,11 @@ fn crash_recovery_restores_every_point() {
     {
         let store =
             Arc::new(FileStore::open(dir.path("tables")).expect("store"));
-        let mut engine = LsmEngine::new(config.clone(), store)
-            .expect("engine")
-            .with_wal(dir.path("wal"))
-            .expect("wal");
+        let mut engine = OpenOptions::new(config.clone())
+            .store(store)
+            .wal(dir.path("wal"))
+            .open()
+            .expect("open");
         write_points(&mut engine, 500);
         // Points beyond the last flush live only in the WAL. Simulate a
         // crash: sync the log, then drop without flush_all.
@@ -84,10 +89,11 @@ fn recovery_under_separation_policy_reroutes_buffers() {
     {
         let store =
             Arc::new(FileStore::open(dir.path("tables")).expect("store"));
-        let mut engine = LsmEngine::new(config.clone(), store)
-            .expect("engine")
-            .with_wal(dir.path("wal"))
-            .expect("wal");
+        let mut engine = OpenOptions::new(config.clone())
+            .store(store)
+            .wal(dir.path("wal"))
+            .open()
+            .expect("open");
         write_points(&mut engine, 300);
         engine.sync_wal().expect("sync wal");
     }
@@ -102,10 +108,11 @@ fn recovery_is_idempotent() {
     {
         let store =
             Arc::new(FileStore::open(dir.path("tables")).expect("store"));
-        let mut engine = LsmEngine::new(config.clone(), store)
-            .expect("engine")
-            .with_wal(dir.path("wal"))
-            .expect("wal");
+        let mut engine = OpenOptions::new(config.clone())
+            .store(store)
+            .wal(dir.path("wal"))
+            .open()
+            .expect("open");
         write_points(&mut engine, 100);
         engine.sync_wal().expect("sync wal");
     }
@@ -123,10 +130,11 @@ fn recovered_engine_accepts_new_writes() {
     {
         let store =
             Arc::new(FileStore::open(dir.path("tables")).expect("store"));
-        let mut engine = LsmEngine::new(config.clone(), store)
-            .expect("engine")
-            .with_wal(dir.path("wal"))
-            .expect("wal");
+        let mut engine = OpenOptions::new(config.clone())
+            .store(store)
+            .wal(dir.path("wal"))
+            .open()
+            .expect("open");
         write_points(&mut engine, 100);
         engine.sync_wal().expect("sync wal");
     }
@@ -182,24 +190,23 @@ fn manifest_recovery_matches_full_recovery() {
     {
         let store =
             Arc::new(FileStore::open(dir.path("tables")).expect("store"));
-        let mut engine = LsmEngine::new(config.clone(), store)
-            .expect("engine")
-            .with_wal(dir.path("wal"))
-            .expect("wal")
-            .with_manifest(dir.path("manifest"))
-            .expect("manifest");
+        let mut engine = OpenOptions::new(config.clone())
+            .store(store)
+            .wal(dir.path("wal"))
+            .manifest(dir.path("manifest"))
+            .open()
+            .expect("open");
         write_points(&mut engine, 500);
         engine.sync_wal().expect("sync wal");
     }
     // Manifest-based recovery (O(metadata)).
     let store = Arc::new(FileStore::open(dir.path("tables")).expect("store"));
-    let fast = LsmEngine::recover_from_manifest(
-        config.clone(),
-        store,
-        dir.path("manifest"),
-        Some(dir.path("wal")),
-    )
-    .expect("manifest recovery");
+    let (fast, _report) = OpenOptions::new(config.clone())
+        .store(store)
+        .wal(dir.path("wal"))
+        .manifest(dir.path("manifest"))
+        .open_or_recover()
+        .expect("manifest recovery");
     // Full recovery (reads all tables).
     let slow = recover(&dir, config).expect("full recovery");
     let a = fast.scan_all().expect("scan fast");
@@ -219,21 +226,14 @@ fn manifest_recovery_survives_repeated_restarts_with_writes() {
     for round in 0..4 {
         let store =
             Arc::new(FileStore::open(dir.path("tables")).expect("store"));
+        let options = OpenOptions::new(config.clone())
+            .store(store)
+            .wal(dir.path("wal"))
+            .manifest(dir.path("manifest"));
         let mut engine = if round == 0 {
-            LsmEngine::new(config.clone(), store)
-                .expect("engine")
-                .with_wal(dir.path("wal"))
-                .expect("wal")
-                .with_manifest(dir.path("manifest"))
-                .expect("manifest")
+            options.open().expect("open")
         } else {
-            LsmEngine::recover_from_manifest(
-                config.clone(),
-                store,
-                dir.path("manifest"),
-                Some(dir.path("wal")),
-            )
-            .expect("recover")
+            options.open_or_recover().expect("recover").0
         };
         for i in 0..100usize {
             let idx = (round * 100 + i) as i64;
@@ -259,9 +259,11 @@ fn store_without_wal_recovers_flushed_state() {
         write_points(&mut engine, 160);
         engine.flush_all().expect("flush");
     }
-    let store: Arc<dyn TableStore> =
-        Arc::new(FileStore::open(dir.path("tables")).expect("store"));
-    let engine = LsmEngine::recover(config, store, None).expect("recover");
+    let store = Arc::new(FileStore::open(dir.path("tables")).expect("store"));
+    let (engine, _report) = OpenOptions::new(config)
+        .store(store)
+        .open_or_recover()
+        .expect("recover");
     assert_eq!(engine.scan_all().expect("scan").len(), 160);
     assert_eq!(engine.policy(), Policy::conventional(16));
 }

@@ -9,8 +9,8 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use seplsm::{
-    DataPoint, EngineConfig, FileStore, Policy, TableStore, TieredEngine,
-    TimeRange,
+    DataPoint, EngineConfig, Event, FileStore, Policy, RingBufferSink,
+    TableStore, TieredEngine, TieredOpenOptions, TimeRange,
 };
 
 struct TempDir(PathBuf);
@@ -129,12 +129,12 @@ proptest! {
         {
             let store: Arc<dyn TableStore> =
                 Arc::new(FileStore::open(dir.path("tables")).expect("store"));
-            let mut engine = TieredEngine::new(config.clone(), store)
-                .expect("engine")
-                .with_wal(dir.path("wal"))
-                .expect("wal")
-                .with_manifest(dir.path("manifest"))
-                .expect("manifest");
+            let mut engine = TieredOpenOptions::new(config.clone())
+                .store(store)
+                .wal(dir.path("wal"))
+                .manifest(dir.path("manifest"))
+                .open()
+                .expect("open");
             for &i in &scramble(count, offset) {
                 let tg = i as i64 * 10;
                 engine
@@ -149,13 +149,12 @@ proptest! {
         }
         let store: Arc<dyn TableStore> =
             Arc::new(FileStore::open(dir.path("tables")).expect("store"));
-        let recovered = TieredEngine::recover(
-            config,
-            store,
-            dir.path("manifest"),
-            Some(dir.path("wal")),
-        )
-        .expect("recover");
+        let (recovered, _report) = TieredOpenOptions::new(config)
+            .store(store)
+            .wal(dir.path("wal"))
+            .manifest(dir.path("manifest"))
+            .open_or_recover()
+            .expect("recover");
         let (pts, _) = recovered
             .query(TimeRange::new(0, count as i64 * 10))
             .expect("query");
@@ -176,12 +175,12 @@ fn recovered_engine_keeps_ingesting_and_finishes() {
     {
         let store: Arc<dyn TableStore> =
             Arc::new(FileStore::open(dir.path("tables")).expect("store"));
-        let mut engine = TieredEngine::new(config.clone(), store)
-            .expect("engine")
-            .with_wal(dir.path("wal"))
-            .expect("wal")
-            .with_manifest(dir.path("manifest"))
-            .expect("manifest");
+        let mut engine = TieredOpenOptions::new(config.clone())
+            .store(store)
+            .wal(dir.path("wal"))
+            .manifest(dir.path("manifest"))
+            .open()
+            .expect("open");
         for i in 0..100i64 {
             engine
                 .append(DataPoint::new(i * 10, i * 10, i as f64))
@@ -192,13 +191,12 @@ fn recovered_engine_keeps_ingesting_and_finishes() {
     }
     let store: Arc<dyn TableStore> =
         Arc::new(FileStore::open(dir.path("tables")).expect("store"));
-    let mut engine = TieredEngine::recover(
-        config,
-        store,
-        dir.path("manifest"),
-        Some(dir.path("wal")),
-    )
-    .expect("recover");
+    let (mut engine, _report) = TieredOpenOptions::new(config)
+        .store(store)
+        .wal(dir.path("wal"))
+        .manifest(dir.path("manifest"))
+        .open_or_recover()
+        .expect("recover");
     // Keep writing after recovery, including stragglers.
     for i in 100..150i64 {
         engine
@@ -228,12 +226,12 @@ fn unsynced_tail_may_be_lost_but_nothing_else() {
     {
         let store: Arc<dyn TableStore> =
             Arc::new(FileStore::open(dir.path("tables")).expect("store"));
-        let mut engine = TieredEngine::new(config.clone(), store)
-            .expect("engine")
-            .with_wal(dir.path("wal"))
-            .expect("wal")
-            .with_manifest(dir.path("manifest"))
-            .expect("manifest");
+        let mut engine = TieredOpenOptions::new(config.clone())
+            .store(store)
+            .wal(dir.path("wal"))
+            .manifest(dir.path("manifest"))
+            .open()
+            .expect("open");
         for i in 0..64i64 {
             engine
                 .append(DataPoint::new(i * 10, i * 10, 0.0))
@@ -244,15 +242,110 @@ fn unsynced_tail_may_be_lost_but_nothing_else() {
     }
     let store: Arc<dyn TableStore> =
         Arc::new(FileStore::open(dir.path("tables")).expect("store"));
-    let recovered = TieredEngine::recover(
-        config,
-        store,
-        dir.path("manifest"),
-        Some(dir.path("wal")),
-    )
-    .expect("recover");
+    let (recovered, _report) = TieredOpenOptions::new(config)
+        .store(store)
+        .wal(dir.path("wal"))
+        .manifest(dir.path("manifest"))
+        .open_or_recover()
+        .expect("recover");
     let (pts, _) = recovered.query(TimeRange::new(0, 640)).expect("query");
     // All 64 points were handed to the flush pipeline (8 full MemTables)
     // and drained to L0 under the manifest, so none may disappear.
     assert_eq!(pts.len(), 64);
+}
+
+/// Observability: every compaction the pipeline executes must surface as
+/// exactly one `CompactionExecuted` event whose rewrite count matches the
+/// engine's own metric, and every flush as one `FlushFinished`.
+#[test]
+fn observer_sees_one_compaction_event_per_executed_compaction() {
+    let sink = RingBufferSink::new(4096);
+    let mut engine = TieredOpenOptions::new(
+        EngineConfig::conventional(8).with_sstable_points(8),
+    )
+    .observer(sink.clone())
+    .sync_flush()
+    .open()
+    .expect("open");
+    for i in 0..256i64 {
+        // A prime-stride scramble so some points arrive out of order and
+        // force run rewrites rather than pure appends.
+        let tg = (i * 97) % 256 * 10;
+        engine
+            .append(DataPoint::new(tg, tg + 5, i as f64))
+            .expect("append");
+    }
+    engine.quiesce().expect("quiesce");
+    let metrics = engine.metrics();
+    let events = sink.events();
+    let executed = events
+        .iter()
+        .filter(|e| matches!(e, Event::CompactionExecuted { .. }))
+        .count() as u64;
+    assert_eq!(
+        executed, metrics.compactions,
+        "one CompactionExecuted event per counted compaction"
+    );
+    let rewritten: u64 = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::CompactionExecuted { rewritten, .. } => Some(*rewritten),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(
+        rewritten, metrics.rewritten_points,
+        "event-reported rewrites must match the metric"
+    );
+    let flushes = events
+        .iter()
+        .filter(|e| matches!(e, Event::FlushFinished { .. }))
+        .count() as u64;
+    assert_eq!(flushes, metrics.flushes);
+}
+
+/// The degraded transition is typed ([`DegradedState`]) and emitted as a
+/// `DegradedTransition` event carrying the same state the accessor returns.
+#[test]
+fn degraded_transition_is_typed_and_observed() {
+    use seplsm::{
+        DegradedOp, DegradedState, Fault, FaultPlan, FaultStore, MemStore,
+    };
+
+    let sink = RingBufferSink::new(1024);
+    let plan = FaultPlan::new(7, Fault::FailPersistent { from: 0 });
+    let store: Arc<dyn TableStore> =
+        Arc::new(FaultStore::new(MemStore::new(), Arc::clone(&plan)));
+    let mut engine = TieredOpenOptions::new(
+        EngineConfig::conventional(4).with_sstable_points(4),
+    )
+    .store(store)
+    .faults(plan)
+    .observer(sink.clone())
+    .sync_flush()
+    .open()
+    .expect("open");
+    let mut degraded = false;
+    for i in 0..10_000i64 {
+        if engine.append(DataPoint::new(i, i, 0.0)).is_err() {
+            degraded = true;
+            break;
+        }
+    }
+    assert!(degraded, "persistent faults must degrade the engine");
+    let state: DegradedState =
+        engine.degraded_state().expect("typed degraded state");
+    assert_eq!(state.op, DegradedOp::FlushWrite);
+    assert!(state.attempts > 0);
+    // The legacy string surface renders from the same typed state.
+    assert_eq!(engine.degraded_reason(), Some(state.to_string()));
+    let observed: Vec<DegradedState> = sink
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::DegradedTransition { state } => Some(state.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(observed, vec![state], "exactly one transition, same state");
 }

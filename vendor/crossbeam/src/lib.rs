@@ -6,7 +6,9 @@
 //! pattern the engine uses.
 
 pub mod channel {
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{
+        RecvError, SendError, TryRecvError, TrySendError,
+    };
 
     /// Sending half of a bounded channel.
     pub struct Sender<T>(std::sync::mpsc::SyncSender<T>);
@@ -25,6 +27,12 @@ pub mod channel {
         /// when every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value)
+        }
+
+        /// Non-blocking send: fails with [`TrySendError::Full`] (returning
+        /// the value) when the channel is at capacity, instead of blocking.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value)
         }
     }
 
@@ -83,6 +91,17 @@ mod tests {
         drop(tx);
         let got: Vec<i32> = rx.into_iter().collect();
         assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn try_send_reports_full_without_blocking() {
+        let (tx, rx) = channel::bounded(1);
+        tx.try_send(1).expect("fits");
+        assert!(matches!(
+            tx.try_send(2),
+            Err(channel::TrySendError::Full(2))
+        ));
+        assert_eq!(rx.recv().expect("recv"), 1);
     }
 
     #[test]
