@@ -1,0 +1,361 @@
+//! **Perf baseline** — the three headline numbers behind the decoded-block
+//! cache and the fleet flush pool, emitted as machine-readable JSON so CI
+//! and future PRs can diff them:
+//!
+//! * `BENCH_ingest.json` — multi-series ingest throughput, 1 worker vs N
+//!   workers, with a built-in determinism check (per-series scans and
+//!   summed metrics must be identical for every worker count).
+//! * `BENCH_query.json` — repeated range queries over a compressed store,
+//!   cache on vs cache off: wall time, disk bytes fetched, blocks decoded
+//!   and the warm hit rate.
+//! * `BENCH_compaction.json` — an out-of-order merge-heavy ingest whose
+//!   compaction reads run through the cache: write amplification, cache
+//!   traffic and strict invalidation counts.
+//!
+//! ```text
+//! cargo run --release -p seplsm-bench --bin perf_baseline -- \
+//!     [--points N] [--series N] [--workers N] [--passes N] \
+//!     [--cache POINTS] [--sstable N] [--seed S] [--out-dir DIR]
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use seplsm_bench::{args, report};
+use seplsm_dist::LogNormal;
+use seplsm_lsm::sstable::RangeRead;
+use seplsm_lsm::{
+    BlockCache, EncodeOptions, EngineConfig, LsmEngine, MemStore,
+    MultiOpenOptions, MultiSeriesEngine, OpenOptions, SeriesId, SsTableId,
+    SsTableMeta, TableStore,
+};
+use seplsm_types::{DataPoint, Error, Result, TimeRange};
+use seplsm_workload::SyntheticWorkload;
+
+/// A [`MemStore`] that counts the encoded bytes every read fetches, so the
+/// cache lanes can report disk traffic. Whole-table reads (`get`,
+/// `get_range`) charge the full encoded size — without mmap the engine
+/// fetches the whole file even when it decodes only some blocks.
+struct CountingStore {
+    inner: MemStore,
+    bytes_read: AtomicU64,
+}
+
+impl CountingStore {
+    fn new(options: EncodeOptions) -> Self {
+        Self {
+            inner: MemStore::with_options(options),
+            bytes_read: AtomicU64::new(0),
+        }
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    fn charge(&self, id: SsTableId) {
+        if let Ok(Some(raw)) = self.inner.read_raw(id) {
+            self.bytes_read
+                .fetch_add(raw.len() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+impl TableStore for CountingStore {
+    fn put(&self, points: &[DataPoint]) -> Result<(SsTableMeta, usize)> {
+        self.inner.put(points)
+    }
+
+    fn get(&self, id: SsTableId) -> Result<Vec<DataPoint>> {
+        self.charge(id);
+        self.inner.get(id)
+    }
+
+    fn get_range(&self, id: SsTableId, range: TimeRange) -> Result<RangeRead> {
+        self.charge(id);
+        self.inner.get_range(id, range)
+    }
+
+    fn delete(&self, id: SsTableId) -> Result<()> {
+        self.inner.delete(id)
+    }
+
+    fn list(&self) -> Result<Vec<SsTableId>> {
+        self.inner.list()
+    }
+
+    fn read_raw(&self, id: SsTableId) -> Result<Option<bytes::Bytes>> {
+        let raw = self.inner.read_raw(id)?;
+        if let Some(bytes) = &raw {
+            self.bytes_read
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        }
+        Ok(raw)
+    }
+}
+
+fn dataset(points: usize, seed: u64) -> Vec<DataPoint> {
+    SyntheticWorkload::new(50, LogNormal::new(4.0, 1.5), points, seed)
+        .generate()
+}
+
+/// Lane 1: fleet ingest, 1 worker vs `workers`. Buffers are sized so the
+/// flush work lands in `flush_all`, where the pool can spread it; the lane
+/// fails outright if worker count changes any observable result.
+fn ingest_lane(
+    per_series: usize,
+    series: u32,
+    workers: usize,
+    seed: u64,
+) -> Result<serde_json::Value> {
+    let run = |w: usize| -> Result<(f64, MultiSeriesEngine)> {
+        // One slot of headroom: a buffer of exactly `per_series` would
+        // seal (and flush) on the final append, on the caller thread,
+        // leaving nothing for the pooled flush under test.
+        let mut m = MultiOpenOptions::new(
+            EngineConfig::conventional(per_series + 1).with_sstable_points(512),
+        )
+        .workers(w)
+        .open()?;
+        for s in 0..series {
+            for p in dataset(per_series, seed + u64::from(s)) {
+                m.append(SeriesId(s), p)?;
+            }
+        }
+        let t = Instant::now();
+        m.flush_all()?;
+        Ok((t.elapsed().as_secs_f64(), m))
+    };
+
+    let (seq_secs, seq) = run(1)?;
+    let (par_secs, par) = run(workers)?;
+
+    if par.combined_metrics() != seq.combined_metrics() {
+        return Err(Error::InvalidConfig(
+            "worker pool changed the summed fleet metrics".into(),
+        ));
+    }
+    for id in seq.series_ids() {
+        let a = seq.engine(id).map(|e| e.scan_all()).transpose()?;
+        let b = par.engine(id).map(|e| e.scan_all()).transpose()?;
+        if a != b {
+            return Err(Error::InvalidConfig(format!(
+                "worker pool changed the contents of {id}"
+            )));
+        }
+    }
+
+    let total = u64::from(series) * per_series as u64;
+    let speedup = seq_secs / par_secs.max(1e-9);
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!(
+        "ingest: {total} points over {series} series — flush {seq_secs:.3}s \
+         (1 worker) vs {par_secs:.3}s ({workers} workers), {speedup:.2}x \
+         on {cores} core(s)"
+    );
+    Ok(serde_json::json!({
+        "points": total,
+        "series": series,
+        "workers": workers,
+        "available_parallelism": cores,
+        "flush_secs_1_worker": seq_secs,
+        "flush_secs_n_workers": par_secs,
+        "points_per_sec_1_worker": total as f64 / seq_secs.max(1e-9),
+        "points_per_sec_n_workers": total as f64 / par_secs.max(1e-9),
+        "speedup": speedup,
+        "deterministic": true,
+        "write_amplification": seq.metrics().write_amplification(),
+    }))
+}
+
+/// Lane 2: repeated range queries, cache on vs cache off, over identical
+/// compressed stores. Reports wall time, disk bytes and decode counts for
+/// the query phase only (ingest traffic is excluded).
+fn query_lane(
+    points: usize,
+    passes: usize,
+    cache_points: usize,
+    seed: u64,
+) -> Result<serde_json::Value> {
+    let build = |cache: Option<Arc<BlockCache>>| -> Result<(
+        Arc<CountingStore>,
+        LsmEngine,
+        Option<Arc<BlockCache>>,
+    )> {
+        let store = Arc::new(CountingStore::new(EncodeOptions::compressed()));
+        let mut options = OpenOptions::new(
+            EngineConfig::conventional(256)
+                .with_sstable_points(512)
+                .with_block_reads(),
+        )
+        .store(Arc::clone(&store) as Arc<dyn TableStore>);
+        if let Some(cache) = &cache {
+            options = options.cache(Arc::clone(cache));
+        }
+        let mut engine = options.open()?;
+        for p in dataset(points, seed) {
+            engine.append(p)?;
+        }
+        engine.flush_all()?;
+        Ok((store, engine, cache))
+    };
+
+    let span = 50 * points as i64;
+    let ranges: Vec<TimeRange> = (0..8)
+        .map(|i| {
+            let start = i * span / 8;
+            TimeRange::new(start, start + span / 10)
+        })
+        .collect();
+
+    let measure = |cache: Option<Arc<BlockCache>>| -> Result<(
+        f64,
+        u64,
+        u64,
+        Option<Arc<BlockCache>>,
+    )> {
+        let (store, engine, cache) = build(cache)?;
+        let ingest_bytes = store.bytes_read();
+        let t = Instant::now();
+        let mut blocks = 0u64;
+        for _ in 0..passes {
+            for range in &ranges {
+                let (_, stats) = engine.query(*range)?;
+                blocks += stats.blocks_read;
+            }
+        }
+        let secs = t.elapsed().as_secs_f64();
+        Ok((secs, store.bytes_read() - ingest_bytes, blocks, cache))
+    };
+
+    let (off_secs, off_bytes, off_blocks, _) = measure(None)?;
+    let (on_secs, on_bytes, on_blocks, cache) =
+        measure(Some(BlockCache::with_capacity(cache_points)))?;
+    let stats = cache.as_deref().map(BlockCache::stats).unwrap_or_default();
+
+    let reduction = off_bytes as f64 / (on_bytes.max(1)) as f64;
+    println!(
+        "query: {passes} passes x {} ranges — cache off {off_bytes} B \
+         ({off_secs:.3}s), cache on {on_bytes} B ({on_secs:.3}s), \
+         {reduction:.1}x fewer disk bytes, hit rate {:.1}%",
+        ranges.len(),
+        stats.hit_rate() * 100.0
+    );
+    Ok(serde_json::json!({
+        "points": points,
+        "passes": passes,
+        "ranges": ranges.len(),
+        "cache_capacity_points": cache_points,
+        "cache_off": {
+            "secs": off_secs,
+            "disk_bytes": off_bytes,
+            "blocks_decoded": off_blocks,
+        },
+        "cache_on": {
+            "secs": on_secs,
+            "disk_bytes": on_bytes,
+            "blocks_decoded": on_blocks,
+            "hit_rate": stats.hit_rate(),
+        },
+        "disk_byte_reduction": reduction,
+        "speedup": off_secs / on_secs.max(1e-9),
+    }))
+}
+
+/// Lane 3: a merge-heavy out-of-order ingest (small buffers, small tables)
+/// with a trailing-window query every 1000 points — the monitoring-dashboard
+/// shape. Queries and compaction reads share the cache, and each compaction
+/// strictly invalidates the blocks of the tables it consumes.
+fn compaction_lane(
+    points: usize,
+    cache_points: usize,
+    seed: u64,
+) -> Result<serde_json::Value> {
+    let run = |cache: Option<Arc<BlockCache>>| -> Result<(f64, LsmEngine)> {
+        let store = Arc::new(CountingStore::new(EncodeOptions::compressed()));
+        let mut options = OpenOptions::new(
+            EngineConfig::conventional(64)
+                .with_sstable_points(64)
+                .with_block_reads(),
+        )
+        .store(store as Arc<dyn TableStore>);
+        if let Some(cache) = cache {
+            options = options.cache(cache);
+        }
+        let mut engine = options.open()?;
+        let t = Instant::now();
+        for (i, p) in dataset(points, seed).into_iter().enumerate() {
+            let at = p.gen_time;
+            engine.append(p)?;
+            if i % 1000 == 999 {
+                engine.query(TimeRange::new(at - 5_000, at))?;
+            }
+        }
+        engine.flush_all()?;
+        Ok((t.elapsed().as_secs_f64(), engine))
+    };
+
+    let (plain_secs, plain) = run(None)?;
+    let cache = BlockCache::with_capacity(cache_points);
+    let (cached_secs, cached) = run(Some(Arc::clone(&cache)))?;
+
+    if cached.scan_all()? != plain.scan_all()? {
+        return Err(Error::InvalidConfig(
+            "cache changed compaction results".into(),
+        ));
+    }
+    let m = cached.metrics();
+    let stats = cache.stats();
+    println!(
+        "compaction: {points} points, WA {:.3}, {} compactions — \
+         {plain_secs:.3}s uncached vs {cached_secs:.3}s cached, \
+         {} invalidated blocks, hit rate {:.1}%",
+        m.write_amplification(),
+        m.compactions,
+        stats.invalidated_blocks,
+        stats.hit_rate() * 100.0
+    );
+    Ok(serde_json::json!({
+        "points": points,
+        "write_amplification": m.write_amplification(),
+        "compactions": m.compactions,
+        "uncached_secs": plain_secs,
+        "cached_secs": cached_secs,
+        "speedup": plain_secs / cached_secs.max(1e-9),
+        "cache": {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_rate": stats.hit_rate(),
+            "evictions": stats.evictions,
+            "invalidated_blocks": stats.invalidated_blocks,
+        },
+    }))
+}
+
+fn main() -> Result<()> {
+    let points: usize = args::flag_or("points", 5_000);
+    let series: u32 = args::flag_or("series", 8);
+    let workers: usize = args::flag_or("workers", 4);
+    let passes: usize = args::flag_or("passes", 8);
+    let cache_points: usize = args::flag_or("cache", 64 * 1024);
+    let seed: u64 = args::flag_or("seed", 1);
+    let out_dir = args::flag("out-dir").unwrap_or_else(|| "results".into());
+
+    report::banner("perf baseline: cache + fleet flush pool");
+    let ingest = ingest_lane(points, series, workers, seed)?;
+    let query = query_lane(points, passes, cache_points, seed)?;
+    let compaction = compaction_lane(points, cache_points, seed)?;
+
+    for (name, value) in [
+        ("BENCH_ingest.json", &ingest),
+        ("BENCH_query.json", &query),
+        ("BENCH_compaction.json", &compaction),
+    ] {
+        report::maybe_write_json(Some(format!("{out_dir}/{name}")), value)
+            .map_err(Error::Io)?;
+    }
+    Ok(())
+}

@@ -9,8 +9,8 @@ use seplsm_core::{
 use seplsm_dist::stats::percentile_sorted;
 use seplsm_dist::{DelayDistribution, Empirical};
 use seplsm_lsm::{
-    AggregateSink, EngineConfig, FanoutSink, FileStore, JsonlSink, MemStore,
-    Observer, OpenOptions, TableStore,
+    AggregateSink, BlockCache, EngineConfig, FanoutSink, FileStore, JsonlSink,
+    MemStore, Observer, OpenOptions, TableStore,
 };
 use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange};
 use seplsm_workload::{paper_dataset, S9Workload, VehicleWorkload};
@@ -30,6 +30,7 @@ USAGE:
   seplsm query    --dir DIR --start T --end T [--budget N]
   seplsm stats    --input FILE [--policy conventional|separation:<n_seq>]
                   [--budget N] [--sstable N] [--trace FILE.jsonl]
+                  [--cache POINTS]
   seplsm help
 ";
 
@@ -288,15 +289,37 @@ pub fn stats(opts: &Opts) -> Result<()> {
         None => None,
     };
 
-    let mut engine = OpenOptions::new(
+    // `--cache POINTS` routes every table read (queries and compaction
+    // inputs alike) through a shared decoded-block cache of that capacity.
+    let cache = opts
+        .get("cache")
+        .map(|raw| -> Result<Arc<BlockCache>> {
+            let capacity: usize = raw.parse().map_err(|_| {
+                Error::InvalidConfig(format!(
+                    "--cache expects a point capacity, got `{raw}`"
+                ))
+            })?;
+            Ok(BlockCache::with_capacity(capacity))
+        })
+        .transpose()?;
+
+    let mut options = OpenOptions::new(
         EngineConfig::new(policy).with_sstable_points(sstable),
     )
-    .observer(FanoutSink::new(sinks))
-    .open()?;
+    .observer(FanoutSink::new(sinks));
+    if let Some(cache) = &cache {
+        options = options.cache(Arc::clone(cache));
+    }
+    let mut engine = options.open()?;
     for p in &points {
         engine.append(*p)?;
     }
     engine.flush_all()?;
+    if cache.is_some() {
+        // A verification scan after ingest: blocks cached by compaction
+        // reads hit; everything else faults in, warming the cache.
+        engine.scan_all()?;
+    }
 
     let m = engine.metrics();
     println!("policy:              {}", policy.name());
@@ -304,6 +327,16 @@ pub fn stats(opts: &Opts) -> Result<()> {
     println!("write amplification: {:.3}", m.write_amplification());
     println!();
     print!("{}", aggregate.report().render_table());
+    if let Some(cache) = &cache {
+        let cs = cache.stats();
+        println!(
+            "block cache:         {} resident points in {} blocks \
+             (hit rate {:.1}%)",
+            cs.resident_points,
+            cs.resident_blocks,
+            cs.hit_rate() * 100.0
+        );
+    }
     if let Some((sink, path)) = jsonl {
         sink.flush()?;
         eprintln!("trace written to {path}");

@@ -248,6 +248,7 @@ pub struct OpenOptions {
     faults: Option<Arc<FaultPlan>>,
     observer: ObserverHandle,
     sync_flush: bool,
+    cache: Option<Arc<crate::cache::BlockCache>>,
 }
 
 impl std::fmt::Debug for OpenOptions {
@@ -260,6 +261,7 @@ impl std::fmt::Debug for OpenOptions {
             .field("faults", &self.faults.is_some())
             .field("observer", &self.observer.is_attached())
             .field("sync_flush", &self.sync_flush)
+            .field("cache", &self.cache.is_some())
             .finish()
     }
 }
@@ -276,6 +278,7 @@ impl OpenOptions {
             faults: None,
             observer: ObserverHandle::detached(),
             sync_flush: false,
+            cache: None,
         }
     }
 
@@ -326,6 +329,15 @@ impl OpenOptions {
         self
     }
 
+    /// Routes table reads — the query path *and* the background worker's
+    /// compaction reads — through `cache`, a shared decoded-block cache.
+    /// The worker's `L0` compactions delete their input tables through the
+    /// same wrapped store, so eviction is strict.
+    pub fn cache(mut self, cache: Arc<crate::cache::BlockCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     fn store_or_default(
         store: Option<Arc<dyn TableStore>>,
     ) -> Arc<dyn TableStore> {
@@ -339,7 +351,11 @@ impl OpenOptions {
     /// opening the WAL or manifest.
     pub fn open(self) -> Result<TieredEngine> {
         self.config.validate()?;
-        let store = Self::store_or_default(self.store);
+        let store = crate::engine::OpenOptions::wrap_cache(
+            Self::store_or_default(self.store),
+            self.cache,
+            &self.observer,
+        );
         let mut engine = TieredEngine::build(
             self.config,
             store,
@@ -372,7 +388,11 @@ impl OpenOptions {
                     .into(),
             ));
         };
-        let store = Self::store_or_default(self.store);
+        let store = crate::engine::OpenOptions::wrap_cache(
+            Self::store_or_default(self.store),
+            self.cache,
+            &self.observer,
+        );
         let (mut engine, report) = TieredEngine::recover_with(
             self.config,
             store,
@@ -1231,6 +1251,35 @@ mod tests {
         assert!(stats.tables_read > 0);
         let (tail, _) = e.query(TimeRange::new(950, 990)).expect("tail query");
         assert_eq!(tail.len(), 5);
+    }
+
+    #[test]
+    fn cached_tiered_engine_invalidates_and_serves_warm_queries() {
+        let cache = crate::cache::BlockCache::with_capacity(64 * 1024);
+        let mut e = OpenOptions::new(
+            EngineConfig::conventional(8).with_sstable_points(8),
+        )
+        .cache(Arc::clone(&cache))
+        .open()
+        .expect("open");
+        for i in 0..100i64 {
+            e.append(DataPoint::new(i * 10, i * 10, i as f64))
+                .expect("append");
+        }
+        e.quiesce().expect("quiesce");
+        let (cold, _) = e.query(TimeRange::new(0, 2_000)).expect("cold");
+        let (warm, _) = e.query(TimeRange::new(0, 2_000)).expect("warm");
+        assert_eq!(cold, warm);
+        assert_eq!(warm.len(), 100);
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "warm query must hit the cache: {stats:?}");
+        assert!(
+            stats.invalidated_blocks > 0,
+            "background L0 compactions must invalidate consumed tables: \
+             {stats:?}"
+        );
+        let report = e.finish().expect("finish");
+        assert_eq!(report.points.len(), 100);
     }
 
     #[test]

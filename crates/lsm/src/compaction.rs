@@ -117,6 +117,13 @@ pub fn plan_merge(
 /// [`VersionEdit::Replace`] (draining L0 when `drain_l0` is set), records
 /// the manifest, deletes the consumed run tables, and updates `metrics`.
 ///
+/// Consumed inputs are deleted through `store`, which is the decoded-block
+/// cache's invalidation contract: when the store is a
+/// [`CachedStore`](crate::store::CachedStore), every cached block (and the
+/// cached index) of a consumed table is dropped before this returns, so a
+/// reader can never be served decoded points of a table the compaction
+/// replaced.
+///
 /// # Errors
 /// Storage or manifest failures; the version is only mutated if the edit
 /// batch applies cleanly.

@@ -31,6 +31,7 @@ use std::sync::Arc;
 use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange, Timestamp};
 
 use crate::buffer::{FlushTrigger, PolicyBuffers};
+use crate::cache::BlockCache;
 use crate::compaction::{self, RunInput};
 use crate::fault::FaultPlan;
 use crate::invariants::{self, InvariantChecker};
@@ -43,7 +44,7 @@ use crate::query::QueryStats;
 use crate::recovery::{
     self, QuarantinedTable, RecoveryMode, RecoveryOptions, RecoveryReport,
 };
-use crate::store::{MemStore, TableStore};
+use crate::store::{CachedStore, MemStore, TableStore};
 use crate::version::Version;
 use crate::wal::Wal;
 
@@ -167,6 +168,7 @@ pub struct OpenOptions {
     recovery: RecoveryOptions,
     faults: Option<Arc<FaultPlan>>,
     observer: ObserverHandle,
+    cache: Option<Arc<BlockCache>>,
 }
 
 impl std::fmt::Debug for OpenOptions {
@@ -178,6 +180,7 @@ impl std::fmt::Debug for OpenOptions {
             .field("recovery", &self.recovery)
             .field("faults", &self.faults.is_some())
             .field("observer", &self.observer.is_attached())
+            .field("cache", &self.cache.is_some())
             .finish()
     }
 }
@@ -193,6 +196,7 @@ impl OpenOptions {
             recovery: RecoveryOptions::strict(),
             faults: None,
             observer: ObserverHandle::detached(),
+            cache: None,
         }
     }
 
@@ -241,10 +245,34 @@ impl OpenOptions {
         self
     }
 
+    /// Serves table reads through `cache` (a shared [`BlockCache`]): the
+    /// store is wrapped in a [`CachedStore`] before the engine opens, so
+    /// queries, merge-compaction input loading and recovery reads all hit
+    /// the cache, and tables deleted by compactions are strictly
+    /// invalidated. Off by default (reads go straight to the store).
+    pub fn cache(mut self, cache: Arc<BlockCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     fn store_or_default(
         store: Option<Arc<dyn TableStore>>,
     ) -> Arc<dyn TableStore> {
         store.unwrap_or_else(|| Arc::new(MemStore::new()))
+    }
+
+    /// Wraps `store` in a [`CachedStore`] when a cache is configured.
+    pub(crate) fn wrap_cache(
+        store: Arc<dyn TableStore>,
+        cache: Option<Arc<BlockCache>>,
+        obs: &ObserverHandle,
+    ) -> Arc<dyn TableStore> {
+        match cache {
+            Some(cache) => {
+                Arc::new(CachedStore::with_observer(store, cache, obs.clone()))
+            }
+            None => store,
+        }
     }
 
     /// Opens a fresh engine (ignoring any recoverable state on disk).
@@ -253,7 +281,11 @@ impl OpenOptions {
     /// [`Error::InvalidConfig`] for degenerate configurations; I/O errors
     /// opening the WAL or manifest.
     pub fn open(self) -> Result<LsmEngine> {
-        let store = Self::store_or_default(self.store);
+        let store = Self::wrap_cache(
+            Self::store_or_default(self.store),
+            self.cache,
+            &self.observer,
+        );
         let mut engine = LsmEngine::new(self.config, store)?;
         engine.obs = self.observer;
         if let Some(path) = self.wal {
@@ -274,7 +306,11 @@ impl OpenOptions {
     /// In strict mode, any damage; in salvage mode only unrecoverable
     /// failures (see [`RecoveryOptions`]).
     pub fn open_or_recover(self) -> Result<(LsmEngine, RecoveryReport)> {
-        let store = Self::store_or_default(self.store);
+        let store = Self::wrap_cache(
+            Self::store_or_default(self.store),
+            self.cache,
+            &self.observer,
+        );
         let (mut engine, report) = match self.manifest {
             Some(manifest_path) => LsmEngine::recover_from_manifest_with(
                 self.config,
@@ -1262,6 +1298,101 @@ mod tests {
             blocked.disk_points_scanned,
             whole.disk_points_scanned
         );
+    }
+
+    #[test]
+    fn cache_invalidation_under_compaction() {
+        // A consumed table's blocks must never serve a post-merge query:
+        // fill the run in order, warm the cache with queries, then force
+        // merge-compactions that delete the warmed tables and check that
+        // queries see the merged truth, not stale cached blocks.
+        use crate::cache::BlockCache;
+        use crate::sstable::EncodeOptions;
+        use crate::store::MemStore;
+        use std::sync::Arc;
+
+        let cache = BlockCache::with_capacity(64 * 1024);
+        let store = Arc::new(MemStore::with_options(EncodeOptions {
+            compression: crate::sstable::Compression::TimeSeries,
+            block_points: 16,
+        }));
+        let mut e = OpenOptions::new(
+            EngineConfig::conventional(16).with_sstable_points(32),
+        )
+        .store(store)
+        .cache(Arc::clone(&cache))
+        .open()
+        .expect("engine");
+        for p in in_order_points(128) {
+            e.append(p).expect("append");
+        }
+        // Warm the cache over the whole run.
+        let (before, _) = e.query(TimeRange::new(0, 1280)).expect("warm");
+        assert_eq!(before.len(), 128);
+        assert!(cache.stats().resident_blocks > 0);
+        // Straggler points overlap existing tables: each full buffer now
+        // merges with (and deletes) warmed tables.
+        for tg in (0..64).map(|i| i * 20 + 5) {
+            e.append(DataPoint::new(tg, 10_000 + tg, -1.0))
+                .expect("append straggler");
+        }
+        assert!(e.metrics().compactions > 0, "merges must have happened");
+        assert!(
+            cache.stats().invalidated_blocks > 0,
+            "consumed tables must have been invalidated"
+        );
+        let (after, _) = e.query(TimeRange::new(0, 1280)).expect("query");
+        assert_eq!(after.len(), 128 + 64);
+        // The merged view contains every straggler — stale cached blocks
+        // would be missing them.
+        for tg in (0..64).map(|i| i * 20 + 5) {
+            assert!(
+                after.iter().any(|p| p.gen_time == tg && p.value == -1.0),
+                "straggler {tg} lost: stale cache served a dead table"
+            );
+        }
+        let scan = e.scan_all().expect("scan");
+        assert_eq!(scan.len(), 192);
+    }
+
+    #[test]
+    fn cached_engine_matches_uncached_results() {
+        use crate::cache::BlockCache;
+        use crate::sstable::EncodeOptions;
+        use crate::store::MemStore;
+        use std::sync::Arc;
+
+        let run = |cache: Option<Arc<BlockCache>>| {
+            let store =
+                Arc::new(MemStore::with_options(EncodeOptions::compressed()));
+            let mut opts = OpenOptions::new(
+                EngineConfig::separation(16, 8)
+                    .expect("config")
+                    .with_sstable_points(16),
+            )
+            .store(store);
+            if let Some(cache) = cache {
+                opts = opts.cache(cache);
+            }
+            let mut e = opts.open().expect("engine");
+            for i in 0..200i64 {
+                let tg = if i % 5 == 0 { i * 10 - 45 } else { i * 10 };
+                e.append(DataPoint::new(tg, i * 10 + 3, i as f64))
+                    .expect("append");
+            }
+            let points = e.scan_all().expect("scan");
+            (points, e.metrics().clone())
+        };
+        let cache = BlockCache::with_capacity(8 * 1024);
+        let (cached_points, cached_metrics) = run(Some(Arc::clone(&cache)));
+        let (plain_points, plain_metrics) = run(None);
+        assert_eq!(cached_points, plain_points);
+        assert_eq!(
+            cached_metrics.disk_points_written,
+            plain_metrics.disk_points_written,
+            "the cache must not change write behaviour"
+        );
+        assert!(cache.stats().hits + cache.stats().misses > 0);
     }
 
     #[test]

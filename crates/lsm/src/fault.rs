@@ -345,6 +345,11 @@ impl<S: TableStore> TableStore for FaultStore<S> {
         self.inner.get_range(id, range)
     }
 
+    fn read_raw(&self, id: SsTableId) -> Result<Option<bytes::Bytes>> {
+        self.plan.begin(IoOp::StoreRead)?;
+        self.inner.read_raw(id)
+    }
+
     fn quarantine(&self, id: SsTableId) -> Result<()> {
         self.plan.begin(IoOp::StoreDelete)?;
         self.inner.quarantine(id)

@@ -79,6 +79,7 @@
 
 pub mod background;
 pub mod buffer;
+pub mod cache;
 pub(crate) mod codec;
 pub mod compaction;
 pub mod engine;
@@ -102,6 +103,7 @@ pub use background::{
     OpenOptions as TieredOpenOptions, TieredEngine, TieredReport,
 };
 pub use buffer::{FlushTrigger, PolicyBuffers};
+pub use cache::{BlockCache, BlockKey, CacheConfig, CacheStats, EvictedBlock};
 pub use compaction::{plan_merge, CompactionPlan, RunInput};
 pub use engine::{EngineConfig, LsmEngine, OpenOptions};
 pub use fault::{Fault, FaultPlan, FaultStore, IoOp};
@@ -122,7 +124,9 @@ pub use query::{DiskModel, QueryStats};
 pub use recovery::{
     QuarantinedTable, RecoveryMode, RecoveryOptions, RecoveryReport,
 };
-pub use sstable::{Compression, EncodeOptions, SsTableId, SsTableMeta};
-pub use store::{sync_dir, FileStore, MemStore, TableStore};
+pub use sstable::{
+    BlockSpan, Compression, EncodeOptions, SsTableId, SsTableMeta, TableIndex,
+};
+pub use store::{sync_dir, CachedStore, FileStore, MemStore, TableStore};
 pub use version::{Version, VersionEdit};
 pub use wal::Wal;

@@ -16,8 +16,19 @@ pub fn write_amplification(disk_points_written: u64, user_points: u64) -> f64 {
     disk_points_written as f64 / user_points as f64
 }
 
+/// Cache hit rate `hits / (hits + misses)` over `[0, 1]`, `0.0` before the
+/// first lookup. The one shared definition behind the decoded-block cache's
+/// `CacheStats` and the observability `AggregateReport`.
+pub fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let lookups = hits.saturating_add(misses);
+    if lookups == 0 {
+        return 0.0;
+    }
+    hits as f64 / lookups as f64
+}
+
 /// Cumulative counters maintained by the engine.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Points the user asked to write (`append` calls).
     pub user_points: u64,
@@ -121,6 +132,14 @@ mod tests {
         assert_eq!(write_amplification(0, 0), 0.0);
         assert_eq!(write_amplification(1024, 0), 0.0);
         assert!((write_amplification(2500, 1000) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_handles_empty_and_partial_caches() {
+        assert_eq!(hit_rate(0, 0), 0.0);
+        assert_eq!(hit_rate(0, 10), 0.0);
+        assert_eq!(hit_rate(10, 0), 1.0);
+        assert!((hit_rate(3, 1) - 0.75).abs() < 1e-12);
     }
 
     #[test]

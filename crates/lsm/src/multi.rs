@@ -17,8 +17,10 @@ use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use crossbeam::channel;
 use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange};
 
+use crate::cache::BlockCache;
 use crate::engine::{EngineConfig, LsmEngine};
 use crate::fault::FaultPlan;
 use crate::metrics::Metrics;
@@ -92,6 +94,8 @@ pub struct OpenOptions {
     recovery: RecoveryOptions,
     faults: Option<Arc<FaultPlan>>,
     observer: ObserverHandle,
+    cache: Option<Arc<BlockCache>>,
+    workers: usize,
 }
 
 impl std::fmt::Debug for OpenOptions {
@@ -102,6 +106,8 @@ impl std::fmt::Debug for OpenOptions {
             .field("recovery", &self.recovery)
             .field("faults", &self.faults.is_some())
             .field("observer", &self.observer.is_attached())
+            .field("cache", &self.cache.is_some())
+            .field("workers", &self.workers)
             .finish()
     }
 }
@@ -116,6 +122,8 @@ impl OpenOptions {
             recovery: RecoveryOptions::strict(),
             faults: None,
             observer: ObserverHandle::detached(),
+            cache: None,
+            workers: 1,
         }
     }
 
@@ -156,6 +164,27 @@ impl OpenOptions {
         self
     }
 
+    /// Routes every series' table reads through one shared decoded-block
+    /// cache: the backing store is wrapped in a
+    /// [`CachedStore`](crate::store::CachedStore) once, so the whole fleet
+    /// competes for (and benefits from) the same capacity budget, and any
+    /// series' compaction strictly invalidates the blocks of the tables it
+    /// deletes.
+    pub fn cache(mut self, cache: Arc<BlockCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Fans [`MultiSeriesEngine::flush_all`] across up to `n` worker
+    /// threads, one series at a time per worker (default 1 = fully
+    /// sequential, never spawning). Each series' kernel stays
+    /// single-threaded, so per-series results and summed metrics are
+    /// identical for every worker count; only wall-clock changes.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
     fn store_or_default(
         store: Option<Arc<dyn TableStore>>,
     ) -> Arc<dyn TableStore> {
@@ -168,13 +197,18 @@ impl OpenOptions {
     /// # Errors
     /// I/O errors creating the durable directory.
     pub fn open(self) -> Result<MultiSeriesEngine> {
-        let store = Self::store_or_default(self.store);
+        let store = crate::engine::OpenOptions::wrap_cache(
+            Self::store_or_default(self.store),
+            self.cache,
+            &self.observer,
+        );
         let mut engine = MultiSeriesEngine::new(self.template, store);
         if let Some(dir) = self.durable_dir {
             std::fs::create_dir_all(&dir)?;
             engine.durable_dir = Some(dir);
         }
         engine.obs = self.observer;
+        engine.workers = self.workers;
         engine.install_faults(self.faults);
         Ok(engine)
     }
@@ -200,7 +234,11 @@ impl OpenOptions {
                     .into(),
             ));
         };
-        let store = Self::store_or_default(self.store);
+        let store = crate::engine::OpenOptions::wrap_cache(
+            Self::store_or_default(self.store),
+            self.cache,
+            &self.observer,
+        );
         let (mut engine, report) = MultiSeriesEngine::recover_with(
             self.template,
             store,
@@ -208,6 +246,7 @@ impl OpenOptions {
             self.recovery,
             self.observer,
         )?;
+        engine.workers = self.workers;
         engine.install_faults(self.faults);
         Ok((engine, report))
     }
@@ -226,6 +265,8 @@ pub struct MultiSeriesEngine {
     faults: Option<Arc<FaultPlan>>,
     /// Event sink cloned into every series engine (current and future).
     obs: ObserverHandle,
+    /// Upper bound on flush worker threads (1 = sequential, no spawning).
+    workers: usize,
 }
 
 impl MultiSeriesEngine {
@@ -239,6 +280,7 @@ impl MultiSeriesEngine {
             durable_dir: None,
             faults: None,
             obs: ObserverHandle::detached(),
+            workers: 1,
         }
     }
 
@@ -296,6 +338,7 @@ impl MultiSeriesEngine {
             durable_dir: Some(dir),
             faults: None,
             obs,
+            workers: 1,
         };
         if options.gc_orphans {
             let mut live: HashSet<SsTableId> = HashSet::new();
@@ -424,25 +467,147 @@ impl MultiSeriesEngine {
             .set_policy(policy)
     }
 
-    /// Flushes every series.
+    /// The configured flush worker bound (1 = sequential).
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Flushes every series, in ascending [`SeriesId`] order.
+    ///
+    /// With [`OpenOptions::workers`] above 1 (and more than one series to
+    /// flush) the per-series flushes fan out across a bounded pool of
+    /// short-lived worker threads. Each series is still flushed by exactly
+    /// one thread, so per-series contents and metrics are identical to a
+    /// sequential run; only the interleaving of independent series — and
+    /// hence wall-clock — changes. With the default of 1 worker no thread
+    /// is ever spawned and behaviour is byte-for-byte the sequential path.
     ///
     /// # Errors
-    /// Storage failures.
+    /// Storage failures. When several series fail concurrently, the error
+    /// of the lowest [`SeriesId`] is returned (every series still gets its
+    /// flush attempt, and all engines are retained either way).
     pub fn flush_all(&mut self) -> Result<()> {
-        for engine in self.series.values_mut() {
-            engine.flush_all()?;
+        if self.workers <= 1 || self.series.len() <= 1 {
+            for id in self.series_ids() {
+                if let Some(engine) = self.series.get_mut(&id) {
+                    engine.flush_all()?;
+                }
+            }
+            return Ok(());
+        }
+        self.flush_all_pooled()
+    }
+
+    /// The multi-worker arm of [`MultiSeriesEngine::flush_all`]: engines
+    /// are handed out by value to `min(workers, series)` named threads
+    /// (`seplsm-fleet-<w>`) round-robin in ascending id order, flushed, and
+    /// handed back over a shared result channel. Vendored-crossbeam bounded
+    /// channels are sized so no send ever blocks; any send or spawn failure
+    /// degrades to flushing that series inline on the caller thread, so no
+    /// engine is ever lost.
+    fn flush_all_pooled(&mut self) -> Result<()> {
+        let ids = self.series_ids();
+        let total = ids.len();
+        let worker_count = self.workers.min(total);
+        let (done_tx, done_rx) =
+            channel::bounded::<(SeriesId, LsmEngine, Result<()>)>(total);
+        let mut workers = Vec::new();
+        let mut handles = Vec::new();
+        for w in 0..worker_count {
+            let (work_tx, work_rx) =
+                channel::bounded::<(SeriesId, LsmEngine)>(total);
+            let done = done_tx.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("seplsm-fleet-{w}"))
+                .spawn(move || {
+                    for (id, mut engine) in work_rx {
+                        let outcome = engine.flush_all();
+                        if done.send((id, engine, outcome)).is_err() {
+                            // Caller is gone; nothing left to hand back to.
+                            break;
+                        }
+                    }
+                });
+            match spawned {
+                // The channel is still empty on spawn failure, so dropping
+                // the pair loses nothing; the remaining workers (or the
+                // inline fallback below) absorb the load.
+                Ok(handle) => {
+                    workers.push(work_tx);
+                    handles.push(handle);
+                }
+                Err(_) => drop(work_tx),
+            }
+        }
+        let mut finished: Vec<(SeriesId, LsmEngine, Result<()>)> =
+            Vec::with_capacity(total);
+        let mut dispatched = 0usize;
+        for (i, id) in ids.into_iter().enumerate() {
+            let Some(engine) = self.series.remove(&id) else {
+                continue;
+            };
+            let mut item = (id, engine);
+            if !workers.is_empty() {
+                let slot = i % workers.len();
+                match workers[slot].try_send(item) {
+                    Ok(()) => {
+                        dispatched += 1;
+                        continue;
+                    }
+                    Err(err) => {
+                        // Full (cannot happen: capacity = total) or the
+                        // worker died; recover the engine and run inline.
+                        item = match err {
+                            channel::TrySendError::Full(it)
+                            | channel::TrySendError::Disconnected(it) => it,
+                        };
+                    }
+                }
+            }
+            let (id, mut engine) = item;
+            let outcome = engine.flush_all();
+            finished.push((id, engine, outcome));
+        }
+        drop(workers);
+        drop(done_tx);
+        finished.extend(done_rx.into_iter().take(dispatched));
+        for handle in handles {
+            // Workers hold no engines once their channels drain; a panicked
+            // worker (impossible for a panic-free kernel) only loses its
+            // in-flight series, which the length check below surfaces.
+            let _ = handle.join();
+        }
+        finished.sort_by_key(|(id, _, _)| *id);
+        let mut first_error = None;
+        let returned = finished.len();
+        for (id, engine, outcome) in finished {
+            self.series.insert(id, engine);
+            if let (None, Err(err)) = (&first_error, outcome) {
+                first_error = Some(err);
+            }
+        }
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+        if returned != total {
+            return Err(Error::Corrupt(format!(
+                "flush pool returned {returned} of {total} series"
+            )));
         }
         Ok(())
     }
 
-    /// Fsyncs every series' WAL (no-op for non-durable engines): after this,
-    /// every acknowledged point survives a crash.
+    /// Fsyncs every series' WAL (no-op for non-durable engines), in
+    /// ascending [`SeriesId`] order: after this, every acknowledged point
+    /// survives a crash.
     ///
     /// # Errors
     /// I/O failures.
     pub fn sync_wal_all(&mut self) -> Result<()> {
-        for engine in self.series.values_mut() {
-            engine.sync_wal()?;
+        for id in self.series_ids() {
+            if let Some(engine) = self.series.get_mut(&id) {
+                engine.sync_wal()?;
+            }
         }
         Ok(())
     }
@@ -583,6 +748,123 @@ mod tests {
             assert!(pts.iter().all(|p| p.value == s as f64));
         }
         std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// Builds a fleet with `workers` flush workers and feeds it the same
+    /// deterministic out-of-order workload, then flushes.
+    fn flushed_fleet(
+        workers: usize,
+        points: &[(u32, i64)],
+    ) -> MultiSeriesEngine {
+        let mut m = OpenOptions::new(config())
+            .workers(workers)
+            .open()
+            .expect("open");
+        for &(series, tg) in points {
+            m.append(SeriesId(series), DataPoint::new(tg, tg + 3, tg as f64))
+                .expect("append");
+        }
+        m.flush_all().expect("flush");
+        m
+    }
+
+    /// A mixed-order workload across `series_count` series: mostly
+    /// ascending with every 7th point a straggler, unique per series.
+    fn pool_workload(series_count: u32, per_series: i64) -> Vec<(u32, i64)> {
+        let mut points = Vec::new();
+        for s in 0..series_count {
+            for i in 0..per_series {
+                let tg = if i % 7 == 3 { i * 10 - 25 } else { i * 10 };
+                points.push((s, tg + i64::from(s)));
+            }
+        }
+        points
+    }
+
+    fn fleet_scans(m: &MultiSeriesEngine) -> Vec<(SeriesId, Vec<DataPoint>)> {
+        m.series_ids()
+            .into_iter()
+            .map(|id| {
+                let pts =
+                    m.engine(id).expect("series").scan_all().expect("scan");
+                (id, pts)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pooled_flush_matches_sequential_flush() {
+        let points = pool_workload(8, 40);
+        let sequential = flushed_fleet(1, &points);
+        let pooled = flushed_fleet(4, &points);
+        assert_eq!(pooled.worker_count(), 4);
+        assert_eq!(
+            pooled.combined_metrics(),
+            sequential.combined_metrics(),
+            "summed kernel metrics must not depend on worker count"
+        );
+        assert_eq!(fleet_scans(&pooled), fleet_scans(&sequential));
+        for id in pooled.series_ids() {
+            assert_eq!(
+                pooled.engine(id).expect("series").buffered_points(),
+                0,
+                "{id} left points buffered"
+            );
+        }
+    }
+
+    #[test]
+    fn more_workers_than_series_is_fine() {
+        let points = pool_workload(2, 12);
+        let wide = flushed_fleet(16, &points);
+        let narrow = flushed_fleet(1, &points);
+        assert_eq!(fleet_scans(&wide), fleet_scans(&narrow));
+    }
+
+    #[test]
+    fn single_series_never_enters_the_pool() {
+        // One series short-circuits to the sequential path even with a
+        // large worker bound; the observable outcome is identical.
+        let points = pool_workload(1, 20);
+        let m = flushed_fleet(8, &points);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.engine(SeriesId(0)).expect("series").buffered_points(), 0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(
+            proptest::prelude::ProptestConfig::with_cases(16)
+        )]
+
+        /// Worker count is unobservable: any fleet workload flushed with N
+        /// workers yields the same per-series points and summed metrics as
+        /// the sequential path.
+        #[test]
+        fn worker_count_is_unobservable(
+            raw in proptest::collection::vec(
+                (0u32..5, 0i64..400),
+                1..120,
+            ),
+            workers in 2usize..6,
+        ) {
+            // Dedupe (series, gen_time) pairs: engines require unique
+            // generation times within one series.
+            let mut seen = HashSet::new();
+            let points: Vec<(u32, i64)> = raw
+                .into_iter()
+                .filter(|p| seen.insert(*p))
+                .collect();
+            let sequential = flushed_fleet(1, &points);
+            let pooled = flushed_fleet(workers, &points);
+            proptest::prop_assert_eq!(
+                pooled.combined_metrics(),
+                sequential.combined_metrics()
+            );
+            proptest::prop_assert_eq!(
+                fleet_scans(&pooled),
+                fleet_scans(&sequential)
+            );
+        }
     }
 
     #[test]

@@ -271,10 +271,33 @@ pub enum Event {
         /// Its global op index.
         at: u64,
     },
+    /// The decoded-block cache served a block without touching the store.
+    CacheHit {
+        /// The table the block belongs to.
+        table: u64,
+        /// The block index within the table.
+        block: u64,
+    },
+    /// The decoded-block cache had to decode a block from raw bytes.
+    CacheMiss {
+        /// The table the block belongs to.
+        table: u64,
+        /// The block index within the table.
+        block: u64,
+    },
+    /// The decoded-block cache evicted a block to stay within capacity.
+    CacheEvict {
+        /// The table the evicted block belonged to.
+        table: u64,
+        /// The evicted block's index within its table.
+        block: u64,
+        /// Decoded points the eviction released.
+        points: u64,
+    },
 }
 
 /// Number of distinct [`Event`] kinds (for fixed-size counter registries).
-pub const EVENT_KINDS: usize = 15;
+pub const EVENT_KINDS: usize = 18;
 
 impl Event {
     /// Stable event-kind name, used as the JSONL `event` field and the
@@ -296,6 +319,9 @@ impl Event {
             Self::Quarantine { .. } => "quarantine",
             Self::DegradedTransition { .. } => "degraded_transition",
             Self::FaultInjected { .. } => "fault_injected",
+            Self::CacheHit { .. } => "cache_hit",
+            Self::CacheMiss { .. } => "cache_miss",
+            Self::CacheEvict { .. } => "cache_evict",
         }
     }
 
@@ -317,6 +343,9 @@ impl Event {
             Self::Quarantine { .. } => 12,
             Self::DegradedTransition { .. } => 13,
             Self::FaultInjected { .. } => 14,
+            Self::CacheHit { .. } => 15,
+            Self::CacheMiss { .. } => 16,
+            Self::CacheEvict { .. } => 17,
         }
     }
 
@@ -338,6 +367,9 @@ impl Event {
             "quarantine",
             "degraded_transition",
             "fault_injected",
+            "cache_hit",
+            "cache_miss",
+            "cache_evict",
         ];
         NAMES.get(k).copied().unwrap_or("unknown")
     }
@@ -418,6 +450,20 @@ impl Event {
             }
             Self::FaultInjected { op, at } => {
                 let _ = write!(out, ",\"op\":\"{op:?}\",\"at\":{at}");
+            }
+            Self::CacheHit { table, block }
+            | Self::CacheMiss { table, block } => {
+                let _ = write!(out, ",\"table\":{table},\"block\":{block}");
+            }
+            Self::CacheEvict {
+                table,
+                block,
+                points,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"table\":{table},\"block\":{block},\"points\":{points}"
+                );
             }
         }
     }
@@ -668,6 +714,9 @@ struct AggregateState {
     flush_points: u64,
     compaction_rewritten: u64,
     stall_count: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
     flush_open: Option<u64>,
     compaction_open: Option<u64>,
     flush_latency: Histogram,
@@ -686,6 +735,12 @@ pub struct AggregateReport {
     pub compaction_rewritten: u64,
     /// Backpressure stalls observed.
     pub stalls: u64,
+    /// Decoded-block cache hits.
+    pub cache_hits: u64,
+    /// Decoded-block cache misses.
+    pub cache_misses: u64,
+    /// Decoded-block cache evictions.
+    pub cache_evictions: u64,
     /// Flush latency (started → finished), on the injected clock's scale.
     pub flush_latency: Histogram,
     /// Compaction latency (planned → executed), same scale.
@@ -693,6 +748,12 @@ pub struct AggregateReport {
 }
 
 impl AggregateReport {
+    /// Decoded-block cache hit rate over `[0, 1]` (0 when the cache never
+    /// saw a lookup).
+    pub fn cache_hit_rate(&self) -> f64 {
+        crate::metrics::hit_rate(self.cache_hits, self.cache_misses)
+    }
+
     /// Renders the report as a fixed-width text table (one row per
     /// non-zero event kind, then the latency summaries).
     pub fn render_table(&self) -> String {
@@ -716,6 +777,17 @@ impl AggregateReport {
             self.compaction_latency.samples,
             self.compaction_latency.mean_micros()
         );
+        if self.cache_hits + self.cache_misses > 0 {
+            let _ = writeln!(
+                out,
+                "cache: {} hits, {} misses, {} evictions \
+                 (hit rate {:.1}%)",
+                self.cache_hits,
+                self.cache_misses,
+                self.cache_evictions,
+                self.cache_hit_rate() * 100.0
+            );
+        }
         out
     }
 }
@@ -749,6 +821,9 @@ impl AggregateSink {
             flush_points: s.flush_points,
             compaction_rewritten: s.compaction_rewritten,
             stalls: s.stall_count,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            cache_evictions: s.cache_evictions,
             flush_latency: s.flush_latency.clone(),
             compaction_latency: s.compaction_latency.clone(),
         }
@@ -782,6 +857,9 @@ impl Observer for AggregateSink {
                 }
             }
             Event::BackpressureStall => s.stall_count += 1,
+            Event::CacheHit { .. } => s.cache_hits += 1,
+            Event::CacheMiss { .. } => s.cache_misses += 1,
+            Event::CacheEvict { .. } => s.cache_evictions += 1,
             _ => {}
         }
     }
@@ -936,6 +1014,13 @@ mod tests {
             Event::FaultInjected {
                 op: IoOp::WalSync,
                 at: 0,
+            },
+            Event::CacheHit { table: 0, block: 0 },
+            Event::CacheMiss { table: 0, block: 0 },
+            Event::CacheEvict {
+                table: 0,
+                block: 0,
+                points: 0,
             },
         ];
         assert_eq!(samples.len(), EVENT_KINDS);

@@ -478,6 +478,151 @@ fn decode_v2_full(data: &[u8]) -> Result<Vec<DataPoint>> {
     Ok(points)
 }
 
+/// One block's descriptor in a [`TableIndex`]: generation-time bounds, point
+/// count, and the byte span of the encoded block within the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpan {
+    /// Generation time of the block's first point.
+    pub first: i64,
+    /// Generation time of the block's last point.
+    pub last: i64,
+    /// Points in the block.
+    pub count: u32,
+    /// Byte offset of the block relative to the table's data region.
+    pub offset: u32,
+    /// Encoded block length in bytes (including the block CRC).
+    pub len: u32,
+}
+
+/// A parsed table index: enough metadata to prune blocks against a time
+/// range and decode individual blocks via [`decode_index_block`] without
+/// re-parsing the header per read.
+///
+/// For v2 tables this is the real per-block index; a v1 table is modelled
+/// as a single block spanning the whole file, so callers can treat both
+/// formats uniformly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableIndex {
+    /// Total points in the table.
+    pub count: usize,
+    /// Smallest generation time in the table.
+    pub min_tg: i64,
+    /// Largest generation time in the table.
+    pub max_tg: i64,
+    /// Per-block descriptors, in generation-time order.
+    pub blocks: Vec<BlockSpan>,
+    version: u16,
+    data_start: usize,
+}
+
+/// Parses the index of an SSTable in either format.
+///
+/// For v2 the header + index region is CRC-validated here; for v1 only the
+/// fixed header is read (the full-file CRC is validated when the single
+/// block is decoded).
+///
+/// # Errors
+/// [`Error::Corrupt`] on bad magic, unsupported version, truncation, or a
+/// v2 header CRC mismatch.
+pub fn read_table_index(data: &[u8]) -> Result<TableIndex> {
+    const V1_HEADER: usize = 4 + 2 + 2 + 4 + 8 + 8;
+    if data.len() < 6 || &data[..4] != MAGIC {
+        return Err(Error::Corrupt("bad SSTable magic".into()));
+    }
+    let version = codec::read_u16_le(data, 4)?;
+    if version == VERSION_BLOCKS {
+        let header = parse_v2_header(data)?;
+        let blocks = header
+            .index
+            .iter()
+            .map(|e| BlockSpan {
+                first: e.first,
+                last: e.last,
+                count: e.count,
+                offset: e.offset,
+                len: e.len,
+            })
+            .collect();
+        return Ok(TableIndex {
+            count: header.count,
+            min_tg: header.min_tg,
+            max_tg: header.max_tg,
+            blocks,
+            version: VERSION_BLOCKS,
+            data_start: header.data_start,
+        });
+    }
+    if version != VERSION {
+        return Err(Error::Corrupt(format!(
+            "unsupported SSTable version {version}"
+        )));
+    }
+    if data.len() < V1_HEADER + 4 {
+        return Err(Error::Corrupt(format!(
+            "SSTable too short: {} bytes",
+            data.len()
+        )));
+    }
+    let mut buf = &data[8..];
+    let count = buf.get_u32_le() as usize;
+    let min_tg = buf.get_i64_le();
+    let max_tg = buf.get_i64_le();
+    Ok(TableIndex {
+        count,
+        min_tg,
+        max_tg,
+        blocks: vec![BlockSpan {
+            first: min_tg,
+            last: max_tg,
+            count: count as u32,
+            offset: 0,
+            len: data.len() as u32,
+        }],
+        version: VERSION,
+        data_start: 0,
+    })
+}
+
+/// Decodes (and CRC-validates) one block named by `index.blocks[block]`.
+///
+/// For a v1 table, block 0 is the whole table and this is a full validated
+/// decode.
+///
+/// # Errors
+/// [`Error::Corrupt`] if `block` is out of range or the block fails
+/// validation.
+pub fn decode_index_block(
+    data: &[u8],
+    index: &TableIndex,
+    block: usize,
+) -> Result<Vec<DataPoint>> {
+    let span = index.blocks.get(block).ok_or_else(|| {
+        Error::Corrupt(format!(
+            "block {block} out of range ({} blocks)",
+            index.blocks.len()
+        ))
+    })?;
+    if index.version == VERSION_BLOCKS {
+        let header = V2Header {
+            count: index.count,
+            min_tg: index.min_tg,
+            max_tg: index.max_tg,
+            index: Vec::new(),
+            data_start: index.data_start,
+        };
+        let entry = V2Entry {
+            first: span.first,
+            last: span.last,
+            count: span.count,
+            offset: span.offset,
+            len: span.len,
+        };
+        decode_v2_block(data, &header, &entry)
+    } else {
+        decode(data)
+    }
+}
+
 /// Block-granular range read: decodes only the blocks whose generation-time
 /// range overlaps `range` and reports exactly how much was scanned.
 ///
@@ -754,6 +899,51 @@ mod tests {
             1_000_000 + 511 * 50,
         );
         assert!(decode_range(&bad, tail_range).is_err());
+    }
+
+    #[test]
+    fn table_index_names_every_v2_block() {
+        let pts = sample_points(300); // 3 blocks: 128 + 128 + 44
+        let bytes =
+            encode_with(&pts, &EncodeOptions::compressed()).expect("encode");
+        let index = read_table_index(&bytes).expect("index");
+        assert_eq!(index.count, 300);
+        assert_eq!(index.min_tg, pts[0].gen_time);
+        assert_eq!(index.max_tg, pts[299].gen_time);
+        assert_eq!(index.blocks.len(), 3);
+        let mut all = Vec::new();
+        for b in 0..index.blocks.len() {
+            let block =
+                decode_index_block(&bytes, &index, b).expect("decode block");
+            assert_eq!(block.len(), index.blocks[b].count as usize);
+            assert_eq!(block[0].gen_time, index.blocks[b].first);
+            assert_eq!(block[block.len() - 1].gen_time, index.blocks[b].last);
+            all.extend(block);
+        }
+        assert_eq!(all, pts);
+    }
+
+    #[test]
+    fn table_index_models_v1_as_one_block() {
+        let pts = sample_points(64);
+        let bytes = encode(&pts).expect("encode v1");
+        let index = read_table_index(&bytes).expect("index");
+        assert_eq!(index.count, 64);
+        assert_eq!(index.blocks.len(), 1);
+        assert_eq!(index.blocks[0].first, pts[0].gen_time);
+        assert_eq!(index.blocks[0].last, pts[63].gen_time);
+        assert_eq!(decode_index_block(&bytes, &index, 0).expect("decode"), pts);
+        assert!(decode_index_block(&bytes, &index, 1).is_err());
+    }
+
+    #[test]
+    fn table_index_rejects_corrupt_v2_header() {
+        let pts = sample_points(256);
+        let mut bytes = encode_with(&pts, &EncodeOptions::compressed())
+            .expect("encode")
+            .to_vec();
+        bytes[10] ^= 0x04; // inside the fixed header
+        assert!(read_table_index(&bytes).is_err());
     }
 
     #[test]

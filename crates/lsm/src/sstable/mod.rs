@@ -11,7 +11,9 @@ pub mod crc32;
 pub mod format;
 pub mod varint;
 
-pub use format::{Compression, EncodeOptions, RangeRead};
+pub use format::{
+    BlockSpan, Compression, EncodeOptions, RangeRead, TableIndex,
+};
 
 use seplsm_types::{DataPoint, TimeRange};
 

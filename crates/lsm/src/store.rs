@@ -15,8 +15,10 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use seplsm_types::{DataPoint, Error, Result, TimeRange};
 
+use crate::cache::{BlockCache, BlockKey};
 use crate::fault::{self, FaultPlan, IoOp, WriteCheck};
-use crate::sstable::format::{self, EncodeOptions, RangeRead};
+use crate::obs::{Event, ObserverHandle};
+use crate::sstable::format::{self, EncodeOptions, RangeRead, TableIndex};
 use crate::sstable::{SsTableId, SsTableMeta};
 
 /// Fsyncs a directory so a preceding `rename` inside it survives a power
@@ -98,6 +100,15 @@ pub trait TableStore: Send + Sync {
     fn quarantine(&self, id: SsTableId) -> Result<()> {
         self.delete(id)
     }
+
+    /// Reads the table's raw encoded bytes without decoding them, for
+    /// callers (the [`CachedStore`]) that parse the index once and decode
+    /// blocks selectively. `Ok(None)` means the store does not expose raw
+    /// bytes; such stores are served through `get`/`get_range` instead.
+    fn read_raw(&self, id: SsTableId) -> Result<Option<Bytes>> {
+        let _ = id;
+        Ok(None)
+    }
 }
 
 /// An in-memory [`TableStore`] holding encoded SSTable bytes.
@@ -177,6 +188,17 @@ impl TableStore for MemStore {
             .cloned()
             .ok_or_else(|| Error::Corrupt(format!("missing table {id}")))?;
         format::decode_range(&bytes, range)
+    }
+
+    fn read_raw(&self, id: SsTableId) -> Result<Option<Bytes>> {
+        let bytes = self
+            .inner
+            .lock()
+            .tables
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::Corrupt(format!("missing table {id}")))?;
+        Ok(Some(bytes))
     }
 }
 
@@ -331,6 +353,12 @@ impl TableStore for FileStore {
         format::decode_range(&bytes, range)
     }
 
+    fn read_raw(&self, id: SsTableId) -> Result<Option<Bytes>> {
+        fault::hook(self.faults.as_ref(), IoOp::StoreRead)?;
+        let bytes = std::fs::read(self.path_for(id))?;
+        Ok(Some(bytes.into()))
+    }
+
     fn quarantine(&self, id: SsTableId) -> Result<()> {
         fault::hook(self.faults.as_ref(), IoOp::StoreDelete)?;
         let src = self.path_for(id);
@@ -344,6 +372,218 @@ impl TableStore for FileStore {
         sync_dir(&qdir)?;
         sync_dir(&self.dir)?;
         Ok(())
+    }
+}
+
+/// A [`TableStore`] wrapper that serves reads through a shared
+/// [`BlockCache`] and strictly invalidates on table removal.
+///
+/// * `get` / `get_range` consult the cached [`TableIndex`] (parsed at most
+///   once per table) and then each needed block: a **hit** costs no store
+///   I/O at all; on any **miss** the raw bytes are read **once** for the
+///   whole visit and only the missing blocks are decoded from that one
+///   buffer. This also fixes the historical double-read: the uncached path
+///   read full table bytes *and* re-parsed the header per `decode_range`
+///   call.
+/// * `delete` / `quarantine` call [`BlockCache::invalidate_table`] *before*
+///   forwarding, so a table consumed by a compaction can never serve a
+///   later read from the cache — even if the underlying removal fails.
+/// * Accounting: in a [`RangeRead`], `points_scanned` counts every point
+///   of every examined block (hits and misses alike — the paper's
+///   read-amplification quantity), while `blocks_read` counts only blocks
+///   actually decoded from raw bytes, so it reflects disk work.
+///
+/// Stores that do not expose raw bytes (`read_raw` → `Ok(None)`) pass
+/// through uncached. Cache traffic emits typed `CacheHit` / `CacheMiss` /
+/// `CacheEvict` events on the attached observer; like all observer
+/// traffic it is invisible to fault-plan op numbering, and a warm hit does
+/// no hooked I/O at all.
+pub struct CachedStore {
+    inner: Arc<dyn TableStore>,
+    cache: Arc<BlockCache>,
+    obs: ObserverHandle,
+}
+
+impl CachedStore {
+    /// Wraps `inner` with `cache` and no observer.
+    pub fn new(inner: Arc<dyn TableStore>, cache: Arc<BlockCache>) -> Self {
+        Self {
+            inner,
+            cache,
+            obs: ObserverHandle::detached(),
+        }
+    }
+
+    /// Wraps `inner` with `cache`, emitting cache events on `obs`.
+    pub fn with_observer(
+        inner: Arc<dyn TableStore>,
+        cache: Arc<BlockCache>,
+        obs: ObserverHandle,
+    ) -> Self {
+        Self { inner, cache, obs }
+    }
+
+    /// The shared cache behind this wrapper.
+    pub fn cache(&self) -> &Arc<BlockCache> {
+        &self.cache
+    }
+
+    /// Replaces the observer handle cache events are emitted on.
+    pub fn set_observer(&mut self, obs: ObserverHandle) {
+        self.obs = obs;
+    }
+
+    /// Fills `raw` with the table's encoded bytes at most once per visit;
+    /// `Ok(None)` means the inner store does not expose raw bytes.
+    fn fill_raw(
+        &self,
+        id: SsTableId,
+        raw: &mut Option<Bytes>,
+    ) -> Result<Option<Bytes>> {
+        if raw.is_none() {
+            *raw = self.inner.read_raw(id)?;
+        }
+        Ok(raw.clone())
+    }
+
+    /// The table's parsed index, from the cache or from one raw read.
+    fn index_for(
+        &self,
+        id: SsTableId,
+        raw: &mut Option<Bytes>,
+    ) -> Result<Option<Arc<TableIndex>>> {
+        if let Some(index) = self.cache.lookup_index(id) {
+            return Ok(Some(index));
+        }
+        let Some(bytes) = self.fill_raw(id, raw)? else {
+            return Ok(None);
+        };
+        let index = Arc::new(format::read_table_index(&bytes)?);
+        self.cache.insert_index(id, Arc::clone(&index));
+        Ok(Some(index))
+    }
+
+    /// One block via the cache: hit, or decode-from-raw + insert. Emits
+    /// the matching cache events.
+    fn block_via_cache(
+        &self,
+        id: SsTableId,
+        index: &TableIndex,
+        block: usize,
+        raw: &mut Option<Bytes>,
+        disk_blocks: &mut u64,
+    ) -> Result<Arc<Vec<DataPoint>>> {
+        let key = BlockKey {
+            table: id,
+            block: block as u32,
+        };
+        if let Some(points) = self.cache.lookup(key) {
+            self.obs.emit(|| Event::CacheHit {
+                table: id.0,
+                block: block as u64,
+            });
+            return Ok(points);
+        }
+        let bytes = self.fill_raw(id, raw)?.ok_or_else(|| {
+            Error::Corrupt(format!("raw bytes of table {id} unavailable"))
+        })?;
+        let points =
+            Arc::new(format::decode_index_block(&bytes, index, block)?);
+        *disk_blocks += 1;
+        self.obs.emit(|| Event::CacheMiss {
+            table: id.0,
+            block: block as u64,
+        });
+        for ev in self.cache.insert(key, Arc::clone(&points)) {
+            self.obs.emit(|| Event::CacheEvict {
+                table: ev.key.table.0,
+                block: u64::from(ev.key.block),
+                points: ev.points,
+            });
+        }
+        Ok(points)
+    }
+}
+
+impl TableStore for CachedStore {
+    fn put(&self, points: &[DataPoint]) -> Result<(SsTableMeta, usize)> {
+        self.inner.put(points)
+    }
+
+    fn get(&self, id: SsTableId) -> Result<Vec<DataPoint>> {
+        let mut raw = None;
+        let Some(index) = self.index_for(id, &mut raw)? else {
+            return self.inner.get(id); // raw reads unsupported: pass through
+        };
+        let mut disk_blocks = 0u64;
+        let mut out = Vec::with_capacity(index.count);
+        for block in 0..index.blocks.len() {
+            let points = self.block_via_cache(
+                id,
+                &index,
+                block,
+                &mut raw,
+                &mut disk_blocks,
+            )?;
+            out.extend(points.iter().cloned());
+        }
+        Ok(out)
+    }
+
+    fn get_range(&self, id: SsTableId, range: TimeRange) -> Result<RangeRead> {
+        let mut raw = None;
+        let Some(index) = self.index_for(id, &mut raw)? else {
+            return self.inner.get_range(id, range);
+        };
+        let mut read = RangeRead {
+            points: Vec::new(),
+            points_scanned: 0,
+            blocks_read: 0,
+        };
+        if index.max_tg < range.start || index.min_tg > range.end {
+            return Ok(read);
+        }
+        for block in 0..index.blocks.len() {
+            let Some(span) = index.blocks.get(block).copied() else {
+                break;
+            };
+            if span.last < range.start || span.first > range.end {
+                continue;
+            }
+            let points = self.block_via_cache(
+                id,
+                &index,
+                block,
+                &mut raw,
+                &mut read.blocks_read,
+            )?;
+            read.points_scanned += points.len() as u64;
+            read.points.extend(
+                points
+                    .iter()
+                    .filter(|p| range.contains(p.gen_time))
+                    .cloned(),
+            );
+        }
+        Ok(read)
+    }
+
+    fn delete(&self, id: SsTableId) -> Result<()> {
+        self.cache.invalidate_table(id);
+        self.inner.delete(id)
+    }
+
+    fn quarantine(&self, id: SsTableId) -> Result<()> {
+        self.cache.invalidate_table(id);
+        self.inner.quarantine(id)
+    }
+
+    fn list(&self) -> Result<Vec<SsTableId>> {
+        self.inner.list()
+    }
+
+    fn read_raw(&self, id: SsTableId) -> Result<Option<Bytes>> {
+        self.inner.read_raw(id)
     }
 }
 
@@ -488,6 +728,185 @@ mod tests {
         let reopened = FileStore::open(&dir).expect("re-open");
         assert!(reopened.list().expect("list").is_empty());
         std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// Delegates to an inner store while counting raw reads and bytes, so
+    /// tests can prove warm cache hits do no store I/O.
+    struct CountingStore {
+        inner: MemStore,
+        raw_reads: std::sync::atomic::AtomicU64,
+        raw_bytes: std::sync::atomic::AtomicU64,
+    }
+
+    impl CountingStore {
+        fn new(options: EncodeOptions) -> Self {
+            Self {
+                inner: MemStore::with_options(options),
+                raw_reads: std::sync::atomic::AtomicU64::new(0),
+                raw_bytes: std::sync::atomic::AtomicU64::new(0),
+            }
+        }
+
+        fn raw_reads(&self) -> u64 {
+            self.raw_reads.load(std::sync::atomic::Ordering::Relaxed)
+        }
+    }
+
+    impl TableStore for CountingStore {
+        fn put(&self, points: &[DataPoint]) -> Result<(SsTableMeta, usize)> {
+            self.inner.put(points)
+        }
+
+        fn get(&self, id: SsTableId) -> Result<Vec<DataPoint>> {
+            self.inner.get(id)
+        }
+
+        fn delete(&self, id: SsTableId) -> Result<()> {
+            self.inner.delete(id)
+        }
+
+        fn list(&self) -> Result<Vec<SsTableId>> {
+            self.inner.list()
+        }
+
+        fn read_raw(&self, id: SsTableId) -> Result<Option<Bytes>> {
+            let raw = self.inner.read_raw(id)?;
+            self.raw_reads
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if let Some(bytes) = &raw {
+                self.raw_bytes.fetch_add(
+                    bytes.len() as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+            }
+            Ok(raw)
+        }
+    }
+
+    fn cached_fixture() -> (Arc<CountingStore>, CachedStore, SsTableMeta) {
+        let counting =
+            Arc::new(CountingStore::new(EncodeOptions::compressed()));
+        let cache = crate::cache::BlockCache::with_capacity(64 * 1024);
+        let cached = CachedStore::new(
+            Arc::clone(&counting) as Arc<dyn TableStore>,
+            cache,
+        );
+        let (meta, _) = cached.put(&pts(0..300)).expect("put");
+        (counting, cached, meta)
+    }
+
+    #[test]
+    fn cached_store_warm_reads_do_no_store_io() {
+        let (counting, cached, meta) = cached_fixture();
+        assert_eq!(cached.get(meta.id).expect("cold get"), pts(0..300));
+        let cold_reads = counting.raw_reads();
+        assert_eq!(cold_reads, 1, "one raw read serves the whole cold visit");
+        for _ in 0..5 {
+            assert_eq!(cached.get(meta.id).expect("warm get"), pts(0..300));
+        }
+        assert_eq!(
+            counting.raw_reads(),
+            cold_reads,
+            "warm gets must not touch the inner store"
+        );
+        let stats = cached.cache().stats();
+        assert!(stats.hits > 0);
+        assert!(stats.hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn cached_store_range_reads_prune_and_account() {
+        let (counting, cached, meta) = cached_fixture();
+        // Points 0..300 at gen times i*10: blocks of 128 → 3 blocks.
+        let range = TimeRange::new(0, 500); // inside block 0
+        let cold = cached.get_range(meta.id, range).expect("cold");
+        assert_eq!(cold.points.len(), 51);
+        assert_eq!(cold.blocks_read, 1, "one block decoded from raw");
+        assert_eq!(cold.points_scanned, 128);
+        let warm = cached.get_range(meta.id, range).expect("warm");
+        assert_eq!(warm.points, cold.points);
+        assert_eq!(warm.blocks_read, 0, "warm read decodes nothing");
+        assert_eq!(warm.points_scanned, 128, "scanned counts hits too");
+        assert_eq!(counting.raw_reads(), 1);
+        // Disjoint range: nothing examined at all.
+        let miss = cached
+            .get_range(meta.id, TimeRange::new(100_000, 200_000))
+            .expect("miss");
+        assert!(miss.points.is_empty());
+        assert_eq!(miss.points_scanned, 0);
+    }
+
+    #[test]
+    fn cached_store_delete_strictly_invalidates() {
+        let (_counting, cached, meta) = cached_fixture();
+        cached.get(meta.id).expect("warm the cache");
+        assert!(cached.cache().stats().resident_blocks > 0);
+        cached.delete(meta.id).expect("delete");
+        assert_eq!(
+            cached.cache().stats().resident_blocks,
+            0,
+            "deleted table's blocks must leave the cache"
+        );
+        assert!(
+            cached.get(meta.id).is_err(),
+            "a deleted table must never be served from the cache"
+        );
+    }
+
+    #[test]
+    fn cached_store_passes_through_rawless_stores() {
+        /// A store with no raw-byte support: the default `read_raw`.
+        struct Opaque(MemStore);
+        impl TableStore for Opaque {
+            fn put(
+                &self,
+                points: &[DataPoint],
+            ) -> Result<(SsTableMeta, usize)> {
+                self.0.put(points)
+            }
+            fn get(&self, id: SsTableId) -> Result<Vec<DataPoint>> {
+                self.0.get(id)
+            }
+            fn delete(&self, id: SsTableId) -> Result<()> {
+                self.0.delete(id)
+            }
+            fn list(&self) -> Result<Vec<SsTableId>> {
+                self.0.list()
+            }
+        }
+        let cache = crate::cache::BlockCache::with_capacity(1024);
+        let cached = CachedStore::new(Arc::new(Opaque(MemStore::new())), cache);
+        let (meta, _) = cached.put(&pts(0..50)).expect("put");
+        assert_eq!(cached.get(meta.id).expect("get"), pts(0..50));
+        let read = cached
+            .get_range(meta.id, TimeRange::new(0, 90))
+            .expect("range");
+        assert_eq!(read.points.len(), 10);
+        assert_eq!(
+            cached.cache().stats().resident_blocks,
+            0,
+            "rawless stores stay uncached"
+        );
+    }
+
+    #[test]
+    fn cached_store_emits_typed_cache_events() {
+        let counting =
+            Arc::new(CountingStore::new(EncodeOptions::compressed()));
+        let cache = crate::cache::BlockCache::with_capacity(64 * 1024);
+        let ring = crate::obs::RingBufferSink::new(64);
+        let cached = CachedStore::with_observer(
+            counting,
+            cache,
+            ObserverHandle::attached(ring.clone()),
+        );
+        let (meta, _) = cached.put(&pts(0..200)).expect("put");
+        cached.get(meta.id).expect("cold");
+        cached.get(meta.id).expect("warm");
+        let misses = ring.count(|e| matches!(e, Event::CacheMiss { .. }));
+        let hits = ring.count(|e| matches!(e, Event::CacheHit { .. }));
+        assert_eq!(misses, 2, "two blocks decoded cold");
+        assert_eq!(hits, 2, "two blocks served warm");
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub const LIB_CRATES: &[&str] = &["types", "dist", "core", "lsm", "workload"];
 /// rely on.
 pub const KERNEL_MODULES: &[&str] = &[
     "buffer.rs",
+    "cache.rs",
     "compaction.rs",
     "version.rs",
     "memtable.rs",

@@ -1,0 +1,24 @@
+//! R3 fixture: a block-cache eviction policy that ranks entries by
+//! wall-clock recency (`Instant`) instead of a logical tick — exactly the
+//! nondeterminism the CLOCK sweep's hand position must not reintroduce
+//! into the kernel.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct WallClockCache {
+    last_touch: HashMap<u64, Instant>,
+}
+
+impl WallClockCache {
+    pub fn touch(&mut self, block: u64) {
+        self.last_touch.insert(block, Instant::now());
+    }
+
+    pub fn victim(&self) -> Option<u64> {
+        self.last_touch
+            .iter()
+            .min_by_key(|(_, at)| **at)
+            .map(|(block, _)| *block)
+    }
+}

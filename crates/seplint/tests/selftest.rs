@@ -80,6 +80,19 @@ fn r3_fires_on_wallclock_in_an_observer_sink() {
 }
 
 #[test]
+fn r3_fires_on_wallclock_eviction_in_the_block_cache() {
+    // `cache.rs` is a kernel module: an eviction policy ordered by
+    // `Instant` recency instead of the CLOCK hand's logical tick must be
+    // caught.
+    let src = fixture("r3_cache_wallclock.rs");
+    let v = rules::deterministic_kernel(Path::new("cache.rs"), &src);
+    // `Instant` appears three times (use + field type + now()).
+    assert!(v.len() >= 3, "{v:?}");
+    assert!(v.iter().all(|x| x.rule == "R3"));
+    assert!(v.iter().any(|x| x.message.contains("Instant")));
+}
+
+#[test]
 fn r4_fires_only_on_pub_non_result_panicking_fns() {
     let src = fixture("r4_pub_panic.rs");
     let v = rules::kernel_returns_results(Path::new("r4_pub_panic.rs"), &src);

@@ -62,6 +62,30 @@ assert "point_classified" in kinds, kinds
 print(f"trace OK: {len(lines)} events, {len(kinds)} kinds")
 PYEOF
 
+# Perf-smoke lane: a tiny perf_baseline run must emit the three BENCH_*.json
+# reports, each parseable, with a warm-cache hit rate above zero and the
+# fleet determinism check (baked into the bench itself) passing.
+echo "== perf smoke (cache + fleet flush pool) =="
+PERF_DIR="$(mktemp -d)"
+cargo run -q --release -p seplsm-bench --bin perf_baseline --offline -- \
+  --points 2000 --series 4 --workers 2 --passes 4 \
+  --out-dir "$PERF_DIR" >/dev/null
+python3 - "$PERF_DIR" <<'PYEOF'
+import json, sys, os
+d = sys.argv[1]
+ingest = json.load(open(os.path.join(d, "BENCH_ingest.json")))
+query = json.load(open(os.path.join(d, "BENCH_query.json")))
+compaction = json.load(open(os.path.join(d, "BENCH_compaction.json")))
+assert ingest["deterministic"] is True, ingest
+assert query["cache_on"]["hit_rate"] > 0, query
+assert query["disk_byte_reduction"] > 1, query
+assert compaction["cache"]["invalidated_blocks"] >= 0, compaction
+print(f"perf smoke OK: query hit rate "
+      f"{query['cache_on']['hit_rate']:.2f}, "
+      f"{query['disk_byte_reduction']:.1f}x fewer disk bytes")
+PYEOF
+rm -rf "$PERF_DIR"
+
 # Opt-in undefined-behaviour lane: MIRI=1 scripts/ci.sh runs the kernel's
 # memtable/buffer unit tests under miri when the component is installed.
 # The workspace forbids unsafe code (seplint R2), so this mainly guards the

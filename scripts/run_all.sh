@@ -25,4 +25,5 @@ run table03 --points 200000
 ./target/release/ablation_zeta > $R/ablation_zeta.txt 2>&1
 ./target/release/ablation_block_reads --points 60000 > $R/ablation_block_reads.txt 2>&1
 ./target/release/ablation_tuner > $R/ablation_tuner.txt 2>&1
+./target/release/perf_baseline --points 20000 --series 8 --workers 4 --out-dir $R > $R/perf_baseline.txt 2>&1
 echo ALL-EXPERIMENTS-DONE

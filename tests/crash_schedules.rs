@@ -463,6 +463,102 @@ proptest! {
     }
 }
 
+/// The pooled-flush variant of the fleet crash schedule: with several flush
+/// workers live, a crash during `flush_all` lands on whichever worker's
+/// store/WAL op hits the schedule first — every engine must still be handed
+/// back to the fleet, and recovery must uphold the same contract (synced
+/// prefix survives, nothing is invented) at every crash point.
+#[test]
+fn pooled_flush_crash_schedule_preserves_the_durability_contract() {
+    for crash_at in [6u64, 25, 60, 110, 200] {
+        let dir = TempDir::new(&format!("multi-pool-{crash_at}"));
+        let plan = FaultPlan::crash_at(SEED, crash_at);
+        let pts = workload(WORKLOAD_POINTS);
+        let series_of = |i: usize| (i % 4) as u32;
+        let mut appended: std::collections::HashMap<u32, Vec<i64>> =
+            std::collections::HashMap::new();
+        let mut synced: std::collections::HashMap<u32, usize> =
+            std::collections::HashMap::new();
+        {
+            let store = FileStore::open(dir.path("tables"))
+                .expect("store")
+                .with_faults(Arc::clone(&plan));
+            let mut engine = MultiOpenOptions::new(config())
+                .store(Arc::new(store))
+                .durable_dir(dir.path("meta"))
+                .workers(3)
+                .faults(Arc::clone(&plan))
+                .open()
+                .expect("durable engine");
+            for (i, p) in pts.iter().enumerate() {
+                if engine.append(SeriesId(series_of(i)), *p).is_err() {
+                    break;
+                }
+                appended.entry(series_of(i)).or_default().push(p.gen_time);
+            }
+            if engine.sync_wal_all().is_ok() {
+                for (s, v) in &appended {
+                    synced.insert(*s, v.len());
+                }
+            }
+            // May crash mid-pool; every series engine is retained either
+            // way, and the fleet keeps answering for the survivors.
+            if engine.flush_all().is_err() {
+                assert_eq!(
+                    engine.len(),
+                    appended.len(),
+                    "crash_at {crash_at}: a failed pooled flush lost series"
+                );
+            }
+            // Crash: dropped here.
+        }
+        let store: Arc<dyn TableStore> = Arc::new(
+            FileStore::open(dir.path("tables")).expect("reopen store"),
+        );
+        let (engine, _report) = MultiOpenOptions::new(config())
+            .store(store)
+            .durable_dir(dir.path("meta"))
+            .recovery(RecoveryOptions::strict().with_gc_orphans())
+            .open_or_recover()
+            .expect("strict recovery after pooled-flush crash");
+        engine.check_integrity().expect("integrity audit");
+        for (s, appended) in &appended {
+            let Ok((recovered, _)) =
+                engine.query(SeriesId(*s), TimeRange::new(-100, 2_000))
+            else {
+                assert_eq!(
+                    synced.get(s).copied().unwrap_or(0),
+                    0,
+                    "crash_at {crash_at}: synced series {s} missing"
+                );
+                continue;
+            };
+            let got: HashSet<i64> =
+                recovered.iter().map(|p| p.gen_time).collect();
+            assert_eq!(got.len(), recovered.len(), "duplicates");
+            let synced_len = synced.get(s).copied().unwrap_or(0);
+            for tg in &appended[..synced_len] {
+                assert!(
+                    got.contains(tg),
+                    "crash_at {crash_at}: synced point {tg} lost"
+                );
+            }
+            let attempted: HashSet<i64> = pts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| series_of(*i) == *s)
+                .map(|(_, p)| p.gen_time)
+                .collect();
+            for tg in &got {
+                assert!(
+                    attempted.contains(tg),
+                    "crash_at {crash_at}: recovery invented point {tg}"
+                );
+            }
+        }
+    }
+}
+
 // ------------------------------------------------------------------ Salvage
 
 #[test]
