@@ -7,7 +7,10 @@
 //!   summed metrics must be identical for every worker count).
 //! * `BENCH_query.json` — repeated range queries over a compressed store,
 //!   cache on vs cache off: wall time, disk bytes fetched, blocks decoded
-//!   and the warm hit rate.
+//!   and the warm hit rate. A second, *cold* lane compares v2 whole-file
+//!   reads with v3 ranged reads + pruning filters over the same data and
+//!   reports `cold_query_bytes`, `cold_byte_reduction` and
+//!   `tables_pruned`.
 //! * `BENCH_compaction.json` — an out-of-order merge-heavy ingest whose
 //!   compaction reads run through the cache: write amplification, cache
 //!   traffic and strict invalidation counts.
@@ -24,7 +27,8 @@ use std::time::Instant;
 
 use seplsm_bench::{args, report};
 use seplsm_dist::LogNormal;
-use seplsm_lsm::sstable::RangeRead;
+use seplsm_lsm::sstable::{ByteSpan, RangeRead};
+use seplsm_lsm::store::load_index;
 use seplsm_lsm::{
     BlockCache, EncodeOptions, EngineConfig, LsmEngine, MemStore,
     MultiOpenOptions, MultiSeriesEngine, OpenOptions, SeriesId, SsTableId,
@@ -35,8 +39,9 @@ use seplsm_workload::SyntheticWorkload;
 
 /// A [`MemStore`] that counts the encoded bytes every read fetches, so the
 /// cache lanes can report disk traffic. Whole-table reads (`get`,
-/// `get_range`) charge the full encoded size — without mmap the engine
-/// fetches the whole file even when it decodes only some blocks.
+/// `get_range`) charge the full encoded size — a span-less reader fetches
+/// the whole file even when it decodes only some blocks — while byte-range
+/// reads (`read_span`, the v3 path) charge exactly the bytes returned.
 struct CountingStore {
     inner: MemStore,
     bytes_read: AtomicU64,
@@ -92,6 +97,36 @@ impl TableStore for CountingStore {
                 .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         }
         Ok(raw)
+    }
+
+    fn table_len(&self, id: SsTableId) -> Result<Option<u64>> {
+        self.inner.table_len(id)
+    }
+
+    fn read_span(
+        &self,
+        id: SsTableId,
+        span: ByteSpan,
+    ) -> Result<Option<bytes::Bytes>> {
+        let got = self.inner.read_span(id, span)?;
+        if let Some(bytes) = &got {
+            self.bytes_read
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        }
+        Ok(got)
+    }
+
+    fn may_contain(
+        &self,
+        id: SsTableId,
+        range: TimeRange,
+    ) -> Result<Option<bool>> {
+        // Route the metadata loads through `self` so the footer/index/filter
+        // bytes a pruning decision costs show up in the byte counter too.
+        match load_index(self, id)? {
+            Some((index, _)) => Ok(Some(index.may_contain(range))),
+            None => Ok(None),
+        }
     }
 }
 
@@ -265,6 +300,67 @@ fn query_lane(
     }))
 }
 
+/// Lane 2b: one *cold* query pass over the same data stored as v2
+/// (compressed blocks, whole-file reads) and as v3 (pruned layout, ranged
+/// reads + filter block). The cache is emptied after ingest, so every
+/// table visit pays its true disk cost: v2 fetches whole files even to
+/// decide a table is irrelevant, v3 fetches a few hundred metadata bytes
+/// and prunes most tables without touching a data block.
+fn cold_lane(
+    points: usize,
+    cache_points: usize,
+    seed: u64,
+) -> Result<serde_json::Value> {
+    let run = |options: EncodeOptions| -> Result<(u64, u64)> {
+        let store = Arc::new(CountingStore::new(options));
+        let cache = BlockCache::with_capacity(cache_points);
+        let mut engine = OpenOptions::new(
+            EngineConfig::conventional(256)
+                .with_sstable_points(256)
+                .with_block_reads(),
+        )
+        .store(Arc::clone(&store) as Arc<dyn TableStore>)
+        .cache(Arc::clone(&cache))
+        .open()?;
+        for p in dataset(points, seed) {
+            engine.append(p)?;
+        }
+        engine.flush_all()?;
+        // Drop whatever ingest-time compaction reads warmed: this lane
+        // measures a genuinely cold query path.
+        for id in store.list()? {
+            cache.invalidate_table(id);
+        }
+        let baseline = store.bytes_read();
+        let span = 50 * points as i64;
+        let mut pruned = 0u64;
+        // One narrow window plus point probes at offsets that fall between
+        // generation times: v3 clears most tables on metadata alone.
+        let (_, stats) =
+            engine.query(TimeRange::new(span / 2, span / 2 + span / 64))?;
+        pruned += stats.tables_pruned;
+        for i in 0..16 {
+            let at = i * span / 16 + 7;
+            let (_, stats) = engine.query(TimeRange::new(at, at))?;
+            pruned += stats.tables_pruned;
+        }
+        Ok((store.bytes_read() - baseline, pruned))
+    };
+
+    let (v2_bytes, _) = run(EncodeOptions::compressed())?;
+    let (v3_bytes, pruned) = run(EncodeOptions::pruned())?;
+    let reduction = v2_bytes as f64 / v3_bytes.max(1) as f64;
+    println!(
+        "cold query: v2 {v2_bytes} B whole-file vs v3 {v3_bytes} B ranged \
+         ({reduction:.1}x fewer bytes), {pruned} tables pruned"
+    );
+    Ok(serde_json::json!({
+        "cold_query_bytes": { "v2": v2_bytes, "v3": v3_bytes },
+        "cold_byte_reduction": reduction,
+        "tables_pruned": pruned,
+    }))
+}
+
 /// Lane 3: a merge-heavy out-of-order ingest (small buffers, small tables)
 /// with a trailing-window query every 1000 points — the monitoring-dashboard
 /// shape. Queries and compaction reads share the cache, and each compaction
@@ -335,6 +431,20 @@ fn compaction_lane(
     }))
 }
 
+/// Folds `b`'s top-level fields into `a` (both must be JSON objects).
+fn merge_objects(
+    a: serde_json::Value,
+    b: serde_json::Value,
+) -> serde_json::Value {
+    match (a, b) {
+        (serde_json::Value::Object(mut a), serde_json::Value::Object(b)) => {
+            a.extend(b);
+            serde_json::Value::Object(a)
+        }
+        (a, _) => a,
+    }
+}
+
 fn main() -> Result<()> {
     let points: usize = args::flag_or("points", 5_000);
     let series: u32 = args::flag_or("series", 8);
@@ -346,7 +456,10 @@ fn main() -> Result<()> {
 
     report::banner("perf baseline: cache + fleet flush pool");
     let ingest = ingest_lane(points, series, workers, seed)?;
-    let query = query_lane(points, passes, cache_points, seed)?;
+    let query = merge_objects(
+        query_lane(points, passes, cache_points, seed)?,
+        cold_lane(points, cache_points, seed)?,
+    );
     let compaction = compaction_lane(points, cache_points, seed)?;
 
     for (name, value) in [

@@ -1028,6 +1028,13 @@ impl TieredEngine {
             if !meta.range.overlaps(&range) {
                 continue;
             }
+            // Pruning metadata (v3 filter block) can clear a table without
+            // reading its data blocks; `Some(false)` is definitive.
+            if self.store.may_contain(meta.id, range)? == Some(false) {
+                stats.tables_pruned += 1;
+                self.obs.emit(|| Event::TablePruned { table: meta.id.0 });
+                continue;
+            }
             let table_points = self.store.get(meta.id)?;
             stats.tables_read += 1;
             stats.disk_points_scanned += table_points.len() as u64;
@@ -1039,6 +1046,11 @@ impl TieredEngine {
             );
         }
         for meta in state.version.run().overlapping(range) {
+            if self.store.may_contain(meta.id, range)? == Some(false) {
+                stats.tables_pruned += 1;
+                self.obs.emit(|| Event::TablePruned { table: meta.id.0 });
+                continue;
+            }
             let table_points = self.store.get(meta.id)?;
             stats.tables_read += 1;
             stats.disk_points_scanned += table_points.len() as u64;

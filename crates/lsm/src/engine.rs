@@ -938,6 +938,14 @@ impl LsmEngine {
         stats.mem_points_scanned +=
             sources.iter().map(|s| s.len() as u64).sum::<u64>();
         for meta in self.version.run().overlapping(range) {
+            // v3 tables carry a pruning filter the store can consult from
+            // metadata alone; `Some(false)` is definitive, so the table is
+            // skipped without paying a seek or touching a data block.
+            if self.store.may_contain(meta.id, range)? == Some(false) {
+                stats.tables_pruned += 1;
+                self.obs.emit(|| Event::TablePruned { table: meta.id.0 });
+                continue;
+            }
             stats.tables_read += 1;
             if self.config.block_reads {
                 let read = self.store.get_range(meta.id, range)?;
@@ -979,6 +987,10 @@ impl LsmEngine {
         let Some(meta) = self.version.run().table_containing(gen_time) else {
             return Ok(None);
         };
+        if self.store.may_contain(meta.id, point_range)? == Some(false) {
+            self.obs.emit(|| Event::TablePruned { table: meta.id.0 });
+            return Ok(None);
+        }
         let read = self.store.get_range(meta.id, point_range)?;
         Ok(read.points.into_iter().next())
     }

@@ -350,6 +350,32 @@ impl<S: TableStore> TableStore for FaultStore<S> {
         self.inner.read_raw(id)
     }
 
+    fn table_len(&self, id: SsTableId) -> Result<Option<u64>> {
+        self.plan.begin(IoOp::StoreRead)?;
+        self.inner.table_len(id)
+    }
+
+    fn read_span(
+        &self,
+        id: SsTableId,
+        span: crate::sstable::format::ByteSpan,
+    ) -> Result<Option<bytes::Bytes>> {
+        self.plan.begin(IoOp::StoreRead)?;
+        self.inner.read_span(id, span)
+    }
+
+    fn may_contain(
+        &self,
+        id: SsTableId,
+        range: TimeRange,
+    ) -> Result<Option<bool>> {
+        // One coarse op: the pruning-metadata read. A crashed plan must
+        // refuse it, or a post-crash query could silently "prune" tables
+        // it can no longer read.
+        self.plan.begin(IoOp::StoreRead)?;
+        self.inner.may_contain(id, range)
+    }
+
     fn quarantine(&self, id: SsTableId) -> Result<()> {
         self.plan.begin(IoOp::StoreDelete)?;
         self.inner.quarantine(id)

@@ -114,6 +114,7 @@ pub fn probe_table(
     store: &dyn TableStore,
     meta: &crate::sstable::SsTableMeta,
 ) -> Result<()> {
+    probe_v3_layout(store, meta)?;
     let points = store.get(meta.id)?;
     if points.len() as u64 != u64::from(meta.count) {
         return Err(corrupt(format!(
@@ -136,6 +137,60 @@ pub fn probe_table(
             meta.range.end
         )));
     }
+    Ok(())
+}
+
+/// Checks a v3 table's self-describing layout before the full decode: a
+/// file that *starts* as v3 (header magic + version) but whose tail is not
+/// a valid footer is a torn write — the writer crashed after the data
+/// region hit disk but before the footer did. Naming that precisely beats
+/// the generic CRC error the full decode would raise. Stores without
+/// byte-range reads (spans unsupported) skip straight to the full decode,
+/// which still catches every torn layout, just with a coarser message.
+fn probe_v3_layout(
+    store: &dyn TableStore,
+    meta: &crate::sstable::SsTableMeta,
+) -> Result<()> {
+    use crate::sstable::format::{
+        parse_v3_footer, sniff_version, ByteSpan, V3_FOOTER, VERSION_PRUNED,
+    };
+    let Some(len) = store.table_len(meta.id)? else {
+        return Ok(());
+    };
+    let head_len = len.min(6);
+    let Some(head) = store.read_span(
+        meta.id,
+        ByteSpan {
+            offset: 0,
+            len: head_len,
+        },
+    )?
+    else {
+        return Ok(());
+    };
+    if sniff_version(&head) != Some(VERSION_PRUNED) {
+        return Ok(());
+    }
+    let footer_len = V3_FOOTER as u64;
+    if len < footer_len {
+        return Err(corrupt(format!(
+            "table {} is a torn v3 write: {len} bytes is too short \
+             for a footer",
+            meta.id
+        )));
+    }
+    let tail = store
+        .read_span(
+            meta.id,
+            ByteSpan {
+                offset: len - footer_len,
+                len: footer_len,
+            },
+        )?
+        .ok_or_else(|| corrupt("store lost span support mid-probe"))?;
+    parse_v3_footer(&tail).map_err(|e| {
+        corrupt(format!("table {} is a torn v3 write: {e}", meta.id))
+    })?;
     Ok(())
 }
 

@@ -294,10 +294,16 @@ pub enum Event {
         /// Decoded points the eviction released.
         points: u64,
     },
+    /// Query planning skipped a table on pruning metadata alone (index
+    /// bounds / v3 bloom filter): no data blocks touched, no seek paid.
+    TablePruned {
+        /// The pruned table.
+        table: u64,
+    },
 }
 
 /// Number of distinct [`Event`] kinds (for fixed-size counter registries).
-pub const EVENT_KINDS: usize = 18;
+pub const EVENT_KINDS: usize = 19;
 
 impl Event {
     /// Stable event-kind name, used as the JSONL `event` field and the
@@ -322,6 +328,7 @@ impl Event {
             Self::CacheHit { .. } => "cache_hit",
             Self::CacheMiss { .. } => "cache_miss",
             Self::CacheEvict { .. } => "cache_evict",
+            Self::TablePruned { .. } => "table_pruned",
         }
     }
 
@@ -346,6 +353,7 @@ impl Event {
             Self::CacheHit { .. } => 15,
             Self::CacheMiss { .. } => 16,
             Self::CacheEvict { .. } => 17,
+            Self::TablePruned { .. } => 18,
         }
     }
 
@@ -370,6 +378,7 @@ impl Event {
             "cache_hit",
             "cache_miss",
             "cache_evict",
+            "table_pruned",
         ];
         NAMES.get(k).copied().unwrap_or("unknown")
     }
@@ -433,7 +442,7 @@ impl Event {
                     step.name()
                 );
             }
-            Self::Quarantine { table } => {
+            Self::Quarantine { table } | Self::TablePruned { table } => {
                 let _ = write!(out, ",\"table\":{table}");
             }
             Self::DegradedTransition { state } => {
@@ -1022,6 +1031,7 @@ mod tests {
                 block: 0,
                 points: 0,
             },
+            Event::TablePruned { table: 0 },
         ];
         assert_eq!(samples.len(), EVENT_KINDS);
         for (i, e) in samples.iter().enumerate() {

@@ -21,6 +21,10 @@ pub struct QueryStats {
     pub mem_points_scanned: u64,
     /// Points in the final result set.
     pub points_returned: u64,
+    /// Tables skipped by the pruning filter (v3): their range intersected
+    /// the query but index/filter metadata proved them empty of matches, so
+    /// no data blocks were touched and no seek was paid.
+    pub tables_pruned: u64,
 }
 
 impl QueryStats {
@@ -42,6 +46,7 @@ impl QueryStats {
         self.blocks_read += other.blocks_read;
         self.mem_points_scanned += other.mem_points_scanned;
         self.points_returned += other.points_returned;
+        self.tables_pruned += other.tables_pruned;
     }
 }
 

@@ -292,6 +292,43 @@ mod tests {
     }
 
     #[test]
+    fn torn_v3_write_is_quarantined_with_a_precise_reason() {
+        use crate::store::FileStore;
+        let dir = std::env::temp_dir().join(format!(
+            "seplsm-recovery-torn-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let store = FileStore::open(&dir).expect("open");
+        let points: Vec<DataPoint> =
+            (0..64).map(|i| DataPoint::new(i, i, i as f64)).collect();
+        let (meta, size) = store.put(&points).expect("put");
+        // Tear the file: the data region reached disk, the footer did not.
+        let path = dir.join(format!("{:08}.sst", meta.id.0));
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .expect("reopen table");
+        file.set_len(size as u64 - 10).expect("truncate");
+        let mut report = RecoveryReport::default();
+        let survivors = salvage_tables(
+            &store,
+            vec![meta],
+            &mut report,
+            &ObserverHandle::detached(),
+        )
+        .expect("salvage");
+        assert!(survivors.is_empty());
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(
+            report.quarantined[0].reason.contains("torn v3 write"),
+            "probe must name the torn footer, got: {}",
+            report.quarantined[0].reason
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn gc_removes_only_unreferenced_tables() {
         let store = MemStore::new();
         let live_meta = stored(&store, 0..5);

@@ -32,6 +32,37 @@
 //! ([`decode_range`]): a range query only decodes (and accounts for) the
 //! blocks its range overlaps — IoTDB's chunk-read behaviour at a finer
 //! granularity (see the `ablation_block_reads` bench).
+//!
+//! **Version 3** — the default: compressed blocks with a *trailing* index,
+//! per-block `min/max/sum` pre-aggregates, a per-table pruning filter
+//! ([`super::filter::TableFilter`]) and a fixed footer, so a reader that
+//! can serve byte ranges never has to touch the data region to plan a
+//! query (AeternusDB-style: header first, footer last, no backward
+//! seeking while writing):
+//!
+//! ```text
+//! +--------------+-----------+------------+--------------+-----------+--------+
+//! | header (36B) | blocks…   | index blk  | filter blk   | metaindex | footer |
+//! +--------------+-----------+------------+--------------+-----------+--------+
+//! header    = magic "SLSM" | version=3 u16 | flags u16 | count u32
+//!             | min_tg i64 | max_tg i64 | block_points u32 | header_crc u32
+//! block     = delta-of-delta timestamps ++ delta-of-delta delays
+//!             ++ Gorilla XOR values ++ block_crc u32        (same as v2)
+//! index blk = count u32 | min_tg i64 | max_tg i64 | block_count u32
+//!             | per block: first i64, last i64, count u32, offset u32,
+//!               len u32, min_val f64, max_val f64, sum f64  | index_crc u32
+//! filterblk = TableFilter wire format (own CRC)
+//! metaindex = index_off u64 | index_len u32 | filter_off u64
+//!             | filter_len u32 | metaindex_crc u32           (28 bytes)
+//! footer    = metaindex_off u64 | metaindex_len u32 | footer_crc u32
+//!             | magic "SL3F"                                 (20 bytes)
+//! ```
+//!
+//! A reader locates everything from the last 20 bytes: footer → metaindex
+//! → index + filter ([`parse_v3_footer`], [`parse_v3_metaindex`],
+//! [`parse_v3_index`]). Every region carries its own CRC (there is no
+//! whole-file CRC — that would force whole-file reads), so a torn write
+//! that loses the tail is detected by the missing footer magic.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use seplsm_types::{DataPoint, Error, Result, TimeRange};
@@ -41,20 +72,27 @@ use crate::codec;
 use super::bits::{BitReader, BitWriter};
 use super::compress::{decode_f64s, decode_i64s, encode_f64s, encode_i64s};
 use super::crc32::crc32;
+use super::filter::TableFilter;
 use super::varint::{get_ivarint, get_uvarint, put_ivarint, put_uvarint};
 
 const MAGIC: &[u8; 4] = b"SLSM";
 const VERSION: u16 = 1;
 const VERSION_BLOCKS: u16 = 2;
+/// On-disk version tag of the pruned (v3) layout; what
+/// [`sniff_version`] returns for tables carrying a filter block.
+pub const VERSION_PRUNED: u16 = 3;
 
 /// Record encoding used when building an SSTable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Compression {
     /// Version-1 flat varint records.
-    #[default]
     None,
     /// Version-2 compressed blocks (delta-of-delta + Gorilla XOR).
     TimeSeries,
+    /// Version-3 (the default): compressed blocks plus a trailing
+    /// pre-aggregate index, pruning filter and footer.
+    #[default]
+    Pruned,
 }
 
 /// SSTable build options.
@@ -69,17 +107,34 @@ pub struct EncodeOptions {
 impl Default for EncodeOptions {
     fn default() -> Self {
         Self {
-            compression: Compression::None,
+            compression: Compression::Pruned,
             block_points: 128,
         }
     }
 }
 
 impl EncodeOptions {
+    /// The v1 flat record format (kept reachable for compat tests).
+    pub fn flat() -> Self {
+        Self {
+            compression: Compression::None,
+            block_points: 128,
+        }
+    }
+
     /// The v2 compressed-block format with the default 128-point blocks.
     pub fn compressed() -> Self {
         Self {
             compression: Compression::TimeSeries,
+            block_points: 128,
+        }
+    }
+
+    /// The v3 pruned format (index aggregates + filter + footer) — the
+    /// default, spelled out for tests that contrast versions.
+    pub fn pruned() -> Self {
+        Self {
+            compression: Compression::Pruned,
             block_points: 128,
         }
     }
@@ -128,6 +183,7 @@ pub fn encode_with(
         Compression::TimeSeries => {
             encode_v2(points, options.block_points.max(1))
         }
+        Compression::Pruned => encode_v3(points, options.block_points.max(1)),
     }
 }
 
@@ -185,6 +241,11 @@ pub fn encode(points: &[DataPoint]) -> Result<Bytes> {
 pub fn decode(data: &[u8]) -> Result<Vec<DataPoint>> {
     const HEADER: usize = 4 + 2 + 2 + 4 + 8 + 8;
     const FOOTER: usize = 4;
+    // v3 carries per-region CRCs and a trailing footer instead of a
+    // whole-file CRC, so it must be sniffed before the v1/v2 CRC check.
+    if sniff_version(data) == Some(VERSION_PRUNED) {
+        return decode_v3_full(data);
+    }
     if data.len() < HEADER + FOOTER {
         return Err(Error::Corrupt(format!(
             "SSTable too short: {} bytes",
@@ -264,15 +325,19 @@ const V2_FIXED: usize = 36;
 /// v2 index entry: first(8) + last(8) + count(4) + offset(4) + len(4).
 const V2_INDEX_ENTRY: usize = 28;
 
-fn encode_v2(points: &[DataPoint], block_points: usize) -> Result<Bytes> {
-    validate_input(points)?;
+/// One compressed block under construction, shared by the v2 and v3
+/// encoders (v2 drops the aggregates on the floor).
+struct BlockBuild {
+    first: i64,
+    last: i64,
+    count: u32,
+    agg: BlockAggregates,
+    payload: Vec<u8>,
+}
 
-    struct BlockBuild {
-        first: i64,
-        last: i64,
-        count: u32,
-        payload: Vec<u8>,
-    }
+/// Chunks `points` into compressed blocks of at most `block_points` each
+/// (delta-of-delta timestamps/delays + Gorilla values + block CRC).
+fn build_blocks(points: &[DataPoint], block_points: usize) -> Vec<BlockBuild> {
     let mut blocks = Vec::new();
     for chunk in points.chunks(block_points) {
         let tgs: Vec<i64> = chunk.iter().map(|p| p.gen_time).collect();
@@ -289,9 +354,20 @@ fn encode_v2(points: &[DataPoint], block_points: usize) -> Result<Bytes> {
             first: tgs[0],
             last: tgs[tgs.len() - 1],
             count: chunk.len() as u32,
+            agg: block_aggregates(chunk).unwrap_or(BlockAggregates {
+                min: 0.0,
+                max: 0.0,
+                sum: 0.0,
+            }),
             payload,
         });
     }
+    blocks
+}
+
+fn encode_v2(points: &[DataPoint], block_points: usize) -> Result<Bytes> {
+    validate_input(points)?;
+    let blocks = build_blocks(points, block_points);
 
     let index_len = blocks.len() * V2_INDEX_ENTRY;
     let data_len: usize = blocks.iter().map(|b| b.payload.len()).sum();
@@ -404,6 +480,44 @@ fn parse_v2_header(data: &[u8]) -> Result<V2Header> {
     })
 }
 
+/// Decodes one compressed block given exactly its bytes
+/// (`payload ++ crc32`), shared by the v2 and v3 formats.
+fn decode_block_common(
+    block: &[u8],
+    first: i64,
+    last: i64,
+    count: u32,
+) -> Result<Vec<DataPoint>> {
+    if block.len() < 4 {
+        return Err(Error::Corrupt("block too short".into()));
+    }
+    let (payload, crc_bytes) = block.split_at(block.len() - 4);
+    let stored = codec::read_u32_le(crc_bytes, 0)?;
+    let actual = crc32(payload);
+    if stored != actual {
+        return Err(Error::Corrupt(format!(
+            "block CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    let count = count as usize;
+    let mut reader = BitReader::new(payload);
+    let tgs = decode_i64s(&mut reader, count)?;
+    let delays = decode_i64s(&mut reader, count)?;
+    let values = decode_f64s(&mut reader, count)?;
+    let mut points = Vec::with_capacity(count);
+    for i in 0..count {
+        points.push(DataPoint::with_delay(tgs[i], delays[i], values[i]));
+    }
+    if points.first().map(|p| p.gen_time) != Some(first)
+        || points.last().map(|p| p.gen_time) != Some(last)
+    {
+        return Err(Error::Corrupt(
+            "block contents disagree with index entry".into(),
+        ));
+    }
+    Ok(points)
+}
+
 /// Decodes one v2 block (verifying its CRC).
 fn decode_v2_block(
     data: &[u8],
@@ -416,35 +530,7 @@ fn decode_v2_block(
     if end > data.len().saturating_sub(4) {
         return Err(Error::Corrupt("v2 block extends past file".into()));
     }
-    let block = &data[start..end];
-    if block.len() < 4 {
-        return Err(Error::Corrupt("v2 block too short".into()));
-    }
-    let (payload, crc_bytes) = block.split_at(block.len() - 4);
-    let stored = codec::read_u32_le(crc_bytes, 0)?;
-    let actual = crc32(payload);
-    if stored != actual {
-        return Err(Error::Corrupt(format!(
-            "v2 block CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
-        )));
-    }
-    let count = entry.count as usize;
-    let mut reader = BitReader::new(payload);
-    let tgs = decode_i64s(&mut reader, count)?;
-    let delays = decode_i64s(&mut reader, count)?;
-    let values = decode_f64s(&mut reader, count)?;
-    let mut points = Vec::with_capacity(count);
-    for i in 0..count {
-        points.push(DataPoint::with_delay(tgs[i], delays[i], values[i]));
-    }
-    if points.first().map(|p| p.gen_time) != Some(entry.first)
-        || points.last().map(|p| p.gen_time) != Some(entry.last)
-    {
-        return Err(Error::Corrupt(
-            "v2 block contents disagree with index entry".into(),
-        ));
-    }
-    Ok(points)
+    decode_block_common(&data[start..end], entry.first, entry.last, entry.count)
 }
 
 /// Full decode of a v2 SSTable (called from [`decode`] after the file CRC
@@ -478,9 +564,408 @@ fn decode_v2_full(data: &[u8]) -> Result<Vec<DataPoint>> {
     Ok(points)
 }
 
+/// v3 fixed header: magic(4) + version(2) + flags(2) + count(4) + min(8) +
+/// max(8) + block_points(4) + header_crc(4).
+const V3_FIXED: usize = 36;
+/// v3 index entry: first(8) + last(8) + count(4) + offset(4) + len(4) +
+/// min_val(8) + max_val(8) + sum(8).
+const V3_INDEX_ENTRY: usize = 52;
+/// v3 index block prefix: count(4) + min_tg(8) + max_tg(8) + block_count(4).
+const V3_INDEX_FIXED: usize = 24;
+/// v3 metaindex block: index span (8+4) + filter span (8+4) + crc(4).
+pub const V3_METAINDEX: usize = 28;
+/// v3 footer: metaindex_off(8) + metaindex_len(4) + crc(4) + magic(4).
+pub const V3_FOOTER: usize = 20;
+const FOOTER_MAGIC: &[u8; 4] = b"SL3F";
+
+/// A byte range within an encoded table — the unit of the store's ranged
+/// reads (`TableStore::read_span`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ByteSpan {
+    /// Absolute byte offset from the start of the table file.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl ByteSpan {
+    /// The byte range one past the end of this span.
+    pub fn end(&self) -> u64 {
+        self.offset.saturating_add(self.len)
+    }
+}
+
+/// Per-block value pre-aggregates stored in the v3 index, following the
+/// HTAP-pushdown layout: an aggregate query (or audit) over whole blocks
+/// never decodes them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockAggregates {
+    /// Smallest value in the block (`f64::min` fold).
+    pub min: f64,
+    /// Largest value in the block (`f64::max` fold).
+    pub max: f64,
+    /// Sum of the block's values (in-order fold, so it is deterministic).
+    pub sum: f64,
+}
+
+impl BlockAggregates {
+    /// Bitwise equality — the audit's comparison, exact even for NaN and
+    /// signed zero.
+    pub fn bits_eq(&self, other: &Self) -> bool {
+        self.min.to_bits() == other.min.to_bits()
+            && self.max.to_bits() == other.max.to_bits()
+            && self.sum.to_bits() == other.sum.to_bits()
+    }
+}
+
+/// Computes the aggregates the v3 encoder stores for `points` (`None` for
+/// an empty slice). The audit recomputes with this exact fold and compares
+/// bitwise.
+pub fn block_aggregates(points: &[DataPoint]) -> Option<BlockAggregates> {
+    let (first, rest) = points.split_first()?;
+    let mut agg = BlockAggregates {
+        min: first.value,
+        max: first.value,
+        sum: first.value,
+    };
+    for p in rest {
+        agg.min = agg.min.min(p.value);
+        agg.max = agg.max.max(p.value);
+        agg.sum += p.value;
+    }
+    Some(agg)
+}
+
+/// Returns the format version if `data` starts with a plausible SSTable
+/// header, without validating anything else.
+pub fn sniff_version(data: &[u8]) -> Option<u16> {
+    if data.len() < 6 || &data[..4] != MAGIC {
+        return None;
+    }
+    codec::read_u16_le(data, 4).ok()
+}
+
+fn encode_v3(points: &[DataPoint], block_points: usize) -> Result<Bytes> {
+    validate_input(points)?;
+    let blocks = build_blocks(points, block_points);
+    let gen_times: Vec<i64> = points.iter().map(|p| p.gen_time).collect();
+    let filter = TableFilter::build(&gen_times)?;
+
+    let data_len: usize = blocks.iter().map(|b| b.payload.len()).sum();
+    let index_len = V3_INDEX_FIXED + blocks.len() * V3_INDEX_ENTRY + 4;
+    let mut buf = BytesMut::with_capacity(
+        V3_FIXED
+            + data_len
+            + index_len
+            + filter.encoded_len()
+            + V3_METAINDEX
+            + V3_FOOTER,
+    );
+
+    // Fixed header.
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION_PRUNED);
+    buf.put_u16_le(1); // flags: compressed
+    buf.put_u32_le(points.len() as u32);
+    buf.put_i64_le(points[0].gen_time);
+    buf.put_i64_le(points[points.len() - 1].gen_time);
+    buf.put_u32_le(block_points as u32);
+    let header_crc = crc32(&buf);
+    buf.put_u32_le(header_crc);
+    debug_assert_eq!(buf.len(), V3_FIXED);
+
+    // Data blocks.
+    for b in &blocks {
+        buf.put_slice(&b.payload);
+    }
+
+    // Index block (self-contained: repeats count/min/max so a ranged
+    // reader never needs the header).
+    let index_off = buf.len();
+    buf.put_u32_le(points.len() as u32);
+    buf.put_i64_le(points[0].gen_time);
+    buf.put_i64_le(points[points.len() - 1].gen_time);
+    buf.put_u32_le(blocks.len() as u32);
+    let mut offset = 0u32;
+    for b in &blocks {
+        buf.put_i64_le(b.first);
+        buf.put_i64_le(b.last);
+        buf.put_u32_le(b.count);
+        buf.put_u32_le(offset);
+        buf.put_u32_le(b.payload.len() as u32);
+        buf.put_u64_le(b.agg.min.to_bits());
+        buf.put_u64_le(b.agg.max.to_bits());
+        buf.put_u64_le(b.agg.sum.to_bits());
+        offset += b.payload.len() as u32;
+    }
+    let index_crc = crc32(&buf[index_off..]);
+    buf.put_u32_le(index_crc);
+    let index_len = buf.len() - index_off;
+
+    // Filter block.
+    let filter_off = buf.len();
+    filter.encode_into(&mut buf);
+    let filter_len = buf.len() - filter_off;
+
+    // Metaindex.
+    let meta_off = buf.len();
+    buf.put_u64_le(index_off as u64);
+    buf.put_u32_le(index_len as u32);
+    buf.put_u64_le(filter_off as u64);
+    buf.put_u32_le(filter_len as u32);
+    let meta_crc = crc32(&buf[meta_off..]);
+    buf.put_u32_le(meta_crc);
+
+    // Footer.
+    let footer_off = buf.len();
+    buf.put_u64_le(meta_off as u64);
+    buf.put_u32_le(V3_METAINDEX as u32);
+    let footer_crc = crc32(&buf[footer_off..]);
+    buf.put_u32_le(footer_crc);
+    buf.put_slice(FOOTER_MAGIC);
+    Ok(buf.freeze())
+}
+
+/// Parses and validates a v3 footer from `tail`, the *last* bytes of a
+/// table file (at least [`V3_FOOTER`] of them), returning the metaindex
+/// span. This is the crash-recovery probe: a torn v3 write fails here.
+///
+/// # Errors
+/// [`Error::Corrupt`] on truncation, bad footer magic, or CRC mismatch.
+pub fn parse_v3_footer(tail: &[u8]) -> Result<ByteSpan> {
+    if tail.len() < V3_FOOTER {
+        return Err(Error::Corrupt(format!(
+            "v3 footer needs {V3_FOOTER} bytes, have {}",
+            tail.len()
+        )));
+    }
+    let f = &tail[tail.len() - V3_FOOTER..];
+    if &f[V3_FOOTER - 4..] != FOOTER_MAGIC {
+        return Err(Error::Corrupt("missing v3 footer magic".into()));
+    }
+    let stored = codec::read_u32_le(f, 12)?;
+    let actual = crc32(&f[..12]);
+    if stored != actual {
+        return Err(Error::Corrupt(format!(
+            "v3 footer CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    Ok(ByteSpan {
+        offset: codec::read_u64_le(f, 0)?,
+        len: u64::from(codec::read_u32_le(f, 8)?),
+    })
+}
+
+/// Parses and validates a v3 metaindex block (exactly [`V3_METAINDEX`]
+/// bytes), returning the `(index, filter)` spans.
+///
+/// # Errors
+/// [`Error::Corrupt`] on truncation or CRC mismatch.
+pub fn parse_v3_metaindex(bytes: &[u8]) -> Result<(ByteSpan, ByteSpan)> {
+    if bytes.len() != V3_METAINDEX {
+        return Err(Error::Corrupt(format!(
+            "v3 metaindex is {V3_METAINDEX} bytes, have {}",
+            bytes.len()
+        )));
+    }
+    let stored = codec::read_u32_le(bytes, V3_METAINDEX - 4)?;
+    let actual = crc32(&bytes[..V3_METAINDEX - 4]);
+    if stored != actual {
+        return Err(Error::Corrupt(format!(
+            "v3 metaindex CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    let index = ByteSpan {
+        offset: codec::read_u64_le(bytes, 0)?,
+        len: u64::from(codec::read_u32_le(bytes, 8)?),
+    };
+    let filter = ByteSpan {
+        offset: codec::read_u64_le(bytes, 12)?,
+        len: u64::from(codec::read_u32_le(bytes, 20)?),
+    };
+    Ok((index, filter))
+}
+
+/// Parses and validates a v3 index block (exactly the bytes named by the
+/// metaindex), returning a [`TableIndex`] with `filter: None` — the caller
+/// attaches the filter it decoded from the filter block.
+///
+/// # Errors
+/// [`Error::Corrupt`] on truncation, CRC mismatch, or inconsistent counts.
+pub fn parse_v3_index(bytes: &[u8]) -> Result<TableIndex> {
+    if bytes.len() < V3_INDEX_FIXED + 4 {
+        return Err(Error::Corrupt("v3 index block too short".into()));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = codec::read_u32_le(crc_bytes, 0)?;
+    let actual = crc32(body);
+    if stored != actual {
+        return Err(Error::Corrupt(format!(
+            "v3 index CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    let count = codec::read_u32_le(body, 0)? as usize;
+    let min_tg = codec::read_i64_le(body, 4)?;
+    let max_tg = codec::read_i64_le(body, 12)?;
+    let block_count = codec::read_u32_le(body, 20)? as usize;
+    if body.len() != V3_INDEX_FIXED + block_count * V3_INDEX_ENTRY {
+        return Err(Error::Corrupt(format!(
+            "v3 index length {} disagrees with {block_count} blocks",
+            bytes.len()
+        )));
+    }
+    let mut blocks = Vec::with_capacity(block_count);
+    let mut total: u64 = 0;
+    for i in 0..block_count {
+        let at = V3_INDEX_FIXED + i * V3_INDEX_ENTRY;
+        let span = BlockSpan {
+            first: codec::read_i64_le(body, at)?,
+            last: codec::read_i64_le(body, at + 8)?,
+            count: codec::read_u32_le(body, at + 16)?,
+            offset: codec::read_u32_le(body, at + 20)?,
+            len: codec::read_u32_le(body, at + 24)?,
+            agg: Some(BlockAggregates {
+                min: f64::from_bits(codec::read_u64_le(body, at + 28)?),
+                max: f64::from_bits(codec::read_u64_le(body, at + 36)?),
+                sum: f64::from_bits(codec::read_u64_le(body, at + 44)?),
+            }),
+        };
+        total += u64::from(span.count);
+        blocks.push(span);
+    }
+    if total != count as u64 || count == 0 || min_tg > max_tg {
+        return Err(Error::Corrupt(format!(
+            "v3 block counts sum to {total}, index says {count}"
+        )));
+    }
+    Ok(TableIndex {
+        count,
+        min_tg,
+        max_tg,
+        blocks,
+        version: VERSION_PRUNED,
+        data_start: V3_FIXED,
+        filter: None,
+    })
+}
+
+/// Parses a whole in-memory v3 table into a [`TableIndex`] (header CRC,
+/// footer, metaindex, index and filter all validated; data blocks are not
+/// touched).
+fn parse_v3(data: &[u8]) -> Result<TableIndex> {
+    if data.len() < V3_FIXED + V3_FOOTER {
+        return Err(Error::Corrupt(format!(
+            "v3 SSTable too short: {} bytes",
+            data.len()
+        )));
+    }
+    let stored = codec::read_u32_le(data, V3_FIXED - 4)?;
+    let actual = crc32(&data[..V3_FIXED - 4]);
+    if stored != actual {
+        return Err(Error::Corrupt(format!(
+            "v3 header CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    let meta_span = parse_v3_footer(data)?;
+    let len = data.len() as u64;
+    let tail_start = len - V3_FOOTER as u64;
+    if meta_span.offset < V3_FIXED as u64 || meta_span.end() > tail_start {
+        return Err(Error::Corrupt("v3 metaindex span out of bounds".into()));
+    }
+    let (index_span, filter_span) = parse_v3_metaindex(
+        &data[meta_span.offset as usize..meta_span.end() as usize],
+    )?;
+    for span in [index_span, filter_span] {
+        if span.offset < V3_FIXED as u64 || span.end() > meta_span.offset {
+            return Err(Error::Corrupt("v3 block span out of bounds".into()));
+        }
+    }
+    let mut index = parse_v3_index(
+        &data[index_span.offset as usize..index_span.end() as usize],
+    )?;
+    let filter = TableFilter::decode(
+        &data[filter_span.offset as usize..filter_span.end() as usize],
+    )?;
+    // Cross-check the redundant copies: header vs index vs filter.
+    let hdr_count = codec::read_u32_le(data, 8)? as usize;
+    let hdr_min = codec::read_i64_le(data, 12)?;
+    let hdr_max = codec::read_i64_le(data, 20)?;
+    if hdr_count != index.count
+        || hdr_min != index.min_tg
+        || hdr_max != index.max_tg
+        || filter.min_tg() != index.min_tg
+        || filter.max_tg() != index.max_tg
+        || filter.count() as usize != index.count
+    {
+        return Err(Error::Corrupt(
+            "v3 header/index/filter metadata disagree".into(),
+        ));
+    }
+    // Blocks must stay inside the data region [V3_FIXED, index_off).
+    for span in &index.blocks {
+        let end =
+            V3_FIXED as u64 + u64::from(span.offset) + u64::from(span.len);
+        if end > index_span.offset {
+            return Err(Error::Corrupt(
+                "v3 data block span out of bounds".into(),
+            ));
+        }
+    }
+    index.filter = Some(filter);
+    Ok(index)
+}
+
+/// Full decode of a v3 SSTable: validates every region (header, all data
+/// blocks, index, filter, metaindex, footer), the stored pre-aggregates,
+/// and that the filter admits every stored point.
+fn decode_v3_full(data: &[u8]) -> Result<Vec<DataPoint>> {
+    let index = parse_v3(data)?;
+    let mut points = Vec::with_capacity(index.count);
+    for (b, span) in index.blocks.iter().enumerate() {
+        let block = decode_index_block(data, &index, b)?;
+        match (block_aggregates(&block), span.agg) {
+            (Some(actual), Some(stored)) if actual.bits_eq(&stored) => {}
+            _ => {
+                return Err(Error::Corrupt(
+                    "v3 block aggregates disagree with index".into(),
+                ))
+            }
+        }
+        points.extend(block);
+    }
+    if points.len() != index.count {
+        return Err(Error::Corrupt("v3 point count mismatch".into()));
+    }
+    for w in points.windows(2) {
+        if w[1].gen_time <= w[0].gen_time {
+            return Err(Error::Corrupt(
+                "v3 blocks are not sorted across boundaries".into(),
+            ));
+        }
+    }
+    match (points.first(), points.last()) {
+        (Some(first), Some(last))
+            if first.gen_time == index.min_tg
+                && last.gen_time == index.max_tg => {}
+        _ => {
+            return Err(Error::Corrupt(
+                "v3 index min/max do not match records".into(),
+            ))
+        }
+    }
+    if let Some(filter) = &index.filter {
+        if points.iter().any(|p| !filter.may_contain_point(p.gen_time)) {
+            return Err(Error::Corrupt(
+                "v3 filter reports a stored point absent".into(),
+            ));
+        }
+    }
+    Ok(points)
+}
+
 /// One block's descriptor in a [`TableIndex`]: generation-time bounds, point
 /// count, and the byte span of the encoded block within the table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlockSpan {
     /// Generation time of the block's first point.
     pub first: i64,
@@ -492,16 +977,18 @@ pub struct BlockSpan {
     pub offset: u32,
     /// Encoded block length in bytes (including the block CRC).
     pub len: u32,
+    /// Value pre-aggregates (v3 tables only).
+    pub agg: Option<BlockAggregates>,
 }
 
 /// A parsed table index: enough metadata to prune blocks against a time
 /// range and decode individual blocks via [`decode_index_block`] without
 /// re-parsing the header per read.
 ///
-/// For v2 tables this is the real per-block index; a v1 table is modelled
-/// as a single block spanning the whole file, so callers can treat both
-/// formats uniformly.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// For v2/v3 tables this is the real per-block index; a v1 table is
+/// modelled as a single block spanning the whole file, so callers can
+/// treat all formats uniformly.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableIndex {
     /// Total points in the table.
     pub count: usize,
@@ -513,6 +1000,57 @@ pub struct TableIndex {
     pub blocks: Vec<BlockSpan>,
     version: u16,
     data_start: usize,
+    /// The table's pruning filter (v3 tables only).
+    pub filter: Option<TableFilter>,
+}
+
+impl TableIndex {
+    /// The table's format version (1, 2 or 3).
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Absolute byte offset where the data region starts.
+    pub fn data_start(&self) -> usize {
+        self.data_start
+    }
+
+    /// The absolute byte span of `block` within the table file — what a
+    /// ranged reader fetches before calling [`decode_index_block_bytes`].
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] if `block` is out of range.
+    pub fn block_span(&self, block: usize) -> Result<ByteSpan> {
+        let span = self.blocks.get(block).ok_or_else(|| {
+            Error::Corrupt(format!(
+                "block {block} out of range ({} blocks)",
+                self.blocks.len()
+            ))
+        })?;
+        Ok(ByteSpan {
+            offset: self.data_start as u64 + u64::from(span.offset),
+            len: u64::from(span.len),
+        })
+    }
+
+    /// Whether this table may hold any point in `range`, judged from the
+    /// index (and, for v3, the pruning filter) alone — no data blocks are
+    /// touched. `false` is definitive; `true` may be a false positive.
+    pub fn may_contain(&self, range: TimeRange) -> bool {
+        if self.max_tg < range.start || self.min_tg > range.end {
+            return false;
+        }
+        if let Some(filter) = &self.filter {
+            if !filter.may_contain(range) {
+                return false;
+            }
+        }
+        // Range falls inside the table's [min, max] but may still miss
+        // every block (a gap between block spans).
+        self.blocks
+            .iter()
+            .any(|b| b.last >= range.start && b.first <= range.end)
+    }
 }
 
 /// Parses the index of an SSTable in either format.
@@ -530,6 +1068,9 @@ pub fn read_table_index(data: &[u8]) -> Result<TableIndex> {
         return Err(Error::Corrupt("bad SSTable magic".into()));
     }
     let version = codec::read_u16_le(data, 4)?;
+    if version == VERSION_PRUNED {
+        return parse_v3(data);
+    }
     if version == VERSION_BLOCKS {
         let header = parse_v2_header(data)?;
         let blocks = header
@@ -541,6 +1082,7 @@ pub fn read_table_index(data: &[u8]) -> Result<TableIndex> {
                 count: e.count,
                 offset: e.offset,
                 len: e.len,
+                agg: None,
             })
             .collect();
         return Ok(TableIndex {
@@ -550,6 +1092,7 @@ pub fn read_table_index(data: &[u8]) -> Result<TableIndex> {
             blocks,
             version: VERSION_BLOCKS,
             data_start: header.data_start,
+            filter: None,
         });
     }
     if version != VERSION {
@@ -577,9 +1120,11 @@ pub fn read_table_index(data: &[u8]) -> Result<TableIndex> {
             count: count as u32,
             offset: 0,
             len: data.len() as u32,
+            agg: None,
         }],
         version: VERSION,
         data_start: 0,
+        filter: None,
     })
 }
 
@@ -602,25 +1147,74 @@ pub fn decode_index_block(
             index.blocks.len()
         ))
     })?;
-    if index.version == VERSION_BLOCKS {
-        let header = V2Header {
-            count: index.count,
-            min_tg: index.min_tg,
-            max_tg: index.max_tg,
-            index: Vec::new(),
-            data_start: index.data_start,
-        };
-        let entry = V2Entry {
-            first: span.first,
-            last: span.last,
-            count: span.count,
-            offset: span.offset,
-            len: span.len,
-        };
-        decode_v2_block(data, &header, &entry)
-    } else {
-        decode(data)
+    match index.version {
+        VERSION_BLOCKS => {
+            let header = V2Header {
+                count: index.count,
+                min_tg: index.min_tg,
+                max_tg: index.max_tg,
+                index: Vec::new(),
+                data_start: index.data_start,
+            };
+            let entry = V2Entry {
+                first: span.first,
+                last: span.last,
+                count: span.count,
+                offset: span.offset,
+                len: span.len,
+            };
+            decode_v2_block(data, &header, &entry)
+        }
+        VERSION_PRUNED => {
+            let start = index.data_start + span.offset as usize;
+            let end = start + span.len as usize;
+            if end > data.len() {
+                return Err(Error::Corrupt(
+                    "v3 block extends past file".into(),
+                ));
+            }
+            decode_block_common(
+                &data[start..end],
+                span.first,
+                span.last,
+                span.count,
+            )
+        }
+        _ => decode(data),
     }
+}
+
+/// Decodes one block from exactly its own bytes (as named by
+/// [`TableIndex::block_span`]) — the ranged-read twin of
+/// [`decode_index_block`]: the caller fetched only `span.len` bytes from
+/// the store instead of holding the whole table.
+///
+/// # Errors
+/// [`Error::Corrupt`] if `block` is out of range, `bytes` has the wrong
+/// length, or the block fails validation.
+pub fn decode_index_block_bytes(
+    index: &TableIndex,
+    block: usize,
+    bytes: &[u8],
+) -> Result<Vec<DataPoint>> {
+    let span = index.blocks.get(block).ok_or_else(|| {
+        Error::Corrupt(format!(
+            "block {block} out of range ({} blocks)",
+            index.blocks.len()
+        ))
+    })?;
+    if bytes.len() != span.len as usize {
+        return Err(Error::Corrupt(format!(
+            "block {block} span is {} bytes, got {}",
+            span.len,
+            bytes.len()
+        )));
+    }
+    if index.version == VERSION {
+        // A v1 "block" is the whole file: full validated decode.
+        return decode(bytes);
+    }
+    decode_block_common(bytes, span.first, span.last, span.count)
 }
 
 /// Block-granular range read: decodes only the blocks whose generation-time
@@ -634,6 +1228,30 @@ pub fn decode_index_block(
 pub fn decode_range(data: &[u8], range: TimeRange) -> Result<RangeRead> {
     if data.len() >= 6 && &data[..4] == MAGIC {
         let version = codec::read_u16_le(data, 4)?;
+        if version == VERSION_PRUNED {
+            let index = parse_v3(data)?;
+            let mut read = RangeRead {
+                points: Vec::new(),
+                points_scanned: 0,
+                blocks_read: 0,
+            };
+            // Filter-first: a pruned table decodes nothing at all.
+            if !index.may_contain(range) {
+                return Ok(read);
+            }
+            for (b, span) in index.blocks.iter().enumerate() {
+                if span.last < range.start || span.first > range.end {
+                    continue;
+                }
+                let block = decode_index_block(data, &index, b)?;
+                read.blocks_read += 1;
+                read.points_scanned += block.len() as u64;
+                read.points.extend(
+                    block.into_iter().filter(|p| range.contains(p.gen_time)),
+                );
+            }
+            return Ok(read);
+        }
         if version == VERSION_BLOCKS {
             let header = parse_v2_header(data)?;
             let mut read = RangeRead {
@@ -944,6 +1562,173 @@ mod tests {
             .to_vec();
         bytes[10] ^= 0x04; // inside the fixed header
         assert!(read_table_index(&bytes).is_err());
+    }
+
+    #[test]
+    fn v3_round_trips_typical_table() {
+        let pts = sample_points(512);
+        let bytes =
+            encode_with(&pts, &EncodeOptions::default()).expect("encode");
+        assert_eq!(sniff_version(&bytes), Some(VERSION_PRUNED));
+        assert_eq!(decode(&bytes).expect("decode"), pts);
+    }
+
+    #[test]
+    fn v3_round_trips_odd_sizes_and_single_point() {
+        for n in [1usize, 2, 127, 128, 129, 300] {
+            let pts = sample_points(n);
+            let bytes =
+                encode_with(&pts, &EncodeOptions::pruned()).expect("encode");
+            assert_eq!(decode(&bytes).expect("decode"), pts, "n={n}");
+        }
+    }
+
+    #[test]
+    fn v3_preserves_special_values_and_negative_delays() {
+        let pts = vec![
+            DataPoint::new(-100, -150, f64::NAN),
+            DataPoint::new(0, 0, f64::INFINITY),
+            DataPoint::new(7, 1_000_000, -0.0),
+        ];
+        let bytes =
+            encode_with(&pts, &EncodeOptions::pruned()).expect("encode");
+        let back = decode(&bytes).expect("decode");
+        assert!(back[0].value.is_nan());
+        assert_eq!(back[0].delay(), -50);
+        assert_eq!(back[1].value, f64::INFINITY);
+        assert_eq!(back[2].value.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn v3_detects_corruption_anywhere() {
+        let pts = sample_points(300);
+        let bytes =
+            encode_with(&pts, &EncodeOptions::pruned()).expect("encode");
+        for i in 0..bytes.len() {
+            let mut bad = bytes.to_vec();
+            bad[i] ^= 0x10;
+            assert!(decode(&bad).is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn v3_detects_truncation() {
+        let bytes = encode_with(&sample_points(64), &EncodeOptions::pruned())
+            .expect("encode");
+        for cut in
+            [0, 1, 10, V3_FIXED, bytes.len() - 1, bytes.len() - V3_FOOTER]
+        {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes went undetected"
+            );
+            assert!(read_table_index(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn v3_footer_locates_metaindex() {
+        let bytes = encode_with(&sample_points(64), &EncodeOptions::pruned())
+            .expect("encode");
+        let meta = parse_v3_footer(&bytes).expect("footer");
+        assert_eq!(meta.len, V3_METAINDEX as u64);
+        assert_eq!(meta.end(), (bytes.len() - V3_FOOTER) as u64);
+        let (index_span, filter_span) = parse_v3_metaindex(
+            &bytes[meta.offset as usize..meta.end() as usize],
+        )
+        .expect("metaindex");
+        let index = parse_v3_index(
+            &bytes[index_span.offset as usize..index_span.end() as usize],
+        )
+        .expect("index");
+        assert_eq!(index.count, 64);
+        assert!(index.filter.is_none());
+        let filter = TableFilter::decode(
+            &bytes[filter_span.offset as usize..filter_span.end() as usize],
+        )
+        .expect("filter");
+        assert_eq!(filter.count(), 64);
+        // A v2 table has no v3 footer.
+        let v2 = encode_with(&sample_points(64), &EncodeOptions::compressed())
+            .expect("encode");
+        assert!(parse_v3_footer(&v2).is_err());
+    }
+
+    #[test]
+    fn v3_index_carries_filter_and_aggregates() {
+        let pts = sample_points(300); // 3 blocks: 128 + 128 + 44
+        let bytes =
+            encode_with(&pts, &EncodeOptions::pruned()).expect("encode");
+        let index = read_table_index(&bytes).expect("index");
+        assert_eq!(index.version(), VERSION_PRUNED);
+        assert_eq!(index.blocks.len(), 3);
+        let filter = index.filter.as_ref().expect("v3 filter");
+        for p in &pts {
+            assert!(filter.may_contain_point(p.gen_time));
+        }
+        let mut all = Vec::new();
+        for (b, span) in index.blocks.iter().enumerate() {
+            let block =
+                decode_index_block(&bytes, &index, b).expect("decode block");
+            let agg = span.agg.expect("v3 aggregates");
+            assert!(block_aggregates(&block).expect("nonempty").bits_eq(&agg));
+            // The ranged-read twin decodes from exactly the span's bytes.
+            let abs = index.block_span(b).expect("span");
+            let same = decode_index_block_bytes(
+                &index,
+                b,
+                &bytes[abs.offset as usize..abs.end() as usize],
+            )
+            .expect("decode from span bytes");
+            assert_eq!(same, block);
+            all.extend(block);
+        }
+        assert_eq!(all, pts);
+    }
+
+    #[test]
+    fn v3_decode_range_prunes_blocks_and_point_misses() {
+        let pts = sample_points(512); // tg = 1_000_000 + i*50
+        let bytes =
+            encode_with(&pts, &EncodeOptions::pruned()).expect("encode");
+        // Window inside block 1 decodes exactly one block.
+        let range = seplsm_types::TimeRange::new(
+            1_000_000 + 130 * 50,
+            1_000_000 + 140 * 50,
+        );
+        let read = decode_range(&bytes, range).expect("range read");
+        assert_eq!(read.blocks_read, 1);
+        assert_eq!(read.points.len(), 11);
+        // A point probe at a non-key instant inside the covered range is
+        // pruned by the bloom filter: no blocks decoded.
+        let miss_tg = 1_000_000 + 25; // between keys
+        let miss = decode_range(
+            &bytes,
+            seplsm_types::TimeRange::new(miss_tg, miss_tg),
+        )
+        .expect("miss");
+        assert_eq!(miss.blocks_read, 0);
+        assert!(miss.points.is_empty());
+        // A point probe at a real key still finds it.
+        let hit_tg = pts[200].gen_time;
+        let hit =
+            decode_range(&bytes, seplsm_types::TimeRange::new(hit_tg, hit_tg))
+                .expect("hit");
+        assert_eq!(hit.points.len(), 1);
+    }
+
+    #[test]
+    fn v3_index_may_contain_has_no_false_negatives() {
+        let pts = sample_points(256);
+        let bytes =
+            encode_with(&pts, &EncodeOptions::pruned()).expect("encode");
+        let index = read_table_index(&bytes).expect("index");
+        for p in &pts {
+            assert!(index.may_contain(seplsm_types::TimeRange::new(
+                p.gen_time, p.gen_time
+            )));
+        }
+        assert!(!index.may_contain(seplsm_types::TimeRange::new(0, 999_999)));
     }
 
     #[test]

@@ -8,11 +8,14 @@
 pub mod bits;
 pub mod compress;
 pub mod crc32;
+pub mod filter;
 pub mod format;
 pub mod varint;
 
+pub use filter::TableFilter;
 pub use format::{
-    BlockSpan, Compression, EncodeOptions, RangeRead, TableIndex,
+    BlockAggregates, BlockSpan, ByteSpan, Compression, EncodeOptions,
+    RangeRead, TableIndex,
 };
 
 use seplsm_types::{DataPoint, TimeRange};

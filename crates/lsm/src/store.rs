@@ -18,7 +18,9 @@ use seplsm_types::{DataPoint, Error, Result, TimeRange};
 use crate::cache::{BlockCache, BlockKey};
 use crate::fault::{self, FaultPlan, IoOp, WriteCheck};
 use crate::obs::{Event, ObserverHandle};
-use crate::sstable::format::{self, EncodeOptions, RangeRead, TableIndex};
+use crate::sstable::format::{
+    self, ByteSpan, EncodeOptions, RangeRead, TableIndex,
+};
 use crate::sstable::{SsTableId, SsTableMeta};
 
 /// Fsyncs a directory so a preceding `rename` inside it survives a power
@@ -109,6 +111,128 @@ pub trait TableStore: Send + Sync {
         let _ = id;
         Ok(None)
     }
+
+    /// Length in bytes of the table's encoded form, or `Ok(None)` if the
+    /// store cannot serve byte-granular reads. Paired with [`read_span`]:
+    /// a reader that knows the length can fetch the v3 footer directly.
+    ///
+    /// [`read_span`]: TableStore::read_span
+    fn table_len(&self, id: SsTableId) -> Result<Option<u64>> {
+        let _ = id;
+        Ok(None)
+    }
+
+    /// Reads exactly `span` of the table's encoded bytes — the
+    /// block-granular read capability. `Ok(None)` means the store cannot
+    /// serve byte ranges (callers fall back to [`read_raw`] or `get`); a
+    /// span outside the file is an error.
+    ///
+    /// [`read_raw`]: TableStore::read_raw
+    fn read_span(
+        &self,
+        id: SsTableId,
+        span: ByteSpan,
+    ) -> Result<Option<Bytes>> {
+        let _ = (id, span);
+        Ok(None)
+    }
+
+    /// Judges, from index/filter metadata alone, whether the table may
+    /// hold any point in `range`. `Ok(Some(false))` is a **definitive**
+    /// miss (the caller can skip the table without touching data blocks);
+    /// `Ok(Some(true))` may be a false positive; `Ok(None)` means the
+    /// store cannot judge (no pruning metadata available).
+    fn may_contain(
+        &self,
+        id: SsTableId,
+        range: TimeRange,
+    ) -> Result<Option<bool>> {
+        let _ = (id, range);
+        Ok(None)
+    }
+}
+
+/// Slices `span` out of a whole in-memory table, validating bounds.
+fn slice_span(bytes: &Bytes, span: ByteSpan) -> Result<Bytes> {
+    let start = usize::try_from(span.offset)
+        .map_err(|_| Error::Corrupt("span offset overflows usize".into()))?;
+    let end = usize::try_from(span.end())
+        .map_err(|_| Error::Corrupt("span end overflows usize".into()))?;
+    if end > bytes.len() || start > end {
+        return Err(Error::Corrupt(format!(
+            "span {}..{} outside table of {} bytes",
+            span.offset,
+            span.end(),
+            bytes.len()
+        )));
+    }
+    Ok(bytes.slice(start..end))
+}
+
+/// Loads a [`TableIndex`] through byte-granular reads when the table turns
+/// out to be v3 (footer → metaindex → index + filter — ~a few hundred
+/// bytes), falling back to one whole-file [`read_raw`] for v1/v2 tables or
+/// stores without ranged reads. Returns the index plus the raw bytes *if*
+/// a whole-file read happened anyway (so callers can decode blocks from it
+/// without a second read).
+///
+/// [`read_raw`]: TableStore::read_raw
+pub fn load_index(
+    store: &dyn TableStore,
+    id: SsTableId,
+) -> Result<Option<(TableIndex, Option<Bytes>)>> {
+    if let Some(len) = store.table_len(id)? {
+        if len >= (format::V3_FOOTER + format::V3_METAINDEX) as u64 {
+            let tail = store.read_span(
+                id,
+                ByteSpan {
+                    offset: len - format::V3_FOOTER as u64,
+                    len: format::V3_FOOTER as u64,
+                },
+            )?;
+            if let Some(tail) = tail {
+                if let Ok(meta_span) = format::parse_v3_footer(&tail) {
+                    return load_index_v3(store, id, len, meta_span)
+                        .map(|index| Some((index, None)));
+                }
+            }
+        }
+    }
+    let Some(bytes) = store.read_raw(id)? else {
+        return Ok(None);
+    };
+    let index = format::read_table_index(&bytes)?;
+    Ok(Some((index, Some(bytes))))
+}
+
+/// The v3 arm of [`load_index`]: the footer named a metaindex span; fetch
+/// metaindex, index and filter blocks by range and assemble the index.
+fn load_index_v3(
+    store: &dyn TableStore,
+    id: SsTableId,
+    len: u64,
+    meta_span: ByteSpan,
+) -> Result<TableIndex> {
+    let tail_start = len - format::V3_FOOTER as u64;
+    if meta_span.end() > tail_start {
+        return Err(Error::Corrupt("v3 metaindex span out of bounds".into()));
+    }
+    let fetch = |span: ByteSpan| -> Result<Bytes> {
+        store.read_span(id, span)?.ok_or_else(|| {
+            Error::Corrupt(format!("ranged read of table {id} unavailable"))
+        })
+    };
+    let (index_span, filter_span) =
+        format::parse_v3_metaindex(&fetch(meta_span)?)?;
+    for span in [index_span, filter_span] {
+        if span.end() > meta_span.offset {
+            return Err(Error::Corrupt("v3 block span out of bounds".into()));
+        }
+    }
+    let mut index = format::parse_v3_index(&fetch(index_span)?)?;
+    index.filter =
+        Some(crate::sstable::TableFilter::decode(&fetch(filter_span)?)?);
+    Ok(index)
 }
 
 /// An in-memory [`TableStore`] holding encoded SSTable bytes.
@@ -199,6 +323,43 @@ impl TableStore for MemStore {
             .cloned()
             .ok_or_else(|| Error::Corrupt(format!("missing table {id}")))?;
         Ok(Some(bytes))
+    }
+
+    fn table_len(&self, id: SsTableId) -> Result<Option<u64>> {
+        let len = self
+            .inner
+            .lock()
+            .tables
+            .get(&id)
+            .map(Bytes::len)
+            .ok_or_else(|| Error::Corrupt(format!("missing table {id}")))?;
+        Ok(Some(len as u64))
+    }
+
+    fn read_span(
+        &self,
+        id: SsTableId,
+        span: ByteSpan,
+    ) -> Result<Option<Bytes>> {
+        let bytes = self
+            .inner
+            .lock()
+            .tables
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::Corrupt(format!("missing table {id}")))?;
+        Ok(Some(slice_span(&bytes, span)?))
+    }
+
+    fn may_contain(
+        &self,
+        id: SsTableId,
+        range: TimeRange,
+    ) -> Result<Option<bool>> {
+        match load_index(self, id)? {
+            Some((index, _)) => Ok(Some(index.may_contain(range))),
+            None => Ok(None),
+        }
     }
 }
 
@@ -359,6 +520,49 @@ impl TableStore for FileStore {
         Ok(Some(bytes.into()))
     }
 
+    fn table_len(&self, id: SsTableId) -> Result<Option<u64>> {
+        fault::hook(self.faults.as_ref(), IoOp::StoreRead)?;
+        Ok(Some(std::fs::metadata(self.path_for(id))?.len()))
+    }
+
+    fn read_span(
+        &self,
+        id: SsTableId,
+        span: ByteSpan,
+    ) -> Result<Option<Bytes>> {
+        use std::io::{Read, Seek, SeekFrom};
+        fault::hook(self.faults.as_ref(), IoOp::StoreRead)?;
+        let mut f = std::fs::File::open(self.path_for(id))?;
+        let file_len = f.metadata()?.len();
+        if span.end() > file_len {
+            return Err(Error::Corrupt(format!(
+                "span {}..{} outside table of {file_len} bytes",
+                span.offset,
+                span.end()
+            )));
+        }
+        let len = usize::try_from(span.len).map_err(|_| {
+            Error::Corrupt("span length overflows usize".into())
+        })?;
+        // Positioned read (seek + read_exact): byte-range I/O without mmap
+        // — the workspace forbids unsafe code, so no mmap crate.
+        f.seek(SeekFrom::Start(span.offset))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf)?;
+        Ok(Some(buf.into()))
+    }
+
+    fn may_contain(
+        &self,
+        id: SsTableId,
+        range: TimeRange,
+    ) -> Result<Option<bool>> {
+        match load_index(self, id)? {
+            Some((index, _)) => Ok(Some(index.may_contain(range))),
+            None => Ok(None),
+        }
+    }
+
     fn quarantine(&self, id: SsTableId) -> Result<()> {
         fault::hook(self.faults.as_ref(), IoOp::StoreDelete)?;
         let src = self.path_for(id);
@@ -446,7 +650,9 @@ impl CachedStore {
         Ok(raw.clone())
     }
 
-    /// The table's parsed index, from the cache or from one raw read.
+    /// The table's parsed index, from the cache, from a ranged footer walk
+    /// (v3 tables on span-capable stores — a few hundred bytes), or from
+    /// one whole-file raw read (v1/v2).
     fn index_for(
         &self,
         id: SsTableId,
@@ -455,16 +661,22 @@ impl CachedStore {
         if let Some(index) = self.cache.lookup_index(id) {
             return Ok(Some(index));
         }
-        let Some(bytes) = self.fill_raw(id, raw)? else {
+        let Some((index, bytes)) = load_index(self.inner.as_ref(), id)? else {
             return Ok(None);
         };
-        let index = Arc::new(format::read_table_index(&bytes)?);
+        if raw.is_none() {
+            *raw = bytes;
+        }
+        let index = Arc::new(index);
         self.cache.insert_index(id, Arc::clone(&index));
         Ok(Some(index))
     }
 
-    /// One block via the cache: hit, or decode-from-raw + insert. Emits
-    /// the matching cache events.
+    /// One block via the cache: hit, or decode + insert. A miss decodes
+    /// from the whole-file buffer when one is already held, otherwise it
+    /// fetches only the block's byte span ([`TableStore::read_span`]),
+    /// falling back to a whole-file read on span-less stores. Emits the
+    /// matching cache events.
     fn block_via_cache(
         &self,
         id: SsTableId,
@@ -484,11 +696,25 @@ impl CachedStore {
             });
             return Ok(points);
         }
-        let bytes = self.fill_raw(id, raw)?.ok_or_else(|| {
-            Error::Corrupt(format!("raw bytes of table {id} unavailable"))
-        })?;
-        let points =
-            Arc::new(format::decode_index_block(&bytes, index, block)?);
+        let decoded = if let Some(bytes) = raw.as_ref() {
+            format::decode_index_block(bytes, index, block)?
+        } else {
+            let span = index.block_span(block)?;
+            match self.inner.read_span(id, span)? {
+                Some(bytes) => {
+                    format::decode_index_block_bytes(index, block, &bytes)?
+                }
+                None => {
+                    let bytes = self.fill_raw(id, raw)?.ok_or_else(|| {
+                        Error::Corrupt(format!(
+                            "raw bytes of table {id} unavailable"
+                        ))
+                    })?;
+                    format::decode_index_block(&bytes, index, block)?
+                }
+            }
+        };
+        let points = Arc::new(decoded);
         *disk_blocks += 1;
         self.obs.emit(|| Event::CacheMiss {
             table: id.0,
@@ -540,7 +766,8 @@ impl TableStore for CachedStore {
             points_scanned: 0,
             blocks_read: 0,
         };
-        if index.max_tg < range.start || index.min_tg > range.end {
+        // Index + filter pruning: a definitive miss examines no blocks.
+        if !index.may_contain(range) {
             return Ok(read);
         }
         for block in 0..index.blocks.len() {
@@ -584,6 +811,30 @@ impl TableStore for CachedStore {
 
     fn read_raw(&self, id: SsTableId) -> Result<Option<Bytes>> {
         self.inner.read_raw(id)
+    }
+
+    fn table_len(&self, id: SsTableId) -> Result<Option<u64>> {
+        self.inner.table_len(id)
+    }
+
+    fn read_span(
+        &self,
+        id: SsTableId,
+        span: ByteSpan,
+    ) -> Result<Option<Bytes>> {
+        self.inner.read_span(id, span)
+    }
+
+    fn may_contain(
+        &self,
+        id: SsTableId,
+        range: TimeRange,
+    ) -> Result<Option<bool>> {
+        let mut raw = None;
+        match self.index_for(id, &mut raw)? {
+            Some(index) => Ok(Some(index.may_contain(range))),
+            None => self.inner.may_contain(id, range),
+        }
     }
 }
 
@@ -750,6 +1001,10 @@ mod tests {
         fn raw_reads(&self) -> u64 {
             self.raw_reads.load(std::sync::atomic::Ordering::Relaxed)
         }
+
+        fn raw_bytes(&self) -> u64 {
+            self.raw_bytes.load(std::sync::atomic::Ordering::Relaxed)
+        }
     }
 
     impl TableStore for CountingStore {
@@ -781,6 +1036,27 @@ mod tests {
             }
             Ok(raw)
         }
+
+        fn table_len(&self, id: SsTableId) -> Result<Option<u64>> {
+            self.inner.table_len(id)
+        }
+
+        fn read_span(
+            &self,
+            id: SsTableId,
+            span: format::ByteSpan,
+        ) -> Result<Option<Bytes>> {
+            let bytes = self.inner.read_span(id, span)?;
+            self.raw_reads
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if let Some(bytes) = &bytes {
+                self.raw_bytes.fetch_add(
+                    bytes.len() as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+            }
+            Ok(bytes)
+        }
     }
 
     fn cached_fixture() -> (Arc<CountingStore>, CachedStore, SsTableMeta) {
@@ -800,7 +1076,12 @@ mod tests {
         let (counting, cached, meta) = cached_fixture();
         assert_eq!(cached.get(meta.id).expect("cold get"), pts(0..300));
         let cold_reads = counting.raw_reads();
-        assert_eq!(cold_reads, 1, "one raw read serves the whole cold visit");
+        // A v2 table costs the 20-byte v3 footer probe plus one whole-file
+        // raw read on the cold visit.
+        assert_eq!(
+            cold_reads, 2,
+            "footer probe + one raw read serve the cold visit"
+        );
         for _ in 0..5 {
             assert_eq!(cached.get(meta.id).expect("warm get"), pts(0..300));
         }
@@ -827,7 +1108,7 @@ mod tests {
         assert_eq!(warm.points, cold.points);
         assert_eq!(warm.blocks_read, 0, "warm read decodes nothing");
         assert_eq!(warm.points_scanned, 128, "scanned counts hits too");
-        assert_eq!(counting.raw_reads(), 1);
+        assert_eq!(counting.raw_reads(), 2, "footer probe + one raw read");
         // Disjoint range: nothing examined at all.
         let miss = cached
             .get_range(meta.id, TimeRange::new(100_000, 200_000))
@@ -907,6 +1188,139 @@ mod tests {
         let hits = ring.count(|e| matches!(e, Event::CacheHit { .. }));
         assert_eq!(misses, 2, "two blocks decoded cold");
         assert_eq!(hits, 2, "two blocks served warm");
+    }
+
+    #[test]
+    fn stores_serve_byte_spans() {
+        let dir = std::env::temp_dir().join(format!(
+            "seplsm-store-span-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mem = MemStore::new();
+        let file = FileStore::open(&dir).expect("open");
+        for store in [&mem as &dyn TableStore, &file as &dyn TableStore] {
+            let (meta, size) = store.put(&pts(0..100)).expect("put");
+            let len =
+                store.table_len(meta.id).expect("len").expect("supported");
+            assert_eq!(len, size as u64);
+            let whole = store
+                .read_span(meta.id, format::ByteSpan { offset: 0, len })
+                .expect("span")
+                .expect("supported");
+            assert_eq!(
+                whole,
+                store.read_raw(meta.id).expect("raw").expect("raw bytes")
+            );
+            let tail = store
+                .read_span(
+                    meta.id,
+                    format::ByteSpan {
+                        offset: len - format::V3_FOOTER as u64,
+                        len: format::V3_FOOTER as u64,
+                    },
+                )
+                .expect("tail span")
+                .expect("supported");
+            format::parse_v3_footer(&tail).expect("v3 footer at tail");
+            // Out-of-bounds spans are errors, not short reads.
+            assert!(store
+                .read_span(
+                    meta.id,
+                    format::ByteSpan {
+                        offset: len,
+                        len: 1
+                    }
+                )
+                .is_err());
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn may_contain_prunes_point_misses_without_data_reads() {
+        let store = MemStore::new(); // v3 default
+        let (meta, _) = store.put(&pts(0..100)).expect("put"); // tg = i*10
+                                                               // Present key: never pruned.
+        assert_eq!(
+            store
+                .may_contain(meta.id, TimeRange::new(500, 500))
+                .expect("judge"),
+            Some(true)
+        );
+        // In-range non-key instant: bloom prunes it.
+        assert_eq!(
+            store
+                .may_contain(meta.id, TimeRange::new(503, 503))
+                .expect("judge"),
+            Some(false)
+        );
+        // Disjoint window.
+        assert_eq!(
+            store
+                .may_contain(meta.id, TimeRange::new(5_000, 9_000))
+                .expect("judge"),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn cached_store_v3_cold_reads_fetch_fewer_bytes_than_whole_file() {
+        let counting = Arc::new(CountingStore::new(EncodeOptions::pruned()));
+        let cache = crate::cache::BlockCache::with_capacity(64 * 1024);
+        let cached = CachedStore::new(
+            Arc::clone(&counting) as Arc<dyn TableStore>,
+            cache,
+        );
+        let (meta, size) = cached.put(&pts(0..300)).expect("put"); // 3 blocks
+        let range = TimeRange::new(0, 500); // inside block 0
+        let cold = cached.get_range(meta.id, range).expect("cold");
+        assert_eq!(cold.points.len(), 51);
+        assert_eq!(cold.blocks_read, 1);
+        assert!(
+            counting.raw_bytes() < size as u64,
+            "cold ranged read fetched {} of {} encoded bytes",
+            counting.raw_bytes(),
+            size
+        );
+        // A pruned point probe does metadata reads only (index is cached
+        // after the first visit: zero further store reads).
+        let before = counting.raw_reads();
+        let miss = cached
+            .get_range(meta.id, TimeRange::new(7, 7))
+            .expect("miss");
+        assert!(miss.points.is_empty());
+        assert_eq!(miss.blocks_read, 0);
+        assert_eq!(counting.raw_reads(), before, "prune decided from cache");
+    }
+
+    #[test]
+    fn cached_store_delete_drops_index_and_filter() {
+        let counting = Arc::new(CountingStore::new(EncodeOptions::pruned()));
+        let cache = crate::cache::BlockCache::with_capacity(64 * 1024);
+        let cached = CachedStore::new(
+            Arc::clone(&counting) as Arc<dyn TableStore>,
+            cache,
+        );
+        let (meta, _) = cached.put(&pts(0..100)).expect("put");
+        // Warm the index + filter via a pruning judgement.
+        assert_eq!(
+            cached
+                .may_contain(meta.id, TimeRange::new(0, 10))
+                .expect("judge"),
+            Some(true)
+        );
+        assert!(cached.cache().lookup_index(meta.id).is_some());
+        cached.delete(meta.id).expect("delete");
+        assert!(
+            cached.cache().lookup_index(meta.id).is_none(),
+            "stale index/filter must leave the cache with the table"
+        );
+        assert!(
+            cached.may_contain(meta.id, TimeRange::new(0, 10)).is_err(),
+            "a deleted table must not be judged from a stale filter"
+        );
     }
 
     #[test]

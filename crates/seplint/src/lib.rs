@@ -43,6 +43,7 @@ pub const KERNEL_MODULES: &[&str] = &[
     "fault.rs",
     "recovery.rs",
     "obs.rs",
+    "filter.rs",
 ];
 
 /// Engine modules subject to the R5 durability-ordering lint.

@@ -1,0 +1,31 @@
+//! R3 fixture: a pruning filter that salts its hash probes from the
+//! process RNG and wall clock — nondeterminism that would make the same
+//! table admit different keys on replay, breaking the no-false-negative
+//! contract crash-schedule exploration relies on.
+
+use std::time::Instant;
+
+pub struct SaltedFilter {
+    words: Vec<u64>,
+    salt: u64,
+}
+
+impl SaltedFilter {
+    pub fn build(keys: &[i64]) -> Self {
+        let salt = Instant::now().elapsed().as_nanos() as u64
+            ^ rand::random::<u64>();
+        let mut words = vec![0u64; keys.len().max(1)];
+        for &key in keys {
+            let h = (key as u64).wrapping_mul(salt | 1);
+            let bit = h % (words.len() as u64 * 64);
+            words[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+        Self { words, salt }
+    }
+
+    pub fn may_contain(&self, key: i64) -> bool {
+        let h = (key as u64).wrapping_mul(self.salt | 1);
+        let bit = h % (self.words.len() as u64 * 64);
+        self.words[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+    }
+}

@@ -93,6 +93,19 @@ fn r3_fires_on_wallclock_eviction_in_the_block_cache() {
 }
 
 #[test]
+fn r3_fires_on_wallclock_salt_in_the_pruning_filter() {
+    // `filter.rs` is a kernel module: a pruning filter salted from the
+    // wall clock would admit different keys on replay, so the same table
+    // could prune differently across crash-schedule re-runs.
+    let src = fixture("r3_filter_wallclock.rs");
+    let v = rules::deterministic_kernel(Path::new("filter.rs"), &src);
+    // `Instant` appears twice (use + now() call).
+    assert!(v.len() >= 2, "{v:?}");
+    assert!(v.iter().all(|x| x.rule == "R3"));
+    assert!(v.iter().any(|x| x.message.contains("Instant")));
+}
+
+#[test]
 fn r4_fires_only_on_pub_non_result_panicking_fns() {
     let src = fixture("r4_pub_panic.rs");
     let v = rules::kernel_returns_results(Path::new("r4_pub_panic.rs"), &src);

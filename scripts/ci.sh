@@ -63,8 +63,10 @@ print(f"trace OK: {len(lines)} events, {len(kinds)} kinds")
 PYEOF
 
 # Perf-smoke lane: a tiny perf_baseline run must emit the three BENCH_*.json
-# reports, each parseable, with a warm-cache hit rate above zero and the
-# fleet determinism check (baked into the bench itself) passing.
+# reports, each parseable, with a warm-cache hit rate above zero, the
+# fleet determinism check (baked into the bench itself) passing, and the
+# v3 cold-read lane actually pruning tables and fetching fewer bytes than
+# the v2 whole-file path.
 echo "== perf smoke (cache + fleet flush pool) =="
 PERF_DIR="$(mktemp -d)"
 cargo run -q --release -p seplsm-bench --bin perf_baseline --offline -- \
@@ -79,10 +81,15 @@ compaction = json.load(open(os.path.join(d, "BENCH_compaction.json")))
 assert ingest["deterministic"] is True, ingest
 assert query["cache_on"]["hit_rate"] > 0, query
 assert query["disk_byte_reduction"] > 1, query
+assert query["tables_pruned"] > 0, query
+assert query["cold_byte_reduction"] > 1, query
+assert query["cold_query_bytes"]["v3"] < query["cold_query_bytes"]["v2"], query
 assert compaction["cache"]["invalidated_blocks"] >= 0, compaction
 print(f"perf smoke OK: query hit rate "
       f"{query['cache_on']['hit_rate']:.2f}, "
-      f"{query['disk_byte_reduction']:.1f}x fewer disk bytes")
+      f"{query['disk_byte_reduction']:.1f}x fewer disk bytes, "
+      f"cold v3 {query['cold_byte_reduction']:.1f}x fewer bytes, "
+      f"{query['tables_pruned']} tables pruned")
 PYEOF
 rm -rf "$PERF_DIR"
 

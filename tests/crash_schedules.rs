@@ -561,6 +561,74 @@ fn pooled_flush_crash_schedule_preserves_the_durability_contract() {
 
 // ------------------------------------------------------------------ Salvage
 
+/// A crash can publish a table file whose data region hit disk but whose
+/// v3 footer did not (torn tail). Strict recovery refuses the store;
+/// salvage must quarantine the table and — thanks to the footer-based
+/// probe — name the damage precisely instead of raising a generic CRC
+/// error.
+#[test]
+fn salvage_names_a_torn_v3_table_by_its_missing_footer() {
+    use seplsm_lsm::sstable::format::{sniff_version, VERSION_PRUNED};
+
+    let dir = TempDir::new("salvage-torn-v3");
+    let pts = workload(64);
+    {
+        let store =
+            Arc::new(FileStore::open(dir.path("tables")).expect("store"));
+        let mut engine = OpenOptions::new(config())
+            .store(store)
+            .wal(dir.path("wal"))
+            .manifest(dir.path("manifest"))
+            .open()
+            .expect("open");
+        for p in &pts {
+            engine.append(*p).expect("append");
+        }
+        engine.flush_all().expect("flush");
+        engine.sync_wal().expect("sync");
+    }
+    let victim = std::fs::read_dir(dir.path("tables"))
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "sst"))
+        .expect("at least one table");
+    let bytes = std::fs::read(&victim).expect("read table");
+    assert_eq!(
+        sniff_version(&bytes),
+        Some(VERSION_PRUNED),
+        "FileStore must write v3 by default"
+    );
+    // Chop the tail: footer (and part of the metaindex) never hit disk.
+    std::fs::write(&victim, &bytes[..bytes.len() - 25]).expect("tear table");
+
+    let store: Arc<dyn TableStore> =
+        Arc::new(FileStore::open(dir.path("tables")).expect("store"));
+    assert!(
+        OpenOptions::new(config())
+            .store(Arc::clone(&store))
+            .open_or_recover()
+            .is_err(),
+        "strict recovery must refuse a torn table"
+    );
+    let (engine, report) = OpenOptions::new(config())
+        .store(store)
+        .wal(dir.path("wal"))
+        .manifest(dir.path("manifest"))
+        .recovery(RecoveryOptions::salvage().with_gc_orphans())
+        .open_or_recover()
+        .expect("salvage recovery");
+    assert_eq!(report.quarantined.len(), 1, "one torn table");
+    assert!(
+        report.quarantined[0].reason.contains("torn v3 write"),
+        "probe must name the missing footer, got: {}",
+        report.quarantined[0].reason
+    );
+    let recovered = engine.scan_all().expect("scan survivors");
+    assert!(!recovered.is_empty(), "survivors must still be served");
+    engine.check_integrity().expect("integrity after salvage");
+}
+
 #[test]
 fn salvage_recovery_quarantines_corruption_and_serves_survivors() {
     let dir = TempDir::new("salvage");
