@@ -169,6 +169,12 @@ struct TierState {
     /// Why the engine is degraded (read-only), once the worker has exhausted
     /// its retries on a store failure. `None` while healthy.
     degraded: Option<DegradedState>,
+    /// `true` while an L0→run merge is between its snapshot and its commit.
+    /// [`compact_l0_once`] runs its store I/O with the state lock released;
+    /// this flag keeps a second merge from planning against the same
+    /// snapshot in that window. Cleared on every exit path and signalled on
+    /// the engine's `flush_done` condvar.
+    compacting: bool,
     /// Worker-side event sink (shared with the writer's handle).
     obs: ObserverHandle,
 }
@@ -182,27 +188,67 @@ impl TierState {
     }
 }
 
-impl TierState {
-    /// Merges every L0 table plus the overlapping part of the run through
-    /// the shared compaction pipeline. Called with the state lock held;
-    /// table reads/writes go to `store`.
-    fn compact_l0(
-        &mut self,
-        store: &Arc<dyn TableStore>,
-        sstable_points: usize,
-    ) -> Result<()> {
-        let l0: Vec<SsTableMeta> = self.version.l0().to_vec();
-        let Some(range) = l0.iter().map(|m| m.range).reduce(|a, b| a.union(&b))
-        else {
-            return Ok(()); // L0 empty: nothing to merge.
-        };
+/// One query's view of the version, captured under a single lock
+/// acquisition so the table reads can run without it (see
+/// [`TieredEngine::query`]).
+struct QuerySnapshot {
+    /// Flushing MemTable batches (oldest first, as the version stores them).
+    flushing: Vec<Arc<Vec<DataPoint>>>,
+    /// Overlapping L0 tables, newest first.
+    l0: Vec<SsTableMeta>,
+    /// Overlapping run tables, in key order.
+    run: Vec<SsTableMeta>,
+}
 
-        // Priority: newest L0 table first, then older L0, then the run.
+/// Merges every L0 table plus the overlapping part of the run through the
+/// shared compaction pipeline, holding the state lock only around the
+/// snapshot and the commit — never across table-store I/O:
+///
+/// 1. **Snapshot** (locked): wait out any in-flight merge via
+///    [`TierState::compacting`], then capture the L0 and overlapping-run
+///    metadata and raise the flag.
+/// 2. **Write** (unlocked): read the inputs, plan, and store the merged
+///    outputs ([`compaction::write_outputs`]).
+/// 3. **Commit** (locked): apply the version edit, record the manifest, do
+///    the metric accounting ([`compaction::commit`]), clear the flag, and
+///    signal `flush_done`.
+/// 4. **Retire** (unlocked): delete the consumed run and L0 tables.
+///
+/// A failure in phase 2 leaves the version untouched (plus orphan output
+/// tables for recovery-time GC) and clears the flag, so a
+/// [`retry_store`]-driven re-invocation restarts cleanly from a fresh
+/// snapshot. A failure in phase 4 leaves the committed version correct and
+/// the undeleted inputs as orphans.
+fn compact_l0_once(
+    state_mutex: &Mutex<TierState>,
+    flush_done: &Condvar,
+    store: &Arc<dyn TableStore>,
+    sstable_points: usize,
+    obs: &ObserverHandle,
+) -> Result<()> {
+    // Phase 1: snapshot the merge inputs under the lock.
+    let mut state = state_mutex.lock();
+    while state.compacting {
+        let (guard, _timed_out) =
+            flush_done.wait_timeout(state, Duration::from_millis(10));
+        state = guard;
+    }
+    let l0: Vec<SsTableMeta> = state.version.l0().to_vec();
+    let Some(range) = l0.iter().map(|m| m.range).reduce(|a, b| a.union(&b))
+    else {
+        return Ok(()); // L0 empty: nothing to merge.
+    };
+    let overlapping = state.version.run().overlapping(range);
+    state.compacting = true;
+    drop(state);
+
+    // Phase 2: read inputs and write outputs with the lock released.
+    // Priority: newest L0 table first, then older L0, then the run.
+    let prepared = (|| {
         let mut fresh = Vec::with_capacity(l0.len());
         for meta in l0.iter().rev() {
             fresh.push(store.get(meta.id)?);
         }
-        let overlapping = self.version.run().overlapping(range);
         let mut inputs = Vec::with_capacity(overlapping.len());
         for meta in overlapping {
             inputs.push(RunInput {
@@ -211,20 +257,57 @@ impl TierState {
             });
         }
         let plan = plan_merge(fresh, inputs, sstable_points, None);
-        compaction::execute(
-            plan,
-            store.as_ref(),
-            &mut self.version,
-            self.manifest.as_mut(),
-            &mut self.metrics,
+        compaction::write_outputs(plan, store.as_ref(), obs)
+    })();
+
+    // Phase 3: commit under the lock; the flag clears on every path out.
+    let mut state = state_mutex.lock();
+    state.compacting = false;
+    let committed = prepared.and_then(|prepared| {
+        let TierState {
+            version,
+            metrics,
+            manifest,
+            obs,
+            ..
+        } = &mut *state;
+        compaction::commit(
+            &prepared,
+            version,
+            manifest.as_mut(),
+            metrics,
             true,
-            &self.obs,
+            obs,
         )?;
-        for meta in &l0 {
-            store.delete(meta.id)?;
+        Ok(prepared)
+    });
+    let committed = match committed {
+        Ok(prepared) => prepared,
+        Err(e) => {
+            drop(state);
+            flush_done.notify_all();
+            return Err(e);
         }
-        Ok(())
+    };
+    state.check_invariants()?;
+    let version_snapshot =
+        cfg!(debug_assertions).then(|| state.version.clone());
+    drop(state);
+    flush_done.notify_all();
+
+    // Phase 4: retire the consumed inputs; readers resolving the committed
+    // version no longer reference them (a query snapshot taken before the
+    // commit retries on the missing table).
+    compaction::retire_inputs(&committed, store.as_ref())?;
+    for meta in &l0 {
+        store.delete(meta.id)?;
     }
+    // Debug builds cross-check the committed version against what the
+    // store actually holds, using the snapshot taken at commit time.
+    if let Some(version) = version_snapshot {
+        invariants::check_version_against_store(&version, store.as_ref())?;
+    }
+    Ok(())
 }
 
 /// The one way to open a [`TieredEngine`]: the tiered twin of
@@ -471,6 +554,7 @@ impl TieredEngine {
             manifest,
             invariants,
             degraded: None,
+            compacting: false,
             obs: obs.clone(),
         }));
         let degraded = Arc::new(AtomicBool::new(false));
@@ -557,15 +641,26 @@ impl TieredEngine {
                         tables: tables_created,
                         points: written,
                     });
-                    if state.version.l0().len() >= L0_COMPACT_THRESHOLD {
+                    let backlog =
+                        state.version.l0().len() >= L0_COMPACT_THRESHOLD;
+                    state.check_invariants()?;
+                    drop(state);
+                    worker_flush_done.notify_all();
+                    if backlog {
                         if let Err(e) = retry_store(|| {
-                            state.compact_l0(&worker_store, sstable_points)
+                            compact_l0_once(
+                                &worker_state,
+                                &worker_flush_done,
+                                &worker_store,
+                                sstable_points,
+                                &worker_obs,
+                            )
                         }) {
-                            // compact_l0 only commits its version edit after
-                            // every output table is stored, so a failed
-                            // attempt leaves state consistent (plus orphan
-                            // tables) and a retry restarts from scratch.
-                            drop(state);
+                            // compact_l0_once only commits its version edit
+                            // after every output table is stored, so a
+                            // failed attempt leaves state consistent (plus
+                            // orphan tables) and a retry restarts from
+                            // scratch.
                             enter_degraded(
                                 &worker_state,
                                 &worker_degraded,
@@ -575,15 +670,16 @@ impl TieredEngine {
                             return Ok(());
                         }
                     }
-                    state.check_invariants()?;
-                    drop(state);
-                    worker_flush_done.notify_all();
                 }
-                let mut state = worker_state.lock();
                 if let Err(e) = retry_store(|| {
-                    state.compact_l0(&worker_store, sstable_points)
+                    compact_l0_once(
+                        &worker_state,
+                        &worker_flush_done,
+                        &worker_store,
+                        sstable_points,
+                        &worker_obs,
+                    )
                 }) {
-                    drop(state);
                     enter_degraded(
                         &worker_state,
                         &worker_degraded,
@@ -592,7 +688,7 @@ impl TieredEngine {
                     );
                     return Ok(());
                 }
-                state.check_invariants()
+                worker_state.lock().check_invariants()
             })
             .map_err(|e| Error::Io(std::io::Error::other(e)))?;
         Ok(Self {
@@ -628,7 +724,8 @@ impl TieredEngine {
     fn with_wal(mut self, path: impl AsRef<Path>) -> Result<Self> {
         let mut wal = Wal::open(path)?;
         wal.attach_observer(self.obs.clone());
-        // seplint: allow(R5): survivor set is the FULL volatile snapshot
+        // Initialization, not truncation: this function opened the log
+        // itself, and the survivor set is the full volatile snapshot.
         wal.rewrite(&self.buffers.snapshot_sorted())?;
         self.wal = Some(wal);
         Ok(self)
@@ -794,11 +891,10 @@ impl TieredEngine {
     /// # Errors
     /// [`Error::Corrupt`] describing the first violation.
     pub fn check_integrity(&self) -> Result<()> {
-        let state = self.state.lock();
-        invariants::audit_version_against_store(
-            &state.version,
-            self.store.as_ref(),
-        )
+        // Audit a cloned snapshot so the state lock is not held across the
+        // store probes; the audit sees one consistent version either way.
+        let version = self.state.lock().version.clone();
+        invariants::audit_version_against_store(&version, self.store.as_ref())
     }
 
     /// The typed degraded (read-only) state, if the engine is in it. Set by
@@ -1008,14 +1104,80 @@ impl TieredEngine {
         &self,
         range: TimeRange,
     ) -> Result<(Vec<DataPoint>, QueryStats)> {
+        // The version is snapshotted under the lock but the table reads run
+        // without it, so a concurrent compaction can retire a snapshotted
+        // table mid-read. A read error against a stale snapshot is not a
+        // failure — retry against a fresh one; a bounded number of retries
+        // keeps a pathological compaction storm from starving the reader.
+        const SNAPSHOT_ATTEMPTS: usize = 8;
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let snapshot = self.query_snapshot(range);
+            match self.read_query_snapshot(range, &snapshot) {
+                Ok(out) => return Ok(out),
+                Err(e) => {
+                    if attempt >= SNAPSHOT_ATTEMPTS
+                        || !self.snapshot_is_stale(&snapshot)
+                    {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Captures, under one lock acquisition, every source a query needs:
+    /// the flushing batches plus the overlapping L0 (newest first) and run
+    /// table metadata.
+    fn query_snapshot(&self, range: TimeRange) -> QuerySnapshot {
+        let state = self.state.lock();
+        let flushing = state.version.flushing().to_vec();
+        let l0: Vec<SsTableMeta> = state
+            .version
+            .l0()
+            .iter()
+            .rev()
+            .filter(|meta| meta.range.overlaps(&range))
+            .copied()
+            .collect();
+        let run = state.version.run().overlapping(range);
+        QuerySnapshot { flushing, l0, run }
+    }
+
+    /// `true` when any table of `snapshot` has left the current version —
+    /// i.e. a compaction committed since the snapshot was taken, which is
+    /// the benign explanation for a read error.
+    fn snapshot_is_stale(&self, snapshot: &QuerySnapshot) -> bool {
+        let state = self.state.lock();
+        let live: HashSet<SsTableId> = state
+            .version
+            .l0()
+            .iter()
+            .chain(state.version.run().tables())
+            .map(|meta| meta.id)
+            .collect();
+        drop(state);
+        snapshot
+            .l0
+            .iter()
+            .chain(snapshot.run.iter())
+            .any(|meta| !live.contains(&meta.id))
+    }
+
+    /// Reads and merges every source of one [`QuerySnapshot`]; no lock is
+    /// held, so a table retired by a concurrent compaction surfaces as a
+    /// store error (classified by [`TieredEngine::snapshot_is_stale`]).
+    fn read_query_snapshot(
+        &self,
+        range: TimeRange,
+        snapshot: &QuerySnapshot,
+    ) -> Result<(Vec<DataPoint>, QueryStats)> {
         let mut stats = QueryStats::default();
         let mut sources = self.buffers.scan_sources(range);
         stats.mem_points_scanned +=
             sources.iter().map(|s| s.len() as u64).sum::<u64>();
-        // Hold the lock across the reads so compaction cannot delete tables
-        // under us; experiment-scale tables make this cheap.
-        let state = self.state.lock();
-        for batch in state.version.flushing().iter().rev() {
+        for batch in snapshot.flushing.iter().rev() {
             let hits: Vec<DataPoint> = batch
                 .iter()
                 .copied()
@@ -1024,10 +1186,7 @@ impl TieredEngine {
             stats.mem_points_scanned += hits.len() as u64;
             sources.push(hits);
         }
-        for meta in state.version.l0().iter().rev() {
-            if !meta.range.overlaps(&range) {
-                continue;
-            }
+        for meta in snapshot.l0.iter().chain(snapshot.run.iter()) {
             // Pruning metadata (v3 filter block) can clear a table without
             // reading its data blocks; `Some(false)` is definitive.
             if self.store.may_contain(meta.id, range)? == Some(false) {
@@ -1045,23 +1204,6 @@ impl TieredEngine {
                     .collect(),
             );
         }
-        for meta in state.version.run().overlapping(range) {
-            if self.store.may_contain(meta.id, range)? == Some(false) {
-                stats.tables_pruned += 1;
-                self.obs.emit(|| Event::TablePruned { table: meta.id.0 });
-                continue;
-            }
-            let table_points = self.store.get(meta.id)?;
-            stats.tables_read += 1;
-            stats.disk_points_scanned += table_points.len() as u64;
-            sources.push(
-                table_points
-                    .into_iter()
-                    .filter(|p| range.contains(p.gen_time))
-                    .collect(),
-            );
-        }
-        drop(state);
         let merged = merge_sorted(sources);
         stats.points_returned = merged.len() as u64;
         Ok((merged, stats))
@@ -1112,9 +1254,14 @@ impl TieredEngine {
     /// Storage failures from the forced compaction.
     pub fn quiesce(&mut self) -> Result<()> {
         self.drain();
-        let mut state = self.state.lock();
-        state.compact_l0(&self.store, self.config.sstable_points)?;
-        state.check_invariants()
+        compact_l0_once(
+            &self.state,
+            &self.flush_done,
+            &self.store,
+            self.config.sstable_points,
+            &self.obs,
+        )?;
+        self.state.lock().check_invariants()
     }
 
     /// Flushes buffers, stops the worker, and returns the final report.
@@ -1145,16 +1292,22 @@ impl TieredEngine {
             wal.rewrite(&[])?;
         }
 
-        let mut state = self.state.lock();
-        state.metrics.user_points = self.user_points;
-        let mut sources = Vec::with_capacity(state.version.run().len());
-        for meta in state.version.run().tables() {
+        // Snapshot the report inputs under a short lock, then read the run
+        // tables with the lock released (the worker is already joined, but
+        // the discipline is uniform: no guard across store I/O).
+        let (metrics, run_metas) = {
+            let mut state = self.state.lock();
+            state.metrics.user_points = self.user_points;
+            (state.metrics.clone(), state.version.run().tables().to_vec())
+        };
+        let mut sources = Vec::with_capacity(run_metas.len());
+        for meta in &run_metas {
             sources.push(self.store.get(meta.id)?);
         }
         let points = merge_sorted(sources);
         Ok(TieredReport::from_metrics(
-            &state.metrics,
-            state.version.run().len(),
+            &metrics,
+            run_metas.len(),
             points,
         ))
     }

@@ -113,29 +113,38 @@ pub fn plan_merge(
     }
 }
 
-/// Executes a merge plan: writes the output tables, atomically commits the
-/// [`VersionEdit::Replace`] (draining L0 when `drain_l0` is set), records
-/// the manifest, deletes the consumed run tables, and updates `metrics`.
+/// A plan whose output tables have been written to the store but whose
+/// [`VersionEdit`] has not yet been committed — the intermediate state
+/// between [`write_outputs`] and [`commit`].
 ///
-/// Consumed inputs are deleted through `store`, which is the decoded-block
-/// cache's invalidation contract: when the store is a
-/// [`CachedStore`](crate::store::CachedStore), every cached block (and the
-/// cached index) of a consumed table is dropped before this returns, so a
-/// reader can never be served decoded points of a table the compaction
-/// replaced.
+/// Splitting execution into *write* (store I/O, no version access),
+/// *commit* (version/manifest/metrics, no store I/O), and *retire* (store
+/// deletes) lets concurrent engines do the expensive phases without holding
+/// their state lock: the background worker writes outputs unlocked, takes
+/// the lock only for [`commit`], and retires the inputs unlocked again.
+#[derive(Debug)]
+pub struct PreparedCompaction {
+    /// The plan being executed.
+    pub plan: CompactionPlan,
+    /// Metadata of the freshly written output tables.
+    pub added: Vec<SsTableMeta>,
+    /// Encoded bytes written to the store (for `disk_bytes_written`).
+    pub bytes_written: u64,
+}
+
+/// Phase 1 of plan execution: announces the plan (`FlushStarted` /
+/// `CompactionPlanned`) and writes every output table to the store. Touches
+/// no version, manifest or metrics state, so callers may run it without
+/// holding any engine lock.
 ///
 /// # Errors
-/// Storage or manifest failures; the version is only mutated if the edit
-/// batch applies cleanly.
-pub fn execute(
+/// Storage failures; no version state has been touched, but already-written
+/// outputs are left behind for the caller's orphan GC.
+pub fn write_outputs(
     plan: CompactionPlan,
     store: &dyn TableStore,
-    version: &mut Version,
-    manifest: Option<&mut Manifest>,
-    metrics: &mut Metrics,
-    drain_l0: bool,
     obs: &ObserverHandle,
-) -> Result<()> {
+) -> Result<PreparedCompaction> {
     if plan.is_flush {
         obs.emit(|| Event::FlushStarted {
             points: plan.merged_points,
@@ -148,25 +157,48 @@ pub fn execute(
         });
     }
     let mut added = Vec::with_capacity(plan.outputs.len());
+    let mut bytes_written = 0u64;
     for chunk in &plan.outputs {
         let (meta, size) = store.put(chunk)?;
-        metrics.disk_bytes_written += size as u64;
-        metrics.tables_created += 1;
+        bytes_written += size as u64;
         added.push(meta);
     }
+    Ok(PreparedCompaction {
+        plan,
+        added,
+        bytes_written,
+    })
+}
+
+/// Phase 2 of plan execution: atomically applies the
+/// [`VersionEdit::Replace`] (draining L0 when `drain_l0` is set), records
+/// the manifest, and does all metric accounting and completion events. Does
+/// no table-store I/O — this is the only phase that needs the engine's
+/// state lock.
+///
+/// # Errors
+/// Version or manifest failures; the version is only mutated if the edit
+/// batch applies cleanly.
+pub fn commit(
+    prepared: &PreparedCompaction,
+    version: &mut Version,
+    manifest: Option<&mut Manifest>,
+    metrics: &mut Metrics,
+    drain_l0: bool,
+    obs: &ObserverHandle,
+) -> Result<()> {
+    let plan = &prepared.plan;
     let edits = [VersionEdit::Replace {
         removed: plan.inputs.clone(),
-        added,
+        added: prepared.added.clone(),
         drain_l0,
     }];
     version.apply(&edits)?;
     if let Some(manifest) = manifest {
         version.record(manifest, &edits)?;
     }
-    for id in &plan.inputs {
-        store.delete(*id)?;
-    }
-
+    metrics.disk_bytes_written += prepared.bytes_written;
+    metrics.tables_created += prepared.added.len() as u64;
     metrics.disk_points_written += plan.merged_points;
     metrics.rewritten_points += plan.rewritten_points;
     metrics.tables_deleted += plan.inputs.len() as u64;
@@ -188,6 +220,52 @@ pub fn execute(
     if let Some(subseq) = plan.subsequent {
         metrics.subsequent_counts.push(subseq);
     }
+    Ok(())
+}
+
+/// Phase 3 of plan execution: deletes the consumed input tables from the
+/// store. Runs strictly after [`commit`], so readers resolving the *new*
+/// version never look these tables up.
+///
+/// Deleting through `store` is the decoded-block cache's invalidation
+/// contract: when the store is a
+/// [`CachedStore`](crate::store::CachedStore), every cached block (and the
+/// cached index) of a consumed table is dropped before this returns, so a
+/// reader can never be served decoded points of a table the compaction
+/// replaced.
+///
+/// # Errors
+/// Storage failures.
+pub fn retire_inputs(
+    prepared: &PreparedCompaction,
+    store: &dyn TableStore,
+) -> Result<()> {
+    for id in &prepared.plan.inputs {
+        store.delete(*id)?;
+    }
+    Ok(())
+}
+
+/// Executes a merge plan in one call: [`write_outputs`], [`commit`],
+/// [`retire_inputs`]. The single-threaded engines use this composition; the
+/// background engine calls the phases directly so the store I/O runs
+/// outside its state lock.
+///
+/// # Errors
+/// Storage or manifest failures; the version is only mutated if the edit
+/// batch applies cleanly.
+pub fn execute(
+    plan: CompactionPlan,
+    store: &dyn TableStore,
+    version: &mut Version,
+    manifest: Option<&mut Manifest>,
+    metrics: &mut Metrics,
+    drain_l0: bool,
+    obs: &ObserverHandle,
+) -> Result<()> {
+    let prepared = write_outputs(plan, store, obs)?;
+    commit(&prepared, version, manifest, metrics, drain_l0, obs)?;
+    retire_inputs(&prepared, store)?;
     // Debug builds cross-check the committed version against what the
     // store actually holds after every executed plan.
     crate::invariants::check_version_against_store(version, store)?;

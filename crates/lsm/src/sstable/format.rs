@@ -78,6 +78,10 @@ use super::varint::{get_ivarint, get_uvarint, put_ivarint, put_uvarint};
 const MAGIC: &[u8; 4] = b"SLSM";
 const VERSION: u16 = 1;
 const VERSION_BLOCKS: u16 = 2;
+/// Smallest possible v1 record: a 1-byte gen-time varint, a 1-byte delay
+/// varint, and an 8-byte value — the divisor that bounds a decoded record
+/// count against the remaining payload.
+const MIN_V1_RECORD: usize = 10;
 /// On-disk version tag of the pruned (v3) layout; what
 /// [`sniff_version`] returns for tables carrying a filter block.
 pub const VERSION_PRUNED: u16 = 3;
@@ -281,6 +285,15 @@ pub fn decode(data: &[u8]) -> Result<Vec<DataPoint>> {
     let min_tg = buf.get_i64_le();
     let max_tg = buf.get_i64_le();
 
+    // A v1 record occupies at least two 1-byte varints plus an 8-byte
+    // value, so a count claiming more records than the remaining payload
+    // can hold is corruption — reject it before it sizes the allocation.
+    if count > buf.remaining() / MIN_V1_RECORD {
+        return Err(Error::Corrupt(format!(
+            "v1 record count {count} exceeds the {} remaining payload bytes",
+            buf.remaining()
+        )));
+    }
     let mut points = Vec::with_capacity(count);
     let mut prev_tg = None::<i64>;
     for _ in 0..count {
@@ -500,6 +513,15 @@ fn decode_block_common(
         )));
     }
     let count = count as usize;
+    // Each of the three bit streams spends at least one bit per record, so
+    // a count beyond the payload's bit budget is corrupt; rejecting it here
+    // also caps the slice allocations inside the stream decoders.
+    if count > payload.len() * 8 {
+        return Err(Error::Corrupt(format!(
+            "block count {count} exceeds the {}-byte payload's capacity",
+            payload.len()
+        )));
+    }
     let mut reader = BitReader::new(payload);
     let tgs = decode_i64s(&mut reader, count)?;
     let delays = decode_i64s(&mut reader, count)?;

@@ -13,13 +13,25 @@
 //!   buffer insert, manifest/flushing cover before WAL truncation.
 //! * **R6** — durability modules fsync the parent directory (`sync_dir`)
 //!   after every `rename`, or the new name itself can vanish in a crash.
+//! * **R7** — decoder modules bounds-check every length decoded from
+//!   untrusted bytes before it sizes an allocation.
+//! * **R8** — lock modules acquire locks in the documented order and never
+//!   hold a `MutexGuard` across store/WAL I/O or channel operations.
+//! * **R9** — engine modules emit a typed obs event in every function that
+//!   mutates a metric counter.
 //!
-//! Run it as `cargo run -p seplint -- <workspace-root>`; CI runs it before
-//! the build. Suppress a finding with
+//! R5 and R8 resolve helper calls through a crate-wide call graph
+//! ([`callgraph::CallGraph`]) built over every `.rs` file of the `lsm`
+//! crate, so contracts that span files are checked at the call site.
+//!
+//! Run it as `cargo run -p seplint -- <workspace-root>` (add
+//! `--format json` for machine-readable output); CI runs it before the
+//! build. Suppress a finding with
 //! `// seplint: allow(Rn): reason` on the offending line or the line above.
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod lexer;
 pub mod rules;
 
@@ -27,6 +39,8 @@ use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use callgraph::{module_matches, CallGraph};
 
 /// Library crates subject to R1 (no panics) and R2 (forbid unsafe).
 pub const LIB_CRATES: &[&str] = &["types", "dist", "core", "lsm", "workload"];
@@ -46,12 +60,36 @@ pub const KERNEL_MODULES: &[&str] = &[
     "filter.rs",
 ];
 
-/// Engine modules subject to the R5 durability-ordering lint.
+/// Engine modules subject to the R5 durability-ordering and R9
+/// event-coverage lints.
 pub const ORDERING_MODULES: &[&str] =
     &["engine.rs", "background.rs", "multi.rs"];
 
 /// Physical-durability modules subject to the R6 rename-then-sync-dir lint.
 pub const DURABILITY_MODULES: &[&str] = &["store.rs", "wal.rs", "manifest.rs"];
+
+/// Modules that decode attacker-grade bytes (corrupt SSTables, WALs,
+/// manifests), subject to the R7 untrusted-length lint. Matched as
+/// `/`-normalized path suffixes on component boundaries, so nested modules
+/// like `sstable/format.rs` resolve correctly.
+pub const DECODER_MODULES: &[&str] = &[
+    "sstable/format.rs",
+    "codec.rs",
+    "sstable/varint.rs",
+    "sstable/compress.rs",
+    "wal.rs",
+    "manifest.rs",
+];
+
+/// Modules with real lock/channel concurrency, subject to the R8
+/// lock-discipline lint.
+pub const LOCK_MODULES: &[&str] = &[
+    "engine.rs",
+    "background.rs",
+    "multi.rs",
+    "cache.rs",
+    "store.rs",
+];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,7 +98,7 @@ pub struct Violation {
     pub file: PathBuf,
     /// 1-based line.
     pub line: usize,
-    /// Rule id (`"R1"` .. `"R6"`).
+    /// Rule id (`"R1"` .. `"R9"`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -80,7 +118,9 @@ impl fmt::Display for Violation {
 }
 
 /// Lints every library crate under `root/crates`, returning all findings
-/// sorted by file then line.
+/// sorted by file then line. Runs in two passes: first every `.rs` file of
+/// the `lsm` crate is read and indexed into a [`CallGraph`], then each file
+/// is linted with cross-file call edges available to R5 and R8.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
     let mut out = Vec::new();
     for name in LIB_CRATES {
@@ -94,9 +134,20 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
                 ),
             ));
         }
+        let mut sources = Vec::new();
         for file in rust_files(&src_dir)? {
             let src = fs::read_to_string(&file)?;
-            out.extend(lint_file(&file, &src, name));
+            sources.push((file, src));
+        }
+        // The cross-file graph only matters for `lsm` (the sole crate with
+        // R5/R8 scope); other crates lint with an empty graph.
+        let graph = if *name == "lsm" {
+            CallGraph::build(&sources)
+        } else {
+            CallGraph::empty()
+        };
+        for (file, src) in &sources {
+            out.extend(lint_file_with(file, src, name, &graph));
         }
     }
     out.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
@@ -104,8 +155,21 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
 }
 
 /// Applies every rule whose scope matches `file` (which lives in library
-/// crate `crate_name`).
+/// crate `crate_name`), resolving helper calls within this file only.
+/// Prefer [`lint_workspace`], which supplies the crate-wide graph.
 pub fn lint_file(file: &Path, src: &str, crate_name: &str) -> Vec<Violation> {
+    let graph = CallGraph::build(&[(file.to_path_buf(), src.to_string())]);
+    lint_file_with(file, src, crate_name, &graph)
+}
+
+/// Applies every rule whose scope matches `file`, resolving calls through
+/// `graph`.
+pub fn lint_file_with(
+    file: &Path,
+    src: &str,
+    crate_name: &str,
+    graph: &CallGraph,
+) -> Vec<Violation> {
     let mut out = rules::no_panics(file, src);
     let base = file
         .file_name()
@@ -119,10 +183,19 @@ pub fn lint_file(file: &Path, src: &str, crate_name: &str) -> Vec<Violation> {
         out.extend(rules::kernel_returns_results(file, src));
     }
     if crate_name == "lsm" && ORDERING_MODULES.contains(&base) {
-        out.extend(rules::durability_order(file, src));
+        out.extend(rules::durability_order_with(file, src, graph));
+        out.extend(rules::event_coverage(file, src));
     }
     if crate_name == "lsm" && DURABILITY_MODULES.contains(&base) {
         out.extend(rules::rename_syncs_dir(file, src));
+    }
+    if crate_name == "lsm"
+        && DECODER_MODULES.iter().any(|m| module_matches(file, m))
+    {
+        out.extend(rules::untrusted_len(file, src));
+    }
+    if crate_name == "lsm" && LOCK_MODULES.contains(&base) {
+        out.extend(rules::lock_discipline_with(file, src, graph));
     }
     out
 }

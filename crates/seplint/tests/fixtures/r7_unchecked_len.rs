@@ -1,0 +1,59 @@
+//! R7 fixture: decoders that size allocations from lengths read out of
+//! untrusted bytes, with and without the bounds check that keeps a corrupt
+//! file from choosing the allocation size.
+
+// VIOLATION: the decoded count reaches `Vec::with_capacity` unchecked — a
+// 4-byte flip in the header allocates gigabytes.
+pub fn decode_unchecked(buf: &mut &[u8]) -> Result<Vec<Point>, Error> {
+    let count = buf.get_u32_le() as usize;
+    let mut points = Vec::with_capacity(count);
+    for _ in 0..count {
+        points.push(read_point(buf)?);
+    }
+    Ok(points)
+}
+
+// VIOLATION: a value *derived* from a decoded length is just as untrusted.
+pub fn decode_derived(buf: &mut &[u8]) -> Result<Vec<u8>, Error> {
+    let half = buf.get_u16_le() as usize;
+    let total = half * 2;
+    let mut out = Vec::new();
+    out.reserve(total);
+    Ok(out)
+}
+
+// VIOLATION: `vec![elem; n]` is the same sink in macro clothing.
+pub fn decode_macro(buf: &mut &[u8]) -> Result<Vec<u64>, Error> {
+    let slots = buf.get_u64_le() as usize;
+    let table = vec![0u64; slots];
+    Ok(table)
+}
+
+// Compliant: the count is rejected against the remaining input first.
+pub fn decode_bounded(buf: &mut &[u8]) -> Result<Vec<Point>, Error> {
+    let count = buf.get_u32_le() as usize;
+    if count > buf.remaining() / MIN_RECORD {
+        return Err(Error::Corrupt("count exceeds payload".into()));
+    }
+    let mut points = Vec::with_capacity(count);
+    for _ in 0..count {
+        points.push(read_point(buf)?);
+    }
+    Ok(points)
+}
+
+// Compliant: clamping against a named cap at the allocation site.
+pub fn decode_clamped(buf: &mut &[u8]) -> Result<Vec<u8>, Error> {
+    let hint = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(hint.min(MAX_BLOCK_BYTES));
+    out.extend_from_slice(buf);
+    Ok(out)
+}
+
+// Suppressed: the directive acknowledges the unchecked size.
+pub fn decode_suppressed(buf: &mut &[u8]) -> Result<Vec<u8>, Error> {
+    let len = buf.get_u32_le() as usize;
+    // seplint: allow(R7): fixture exercising the suppression path
+    let out = Vec::with_capacity(len);
+    Ok(out)
+}

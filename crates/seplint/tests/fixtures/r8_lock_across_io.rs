@@ -1,0 +1,79 @@
+//! R8 fixture: `MutexGuard`s held across store/WAL/channel operations, a
+//! lock-order inversion, and the compliant snapshot-then-read patterns.
+
+pub struct Engine {
+    state: Mutex<State>,
+    inner: Mutex<Inner>,
+    store: Arc<dyn TableStore>,
+    wal: Wal,
+    tx: Sender<Batch>,
+}
+
+impl Engine {
+    // VIOLATION: store I/O while the state guard is live.
+    pub fn read_locked(&self, id: u64) -> Result<Vec<Point>, Error> {
+        let state = self.state.lock();
+        let points = self.store.get(id)?;
+        drop(state);
+        Ok(points)
+    }
+
+    // VIOLATION: a bounded-channel send can block behind backpressure
+    // while every other thread waits on the guard.
+    pub fn send_locked(&self, batch: Batch) -> Result<(), Error> {
+        let mut state = self.state.lock();
+        state.pending += 1;
+        self.tx.send(batch)?;
+        Ok(())
+    }
+
+    // VIOLATION: WAL I/O under the guard.
+    pub fn log_locked(&mut self, p: Point) -> Result<(), Error> {
+        let state = self.state.lock();
+        self.wal.append(&p)?;
+        drop(state);
+        Ok(())
+    }
+
+    // VIOLATION: acquires the outer `state` lock while holding the inner
+    // one — the documented order is tier state first.
+    pub fn inverted(&self) -> u64 {
+        let inner = self.inner.lock();
+        let state = self.state.lock();
+        state.epoch + inner.count
+    }
+
+    // Compliant: snapshot under the guard, read after it is dropped.
+    pub fn read_snapshot(&self, id: u64) -> Result<Vec<Point>, Error> {
+        let metas = {
+            let state = self.state.lock();
+            state.metas.clone()
+        };
+        let _ = metas;
+        self.store.get(id)
+    }
+
+    // Compliant: the guard is explicitly dropped before the send.
+    pub fn send_unlocked(&self, batch: Batch) -> Result<(), Error> {
+        let mut state = self.state.lock();
+        state.pending += 1;
+        drop(state);
+        self.tx.send(batch)?;
+        Ok(())
+    }
+
+    // Compliant: a guard created and consumed inside one statement is
+    // never held across anything.
+    pub fn counter(&self) -> u64 {
+        self.state.lock().epoch
+    }
+
+    // Suppressed: the directive acknowledges the held guard.
+    pub fn read_suppressed(&self, id: u64) -> Result<Vec<Point>, Error> {
+        let state = self.state.lock();
+        // seplint: allow(R8): fixture exercising the suppression path
+        let points = self.store.get(id)?;
+        drop(state);
+        Ok(points)
+    }
+}

@@ -1,0 +1,39 @@
+//! R9 fixture: metric mutations with and without a typed obs event in the
+//! same function — the metric/event correspondence as a lint.
+
+pub struct Engine {
+    metrics: Metrics,
+    obs: ObserverHandle,
+}
+
+impl Engine {
+    // VIOLATION: the flush counter moves but no event witnesses it.
+    pub fn silent_flush(&mut self, points: u64) {
+        self.metrics.flushes += 1;
+        self.metrics.disk_points_written += points;
+    }
+
+    // VIOLATION: `.push` mutates a metric series just like `+=`.
+    pub fn silent_probe(&mut self, subsequent: u64) {
+        self.metrics.subsequent_counts.push(subsequent);
+    }
+
+    // Compliant: the mutation and its event live in the same function.
+    pub fn witnessed_flush(&mut self, points: u64) {
+        self.metrics.flushes += 1;
+        self.obs.emit(|| Event::FlushFinished { tables: 1, points });
+    }
+
+    // Compliant: plain `=` stores fold writer-side counters into a
+    // snapshot; they mutate no kernel counter.
+    pub fn snapshot(&mut self, user_points: u64) -> Metrics {
+        self.metrics.user_points = user_points;
+        self.metrics.clone()
+    }
+
+    // Suppressed: the directive acknowledges the silent mutation.
+    pub fn suppressed(&mut self) {
+        // seplint: allow(R9): fixture exercising the suppression path
+        self.metrics.compactions += 1;
+    }
+}

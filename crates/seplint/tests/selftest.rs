@@ -1,8 +1,9 @@
 //! seplint self-test: every fixture fires exactly its rule, suppressions
 //! work, and — most importantly — the real workspace is clean.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
+use seplint::callgraph::CallGraph;
 use seplint::{lint_workspace, rules};
 
 fn fixture(name: &str) -> String {
@@ -182,6 +183,176 @@ fn r6_fires_on_rename_without_dir_sync() {
     assert_eq!(v.len(), 1, "{v:?}");
     assert_eq!(v[0].rule, "R6");
     assert!(v[0].message.contains("put_unsynced"), "{v:?}");
+}
+
+/// Builds a [`CallGraph`] over `(file-name, source)` pairs for the
+/// cross-file tests.
+fn graph(files: &[(&str, &str)]) -> CallGraph {
+    let sources: Vec<(PathBuf, String)> = files
+        .iter()
+        .map(|(name, src)| (PathBuf::from(name), (*src).to_string()))
+        .collect();
+    CallGraph::build(&sources)
+}
+
+#[test]
+fn r5_resolves_helpers_across_files() {
+    // The durable append order is split across two files: `put` lives in
+    // the engine, the `wal.append` inside a helper in another module. The
+    // per-file scanner was blind to this; the graph judges it at the call
+    // site.
+    let engine_ok = "
+        impl Engine {
+            pub fn put(&mut self, p: Point) -> Result<()> {
+                log_point(&mut self.wal, &p)?;
+                self.buffers.insert(p);
+                Ok(())
+            }
+        }";
+    let helper = "
+        pub fn log_point(wal: &mut Wal, p: &Point) -> Result<()> {
+            wal.append(p)
+        }";
+    let g = graph(&[("engine.rs", engine_ok), ("helper.rs", helper)]);
+    assert!(
+        rules::durability_order_with(Path::new("engine.rs"), engine_ok, &g)
+            .is_empty(),
+        "cross-file append must dominate the insert"
+    );
+
+    // Same shape with the helper call *after* the insert: the expansion
+    // must still see the missing append.
+    let engine_bad = "
+        impl Engine {
+            pub fn put(&mut self, p: Point) -> Result<()> {
+                self.buffers.insert(p);
+                log_point(&mut self.wal, &p)?;
+                Ok(())
+            }
+        }";
+    let g = graph(&[("engine.rs", engine_bad), ("helper.rs", helper)]);
+    let v =
+        rules::durability_order_with(Path::new("engine.rs"), engine_bad, &g);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].message.contains("WAL-before-buffer"), "{v:?}");
+}
+
+#[test]
+fn r5_treats_rewrite_after_wal_open_as_initialization() {
+    // A function that opened the log itself and rewrites it to the full
+    // volatile snapshot is initializing, not truncating — this pattern
+    // previously needed an `allow(R5)` suppression.
+    let src = "
+        impl Engine {
+            fn with_wal(mut self, path: &Path) -> Result<Self> {
+                let mut wal = Wal::open(path)?;
+                wal.rewrite(&self.buffers.snapshot_sorted())?;
+                self.wal = Some(wal);
+                Ok(self)
+            }
+        }";
+    assert!(
+        rules::durability_order(Path::new("engine.rs"), src).is_empty(),
+        "rewrite after Wal::open is initialization"
+    );
+}
+
+#[test]
+fn r7_fires_on_unchecked_decoded_lengths() {
+    let src = fixture("r7_unchecked_len.rs");
+    let v = rules::untrusted_len(Path::new("format.rs"), &src);
+    let names: Vec<&str> = v
+        .iter()
+        .map(|x| {
+            x.message
+                .split('`')
+                .nth(1)
+                .expect("message names the function")
+        })
+        .collect();
+    assert_eq!(
+        names,
+        ["decode_unchecked", "decode_derived", "decode_macro"],
+        "{v:?}"
+    );
+    assert!(v.iter().all(|x| x.rule == "R7"));
+}
+
+#[test]
+fn r8_fires_on_guards_held_across_io_and_order_inversions() {
+    let src = fixture("r8_lock_across_io.rs");
+    let v = rules::lock_discipline(Path::new("background.rs"), &src);
+    let names: Vec<&str> = v
+        .iter()
+        .map(|x| {
+            x.message
+                .split('`')
+                .nth(1)
+                .expect("message names the function")
+        })
+        .collect();
+    assert_eq!(
+        names,
+        ["read_locked", "send_locked", "log_locked", "inverted"],
+        "{v:?}"
+    );
+    assert!(v.iter().all(|x| x.rule == "R8"));
+    assert!(v[0].message.contains("store I/O"), "{v:?}");
+    assert!(v[1].message.contains("channel `send`"), "{v:?}");
+    assert!(v[2].message.contains("WAL I/O"), "{v:?}");
+    assert!(v[3].message.contains("acquires `state`"), "{v:?}");
+}
+
+#[test]
+fn r8_sees_io_through_cross_file_helpers() {
+    // The I/O hides behind a helper in another file; the call-graph I/O
+    // summary must surface it at the locked call site.
+    let engine = "
+        impl Engine {
+            pub fn tick(&self) -> Result<()> {
+                let state = self.state.lock();
+                flush_all(&self.store)?;
+                drop(state);
+                Ok(())
+            }
+        }";
+    let helper = "
+        pub fn flush_all(store: &dyn TableStore) -> Result<()> {
+            store.put(&[])?;
+            Ok(())
+        }";
+    let g = graph(&[("engine.rs", engine), ("helper.rs", helper)]);
+    let v = rules::lock_discipline_with(Path::new("engine.rs"), engine, &g);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].message.contains("flush_all"), "{v:?}");
+    // Without the graph the same source is (wrongly) silent — the graph is
+    // what buys the cross-file visibility.
+    assert!(rules::lock_discipline(Path::new("engine.rs"), engine).is_empty());
+}
+
+#[test]
+fn r9_fires_on_silent_metric_mutations() {
+    let src = fixture("r9_silent_metric.rs");
+    let v = rules::event_coverage(Path::new("engine.rs"), &src);
+    let fields: Vec<&str> = v
+        .iter()
+        .map(|x| {
+            x.message
+                .split('`')
+                .nth(3)
+                .expect("message names the metric")
+        })
+        .collect();
+    assert_eq!(
+        fields,
+        [
+            "metrics.flushes",
+            "metrics.disk_points_written",
+            "metrics.subsequent_counts"
+        ],
+        "{v:?}"
+    );
+    assert!(v.iter().all(|x| x.rule == "R9"));
 }
 
 /// The core guarantee: the real workspace is lint-clean. Any regression in

@@ -20,8 +20,23 @@ else
   echo "== cargo clippy not installed; skipping lint =="
 fi
 
-echo "== seplint (R1-R6 storage-kernel contracts) =="
-cargo run -q -p seplint --offline -- .
+# seplint emits machine-readable findings so a CI failure names the exact
+# file/line/rule instead of burying it in the build log.
+echo "== seplint (R1-R9 storage-kernel contracts) =="
+SEPLINT_JSON="$(mktemp)"
+if cargo run -q -p seplint --offline -- --format json . >"$SEPLINT_JSON"; then
+  rm -f "$SEPLINT_JSON"
+else
+  python3 - "$SEPLINT_JSON" <<'PYEOF'
+import json, sys
+findings = json.load(open(sys.argv[1]))
+for f in findings:
+    print(f"seplint: {f['file']}:{f['line']}: {f['rule']}: {f['message']}")
+print(f"seplint: {len(findings)} violation(s)")
+PYEOF
+  rm -f "$SEPLINT_JSON"
+  exit 1
+fi
 
 echo "== cargo build --release =="
 cargo build --release --workspace --offline
@@ -103,6 +118,31 @@ if [[ "${MIRI:-0}" == "1" ]]; then
     cargo miri test -q -p seplsm-lsm --lib --offline -- memtable buffer
   else
     echo "== MIRI=1 requested but cargo-miri is not installed; skipping =="
+  fi
+fi
+
+# Opt-in data-race lane: TSAN=1 scripts/ci.sh rebuilds the flush-pool and
+# cache tests under ThreadSanitizer (nightly-only -Zsanitizer=thread) — the
+# runtime complement to seplint R8's static lock discipline. Tolerant-skip
+# like the MIRI lane: a stable-only toolchain just reports and moves on.
+if [[ "${TSAN:-0}" == "1" ]]; then
+  TSAN_TARGET="$(rustc -vV | sed -n 's/^host: //p')"
+  # -Zbuild-std (needed so std itself is TSAN-instrumented, avoiding false
+  # positives from uninstrumented Arc/Mutex internals) requires the nightly
+  # rust-src component on disk; installing it needs the network, so treat
+  # its absence exactly like a missing nightly.
+  if rustc +nightly --version >/dev/null 2>&1 \
+     && [[ -d "$(rustc +nightly --print sysroot 2>/dev/null)/lib/rustlib/src/rust/library" ]]; then
+    echo "== cargo test under ThreadSanitizer (opt-in) =="
+    RUSTFLAGS="-Zsanitizer=thread" \
+    RUSTDOCFLAGS="-Zsanitizer=thread" \
+    TSAN_OPTIONS="halt_on_error=1" \
+    cargo +nightly test -q -p seplsm-lsm --lib --offline \
+      -Zbuild-std --target "$TSAN_TARGET" \
+      --target-dir target/tsan -- multi:: cache:: background:: \
+      || { echo "ThreadSanitizer lane failed"; exit 1; }
+  else
+    echo "== TSAN=1 requested but nightly + rust-src are not installed; skipping =="
   fi
 fi
 
