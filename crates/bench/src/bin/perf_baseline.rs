@@ -4,7 +4,11 @@
 //!
 //! * `BENCH_ingest.json` — multi-series ingest throughput, 1 worker vs N
 //!   workers, with a built-in determinism check (per-series scans and
-//!   summed metrics must be identical for every worker count).
+//!   summed metrics must be identical for every worker count), plus an
+//!   admission-control lane: a stall-inducing burst against a slow store
+//!   (reporting `p99`/`p999` append latency, `stall_ticks` and the
+//!   watermark-bounded `max_l0_depth`) and a light pass that must never
+//!   stall.
 //! * `BENCH_query.json` — repeated range queries over a compressed store,
 //!   cache on vs cache off: wall time, disk bytes fetched, blocks decoded
 //!   and the warm hit rate. A second, *cold* lane compares v2 whole-file
@@ -23,16 +27,17 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use seplsm_bench::{args, report};
 use seplsm_dist::LogNormal;
 use seplsm_lsm::sstable::{ByteSpan, RangeRead};
 use seplsm_lsm::store::load_index;
 use seplsm_lsm::{
-    BlockCache, EncodeOptions, EngineConfig, LsmEngine, MemStore,
-    MultiOpenOptions, MultiSeriesEngine, OpenOptions, SeriesId, SsTableId,
-    SsTableMeta, TableStore,
+    AdmissionStats, BlockCache, EncodeOptions, EngineConfig, IoPacer,
+    LsmEngine, MemStore, Metrics, MultiOpenOptions, MultiSeriesEngine,
+    OpenOptions, SeriesId, SsTableId, SsTableMeta, TableStore,
+    TieredOpenOptions, Watermarks,
 };
 use seplsm_types::{DataPoint, Error, Result, TimeRange};
 use seplsm_workload::SyntheticWorkload;
@@ -130,6 +135,70 @@ impl TableStore for CountingStore {
     }
 }
 
+/// A [`MemStore`] whose `put` sleeps for a fixed interval: a deterministic
+/// stand-in for a saturated disk, letting the stall lane drive the tiered
+/// engine's L0 above its watermarks without depending on machine speed.
+struct SlowStore {
+    inner: MemStore,
+    put_delay: Duration,
+}
+
+impl SlowStore {
+    fn new(put_delay: Duration) -> Self {
+        Self {
+            inner: MemStore::new(),
+            put_delay,
+        }
+    }
+}
+
+impl TableStore for SlowStore {
+    fn put(&self, points: &[DataPoint]) -> Result<(SsTableMeta, usize)> {
+        std::thread::sleep(self.put_delay);
+        self.inner.put(points)
+    }
+
+    fn get(&self, id: SsTableId) -> Result<Vec<DataPoint>> {
+        self.inner.get(id)
+    }
+
+    fn get_range(&self, id: SsTableId, range: TimeRange) -> Result<RangeRead> {
+        self.inner.get_range(id, range)
+    }
+
+    fn delete(&self, id: SsTableId) -> Result<()> {
+        self.inner.delete(id)
+    }
+
+    fn list(&self) -> Result<Vec<SsTableId>> {
+        self.inner.list()
+    }
+
+    fn read_raw(&self, id: SsTableId) -> Result<Option<bytes::Bytes>> {
+        self.inner.read_raw(id)
+    }
+
+    fn table_len(&self, id: SsTableId) -> Result<Option<u64>> {
+        self.inner.table_len(id)
+    }
+
+    fn read_span(
+        &self,
+        id: SsTableId,
+        span: ByteSpan,
+    ) -> Result<Option<bytes::Bytes>> {
+        self.inner.read_span(id, span)
+    }
+
+    fn may_contain(
+        &self,
+        id: SsTableId,
+        range: TimeRange,
+    ) -> Result<Option<bool>> {
+        self.inner.may_contain(id, range)
+    }
+}
+
 fn dataset(points: usize, seed: u64) -> Vec<DataPoint> {
     SyntheticWorkload::new(50, LogNormal::new(4.0, 1.5), points, seed)
         .generate()
@@ -203,6 +272,126 @@ fn ingest_lane(
         "speedup": speedup,
         "deterministic": true,
         "write_amplification": seq.metrics().write_amplification(),
+    }))
+}
+
+/// Lane 1b: admission control under pressure. A *burst* pass appends into
+/// a tiered engine whose store sleeps on every table write and whose
+/// watermarks are tight, forcing delayed appends and real write stalls; a
+/// *light* pass uses a fast store and headroom watermarks and must never
+/// stall. Both passes report per-append tail latencies (`p99`/`p999`) plus
+/// the admission counters; the burst pass additionally proves the stop
+/// watermark bounded the L0 depth.
+fn stall_lane(points: usize, seed: u64) -> Result<serde_json::Value> {
+    fn percentile(sorted_nanos: &[u64], q: f64) -> f64 {
+        if sorted_nanos.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted_nanos.len() - 1) as f64 * q).round() as usize;
+        sorted_nanos[idx] as f64 / 1_000.0
+    }
+
+    let run = |store: Arc<dyn TableStore>,
+               watermarks: Watermarks,
+               pacer: IoPacer|
+     -> Result<(Vec<u64>, Metrics, AdmissionStats)> {
+        let mut engine = TieredOpenOptions::new(
+            EngineConfig::conventional(64).with_sstable_points(64),
+        )
+        .store(store)
+        .admission(watermarks)
+        .pacer(pacer)
+        .open()?;
+        let mut lat = Vec::with_capacity(points);
+        for p in dataset(points, seed) {
+            let t = Instant::now();
+            engine.append(p)?;
+            lat.push(t.elapsed().as_nanos() as u64);
+        }
+        engine.quiesce()?;
+        let metrics = engine.metrics();
+        let stats = engine.admission_stats();
+        engine.finish()?;
+        lat.sort_unstable();
+        Ok((lat, metrics, stats))
+    };
+
+    let tight = Watermarks::new(2, 4)?;
+    let (burst_lat, burst_m, burst_a) = run(
+        Arc::new(SlowStore::new(Duration::from_micros(300))),
+        tight,
+        IoPacer::new(1024, 4096)?,
+    )?;
+    if burst_m.stall_ticks == 0 || burst_a.stalls == 0 {
+        return Err(Error::InvalidConfig(
+            "burst pass failed to induce a write stall".into(),
+        ));
+    }
+    if burst_a.max_depth > tight.stop() {
+        return Err(Error::InvalidConfig(format!(
+            "stop watermark breached: depth {} > {}",
+            burst_a.max_depth,
+            tight.stop()
+        )));
+    }
+    if burst_a.currently_stalled {
+        return Err(Error::InvalidConfig(
+            "burst pass ended inside a stall".into(),
+        ));
+    }
+
+    let headroom = Watermarks::new(1 << 20, 1 << 21)?;
+    let (light_lat, light_m, light_a) =
+        run(Arc::new(MemStore::new()), headroom, IoPacer::default())?;
+    if light_m.stall_ticks != 0 {
+        return Err(Error::InvalidConfig(
+            "light pass must never stall under headroom watermarks".into(),
+        ));
+    }
+
+    let burst_p99 = percentile(&burst_lat, 0.99);
+    let burst_p999 = percentile(&burst_lat, 0.999);
+    println!(
+        "stall: burst p99 {burst_p99:.1}us p999 {burst_p999:.1}us — \
+         {} stalls, {} stall ticks, {} delayed, max depth {}/{} — \
+         light p99 {:.1}us, 0 stall ticks",
+        burst_a.stalls,
+        burst_m.stall_ticks,
+        burst_m.delayed_appends,
+        burst_a.max_depth,
+        tight.stop(),
+        percentile(&light_lat, 0.99),
+    );
+    Ok(serde_json::json!({
+        // Headline keys (CI contract): burst-pass tail latency + stalls.
+        "p99": burst_p99,
+        "p999": burst_p999,
+        "stall_ticks": burst_m.stall_ticks,
+        "max_l0_depth": burst_a.max_depth,
+        "stop_watermark": tight.stop(),
+        "burst": {
+            "points": points,
+            "slowdown_watermark": tight.slowdown(),
+            "stop_watermark": tight.stop(),
+            "p50_us": percentile(&burst_lat, 0.50),
+            "p99_us": burst_p99,
+            "p999_us": burst_p999,
+            "stalls": burst_a.stalls,
+            "stall_ticks": burst_m.stall_ticks,
+            "delayed_appends": burst_m.delayed_appends,
+            "paced_ticks": burst_m.paced_ticks,
+            "max_l0_depth": burst_a.max_depth,
+        },
+        "light": {
+            "points": points,
+            "p50_us": percentile(&light_lat, 0.50),
+            "p99_us": percentile(&light_lat, 0.99),
+            "p999_us": percentile(&light_lat, 0.999),
+            "stalls": light_a.stalls,
+            "stall_ticks": light_m.stall_ticks,
+            "delayed_appends": light_m.delayed_appends,
+            "max_l0_depth": light_a.max_depth,
+        },
     }))
 }
 
@@ -455,7 +644,10 @@ fn main() -> Result<()> {
     let out_dir = args::flag("out-dir").unwrap_or_else(|| "results".into());
 
     report::banner("perf baseline: cache + fleet flush pool");
-    let ingest = ingest_lane(points, series, workers, seed)?;
+    let ingest = merge_objects(
+        ingest_lane(points, series, workers, seed)?,
+        stall_lane(points, seed)?,
+    );
     let query = merge_objects(
         query_lane(points, passes, cache_points, seed)?,
         cold_lane(points, cache_points, seed)?,

@@ -47,6 +47,11 @@ use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::{Condvar, Mutex};
 use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange, Timestamp};
 
+use crate::admission::{
+    AdmissionController, AdmissionDepth, AdmissionOutcome, AdmissionStats,
+    IoPacer, PaceDecision, PacerStats, RetryBackoff, StallTransition,
+    Watermarks,
+};
 use crate::buffer::{FlushTrigger, PolicyBuffers};
 use crate::compaction::{self, plan_merge, RunInput};
 use crate::engine::EngineConfig;
@@ -71,21 +76,32 @@ use crate::wal::Wal;
 const L0_COMPACT_THRESHOLD: usize = 4;
 /// Flush-queue depth before ingestion back-pressures.
 const CHANNEL_DEPTH: usize = 8;
-/// Upper bound on attempts at a transiently failing store operation in the
-/// background worker. Attempt-counted, not clock-based: there is no backoff
-/// sleep, so retries stay deterministic under fault injection.
-const STORE_RETRY_ATTEMPTS: usize = 3;
 
-/// Retries `op` up to [`STORE_RETRY_ATTEMPTS`] times on [`Error::Io`] (the
-/// transient class — a torn network store, an injected fault); any other
-/// error class aborts immediately.
-fn retry_store<T>(mut op: impl FnMut() -> Result<T>) -> Result<T> {
-    let mut attempt = 0;
+/// Retries `op` on [`Error::Io`] (the transient class — a torn network
+/// store, an injected fault) under a bounded, exponentially growing
+/// logical-tick backoff; any other error class aborts immediately. The
+/// backoff is charged in ticks, never slept, so fault schedules stay
+/// deterministic; each delayed reattempt is announced as
+/// [`Event::RetryBackoff`] and counted in `Metrics::retry_backoffs`.
+fn retry_store<T>(
+    state: &Mutex<TierState>,
+    obs: &ObserverHandle,
+    mut op: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    let mut backoff = RetryBackoff::default();
     loop {
-        attempt += 1;
         match op() {
             Ok(v) => return Ok(v),
-            Err(Error::Io(_)) if attempt < STORE_RETRY_ATTEMPTS => {}
+            Err(e @ Error::Io(_)) => match backoff.next_delay() {
+                Some((attempt, ticks)) => {
+                    state.lock().metrics.retry_backoffs += 1;
+                    obs.emit(|| Event::RetryBackoff {
+                        attempt: u64::from(attempt),
+                        ticks,
+                    });
+                }
+                None => return Err(e),
+            },
             Err(e) => return Err(e),
         }
     }
@@ -104,7 +120,7 @@ fn enter_degraded(
     let degraded = DegradedState {
         reason: DegradedReason::StoreIo,
         op,
-        attempts: STORE_RETRY_ATTEMPTS as u32,
+        attempts: crate::admission::DEFAULT_RETRY_ATTEMPTS,
         detail: err.to_string(),
     };
     let mut state = state.lock();
@@ -175,6 +191,11 @@ struct TierState {
     /// snapshot in that window. Cleared on every exit path and signalled on
     /// the engine's `flush_done` condvar.
     compacting: bool,
+    /// Watermark-gated admission: consulted by the writer before every
+    /// buffer insert against the combined L0 + pending-flush depth.
+    admission: AdmissionController,
+    /// Logical token bucket rate-limiting compaction output writes.
+    pacer: IoPacer,
     /// Worker-side event sink (shared with the writer's handle).
     obs: ObserverHandle,
 }
@@ -257,6 +278,23 @@ fn compact_l0_once(
             });
         }
         let plan = plan_merge(fresh, inputs, sstable_points, None);
+        // Pace the output write against the logical token budget before it
+        // hits the store. Ticks are accounting only — nothing sleeps — so
+        // fault schedules stay deterministic while the charge shows up in
+        // `paced_ticks` for the bench/stats trajectory.
+        let paced = {
+            let mut state = state_mutex.lock();
+            match state.pacer.grant(plan.merged_points) {
+                PaceDecision::Proceed => None,
+                PaceDecision::Wait { ticks } => {
+                    state.metrics.paced_ticks += ticks;
+                    Some(ticks)
+                }
+            }
+        };
+        if let Some(ticks) = paced {
+            obs.emit(|| Event::CompactionPaced { ticks });
+        }
         compaction::write_outputs(plan, store.as_ref(), obs)
     })();
 
@@ -332,6 +370,8 @@ pub struct OpenOptions {
     observer: ObserverHandle,
     sync_flush: bool,
     cache: Option<Arc<crate::cache::BlockCache>>,
+    watermarks: Watermarks,
+    pacer: IoPacer,
 }
 
 impl std::fmt::Debug for OpenOptions {
@@ -345,6 +385,7 @@ impl std::fmt::Debug for OpenOptions {
             .field("observer", &self.observer.is_attached())
             .field("sync_flush", &self.sync_flush)
             .field("cache", &self.cache.is_some())
+            .field("watermarks", &self.watermarks)
             .finish()
     }
 }
@@ -362,7 +403,27 @@ impl OpenOptions {
             observer: ObserverHandle::detached(),
             sync_flush: false,
             cache: None,
+            watermarks: Watermarks::default(),
+            pacer: IoPacer::default(),
         }
+    }
+
+    /// Sets the slowdown/stop admission watermarks the writer consults
+    /// before every buffer insert (default
+    /// [`Watermarks::default`]: 8/16). Tight watermarks turn ingest
+    /// bursts into typed [`AdmissionOutcome::Delayed`] /
+    /// [`AdmissionOutcome::Stalled`] outcomes instead of unbounded L0
+    /// growth.
+    pub fn admission(mut self, watermarks: Watermarks) -> Self {
+        self.watermarks = watermarks;
+        self
+    }
+
+    /// Sets the logical token bucket that paces compaction output writes
+    /// (default [`IoPacer::default`]).
+    pub fn pacer(mut self, pacer: IoPacer) -> Self {
+        self.pacer = pacer;
+        self
     }
 
     /// Backs the engine with `store`. Defaults to a fresh in-memory store.
@@ -445,6 +506,8 @@ impl OpenOptions {
             Version::new(),
             None,
             self.observer,
+            self.watermarks,
+            self.pacer,
         )?;
         if let Some(path) = self.wal {
             engine = engine.with_wal(path)?;
@@ -483,6 +546,8 @@ impl OpenOptions {
             self.wal,
             self.recovery,
             self.observer,
+            self.watermarks,
+            self.pacer,
         )?;
         engine.finish_open(self.faults);
         engine.sync_flush = self.sync_flush;
@@ -535,15 +600,20 @@ impl TieredEngine {
             Version::new(),
             None,
             ObserverHandle::detached(),
+            Watermarks::default(),
+            IoPacer::default(),
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
         config: EngineConfig,
         store: Arc<dyn TableStore>,
         version: Version,
         manifest: Option<Manifest>,
         obs: ObserverHandle,
+        watermarks: Watermarks,
+        pacer: IoPacer,
     ) -> Result<Self> {
         let pivot = version.last_stored_gen_time();
         let invariants = InvariantChecker::seeded(&version);
@@ -555,6 +625,8 @@ impl TieredEngine {
             invariants,
             degraded: None,
             compacting: false,
+            admission: AdmissionController::new(watermarks),
+            pacer,
             obs: obs.clone(),
         }));
         let degraded = Arc::new(AtomicBool::new(false));
@@ -588,7 +660,9 @@ impl TieredEngine {
                     let mut bytes = 0u64;
                     let mut flush_failure = None;
                     for chunk in batch.chunks(sstable_points) {
-                        match retry_store(|| worker_store.put(chunk)) {
+                        match retry_store(&worker_state, &worker_obs, || {
+                            worker_store.put(chunk)
+                        }) {
                             Ok((meta, size)) => {
                                 written += chunk.len() as u64;
                                 bytes += size as u64;
@@ -647,15 +721,17 @@ impl TieredEngine {
                     drop(state);
                     worker_flush_done.notify_all();
                     if backlog {
-                        if let Err(e) = retry_store(|| {
-                            compact_l0_once(
-                                &worker_state,
-                                &worker_flush_done,
-                                &worker_store,
-                                sstable_points,
-                                &worker_obs,
-                            )
-                        }) {
+                        if let Err(e) =
+                            retry_store(&worker_state, &worker_obs, || {
+                                compact_l0_once(
+                                    &worker_state,
+                                    &worker_flush_done,
+                                    &worker_store,
+                                    sstable_points,
+                                    &worker_obs,
+                                )
+                            })
+                        {
                             // compact_l0_once only commits its version edit
                             // after every output table is stored, so a
                             // failed attempt leaves state consistent (plus
@@ -671,7 +747,7 @@ impl TieredEngine {
                         }
                     }
                 }
-                if let Err(e) = retry_store(|| {
+                if let Err(e) = retry_store(&worker_state, &worker_obs, || {
                     compact_l0_once(
                         &worker_state,
                         &worker_flush_done,
@@ -770,6 +846,7 @@ impl TieredEngine {
     /// (run tables additionally lose overlap clashes to their newer
     /// rewrites; L0 tables may overlap by design and are only probed), and
     /// the returned [`RecoveryReport`] names every loss.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn recover_with(
         config: EngineConfig,
         store: Arc<dyn TableStore>,
@@ -777,6 +854,8 @@ impl TieredEngine {
         wal_path: Option<PathBuf>,
         options: RecoveryOptions,
         obs: ObserverHandle,
+        watermarks: Watermarks,
+        pacer: IoPacer,
     ) -> Result<(Self, RecoveryReport)> {
         config.validate()?;
         let mut report = RecoveryReport::default();
@@ -808,7 +887,8 @@ impl TieredEngine {
         });
         let run = Run::from_tables(run_metas)?;
         let version = Version::from_levels(run, l0_metas);
-        let mut engine = Self::build(config, store, version, None, obs)?;
+        let mut engine =
+            Self::build(config, store, version, None, obs, watermarks, pacer)?;
         // Re-attach the manifest first so replay-triggered flushes are
         // recorded; re-seeding makes it authoritative for the rebuilt state.
         let mut manifest = Manifest::open(&manifest_path)?;
@@ -898,9 +978,10 @@ impl TieredEngine {
     }
 
     /// The typed degraded (read-only) state, if the engine is in it. Set by
-    /// the background worker after [`STORE_RETRY_ATTEMPTS`] consecutive
-    /// failures of a store operation; once set, writes fail with
-    /// [`Error::Degraded`] while queries keep serving the surviving state.
+    /// the background worker once its backed-off retries
+    /// ([`crate::admission::DEFAULT_RETRY_ATTEMPTS`]) at a store operation
+    /// are exhausted; once set, writes fail with [`Error::Degraded`] while
+    /// queries keep serving the surviving state.
     pub fn degraded_state(&self) -> Option<DegradedState> {
         if !self.degraded.load(Ordering::Acquire) {
             return None;
@@ -1004,18 +1085,121 @@ impl TieredEngine {
         Ok(())
     }
 
-    /// Writes one point; only blocks if the flush queue is full.
+    /// Writes one point, reporting how admission treated it: `Admitted`
+    /// below the slowdown watermark, `Delayed { ticks }` between slowdown
+    /// and stop, `Stalled` when the append had to wait out a write stall
+    /// (the point is still accepted once the backlog drains — durability
+    /// is unchanged, only the outcome is typed). Also blocks if the flush
+    /// queue is full.
     ///
     /// # Errors
     /// Worker-side failures surface here once the queue is gone.
-    pub fn append(&mut self, p: DataPoint) -> Result<()> {
+    pub fn append(&mut self, p: DataPoint) -> Result<AdmissionOutcome> {
         self.append_internal(p, true)
     }
 
-    fn append_internal(&mut self, p: DataPoint, log_wal: bool) -> Result<()> {
+    /// Consults the admission controller against the combined L0 +
+    /// pending-flush depth, blocking while the stop watermark is exceeded.
+    /// A stalled writer parks on `flush_done` and re-consults on every
+    /// wakeup; hysteresis ends the stall only once depth falls below the
+    /// resume (slowdown) watermark. When the worker has nothing queued but
+    /// L0 is still over the watermark, the writer merges L0 itself, so
+    /// stalls always end even with an idle worker.
+    fn admit(&mut self) -> Result<AdmissionOutcome> {
+        let mut stalled_here = false;
+        let mut state = self.state.lock();
+        loop {
+            let depth = AdmissionDepth {
+                l0_tables: state.version.l0().len(),
+                pending_flushes: state.version.flushing().len(),
+            };
+            let decision = state.admission.admit(depth);
+            match decision.transition {
+                Some(StallTransition::Began) => {
+                    state.metrics.write_stalls += 1;
+                    let d = depth.combined() as u64;
+                    state.obs.emit(|| Event::WriteStallBegin { depth: d });
+                }
+                Some(StallTransition::Ended { ticks }) => {
+                    state.metrics.stall_ticks += ticks;
+                    state.obs.emit(|| Event::WriteStallEnd { ticks });
+                }
+                None => {}
+            }
+            match decision.outcome {
+                AdmissionOutcome::Admitted => {
+                    // An append that waited out a stall reports it.
+                    return Ok(if stalled_here {
+                        AdmissionOutcome::Stalled
+                    } else {
+                        AdmissionOutcome::Admitted
+                    });
+                }
+                AdmissionOutcome::Delayed { ticks } => {
+                    state.metrics.delayed_appends += 1;
+                    state.metrics.stall_ticks += ticks;
+                    state.obs.emit(|| Event::AdmissionDelayed { ticks });
+                    return Ok(AdmissionOutcome::Delayed { ticks });
+                }
+                AdmissionOutcome::Stalled => {
+                    stalled_here = true;
+                    if state.degraded.is_some() {
+                        // A degraded worker will never drain the backlog:
+                        // close the episode and surface the typed error.
+                        if let Some(ticks) = state.admission.interrupt_stall() {
+                            state.metrics.stall_ticks += ticks;
+                            state.obs.emit(|| Event::WriteStallEnd { ticks });
+                        }
+                        let reason = match state.degraded.clone() {
+                            Some(s) => s.to_string(),
+                            None => "background storage failure".to_string(),
+                        };
+                        return Err(Error::Degraded(reason));
+                    }
+                    if state.version.flushing().is_empty() && !state.compacting
+                    {
+                        // Idle worker, over-watermark L0: drain it from
+                        // this thread (compact_l0_once locks internally).
+                        drop(state);
+                        compact_l0_once(
+                            &self.state,
+                            &self.flush_done,
+                            &self.store,
+                            self.config.sstable_points,
+                            &self.obs,
+                        )?;
+                        state = self.state.lock();
+                        continue;
+                    }
+                    if self.handle.as_ref().is_none_or(JoinHandle::is_finished)
+                    {
+                        // Worker gone without degrading (shutdown race):
+                        // nothing will retire the backlog, so don't wait
+                        // for it.
+                        if let Some(ticks) = state.admission.interrupt_stall() {
+                            state.metrics.stall_ticks += ticks;
+                            state.obs.emit(|| Event::WriteStallEnd { ticks });
+                        }
+                        return Ok(AdmissionOutcome::Stalled);
+                    }
+                    let (guard, _timed_out) = self
+                        .flush_done
+                        .wait_timeout(state, Duration::from_millis(10));
+                    state = guard;
+                }
+            }
+        }
+    }
+
+    fn append_internal(
+        &mut self,
+        p: DataPoint,
+        log_wal: bool,
+    ) -> Result<AdmissionOutcome> {
         if let Some(e) = self.degraded_error() {
             return Err(e);
         }
+        let outcome = self.admit()?;
         if log_wal {
             if let Some(wal) = self.wal.as_mut() {
                 wal.append(&p)?;
@@ -1036,7 +1220,7 @@ impl TieredEngine {
                 self.drain();
             }
         }
-        Ok(())
+        Ok(outcome)
     }
 
     /// Switches the buffering policy mid-stream through the shared
@@ -1089,6 +1273,18 @@ impl TieredEngine {
         let mut metrics = self.state.lock().metrics.clone();
         metrics.user_points = self.user_points;
         metrics
+    }
+
+    /// Snapshot of the admission controller's counters: admitted/delayed
+    /// appends, stall episodes and ticks, and the peak combined
+    /// L0 + pending-flush depth seen at admission time.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.state.lock().admission.stats()
+    }
+
+    /// Snapshot of the compaction I/O pacer's counters.
+    pub fn pacer_stats(&self) -> PacerStats {
+        self.state.lock().pacer.stats()
     }
 
     /// Range query over generation time, merging MemTables, every
@@ -1552,7 +1748,7 @@ mod tests {
                 break false;
             }
             match e.append(DataPoint::new(appended, appended, 0.0)) {
-                Ok(()) => appended += 1,
+                Ok(_) => appended += 1,
                 Err(Error::Degraded(reason)) => {
                     assert!(!reason.is_empty());
                     break true;
@@ -1577,6 +1773,131 @@ mod tests {
             pts.len()
         );
         assert!(matches!(e.finish(), Err(Error::Degraded(_))));
+    }
+
+    #[test]
+    fn tight_watermarks_stall_and_resume() {
+        // sync_flush drains the queue after every hand-off, so depth is L0
+        // alone and fully deterministic: each 4-point seal adds one L0
+        // table, so with stop=2 the third seal's successor append must
+        // stall, self-compact L0 into the run, and resume.
+        let mut e = OpenOptions::new(
+            EngineConfig::conventional(4).with_sstable_points(4),
+        )
+        .admission(Watermarks::new(1, 2).expect("watermarks"))
+        .sync_flush()
+        .open()
+        .expect("open");
+        let mut outcomes = Vec::new();
+        for i in 0..64i64 {
+            outcomes.push(e.append(DataPoint::new(i, i, 0.0)).expect("append"));
+        }
+        let stats = e.admission_stats();
+        assert!(stats.stalls >= 1, "stop watermark never reached: {stats:?}");
+        assert!(stats.stall_ticks >= stats.stalls);
+        assert!(!stats.currently_stalled, "stall must have ended");
+        assert!(
+            stats.max_depth <= 2,
+            "depth exceeded the stop watermark: {stats:?}"
+        );
+        assert!(outcomes
+            .iter()
+            .any(|o| matches!(o, AdmissionOutcome::Stalled)));
+        let metrics = e.metrics();
+        assert_eq!(metrics.write_stalls, stats.stalls);
+        assert_eq!(metrics.stall_ticks, stats.stall_ticks);
+        let report = e.finish().expect("finish");
+        assert_eq!(report.points.len(), 64, "stalled appends must not lose");
+    }
+
+    #[test]
+    fn delayed_outcomes_between_watermarks() {
+        let mut e = OpenOptions::new(
+            EngineConfig::conventional(4).with_sstable_points(4),
+        )
+        .admission(Watermarks::new(1, 8).expect("watermarks"))
+        .sync_flush()
+        .open()
+        .expect("open");
+        let mut delayed = 0u64;
+        for i in 0..32i64 {
+            if let AdmissionOutcome::Delayed { ticks } =
+                e.append(DataPoint::new(i, i, 0.0)).expect("append")
+            {
+                assert!(ticks >= 1);
+                delayed += 1;
+            }
+        }
+        assert!(delayed >= 1, "slowdown watermark never crossed");
+        assert_eq!(e.admission_stats().delayed, delayed);
+        assert_eq!(e.metrics().delayed_appends, delayed);
+        let report = e.finish().expect("finish");
+        assert_eq!(report.points.len(), 32);
+    }
+
+    #[test]
+    fn starved_pacer_charges_ticks_to_compactions() {
+        // A 1-token bucket makes every compaction after the first wait for
+        // a refill, so the paced-ticks counter must move.
+        let mut e = OpenOptions::new(
+            EngineConfig::conventional(4).with_sstable_points(4),
+        )
+        .pacer(IoPacer::new(1, 1).expect("pacer"))
+        .sync_flush()
+        .open()
+        .expect("open");
+        for i in 0..64i64 {
+            e.append(DataPoint::new(i, i, 0.0)).expect("append");
+        }
+        e.quiesce().expect("quiesce");
+        // In-order L0→run merges commit as flushes (nothing is rewritten),
+        // so the pacer counters are the evidence the merges were paced.
+        assert!(
+            e.metrics().paced_ticks >= 1,
+            "starved pacer never charged: {:?}",
+            e.metrics()
+        );
+        let pacer = e.pacer_stats();
+        assert!(pacer.waits >= 1, "{pacer:?}");
+        assert!(pacer.granted >= 2, "{pacer:?}");
+        let report = e.finish().expect("finish");
+        assert_eq!(report.points.len(), 64);
+    }
+
+    #[test]
+    fn transient_failures_back_off_before_retrying() {
+        use crate::fault::{Fault, FaultStore};
+        use crate::obs::AggregateSink;
+        let plan = FaultPlan::new(7, Fault::FailOnce { at: 2 });
+        let store =
+            Arc::new(FaultStore::new(MemStore::new(), Arc::clone(&plan)));
+        let sink = AggregateSink::with_logical_clock();
+        let mut e = OpenOptions::new(
+            EngineConfig::conventional(4).with_sstable_points(4),
+        )
+        .store(store)
+        .observer(Arc::clone(&sink) as Arc<dyn Observer>)
+        .sync_flush()
+        .open()
+        .expect("open");
+        for i in 0..32i64 {
+            e.append(DataPoint::new(i, i, i as f64)).expect("append");
+        }
+        assert!(e.metrics().retry_backoffs >= 1, "{:?}", e.metrics());
+        let agg = sink.report();
+        let backoff_kind = Event::RetryBackoff {
+            attempt: 2,
+            ticks: 1,
+        }
+        .kind();
+        assert!(
+            agg.counts[backoff_kind] >= 1,
+            "RetryBackoff event not observed"
+        );
+        assert!(agg.backoff_ticks >= 1);
+        let report = e.finish().expect("finish");
+        assert_eq!(report.points.len(), 32);
+        assert!(plan.injected_failures() >= 1);
     }
 
     #[test]

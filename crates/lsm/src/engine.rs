@@ -30,6 +30,10 @@ use std::sync::Arc;
 
 use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange, Timestamp};
 
+use crate::admission::{
+    AdmissionController, AdmissionDepth, AdmissionOutcome, AdmissionStats,
+    StallTransition, Watermarks,
+};
 use crate::buffer::{FlushTrigger, PolicyBuffers};
 use crate::cache::BlockCache;
 use crate::compaction::{self, RunInput};
@@ -169,6 +173,7 @@ pub struct OpenOptions {
     faults: Option<Arc<FaultPlan>>,
     observer: ObserverHandle,
     cache: Option<Arc<BlockCache>>,
+    watermarks: Watermarks,
 }
 
 impl std::fmt::Debug for OpenOptions {
@@ -181,6 +186,7 @@ impl std::fmt::Debug for OpenOptions {
             .field("faults", &self.faults.is_some())
             .field("observer", &self.observer.is_attached())
             .field("cache", &self.cache.is_some())
+            .field("watermarks", &self.watermarks)
             .finish()
     }
 }
@@ -197,7 +203,18 @@ impl OpenOptions {
             faults: None,
             observer: ObserverHandle::detached(),
             cache: None,
+            watermarks: Watermarks::default(),
         }
+    }
+
+    /// Sets the slowdown/stop admission watermarks consulted before every
+    /// buffer insert (default [`Watermarks::default`]: 8/16). The
+    /// synchronous engine flushes inline, so its depth only leaves zero
+    /// transiently; the knob exists so all three engines share one
+    /// admission contract.
+    pub fn admission(mut self, watermarks: Watermarks) -> Self {
+        self.watermarks = watermarks;
+        self
     }
 
     /// Backs the engine with `store`. Defaults to a fresh in-memory store.
@@ -288,6 +305,7 @@ impl OpenOptions {
         );
         let mut engine = LsmEngine::new(self.config, store)?;
         engine.obs = self.observer;
+        engine.admission = AdmissionController::new(self.watermarks);
         if let Some(path) = self.wal {
             engine = engine.with_wal(path)?;
         }
@@ -328,6 +346,8 @@ impl OpenOptions {
                 self.observer,
             )?,
         };
+        // A fresh controller: recovery never resumes into a stalled state.
+        engine.admission = AdmissionController::new(self.watermarks);
         engine.finish_open(self.faults);
         Ok((engine, report))
     }
@@ -348,6 +368,11 @@ pub struct LsmEngine {
     /// Debug-build temporal invariants (counter monotonicity, pivot
     /// no-regression); no-op in release builds.
     invariants: InvariantChecker,
+    /// Watermark-gated admission, consulted before every buffer insert.
+    /// The synchronous engine drains inline, so depth rarely leaves zero —
+    /// but the outcome contract and counters are shared with the tiered
+    /// engines.
+    admission: AdmissionController,
     /// Typed event sink; detached unless set through
     /// [`OpenOptions::observer`].
     obs: ObserverHandle,
@@ -385,6 +410,7 @@ impl LsmEngine {
             manifest: None,
             max_gen_seen: None,
             invariants: InvariantChecker::new(),
+            admission: AdmissionController::new(Watermarks::default()),
             obs: ObserverHandle::detached(),
         })
     }
@@ -517,6 +543,7 @@ impl LsmEngine {
             manifest: None,
             max_gen_seen,
             invariants,
+            admission: AdmissionController::new(Watermarks::default()),
             obs,
         };
         if let Some(path) = wal_path {
@@ -635,6 +662,7 @@ impl LsmEngine {
             manifest: None,
             max_gen_seen,
             invariants,
+            admission: AdmissionController::new(Watermarks::default()),
             obs,
         };
         if let Some(path) = wal_path {
@@ -726,16 +754,70 @@ impl LsmEngine {
         self.buffers.snapshot_sorted()
     }
 
-    /// Writes one point.
+    /// Writes one point, reporting how admission treated it. The
+    /// synchronous engine flushes inline, so its backlog depth rarely
+    /// leaves zero and appends are almost always `Admitted`; the typed
+    /// outcome exists so all three engines share one admission contract.
     ///
     /// # Errors
     /// Storage or WAL failures; the engine state stays consistent (the point
     /// may be buffered even if a triggered flush failed).
-    pub fn append(&mut self, p: DataPoint) -> Result<()> {
+    pub fn append(&mut self, p: DataPoint) -> Result<AdmissionOutcome> {
         self.append_internal(p, true)
     }
 
-    fn append_internal(&mut self, p: DataPoint, log_wal: bool) -> Result<()> {
+    /// Consults the admission controller against the version's L0 +
+    /// flushing depth. A `Stalled` verdict drains inline via
+    /// [`LsmEngine::flush_all`] and closes the episode immediately — the
+    /// synchronous engine has no background worker to wait on.
+    fn admit(&mut self) -> Result<AdmissionOutcome> {
+        let depth = AdmissionDepth {
+            l0_tables: self.version.l0().len(),
+            pending_flushes: self.version.flushing().len(),
+        };
+        let decision = self.admission.admit(depth);
+        match decision.transition {
+            Some(StallTransition::Began) => {
+                self.metrics.write_stalls += 1;
+                let d = depth.combined() as u64;
+                self.obs.emit(|| Event::WriteStallBegin { depth: d });
+            }
+            Some(StallTransition::Ended { ticks }) => {
+                self.metrics.stall_ticks += ticks;
+                self.obs.emit(|| Event::WriteStallEnd { ticks });
+            }
+            None => {}
+        }
+        match decision.outcome {
+            AdmissionOutcome::Delayed { ticks } => {
+                self.metrics.delayed_appends += 1;
+                self.metrics.stall_ticks += ticks;
+                self.obs.emit(|| Event::AdmissionDelayed { ticks });
+                Ok(AdmissionOutcome::Delayed { ticks })
+            }
+            AdmissionOutcome::Stalled => {
+                self.flush_all()?;
+                if let Some(ticks) = self.admission.interrupt_stall() {
+                    self.metrics.stall_ticks += ticks;
+                    self.obs.emit(|| Event::WriteStallEnd { ticks });
+                }
+                Ok(AdmissionOutcome::Stalled)
+            }
+            AdmissionOutcome::Admitted => Ok(AdmissionOutcome::Admitted),
+        }
+    }
+
+    /// Snapshot of the admission controller's counters.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
+    }
+
+    fn append_internal(
+        &mut self,
+        p: DataPoint,
+        log_wal: bool,
+    ) -> Result<AdmissionOutcome> {
+        let outcome = self.admit()?;
         if log_wal {
             if let Some(wal) = self.wal.as_mut() {
                 wal.append(&p)?;
@@ -761,7 +843,7 @@ impl LsmEngine {
                 });
             }
         }
-        Ok(())
+        Ok(outcome)
     }
 
     fn flush(&mut self, trigger: FlushTrigger) -> Result<()> {

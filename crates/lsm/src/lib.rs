@@ -77,6 +77,7 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod admission;
 pub mod background;
 pub mod buffer;
 pub mod cache;
@@ -99,6 +100,11 @@ pub mod store;
 pub mod version;
 pub mod wal;
 
+pub use admission::{
+    AdmissionController, AdmissionDecision, AdmissionDepth, AdmissionOutcome,
+    AdmissionStats, IoPacer, PaceDecision, PacerStats, RetryBackoff,
+    StallTransition, Watermarks,
+};
 pub use background::{
     OpenOptions as TieredOpenOptions, TieredEngine, TieredReport,
 };

@@ -47,6 +47,17 @@ pub struct Metrics {
     pub tables_created: u64,
     /// SSTables deleted by compactions.
     pub tables_deleted: u64,
+    /// Appends held between the slowdown and stop watermarks
+    /// (admission `Delayed`).
+    pub delayed_appends: u64,
+    /// Write-stall episodes (stop watermark reached).
+    pub write_stalls: u64,
+    /// Logical ticks charged to admission delays and stall waits.
+    pub stall_ticks: u64,
+    /// Logical ticks compaction output writes waited on the I/O pacer.
+    pub paced_ticks: u64,
+    /// Store retries that backed off before reattempting.
+    pub retry_backoffs: u64,
     /// Per-compaction count of *subsequent data points* on disk at the moment
     /// the compaction started (Definition 4) — the quantity the ζ-model
     /// estimates. Populated only when the engine is configured with

@@ -18,13 +18,15 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crossbeam::channel;
+use parking_lot::Mutex;
 use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange};
 
+use crate::admission::{AdmissionOutcome, DEFAULT_FLUSH_QUEUE_DEPTH};
 use crate::cache::BlockCache;
 use crate::engine::{EngineConfig, LsmEngine};
 use crate::fault::FaultPlan;
 use crate::metrics::Metrics;
-use crate::obs::{Observer, ObserverHandle};
+use crate::obs::{Event, Observer, ObserverHandle};
 use crate::query::QueryStats;
 use crate::recovery::{self, RecoveryOptions, RecoveryReport};
 use crate::sstable::SsTableId;
@@ -96,6 +98,7 @@ pub struct OpenOptions {
     observer: ObserverHandle,
     cache: Option<Arc<BlockCache>>,
     workers: usize,
+    flush_queue_depth: usize,
 }
 
 impl std::fmt::Debug for OpenOptions {
@@ -108,6 +111,7 @@ impl std::fmt::Debug for OpenOptions {
             .field("observer", &self.observer.is_attached())
             .field("cache", &self.cache.is_some())
             .field("workers", &self.workers)
+            .field("flush_queue_depth", &self.flush_queue_depth)
             .finish()
     }
 }
@@ -124,6 +128,7 @@ impl OpenOptions {
             observer: ObserverHandle::detached(),
             cache: None,
             workers: 1,
+            flush_queue_depth: DEFAULT_FLUSH_QUEUE_DEPTH,
         }
     }
 
@@ -185,6 +190,18 @@ impl OpenOptions {
         self
     }
 
+    /// Bounds the flush queue: [`MultiSeriesEngine::flush_all`] admits at
+    /// most `n` series into the pool per wave; further series wait for the
+    /// next wave, each extra wave surfacing as one
+    /// [`AdmissionOutcome::Delayed`] tick (default
+    /// [`DEFAULT_FLUSH_QUEUE_DEPTH`]). The wave schedule depends only on
+    /// the series set and `n` — never on the worker count — so traces stay
+    /// identical across worker counts.
+    pub fn flush_queue_depth(mut self, n: usize) -> Self {
+        self.flush_queue_depth = n.max(1);
+        self
+    }
+
     fn store_or_default(
         store: Option<Arc<dyn TableStore>>,
     ) -> Arc<dyn TableStore> {
@@ -209,6 +226,7 @@ impl OpenOptions {
         }
         engine.obs = self.observer;
         engine.workers = self.workers;
+        engine.flush_queue_depth = self.flush_queue_depth;
         engine.install_faults(self.faults);
         Ok(engine)
     }
@@ -247,6 +265,7 @@ impl OpenOptions {
             self.observer,
         )?;
         engine.workers = self.workers;
+        engine.flush_queue_depth = self.flush_queue_depth;
         engine.install_faults(self.faults);
         Ok((engine, report))
     }
@@ -267,6 +286,11 @@ pub struct MultiSeriesEngine {
     obs: ObserverHandle,
     /// Upper bound on flush worker threads (1 = sequential, no spawning).
     workers: usize,
+    /// At most this many series are outstanding in the flush pool at once.
+    flush_queue_depth: usize,
+    /// Cumulative flush waves (and inline fallbacks) that had to wait on
+    /// the depth-bounded queue — the fleet-level `Delayed` count.
+    fleet_delayed_waves: u64,
 }
 
 impl MultiSeriesEngine {
@@ -281,6 +305,8 @@ impl MultiSeriesEngine {
             faults: None,
             obs: ObserverHandle::detached(),
             workers: 1,
+            flush_queue_depth: DEFAULT_FLUSH_QUEUE_DEPTH,
+            fleet_delayed_waves: 0,
         }
     }
 
@@ -339,6 +365,8 @@ impl MultiSeriesEngine {
             faults: None,
             obs,
             workers: 1,
+            flush_queue_depth: DEFAULT_FLUSH_QUEUE_DEPTH,
+            fleet_delayed_waves: 0,
         };
         if options.gc_orphans {
             let mut live: HashSet<SsTableId> = HashSet::new();
@@ -425,11 +453,16 @@ impl MultiSeriesEngine {
         }
     }
 
-    /// Writes one point into `series` (creating the series on first write).
+    /// Writes one point into `series` (creating the series on first write)
+    /// and reports the admission outcome observed by that series' engine.
     ///
     /// # Errors
     /// Storage failures.
-    pub fn append(&mut self, series: SeriesId, p: DataPoint) -> Result<()> {
+    pub fn append(
+        &mut self,
+        series: SeriesId,
+        p: DataPoint,
+    ) -> Result<AdmissionOutcome> {
         self.engine_entry(series)?.append(p)
     }
 
@@ -472,43 +505,97 @@ impl MultiSeriesEngine {
         self.workers
     }
 
-    /// Flushes every series, in ascending [`SeriesId`] order.
-    ///
-    /// With [`OpenOptions::workers`] above 1 (and more than one series to
-    /// flush) the per-series flushes fan out across a bounded pool of
-    /// short-lived worker threads. Each series is still flushed by exactly
-    /// one thread, so per-series contents and metrics are identical to a
-    /// sequential run; only the interleaving of independent series — and
-    /// hence wall-clock — changes. With the default of 1 worker no thread
-    /// is ever spawned and behaviour is byte-for-byte the sequential path.
-    ///
-    /// # Errors
-    /// Storage failures. When several series fail concurrently, the error
-    /// of the lowest [`SeriesId`] is returned (every series still gets its
-    /// flush attempt, and all engines are retained either way).
-    pub fn flush_all(&mut self) -> Result<()> {
-        if self.workers <= 1 || self.series.len() <= 1 {
-            for id in self.series_ids() {
-                if let Some(engine) = self.series.get_mut(&id) {
-                    engine.flush_all()?;
-                }
-            }
-            return Ok(());
-        }
-        self.flush_all_pooled()
+    /// The configured flush queue depth bound (series per wave).
+    pub fn flush_queue_depth(&self) -> usize {
+        self.flush_queue_depth
     }
 
-    /// The multi-worker arm of [`MultiSeriesEngine::flush_all`]: engines
-    /// are handed out by value to `min(workers, series)` named threads
-    /// (`seplsm-fleet-<w>`) round-robin in ascending id order, flushed, and
-    /// handed back over a shared result channel. Vendored-crossbeam bounded
-    /// channels are sized so no send ever blocks; any send or spawn failure
-    /// degrades to flushing that series inline on the caller thread, so no
-    /// engine is ever lost.
-    fn flush_all_pooled(&mut self) -> Result<()> {
+    /// Cumulative flush waves (and inline fallbacks) that waited on the
+    /// depth-bounded queue since open — the fleet-level `Delayed` count.
+    pub fn fleet_delayed_waves(&self) -> u64 {
+        self.fleet_delayed_waves
+    }
+
+    /// Flushes every series in ascending [`SeriesId`] order, admitting at
+    /// most [`OpenOptions::flush_queue_depth`] series into the flush queue
+    /// per *wave*. Each wave drains completely before the next is admitted;
+    /// every wave after the first counts one logical tick of backpressure,
+    /// emits [`Event::AdmissionDelayed`], and turns the returned outcome
+    /// into [`AdmissionOutcome::Delayed`] — callers observe queue pressure
+    /// as typed admission feedback, never as silent inline degradation.
+    ///
+    /// With [`OpenOptions::workers`] above 1 (and more than one series to
+    /// flush) the series of a wave fan out across a bounded pool of
+    /// short-lived worker threads. Each series is still flushed by exactly
+    /// one thread, and each worker emits into a private per-series capture
+    /// that the wave barrier replays in ascending id order, so the wave
+    /// schedule, per-series contents, summed metrics *and the emitted
+    /// event trace* are identical for every worker count; only wall-clock
+    /// changes. (Durable fleets are the one caveat: WAL and manifest
+    /// handles clone the sink at attach time, so their events bypass the
+    /// capture.) With the default of 1 worker no thread is ever spawned.
+    ///
+    /// # Errors
+    /// Storage failures. The sequential path stops at the first failing
+    /// series; the pooled path gives every series its flush attempt and
+    /// returns the error of the lowest failing [`SeriesId`] (all engines
+    /// are retained either way).
+    pub fn flush_all(&mut self) -> Result<AdmissionOutcome> {
         let ids = self.series_ids();
-        let total = ids.len();
+        let pooled = self.workers > 1 && ids.len() > 1;
+        let mut delayed = 0u64;
+        let mut first_error: Option<Error> = None;
+        for (w, wave) in ids.chunks(self.flush_queue_depth.max(1)).enumerate() {
+            if w > 0 {
+                // The queue is full: this wave waited for the previous one
+                // to drain. One logical tick per extra wave, emitted from
+                // the single-threaded dispatcher so the trace position is
+                // the same for every worker count.
+                delayed += 1;
+                self.fleet_delayed_waves += 1;
+                self.obs.emit(|| Event::AdmissionDelayed { ticks: 1 });
+            }
+            if pooled {
+                if let (None, Err(err)) =
+                    (&first_error, self.flush_wave_pooled(wave, &mut delayed))
+                {
+                    first_error = Some(err);
+                }
+            } else {
+                for id in wave {
+                    if let Some(engine) = self.series.get_mut(id) {
+                        engine.flush_all()?;
+                    }
+                }
+            }
+        }
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+        if delayed > 0 {
+            Ok(AdmissionOutcome::Delayed { ticks: delayed })
+        } else {
+            Ok(AdmissionOutcome::Admitted)
+        }
+    }
+
+    /// The multi-worker arm of one [`MultiSeriesEngine::flush_all`] wave:
+    /// engines are handed out by value to `min(workers, wave)` named
+    /// threads (`seplsm-fleet-<w>`) round-robin in ascending id order,
+    /// flushed, and handed back over a shared result channel — the wave
+    /// barrier. Vendored-crossbeam bounded channels are sized so no send
+    /// ever blocks; a send or spawn failure surfaces as one `Delayed` tick
+    /// (with an [`Event::AdmissionDelayed`]) before the series flushes
+    /// inline on the caller thread, so no engine is ever lost and no
+    /// backpressure goes unreported.
+    fn flush_wave_pooled(
+        &mut self,
+        wave: &[SeriesId],
+        delayed: &mut u64,
+    ) -> Result<()> {
+        let total = wave.len();
         let worker_count = self.workers.min(total);
+        let capturing = self.obs.is_attached();
         let (done_tx, done_rx) =
             channel::bounded::<(SeriesId, LsmEngine, Result<()>)>(total);
         let mut workers = Vec::new();
@@ -539,13 +626,25 @@ impl MultiSeriesEngine {
                 Err(_) => drop(work_tx),
             }
         }
+        let mut captures: Vec<(SeriesId, Arc<CaptureSink>)> = Vec::new();
         let mut finished: Vec<(SeriesId, LsmEngine, Result<()>)> =
             Vec::with_capacity(total);
         let mut dispatched = 0usize;
-        for (i, id) in ids.into_iter().enumerate() {
-            let Some(engine) = self.series.remove(&id) else {
+        for (i, id) in wave.iter().copied().enumerate() {
+            let Some(mut engine) = self.series.remove(&id) else {
                 continue;
             };
+            if capturing {
+                // Worker threads emit into a private per-series capture;
+                // the barrier replays them in ascending id order below, so
+                // the observed trace never depends on thread scheduling.
+                let capture = Arc::new(CaptureSink::default());
+                engine
+                    .set_observer(ObserverHandle::attached(
+                        Arc::clone(&capture) as Arc<dyn Observer>,
+                    ));
+                captures.push((id, capture));
+            }
             let mut item = (id, engine);
             if !workers.is_empty() {
                 let slot = i % workers.len();
@@ -555,7 +654,7 @@ impl MultiSeriesEngine {
                         continue;
                     }
                     Err(err) => {
-                        // Full (cannot happen: capacity = total) or the
+                        // Full (cannot happen: capacity = wave size) or the
                         // worker died; recover the engine and run inline.
                         item = match err {
                             channel::TrySendError::Full(it)
@@ -564,12 +663,20 @@ impl MultiSeriesEngine {
                     }
                 }
             }
+            // The queue would not take the series: surface the
+            // backpressure as one `Delayed` tick — never a silent inline
+            // degrade — then flush on this thread.
+            *delayed += 1;
+            self.fleet_delayed_waves += 1;
+            self.obs.emit(|| Event::AdmissionDelayed { ticks: 1 });
             let (id, mut engine) = item;
             let outcome = engine.flush_all();
             finished.push((id, engine, outcome));
         }
         drop(workers);
         drop(done_tx);
+        // The wave barrier: every dispatched series hands its engine back
+        // before this wave completes and the next may enter the queue.
         finished.extend(done_rx.into_iter().take(dispatched));
         for handle in handles {
             // Workers hold no engines once their channels drain; a panicked
@@ -580,11 +687,17 @@ impl MultiSeriesEngine {
         finished.sort_by_key(|(id, _, _)| *id);
         let mut first_error = None;
         let returned = finished.len();
-        for (id, engine, outcome) in finished {
+        for (id, mut engine, outcome) in finished {
+            if capturing {
+                engine.set_observer(self.obs.clone());
+            }
             self.series.insert(id, engine);
             if let (None, Err(err)) = (&first_error, outcome) {
                 first_error = Some(err);
             }
+        }
+        for (_, capture) in captures {
+            capture.replay_into(&self.obs);
         }
         if let Some(err) = first_error {
             return Err(err);
@@ -618,7 +731,9 @@ impl MultiSeriesEngine {
         MultiMetrics::from_metrics(self.series.len(), &self.combined_metrics())
     }
 
-    /// The full kernel [`Metrics`] summed across every series.
+    /// The full kernel [`Metrics`] summed across every series, plus the
+    /// fleet-level flush-queue delays (which belong to no single series)
+    /// folded into `delayed_appends`/`stall_ticks`.
     pub fn combined_metrics(&self) -> Metrics {
         let mut sum = Metrics::default();
         for engine in self.series.values() {
@@ -631,8 +746,40 @@ impl MultiSeriesEngine {
             sum.rewritten_points += em.rewritten_points;
             sum.tables_created += em.tables_created;
             sum.tables_deleted += em.tables_deleted;
+            sum.delayed_appends += em.delayed_appends;
+            sum.write_stalls += em.write_stalls;
+            sum.stall_ticks += em.stall_ticks;
+            sum.paced_ticks += em.paced_ticks;
+            sum.retry_backoffs += em.retry_backoffs;
         }
+        sum.delayed_appends += self.fleet_delayed_waves;
+        sum.stall_ticks += self.fleet_delayed_waves;
         sum
+    }
+}
+
+/// Buffers one series' kernel events while a flush worker owns its engine;
+/// the wave barrier replays them into the shared sink in ascending
+/// [`SeriesId`] order, making pooled flush traces independent of thread
+/// scheduling and worker count.
+#[derive(Default)]
+struct CaptureSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl CaptureSink {
+    /// Drains the captured events into `obs`, preserving emission order.
+    fn replay_into(&self, obs: &ObserverHandle) {
+        let events = std::mem::take(&mut *self.events.lock());
+        for event in events {
+            obs.emit(move || event);
+        }
+    }
+}
+
+impl Observer for CaptureSink {
+    fn observe(&self, event: &Event) {
+        self.events.lock().push(event.clone());
     }
 }
 
@@ -768,6 +915,28 @@ mod tests {
         m
     }
 
+    /// Like [`flushed_fleet`] but with an explicit queue depth and a ring
+    /// observer: returns the fleet plus the full emitted event trace.
+    fn traced_fleet(
+        workers: usize,
+        depth: usize,
+        points: &[(u32, i64)],
+    ) -> (MultiSeriesEngine, Vec<Event>) {
+        let ring = crate::obs::RingBufferSink::new(1 << 16);
+        let mut m = OpenOptions::new(config())
+            .workers(workers)
+            .flush_queue_depth(depth)
+            .observer(ring.clone())
+            .open()
+            .expect("open");
+        for &(series, tg) in points {
+            m.append(SeriesId(series), DataPoint::new(tg, tg + 3, tg as f64))
+                .expect("append");
+        }
+        m.flush_all().expect("flush");
+        (m, ring.events())
+    }
+
     /// A mixed-order workload across `series_count` series: mostly
     /// ascending with every 7th point a straggler, unique per series.
     fn pool_workload(series_count: u32, per_series: i64) -> Vec<(u32, i64)> {
@@ -822,6 +991,67 @@ mod tests {
     }
 
     #[test]
+    fn deep_fleets_flush_in_bounded_waves() {
+        // 10 series against a queue depth of 4: three waves, two of which
+        // wait on the queue and surface as typed `Delayed` backpressure.
+        let points = pool_workload(10, 12);
+        let mut m = OpenOptions::new(config())
+            .workers(3)
+            .flush_queue_depth(4)
+            .open()
+            .expect("open");
+        for &(series, tg) in &points {
+            m.append(SeriesId(series), DataPoint::new(tg, tg + 3, tg as f64))
+                .expect("append");
+        }
+        let outcome = m.flush_all().expect("flush");
+        assert_eq!(outcome, AdmissionOutcome::Delayed { ticks: 2 });
+        assert_eq!(m.fleet_delayed_waves(), 2);
+        let combined = m.combined_metrics();
+        assert_eq!(combined.delayed_appends, 2);
+        assert_eq!(combined.stall_ticks, 2);
+        for id in m.series_ids() {
+            assert_eq!(
+                m.engine(id).expect("series").buffered_points(),
+                0,
+                "{id} left points buffered"
+            );
+        }
+        // The wave schedule depends only on the series set and the depth
+        // bound: a sequential fleet reports identical backpressure.
+        let mut seq = OpenOptions::new(config())
+            .workers(1)
+            .flush_queue_depth(4)
+            .open()
+            .expect("open");
+        for &(series, tg) in &points {
+            seq.append(SeriesId(series), DataPoint::new(tg, tg + 3, tg as f64))
+                .expect("append");
+        }
+        assert_eq!(
+            seq.flush_all().expect("flush"),
+            AdmissionOutcome::Delayed { ticks: 2 }
+        );
+        assert_eq!(seq.combined_metrics(), m.combined_metrics());
+    }
+
+    #[test]
+    fn pooled_flush_traces_match_sequential_traces() {
+        // Capture-replay at the wave barrier makes the emitted event trace
+        // a pure function of the workload — thread scheduling and worker
+        // count must be invisible in it.
+        let points = pool_workload(10, 24);
+        let (seq, seq_trace) = traced_fleet(1, 4, &points);
+        let (pooled, pooled_trace) = traced_fleet(4, 4, &points);
+        assert!(!seq_trace.is_empty(), "workload emitted no events");
+        assert_eq!(
+            pooled_trace, seq_trace,
+            "pooled flush trace diverged from the sequential trace"
+        );
+        assert_eq!(fleet_scans(&pooled), fleet_scans(&seq));
+    }
+
+    #[test]
     fn single_series_never_enters_the_pool() {
         // One series short-circuits to the sequential path even with a
         // large worker bound; the observable outcome is identical.
@@ -837,8 +1067,9 @@ mod tests {
         )]
 
         /// Worker count is unobservable: any fleet workload flushed with N
-        /// workers yields the same per-series points and summed metrics as
-        /// the sequential path.
+        /// workers yields the same per-series points, summed metrics *and
+        /// byte-identical event trace* as the sequential path, even when
+        /// the depth-bounded queue forces multiple waves.
         #[test]
         fn worker_count_is_unobservable(
             raw in proptest::collection::vec(
@@ -854,8 +1085,9 @@ mod tests {
                 .into_iter()
                 .filter(|p| seen.insert(*p))
                 .collect();
-            let sequential = flushed_fleet(1, &points);
-            let pooled = flushed_fleet(workers, &points);
+            // Depth 3 against up to 5 series exercises multi-wave flushes.
+            let (sequential, seq_trace) = traced_fleet(1, 3, &points);
+            let (pooled, pooled_trace) = traced_fleet(workers, 3, &points);
             proptest::prop_assert_eq!(
                 pooled.combined_metrics(),
                 sequential.combined_metrics()
@@ -864,6 +1096,7 @@ mod tests {
                 fleet_scans(&pooled),
                 fleet_scans(&sequential)
             );
+            proptest::prop_assert_eq!(pooled_trace, seq_trace);
         }
     }
 

@@ -300,10 +300,39 @@ pub enum Event {
         /// The pruned table.
         table: u64,
     },
+    /// Admission control held an append between the slowdown and stop
+    /// watermarks.
+    AdmissionDelayed {
+        /// Logical ticks of delay charged to the append.
+        ticks: u64,
+    },
+    /// Admission control entered a write stall (stop watermark reached).
+    WriteStallBegin {
+        /// Combined L0 + pending-flush depth at stall entry.
+        depth: u64,
+    },
+    /// The write stall ended (depth fell below the resume watermark).
+    WriteStallEnd {
+        /// Logical ticks the stall episode lasted.
+        ticks: u64,
+    },
+    /// The compaction pacer withheld an output write to smooth a merge
+    /// burst.
+    CompactionPaced {
+        /// Logical ticks of token refill the write waited for.
+        ticks: u64,
+    },
+    /// A store retry backed off before its next attempt.
+    RetryBackoff {
+        /// 1-based attempt number about to run.
+        attempt: u64,
+        /// Logical ticks of backoff charged before the attempt.
+        ticks: u64,
+    },
 }
 
 /// Number of distinct [`Event`] kinds (for fixed-size counter registries).
-pub const EVENT_KINDS: usize = 19;
+pub const EVENT_KINDS: usize = 24;
 
 impl Event {
     /// Stable event-kind name, used as the JSONL `event` field and the
@@ -329,6 +358,11 @@ impl Event {
             Self::CacheMiss { .. } => "cache_miss",
             Self::CacheEvict { .. } => "cache_evict",
             Self::TablePruned { .. } => "table_pruned",
+            Self::AdmissionDelayed { .. } => "admission_delayed",
+            Self::WriteStallBegin { .. } => "write_stall_begin",
+            Self::WriteStallEnd { .. } => "write_stall_end",
+            Self::CompactionPaced { .. } => "compaction_paced",
+            Self::RetryBackoff { .. } => "retry_backoff",
         }
     }
 
@@ -354,6 +388,11 @@ impl Event {
             Self::CacheMiss { .. } => 16,
             Self::CacheEvict { .. } => 17,
             Self::TablePruned { .. } => 18,
+            Self::AdmissionDelayed { .. } => 19,
+            Self::WriteStallBegin { .. } => 20,
+            Self::WriteStallEnd { .. } => 21,
+            Self::CompactionPaced { .. } => 22,
+            Self::RetryBackoff { .. } => 23,
         }
     }
 
@@ -379,6 +418,11 @@ impl Event {
             "cache_miss",
             "cache_evict",
             "table_pruned",
+            "admission_delayed",
+            "write_stall_begin",
+            "write_stall_end",
+            "compaction_paced",
+            "retry_backoff",
         ];
         NAMES.get(k).copied().unwrap_or("unknown")
     }
@@ -473,6 +517,17 @@ impl Event {
                     out,
                     ",\"table\":{table},\"block\":{block},\"points\":{points}"
                 );
+            }
+            Self::AdmissionDelayed { ticks }
+            | Self::WriteStallEnd { ticks }
+            | Self::CompactionPaced { ticks } => {
+                let _ = write!(out, ",\"ticks\":{ticks}");
+            }
+            Self::WriteStallBegin { depth } => {
+                let _ = write!(out, ",\"depth\":{depth}");
+            }
+            Self::RetryBackoff { attempt, ticks } => {
+                let _ = write!(out, ",\"attempt\":{attempt},\"ticks\":{ticks}");
             }
         }
     }
@@ -723,6 +778,9 @@ struct AggregateState {
     flush_points: u64,
     compaction_rewritten: u64,
     stall_count: u64,
+    stall_ticks: u64,
+    paced_ticks: u64,
+    backoff_ticks: u64,
     cache_hits: u64,
     cache_misses: u64,
     cache_evictions: u64,
@@ -744,6 +802,12 @@ pub struct AggregateReport {
     pub compaction_rewritten: u64,
     /// Backpressure stalls observed.
     pub stalls: u64,
+    /// Logical ticks charged to admission delays and write stalls.
+    pub stall_ticks: u64,
+    /// Logical ticks compaction writes spent waiting on the I/O pacer.
+    pub paced_ticks: u64,
+    /// Logical ticks store retries spent backing off.
+    pub backoff_ticks: u64,
     /// Decoded-block cache hits.
     pub cache_hits: u64,
     /// Decoded-block cache misses.
@@ -785,6 +849,20 @@ impl AggregateReport {
             "compaction latency: {} samples, mean {:.1}us",
             self.compaction_latency.samples,
             self.compaction_latency.mean_micros()
+        );
+        let delayed = self.counts[Event::AdmissionDelayed { ticks: 0 }.kind()];
+        let stalls = self.counts[Event::WriteStallBegin { depth: 0 }.kind()];
+        let backoffs = self.counts[Event::RetryBackoff {
+            attempt: 0,
+            ticks: 0,
+        }
+        .kind()];
+        let _ = writeln!(
+            out,
+            "admission: {delayed} delayed, {stalls} stalls \
+             ({} stall ticks), pacer {} ticks, {backoffs} retry \
+             backoffs ({} ticks)",
+            self.stall_ticks, self.paced_ticks, self.backoff_ticks
         );
         if self.cache_hits + self.cache_misses > 0 {
             let _ = writeln!(
@@ -830,6 +908,9 @@ impl AggregateSink {
             flush_points: s.flush_points,
             compaction_rewritten: s.compaction_rewritten,
             stalls: s.stall_count,
+            stall_ticks: s.stall_ticks,
+            paced_ticks: s.paced_ticks,
+            backoff_ticks: s.backoff_ticks,
             cache_hits: s.cache_hits,
             cache_misses: s.cache_misses,
             cache_evictions: s.cache_evictions,
@@ -866,6 +947,10 @@ impl Observer for AggregateSink {
                 }
             }
             Event::BackpressureStall => s.stall_count += 1,
+            Event::AdmissionDelayed { ticks }
+            | Event::WriteStallEnd { ticks } => s.stall_ticks += ticks,
+            Event::CompactionPaced { ticks } => s.paced_ticks += ticks,
+            Event::RetryBackoff { ticks, .. } => s.backoff_ticks += ticks,
             Event::CacheHit { .. } => s.cache_hits += 1,
             Event::CacheMiss { .. } => s.cache_misses += 1,
             Event::CacheEvict { .. } => s.cache_evictions += 1,
@@ -957,6 +1042,29 @@ mod tests {
     }
 
     #[test]
+    fn aggregate_tracks_admission_and_pacing() {
+        let sink = AggregateSink::with_logical_clock();
+        let handle = ObserverHandle::attached(sink.clone());
+        handle.emit(|| Event::AdmissionDelayed { ticks: 2 });
+        handle.emit(|| Event::WriteStallBegin { depth: 16 });
+        handle.emit(|| Event::WriteStallEnd { ticks: 5 });
+        handle.emit(|| Event::CompactionPaced { ticks: 3 });
+        handle.emit(|| Event::RetryBackoff {
+            attempt: 2,
+            ticks: 4,
+        });
+        let report = sink.report();
+        assert_eq!(report.stall_ticks, 7);
+        assert_eq!(report.paced_ticks, 3);
+        assert_eq!(report.backoff_ticks, 4);
+        let table = report.render_table();
+        assert!(table.contains(
+            "admission: 1 delayed, 1 stalls (7 stall ticks), \
+             pacer 3 ticks, 1 retry backoffs (4 ticks)"
+        ));
+    }
+
+    #[test]
     fn histogram_buckets_cover_overflow() {
         let mut h = Histogram::default();
         h.record(1);
@@ -1032,6 +1140,14 @@ mod tests {
                 points: 0,
             },
             Event::TablePruned { table: 0 },
+            Event::AdmissionDelayed { ticks: 0 },
+            Event::WriteStallBegin { depth: 0 },
+            Event::WriteStallEnd { ticks: 0 },
+            Event::CompactionPaced { ticks: 0 },
+            Event::RetryBackoff {
+                attempt: 0,
+                ticks: 0,
+            },
         ];
         assert_eq!(samples.len(), EVENT_KINDS);
         for (i, e) in samples.iter().enumerate() {

@@ -49,6 +49,7 @@ pub const LIB_CRATES: &[&str] = &["types", "dist", "core", "lsm", "workload"];
 /// machines that replay, crash-schedule exploration and proptest shrinking
 /// rely on.
 pub const KERNEL_MODULES: &[&str] = &[
+    "admission.rs",
     "buffer.rs",
     "cache.rs",
     "compaction.rs",

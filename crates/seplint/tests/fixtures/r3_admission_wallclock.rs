@@ -1,0 +1,27 @@
+//! R3 fixture: an admission controller that measures stall duration with
+//! `Instant` and spins up its own pacer-refill thread — wall-clock state
+//! and hidden concurrency would make stall ticks (and hence traces and
+//! crash schedules) unreproducible across replays.
+
+use std::time::Instant;
+
+pub struct WallClockController {
+    stall_began: Option<Instant>,
+}
+
+impl WallClockController {
+    pub fn admit(&mut self, depth: usize, stop: usize) -> bool {
+        if depth >= stop {
+            self.stall_began.get_or_insert_with(Instant::now);
+            return false;
+        }
+        self.stall_began = None;
+        true
+    }
+
+    pub fn start_refill(&self) {
+        std::thread::spawn(|| {
+            // Refill pacer tokens in the background.
+        });
+    }
+}

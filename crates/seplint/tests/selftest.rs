@@ -107,6 +107,21 @@ fn r3_fires_on_wallclock_salt_in_the_pruning_filter() {
 }
 
 #[test]
+fn r3_fires_on_wallclock_stall_tracking_in_admission() {
+    // `admission.rs` is a kernel module: watermark decisions, stall ticks
+    // and pacer budgets must advance on the logical clock only — an
+    // `Instant`-timed stall or a background refill thread would make the
+    // same workload stall differently across replays.
+    let src = fixture("r3_admission_wallclock.rs");
+    let v = rules::deterministic_kernel(Path::new("admission.rs"), &src);
+    // `Instant` appears three times (use + field type + now), `spawn` once.
+    assert!(v.len() >= 4, "{v:?}");
+    assert!(v.iter().all(|x| x.rule == "R3"));
+    assert!(v.iter().any(|x| x.message.contains("Instant")));
+    assert!(v.iter().any(|x| x.message.contains("spawn")));
+}
+
+#[test]
 fn r4_fires_only_on_pub_non_result_panicking_fns() {
     let src = fixture("r4_pub_panic.rs");
     let v = rules::kernel_returns_results(Path::new("r4_pub_panic.rs"), &src);

@@ -35,14 +35,17 @@ pub use seplsm_core::{
 };
 pub use seplsm_dist::{DelayDistribution, Empirical, LogNormal};
 pub use seplsm_lsm::{
-    sync_dir, AggregateReport, AggregateSink, Clock, Compression, DegradedOp,
-    DegradedReason, DegradedState, DiskModel, EncodeOptions, EngineConfig,
-    Event, FanoutSink, Fault, FaultPlan, FaultStore, FileStore, Histogram,
-    IoOp, JsonlSink, LogicalClock, LsmEngine, Manifest, ManifestRecordKind,
-    MemStore, MultiOpenOptions, MultiSeriesEngine, NullSink, Observer,
-    ObserverHandle, OpenOptions, QuarantinedTable, QueryStats, RecoveryMode,
-    RecoveryOptions, RecoveryReport, RecoveryStepKind, RingBufferSink,
-    SeriesId, TableStore, TieredEngine, TieredOpenOptions, TieredReport, Wal,
+    sync_dir, AdmissionController, AdmissionDecision, AdmissionDepth,
+    AdmissionOutcome, AdmissionStats, AggregateReport, AggregateSink, Clock,
+    Compression, DegradedOp, DegradedReason, DegradedState, DiskModel,
+    EncodeOptions, EngineConfig, Event, FanoutSink, Fault, FaultPlan,
+    FaultStore, FileStore, Histogram, IoOp, IoPacer, JsonlSink, LogicalClock,
+    LsmEngine, Manifest, ManifestRecordKind, MemStore, MultiOpenOptions,
+    MultiSeriesEngine, NullSink, Observer, ObserverHandle, OpenOptions,
+    PaceDecision, PacerStats, QuarantinedTable, QueryStats, RecoveryMode,
+    RecoveryOptions, RecoveryReport, RecoveryStepKind, RetryBackoff,
+    RingBufferSink, SeriesId, TableStore, TieredEngine, TieredOpenOptions,
+    TieredReport, Wal, Watermarks,
 };
 pub use seplsm_types::{
     DataPoint, Error, Policy, Result, TimeRange, Timestamp,

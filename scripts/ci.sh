@@ -94,13 +94,25 @@ ingest = json.load(open(os.path.join(d, "BENCH_ingest.json")))
 query = json.load(open(os.path.join(d, "BENCH_query.json")))
 compaction = json.load(open(os.path.join(d, "BENCH_compaction.json")))
 assert ingest["deterministic"] is True, ingest
+# Admission-control lane: the burst pass must report tail latency and
+# genuinely stall (with the L0 depth still bounded by the stop watermark);
+# the light pass must never stall.
+for key in ("p99", "p999", "stall_ticks", "max_l0_depth"):
+    assert key in ingest, f"missing ingest key {key}"
+assert ingest["stall_ticks"] > 0, ingest["burst"]
+assert ingest["burst"]["stalls"] > 0, ingest["burst"]
+assert ingest["max_l0_depth"] <= ingest["stop_watermark"], ingest["burst"]
+assert ingest["light"]["stall_ticks"] == 0, ingest["light"]
 assert query["cache_on"]["hit_rate"] > 0, query
 assert query["disk_byte_reduction"] > 1, query
 assert query["tables_pruned"] > 0, query
 assert query["cold_byte_reduction"] > 1, query
 assert query["cold_query_bytes"]["v3"] < query["cold_query_bytes"]["v2"], query
 assert compaction["cache"]["invalidated_blocks"] >= 0, compaction
-print(f"perf smoke OK: query hit rate "
+print(f"perf smoke OK: burst p99 {ingest['p99']:.1f}us with "
+      f"{ingest['stall_ticks']} stall ticks "
+      f"(depth {ingest['max_l0_depth']}/{ingest['stop_watermark']}), "
+      f"query hit rate "
       f"{query['cache_on']['hit_rate']:.2f}, "
       f"{query['disk_byte_reduction']:.1f}x fewer disk bytes, "
       f"cold v3 {query['cold_byte_reduction']:.1f}x fewer bytes, "
