@@ -23,8 +23,10 @@ fn bench_ingest(c: &mut Criterion) {
     group.bench_function("lsm/pi_c", |b| {
         b.iter_batched(
             || {
-                LsmEngine::in_memory(EngineConfig::conventional(512))
-                    .expect("engine")
+                LsmEngine::in_memory(EngineConfig::new(Policy::conventional(
+                    512,
+                )))
+                .expect("engine")
             },
             |mut engine| {
                 for p in &points {
@@ -58,7 +60,7 @@ fn bench_ingest(c: &mut Criterion) {
         b.iter_batched(
             || {
                 TieredEngine::new(
-                    EngineConfig::conventional(512),
+                    EngineConfig::new(Policy::conventional(512)),
                     Arc::new(MemStore::new()),
                 )
                 .expect("engine")

@@ -13,7 +13,7 @@
 use seplsm_bench::{args, drive, report};
 use seplsm_core::AdaptiveConfig;
 use seplsm_dist::stats::sliding_mean;
-use seplsm_lsm::Metrics;
+use seplsm_lsm::{EngineConfig, Metrics};
 use seplsm_types::Policy;
 use seplsm_workload::DynamicWorkload;
 
@@ -60,9 +60,10 @@ fn main() -> seplsm_types::Result<()> {
     )?;
     let (adaptive, tunes) = drive::measure_adaptive(
         &dataset,
-        AdaptiveConfig::new(n)
+        EngineConfig::new(Policy::conventional(n))
             .with_sstable_points(sstable)
             .with_wa_snapshots(snapshot),
+        AdaptiveConfig::new(),
     )?;
 
     let seg_c = segment_means(&conventional, 5);

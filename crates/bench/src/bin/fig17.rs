@@ -12,6 +12,7 @@
 
 use seplsm_bench::{args, drive, report};
 use seplsm_core::AdaptiveConfig;
+use seplsm_lsm::EngineConfig;
 use seplsm_types::Policy;
 use seplsm_workload::DynamicWorkload;
 
@@ -58,7 +59,8 @@ fn main() -> seplsm_types::Result<()> {
         drive::measure_wa(&dataset, Policy::separation_even(n)?, sstable)?;
     let (adaptive, tunes) = drive::measure_adaptive(
         &dataset,
-        AdaptiveConfig::new(n).with_sstable_points(sstable),
+        EngineConfig::new(Policy::conventional(n)).with_sstable_points(sstable),
+        AdaptiveConfig::new(),
     )?;
     report::print_table(
         &["strategy", "WA"],

@@ -30,16 +30,17 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use seplsm_bench::{args, report};
+use seplsm_core::{AdaptiveConfig, AdaptiveOpen, AnalyzerConfig};
 use seplsm_dist::LogNormal;
 use seplsm_lsm::sstable::{ByteSpan, RangeRead};
 use seplsm_lsm::store::load_index;
 use seplsm_lsm::{
-    AdmissionStats, BlockCache, EncodeOptions, EngineConfig, IoPacer,
-    LsmEngine, MemStore, Metrics, MultiOpenOptions, MultiSeriesEngine,
+    AdmissionStats, ArbiterConfig, BlockCache, EncodeOptions, EngineConfig,
+    IoPacer, LsmEngine, MemStore, Metrics, MultiOpenOptions, MultiSeriesEngine,
     OpenOptions, SeriesId, SsTableId, SsTableMeta, TableStore,
     TieredOpenOptions, Watermarks,
 };
-use seplsm_types::{DataPoint, Error, Result, TimeRange};
+use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange};
 use seplsm_workload::SyntheticWorkload;
 
 /// A [`MemStore`] that counts the encoded bytes every read fetches, so the
@@ -218,7 +219,8 @@ fn ingest_lane(
         // seal (and flush) on the final append, on the caller thread,
         // leaving nothing for the pooled flush under test.
         let mut m = MultiOpenOptions::new(
-            EngineConfig::conventional(per_series + 1).with_sstable_points(512),
+            EngineConfig::new(Policy::conventional(per_series + 1))
+                .with_sstable_points(512),
         )
         .workers(w)
         .open()?;
@@ -275,6 +277,92 @@ fn ingest_lane(
     }))
 }
 
+/// Lane 1c: multi-tenant skew. A fleet shares one arbiter-managed memory
+/// budget; one series takes heavy, badly-delayed traffic while its
+/// neighbours trickle. The lane proves the arbiter grew the hot series
+/// past every cold one (`hot_series_capacity > cold_series_capacity`) and
+/// that the adaptive controller retuned the hot series online against its
+/// grown slice (`retunes > 0`) — both re-asserted by CI from the JSON.
+fn skew_lane(seed: u64) -> Result<serde_json::Value> {
+    let cold_series = 7u32;
+    let hot = SeriesId(0);
+    let mut fleet = MultiOpenOptions::new(
+        EngineConfig::new(Policy::conventional(64)).with_sstable_points(64),
+    )
+    .arbiter(
+        ArbiterConfig::new(1024)
+            .with_floor(16)
+            .with_rebalance_every(256),
+    )
+    .adaptive(AdaptiveConfig::new().with_analyzer(AnalyzerConfig {
+        window: 512,
+        min_samples: 256,
+        check_every: 128,
+        ks_alpha: 0.01,
+    }))?;
+
+    // Cold neighbours: a short burst of clean points each.
+    for s in 1..=cold_series {
+        let pts = SyntheticWorkload::new(
+            50,
+            LogNormal::new(1.0, 0.3),
+            64,
+            seed + u64::from(s),
+        )
+        .generate();
+        for p in pts {
+            fleet.append(SeriesId(s), p)?;
+        }
+    }
+    // Hot tenant: an order of magnitude more points, chaotically delayed,
+    // so the arbiter grows it and the tuner must re-fit its policy online.
+    let hot_pts =
+        SyntheticWorkload::new(50, LogNormal::new(6.0, 2.0), 6_000, seed)
+            .generate();
+    for p in &hot_pts {
+        fleet.append(hot, *p)?;
+    }
+
+    let engine = fleet.engine();
+    let hot_cap = engine.series_capacity(hot).ok_or_else(|| {
+        Error::InvalidConfig("hot series missing from the arbiter".into())
+    })?;
+    let cold_cap = (1..=cold_series)
+        .filter_map(|s| engine.series_capacity(SeriesId(s)))
+        .max()
+        .ok_or_else(|| {
+            Error::InvalidConfig("cold series missing from the arbiter".into())
+        })?;
+    let stats = engine.arbiter_stats().ok_or_else(|| {
+        Error::InvalidConfig("arbiter stats unavailable".into())
+    })?;
+    let retunes = engine.retunes();
+    if hot_cap <= cold_cap {
+        return Err(Error::InvalidConfig(format!(
+            "arbiter failed to favour the hot series: hot {hot_cap} vs \
+             cold {cold_cap}"
+        )));
+    }
+    if retunes == 0 {
+        return Err(Error::InvalidConfig(
+            "no online retune happened under skew".into(),
+        ));
+    }
+    println!(
+        "skew: hot capacity {hot_cap} vs cold max {cold_cap} after {} \
+         rebalances; {retunes} online retune(s), {} points held for cache",
+        stats.rounds, stats.cache_share
+    );
+    Ok(serde_json::json!({
+        "hot_series_capacity": hot_cap,
+        "cold_series_capacity": cold_cap,
+        "rebalances": stats.rounds,
+        "retunes": retunes,
+        "arbiter_cache_share": stats.cache_share,
+        "arbiter_resizes": stats.resizes,
+    }))
+}
+
 /// Lane 1b: admission control under pressure. A *burst* pass appends into
 /// a tiered engine whose store sleeps on every table write and whose
 /// watermarks are tight, forcing delayed appends and real write stalls; a
@@ -296,7 +384,7 @@ fn stall_lane(points: usize, seed: u64) -> Result<serde_json::Value> {
                pacer: IoPacer|
      -> Result<(Vec<u64>, Metrics, AdmissionStats)> {
         let mut engine = TieredOpenOptions::new(
-            EngineConfig::conventional(64).with_sstable_points(64),
+            EngineConfig::new(Policy::conventional(64)).with_sstable_points(64),
         )
         .store(store)
         .admission(watermarks)
@@ -411,7 +499,7 @@ fn query_lane(
     )> {
         let store = Arc::new(CountingStore::new(EncodeOptions::compressed()));
         let mut options = OpenOptions::new(
-            EngineConfig::conventional(256)
+            EngineConfig::new(Policy::conventional(256))
                 .with_sstable_points(512)
                 .with_block_reads(),
         )
@@ -504,7 +592,7 @@ fn cold_lane(
         let store = Arc::new(CountingStore::new(options));
         let cache = BlockCache::with_capacity(cache_points);
         let mut engine = OpenOptions::new(
-            EngineConfig::conventional(256)
+            EngineConfig::new(Policy::conventional(256))
                 .with_sstable_points(256)
                 .with_block_reads(),
         )
@@ -562,7 +650,7 @@ fn compaction_lane(
     let run = |cache: Option<Arc<BlockCache>>| -> Result<(f64, LsmEngine)> {
         let store = Arc::new(CountingStore::new(EncodeOptions::compressed()));
         let mut options = OpenOptions::new(
-            EngineConfig::conventional(64)
+            EngineConfig::new(Policy::conventional(64))
                 .with_sstable_points(64)
                 .with_block_reads(),
         )
@@ -645,8 +733,11 @@ fn main() -> Result<()> {
 
     report::banner("perf baseline: cache + fleet flush pool");
     let ingest = merge_objects(
-        ingest_lane(points, series, workers, seed)?,
-        stall_lane(points, seed)?,
+        merge_objects(
+            ingest_lane(points, series, workers, seed)?,
+            stall_lane(points, seed)?,
+        ),
+        skew_lane(seed)?,
     );
     let query = merge_objects(
         query_lane(points, passes, cache_points, seed)?,

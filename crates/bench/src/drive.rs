@@ -4,7 +4,7 @@
 use std::path::Path;
 use std::time::Instant;
 
-use seplsm_core::{AdaptiveConfig, AdaptiveEngine, TuneRecord};
+use seplsm_core::{AdaptiveConfig, AdaptiveOpen, TuneRecord};
 use seplsm_lsm::{
     AggregateReport, AggregateSink, DiskModel, EngineConfig, FanoutSink,
     JsonlSink, LsmEngine, MemStore, Metrics, Observer, OpenOptions, QueryStats,
@@ -103,12 +103,14 @@ pub fn measure_wa_windowed(
 }
 
 /// Runs the adaptive engine over `points`, returning its metrics and the
-/// tuning decisions it took.
+/// tuning decisions it took. `engine` carries the mechanics (initial
+/// policy, table size, snapshots); `config` carries the controller knobs.
 pub fn measure_adaptive(
     points: &[DataPoint],
+    engine: EngineConfig,
     config: AdaptiveConfig,
 ) -> Result<(Metrics, Vec<TuneRecord>)> {
-    let mut engine = AdaptiveEngine::in_memory(config)?;
+    let mut engine = OpenOptions::new(engine).adaptive(config)?;
     for p in points {
         engine.append(*p)?;
     }

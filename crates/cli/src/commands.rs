@@ -3,9 +3,7 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use seplsm_core::{
-    tune, AdaptiveConfig, AdaptiveEngine, TunerOptions, WaModel,
-};
+use seplsm_core::{tune, AdaptiveConfig, AdaptiveOpen, TunerOptions, WaModel};
 use seplsm_dist::stats::percentile_sorted;
 use seplsm_dist::{DelayDistribution, Empirical};
 use seplsm_lsm::{
@@ -190,10 +188,12 @@ pub fn ingest(opts: &Opts) -> Result<()> {
             println!("write amplification: {:.3}", m.write_amplification());
         }
         None => {
-            let mut engine = AdaptiveEngine::new(
-                AdaptiveConfig::new(budget).with_sstable_points(sstable),
-                store,
-            )?;
+            let mut engine = OpenOptions::new(
+                EngineConfig::new(Policy::conventional(budget))
+                    .with_sstable_points(sstable),
+            )
+            .store(store)
+            .adaptive(AdaptiveConfig::new())?;
             for p in &points {
                 engine.append(*p)?;
             }
@@ -240,7 +240,8 @@ pub fn query(opts: &Opts) -> Result<()> {
     let store: Arc<dyn TableStore> =
         Arc::new(FileStore::open(dir.join("tables"))?);
     let mut options =
-        OpenOptions::new(EngineConfig::conventional(budget)).store(store);
+        OpenOptions::new(EngineConfig::new(Policy::conventional(budget)))
+            .store(store);
     if dir.join("wal").exists() {
         options = options.wal(dir.join("wal"));
     }

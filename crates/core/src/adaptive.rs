@@ -7,16 +7,45 @@
 //!    [`DelayAnalyzer`];
 //! 2. when the analyzer reports that the delay distribution changed (or that
 //!    enough samples exist for a first decision), the engine fits the
-//!    empirical delay distribution, runs Algorithm 1, and switches the
-//!    engine's buffering policy to the winner.
+//!    empirical delay distribution, runs Algorithm 1 against the engine's
+//!    *current* memory budget, and switches the buffering policy to the
+//!    winner.
 //!
 //! Policy switches re-route the buffered points without touching the disk
 //! (see [`LsmEngine::set_policy`]).
+//!
+//! # Configuration layering
+//!
+//! Three surfaces, three concerns — each knob lives in exactly one:
+//!
+//! * [`Policy`] — the *paper knob*: `π_c(n)` vs. `π_s(n_seq)`, nothing
+//!   else.
+//! * [`EngineConfig`](seplsm_lsm::EngineConfig) — *engine mechanics*:
+//!   the starting policy plus SSTable size, WA snapshots, probes.
+//! * [`AdaptiveConfig`] — the *controller*: drift detection, tuning-scan
+//!   and ζ parameters, and retune hysteresis. It carries no memory
+//!   budget: the budget is whatever the engine's current policy holds
+//!   (which the fleet memory arbiter may resize at any time).
+//!
+//! Adaptive tuning is an open-time option: build the storage engine with
+//! its own [`OpenOptions`], then finish with
+//! [`AdaptiveOpen::adaptive`] instead of `open`:
+//!
+//! ```
+//! use seplsm_core::{AdaptiveConfig, AdaptiveOpen};
+//! use seplsm_lsm::{EngineConfig, OpenOptions};
+//! use seplsm_types::Policy;
+//!
+//! let engine = OpenOptions::new(EngineConfig::new(Policy::conventional(512)))
+//!     .adaptive(AdaptiveConfig::new())?;
+//! assert!(!engine.policy().is_separation());
+//! # Ok::<(), seplsm_types::Error>(())
+//! ```
 
 use std::sync::Arc;
 
 use seplsm_dist::DelayDistribution;
-use seplsm_lsm::{EngineConfig, LsmEngine, MemStore, TableStore};
+use seplsm_lsm::{LsmEngine, OpenOptions};
 use seplsm_types::{DataPoint, Policy, Result};
 
 use crate::analyzer::{AnalyzerConfig, AnalyzerEvent, DelayAnalyzer};
@@ -24,51 +53,41 @@ use crate::tuner::{tune, TunerOptions};
 use crate::wa::WaModel;
 use crate::zeta::ZetaConfig;
 
-/// Configuration of the adaptive controller.
-#[derive(Debug, Clone)]
+/// Configuration of the adaptive *controller* — drift detection and
+/// tuning parameters only. Engine mechanics (budget, SSTable size,
+/// snapshots) belong to [`EngineConfig`](seplsm_lsm::EngineConfig); the
+/// tuning budget `n` is always read from the engine's current policy at
+/// decision time.
+#[derive(Debug, Clone, Copy)]
 pub struct AdaptiveConfig {
-    /// Total memory budget `n` (points) — split is the tuner's business.
-    pub budget: usize,
-    /// SSTable target size (points).
-    pub sstable_points: usize,
-    /// Record a WA snapshot every this many user points (`None` = off).
-    pub wa_snapshot_every: Option<u64>,
     /// Analyzer (drift-detection) parameters.
     pub analyzer: AnalyzerConfig,
-    /// Tuning-scan options.
-    pub tuner: TunerOptions,
+    /// Tuning-scan options; `None` derives the online granularity
+    /// [`TunerOptions::online`] from the budget at each decision.
+    pub tuner: Option<TunerOptions>,
     /// ζ evaluation parameters used for online tuning.
     pub zeta: ZetaConfig,
     /// Minimum user points between two policy switches (hysteresis).
     pub min_points_between_tunes: u64,
 }
 
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl AdaptiveConfig {
-    /// Sensible defaults for budget `n`: online tuner granularity, cheap ζ,
-    /// re-tune at most every `4 × analyzer window` points.
-    pub fn new(budget: usize) -> Self {
+    /// Sensible defaults: online tuner granularity, cheap ζ, re-tune at
+    /// most every `4 × analyzer window` points.
+    pub fn new() -> Self {
         let analyzer = AnalyzerConfig::default();
         Self {
-            budget,
-            sstable_points: EngineConfig::DEFAULT_SSTABLE_POINTS,
-            wa_snapshot_every: None,
             analyzer,
-            tuner: TunerOptions::online(budget),
+            tuner: None,
             zeta: ZetaConfig::online(),
             min_points_between_tunes: (analyzer.window as u64) * 4,
         }
-    }
-
-    /// Overrides the SSTable size.
-    pub fn with_sstable_points(mut self, points: usize) -> Self {
-        self.sstable_points = points;
-        self
-    }
-
-    /// Enables WA snapshots.
-    pub fn with_wa_snapshots(mut self, every: u64) -> Self {
-        self.wa_snapshot_every = Some(every);
-        self
     }
 
     /// Overrides the analyzer parameters (also refreshes the hysteresis).
@@ -76,6 +95,56 @@ impl AdaptiveConfig {
         self.analyzer = analyzer;
         self.min_points_between_tunes = (analyzer.window as u64) * 4;
         self
+    }
+
+    /// Pins the tuning-scan options instead of deriving them from the
+    /// budget.
+    pub fn with_tuner(mut self, tuner: TunerOptions) -> Self {
+        self.tuner = Some(tuner);
+        self
+    }
+
+    /// Overrides the ζ evaluation parameters.
+    pub fn with_zeta(mut self, zeta: ZetaConfig) -> Self {
+        self.zeta = zeta;
+        self
+    }
+
+    /// Overrides the retune hysteresis.
+    pub fn with_hysteresis(mut self, points: u64) -> Self {
+        self.min_points_between_tunes = points;
+        self
+    }
+
+    /// The scan options for a decision against `budget` points.
+    pub(crate) fn tuner_for(&self, budget: usize) -> TunerOptions {
+        self.tuner.unwrap_or_else(|| TunerOptions::online(budget))
+    }
+}
+
+/// Open-time adaptive tuning: the one way to construct the adaptive
+/// wrappers. Implemented for both storage builders —
+/// [`OpenOptions`] opens into an [`AdaptiveEngine`], and
+/// [`MultiOpenOptions`](seplsm_lsm::MultiOpenOptions) opens into a
+/// [`FleetAdaptiveEngine`](crate::fleet::FleetAdaptiveEngine) — so every
+/// storage option (store, durability, observer, cache, arbiter) is
+/// configured exactly once, on the builder.
+pub trait AdaptiveOpen {
+    /// The adaptive wrapper this builder opens into.
+    type Engine;
+
+    /// Opens the storage engine and attaches the adaptive controller.
+    ///
+    /// # Errors
+    /// Invalid configuration or storage failures while opening.
+    fn adaptive(self, config: AdaptiveConfig) -> Result<Self::Engine>;
+}
+
+impl AdaptiveOpen for OpenOptions {
+    type Engine = AdaptiveEngine;
+
+    fn adaptive(self, config: AdaptiveConfig) -> Result<AdaptiveEngine> {
+        Ok(AdaptiveEngine::from_engine(self.open()?, config))
     }
 }
 
@@ -95,6 +164,10 @@ pub struct TuneRecord {
 }
 
 /// A storage engine that re-tunes its buffering policy as delays drift.
+/// Constructed through [`AdaptiveOpen::adaptive`] on an engine
+/// [`OpenOptions`]; it starts under whatever policy the builder's
+/// [`EngineConfig`](seplsm_lsm::EngineConfig) configured (the paper
+/// initialises with `π_c`).
 pub struct AdaptiveEngine {
     engine: LsmEngine,
     analyzer: DelayAnalyzer,
@@ -104,32 +177,18 @@ pub struct AdaptiveEngine {
 }
 
 impl AdaptiveEngine {
-    /// Creates an adaptive engine starting under `π_c` (the paper
-    /// initialises the system with the conventional policy).
-    ///
-    /// # Errors
-    /// Invalid configuration.
-    pub fn new(
+    /// Wraps an opened engine with the adaptive controller.
+    pub(crate) fn from_engine(
+        engine: LsmEngine,
         config: AdaptiveConfig,
-        store: Arc<dyn TableStore>,
-    ) -> Result<Self> {
-        let mut engine_config = EngineConfig::conventional(config.budget)
-            .with_sstable_points(config.sstable_points);
-        if let Some(every) = config.wa_snapshot_every {
-            engine_config = engine_config.with_wa_snapshots(every);
-        }
-        Ok(Self {
-            engine: LsmEngine::new(engine_config, store)?,
+    ) -> Self {
+        Self {
+            engine,
             analyzer: DelayAnalyzer::new(config.analyzer),
             config,
             tunes: Vec::new(),
             last_tune_at: 0,
-        })
-    }
-
-    /// In-memory-store convenience constructor.
-    pub fn in_memory(config: AdaptiveConfig) -> Result<Self> {
-        Self::new(config, Arc::new(MemStore::new()))
+        }
     }
 
     /// The wrapped storage engine.
@@ -175,8 +234,9 @@ impl AdaptiveEngine {
         Ok(())
     }
 
-    /// Runs Algorithm 1 on the analyzer's current window and applies the
-    /// decision. Exposed for callers that schedule tuning themselves.
+    /// Runs Algorithm 1 on the analyzer's current window against the
+    /// engine's current budget and applies the decision. Exposed for
+    /// callers that schedule tuning themselves.
     ///
     /// # Errors
     /// Storage failures while switching policies.
@@ -187,13 +247,14 @@ impl AdaptiveEngine {
         let Some(delta_t) = self.analyzer.estimated_delta_t() else {
             return Ok(());
         };
+        let budget = self.engine.policy().total_capacity();
         let model = WaModel::with_zeta_config(
             Arc::new(dist) as Arc<dyn DelayDistribution>,
             delta_t,
-            self.config.budget,
+            budget,
             self.config.zeta,
         );
-        let outcome = match tune(&model, self.config.tuner) {
+        let outcome = match tune(&model, self.config.tuner_for(budget)) {
             Ok(o) => o,
             // A failed model evaluation must not break ingestion.
             Err(_) => return Ok(()),
@@ -218,16 +279,23 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use seplsm_dist::{DelayDistribution, LogNormal};
+    use seplsm_lsm::EngineConfig;
 
     fn small_config() -> AdaptiveConfig {
-        AdaptiveConfig::new(64)
-            .with_sstable_points(32)
-            .with_analyzer(AnalyzerConfig {
-                window: 512,
-                min_samples: 256,
-                check_every: 128,
-                ks_alpha: 0.01,
-            })
+        AdaptiveConfig::new().with_analyzer(AnalyzerConfig {
+            window: 512,
+            min_samples: 256,
+            check_every: 128,
+            ks_alpha: 0.01,
+        })
+    }
+
+    fn small_engine() -> AdaptiveEngine {
+        OpenOptions::new(
+            EngineConfig::new(Policy::conventional(64)).with_sstable_points(32),
+        )
+        .adaptive(small_config())
+        .expect("engine")
     }
 
     fn write_workload(
@@ -256,7 +324,7 @@ mod tests {
 
     #[test]
     fn starts_conventional_then_tunes_once_samples_accumulate() {
-        let mut e = AdaptiveEngine::in_memory(small_config()).expect("engine");
+        let mut e = small_engine();
         assert!(!e.policy().is_separation());
         let dist = LogNormal::new(5.0, 2.0);
         write_workload(&mut e, &dist, 2000, 0, 50, 1);
@@ -269,7 +337,7 @@ mod tests {
 
     #[test]
     fn drift_triggers_retune() {
-        let mut e = AdaptiveEngine::in_memory(small_config()).expect("engine");
+        let mut e = small_engine();
         let calm = LogNormal::new(2.0, 0.5);
         let wild = LogNormal::new(6.0, 2.0);
         let next = write_workload(&mut e, &calm, 3000, 0, 50, 2);
@@ -285,16 +353,19 @@ mod tests {
 
     #[test]
     fn retune_without_samples_is_a_no_op() {
-        let mut e = AdaptiveEngine::in_memory(small_config()).expect("engine");
+        let mut e = small_engine();
         e.retune().expect("retune");
         assert!(e.tunes().is_empty());
     }
 
     #[test]
     fn data_survives_policy_switches() {
-        let mut cfg = small_config();
-        cfg.min_points_between_tunes = 256; // allow frequent switching
-        let mut e = AdaptiveEngine::in_memory(cfg).expect("engine");
+        let cfg = small_config().with_hysteresis(256); // frequent switching
+        let mut e = OpenOptions::new(
+            EngineConfig::new(Policy::conventional(64)).with_sstable_points(32),
+        )
+        .adaptive(cfg)
+        .expect("engine");
         let calm = LogNormal::new(2.0, 0.5);
         let wild = LogNormal::new(6.5, 2.0);
         let mut next = 0i64;

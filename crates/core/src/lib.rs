@@ -49,7 +49,7 @@ pub mod tuner;
 pub mod wa;
 pub mod zeta;
 
-pub use adaptive::{AdaptiveConfig, AdaptiveEngine, TuneRecord};
+pub use adaptive::{AdaptiveConfig, AdaptiveEngine, AdaptiveOpen, TuneRecord};
 pub use analyzer::{AnalyzerConfig, AnalyzerEvent, DelayAnalyzer};
 pub use arrival::ArrivalRatioModel;
 pub use fleet::FleetAdaptiveEngine;

@@ -666,6 +666,10 @@ impl TieredEngine {
                             Ok((meta, size)) => {
                                 written += chunk.len() as u64;
                                 bytes += size as u64;
+                                // A fresh L0 table is consumed by the next
+                                // merge-compaction: cache its blocks with
+                                // the weaker short-lived priority.
+                                worker_store.note_short_lived(meta.id);
                                 tables.push(meta);
                             }
                             Err(e) => {
@@ -1529,8 +1533,9 @@ mod tests {
 
     #[test]
     fn preserves_all_points_conventional() {
-        let mut e =
-            engine(EngineConfig::conventional(16).with_sstable_points(8));
+        let mut e = engine(
+            EngineConfig::new(Policy::conventional(16)).with_sstable_points(8),
+        );
         let mut tgs: Vec<i64> = (0..500).map(|i| (i * 37) % 500).collect();
         tgs.sort_unstable();
         tgs.dedup();
@@ -1552,8 +1557,7 @@ mod tests {
     #[test]
     fn preserves_all_points_separation_with_stragglers() {
         let mut e = engine(
-            EngineConfig::separation(16, 8)
-                .expect("policy")
+            EngineConfig::new(Policy::separation(16, 8).expect("policy"))
                 .with_sstable_points(8),
         );
         let mut expected = 0usize;
@@ -1578,8 +1582,9 @@ mod tests {
 
     #[test]
     fn duplicate_timestamps_keep_latest_write() {
-        let mut e =
-            engine(EngineConfig::conventional(4).with_sstable_points(4));
+        let mut e = engine(
+            EngineConfig::new(Policy::conventional(4)).with_sstable_points(4),
+        );
         for i in 0..8i64 {
             e.append(DataPoint::new(i, i, 0.0)).expect("append");
         }
@@ -1599,8 +1604,9 @@ mod tests {
 
     #[test]
     fn queries_see_buffered_flushed_and_compacted_data() {
-        let mut e =
-            engine(EngineConfig::conventional(8).with_sstable_points(8));
+        let mut e = engine(
+            EngineConfig::new(Policy::conventional(8)).with_sstable_points(8),
+        );
         for i in 0..100i64 {
             e.append(DataPoint::new(i * 10, i * 10, i as f64))
                 .expect("append");
@@ -1618,7 +1624,7 @@ mod tests {
     fn cached_tiered_engine_invalidates_and_serves_warm_queries() {
         let cache = crate::cache::BlockCache::with_capacity(64 * 1024);
         let mut e = OpenOptions::new(
-            EngineConfig::conventional(8).with_sstable_points(8),
+            EngineConfig::new(Policy::conventional(8)).with_sstable_points(8),
         )
         .cache(Arc::clone(&cache))
         .open()
@@ -1676,8 +1682,9 @@ mod tests {
     fn in_flight_flushes_stay_queryable() {
         // A batch sitting in the flush queue must still be visible: the
         // writer registers it as a flushing MemTable before sending.
-        let mut e =
-            engine(EngineConfig::conventional(8).with_sstable_points(8));
+        let mut e = engine(
+            EngineConfig::new(Policy::conventional(8)).with_sstable_points(8),
+        );
         for i in 0..64i64 {
             e.append(DataPoint::new(i * 10, i * 10, i as f64))
                 .expect("append");
@@ -1692,7 +1699,7 @@ mod tests {
 
     #[test]
     fn empty_engine_finishes_cleanly() {
-        let e = engine(EngineConfig::conventional(8));
+        let e = engine(EngineConfig::new(Policy::conventional(8)));
         let report = e.finish().expect("finish");
         assert_eq!(report.user_points, 0);
         assert!(report.points.is_empty());
@@ -1701,8 +1708,9 @@ mod tests {
 
     #[test]
     fn drop_without_finish_does_not_hang() {
-        let mut e =
-            engine(EngineConfig::conventional(4).with_sstable_points(4));
+        let mut e = engine(
+            EngineConfig::new(Policy::conventional(4)).with_sstable_points(4),
+        );
         for i in 0..100i64 {
             e.append(DataPoint::new(i, i, 0.0)).expect("append");
         }
@@ -1718,7 +1726,7 @@ mod tests {
         let store =
             Arc::new(FaultStore::new(MemStore::new(), Arc::clone(&plan)));
         let mut e = TieredEngine::new(
-            EngineConfig::conventional(4).with_sstable_points(4),
+            EngineConfig::new(Policy::conventional(4)).with_sstable_points(4),
             store,
         )
         .expect("engine")
@@ -1738,7 +1746,7 @@ mod tests {
         let plan = FaultPlan::new(7, Fault::FailPersistent { from: 0 });
         let store = Arc::new(FaultStore::new(MemStore::new(), plan));
         let mut e = TieredEngine::new(
-            EngineConfig::conventional(4).with_sstable_points(4),
+            EngineConfig::new(Policy::conventional(4)).with_sstable_points(4),
             store,
         )
         .expect("engine");
@@ -1782,7 +1790,7 @@ mod tests {
         // table, so with stop=2 the third seal's successor append must
         // stall, self-compact L0 into the run, and resume.
         let mut e = OpenOptions::new(
-            EngineConfig::conventional(4).with_sstable_points(4),
+            EngineConfig::new(Policy::conventional(4)).with_sstable_points(4),
         )
         .admission(Watermarks::new(1, 2).expect("watermarks"))
         .sync_flush()
@@ -1813,7 +1821,7 @@ mod tests {
     #[test]
     fn delayed_outcomes_between_watermarks() {
         let mut e = OpenOptions::new(
-            EngineConfig::conventional(4).with_sstable_points(4),
+            EngineConfig::new(Policy::conventional(4)).with_sstable_points(4),
         )
         .admission(Watermarks::new(1, 8).expect("watermarks"))
         .sync_flush()
@@ -1840,7 +1848,7 @@ mod tests {
         // A 1-token bucket makes every compaction after the first wait for
         // a refill, so the paced-ticks counter must move.
         let mut e = OpenOptions::new(
-            EngineConfig::conventional(4).with_sstable_points(4),
+            EngineConfig::new(Policy::conventional(4)).with_sstable_points(4),
         )
         .pacer(IoPacer::new(1, 1).expect("pacer"))
         .sync_flush()
@@ -1873,7 +1881,7 @@ mod tests {
             Arc::new(FaultStore::new(MemStore::new(), Arc::clone(&plan)));
         let sink = AggregateSink::with_logical_clock();
         let mut e = OpenOptions::new(
-            EngineConfig::conventional(4).with_sstable_points(4),
+            EngineConfig::new(Policy::conventional(4)).with_sstable_points(4),
         )
         .store(store)
         .observer(Arc::clone(&sink) as Arc<dyn Observer>)
@@ -1902,8 +1910,9 @@ mod tests {
 
     #[test]
     fn set_policy_reroutes_buffered_points() {
-        let mut e =
-            engine(EngineConfig::conventional(64).with_sstable_points(8));
+        let mut e = engine(
+            EngineConfig::new(Policy::conventional(64)).with_sstable_points(8),
+        );
         for i in 0..10i64 {
             e.append(DataPoint::new(i * 10, i * 10, 0.0))
                 .expect("append");

@@ -29,7 +29,7 @@
 //! invalidation locks exactly one shard. In the fleet setting different
 //! series flush to different tables, which spreads load across shards.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -53,6 +53,37 @@ impl Default for CacheConfig {
         Self {
             capacity_points: 64 * 1024,
             shards: 8,
+        }
+    }
+}
+
+/// Per-level retention priority of a cached block: a generalised CLOCK
+/// where each entry starts with a number of *lives*, and a sweep pass
+/// over an unreferenced entry burns one life before the next pass may
+/// evict it.
+///
+/// Short-lived L0 tables are consumed by the very next merge-compaction,
+/// so their blocks should never displace blocks of long-lived run
+/// tables; the fleet flush path marks freshly flushed L0 tables
+/// [`ShortLived`](CachePriority::ShortLived) via
+/// [`BlockCache::mark_short_lived`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePriority {
+    /// One life: evicted on the first sweep pass that finds the entry
+    /// unreferenced. Used for L0 blocks about to be compacted away.
+    ShortLived,
+    /// Two lives: survives one full unreferenced sweep pass before
+    /// becoming evictable. The default for run (L1) tables.
+    #[default]
+    Durable,
+}
+
+impl CachePriority {
+    /// Sweep passes an unreferenced entry survives before eviction.
+    fn lives(self) -> u8 {
+        match self {
+            CachePriority::ShortLived => 1,
+            CachePriority::Durable => 2,
         }
     }
 }
@@ -104,8 +135,11 @@ impl CacheStats {
 struct Entry {
     points: Arc<Vec<DataPoint>>,
     /// The CLOCK reference bit: set on every hit, cleared by a passing
-    /// sweep hand; an unreferenced entry the hand reaches is evicted.
+    /// sweep hand; an unreferenced entry the hand reaches loses a life.
     referenced: bool,
+    /// Remaining sweep passes before an unreferenced entry is evicted
+    /// (seeded from [`CachePriority::lives`]).
+    lives: u8,
 }
 
 /// One independent cache shard: entries plus the CLOCK ring and hand.
@@ -157,6 +191,13 @@ impl Shard {
                     entry.referenced = false;
                     self.hand += 1;
                 }
+                Some(entry) if entry.lives > 1 => {
+                    // A durable entry burns a life per unreferenced pass
+                    // instead of evicting, so short-lived L0 blocks go
+                    // first.
+                    entry.lives -= 1;
+                    self.hand += 1;
+                }
                 Some(_) => {
                     if let Some(entry) = self.entries.remove(&key) {
                         let n = entry.points.len();
@@ -184,6 +225,11 @@ pub struct BlockCache {
     /// Parsed table indexes, keyed by table. Bounded by the number of
     /// live tables: invalidation removes a table's index with its blocks.
     indexes: Mutex<HashMap<SsTableId, Arc<TableIndex>>>,
+    /// Tables whose blocks enter with
+    /// [`CachePriority::ShortLived`] (freshly flushed L0 tables awaiting
+    /// compaction). Bounded like `indexes`: invalidation clears the mark
+    /// when the table leaves the store.
+    short_lived: Mutex<HashSet<SsTableId>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -199,6 +245,7 @@ impl BlockCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             shard_capacity,
             indexes: Mutex::new(HashMap::new()),
+            short_lived: Mutex::new(HashSet::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -245,13 +292,43 @@ impl BlockCache {
         }
     }
 
+    /// Marks `table` short-lived: until
+    /// [`invalidate_table`](Self::invalidate_table) clears the mark, its
+    /// blocks are cached with [`CachePriority::ShortLived`]. The tiered
+    /// flush path marks every freshly written L0 table this way.
+    pub fn mark_short_lived(&self, table: SsTableId) {
+        self.short_lived.lock().insert(table);
+    }
+
+    /// The priority `table`'s blocks are admitted with.
+    pub fn priority_of(&self, table: SsTableId) -> CachePriority {
+        if self.short_lived.lock().contains(&table) {
+            CachePriority::ShortLived
+        } else {
+            CachePriority::Durable
+        }
+    }
+
     /// Inserts a freshly decoded block, evicting as needed to stay within
     /// the shard's capacity. Returns the evicted blocks so the caller can
     /// report them. Re-inserting an existing key refreshes its contents.
+    /// The block's priority follows the table's
+    /// [`mark_short_lived`](Self::mark_short_lived) state.
     pub fn insert(
         &self,
         key: BlockKey,
         points: Arc<Vec<DataPoint>>,
+    ) -> Vec<EvictedBlock> {
+        let priority = self.priority_of(key.table);
+        self.insert_with_priority(key, points, priority)
+    }
+
+    /// [`insert`](Self::insert) with an explicit [`CachePriority`].
+    pub fn insert_with_priority(
+        &self,
+        key: BlockKey,
+        points: Arc<Vec<DataPoint>>,
+        priority: CachePriority,
     ) -> Vec<EvictedBlock> {
         let n = points.len();
         let mut shard = self.shard_for(key.table).lock();
@@ -260,6 +337,7 @@ impl BlockCache {
             Entry {
                 points,
                 referenced: true,
+                lives: priority.lives(),
             },
         ) {
             Some(old) => {
@@ -291,6 +369,7 @@ impl BlockCache {
     /// later read. Returns how many blocks were dropped.
     pub fn invalidate_table(&self, table: SsTableId) -> u64 {
         self.indexes.lock().remove(&table);
+        self.short_lived.lock().remove(&table);
         let mut shard = self.shard_for(table).lock();
         let victims: Vec<BlockKey> = shard
             .entries
@@ -438,6 +517,50 @@ mod tests {
         assert_eq!(evicted[0].key, key(1, 0));
         assert!(cache.lookup(key(1, 1)).is_some());
         assert_eq!(cache.stats().resident_blocks, 1);
+    }
+
+    #[test]
+    fn short_lived_blocks_evict_before_durable_ones() {
+        // One shard, 60 points. Table 2 is a freshly flushed L0 table:
+        // its block carries one life, the durable block carries two, so
+        // under equal recency the L0 block goes first.
+        let cache = BlockCache::new(CacheConfig {
+            capacity_points: 60,
+            shards: 1,
+        });
+        cache.mark_short_lived(SsTableId(2));
+        assert_eq!(cache.priority_of(SsTableId(2)), CachePriority::ShortLived);
+        assert_eq!(cache.priority_of(SsTableId(1)), CachePriority::Durable);
+        cache.insert(key(1, 0), block(30, 0));
+        cache.insert(key(2, 0), block(30, 100));
+        let evicted = cache.insert(key(1, 1), block(30, 200));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].key, key(2, 0), "L0 block must go first");
+        assert!(cache.lookup(key(1, 0)).is_some());
+        // Invalidation clears the mark: re-used table ids start durable.
+        cache.invalidate_table(SsTableId(2));
+        assert_eq!(cache.priority_of(SsTableId(2)), CachePriority::Durable);
+    }
+
+    #[test]
+    fn explicit_priority_overrides_the_table_mark() {
+        let cache = BlockCache::new(CacheConfig {
+            capacity_points: 60,
+            shards: 1,
+        });
+        cache.insert_with_priority(
+            key(1, 0),
+            block(30, 0),
+            CachePriority::ShortLived,
+        );
+        cache.insert_with_priority(
+            key(2, 0),
+            block(30, 100),
+            CachePriority::Durable,
+        );
+        let evicted = cache.insert(key(2, 1), block(30, 200));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].key, key(1, 0));
     }
 
     #[test]

@@ -75,20 +75,14 @@ impl EngineConfig {
     /// The paper's default SSTable size, in points.
     pub const DEFAULT_SSTABLE_POINTS: usize = 512;
 
-    /// Configuration for `π_c` with memory budget `n`.
-    pub fn conventional(n: usize) -> Self {
-        Self::new(Policy::conventional(n))
-    }
-
-    /// Configuration for `π_s(n_seq)` under total budget `n`.
-    ///
-    /// # Errors
-    /// [`Error::InvalidConfig`] unless `0 < n_seq < n`.
-    pub fn separation(n: usize, n_seq: usize) -> Result<Self> {
-        Ok(Self::new(Policy::separation(n, n_seq)?))
-    }
-
     /// Configuration with the given policy and paper-default table size.
+    ///
+    /// This is the one constructor: the *policy* (the paper knob —
+    /// [`Policy::conventional`], [`Policy::separation`]) is chosen first
+    /// and passed in; `EngineConfig` itself only adds engine mechanics
+    /// (table size, snapshots, probes) on top of it, and the adaptive
+    /// controller layers (`AdaptiveConfig` in `seplsm-core`) sit entirely
+    /// above both.
     pub fn new(policy: Policy) -> Self {
         Self {
             policy,
@@ -145,8 +139,11 @@ impl EngineConfig {
 ///
 /// ```
 /// use seplsm_lsm::{EngineConfig, OpenOptions};
+/// use seplsm_types::Policy;
 /// # fn main() -> seplsm_types::Result<()> {
-/// let engine = OpenOptions::new(EngineConfig::conventional(512)).open()?;
+/// let engine =
+///     OpenOptions::new(EngineConfig::new(Policy::conventional(512)))
+///         .open()?;
 /// # drop(engine); Ok(())
 /// # }
 /// ```
@@ -1100,7 +1097,7 @@ mod tests {
     #[test]
     fn in_order_ingest_under_pi_c_has_wa_one() {
         let mut e = LsmEngine::in_memory(
-            EngineConfig::conventional(16).with_sstable_points(8),
+            EngineConfig::new(Policy::conventional(16)).with_sstable_points(8),
         )
         .expect("engine");
         for p in in_order_points(160) {
@@ -1116,7 +1113,7 @@ mod tests {
     #[test]
     fn out_of_order_ingest_under_pi_c_rewrites() {
         let mut e = LsmEngine::in_memory(
-            EngineConfig::conventional(4).with_sstable_points(4),
+            EngineConfig::new(Policy::conventional(4)).with_sstable_points(4),
         )
         .expect("engine");
         // Fill the run with [0..40), then insert stragglers below it.
@@ -1140,7 +1137,7 @@ mod tests {
     #[test]
     fn no_points_are_lost_or_duplicated() {
         let mut e = LsmEngine::in_memory(
-            EngineConfig::conventional(7).with_sstable_points(5),
+            EngineConfig::new(Policy::conventional(7)).with_sstable_points(5),
         )
         .expect("engine");
         // Deterministic shuffled-ish order.
@@ -1161,8 +1158,7 @@ mod tests {
     #[test]
     fn separation_routes_by_last_disk_gen_time() {
         let mut e = LsmEngine::in_memory(
-            EngineConfig::separation(8, 4)
-                .expect("policy")
+            EngineConfig::new(Policy::separation(8, 4).expect("policy"))
                 .with_sstable_points(4),
         )
         .expect("engine");
@@ -1196,8 +1192,7 @@ mod tests {
     #[test]
     fn seq_flush_never_rewrites() {
         let mut e = LsmEngine::in_memory(
-            EngineConfig::separation(64, 32)
-                .expect("policy")
+            EngineConfig::new(Policy::separation(64, 32).expect("policy"))
                 .with_sstable_points(8),
         )
         .expect("engine");
@@ -1212,7 +1207,7 @@ mod tests {
     #[test]
     fn duplicate_gen_time_upserts_latest_value() {
         let mut e = LsmEngine::in_memory(
-            EngineConfig::conventional(4).with_sstable_points(4),
+            EngineConfig::new(Policy::conventional(4)).with_sstable_points(4),
         )
         .expect("engine");
         for p in in_order_points(8) {
@@ -1236,7 +1231,7 @@ mod tests {
     #[test]
     fn query_stats_count_tables_and_points() {
         let mut e = LsmEngine::in_memory(
-            EngineConfig::conventional(8).with_sstable_points(8),
+            EngineConfig::new(Policy::conventional(8)).with_sstable_points(8),
         )
         .expect("engine");
         for p in in_order_points(32) {
@@ -1253,8 +1248,9 @@ mod tests {
 
     #[test]
     fn query_sees_buffered_points() {
-        let mut e = LsmEngine::in_memory(EngineConfig::conventional(100))
-            .expect("engine");
+        let mut e =
+            LsmEngine::in_memory(EngineConfig::new(Policy::conventional(100)))
+                .expect("engine");
         e.append(DataPoint::new(5, 5, 1.0)).expect("append");
         let (hits, stats) = e.query(TimeRange::new(0, 10)).expect("query");
         assert_eq!(hits.len(), 1);
@@ -1264,9 +1260,9 @@ mod tests {
 
     #[test]
     fn flush_all_persists_everything() {
-        let mut e = LsmEngine::in_memory(
-            EngineConfig::separation(100, 50).expect("policy"),
-        )
+        let mut e = LsmEngine::in_memory(EngineConfig::new(
+            Policy::separation(100, 50).expect("policy"),
+        ))
         .expect("engine");
         for p in in_order_points(10) {
             e.append(p).expect("append");
@@ -1281,8 +1277,9 @@ mod tests {
 
     #[test]
     fn set_policy_reroutes_buffered_points() {
-        let mut e = LsmEngine::in_memory(EngineConfig::conventional(100))
-            .expect("engine");
+        let mut e =
+            LsmEngine::in_memory(EngineConfig::new(Policy::conventional(100)))
+                .expect("engine");
         for p in in_order_points(10) {
             e.append(p).expect("append");
         }
@@ -1301,7 +1298,7 @@ mod tests {
     #[test]
     fn wa_snapshots_are_recorded() {
         let mut e = LsmEngine::in_memory(
-            EngineConfig::conventional(4)
+            EngineConfig::new(Policy::conventional(4))
                 .with_sstable_points(4)
                 .with_wa_snapshots(10),
         )
@@ -1317,7 +1314,7 @@ mod tests {
     #[test]
     fn subsequent_probe_counts_points_above_buffer_min() {
         let mut e = LsmEngine::in_memory(
-            EngineConfig::conventional(4)
+            EngineConfig::new(Policy::conventional(4))
                 .with_sstable_points(4)
                 .with_subsequent_probe(),
         )
@@ -1338,8 +1335,7 @@ mod tests {
     #[test]
     fn point_get_finds_buffered_and_flushed_points() {
         let mut e = LsmEngine::in_memory(
-            EngineConfig::separation(8, 4)
-                .expect("policy")
+            EngineConfig::new(Policy::separation(8, 4).expect("policy"))
                 .with_sstable_points(4),
         )
         .expect("engine");
@@ -1362,8 +1358,8 @@ mod tests {
         use std::sync::Arc;
 
         let run = |block_reads: bool| {
-            let mut config =
-                EngineConfig::conventional(128).with_sstable_points(128);
+            let mut config = EngineConfig::new(Policy::conventional(128))
+                .with_sstable_points(128);
             if block_reads {
                 config = config.with_block_reads();
             }
@@ -1411,7 +1407,7 @@ mod tests {
             block_points: 16,
         }));
         let mut e = OpenOptions::new(
-            EngineConfig::conventional(16).with_sstable_points(32),
+            EngineConfig::new(Policy::conventional(16)).with_sstable_points(32),
         )
         .store(store)
         .cache(Arc::clone(&cache))
@@ -1460,8 +1456,7 @@ mod tests {
             let store =
                 Arc::new(MemStore::with_options(EncodeOptions::compressed()));
             let mut opts = OpenOptions::new(
-                EngineConfig::separation(16, 8)
-                    .expect("config")
+                EngineConfig::new(Policy::separation(16, 8).expect("config"))
                     .with_sstable_points(16),
             )
             .store(store);
@@ -1498,7 +1493,7 @@ mod tests {
         let store =
             Arc::new(MemStore::with_options(EncodeOptions::compressed()));
         let mut e = LsmEngine::new(
-            EngineConfig::conventional(16).with_sstable_points(8),
+            EngineConfig::new(Policy::conventional(16)).with_sstable_points(8),
             store,
         )
         .expect("engine");
@@ -1516,10 +1511,10 @@ mod tests {
     #[test]
     fn rejects_degenerate_configs() {
         assert!(LsmEngine::in_memory(
-            EngineConfig::conventional(8).with_sstable_points(0)
+            EngineConfig::new(Policy::conventional(8)).with_sstable_points(0)
         )
         .is_err());
-        assert!(EngineConfig::separation(8, 0).is_err());
-        assert!(EngineConfig::separation(8, 8).is_err());
+        assert!(Policy::separation(8, 0).is_err());
+        assert!(Policy::separation(8, 8).is_err());
     }
 }

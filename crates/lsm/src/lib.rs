@@ -62,9 +62,9 @@
 //!
 //! ```
 //! use seplsm_lsm::{EngineConfig, LsmEngine};
-//! use seplsm_types::{DataPoint, TimeRange};
+//! use seplsm_types::{DataPoint, Policy, TimeRange};
 //!
-//! let mut engine = LsmEngine::in_memory(EngineConfig::conventional(512))?;
+//! let mut engine = LsmEngine::in_memory(EngineConfig::new(Policy::conventional(512)))?;
 //! for i in 0..1000i64 {
 //!     engine.append(DataPoint::new(i * 50, i * 50 + 7, i as f64))?;
 //! }
@@ -78,6 +78,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod admission;
+pub mod arbiter;
 pub mod background;
 pub mod buffer;
 pub mod cache;
@@ -105,11 +106,16 @@ pub use admission::{
     AdmissionStats, IoPacer, PaceDecision, PacerStats, RetryBackoff,
     StallTransition, Watermarks,
 };
+pub use arbiter::{
+    Arbiter, ArbiterConfig, ArbiterStats, Rebalance, SeriesAssignment,
+};
 pub use background::{
     OpenOptions as TieredOpenOptions, TieredEngine, TieredReport,
 };
 pub use buffer::{FlushTrigger, PolicyBuffers};
-pub use cache::{BlockCache, BlockKey, CacheConfig, CacheStats, EvictedBlock};
+pub use cache::{
+    BlockCache, BlockKey, CacheConfig, CachePriority, CacheStats, EvictedBlock,
+};
 pub use compaction::{plan_merge, CompactionPlan, RunInput};
 pub use engine::{EngineConfig, LsmEngine, OpenOptions};
 pub use fault::{Fault, FaultPlan, FaultStore, IoOp};

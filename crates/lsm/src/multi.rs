@@ -22,6 +22,7 @@ use parking_lot::Mutex;
 use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange};
 
 use crate::admission::{AdmissionOutcome, DEFAULT_FLUSH_QUEUE_DEPTH};
+use crate::arbiter::{Arbiter, ArbiterConfig, ArbiterStats, Rebalance};
 use crate::cache::BlockCache;
 use crate::engine::{EngineConfig, LsmEngine};
 use crate::fault::FaultPlan;
@@ -99,6 +100,7 @@ pub struct OpenOptions {
     cache: Option<Arc<BlockCache>>,
     workers: usize,
     flush_queue_depth: usize,
+    arbiter: Option<ArbiterConfig>,
 }
 
 impl std::fmt::Debug for OpenOptions {
@@ -112,6 +114,7 @@ impl std::fmt::Debug for OpenOptions {
             .field("cache", &self.cache.is_some())
             .field("workers", &self.workers)
             .field("flush_queue_depth", &self.flush_queue_depth)
+            .field("arbiter", &self.arbiter.is_some())
             .finish()
     }
 }
@@ -129,6 +132,7 @@ impl OpenOptions {
             cache: None,
             workers: 1,
             flush_queue_depth: DEFAULT_FLUSH_QUEUE_DEPTH,
+            arbiter: None,
         }
     }
 
@@ -202,6 +206,19 @@ impl OpenOptions {
         self
     }
 
+    /// Arbitrates memory across the fleet: an [`Arbiter`] splits
+    /// `config`'s global point budget between every series' MemTables and
+    /// the block-cache share, growing hot series and shrinking cold ones
+    /// toward the floor. Series are admitted at the floor on first append
+    /// (the template policy's shape is preserved, rescaled via
+    /// [`Policy::resized`]); every rebalance emits
+    /// [`Event::HeatSample`]s and one [`Event::ArbiterRebalance`] from
+    /// the deterministic append path.
+    pub fn arbiter(mut self, config: ArbiterConfig) -> Self {
+        self.arbiter = Some(config);
+        self
+    }
+
     fn store_or_default(
         store: Option<Arc<dyn TableStore>>,
     ) -> Arc<dyn TableStore> {
@@ -227,6 +244,7 @@ impl OpenOptions {
         engine.obs = self.observer;
         engine.workers = self.workers;
         engine.flush_queue_depth = self.flush_queue_depth;
+        engine.install_arbiter(self.arbiter)?;
         engine.install_faults(self.faults);
         Ok(engine)
     }
@@ -266,6 +284,7 @@ impl OpenOptions {
         )?;
         engine.workers = self.workers;
         engine.flush_queue_depth = self.flush_queue_depth;
+        engine.install_arbiter(self.arbiter)?;
         engine.install_faults(self.faults);
         Ok((engine, report))
     }
@@ -291,6 +310,15 @@ pub struct MultiSeriesEngine {
     /// Cumulative flush waves (and inline fallbacks) that had to wait on
     /// the depth-bounded queue — the fleet-level `Delayed` count.
     fleet_delayed_waves: u64,
+    /// The fleet memory arbiter, when opened with
+    /// [`OpenOptions::arbiter`]. Behind a `Mutex` only because the
+    /// (read-only) query path records heat; the lock is always dropped
+    /// before any engine I/O, and rebalances run exclusively on the
+    /// `&mut self` append path.
+    arbiter: Option<Mutex<Arbiter>>,
+    /// Cumulative online policy switches applied through
+    /// [`MultiSeriesEngine::retune`].
+    fleet_retunes: u64,
 }
 
 impl MultiSeriesEngine {
@@ -307,6 +335,8 @@ impl MultiSeriesEngine {
             workers: 1,
             flush_queue_depth: DEFAULT_FLUSH_QUEUE_DEPTH,
             fleet_delayed_waves: 0,
+            arbiter: None,
+            fleet_retunes: 0,
         }
     }
 
@@ -367,6 +397,8 @@ impl MultiSeriesEngine {
             workers: 1,
             flush_queue_depth: DEFAULT_FLUSH_QUEUE_DEPTH,
             fleet_delayed_waves: 0,
+            arbiter: None,
+            fleet_retunes: 0,
         };
         if options.gc_orphans {
             let mut live: HashSet<SsTableId> = HashSet::new();
@@ -381,6 +413,16 @@ impl MultiSeriesEngine {
             )?;
         }
         Ok((engine, report))
+    }
+
+    /// Installs the fleet memory arbiter. Series already hosted (the
+    /// recovery path) stay at their recovered capacity until their first
+    /// post-open append admits them into arbitration.
+    fn install_arbiter(&mut self, config: Option<ArbiterConfig>) -> Result<()> {
+        if let Some(config) = config {
+            self.arbiter = Some(Mutex::new(Arbiter::new(config)?));
+        }
+        Ok(())
     }
 
     /// Routes every series' WAL and manifest writes (current series and any
@@ -456,29 +498,93 @@ impl MultiSeriesEngine {
     /// Writes one point into `series` (creating the series on first write)
     /// and reports the admission outcome observed by that series' engine.
     ///
+    /// With an [`OpenOptions::arbiter`] configured the append first ticks
+    /// the arbiter (admitting a new series at the floor, or erroring when
+    /// the budget cannot host it), and any due [`Rebalance`] plan is
+    /// applied — and its events emitted — right after the point lands,
+    /// still on this single-threaded path, so seeded traces stay
+    /// byte-identical across worker counts.
+    ///
     /// # Errors
-    /// Storage failures.
+    /// Arbiter budget exhaustion for a brand-new series; storage failures.
     pub fn append(
         &mut self,
         series: SeriesId,
         p: DataPoint,
     ) -> Result<AdmissionOutcome> {
-        self.engine_entry(series)?.append(p)
+        let mut plan = None;
+        let mut admitted = None;
+        if let Some(arb) = self.arbiter.as_mut() {
+            let fresh = !self.series.contains_key(&series);
+            let arb = arb.get_mut();
+            plan = arb.record_append(series.0)?;
+            if fresh {
+                admitted = arb.capacity_of(series.0);
+            }
+        }
+        let engine = self.engine_entry(series)?;
+        if let Some(capacity) = admitted {
+            // A freshly admitted series starts at its arbiter-assigned
+            // capacity, keeping the template policy's shape.
+            let policy = engine.policy().resized(capacity as usize)?;
+            engine.set_policy(policy)?;
+        }
+        let outcome = engine.append(p)?;
+        if let Some(plan) = plan {
+            self.apply_rebalance(&plan)?;
+        }
+        Ok(outcome)
     }
 
-    /// Range query against one series.
+    /// Applies one arbiter [`Rebalance`]: every decayed heat is sampled as
+    /// an [`Event::HeatSample`] (ascending series id), each resized series
+    /// migrates to its rescaled policy through the normal
+    /// [`LsmEngine::set_policy`] path, and one [`Event::ArbiterRebalance`]
+    /// closes the round.
+    fn apply_rebalance(&mut self, plan: &Rebalance) -> Result<()> {
+        for &(series, heat) in &plan.heats {
+            self.obs.emit(|| Event::HeatSample {
+                series: u64::from(series),
+                heat,
+            });
+        }
+        let mut resized = 0u64;
+        for assignment in &plan.assignments {
+            let id = SeriesId(assignment.series);
+            if let Some(engine) = self.series.get_mut(&id) {
+                let policy =
+                    engine.policy().resized(assignment.capacity as usize)?;
+                engine.set_policy(policy)?;
+                resized += 1;
+            }
+        }
+        self.obs.emit(|| Event::ArbiterRebalance {
+            round: plan.round,
+            resized,
+            cache_share: plan.cache_share,
+        });
+        Ok(())
+    }
+
+    /// Range query against one series. With an arbiter configured the
+    /// query also heats the series (the lock is released before any
+    /// engine I/O); rebalances still fire only from the append path.
     ///
     /// # Errors
-    /// [`Error::InvalidConfig`] for an unknown series; storage failures.
+    /// [`Error::UnknownSeries`] for an unknown series; storage failures.
     pub fn query(
         &self,
         series: SeriesId,
         range: TimeRange,
     ) -> Result<(Vec<DataPoint>, QueryStats)> {
-        self.series
+        let engine = self
+            .series
             .get(&series)
-            .ok_or_else(|| Error::InvalidConfig(format!("unknown {series}")))?
-            .query(range)
+            .ok_or(Error::UnknownSeries(series.0))?;
+        if let Some(arb) = &self.arbiter {
+            arb.lock().record_query(series.0);
+        }
+        engine.query(range)
     }
 
     /// Switches the buffering policy of one series (e.g. after a per-series
@@ -488,7 +594,7 @@ impl MultiSeriesEngine {
     /// path as every other engine.
     ///
     /// # Errors
-    /// Unknown series, degenerate policies, or storage failures.
+    /// [`Error::UnknownSeries`], degenerate policies, or storage failures.
     pub fn set_policy(
         &mut self,
         series: SeriesId,
@@ -496,8 +602,52 @@ impl MultiSeriesEngine {
     ) -> Result<()> {
         self.series
             .get_mut(&series)
-            .ok_or_else(|| Error::InvalidConfig(format!("unknown {series}")))?
+            .ok_or(Error::UnknownSeries(series.0))?
             .set_policy(policy)
+    }
+
+    /// An *online* policy switch decided by a per-series tuner: exactly
+    /// [`MultiSeriesEngine::set_policy`], plus the fleet-level retune
+    /// counter and one [`Event::PolicyRetuned`] witness (`n_seq` is 0 for
+    /// `π_c`). The adaptive fleet controller in `seplsm-core` calls this
+    /// whenever drift makes Algorithm 1 pick a new policy for a series.
+    ///
+    /// # Errors
+    /// [`Error::UnknownSeries`], degenerate policies, or storage failures.
+    pub fn retune(&mut self, series: SeriesId, policy: Policy) -> Result<()> {
+        self.series
+            .get_mut(&series)
+            .ok_or(Error::UnknownSeries(series.0))?
+            .set_policy(policy)?;
+        self.fleet_retunes += 1;
+        self.obs.emit(|| Event::PolicyRetuned {
+            series: u64::from(series.0),
+            separation: policy.is_separation(),
+            n_seq: match policy {
+                Policy::Separation { seq_capacity, .. } => seq_capacity as u64,
+                Policy::Conventional { .. } => 0,
+            },
+        });
+        Ok(())
+    }
+
+    /// Cumulative online policy switches applied through
+    /// [`MultiSeriesEngine::retune`].
+    pub fn retunes(&self) -> u64 {
+        self.fleet_retunes
+    }
+
+    /// The arbiter's counters, when one is configured.
+    pub fn arbiter_stats(&self) -> Option<ArbiterStats> {
+        self.arbiter.as_ref().map(|a| a.lock().stats())
+    }
+
+    /// The arbiter-assigned MemTable capacity of `series`, when an
+    /// arbiter is configured and the series has been admitted.
+    pub fn series_capacity(&self, series: SeriesId) -> Option<u64> {
+        self.arbiter
+            .as_ref()
+            .and_then(|a| a.lock().capacity_of(series.0))
     }
 
     /// The configured flush worker bound (1 = sequential).
@@ -788,7 +938,7 @@ mod tests {
     use super::*;
 
     fn config() -> EngineConfig {
-        EngineConfig::conventional(8).with_sstable_points(8)
+        EngineConfig::new(Policy::conventional(8)).with_sstable_points(8)
     }
 
     #[test]
@@ -830,6 +980,125 @@ mod tests {
         assert!(!m.engine(SeriesId(1)).expect("s1").policy().is_separation());
         assert!(m.engine(SeriesId(2)).expect("s2").policy().is_separation());
         assert!(m.set_policy(SeriesId(3), Policy::conventional(8)).is_err());
+    }
+
+    #[test]
+    fn unknown_series_errors_are_typed() {
+        let mut m = MultiSeriesEngine::in_memory(config());
+        m.append(SeriesId(1), DataPoint::new(0, 0, 0.0))
+            .expect("append");
+        let q = m.query(SeriesId(9), TimeRange::new(0, 10));
+        assert!(matches!(q, Err(Error::UnknownSeries(9))));
+        let s = m.set_policy(SeriesId(9), Policy::conventional(8));
+        assert!(matches!(s, Err(Error::UnknownSeries(9))));
+        let r = m.retune(SeriesId(9), Policy::conventional(8));
+        assert!(matches!(r, Err(Error::UnknownSeries(9))));
+    }
+
+    #[test]
+    fn retune_switches_policy_and_emits_a_witness() {
+        let ring = crate::obs::RingBufferSink::new(1 << 12);
+        let mut m = OpenOptions::new(config())
+            .observer(ring.clone())
+            .open()
+            .expect("open");
+        m.append(SeriesId(4), DataPoint::new(0, 0, 0.0))
+            .expect("append");
+        assert_eq!(m.retunes(), 0);
+        m.retune(SeriesId(4), Policy::separation(8, 5).expect("policy"))
+            .expect("retune");
+        assert!(m.engine(SeriesId(4)).expect("s4").policy().is_separation());
+        assert_eq!(m.retunes(), 1);
+        m.retune(SeriesId(4), Policy::conventional(8))
+            .expect("retune back");
+        assert_eq!(m.retunes(), 2);
+        let retuned: Vec<(u64, bool, u64)> = ring
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::PolicyRetuned {
+                    series,
+                    separation,
+                    n_seq,
+                } => Some((series, separation, n_seq)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(retuned, vec![(4, true, 5), (4, false, 0)]);
+    }
+
+    #[test]
+    fn arbiter_grows_hot_series_and_shrinks_cold_ones() {
+        let ring = crate::obs::RingBufferSink::new(1 << 16);
+        let mut m = OpenOptions::new(config())
+            .observer(ring.clone())
+            .arbiter(
+                ArbiterConfig::new(256)
+                    .with_floor(8)
+                    .with_rebalance_every(64),
+            )
+            .open()
+            .expect("open");
+        // Two series, then a heavily skewed append stream onto series 0.
+        m.append(SeriesId(0), DataPoint::new(0, 0, 0.0))
+            .expect("append");
+        m.append(SeriesId(1), DataPoint::new(0, 0, 1.0))
+            .expect("append");
+        for i in 1..400i64 {
+            m.append(SeriesId(0), DataPoint::new(i * 10, i * 10, 0.0))
+                .expect("append");
+            if i % 20 == 0 {
+                m.append(SeriesId(1), DataPoint::new(i * 10, i * 10, 1.0))
+                    .expect("append");
+            }
+        }
+        let hot = m.series_capacity(SeriesId(0)).expect("hot");
+        let cold = m.series_capacity(SeriesId(1)).expect("cold");
+        assert!(hot > cold, "hot={hot} cold={cold}");
+        // The engines' actual buffer policies track the assignments.
+        assert_eq!(
+            m.engine(SeriesId(0)).expect("s0").policy().total_capacity() as u64,
+            hot
+        );
+        assert_eq!(
+            m.engine(SeriesId(1)).expect("s1").policy().total_capacity() as u64,
+            cold
+        );
+        let stats = m.arbiter_stats().expect("stats");
+        assert!(stats.rounds >= 1);
+        // Budget partition: capacities + cache share = budget.
+        assert_eq!(hot + cold + stats.cache_share, 256);
+        // The rounds were witnessed by typed events, heat samples first.
+        let events = ring.events();
+        let rebalances = events
+            .iter()
+            .filter(|e| matches!(e, Event::ArbiterRebalance { .. }))
+            .count() as u64;
+        assert_eq!(rebalances, stats.rounds);
+        assert!(events.iter().any(|e| matches!(e, Event::HeatSample { .. })));
+        // Data is intact after the policy migrations.
+        let (pts, _) = m
+            .query(SeriesId(0), TimeRange::new(0, 4_000))
+            .expect("query");
+        assert_eq!(pts.len(), 400);
+    }
+
+    #[test]
+    fn arbiter_rejects_series_beyond_the_budget() {
+        let mut m = OpenOptions::new(config())
+            .arbiter(ArbiterConfig::new(16).with_floor(8))
+            .open()
+            .expect("open");
+        m.append(SeriesId(0), DataPoint::new(0, 0, 0.0))
+            .expect("append");
+        m.append(SeriesId(1), DataPoint::new(0, 0, 0.0))
+            .expect("append");
+        let err = m
+            .append(SeriesId(2), DataPoint::new(0, 0, 0.0))
+            .expect_err("third series must not fit");
+        assert!(err.to_string().contains("budget exhausted"));
+        // The over-budget series was never created.
+        assert_eq!(m.len(), 2);
     }
 
     #[test]
@@ -927,6 +1196,34 @@ mod tests {
             .workers(workers)
             .flush_queue_depth(depth)
             .observer(ring.clone())
+            .open()
+            .expect("open");
+        for &(series, tg) in points {
+            m.append(SeriesId(series), DataPoint::new(tg, tg + 3, tg as f64))
+                .expect("append");
+        }
+        m.flush_all().expect("flush");
+        (m, ring.events())
+    }
+
+    /// Like [`traced_fleet`] but with the memory arbiter enabled at a
+    /// cadence the workloads actually reach, so rebalances land inside
+    /// the traced window.
+    fn traced_arbiter_fleet(
+        workers: usize,
+        depth: usize,
+        points: &[(u32, i64)],
+    ) -> (MultiSeriesEngine, Vec<Event>) {
+        let ring = crate::obs::RingBufferSink::new(1 << 16);
+        let mut m = OpenOptions::new(config())
+            .workers(workers)
+            .flush_queue_depth(depth)
+            .observer(ring.clone())
+            .arbiter(
+                ArbiterConfig::new(512)
+                    .with_floor(8)
+                    .with_rebalance_every(16),
+            )
             .open()
             .expect("open");
         for &(series, tg) in points {
@@ -1097,6 +1394,26 @@ mod tests {
                 fleet_scans(&sequential)
             );
             proptest::prop_assert_eq!(pooled_trace, seq_trace);
+            // With the arbiter rebalancing mid-workload the trace (heat
+            // samples, rebalances, migrations) must still be a pure
+            // function of the workload, never of the worker count.
+            let (arb_seq, arb_seq_trace) =
+                traced_arbiter_fleet(1, 3, &points);
+            let (arb_pooled, arb_pooled_trace) =
+                traced_arbiter_fleet(workers, 3, &points);
+            proptest::prop_assert_eq!(
+                arb_pooled.combined_metrics(),
+                arb_seq.combined_metrics()
+            );
+            proptest::prop_assert_eq!(
+                fleet_scans(&arb_pooled),
+                fleet_scans(&arb_seq)
+            );
+            proptest::prop_assert_eq!(arb_pooled_trace, arb_seq_trace);
+            proptest::prop_assert_eq!(
+                arb_pooled.arbiter_stats(),
+                arb_seq.arbiter_stats()
+            );
         }
     }
 

@@ -329,10 +329,37 @@ pub enum Event {
         /// Logical ticks of backoff charged before the attempt.
         ticks: u64,
     },
+    /// The fleet memory arbiter redistributed the global point budget.
+    ArbiterRebalance {
+        /// 1-based rebalance round (a pure function of logical ticks).
+        round: u64,
+        /// Series whose buffer capacity changed this round.
+        resized: u64,
+        /// Points granted to the block-cache share after the split.
+        cache_share: u64,
+    },
+    /// A series re-ran Algorithm 1 online and switched (or confirmed) its
+    /// buffering policy.
+    PolicyRetuned {
+        /// The raw series id.
+        series: u64,
+        /// `true` when the new policy is `π_s(n_seq)`.
+        separation: bool,
+        /// The separation split `n_seq` (0 under `π_c`).
+        n_seq: u64,
+    },
+    /// The arbiter sampled one series' decayed heat counter at a rebalance
+    /// boundary.
+    HeatSample {
+        /// The raw series id.
+        series: u64,
+        /// The decayed heat, in fixed-point 1/256ths of a point.
+        heat: u64,
+    },
 }
 
 /// Number of distinct [`Event`] kinds (for fixed-size counter registries).
-pub const EVENT_KINDS: usize = 24;
+pub const EVENT_KINDS: usize = 27;
 
 impl Event {
     /// Stable event-kind name, used as the JSONL `event` field and the
@@ -363,6 +390,9 @@ impl Event {
             Self::WriteStallEnd { .. } => "write_stall_end",
             Self::CompactionPaced { .. } => "compaction_paced",
             Self::RetryBackoff { .. } => "retry_backoff",
+            Self::ArbiterRebalance { .. } => "arbiter_rebalance",
+            Self::PolicyRetuned { .. } => "policy_retuned",
+            Self::HeatSample { .. } => "heat_sample",
         }
     }
 
@@ -393,6 +423,9 @@ impl Event {
             Self::WriteStallEnd { .. } => 21,
             Self::CompactionPaced { .. } => 22,
             Self::RetryBackoff { .. } => 23,
+            Self::ArbiterRebalance { .. } => 24,
+            Self::PolicyRetuned { .. } => 25,
+            Self::HeatSample { .. } => 26,
         }
     }
 
@@ -423,6 +456,9 @@ impl Event {
             "write_stall_end",
             "compaction_paced",
             "retry_backoff",
+            "arbiter_rebalance",
+            "policy_retuned",
+            "heat_sample",
         ];
         NAMES.get(k).copied().unwrap_or("unknown")
     }
@@ -528,6 +564,31 @@ impl Event {
             }
             Self::RetryBackoff { attempt, ticks } => {
                 let _ = write!(out, ",\"attempt\":{attempt},\"ticks\":{ticks}");
+            }
+            Self::ArbiterRebalance {
+                round,
+                resized,
+                cache_share,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"resized\":{resized},\
+                     \"cache_share\":{cache_share}"
+                );
+            }
+            Self::PolicyRetuned {
+                series,
+                separation,
+                n_seq,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"series\":{series},\"separation\":{separation},\
+                     \"n_seq\":{n_seq}"
+                );
+            }
+            Self::HeatSample { series, heat } => {
+                let _ = write!(out, ",\"series\":{series},\"heat\":{heat}");
             }
         }
     }
@@ -1148,6 +1209,17 @@ mod tests {
                 attempt: 0,
                 ticks: 0,
             },
+            Event::ArbiterRebalance {
+                round: 0,
+                resized: 0,
+                cache_share: 0,
+            },
+            Event::PolicyRetuned {
+                series: 0,
+                separation: false,
+                n_seq: 0,
+            },
+            Event::HeatSample { series: 0, heat: 0 },
         ];
         assert_eq!(samples.len(), EVENT_KINDS);
         for (i, e) in samples.iter().enumerate() {

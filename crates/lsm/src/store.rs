@@ -150,6 +150,14 @@ pub trait TableStore: Send + Sync {
         let _ = (id, range);
         Ok(None)
     }
+
+    /// Hints that the table is expected to be deleted soon (a freshly
+    /// flushed L0 table the next merge-compaction will consume). Plain
+    /// stores ignore the hint; the [`CachedStore`] lowers the table's
+    /// cache priority so its blocks never displace run-table blocks.
+    fn note_short_lived(&self, id: SsTableId) {
+        let _ = id;
+    }
 }
 
 /// Slices `span` out of a whole in-memory table, validating bounds.
@@ -734,6 +742,11 @@ impl CachedStore {
 impl TableStore for CachedStore {
     fn put(&self, points: &[DataPoint]) -> Result<(SsTableMeta, usize)> {
         self.inner.put(points)
+    }
+
+    fn note_short_lived(&self, id: SsTableId) {
+        self.cache.mark_short_lived(id);
+        self.inner.note_short_lived(id);
     }
 
     fn get(&self, id: SsTableId) -> Result<Vec<DataPoint>> {

@@ -50,6 +50,7 @@ pub const LIB_CRATES: &[&str] = &["types", "dist", "core", "lsm", "workload"];
 /// rely on.
 pub const KERNEL_MODULES: &[&str] = &[
     "admission.rs",
+    "arbiter.rs",
     "buffer.rs",
     "cache.rs",
     "compaction.rs",

@@ -1,0 +1,32 @@
+//! R3 fixture: a memory arbiter that rebalances on a wall-clock interval
+//! and decays heat from a background thread — capacity assignments would
+//! depend on machine speed, so the same seeded workload could hand a
+//! series different budgets (and emit different rebalance events) across
+//! replays.
+
+use std::time::Instant;
+
+pub struct WallClockArbiter {
+    last_rebalance: Option<Instant>,
+    heat: Vec<u64>,
+}
+
+impl WallClockArbiter {
+    pub fn record_append(&mut self, series: usize) -> bool {
+        self.heat[series] += 1;
+        let due = self
+            .last_rebalance
+            .map(|at| at.elapsed().as_millis() >= 100)
+            .unwrap_or(true);
+        if due {
+            self.last_rebalance = Some(Instant::now());
+        }
+        due
+    }
+
+    pub fn start_decay(&self) {
+        std::thread::spawn(|| {
+            // Halve every series' heat once a second.
+        });
+    }
+}

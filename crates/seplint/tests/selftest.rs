@@ -122,6 +122,22 @@ fn r3_fires_on_wallclock_stall_tracking_in_admission() {
 }
 
 #[test]
+fn r3_fires_on_wallclock_rebalancing_in_the_arbiter() {
+    // `arbiter.rs` is a kernel module: heat decay and rebalance cadence
+    // must advance on the logical append/query tick only — a wall-clock
+    // interval or a background decay thread would hand out different
+    // capacities (and emit different rebalance events) across replays.
+    let src = fixture("r3_arbiter_wallclock.rs");
+    let v = rules::deterministic_kernel(Path::new("arbiter.rs"), &src);
+    // `Instant` appears four times (use + field + elapsed arm + now),
+    // `spawn` once.
+    assert!(v.len() >= 4, "{v:?}");
+    assert!(v.iter().all(|x| x.rule == "R3"));
+    assert!(v.iter().any(|x| x.message.contains("Instant")));
+    assert!(v.iter().any(|x| x.message.contains("spawn")));
+}
+
+#[test]
 fn r4_fires_only_on_pub_non_result_panicking_fns() {
     let src = fixture("r4_pub_panic.rs");
     let v = rules::kernel_returns_results(Path::new("r4_pub_panic.rs"), &src);

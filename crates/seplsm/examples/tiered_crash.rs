@@ -17,7 +17,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use seplsm::lsm::FileStore;
-use seplsm::{DataPoint, EngineConfig, Error, TableStore, TimeRange};
+use seplsm::{DataPoint, EngineConfig, Error, Policy, TableStore, TimeRange};
 
 const POINTS: i64 = 5_000;
 
@@ -41,7 +41,8 @@ fn main() -> Result<(), Error> {
 
     let store: Arc<dyn TableStore> =
         Arc::new(FileStore::open(dir.join("tables"))?);
-    let config = EngineConfig::conventional(256).with_sstable_points(128);
+    let config =
+        EngineConfig::new(Policy::conventional(256)).with_sstable_points(128);
 
     match phase.as_str() {
         "ingest" => {

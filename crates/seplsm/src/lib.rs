@@ -14,9 +14,10 @@
 //! The most common items are additionally re-exported at the crate root.
 //!
 //! ```
-//! use seplsm::{DataPoint, EngineConfig, LsmEngine};
+//! use seplsm::{DataPoint, EngineConfig, LsmEngine, Policy};
 //!
-//! let mut engine = LsmEngine::in_memory(EngineConfig::conventional(512))?;
+//! let mut engine =
+//!     LsmEngine::in_memory(EngineConfig::new(Policy::conventional(512)))?;
 //! engine.append(DataPoint::new(0, 3, 21.5))?;
 //! assert_eq!(engine.scan_all()?.len(), 1);
 //! # Ok::<(), seplsm::Error>(())
@@ -29,23 +30,24 @@ pub use seplsm_types as types;
 pub use seplsm_workload as workload;
 
 pub use seplsm_core::{
-    tune, AdaptiveConfig, AdaptiveEngine, AnalyzerConfig, DelayAnalyzer,
-    FleetAdaptiveEngine, ReadCostModel, TunerOptions, TuningOutcome, WaModel,
-    ZetaConfig, ZetaModel,
+    tune, AdaptiveConfig, AdaptiveEngine, AdaptiveOpen, AnalyzerConfig,
+    DelayAnalyzer, FleetAdaptiveEngine, ReadCostModel, TunerOptions,
+    TuningOutcome, WaModel, ZetaConfig, ZetaModel,
 };
 pub use seplsm_dist::{DelayDistribution, Empirical, LogNormal};
 pub use seplsm_lsm::{
     sync_dir, AdmissionController, AdmissionDecision, AdmissionDepth,
-    AdmissionOutcome, AdmissionStats, AggregateReport, AggregateSink, Clock,
+    AdmissionOutcome, AdmissionStats, AggregateReport, AggregateSink, Arbiter,
+    ArbiterConfig, ArbiterStats, BlockCache, CacheConfig, CachePriority, Clock,
     Compression, DegradedOp, DegradedReason, DegradedState, DiskModel,
     EncodeOptions, EngineConfig, Event, FanoutSink, Fault, FaultPlan,
     FaultStore, FileStore, Histogram, IoOp, IoPacer, JsonlSink, LogicalClock,
     LsmEngine, Manifest, ManifestRecordKind, MemStore, MultiOpenOptions,
     MultiSeriesEngine, NullSink, Observer, ObserverHandle, OpenOptions,
-    PaceDecision, PacerStats, QuarantinedTable, QueryStats, RecoveryMode,
-    RecoveryOptions, RecoveryReport, RecoveryStepKind, RetryBackoff,
-    RingBufferSink, SeriesId, TableStore, TieredEngine, TieredOpenOptions,
-    TieredReport, Wal, Watermarks,
+    PaceDecision, PacerStats, QuarantinedTable, QueryStats, Rebalance,
+    RecoveryMode, RecoveryOptions, RecoveryReport, RecoveryStepKind,
+    RetryBackoff, RingBufferSink, SeriesAssignment, SeriesId, TableStore,
+    TieredEngine, TieredOpenOptions, TieredReport, Wal, Watermarks,
 };
 pub use seplsm_types::{
     DataPoint, Error, Policy, Result, TimeRange, Timestamp,
@@ -63,9 +65,10 @@ pub use seplsm_workload::{
 /// use seplsm::prelude::*;
 ///
 /// let sink = RingBufferSink::new(1024);
-/// let mut engine = OpenOptions::new(EngineConfig::conventional(512))
-///     .observer(sink.clone())
-///     .open()?;
+/// let mut engine =
+///     OpenOptions::new(EngineConfig::new(Policy::conventional(512)))
+///         .observer(sink.clone())
+///         .open()?;
 /// engine.append(DataPoint::new(0, 3, 21.5))?;
 /// engine.flush_all()?;
 /// assert!(sink.events().iter().any(|e| matches!(

@@ -19,6 +19,10 @@ pub enum Error {
     /// worker exhausted its write retries); reads still work, writes are
     /// rejected with this error instead of panicking or blocking.
     Degraded(String),
+    /// A fleet operation addressed a series id that the collection does not
+    /// host. Carries the raw numeric id (the `SeriesId` newtype lives in
+    /// the storage crate, which depends on this one).
+    UnknownSeries(u32),
 }
 
 /// Convenience alias used across the workspace.
@@ -35,6 +39,9 @@ impl fmt::Display for Error {
             Error::Model(msg) => write!(f, "model error: {msg}"),
             Error::Degraded(msg) => {
                 write!(f, "engine degraded (read-only): {msg}")
+            }
+            Error::UnknownSeries(id) => {
+                write!(f, "unknown series-{id}")
             }
         }
     }
@@ -71,6 +78,13 @@ mod tests {
         assert!(e.to_string().contains("read-only"));
         assert!(e.to_string().contains("flush retries exhausted"));
         assert!(matches!(e, Error::Degraded(_)));
+    }
+
+    #[test]
+    fn unknown_series_is_typed_and_displayable() {
+        let e = Error::UnknownSeries(7);
+        assert_eq!(e.to_string(), "unknown series-7");
+        assert!(matches!(e, Error::UnknownSeries(7)));
     }
 
     #[test]

@@ -68,6 +68,43 @@ impl Policy {
         }
     }
 
+    /// The same policy shape scaled to a new total budget: `π_c(n)`
+    /// becomes `π_c(new_total)`, and `π_s(n_seq)` keeps its split ratio
+    /// (`n_seq' = new_total · n_seq / n`, clamped so both MemTables stay
+    /// non-empty). The fleet memory arbiter uses this to grow or shrink
+    /// a series' buffers without disturbing its tuned split.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] when `new_total` is zero, or
+    /// below 2 for a separation policy (which needs one point on each
+    /// side of the split).
+    pub fn resized(&self, new_total: usize) -> Result<Self> {
+        match *self {
+            Policy::Conventional { .. } => {
+                if new_total == 0 {
+                    return Err(Error::InvalidConfig(
+                        "resized policy needs a non-zero budget".into(),
+                    ));
+                }
+                Ok(Policy::Conventional {
+                    capacity: new_total,
+                })
+            }
+            Policy::Separation { seq_capacity, .. } => {
+                if new_total < 2 {
+                    return Err(Error::InvalidConfig(format!(
+                        "separation policy cannot fit in {new_total} \
+                         points (needs >= 2)"
+                    )));
+                }
+                let total = self.total_capacity();
+                let scaled = new_total * seq_capacity / total;
+                let n_seq = scaled.clamp(1, new_total - 1);
+                Self::separation(new_total, n_seq)
+            }
+        }
+    }
+
     /// `true` for `π_s`.
     pub fn is_separation(&self) -> bool {
         matches!(self, Policy::Separation { .. })
@@ -158,6 +195,21 @@ mod tests {
     fn total_capacity_is_budget_n() {
         assert_eq!(Policy::conventional(512).total_capacity(), 512);
         assert_eq!(Policy::separation(512, 100).unwrap().total_capacity(), 512);
+    }
+
+    #[test]
+    fn resized_preserves_shape_and_ratio() {
+        let c = Policy::conventional(64).resized(128).unwrap();
+        assert_eq!(c, Policy::conventional(128));
+        let s = Policy::separation(64, 16).unwrap().resized(128).unwrap();
+        assert_eq!(s, Policy::separation(128, 32).unwrap());
+        // Shrinking clamps so both MemTables stay non-empty.
+        let tiny = Policy::separation(64, 1).unwrap().resized(2).unwrap();
+        assert_eq!(tiny, Policy::separation(2, 1).unwrap());
+        let top = Policy::separation(64, 63).unwrap().resized(4).unwrap();
+        assert_eq!(top, Policy::separation(4, 3).unwrap());
+        assert!(Policy::conventional(8).resized(0).is_err());
+        assert!(Policy::separation(8, 4).unwrap().resized(1).is_err());
     }
 
     #[test]

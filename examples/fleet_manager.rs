@@ -14,15 +14,23 @@
 use std::sync::Arc;
 
 use seplsm::{
-    AdaptiveConfig, DataPoint, EncodeOptions, FleetAdaptiveEngine, LogNormal,
-    MemStore, SeriesId, TimeRange,
+    AdaptiveConfig, AdaptiveOpen, ArbiterConfig, DataPoint, EncodeOptions,
+    EngineConfig, LogNormal, MemStore, MultiOpenOptions, Policy, SeriesId,
+    TimeRange,
 };
 use seplsm_dist::DelayDistribution;
 
 fn main() -> seplsm::Result<()> {
     let store = Arc::new(MemStore::with_options(EncodeOptions::compressed()));
+    // One fleet-wide budget of 1024 points: the arbiter hands each channel
+    // a slice (hot channels grow, cold ones shrink toward the floor) and
+    // the adaptive controller retunes each channel against its current
+    // slice.
     let mut fleet =
-        FleetAdaptiveEngine::new(AdaptiveConfig::new(256), store.clone());
+        MultiOpenOptions::new(EngineConfig::new(Policy::conventional(256)))
+            .store(store.clone())
+            .arbiter(ArbiterConfig::new(1024))
+            .adaptive(AdaptiveConfig::new())?;
 
     // Three channels with very different delay behaviour.
     let channels: [(&str, SeriesId, LogNormal); 3] = [
@@ -68,6 +76,14 @@ fn main() -> seplsm::Result<()> {
             engine.policy().name(),
             engine.metrics().write_amplification(),
             fleet.tunes(*series),
+        );
+    }
+
+    if let Some(stats) = fleet.engine().arbiter_stats() {
+        println!(
+            "\narbiter: {} rebalances, {} resizes, {} points held back \
+             for the cache",
+            stats.rounds, stats.resizes, stats.cache_share
         );
     }
 

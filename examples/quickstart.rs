@@ -5,12 +5,13 @@
 //! cargo run --release -p seplsm --example quickstart
 //! ```
 
-use seplsm::{DataPoint, EngineConfig, LsmEngine, Result, TimeRange};
+use seplsm::{DataPoint, EngineConfig, LsmEngine, Policy, Result, TimeRange};
 
 fn main() -> Result<()> {
     // A leveled LSM engine with the conventional policy: one 512-point
     // MemTable, 512-point SSTables (the paper's defaults).
-    let mut engine = LsmEngine::in_memory(EngineConfig::conventional(512))?;
+    let mut engine =
+        LsmEngine::in_memory(EngineConfig::new(Policy::conventional(512)))?;
 
     // Sensor readings once per 50 ms. Every tenth reading is delayed long
     // enough to arrive out of order.

@@ -11,8 +11,8 @@
 //! ```
 
 use seplsm::{
-    AdaptiveConfig, AdaptiveEngine, DataPoint, EngineConfig, LsmEngine, Policy,
-    Result, VehicleWorkload,
+    AdaptiveConfig, AdaptiveOpen, DataPoint, EngineConfig, LsmEngine,
+    OpenOptions, Policy, Result, VehicleWorkload,
 };
 
 fn static_wa(points: &[DataPoint], policy: Policy) -> Result<f64> {
@@ -59,7 +59,9 @@ fn main() -> Result<()> {
         stream.len()
     );
 
-    let mut engine = AdaptiveEngine::in_memory(AdaptiveConfig::new(512))?;
+    let mut engine =
+        OpenOptions::new(EngineConfig::new(Policy::conventional(512)))
+            .adaptive(AdaptiveConfig::new())?;
     for p in &stream {
         engine.append(*p)?;
     }

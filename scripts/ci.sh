@@ -109,6 +109,15 @@ assert query["tables_pruned"] > 0, query
 assert query["cold_byte_reduction"] > 1, query
 assert query["cold_query_bytes"]["v3"] < query["cold_query_bytes"]["v2"], query
 assert compaction["cache"]["invalidated_blocks"] >= 0, compaction
+# Multi-tenant skew lane: the arbiter must have grown the hot series past
+# every cold neighbour, and the adaptive controller must have retuned at
+# least one series online against its arbiter-assigned slice.
+for key in ("hot_series_capacity", "cold_series_capacity",
+            "rebalances", "retunes"):
+    assert key in ingest, f"missing ingest key {key}"
+assert ingest["hot_series_capacity"] > ingest["cold_series_capacity"], ingest
+assert ingest["retunes"] > 0, ingest
+assert ingest["rebalances"] > 0, ingest
 print(f"perf smoke OK: burst p99 {ingest['p99']:.1f}us with "
       f"{ingest['stall_ticks']} stall ticks "
       f"(depth {ingest['max_l0_depth']}/{ingest['stop_watermark']}), "
@@ -116,7 +125,9 @@ print(f"perf smoke OK: burst p99 {ingest['p99']:.1f}us with "
       f"{query['cache_on']['hit_rate']:.2f}, "
       f"{query['disk_byte_reduction']:.1f}x fewer disk bytes, "
       f"cold v3 {query['cold_byte_reduction']:.1f}x fewer bytes, "
-      f"{query['tables_pruned']} tables pruned")
+      f"{query['tables_pruned']} tables pruned, skew "
+      f"{ingest['hot_series_capacity']}/{ingest['cold_series_capacity']} "
+      f"hot/cold capacity with {ingest['retunes']} online retune(s)")
 PYEOF
 rm -rf "$PERF_DIR"
 

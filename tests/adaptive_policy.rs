@@ -3,8 +3,9 @@
 //! switches, and not lose to the static policies by more than noise.
 
 use seplsm::{
-    AdaptiveConfig, AdaptiveEngine, AnalyzerConfig, EngineConfig, LsmEngine,
-    Policy,
+    AdaptiveConfig, AdaptiveEngine, AdaptiveOpen, AnalyzerConfig,
+    ArbiterConfig, EngineConfig, Event, LsmEngine, MultiOpenOptions,
+    OpenOptions, Policy, RingBufferSink, SeriesId,
 };
 use seplsm_types::DataPoint;
 use seplsm_workload::DynamicWorkload;
@@ -20,15 +21,17 @@ fn static_wa(points: &[DataPoint], policy: Policy, sstable: usize) -> f64 {
     engine.metrics().write_amplification()
 }
 
-fn adaptive_config(n: usize, sstable: usize) -> AdaptiveConfig {
-    AdaptiveConfig::new(n)
-        .with_sstable_points(sstable)
-        .with_analyzer(AnalyzerConfig {
-            window: 2048,
-            min_samples: 1024,
-            check_every: 512,
-            ks_alpha: 0.01,
-        })
+fn adaptive_engine(n: usize, sstable: usize) -> AdaptiveEngine {
+    OpenOptions::new(
+        EngineConfig::new(Policy::conventional(n)).with_sstable_points(sstable),
+    )
+    .adaptive(AdaptiveConfig::new().with_analyzer(AnalyzerConfig {
+        window: 2048,
+        min_samples: 1024,
+        check_every: 512,
+        ks_alpha: 0.01,
+    }))
+    .expect("engine")
 }
 
 #[test]
@@ -38,8 +41,7 @@ fn adaptive_tracks_dynamic_sigma_stream() {
     let n = 512;
     let sstable = 512;
 
-    let mut engine =
-        AdaptiveEngine::in_memory(adaptive_config(n, sstable)).expect("engine");
+    let mut engine = adaptive_engine(n, sstable);
     for p in &dataset {
         engine.append(*p).expect("append");
     }
@@ -75,8 +77,7 @@ fn adaptive_tracks_dynamic_sigma_stream() {
 fn adaptive_handles_mixed_distribution_families() {
     // A scaled-down Fig. 17 stream (no single delay law).
     let dataset = DynamicWorkload::paper_fig17(20_000, 22).generate();
-    let mut engine =
-        AdaptiveEngine::in_memory(adaptive_config(512, 512)).expect("engine");
+    let mut engine = adaptive_engine(512, 512);
     for p in &dataset {
         engine.append(*p).expect("append");
     }
@@ -100,8 +101,7 @@ fn adaptive_prefers_conventional_on_clean_streams() {
         23,
     )
     .generate();
-    let mut engine =
-        AdaptiveEngine::in_memory(adaptive_config(512, 512)).expect("engine");
+    let mut engine = adaptive_engine(512, 512);
     for p in &dataset {
         engine.append(*p).expect("append");
     }
@@ -112,4 +112,84 @@ fn adaptive_prefers_conventional_on_clean_streams() {
     );
     let wa = engine.engine().metrics().write_amplification();
     assert!(wa < 1.1, "clean stream WA should be ~1, got {wa:.3}");
+}
+
+#[test]
+fn fleet_series_switches_policy_online_under_drifting_delays() {
+    // One clean series and one whose delays drift from mild to chaotic
+    // (lognormal sigma ramping up), sharing an arbiter-managed budget.
+    // The drifting series must switch policy *online* — witnessed by a
+    // PolicyRetuned event — while the clean one stays on pi_c.
+    let sink = RingBufferSink::new(1 << 16);
+    let mut fleet =
+        MultiOpenOptions::new(EngineConfig::new(Policy::conventional(256)))
+            .arbiter(ArbiterConfig::new(2048))
+            .observer(sink.clone())
+            .adaptive(AdaptiveConfig::new().with_analyzer(AnalyzerConfig {
+                window: 2048,
+                min_samples: 1024,
+                check_every: 512,
+                ks_alpha: 0.01,
+            }))
+            .expect("fleet");
+
+    let clean = SeriesId(1);
+    let drifting = SeriesId(2);
+    let clean_pts = seplsm::SyntheticWorkload::new(
+        50,
+        seplsm::LogNormal::new(1.0, 0.3),
+        12_000,
+        31,
+    )
+    .generate();
+    let drifting_pts = DynamicWorkload::new(
+        50,
+        vec![
+            (6_000, Box::new(seplsm::LogNormal::new(1.5, 0.4))),
+            (6_000, Box::new(seplsm::LogNormal::new(6.5, 2.0))),
+        ],
+        32,
+    )
+    .generate();
+
+    for (c, d) in clean_pts.iter().zip(&drifting_pts) {
+        fleet.append(clean, *c).expect("append clean");
+        fleet.append(drifting, *d).expect("append drifting");
+    }
+
+    assert!(
+        fleet.tunes(drifting) >= 1,
+        "drifting series never retuned online"
+    );
+    assert!(
+        fleet
+            .policy(drifting)
+            .is_some_and(|policy| policy.is_separation()),
+        "drifting series should have switched to separation, got {:?}",
+        fleet.policy(drifting)
+    );
+    assert!(
+        fleet
+            .policy(clean)
+            .is_some_and(|policy| !policy.is_separation()),
+        "clean series must stay conventional"
+    );
+    let retuned: Vec<(u64, bool)> = sink
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::PolicyRetuned {
+                series, separation, ..
+            } => Some((*series, *separation)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        retuned.contains(&(u64::from(drifting.0), true)),
+        "no PolicyRetuned witness for the drifting series: {retuned:?}"
+    );
+    assert!(
+        fleet.engine().retunes() >= 1,
+        "fleet retune counter must witness the online switch"
+    );
 }

@@ -23,8 +23,9 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use seplsm::{
     AdmissionOutcome, DataPoint, EngineConfig, Fault, FaultPlan, FileStore,
-    LsmEngine, MultiOpenOptions, OpenOptions, RecoveryOptions, SeriesId,
-    TableStore, TieredEngine, TieredOpenOptions, TimeRange, Watermarks,
+    LsmEngine, MultiOpenOptions, OpenOptions, Policy, RecoveryOptions,
+    SeriesId, TableStore, TieredEngine, TieredOpenOptions, TimeRange,
+    Watermarks,
 };
 
 /// Seed carried by every plan; derives nothing at runtime (determinism),
@@ -62,7 +63,7 @@ impl Drop for TempDir {
 }
 
 fn config() -> EngineConfig {
-    EngineConfig::conventional(8).with_sstable_points(8)
+    EngineConfig::new(Policy::conventional(8)).with_sstable_points(8)
 }
 
 /// Mixed workload with unique generation times: mostly in-order, every

@@ -176,7 +176,7 @@ proptest! {
 fn write_amplification_is_at_least_one_after_flush() {
     // Once everything is flushed, every user point was written at least once.
     let mut engine = LsmEngine::in_memory(
-        EngineConfig::conventional(16).with_sstable_points(8),
+        EngineConfig::new(Policy::conventional(16)).with_sstable_points(8),
     )
     .expect("engine");
     for &i in &scramble(500, 11) {
@@ -195,11 +195,12 @@ fn write_amplification_is_at_least_one_after_flush() {
 #[test]
 fn observer_compaction_events_match_metrics() {
     let sink = RingBufferSink::new(8192);
-    let mut engine =
-        OpenOptions::new(EngineConfig::conventional(16).with_sstable_points(8))
-            .observer(sink.clone())
-            .open()
-            .expect("open");
+    let mut engine = OpenOptions::new(
+        EngineConfig::new(Policy::conventional(16)).with_sstable_points(8),
+    )
+    .observer(sink.clone())
+    .open()
+    .expect("open");
     for &i in &scramble(400, 3) {
         let tg = i as i64 * 10;
         engine
@@ -236,8 +237,7 @@ fn identical_workloads_produce_identical_event_traces() {
     let trace = |seed: usize| {
         let sink = RingBufferSink::new(16384);
         let mut engine = OpenOptions::new(
-            EngineConfig::separation(16, 8)
-                .expect("policy")
+            EngineConfig::new(Policy::separation(16, 8).expect("policy"))
                 .with_sstable_points(8),
         )
         .observer(sink.clone())

@@ -55,7 +55,8 @@ fn recover(dir: &TempDir, config: EngineConfig) -> seplsm::Result<LsmEngine> {
 #[test]
 fn crash_recovery_restores_every_point() {
     let dir = TempDir::new("basic");
-    let config = EngineConfig::conventional(32).with_sstable_points(16);
+    let config =
+        EngineConfig::new(Policy::conventional(32)).with_sstable_points(16);
     {
         let store =
             Arc::new(FileStore::open(dir.path("tables")).expect("store"));
@@ -83,8 +84,7 @@ fn crash_recovery_restores_every_point() {
 #[test]
 fn recovery_under_separation_policy_reroutes_buffers() {
     let dir = TempDir::new("separation");
-    let config = EngineConfig::separation(32, 16)
-        .expect("policy")
+    let config = EngineConfig::new(Policy::separation(32, 16).expect("policy"))
         .with_sstable_points(16);
     {
         let store =
@@ -104,7 +104,8 @@ fn recovery_under_separation_policy_reroutes_buffers() {
 #[test]
 fn recovery_is_idempotent() {
     let dir = TempDir::new("idempotent");
-    let config = EngineConfig::conventional(16).with_sstable_points(8);
+    let config =
+        EngineConfig::new(Policy::conventional(16)).with_sstable_points(8);
     {
         let store =
             Arc::new(FileStore::open(dir.path("tables")).expect("store"));
@@ -126,7 +127,8 @@ fn recovery_is_idempotent() {
 #[test]
 fn recovered_engine_accepts_new_writes() {
     let dir = TempDir::new("continue");
-    let config = EngineConfig::conventional(16).with_sstable_points(8);
+    let config =
+        EngineConfig::new(Policy::conventional(16)).with_sstable_points(8);
     {
         let store =
             Arc::new(FileStore::open(dir.path("tables")).expect("store"));
@@ -155,7 +157,8 @@ fn recovered_engine_accepts_new_writes() {
 #[test]
 fn corrupted_table_is_reported_not_returned() {
     let dir = TempDir::new("corrupt");
-    let config = EngineConfig::conventional(16).with_sstable_points(8);
+    let config =
+        EngineConfig::new(Policy::conventional(16)).with_sstable_points(8);
     {
         let store =
             Arc::new(FileStore::open(dir.path("tables")).expect("store"));
@@ -186,7 +189,8 @@ fn corrupted_table_is_reported_not_returned() {
 #[test]
 fn manifest_recovery_matches_full_recovery() {
     let dir = TempDir::new("manifest");
-    let config = EngineConfig::conventional(32).with_sstable_points(16);
+    let config =
+        EngineConfig::new(Policy::conventional(32)).with_sstable_points(16);
     {
         let store =
             Arc::new(FileStore::open(dir.path("tables")).expect("store"));
@@ -219,8 +223,7 @@ fn manifest_recovery_matches_full_recovery() {
 #[test]
 fn manifest_recovery_survives_repeated_restarts_with_writes() {
     let dir = TempDir::new("manifest-repeat");
-    let config = EngineConfig::separation(32, 16)
-        .expect("policy")
+    let config = EngineConfig::new(Policy::separation(32, 16).expect("policy"))
         .with_sstable_points(16);
     let mut total = 0usize;
     for round in 0..4 {
@@ -251,7 +254,8 @@ fn manifest_recovery_survives_repeated_restarts_with_writes() {
 #[test]
 fn store_without_wal_recovers_flushed_state() {
     let dir = TempDir::new("no-wal");
-    let config = EngineConfig::conventional(16).with_sstable_points(8);
+    let config =
+        EngineConfig::new(Policy::conventional(16)).with_sstable_points(8);
     {
         let store =
             Arc::new(FileStore::open(dir.path("tables")).expect("store"));

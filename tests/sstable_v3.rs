@@ -18,7 +18,7 @@ use seplsm_lsm::store::load_index;
 use seplsm_lsm::{
     BlockCache, EngineConfig, OpenOptions, QueryStats, TableStore,
 };
-use seplsm_types::{Error, Result};
+use seplsm_types::{Error, Policy, Result};
 
 /// Deterministic but varied points: unique ascending gen times with
 /// hash-derived delays and values.
@@ -242,7 +242,7 @@ proptest! {
 fn mixed_version_levels_answer_queries_exactly() {
     let store = Arc::new(RotatingStore::default());
     let mut engine = OpenOptions::new(
-        EngineConfig::conventional(32)
+        EngineConfig::new(Policy::conventional(32))
             .with_sstable_points(32)
             .with_block_reads(),
     )
@@ -295,7 +295,7 @@ fn compaction_leaves_no_stale_filter_in_the_cache() {
     let store = Arc::new(RotatingStore::default());
     let cache = BlockCache::with_capacity(64 * 1024);
     let mut engine = OpenOptions::new(
-        EngineConfig::conventional(16)
+        EngineConfig::new(Policy::conventional(16))
             .with_sstable_points(16)
             .with_block_reads(),
     )

@@ -169,8 +169,7 @@ proptest! {
 #[test]
 fn recovered_engine_keeps_ingesting_and_finishes() {
     let dir = TempDir::new("resume");
-    let config = EngineConfig::separation(16, 8)
-        .expect("policy")
+    let config = EngineConfig::new(Policy::separation(16, 8).expect("policy"))
         .with_sstable_points(8);
     {
         let store: Arc<dyn TableStore> =
@@ -222,7 +221,8 @@ fn unsynced_tail_may_be_lost_but_nothing_else() {
     // Without a final sync, the last few WAL records may be in OS buffers;
     // everything the manifest covers must still be intact.
     let dir = TempDir::new("unsynced");
-    let config = EngineConfig::conventional(8).with_sstable_points(8);
+    let config =
+        EngineConfig::new(Policy::conventional(8)).with_sstable_points(8);
     {
         let store: Arc<dyn TableStore> =
             Arc::new(FileStore::open(dir.path("tables")).expect("store"));
@@ -261,7 +261,7 @@ fn unsynced_tail_may_be_lost_but_nothing_else() {
 fn observer_sees_one_compaction_event_per_executed_compaction() {
     let sink = RingBufferSink::new(4096);
     let mut engine = TieredOpenOptions::new(
-        EngineConfig::conventional(8).with_sstable_points(8),
+        EngineConfig::new(Policy::conventional(8)).with_sstable_points(8),
     )
     .observer(sink.clone())
     .sync_flush()
@@ -317,7 +317,7 @@ fn degraded_transition_is_typed_and_observed() {
     let store: Arc<dyn TableStore> =
         Arc::new(FaultStore::new(MemStore::new(), Arc::clone(&plan)));
     let mut engine = TieredOpenOptions::new(
-        EngineConfig::conventional(4).with_sstable_points(4),
+        EngineConfig::new(Policy::conventional(4)).with_sstable_points(4),
     )
     .store(store)
     .faults(plan)
