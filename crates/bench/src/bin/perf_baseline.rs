@@ -14,7 +14,11 @@
 //!   and the warm hit rate. A second, *cold* lane compares v2 whole-file
 //!   reads with v3 ranged reads + pruning filters over the same data and
 //!   reports `cold_query_bytes`, `cold_byte_reduction` and
-//!   `tables_pruned`.
+//!   `tables_pruned`. A third, *agg* lane drives the windowed-aggregation
+//!   workload through the v3 pushdown and through plain decode-and-fold,
+//!   verifies bit-identical answers, and reports
+//!   `agg_query_bytes_{pushdown,decode}`, `agg_byte_reduction` and
+//!   `blocks_folded`.
 //! * `BENCH_compaction.json` — an out-of-order merge-heavy ingest whose
 //!   compaction reads run through the cache: write amplification, cache
 //!   traffic and strict invalidation counts.
@@ -41,7 +45,7 @@ use seplsm_lsm::{
     TieredOpenOptions, Watermarks,
 };
 use seplsm_types::{DataPoint, Error, Policy, Result, TimeRange};
-use seplsm_workload::SyntheticWorkload;
+use seplsm_workload::{AggregationWorkload, SyntheticWorkload};
 
 /// A [`MemStore`] that counts the encoded bytes every read fetches, so the
 /// cache lanes can report disk traffic. Whole-table reads (`get`,
@@ -638,6 +642,126 @@ fn cold_lane(
     }))
 }
 
+/// Lane 2c: the windowed-aggregation mix over bursty out-of-order arrivals
+/// ([`AggregationWorkload`]), answered twice over the same cold v3 store:
+/// once through the pushdown (`aggregate`/`downsample`, folding index
+/// pre-aggregates) and once by decoding every point via `query` and
+/// folding by hand. The lane fails outright unless both ways produce
+/// bit-identical aggregates; the JSON reports the bytes each way cost.
+fn agg_lane(
+    points: usize,
+    cache_points: usize,
+    seed: u64,
+) -> Result<serde_json::Value> {
+    let workload = AggregationWorkload::new(points, seed);
+    let data = workload.generate();
+    let (min_tg, max_tg) = data.iter().fold((i64::MAX, i64::MIN), |acc, p| {
+        (acc.0.min(p.gen_time), acc.1.max(p.gen_time))
+    });
+    let queries = workload.queries(min_tg, max_tg);
+
+    let store = Arc::new(CountingStore::new(EncodeOptions::pruned()));
+    let cache = BlockCache::with_capacity(cache_points);
+    let mut engine = OpenOptions::new(
+        EngineConfig::new(Policy::conventional(256))
+            .with_sstable_points(256)
+            .with_block_reads(),
+    )
+    .store(Arc::clone(&store) as Arc<dyn TableStore>)
+    .cache(Arc::clone(&cache))
+    .open()?;
+    for p in &data {
+        engine.append(*p)?;
+    }
+    engine.flush_all()?;
+
+    let go_cold = |store: &CountingStore| -> Result<u64> {
+        for id in store.list()? {
+            cache.invalidate_table(id);
+        }
+        Ok(store.bytes_read())
+    };
+
+    // Phase 1: pushdown.
+    let baseline = go_cold(&store)?;
+    let mut pushdown = Vec::with_capacity(queries.len());
+    let mut folded = 0u64;
+    let mut fallback = 0u64;
+    for q in &queries {
+        match q.bucket_width {
+            Some(width) => {
+                let (buckets, stats) = engine.downsample(q.range, width)?;
+                folded += stats.blocks_folded;
+                fallback += stats.agg_fallback_blocks;
+                pushdown.push(buckets);
+            }
+            None => {
+                let (agg, stats) = engine.aggregate(q.range)?;
+                folded += stats.blocks_folded;
+                fallback += stats.agg_fallback_blocks;
+                pushdown.push(vec![(q.range.start, agg)]);
+            }
+        }
+    }
+    let pushdown_bytes = store.bytes_read() - baseline;
+
+    // Phase 2: decode everything and fold by hand, equally cold.
+    let baseline = go_cold(&store)?;
+    for (q, got) in queries.iter().zip(&pushdown) {
+        let (pts, _) = engine.query(q.range)?;
+        let want: Vec<(i64, seplsm_lsm::Agg)> = match q.bucket_width {
+            Some(width) => {
+                let mut buckets =
+                    std::collections::BTreeMap::<i64, seplsm_lsm::Agg>::new();
+                for p in &pts {
+                    buckets
+                        .entry(p.gen_time.div_euclid(width) * width)
+                        .or_default()
+                        .merge_point(p.value);
+                }
+                buckets.into_iter().collect()
+            }
+            None => {
+                let mut agg = seplsm_lsm::Agg::default();
+                for p in &pts {
+                    agg.merge_point(p.value);
+                }
+                vec![(q.range.start, agg)]
+            }
+        };
+        let matches = got.len() == want.len()
+            && got
+                .iter()
+                .zip(&want)
+                .all(|(a, b)| a.0 == b.0 && a.1.bits_eq(&b.1));
+        if !matches {
+            return Err(Error::InvalidConfig(format!(
+                "pushdown diverged from decode-and-fold on {:?}",
+                q.range
+            )));
+        }
+    }
+    let decode_bytes = store.bytes_read() - baseline;
+
+    let reduction = decode_bytes as f64 / pushdown_bytes.max(1) as f64;
+    println!(
+        "agg: {} queries ({} downsampled) — pushdown {pushdown_bytes} B vs \
+         decode {decode_bytes} B ({reduction:.1}x fewer bytes), \
+         {folded} blocks folded, {fallback} decoded",
+        queries.len(),
+        queries.iter().filter(|q| q.bucket_width.is_some()).count(),
+    );
+    Ok(serde_json::json!({
+        "agg_queries": queries.len(),
+        "agg_query_bytes_pushdown": pushdown_bytes,
+        "agg_query_bytes_decode": decode_bytes,
+        "agg_byte_reduction": reduction,
+        "blocks_folded": folded,
+        "agg_fallback_blocks": fallback,
+        "agg_results_bit_identical": true,
+    }))
+}
+
 /// Lane 3: a merge-heavy out-of-order ingest (small buffers, small tables)
 /// with a trailing-window query every 1000 points — the monitoring-dashboard
 /// shape. Queries and compaction reads share the cache, and each compaction
@@ -740,8 +864,11 @@ fn main() -> Result<()> {
         skew_lane(seed)?,
     );
     let query = merge_objects(
-        query_lane(points, passes, cache_points, seed)?,
-        cold_lane(points, cache_points, seed)?,
+        merge_objects(
+            query_lane(points, passes, cache_points, seed)?,
+            cold_lane(points, cache_points, seed)?,
+        ),
+        agg_lane(points, cache_points, seed)?,
     );
     let compaction = compaction_lane(points, cache_points, seed)?;
 

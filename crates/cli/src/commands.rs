@@ -26,6 +26,7 @@ USAGE:
   seplsm ingest   --input FILE [--policy conventional|separation:<n_seq>|adaptive]
                   [--budget N] [--sstable N] [--dir DIR] [--compressed]
   seplsm query    --dir DIR --start T --end T [--budget N]
+                  [--agg min|max|sum|count|mean [--bucket N]]
   seplsm stats    --input FILE [--policy conventional|separation:<n_seq>]
                   [--budget N] [--sstable N] [--trace FILE.jsonl]
                   [--cache POINTS]
@@ -218,7 +219,62 @@ pub fn ingest(opts: &Opts) -> Result<()> {
     Ok(())
 }
 
-/// `seplsm query` — range query against a persisted store.
+/// Which statistic `seplsm query --agg` reports out of the folded
+/// min/max/sum/count quartet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AggStat {
+    Min,
+    Max,
+    Sum,
+    Count,
+    Mean,
+}
+
+impl AggStat {
+    fn parse(spec: &str) -> Result<Self> {
+        match spec {
+            "min" => Ok(Self::Min),
+            "max" => Ok(Self::Max),
+            "sum" => Ok(Self::Sum),
+            "count" => Ok(Self::Count),
+            "mean" | "avg" => Ok(Self::Mean),
+            other => Err(Error::InvalidConfig(format!(
+                "unknown aggregate `{other}` (min|max|sum|count|mean)"
+            ))),
+        }
+    }
+
+    fn render(self, agg: &seplsm_lsm::Agg) -> String {
+        match self {
+            Self::Min => agg.min.to_string(),
+            Self::Max => agg.max.to_string(),
+            Self::Sum => agg.sum.to_string(),
+            Self::Count => agg.count.to_string(),
+            Self::Mean => match agg.mean() {
+                Some(mean) => mean.to_string(),
+                None => "nan".into(),
+            },
+        }
+    }
+}
+
+/// The stderr pushdown report shared by the aggregate and downsample arms
+/// of `seplsm query --agg`.
+fn report_pushdown(stats: &seplsm_lsm::QueryStats) {
+    eprintln!(
+        "{} of {} blocks folded from index pre-aggregates, {} decoded \
+         ({} disk points scanned); {} tables read, {} pruned",
+        stats.blocks_folded,
+        stats.blocks_folded + stats.agg_fallback_blocks,
+        stats.agg_fallback_blocks,
+        stats.disk_points_scanned,
+        stats.tables_read,
+        stats.tables_pruned
+    );
+}
+
+/// `seplsm query` — range query against a persisted store; with `--agg`,
+/// an aggregation (or `--bucket`-windowed downsampling) pushdown instead.
 pub fn query(opts: &Opts) -> Result<()> {
     let dir = PathBuf::from(opts.require("dir").map_err(io_err)?);
     let start: i64 =
@@ -249,7 +305,28 @@ pub fn query(opts: &Opts) -> Result<()> {
         options = options.manifest(dir.join("manifest"));
     }
     let (engine, _report) = options.open_or_recover()?;
-    let (hits, stats) = engine.query(TimeRange::new(start, end))?;
+    let range = TimeRange::new(start, end);
+    if let Some(spec) = opts.get("agg") {
+        let stat = AggStat::parse(spec)?;
+        if let Some(raw) = opts.get("bucket") {
+            let width: i64 = raw.parse().map_err(|_| {
+                Error::InvalidConfig(
+                    "--bucket must be a positive integer".into(),
+                )
+            })?;
+            let (buckets, stats) = engine.downsample(range, width)?;
+            for (bucket, agg) in &buckets {
+                println!("{},{}", bucket, stat.render(agg));
+            }
+            report_pushdown(&stats);
+        } else {
+            let (agg, stats) = engine.aggregate(range)?;
+            println!("{}", stat.render(&agg));
+            report_pushdown(&stats);
+        }
+        return Ok(());
+    }
+    let (hits, stats) = engine.query(range)?;
     for p in &hits {
         println!("{},{},{}", p.gen_time, p.arrival_time, p.value);
     }
@@ -371,6 +448,24 @@ mod tests {
         assert!(parse_policy("bogus", 512).is_err());
         assert!(parse_policy("separation:zzz", 512).is_err());
         assert!(parse_policy("separation:512", 512).is_err()); // n_seq == n
+    }
+
+    #[test]
+    fn agg_stat_parses_and_renders() {
+        assert_eq!(AggStat::parse("min").expect("ok"), AggStat::Min);
+        assert_eq!(AggStat::parse("mean").expect("ok"), AggStat::Mean);
+        assert_eq!(AggStat::parse("avg").expect("ok"), AggStat::Mean);
+        assert!(AggStat::parse("median").is_err());
+        let mut agg = seplsm_lsm::Agg::default();
+        assert_eq!(AggStat::Mean.render(&agg), "nan");
+        assert_eq!(AggStat::Count.render(&agg), "0");
+        for v in [2.0, 4.0] {
+            agg.merge_point(v);
+        }
+        assert_eq!(AggStat::Min.render(&agg), "2");
+        assert_eq!(AggStat::Max.render(&agg), "4");
+        assert_eq!(AggStat::Sum.render(&agg), "6");
+        assert_eq!(AggStat::Mean.render(&agg), "3");
     }
 
     #[test]

@@ -200,6 +200,13 @@ impl PolicyBuffers {
             }
         }
     }
+
+    /// All buffered hits for `range`, merged into one generation-time-sorted
+    /// stream with the same last-writer-wins dedup as the query path — the
+    /// MemTable side of an aggregation pushdown.
+    pub fn merged_scan(&self, range: TimeRange) -> Vec<DataPoint> {
+        merge_sorted(self.scan_sources(range))
+    }
 }
 
 #[cfg(test)]

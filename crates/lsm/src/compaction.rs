@@ -251,6 +251,15 @@ pub fn retire_inputs(
 /// background engine calls the phases directly so the store I/O runs
 /// outside its state lock.
 ///
+/// Merged tables carry correct v3 per-block pre-aggregates by
+/// construction: the encoder re-derives min/max/sum/count from the merged
+/// points it writes, never from the inputs' index entries. The
+/// `check_version_against_store` call below re-decodes every table the
+/// plan touched (debug builds), and the v3 decode audits each block's
+/// stored aggregates against its actual contents — so an encoder
+/// regression that let aggregation pushdown read stale or wrong
+/// pre-aggregates fails here, at the compaction that introduced it.
+///
 /// # Errors
 /// Storage or manifest failures; the version is only mutated if the edit
 /// batch applies cleanly.
@@ -458,6 +467,80 @@ mod tests {
         assert_eq!(version.run().total_points(), 3);
         // The consumed table is gone from the store.
         assert!(store.get(meta.id).is_err());
+    }
+
+    #[test]
+    fn merged_tables_carry_correct_pre_aggregates() {
+        // The aggregation-pushdown invariant: after a merge, every block's
+        // index pre-aggregates equal an in-order fold of the block's
+        // decoded points (bitwise, including the count).
+        use crate::sstable::format::block_aggregates;
+        use crate::store::{load_index, MemStore};
+        use seplsm_types::TimeRange;
+
+        let store = MemStore::new(); // default options: v3
+        let mut version = Version::new();
+        let mut metrics = Metrics::default();
+        execute_append(
+            pts(&[10, 20, 30, 40, 50, 60]),
+            3,
+            &store,
+            &mut version,
+            None,
+            &mut metrics,
+            &ObserverHandle::detached(),
+        )
+        .expect("append");
+        // Merge stragglers that overlap both appended tables, with values
+        // that shift every block's min/max/sum.
+        let mut fresh = pts(&[15, 45]);
+        fresh[0].value = -7.5;
+        fresh[1].value = 99.25;
+        let inputs: Vec<RunInput> = version
+            .run()
+            .tables()
+            .iter()
+            .map(|&meta| RunInput {
+                meta,
+                points: store.get(meta.id).expect("get"),
+            })
+            .collect();
+        let plan = plan_merge(vec![fresh], inputs, 3, None);
+        execute(
+            plan,
+            &store,
+            &mut version,
+            None,
+            &mut metrics,
+            false,
+            &ObserverHandle::detached(),
+        )
+        .expect("execute");
+        assert_eq!(metrics.compactions, 1);
+        let mut audited = 0;
+        for meta in version.run().tables() {
+            let (index, _) =
+                load_index(&store, meta.id).expect("load").expect("index");
+            for span in &index.blocks {
+                let stored = span.agg.expect("v3 tables carry aggregates");
+                let read = store
+                    .get_range(meta.id, TimeRange::new(span.first, span.last))
+                    .expect("read block");
+                let actual =
+                    block_aggregates(&read.points).expect("non-empty block");
+                assert!(
+                    actual.bits_eq(&stored),
+                    "table {} block [{}, {}]: stored {:?} != actual {:?}",
+                    meta.id,
+                    span.first,
+                    span.last,
+                    stored,
+                    actual
+                );
+                audited += 1;
+            }
+        }
+        assert!(audited >= 3, "expected multiple blocks, got {audited}");
     }
 
     #[test]

@@ -350,6 +350,13 @@ impl OpenOptions {
     }
 }
 
+/// One fold input produced by the aggregation-pushdown planner: a whole
+/// block answered from its index pre-aggregates, or one decoded point.
+enum AggItem {
+    Block(crate::sstable::BlockAggregates),
+    Point(f64),
+}
+
 /// A single-series leveled LSM engine.
 pub struct LsmEngine {
     config: EngineConfig,
@@ -1047,6 +1054,201 @@ impl LsmEngine {
         Ok((merged, stats))
     }
 
+    /// Aggregates `range`: min/max/sum/count over exactly the points
+    /// [`query`](Self::query) would return, answered where possible from v3
+    /// index pre-aggregates without decoding data blocks.
+    ///
+    /// The planning rule, per table via the cached [`TableIndex`]: a block
+    /// is **folded** from its index entry when it lies fully inside `range`,
+    /// carries pre-aggregates (v3 tables written with the aggregate count),
+    /// and no buffered MemTable point falls inside its generation-time span
+    /// (in this engine the run holds non-overlapping tables, so MemTable
+    /// data is the only possible newer writer). Every other overlapping
+    /// block — range-straddling, shadowed, or aggregate-less (v1/v2/legacy
+    /// v3) — is decoded span-granularly and deduped last-writer-wins, the
+    /// same freshest-first rule as `query`.
+    ///
+    /// `min`/`max`/`count` are bit-identical to folding over `query`
+    /// results regardless of plan; `sum` additionally matches whenever the
+    /// fold is associative on the data (e.g. integer-valued samples — the
+    /// equivalence proptest's domain).
+    ///
+    /// # Errors
+    /// Storage failures.
+    pub fn aggregate(
+        &self,
+        range: TimeRange,
+    ) -> Result<(crate::query::Agg, QueryStats)> {
+        let mut stats = QueryStats::default();
+        let items = self.agg_items(range, &|_| true, &mut stats)?;
+        let mut agg = crate::query::Agg::default();
+        for (_, item) in items {
+            match item {
+                AggItem::Block(b) => agg.merge_block(&b),
+                AggItem::Point(v) => agg.merge_point(v),
+            }
+        }
+        stats.points_returned = agg.count;
+        self.emit_agg_events(&stats);
+        Ok((agg, stats))
+    }
+
+    /// Downsamples `range` into fixed-width buckets: one [`Agg`] per
+    /// `bucket_width`-sized window (bucket key = `tg.div_euclid(width) *
+    /// width`), in ascending bucket order; empty buckets are omitted.
+    ///
+    /// Same pushdown planning as [`aggregate`](Self::aggregate), with one
+    /// extra fold condition: a block's pre-aggregates are only usable when
+    /// the whole block falls inside a single bucket.
+    ///
+    /// [`Agg`]: crate::query::Agg
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] for a non-positive `bucket_width`; storage
+    /// failures.
+    pub fn downsample(
+        &self,
+        range: TimeRange,
+        bucket_width: i64,
+    ) -> Result<(Vec<crate::query::Bucket>, QueryStats)> {
+        if bucket_width <= 0 {
+            return Err(Error::InvalidConfig(format!(
+                "bucket_width must be >= 1, got {bucket_width}"
+            )));
+        }
+        let bucket_of =
+            |tg: i64| tg.div_euclid(bucket_width).wrapping_mul(bucket_width);
+        let mut stats = QueryStats::default();
+        let items = self.agg_items(
+            range,
+            &|span| bucket_of(span.first) == bucket_of(span.last),
+            &mut stats,
+        )?;
+        let mut buckets =
+            std::collections::BTreeMap::<Timestamp, crate::query::Agg>::new();
+        // Items are globally sorted by start tg, so each bucket's fold runs
+        // in stream order.
+        for (tg, item) in items {
+            let agg = buckets.entry(bucket_of(tg)).or_default();
+            match item {
+                AggItem::Block(b) => agg.merge_block(&b),
+                AggItem::Point(v) => agg.merge_point(v),
+            }
+        }
+        stats.points_returned = buckets.values().map(|a| a.count).sum();
+        self.emit_agg_events(&stats);
+        Ok((buckets.into_iter().collect(), stats))
+    }
+
+    fn emit_agg_events(&self, stats: &QueryStats) {
+        if stats.blocks_folded > 0 {
+            let folded = stats.blocks_folded;
+            self.obs.emit(|| Event::AggPushdown {
+                blocks_folded: folded,
+            });
+        }
+        if stats.agg_fallback_blocks > 0 {
+            let blocks = stats.agg_fallback_blocks;
+            self.obs.emit(|| Event::AggFallback { blocks });
+        }
+    }
+
+    /// The pushdown planner shared by [`aggregate`](Self::aggregate) and
+    /// [`downsample`](Self::downsample): walks the run via index metadata
+    /// only ([`TableStore::table_index`] — served from the block cache's
+    /// index cache when one is attached) and returns the fold inputs sorted
+    /// by start generation time. Foldable blocks arrive as their index
+    /// pre-aggregates (no data-block read); everything else is decoded and
+    /// deduped against buffered MemTable data (mem wins).
+    fn agg_items(
+        &self,
+        range: TimeRange,
+        extra_foldable: &dyn Fn(&crate::sstable::BlockSpan) -> bool,
+        stats: &mut QueryStats,
+    ) -> Result<Vec<(Timestamp, AggItem)>> {
+        let sources = self.buffers.scan_sources(range);
+        stats.mem_points_scanned +=
+            sources.iter().map(|s| s.len() as u64).sum::<u64>();
+        // Freshest-first dedup across MemTables, sorted by gen time — the
+        // in-memory partial aggregate the disk fold merges with.
+        let mem = merge_sorted(sources);
+        let mem_tgs: Vec<Timestamp> = mem.iter().map(|p| p.gen_time).collect();
+        // Any buffered point inside [first, last] shadows (or interleaves
+        // with) the block, so its pre-aggregates can't stand for the merged
+        // result.
+        let overlapped = |first: Timestamp, last: Timestamp| {
+            let i = mem_tgs.partition_point(|&t| t < first);
+            i < mem_tgs.len() && mem_tgs[i] <= last
+        };
+        let shadowed_point = |tg: Timestamp| mem_tgs.binary_search(&tg).is_ok();
+
+        let mut items: Vec<(Timestamp, AggItem)> = Vec::new();
+        let fallback =
+            |read: crate::sstable::RangeRead,
+             blocks: u64,
+             stats: &mut QueryStats,
+             items: &mut Vec<(Timestamp, AggItem)>| {
+                stats.disk_points_scanned += read.points_scanned;
+                stats.blocks_read += read.blocks_read;
+                stats.agg_fallback_blocks += blocks;
+                items.extend(
+                    read.points
+                        .into_iter()
+                        .filter(|p| !shadowed_point(p.gen_time))
+                        .map(|p| (p.gen_time, AggItem::Point(p.value))),
+                );
+            };
+        for meta in self.version.run().overlapping(range) {
+            if self.store.may_contain(meta.id, range)? == Some(false) {
+                stats.tables_pruned += 1;
+                self.obs.emit(|| Event::TablePruned { table: meta.id.0 });
+                continue;
+            }
+            stats.tables_read += 1;
+            let Some(index) = self.store.table_index(meta.id)? else {
+                // No index metadata at all (store without raw reads):
+                // whole-range decode through the ordinary read path.
+                let read = self.store.get_range(meta.id, range)?;
+                let blocks = read.blocks_read.max(1);
+                fallback(read, blocks, stats, &mut items);
+                continue;
+            };
+            for span in &index.blocks {
+                if span.last < range.start || span.first > range.end {
+                    continue;
+                }
+                match span.agg {
+                    Some(agg)
+                        if range.start <= span.first
+                            && span.last <= range.end
+                            && !overlapped(span.first, span.last)
+                            && extra_foldable(span) =>
+                    {
+                        stats.blocks_folded += 1;
+                        items.push((span.first, AggItem::Block(agg)));
+                    }
+                    _ => {
+                        // Block spans are disjoint in generation time, so
+                        // clamping the query to this span decodes exactly
+                        // this block.
+                        let sub = TimeRange::new(
+                            range.start.max(span.first),
+                            range.end.min(span.last),
+                        );
+                        let read = self.store.get_range(meta.id, sub)?;
+                        fallback(read, 1, stats, &mut items);
+                    }
+                }
+            }
+        }
+        items.extend(mem.iter().map(|p| (p.gen_time, AggItem::Point(p.value))));
+        // Start tgs are unique across items: run tables don't overlap,
+        // folded blocks exclude every decoded/buffered tg, and dedup has
+        // already run within mem and against it.
+        items.sort_unstable_by_key(|(tg, _)| *tg);
+        Ok(items)
+    }
+
     /// Point lookup by generation time: MemTables first (freshest wins),
     /// then a binary search of the run.
     ///
@@ -1516,5 +1718,242 @@ mod tests {
         .is_err());
         assert!(Policy::separation(8, 0).is_err());
         assert!(Policy::separation(8, 8).is_err());
+    }
+
+    #[test]
+    fn aggregate_folds_fully_covered_blocks() {
+        // 64 in-order points flush into 8 single-block v3 tables; a query
+        // covering the whole run is answered purely from index
+        // pre-aggregates: no data block is decoded.
+        let mut e = LsmEngine::in_memory(
+            EngineConfig::new(Policy::conventional(16)).with_sstable_points(8),
+        )
+        .expect("engine");
+        for p in in_order_points(64) {
+            e.append(p).expect("append");
+        }
+        assert_eq!(e.buffered_points(), 0);
+        let (agg, stats) =
+            e.aggregate(TimeRange::new(0, 630)).expect("aggregate");
+        assert_eq!(agg.count, 64);
+        assert_eq!(agg.min, 0.0);
+        assert_eq!(agg.max, 63.0);
+        assert_eq!(agg.sum, (0..64).sum::<i64>() as f64);
+        assert_eq!(agg.mean(), Some(agg.sum / 64.0));
+        assert_eq!(stats.blocks_folded, 8);
+        assert_eq!(stats.agg_fallback_blocks, 0);
+        assert_eq!(stats.disk_points_scanned, 0);
+        assert_eq!(stats.blocks_read, 0);
+        assert_eq!(stats.tables_read, 8);
+        assert_eq!(stats.points_returned, 64);
+        // Read amplification of a fully folded aggregate is 0.
+        assert_eq!(stats.read_amplification(), Some(0.0));
+
+        // A range that cuts into the first and last tables decodes exactly
+        // those straddled blocks and folds the middle six.
+        let (agg, stats) =
+            e.aggregate(TimeRange::new(5, 615)).expect("aggregate");
+        assert_eq!(agg.count, 61); // tgs 10..=610
+        assert_eq!(agg.min, 1.0);
+        assert_eq!(agg.max, 61.0);
+        assert_eq!(stats.blocks_folded, 6);
+        assert_eq!(stats.agg_fallback_blocks, 2);
+        assert!(stats.disk_points_scanned > 0);
+    }
+
+    #[test]
+    fn buffered_overlap_forces_agg_fallback() {
+        let mut e = LsmEngine::in_memory(
+            EngineConfig::new(Policy::conventional(16)).with_sstable_points(8),
+        )
+        .expect("engine");
+        for p in in_order_points(64) {
+            e.append(p).expect("append");
+        }
+        // A buffered straggler inside the first table's span poisons that
+        // block's pre-aggregates; the other seven still fold.
+        e.append(DataPoint::new(35, 1_000, 500.0)).expect("append");
+        let (agg, stats) =
+            e.aggregate(TimeRange::new(0, 630)).expect("aggregate");
+        assert_eq!(agg.count, 65);
+        assert_eq!(agg.max, 500.0);
+        assert_eq!(stats.blocks_folded, 7);
+        assert_eq!(stats.agg_fallback_blocks, 1);
+        assert_eq!(stats.mem_points_scanned, 1);
+
+        // An upsert of an on-disk tg must count once, with the MemTable
+        // value winning (last-writer-wins, same as `query`).
+        e.append(DataPoint::new(130, 2_000, -9.0)).expect("append");
+        let (agg, stats) =
+            e.aggregate(TimeRange::new(0, 630)).expect("aggregate");
+        assert_eq!(agg.count, 65);
+        assert_eq!(agg.min, -9.0);
+        assert_eq!(stats.blocks_folded, 6);
+        assert_eq!(stats.agg_fallback_blocks, 2);
+    }
+
+    #[test]
+    fn downsample_folds_only_blocks_within_one_bucket() {
+        let mut e = LsmEngine::in_memory(
+            EngineConfig::new(Policy::conventional(16)).with_sstable_points(8),
+        )
+        .expect("engine");
+        for p in in_order_points(64) {
+            e.append(p).expect("append");
+        }
+        // Bucket width 80 == one table's span: every block folds and each
+        // bucket holds exactly one table's 8 points.
+        let (buckets, stats) = e
+            .downsample(TimeRange::new(0, 630), 80)
+            .expect("downsample");
+        assert_eq!(buckets.len(), 8);
+        assert_eq!(stats.blocks_folded, 8);
+        assert_eq!(stats.agg_fallback_blocks, 0);
+        for (i, (start, agg)) in buckets.iter().enumerate() {
+            assert_eq!(*start, i as i64 * 80);
+            assert_eq!(agg.count, 8);
+            assert_eq!(agg.min, (i * 8) as f64);
+            assert_eq!(agg.max, (i * 8 + 7) as f64);
+        }
+        // Width 50 straddles every block across bucket boundaries: the
+        // pushdown degrades to a full decode but the answer still matches
+        // a per-point reference fold.
+        let (narrow, stats) = e
+            .downsample(TimeRange::new(0, 630), 50)
+            .expect("downsample");
+        assert_eq!(stats.blocks_folded, 0);
+        assert_eq!(stats.agg_fallback_blocks, 8);
+        let total: u64 = narrow.iter().map(|(_, a)| a.count).sum();
+        assert_eq!(total, 64);
+        assert!(e.downsample(TimeRange::new(0, 10), 0).is_err());
+    }
+
+    #[test]
+    fn folded_aggregate_faults_no_data_blocks_into_cache() {
+        use crate::cache::BlockCache;
+        use std::sync::Arc;
+
+        // A fully folded aggregate plans from the cached index alone: the
+        // block cache sees no data-block traffic at all (no hits, no
+        // misses, no new residents), while a point query over the same
+        // range does fault blocks.
+        let cache = BlockCache::with_capacity(64 * 1024);
+        let mut e = OpenOptions::new(
+            EngineConfig::new(Policy::separation(8, 4).expect("policy"))
+                .with_sstable_points(8),
+        )
+        .store(Arc::new(crate::store::MemStore::default()))
+        .cache(Arc::clone(&cache))
+        .open()
+        .expect("engine");
+        for p in in_order_points(64) {
+            e.append(p).expect("append");
+        }
+        let before = cache.stats();
+        let (agg, stats) =
+            e.aggregate(TimeRange::new(0, 630)).expect("aggregate");
+        assert_eq!(agg.count, 64);
+        // C_seq capacity is 4 (n_seq of π_s(8, 4)): 16 appended tables.
+        assert_eq!(stats.blocks_folded, 16);
+        let after = cache.stats();
+        assert_eq!(
+            (after.hits, after.misses, after.resident_blocks),
+            (before.hits, before.misses, before.resident_blocks),
+            "a folded pushdown must not touch data blocks"
+        );
+        let (hits, _) = e.query(TimeRange::new(0, 630)).expect("query");
+        assert_eq!(hits.len(), 64);
+        assert!(cache.stats().hits + cache.stats().misses > before.misses);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(
+            proptest::prelude::ProptestConfig::with_cases(32)
+        )]
+
+        /// The pushdown correctness anchor: `aggregate` and `downsample`
+        /// are bit-identical to folding over `query` results on arbitrary
+        /// out-of-order histories, on v3 stores (mixed fold/decode plans)
+        /// and on v2 stores, where tables carry no pre-aggregates and
+        /// always take the decode path. Integer-valued samples keep the
+        /// f64 sum associative, so even `sum` is exact.
+        #[test]
+        fn pushdown_matches_query_fold(
+            raw in proptest::collection::vec(
+                (-50i64..400, -1_000i32..1_000),
+                1..150,
+            ),
+            bounds in (-100i64..500, -100i64..500),
+            width in 1i64..64,
+        ) {
+            use crate::sstable::EncodeOptions;
+            use crate::store::MemStore;
+            use std::sync::Arc;
+
+            let range = TimeRange::new(
+                bounds.0.min(bounds.1),
+                bounds.0.max(bounds.1),
+            );
+            for v3 in [true, false] {
+                let options = if v3 {
+                    EncodeOptions::pruned()
+                } else {
+                    EncodeOptions::compressed()
+                };
+                let store = Arc::new(MemStore::with_options(options));
+                let mut e = LsmEngine::new(
+                    EngineConfig::new(Policy::conventional(7))
+                        .with_sstable_points(5),
+                    store,
+                )
+                .expect("engine");
+                for &(tg, v) in &raw {
+                    e.append(DataPoint::new(tg, tg, f64::from(v)))
+                        .expect("append");
+                }
+                let (pts, _) = e.query(range).expect("query");
+                let mut want = crate::query::Agg::default();
+                for p in &pts {
+                    want.merge_point(p.value);
+                }
+                let (got, stats) = e.aggregate(range).expect("aggregate");
+                proptest::prop_assert!(
+                    got.bits_eq(&want),
+                    "aggregate mismatch (v3={}): {:?} vs {:?}",
+                    v3,
+                    got,
+                    want
+                );
+                if !v3 {
+                    proptest::prop_assert_eq!(stats.blocks_folded, 0);
+                }
+                let mut reference = std::collections::BTreeMap::<
+                    Timestamp,
+                    crate::query::Agg,
+                >::new();
+                for p in &pts {
+                    reference
+                        .entry(p.gen_time.div_euclid(width) * width)
+                        .or_default()
+                        .merge_point(p.value);
+                }
+                let (buckets, _) =
+                    e.downsample(range, width).expect("downsample");
+                proptest::prop_assert_eq!(buckets.len(), reference.len());
+                for ((got_tg, got_agg), (want_tg, want_agg)) in
+                    buckets.iter().zip(reference.iter())
+                {
+                    proptest::prop_assert_eq!(got_tg, want_tg);
+                    proptest::prop_assert!(
+                        got_agg.bits_eq(want_agg),
+                        "bucket {} mismatch (v3={}): {:?} vs {:?}",
+                        got_tg,
+                        v3,
+                        got_agg,
+                        want_agg
+                    );
+                }
+            }
+        }
     }
 }

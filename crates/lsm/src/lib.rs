@@ -132,12 +132,13 @@ pub use obs::{
     ManifestRecordKind, NullSink, Observer, ObserverHandle, RecoveryStepKind,
     RingBufferSink,
 };
-pub use query::{DiskModel, QueryStats};
+pub use query::{Agg, Bucket, DiskModel, QueryStats};
 pub use recovery::{
     QuarantinedTable, RecoveryMode, RecoveryOptions, RecoveryReport,
 };
 pub use sstable::{
-    BlockSpan, Compression, EncodeOptions, SsTableId, SsTableMeta, TableIndex,
+    BlockAggregates, BlockSpan, Compression, EncodeOptions, SsTableId,
+    SsTableMeta, TableIndex,
 };
 pub use store::{sync_dir, CachedStore, FileStore, MemStore, TableStore};
 pub use version::{Version, VersionEdit};

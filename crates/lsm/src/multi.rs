@@ -587,6 +587,52 @@ impl MultiSeriesEngine {
         engine.query(range)
     }
 
+    /// Aggregation pushdown against one series: delegates to
+    /// [`LsmEngine::aggregate`], folding v3 index pre-aggregates where the
+    /// plan allows and decoding the rest. Heats the series exactly like
+    /// [`query`](Self::query) — a pushed-down aggregate is still a read
+    /// for the memory arbiter.
+    ///
+    /// # Errors
+    /// [`Error::UnknownSeries`] for an unknown series; storage failures.
+    pub fn aggregate(
+        &self,
+        series: SeriesId,
+        range: TimeRange,
+    ) -> Result<(crate::query::Agg, QueryStats)> {
+        let engine = self
+            .series
+            .get(&series)
+            .ok_or(Error::UnknownSeries(series.0))?;
+        if let Some(arb) = &self.arbiter {
+            arb.lock().record_query(series.0);
+        }
+        engine.aggregate(range)
+    }
+
+    /// Downsampling pushdown against one series: delegates to
+    /// [`LsmEngine::downsample`] with the same arbiter heating as
+    /// [`query`](Self::query).
+    ///
+    /// # Errors
+    /// [`Error::UnknownSeries`], a non-positive `bucket_width`, or storage
+    /// failures.
+    pub fn downsample(
+        &self,
+        series: SeriesId,
+        range: TimeRange,
+        bucket_width: i64,
+    ) -> Result<(Vec<crate::query::Bucket>, QueryStats)> {
+        let engine = self
+            .series
+            .get(&series)
+            .ok_or(Error::UnknownSeries(series.0))?;
+        if let Some(arb) = &self.arbiter {
+            arb.lock().record_query(series.0);
+        }
+        engine.downsample(range, bucket_width)
+    }
+
     /// Switches the buffering policy of one series (e.g. after a per-series
     /// tuning decision). Delegates to [`LsmEngine::set_policy`], so the
     /// buffered points migrate through the same
@@ -980,6 +1026,38 @@ mod tests {
         assert!(!m.engine(SeriesId(1)).expect("s1").policy().is_separation());
         assert!(m.engine(SeriesId(2)).expect("s2").policy().is_separation());
         assert!(m.set_policy(SeriesId(3), Policy::conventional(8)).is_err());
+    }
+
+    #[test]
+    fn fleet_aggregate_and_downsample_push_down_per_series() {
+        let mut m = MultiSeriesEngine::in_memory(config());
+        for i in 0..32i64 {
+            m.append(SeriesId(1), DataPoint::new(i * 10, i * 10, i as f64))
+                .expect("append");
+            m.append(SeriesId(2), DataPoint::new(i * 10, i * 10, -1.0))
+                .expect("append");
+        }
+        let range = TimeRange::new(0, 310);
+        let (agg, stats) = m.aggregate(SeriesId(1), range).expect("agg");
+        assert_eq!(agg.count, 32);
+        assert_eq!(agg.max, 31.0);
+        assert!(stats.blocks_folded > 0, "flushed v3 tables must fold");
+        // Series isolation holds on the pushdown path too.
+        let (other, _) = m.aggregate(SeriesId(2), range).expect("agg");
+        assert_eq!((other.min, other.max), (-1.0, -1.0));
+        let (buckets, _) =
+            m.downsample(SeriesId(1), range, 80).expect("downsample");
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0].0, 0);
+        assert_eq!(buckets[0].1.count, 8);
+        assert!(matches!(
+            m.aggregate(SeriesId(9), range),
+            Err(Error::UnknownSeries(9))
+        ));
+        assert!(matches!(
+            m.downsample(SeriesId(9), range, 10),
+            Err(Error::UnknownSeries(9))
+        ));
     }
 
     #[test]

@@ -356,10 +356,22 @@ pub enum Event {
         /// The decayed heat, in fixed-point 1/256ths of a point.
         heat: u64,
     },
+    /// An aggregation/downsampling query answered blocks from v3 index
+    /// pre-aggregates alone — zero data-block bytes for those blocks.
+    AggPushdown {
+        /// Blocks folded from the index without decoding.
+        blocks_folded: u64,
+    },
+    /// An aggregation/downsampling query had to decode blocks after all
+    /// (range straddle, newer-data overlap, or no usable pre-aggregates).
+    AggFallback {
+        /// Blocks decoded on the fallback path.
+        blocks: u64,
+    },
 }
 
 /// Number of distinct [`Event`] kinds (for fixed-size counter registries).
-pub const EVENT_KINDS: usize = 27;
+pub const EVENT_KINDS: usize = 29;
 
 impl Event {
     /// Stable event-kind name, used as the JSONL `event` field and the
@@ -393,6 +405,8 @@ impl Event {
             Self::ArbiterRebalance { .. } => "arbiter_rebalance",
             Self::PolicyRetuned { .. } => "policy_retuned",
             Self::HeatSample { .. } => "heat_sample",
+            Self::AggPushdown { .. } => "agg_pushdown",
+            Self::AggFallback { .. } => "agg_fallback",
         }
     }
 
@@ -426,6 +440,8 @@ impl Event {
             Self::ArbiterRebalance { .. } => 24,
             Self::PolicyRetuned { .. } => 25,
             Self::HeatSample { .. } => 26,
+            Self::AggPushdown { .. } => 27,
+            Self::AggFallback { .. } => 28,
         }
     }
 
@@ -459,6 +475,8 @@ impl Event {
             "arbiter_rebalance",
             "policy_retuned",
             "heat_sample",
+            "agg_pushdown",
+            "agg_fallback",
         ];
         NAMES.get(k).copied().unwrap_or("unknown")
     }
@@ -589,6 +607,12 @@ impl Event {
             }
             Self::HeatSample { series, heat } => {
                 let _ = write!(out, ",\"series\":{series},\"heat\":{heat}");
+            }
+            Self::AggPushdown { blocks_folded } => {
+                let _ = write!(out, ",\"blocks_folded\":{blocks_folded}");
+            }
+            Self::AggFallback { blocks } => {
+                let _ = write!(out, ",\"blocks\":{blocks}");
             }
         }
     }
@@ -1220,6 +1244,8 @@ mod tests {
                 n_seq: 0,
             },
             Event::HeatSample { series: 0, heat: 0 },
+            Event::AggPushdown { blocks_folded: 0 },
+            Event::AggFallback { blocks: 0 },
         ];
         assert_eq!(samples.len(), EVENT_KINDS);
         for (i, e) in samples.iter().enumerate() {

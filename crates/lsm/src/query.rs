@@ -6,25 +6,48 @@
 //! and query latency on an HDD, which is dominated by one seek per SSTable
 //! touched. [`QueryStats`] records exactly the counts both need.
 
-/// Per-query counters filled in by [`LsmEngine::query`](crate::LsmEngine::query).
+use seplsm_types::Timestamp;
+
+use crate::sstable::BlockAggregates;
+
+/// Per-query counters filled in by [`LsmEngine::query`](crate::LsmEngine::query)
+/// and the aggregation pushdown path
+/// ([`LsmEngine::aggregate`](crate::LsmEngine::aggregate) /
+/// [`LsmEngine::downsample`](crate::LsmEngine::downsample)).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// SSTables whose range intersected the query (each costs one seek).
     pub tables_read: u64,
-    /// Points read from those SSTables (whole tables are read, as in IoTDB's
-    /// chunk-granularity reads — this is what inflates read amplification).
+    /// Points decoded from those SSTables' data blocks. Reads are
+    /// block-granular since the v2 index: only the blocks whose time span
+    /// overlaps the query are decoded, and every point in a decoded block
+    /// counts here whether or not it matched. Folded blocks (see
+    /// `blocks_folded`) decode nothing, so their points never appear here —
+    /// which is exactly how pushdown lowers read amplification.
     pub disk_points_scanned: u64,
     /// Blocks decoded when the engine runs with block-granular reads
     /// (zero in whole-table mode).
     pub blocks_read: u64,
     /// Matching points found in MemTables (already in memory; no seek).
     pub mem_points_scanned: u64,
-    /// Points in the final result set.
+    /// Points in the final result set (for an aggregate query: points the
+    /// aggregate covers).
     pub points_returned: u64,
     /// Tables skipped by the pruning filter (v3): their range intersected
     /// the query but index/filter metadata proved them empty of matches, so
     /// no data blocks were touched and no seek was paid.
     pub tables_pruned: u64,
+    /// Blocks answered from v3 index pre-aggregates alone during an
+    /// aggregation/downsampling pushdown — zero data-block bytes fetched,
+    /// zero points decoded. A folded block contributes to `points_returned`
+    /// (its points are covered by the result) without adding to
+    /// `disk_points_scanned`, so heavy folding drives
+    /// [`read_amplification`](Self::read_amplification) *below* 1.
+    pub blocks_folded: u64,
+    /// Blocks an aggregation pushdown had to decode after all: the block
+    /// straddles the query range, is overlapped by newer (MemTable) data,
+    /// or sits in a table without usable pre-aggregates (v1/v2/legacy-v3).
+    pub agg_fallback_blocks: u64,
 }
 
 impl QueryStats {
@@ -47,8 +70,99 @@ impl QueryStats {
         self.mem_points_scanned += other.mem_points_scanned;
         self.points_returned += other.points_returned;
         self.tables_pruned += other.tables_pruned;
+        self.blocks_folded += other.blocks_folded;
+        self.agg_fallback_blocks += other.agg_fallback_blocks;
     }
 }
+
+/// The result of an aggregation (or one downsampling bucket): the classic
+/// min/max/sum/count quartet, foldable from either raw points or v3 index
+/// pre-aggregates so the pushdown and decode paths produce bit-identical
+/// answers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Agg {
+    /// Smallest value (`f64::min` fold; `+inf` while empty).
+    pub min: f64,
+    /// Largest value (`f64::max` fold; `-inf` while empty).
+    pub max: f64,
+    /// Sum of values (in-order fold).
+    pub sum: f64,
+    /// Points covered.
+    pub count: u64,
+}
+
+impl Default for Agg {
+    fn default() -> Self {
+        Self {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            count: 0,
+        }
+    }
+}
+
+impl Agg {
+    /// Whether any point has been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds one decoded point's value in.
+    pub fn merge_point(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+            self.sum = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+            self.sum += value;
+        }
+        self.count += 1;
+    }
+
+    /// Folds one block's index pre-aggregates in — the pushdown step that
+    /// replaces decoding the block. Mirrors `merge_point` applied to each
+    /// of the block's points in order.
+    pub fn merge_block(&mut self, block: &BlockAggregates) {
+        if block.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = block.min;
+            self.max = block.max;
+            self.sum = block.sum;
+        } else {
+            self.min = self.min.min(block.min);
+            self.max = self.max.max(block.max);
+            self.sum += block.sum;
+        }
+        self.count += u64::from(block.count);
+    }
+
+    /// The mean, or `None` for an empty aggregate.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(self.sum / self.count as f64)
+    }
+
+    /// Bitwise equality (exact even for NaN and signed zero) — what the
+    /// pushdown-vs-decode equivalence proptest asserts.
+    pub fn bits_eq(&self, other: &Self) -> bool {
+        self.min.to_bits() == other.min.to_bits()
+            && self.max.to_bits() == other.max.to_bits()
+            && self.sum.to_bits() == other.sum.to_bits()
+            && self.count == other.count
+    }
+}
+
+/// One downsampling bucket: the bucket's start timestamp (inclusive, a
+/// multiple of the bucket width by euclidean division) and the aggregate
+/// over the points that fall in it.
+pub type Bucket = (Timestamp, Agg);
 
 /// A simulated rotating-disk cost model.
 ///
@@ -135,6 +249,57 @@ mod tests {
         assert_eq!(a.tables_read, 2);
         assert_eq!(a.disk_points_scanned, 20);
         assert_eq!(a.points_returned, 10);
+    }
+
+    #[test]
+    fn agg_merge_block_matches_per_point_fold() {
+        let values = [3.0, -1.5, 7.25, 0.0, 2.5];
+        let mut by_point = Agg::default();
+        for v in values {
+            by_point.merge_point(v);
+        }
+        let block = BlockAggregates {
+            min: -1.5,
+            max: 7.25,
+            sum: values.iter().sum(),
+            count: values.len() as u32,
+        };
+        let mut by_block = Agg::default();
+        by_block.merge_block(&block);
+        assert!(by_point.bits_eq(&by_block));
+        assert_eq!(by_point.mean(), Some(by_point.sum / 5.0));
+    }
+
+    #[test]
+    fn empty_agg_merges_are_identity() {
+        let mut agg = Agg::default();
+        assert!(agg.is_empty());
+        assert_eq!(agg.mean(), None);
+        agg.merge_block(&BlockAggregates {
+            min: 9.0,
+            max: 9.0,
+            sum: 9.0,
+            count: 0,
+        });
+        assert!(agg.is_empty());
+        agg.merge_point(4.0);
+        assert_eq!((agg.min, agg.max, agg.sum, agg.count), (4.0, 4.0, 4.0, 1));
+    }
+
+    #[test]
+    fn folded_blocks_lower_read_amplification() {
+        // 2 of 3 blocks folded: only one block's points were scanned, but
+        // the aggregate covers all 3 blocks' points.
+        let s = QueryStats {
+            tables_read: 1,
+            disk_points_scanned: 128,
+            blocks_read: 1,
+            blocks_folded: 2,
+            agg_fallback_blocks: 1,
+            points_returned: 384,
+            ..QueryStats::default()
+        };
+        assert!(s.read_amplification().expect("non-empty") < 1.0);
     }
 
     #[test]

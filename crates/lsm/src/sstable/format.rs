@@ -50,7 +50,8 @@
 //!             ++ Gorilla XOR values ++ block_crc u32        (same as v2)
 //! index blk = count u32 | min_tg i64 | max_tg i64 | block_count u32
 //!             | per block: first i64, last i64, count u32, offset u32,
-//!               len u32, min_val f64, max_val f64, sum f64  | index_crc u32
+//!               len u32, min_val f64, max_val f64, sum f64,
+//!               agg_count u32                               | index_crc u32
 //! filterblk = TableFilter wire format (own CRC)
 //! metaindex = index_off u64 | index_len u32 | filter_off u64
 //!             | filter_len u32 | metaindex_crc u32           (28 bytes)
@@ -371,6 +372,7 @@ fn build_blocks(points: &[DataPoint], block_points: usize) -> Vec<BlockBuild> {
                 min: 0.0,
                 max: 0.0,
                 sum: 0.0,
+                count: 0,
             }),
             payload,
         });
@@ -590,8 +592,12 @@ fn decode_v2_full(data: &[u8]) -> Result<Vec<DataPoint>> {
 /// max(8) + block_points(4) + header_crc(4).
 const V3_FIXED: usize = 36;
 /// v3 index entry: first(8) + last(8) + count(4) + offset(4) + len(4) +
-/// min_val(8) + max_val(8) + sum(8).
-const V3_INDEX_ENTRY: usize = 52;
+/// min_val(8) + max_val(8) + sum(8) + agg_count(4).
+const V3_INDEX_ENTRY: usize = 56;
+/// The pre-`agg_count` v3 index entry width. Tables written before the
+/// aggregate count was added parse fine — their blocks just take the
+/// decode path instead of the pushdown fold (`agg: None`).
+const V3_INDEX_ENTRY_LEGACY: usize = 52;
 /// v3 index block prefix: count(4) + min_tg(8) + max_tg(8) + block_count(4).
 const V3_INDEX_FIXED: usize = 24;
 /// v3 metaindex block: index span (8+4) + filter span (8+4) + crc(4).
@@ -628,6 +634,10 @@ pub struct BlockAggregates {
     pub max: f64,
     /// Sum of the block's values (in-order fold, so it is deterministic).
     pub sum: f64,
+    /// Points folded into the aggregate — redundant with the index entry's
+    /// structural count, which gives the audit a free cross-check and lets
+    /// a pushdown `mean` come straight off the index.
+    pub count: u32,
 }
 
 impl BlockAggregates {
@@ -637,6 +647,7 @@ impl BlockAggregates {
         self.min.to_bits() == other.min.to_bits()
             && self.max.to_bits() == other.max.to_bits()
             && self.sum.to_bits() == other.sum.to_bits()
+            && self.count == other.count
     }
 }
 
@@ -649,11 +660,13 @@ pub fn block_aggregates(points: &[DataPoint]) -> Option<BlockAggregates> {
         min: first.value,
         max: first.value,
         sum: first.value,
+        count: 1,
     };
     for p in rest {
         agg.min = agg.min.min(p.value);
         agg.max = agg.max.max(p.value);
         agg.sum += p.value;
+        agg.count += 1;
     }
     Some(agg)
 }
@@ -668,13 +681,31 @@ pub fn sniff_version(data: &[u8]) -> Option<u16> {
 }
 
 fn encode_v3(points: &[DataPoint], block_points: usize) -> Result<Bytes> {
+    encode_v3_impl(points, block_points, V3_INDEX_ENTRY)
+}
+
+/// Encodes the pre-`agg_count` v3 layout (52-byte index entries) — kept
+/// only so tests can prove the legacy decode fallback keeps working.
+#[cfg(test)]
+fn encode_v3_legacy(
+    points: &[DataPoint],
+    block_points: usize,
+) -> Result<Bytes> {
+    encode_v3_impl(points, block_points, V3_INDEX_ENTRY_LEGACY)
+}
+
+fn encode_v3_impl(
+    points: &[DataPoint],
+    block_points: usize,
+    entry_width: usize,
+) -> Result<Bytes> {
     validate_input(points)?;
     let blocks = build_blocks(points, block_points);
     let gen_times: Vec<i64> = points.iter().map(|p| p.gen_time).collect();
     let filter = TableFilter::build(&gen_times)?;
 
     let data_len: usize = blocks.iter().map(|b| b.payload.len()).sum();
-    let index_len = V3_INDEX_FIXED + blocks.len() * V3_INDEX_ENTRY + 4;
+    let index_len = V3_INDEX_FIXED + blocks.len() * entry_width + 4;
     let mut buf = BytesMut::with_capacity(
         V3_FIXED
             + data_len
@@ -718,6 +749,9 @@ fn encode_v3(points: &[DataPoint], block_points: usize) -> Result<Bytes> {
         buf.put_u64_le(b.agg.min.to_bits());
         buf.put_u64_le(b.agg.max.to_bits());
         buf.put_u64_le(b.agg.sum.to_bits());
+        if entry_width == V3_INDEX_ENTRY {
+            buf.put_u32_le(b.agg.count);
+        }
         offset += b.payload.len() as u32;
     }
     let index_crc = crc32(&buf[index_off..]);
@@ -830,27 +864,56 @@ pub fn parse_v3_index(bytes: &[u8]) -> Result<TableIndex> {
     let min_tg = codec::read_i64_le(body, 4)?;
     let max_tg = codec::read_i64_le(body, 12)?;
     let block_count = codec::read_u32_le(body, 20)? as usize;
-    if body.len() != V3_INDEX_FIXED + block_count * V3_INDEX_ENTRY {
+    // Two generations of index entry share the wire format: current entries
+    // carry a trailing agg_count (56 bytes); legacy ones stop after the sum
+    // (52 bytes). The body length names the width unambiguously because
+    // block_count >= 1 (count == 0 is rejected below).
+    let entry_width = if body.len()
+        == V3_INDEX_FIXED + block_count * V3_INDEX_ENTRY
+    {
+        V3_INDEX_ENTRY
+    } else if body.len() == V3_INDEX_FIXED + block_count * V3_INDEX_ENTRY_LEGACY
+    {
+        V3_INDEX_ENTRY_LEGACY
+    } else {
         return Err(Error::Corrupt(format!(
             "v3 index length {} disagrees with {block_count} blocks",
             bytes.len()
         )));
-    }
+    };
     let mut blocks = Vec::with_capacity(block_count);
     let mut total: u64 = 0;
     for i in 0..block_count {
-        let at = V3_INDEX_FIXED + i * V3_INDEX_ENTRY;
-        let span = BlockSpan {
-            first: codec::read_i64_le(body, at)?,
-            last: codec::read_i64_le(body, at + 8)?,
-            count: codec::read_u32_le(body, at + 16)?,
-            offset: codec::read_u32_le(body, at + 20)?,
-            len: codec::read_u32_le(body, at + 24)?,
-            agg: Some(BlockAggregates {
+        let at = V3_INDEX_FIXED + i * entry_width;
+        let count = codec::read_u32_le(body, at + 16)?;
+        // Legacy entries have no aggregate count, so their pre-aggregates
+        // cannot feed the pushdown fold — leave them as `agg: None` and the
+        // planner takes the decode path for the whole table.
+        let agg = if entry_width == V3_INDEX_ENTRY {
+            let agg = BlockAggregates {
                 min: f64::from_bits(codec::read_u64_le(body, at + 28)?),
                 max: f64::from_bits(codec::read_u64_le(body, at + 36)?),
                 sum: f64::from_bits(codec::read_u64_le(body, at + 44)?),
-            }),
+                count: codec::read_u32_le(body, at + 52)?,
+            };
+            if agg.count != count {
+                return Err(Error::Corrupt(format!(
+                    "v3 index entry {i} aggregate count {} disagrees with \
+                     block count {count}",
+                    agg.count
+                )));
+            }
+            Some(agg)
+        } else {
+            None
+        };
+        let span = BlockSpan {
+            first: codec::read_i64_le(body, at)?,
+            last: codec::read_i64_le(body, at + 8)?,
+            count,
+            offset: codec::read_u32_le(body, at + 20)?,
+            len: codec::read_u32_le(body, at + 24)?,
+            agg,
         };
         total += u64::from(span.count);
         blocks.push(span);
@@ -945,12 +1008,16 @@ fn decode_v3_full(data: &[u8]) -> Result<Vec<DataPoint>> {
     let mut points = Vec::with_capacity(index.count);
     for (b, span) in index.blocks.iter().enumerate() {
         let block = decode_index_block(data, &index, b)?;
-        match (block_aggregates(&block), span.agg) {
-            (Some(actual), Some(stored)) if actual.bits_eq(&stored) => {}
-            _ => {
-                return Err(Error::Corrupt(
-                    "v3 block aggregates disagree with index".into(),
-                ))
+        // Legacy (pre-agg_count) entries carry no pre-aggregates to audit;
+        // everything else must match the recomputed fold bitwise.
+        if let Some(stored) = span.agg {
+            match block_aggregates(&block) {
+                Some(actual) if actual.bits_eq(&stored) => {}
+                _ => {
+                    return Err(Error::Corrupt(
+                        "v3 block aggregates disagree with index".into(),
+                    ))
+                }
             }
         }
         points.extend(block);
@@ -1706,6 +1773,51 @@ mod tests {
             all.extend(block);
         }
         assert_eq!(all, pts);
+    }
+
+    #[test]
+    fn v3_legacy_entries_parse_without_aggregates_and_still_decode() {
+        let pts = sample_points(300); // 3 blocks: 128 + 128 + 44
+        let bytes = encode_v3_legacy(&pts, 128).expect("encode legacy");
+        assert_eq!(sniff_version(&bytes), Some(VERSION_PRUNED));
+        let index = read_table_index(&bytes).expect("index");
+        assert_eq!(index.blocks.len(), 3);
+        assert!(index.blocks.iter().all(|b| b.agg.is_none()));
+        // Full decode (the audit path) must not demand aggregates …
+        assert_eq!(decode(&bytes).expect("decode"), pts);
+        // … and ranged reads still work block-granularly.
+        let range = seplsm_types::TimeRange::new(
+            1_000_000 + 130 * 50,
+            1_000_000 + 140 * 50,
+        );
+        let read = decode_range(&bytes, range).expect("range read");
+        assert_eq!(read.blocks_read, 1);
+        assert_eq!(read.points.len(), 11);
+    }
+
+    #[test]
+    fn v3_rejects_lying_aggregate_count() {
+        // An entry whose agg_count disagrees with its structural count must
+        // be rejected at parse time, before any fold trusts it.
+        let pts = sample_points(64);
+        let bytes = encode_with(&pts, &EncodeOptions::pruned())
+            .expect("encode")
+            .to_vec();
+        let meta = parse_v3_footer(&bytes).expect("footer");
+        let (index_span, _) = parse_v3_metaindex(
+            &bytes[meta.offset as usize..meta.end() as usize],
+        )
+        .expect("metaindex");
+        let mut bad = bytes.clone();
+        // First entry's agg_count lives at +52 within the entry.
+        let at = index_span.offset as usize + V3_INDEX_FIXED + 52;
+        bad[at] ^= 0x01;
+        // Re-seal the index CRC so only the count lie remains.
+        let body_end = index_span.end() as usize - 4;
+        let crc = crc32(&bad[index_span.offset as usize..body_end]);
+        bad[body_end..body_end + 4].copy_from_slice(&crc.to_le_bytes());
+        let err = read_table_index(&bad).expect_err("lying agg_count");
+        assert!(err.to_string().contains("aggregate count"), "{err}");
     }
 
     #[test]

@@ -158,6 +158,16 @@ pub trait TableStore: Send + Sync {
     fn note_short_lived(&self, id: SsTableId) {
         let _ = id;
     }
+
+    /// The table's parsed [`TableIndex`], or `Ok(None)` if the store cannot
+    /// serve index metadata (no raw bytes, no ranged reads). The default
+    /// loads it fresh on every call via [`load_index`]; the [`CachedStore`]
+    /// overrides this to serve the shared index cache, which is what lets
+    /// aggregation pushdown plan whole tables without faulting a single
+    /// data block.
+    fn table_index(&self, id: SsTableId) -> Result<Option<Arc<TableIndex>>> {
+        Ok(load_index(self, id)?.map(|(index, _)| Arc::new(index)))
+    }
 }
 
 /// Slices `span` out of a whole in-memory table, validating bounds.
@@ -185,8 +195,8 @@ fn slice_span(bytes: &Bytes, span: ByteSpan) -> Result<Bytes> {
 /// without a second read).
 ///
 /// [`read_raw`]: TableStore::read_raw
-pub fn load_index(
-    store: &dyn TableStore,
+pub fn load_index<S: TableStore + ?Sized>(
+    store: &S,
     id: SsTableId,
 ) -> Result<Option<(TableIndex, Option<Bytes>)>> {
     if let Some(len) = store.table_len(id)? {
@@ -215,8 +225,8 @@ pub fn load_index(
 
 /// The v3 arm of [`load_index`]: the footer named a metaindex span; fetch
 /// metaindex, index and filter blocks by range and assemble the index.
-fn load_index_v3(
-    store: &dyn TableStore,
+fn load_index_v3<S: TableStore + ?Sized>(
+    store: &S,
     id: SsTableId,
     len: u64,
     meta_span: ByteSpan,
@@ -848,6 +858,14 @@ impl TableStore for CachedStore {
             Some(index) => Ok(Some(index.may_contain(range))),
             None => self.inner.may_contain(id, range),
         }
+    }
+
+    fn table_index(&self, id: SsTableId) -> Result<Option<Arc<TableIndex>>> {
+        // Served from the shared index cache when warm; a cold lookup does
+        // a ranged footer walk (v3) or one raw read (v1/v2), never a data
+        // block — so a pushdown plan over cached indexes is I/O-free.
+        let mut raw = None;
+        self.index_for(id, &mut raw)
     }
 }
 

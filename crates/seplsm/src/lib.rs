@@ -37,15 +37,15 @@ pub use seplsm_core::{
 pub use seplsm_dist::{DelayDistribution, Empirical, LogNormal};
 pub use seplsm_lsm::{
     sync_dir, AdmissionController, AdmissionDecision, AdmissionDepth,
-    AdmissionOutcome, AdmissionStats, AggregateReport, AggregateSink, Arbiter,
-    ArbiterConfig, ArbiterStats, BlockCache, CacheConfig, CachePriority, Clock,
-    Compression, DegradedOp, DegradedReason, DegradedState, DiskModel,
-    EncodeOptions, EngineConfig, Event, FanoutSink, Fault, FaultPlan,
-    FaultStore, FileStore, Histogram, IoOp, IoPacer, JsonlSink, LogicalClock,
-    LsmEngine, Manifest, ManifestRecordKind, MemStore, MultiOpenOptions,
-    MultiSeriesEngine, NullSink, Observer, ObserverHandle, OpenOptions,
-    PaceDecision, PacerStats, QuarantinedTable, QueryStats, Rebalance,
-    RecoveryMode, RecoveryOptions, RecoveryReport, RecoveryStepKind,
+    AdmissionOutcome, AdmissionStats, Agg, AggregateReport, AggregateSink,
+    Arbiter, ArbiterConfig, ArbiterStats, BlockCache, Bucket, CacheConfig,
+    CachePriority, Clock, Compression, DegradedOp, DegradedReason,
+    DegradedState, DiskModel, EncodeOptions, EngineConfig, Event, FanoutSink,
+    Fault, FaultPlan, FaultStore, FileStore, Histogram, IoOp, IoPacer,
+    JsonlSink, LogicalClock, LsmEngine, Manifest, ManifestRecordKind, MemStore,
+    MultiOpenOptions, MultiSeriesEngine, NullSink, Observer, ObserverHandle,
+    OpenOptions, PaceDecision, PacerStats, QuarantinedTable, QueryStats,
+    Rebalance, RecoveryMode, RecoveryOptions, RecoveryReport, RecoveryStepKind,
     RetryBackoff, RingBufferSink, SeriesAssignment, SeriesId, TableStore,
     TieredEngine, TieredOpenOptions, TieredReport, Wal, Watermarks,
 };
@@ -53,9 +53,9 @@ pub use seplsm_types::{
     DataPoint, Error, Policy, Result, TimeRange, Timestamp,
 };
 pub use seplsm_workload::{
-    paper_dataset, DynamicWorkload, HistoricalQueries, PaperDataset,
-    RecentQueries, S9Workload, SyntheticWorkload, VehicleWorkload,
-    PAPER_DATASETS,
+    paper_dataset, AggQuery, AggregationWorkload, DynamicWorkload,
+    HistoricalQueries, PaperDataset, RecentQueries, S9Workload,
+    SyntheticWorkload, VehicleWorkload, PAPER_DATASETS,
 };
 
 /// The working set for typical programs: engine configuration, the three

@@ -1,0 +1,223 @@
+//! Windowed-aggregation query mix over bursty out-of-order arrivals — the
+//! analytics-pushdown scenario.
+//!
+//! Monitoring fleets rarely read raw points: dashboards ask for
+//! `min`/`max`/`mean` over a recent window, downsampled into fixed buckets.
+//! Meanwhile the write side is a steady in-order stream punctuated by
+//! *bursts* of stragglers (a device reconnecting and re-sending buffered
+//! history), so at any moment some generation-time region near the
+//! re-sends is overlapped by fresh MemTable data while the rest of the run
+//! is cold and clean. That split is exactly what the v3 aggregation
+//! pushdown exploits: clean blocks fold from index pre-aggregates, the
+//! burst-touched region decodes.
+//!
+//! [`AggregationWorkload`] generates both halves deterministically: the
+//! bursty arrival stream ([`generate`](AggregationWorkload::generate)) and
+//! the query mix ([`queries`](AggregationWorkload::queries)) of
+//! whole-window aggregates interleaved with bucketed downsamples. Values
+//! are integer-valued `f64`s, keeping the folded `sum` bit-identical to a
+//! per-point fold (the pushdown equivalence domain).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seplsm_types::{DataPoint, TimeRange, Timestamp};
+
+/// One query of the mix: a window, aggregated whole or downsampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggQuery {
+    /// The generation-time window to aggregate.
+    pub range: TimeRange,
+    /// `Some(width)` for a downsampling query (one aggregate per
+    /// `width`-sized bucket); `None` for a single whole-window aggregate.
+    pub bucket_width: Option<Timestamp>,
+}
+
+/// Generator for the windowed-aggregation scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct AggregationWorkload {
+    /// In-order points in the base stream.
+    pub points: usize,
+    /// Generation interval of the base stream.
+    pub delta_t: Timestamp,
+    /// Per-point probability that a straggler burst fires after it.
+    pub burst_prob: f64,
+    /// Stragglers per burst (a device draining its re-send buffer).
+    pub burst_len: usize,
+    /// How far back (in generation time) burst stragglers reach.
+    pub max_lag: Timestamp,
+    /// Number of queries in the mix.
+    pub query_count: usize,
+    /// Window length of each query.
+    pub window: Timestamp,
+    /// Bucket width used by the downsampling share of the mix.
+    pub bucket_width: Timestamp,
+    /// Every n-th query downsamples instead of aggregating whole.
+    pub downsample_every: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AggregationWorkload {
+    fn default() -> Self {
+        Self {
+            points: 50_000,
+            delta_t: 50,
+            burst_prob: 0.01,
+            burst_len: 40,
+            max_lag: 20_000,
+            query_count: 64,
+            window: 100_000,
+            bucket_width: 10_000,
+            downsample_every: 3,
+            seed: 11,
+        }
+    }
+}
+
+impl AggregationWorkload {
+    /// The default scenario scaled to `points` base points.
+    pub fn new(points: usize, seed: u64) -> Self {
+        Self {
+            points,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// The arrival stream: the in-order base grid with straggler bursts
+    /// spliced in at the moment they arrive. Base points sit on the
+    /// `delta_t` grid; stragglers land strictly off-grid (so a burst never
+    /// silently upserts a base point) at lags up to
+    /// [`max_lag`](Self::max_lag) behind the stream head.
+    pub fn generate(&self) -> Vec<DataPoint> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out =
+            Vec::with_capacity(self.points * (1 + self.burst_len / 8));
+        for i in 0..self.points {
+            let tg = (i as Timestamp + 1) * self.delta_t;
+            out.push(DataPoint::new(tg, tg, (i % 1_000) as f64));
+            if rng.gen::<f64>() >= self.burst_prob {
+                continue;
+            }
+            // A reconnecting device re-sends `burst_len` buffered points,
+            // oldest first, all arriving "now" (at the stream head).
+            let lag = rng.gen_range(1..self.max_lag.max(2));
+            // Snap the burst onto a grid offset by +1: stragglers stay one
+            // tick off the base grid whatever the lag drawn.
+            let base = (tg - lag).max(1) / self.delta_t * self.delta_t + 1;
+            for j in 0..self.burst_len {
+                let straggler_tg = base + j as Timestamp * self.delta_t;
+                if straggler_tg >= tg {
+                    break;
+                }
+                out.push(DataPoint::new(straggler_tg, tg, (j % 1_000) as f64));
+            }
+        }
+        out
+    }
+
+    /// The query mix: random windows over `[min_gen_time, max_gen_time]`
+    /// (never exceeding the data, like the paper's historical queries),
+    /// with every [`downsample_every`](Self::downsample_every)-th query
+    /// bucketed.
+    pub fn queries(
+        &self,
+        min_gen_time: Timestamp,
+        max_gen_time: Timestamp,
+    ) -> Vec<AggQuery> {
+        assert!(min_gen_time <= max_gen_time);
+        let hi = (max_gen_time - self.window).max(min_gen_time);
+        // Offset the seed so the query sequence is independent of the
+        // arrival stream's draws.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x05ee_da66);
+        (0..self.query_count)
+            .map(|i| {
+                let lo = if hi > min_gen_time {
+                    rng.gen_range(min_gen_time..hi)
+                } else {
+                    min_gen_time
+                };
+                AggQuery {
+                    range: TimeRange::new(
+                        lo,
+                        (lo + self.window).min(max_gen_time),
+                    ),
+                    bucket_width: (self.downsample_every > 0
+                        && i % self.downsample_every
+                            == self.downsample_every - 1)
+                        .then_some(self.bucket_width),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::fraction_out_of_order;
+
+    fn small() -> AggregationWorkload {
+        AggregationWorkload::new(5_000, 11)
+    }
+
+    #[test]
+    fn stream_is_bursty_but_mostly_in_order() {
+        let pts = small().generate();
+        assert!(pts.len() > 5_000, "bursts must add stragglers");
+        let ooo = fraction_out_of_order(&pts);
+        assert!(
+            ooo > 0.0 && ooo < 0.5,
+            "bursts reorder some but not most points: {ooo}"
+        );
+    }
+
+    #[test]
+    fn stragglers_never_collide_with_the_base_grid() {
+        let w = small();
+        for p in w.generate() {
+            if p.gen_time % w.delta_t != 0 {
+                continue; // straggler, off-grid by construction
+            }
+            assert_eq!(
+                p.arrival_time, p.gen_time,
+                "on-grid point {} must be a base point",
+                p.gen_time
+            );
+        }
+    }
+
+    #[test]
+    fn values_are_integer_valued() {
+        assert!(small()
+            .generate()
+            .iter()
+            .all(|p| p.value.fract() == 0.0 && p.value >= 0.0));
+    }
+
+    #[test]
+    fn query_mix_interleaves_downsamples_in_bounds() {
+        let w = small();
+        let queries = w.queries(0, 500_000);
+        assert_eq!(queries.len(), w.query_count);
+        let downsamples =
+            queries.iter().filter(|q| q.bucket_width.is_some()).count();
+        assert_eq!(downsamples, w.query_count / w.downsample_every);
+        for q in &queries {
+            assert!(q.range.start >= 0 && q.range.end <= 500_000);
+            assert!(q.range.span() <= w.window);
+            if let Some(width) = q.bucket_width {
+                assert_eq!(width, w.bucket_width);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let a = small();
+        assert_eq!(a.generate(), a.generate());
+        assert_eq!(a.queries(0, 9_999), a.queries(0, 9_999));
+        let b = AggregationWorkload::new(5_000, 12);
+        assert_ne!(a.generate(), b.generate());
+    }
+}

@@ -14,6 +14,8 @@
 //!   experiments (Figs. 10, 17).
 //! * [`queries`] — the recent-data and historical query workloads of
 //!   §V-D.
+//! * [`aggregation`] — the windowed-aggregation query mix over bursty
+//!   out-of-order arrivals that exercises the v3 aggregation pushdown.
 //!
 //! All generators are seeded and deterministic: the same configuration
 //! always produces the same dataset.
@@ -21,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod aggregation;
 pub mod datasets;
 pub mod dynamic;
 pub mod queries;
@@ -28,6 +31,7 @@ pub mod s9;
 pub mod synthetic;
 pub mod vehicle;
 
+pub use aggregation::{AggQuery, AggregationWorkload};
 pub use datasets::{paper_dataset, PaperDataset, PAPER_DATASETS};
 pub use dynamic::DynamicWorkload;
 pub use queries::{HistoricalQueries, RecentQueries, PAPER_WINDOWS_MS};

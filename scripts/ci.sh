@@ -108,6 +108,12 @@ assert query["disk_byte_reduction"] > 1, query
 assert query["tables_pruned"] > 0, query
 assert query["cold_byte_reduction"] > 1, query
 assert query["cold_query_bytes"]["v3"] < query["cold_query_bytes"]["v2"], query
+# Aggregation-pushdown lane: folding index pre-aggregates must actually
+# happen and must beat decode-and-fold on bytes, with bit-identical answers
+# (the bench fails outright on divergence, so the flag is always true here).
+assert query["blocks_folded"] > 0, query
+assert query["agg_byte_reduction"] > 1, query
+assert query["agg_results_bit_identical"] is True, query
 assert compaction["cache"]["invalidated_blocks"] >= 0, compaction
 # Multi-tenant skew lane: the arbiter must have grown the hot series past
 # every cold neighbour, and the adaptive controller must have retuned at
@@ -125,6 +131,8 @@ print(f"perf smoke OK: burst p99 {ingest['p99']:.1f}us with "
       f"{query['cache_on']['hit_rate']:.2f}, "
       f"{query['disk_byte_reduction']:.1f}x fewer disk bytes, "
       f"cold v3 {query['cold_byte_reduction']:.1f}x fewer bytes, "
+      f"agg pushdown {query['agg_byte_reduction']:.1f}x fewer bytes "
+      f"({query['blocks_folded']} blocks folded), "
       f"{query['tables_pruned']} tables pruned, skew "
       f"{ingest['hot_series_capacity']}/{ingest['cold_series_capacity']} "
       f"hot/cold capacity with {ingest['retunes']} online retune(s)")

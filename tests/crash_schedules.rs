@@ -713,6 +713,101 @@ fn salvage_names_a_torn_v3_table_by_its_missing_footer() {
     engine.check_integrity().expect("integrity after salvage");
 }
 
+/// A torn write can also land the other way round: the footer and
+/// metaindex hit disk intact but an index sector holding the per-block
+/// pre-aggregates was written garbled. The layout probe passes (the
+/// footer chain is valid and the index CRC is re-sealed here to simulate
+/// a coherent-but-lying sector), so only `probe_table`'s full decode —
+/// which recomputes every block's aggregates and compares bitwise —
+/// can catch the lie before a pushdown fold trusts it. Strict recovery
+/// must refuse the store; salvage must quarantine the table.
+#[test]
+fn salvage_quarantines_a_v3_table_with_lying_index_pre_aggregates() {
+    use seplsm_lsm::sstable::crc32::crc32;
+    use seplsm_lsm::sstable::format::{
+        parse_v3_footer, parse_v3_metaindex, sniff_version, VERSION_PRUNED,
+    };
+
+    let dir = TempDir::new("salvage-lying-agg");
+    let pts = workload(64);
+    {
+        let store =
+            Arc::new(FileStore::open(dir.path("tables")).expect("store"));
+        let mut engine = OpenOptions::new(config())
+            .store(store)
+            .wal(dir.path("wal"))
+            .manifest(dir.path("manifest"))
+            .open()
+            .expect("open");
+        for p in &pts {
+            engine.append(*p).expect("append");
+        }
+        engine.flush_all().expect("flush");
+        engine.sync_wal().expect("sync");
+    }
+    let victim = std::fs::read_dir(dir.path("tables"))
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "sst"))
+        .expect("at least one table");
+    let mut bytes = std::fs::read(&victim).expect("read table");
+    assert_eq!(sniff_version(&bytes), Some(VERSION_PRUNED));
+    let meta_span = parse_v3_footer(&bytes).expect("footer");
+    let (index_span, _) = parse_v3_metaindex(
+        &bytes[meta_span.offset as usize..meta_span.end() as usize],
+    )
+    .expect("metaindex");
+    // First index entry: fixed index header is 24 bytes, the entry's
+    // min-bits field sits at +28 (after first/last/count/offset/len).
+    // Flipping a mantissa bit keeps the entry parseable — unlike a lying
+    // agg_count, a lying min survives `parse_v3_index` — so only the
+    // decode-time aggregate audit can refute it.
+    let at = index_span.offset as usize + 24 + 28;
+    bytes[at] ^= 0x01;
+    // Re-seal the index CRC: the sector is internally coherent, it lies.
+    let body_end = index_span.end() as usize - 4;
+    let crc = crc32(&bytes[index_span.offset as usize..body_end]);
+    bytes[body_end..body_end + 4].copy_from_slice(&crc.to_le_bytes());
+    std::fs::write(&victim, &bytes).expect("corrupt table");
+
+    let store: Arc<dyn TableStore> =
+        Arc::new(FileStore::open(dir.path("tables")).expect("store"));
+    assert!(
+        OpenOptions::new(config())
+            .store(Arc::clone(&store))
+            .open_or_recover()
+            .is_err(),
+        "strict recovery must refuse lying pre-aggregates"
+    );
+    let (engine, report) = OpenOptions::new(config())
+        .store(store)
+        .wal(dir.path("wal"))
+        .manifest(dir.path("manifest"))
+        .recovery(RecoveryOptions::salvage().with_gc_orphans())
+        .open_or_recover()
+        .expect("salvage recovery");
+    assert_eq!(report.quarantined.len(), 1, "one lying table");
+    assert!(
+        report.quarantined[0]
+            .reason
+            .contains("aggregates disagree with index"),
+        "probe must name the aggregate mismatch, got: {}",
+        report.quarantined[0].reason
+    );
+    let recovered = engine.scan_all().expect("scan survivors");
+    assert!(!recovered.is_empty(), "survivors must still be served");
+    engine.check_integrity().expect("integrity after salvage");
+    let quarantine = dir.path("tables").join("quarantine");
+    assert_eq!(
+        std::fs::read_dir(&quarantine)
+            .expect("quarantine dir")
+            .count(),
+        1,
+        "quarantine directory must hold the lying table"
+    );
+}
+
 #[test]
 fn salvage_recovery_quarantines_corruption_and_serves_survivors() {
     let dir = TempDir::new("salvage");
